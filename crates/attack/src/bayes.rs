@@ -1,0 +1,180 @@
+//! Bayesian inference and the optimal location estimators.
+//!
+//! Given a release `z`, the attacker computes
+//! `post(s) ∝ prior(s) · P(z | s)` and answers with either the MAP cell or
+//! the cell minimising posterior-expected Euclidean distance (the optimal
+//! estimator for the Shokri error metric — a discrete Fermat–Weber point).
+
+use crate::likelihood::LikelihoodModel;
+use crate::prior::Prior;
+use panda_geo::{CellId, GridMap};
+use serde::{Deserialize, Serialize};
+
+/// Which answer the attacker returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BayesEstimator {
+    /// Posterior mode (maximises hit probability).
+    Map,
+    /// Minimiser of posterior-expected Euclidean distance (minimises the
+    /// Shokri adversary-error metric — the strongest attack for it).
+    MinExpectedDistance,
+}
+
+/// Posterior over true locations given release `z`: dense vector indexed by
+/// cell. Cells with zero prior or zero likelihood get zero mass.
+///
+/// Returns `None` when the evidence has probability zero under the model
+/// (cannot happen for smoothed likelihoods/priors).
+pub fn posterior(prior: &Prior, like: &LikelihoodModel, z: CellId) -> Option<Vec<f64>> {
+    let n = like.n_cells();
+    let mut post = vec![0.0f64; n];
+    let mut total = 0.0;
+    for s in 0..n {
+        let w = prior.prob(CellId(s as u32)) * like.prob(CellId(s as u32), z);
+        post[s] = w;
+        total += w;
+    }
+    if total <= 0.0 {
+        return None;
+    }
+    for p in &mut post {
+        *p /= total;
+    }
+    Some(post)
+}
+
+/// The attacker's point estimate for release `z`.
+pub fn estimate(
+    grid: &GridMap,
+    prior: &Prior,
+    like: &LikelihoodModel,
+    z: CellId,
+    estimator: BayesEstimator,
+) -> Option<CellId> {
+    let post = posterior(prior, like, z)?;
+    match estimator {
+        BayesEstimator::Map => post
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| CellId(i as u32)),
+        BayesEstimator::MinExpectedDistance => {
+            // argmin_c Σ_s post(s)·d_E(c, s) over cells with posterior
+            // support's bounding candidates: evaluating every grid cell is
+            // exact (domains are ≤ a few thousand cells).
+            let support: Vec<(CellId, f64)> = post
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| p > 0.0)
+                .map(|(i, &p)| (CellId(i as u32), p))
+                .collect();
+            let mut best = None;
+            let mut best_cost = f64::INFINITY;
+            for cand in grid.cells() {
+                let cost: f64 = support
+                    .iter()
+                    .map(|&(s, p)| p * grid.distance(cand, s))
+                    .sum();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = Some(cand);
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Posterior-expected distance of a given answer — the attacker's own
+/// assessment of its error.
+pub fn expected_distance(grid: &GridMap, post: &[f64], answer: CellId) -> f64 {
+    post.iter()
+        .enumerate()
+        .map(|(s, &p)| p * grid.distance(answer, CellId(s as u32)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_core::{GraphExponential, LocationPolicyGraph, UniformComponent};
+    use panda_geo::GridMap;
+
+    fn grid() -> GridMap {
+        GridMap::new(4, 4, 100.0)
+    }
+
+    #[test]
+    fn posterior_normalises() {
+        let g = grid();
+        let policy = LocationPolicyGraph::partition(g.clone(), 2, 2);
+        let like = LikelihoodModel::build(&GraphExponential, &policy, 1.0, 0).unwrap();
+        let prior = Prior::uniform(&g);
+        let post = posterior(&prior, &like, CellId(0)).unwrap();
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn posterior_concentrates_with_high_eps() {
+        let g = grid();
+        let policy = LocationPolicyGraph::partition(g.clone(), 2, 2);
+        let like = LikelihoodModel::build(&GraphExponential, &policy, 12.0, 0).unwrap();
+        let prior = Prior::uniform(&g);
+        let post = posterior(&prior, &like, CellId(0)).unwrap();
+        assert!(post[0] > 0.95, "high eps must pin the posterior: {}", post[0]);
+    }
+
+    #[test]
+    fn uniform_mechanism_posterior_is_prior_restricted() {
+        // With a uniform-in-component release, the posterior over the
+        // component equals the prior renormalised to it.
+        let g = grid();
+        let policy = LocationPolicyGraph::partition(g.clone(), 2, 2);
+        let like = LikelihoodModel::build(&UniformComponent, &policy, 1.0, 0).unwrap();
+        let mut weights = vec![1.0; 16];
+        weights[0] = 5.0; // skewed prior
+        let prior = Prior::from_weights(weights);
+        let post = posterior(&prior, &like, CellId(0)).unwrap();
+        let comp = policy.component_cells(CellId(0));
+        let prior_mass: f64 = comp.iter().map(|&c| prior.prob(c)).sum();
+        for &c in &comp {
+            assert!((post[c.index()] - prior.prob(c) / prior_mass).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn map_estimator_picks_mode() {
+        let g = grid();
+        let policy = LocationPolicyGraph::partition(g.clone(), 2, 2);
+        let like = LikelihoodModel::build(&GraphExponential, &policy, 4.0, 0).unwrap();
+        let prior = Prior::uniform(&g);
+        let est = estimate(&g, &prior, &like, CellId(5), BayesEstimator::Map).unwrap();
+        assert_eq!(est, CellId(5), "at high eps the release is the MAP");
+    }
+
+    #[test]
+    fn min_expected_distance_beats_map_on_its_metric() {
+        let g = grid();
+        let policy = LocationPolicyGraph::complete(g.clone());
+        let like = LikelihoodModel::build(&GraphExponential, &policy, 0.3, 0).unwrap();
+        let prior = Prior::uniform(&g);
+        for z in [CellId(0), CellId(7), CellId(15)] {
+            let post = posterior(&prior, &like, z).unwrap();
+            let map = estimate(&g, &prior, &like, z, BayesEstimator::Map).unwrap();
+            let med =
+                estimate(&g, &prior, &like, z, BayesEstimator::MinExpectedDistance).unwrap();
+            assert!(
+                expected_distance(&g, &post, med) <= expected_distance(&g, &post, map) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn expected_distance_zero_for_point_posterior() {
+        let g = grid();
+        let mut post = vec![0.0; 16];
+        post[3] = 1.0;
+        assert_eq!(expected_distance(&g, &post, CellId(3)), 0.0);
+        assert!(expected_distance(&g, &post, CellId(0)) > 0.0);
+    }
+}

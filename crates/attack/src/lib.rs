@@ -1,0 +1,36 @@
+//! # panda-attack
+//!
+//! Adversary substrate: the *empirical privacy* metric of the demo's third
+//! evaluation axis (§3.2), following Shokri et al., "Quantifying Location
+//! Privacy" (S&P 2011, paper reference 15).
+//!
+//! Empirical privacy is measured as the **expected inference error of an
+//! optimal Bayesian adversary**: the attacker knows the released (perturbed)
+//! location, the mechanism, the policy graph and a prior over locations; it
+//! computes the posterior over true locations and outputs the estimate
+//! minimising expected distance. Privacy = the expected distance between
+//! the estimate and the truth (larger = more private).
+//!
+//! * [`prior`] — uniform / empirical / personalised priors.
+//! * [`likelihood`] — the attacker's mechanism model `P(z | s)`, exact when
+//!   the mechanism exposes closed-form distributions, Monte-Carlo otherwise.
+//! * [`bayes`] — posterior computation and the two standard estimators
+//!   (MAP and minimum-expected-distance).
+//! * [`metrics`] — the adversary-error experiment loop.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bayes;
+pub mod likelihood;
+pub mod metrics;
+pub mod prior;
+pub mod remap;
+pub mod tracking;
+
+pub use bayes::{posterior, BayesEstimator};
+pub use likelihood::LikelihoodModel;
+pub use metrics::{expected_inference_error, AdversaryReport};
+pub use prior::Prior;
+pub use remap::RemappedMechanism;
+pub use tracking::{Tracker, TrackingReport};

@@ -1,0 +1,195 @@
+//! The adversary-error experiment loop (Shokri et al., paper ref. 15).
+//!
+//! Empirical privacy of a (mechanism, policy, ε) triple against a prior:
+//! draw a true location from the prior, release through the mechanism, let
+//! the optimal Bayesian attacker answer, and average the Euclidean distance
+//! between answer and truth. This is the quantity the Fig. 5 explorer plots
+//! against ε and against the policy-graph density knob.
+
+use crate::bayes::{estimate, BayesEstimator};
+use crate::likelihood::LikelihoodModel;
+use crate::prior::Prior;
+use panda_core::{LocationPolicyGraph, Mechanism, PglpError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate result of an adversary-error run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdversaryReport {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Policy name.
+    pub policy: String,
+    /// Privacy parameter.
+    pub eps: f64,
+    /// Number of attack trials.
+    pub trials: usize,
+    /// Mean Euclidean distance between the attacker's answer and the truth
+    /// (in grid length units). **Higher = more private.**
+    pub mean_error: f64,
+    /// Fraction of trials where the attacker named the exact cell.
+    pub hit_rate: f64,
+    /// Mean Euclidean distance between the *release* and the truth — the
+    /// utility loss, for plotting the privacy-utility trade-off.
+    pub mean_utility_error: f64,
+}
+
+/// Runs the Shokri-style inference attack.
+///
+/// `mc_samples` is forwarded to [`LikelihoodModel::build`] for mechanisms
+/// without closed-form distributions.
+pub fn expected_inference_error<R: Rng>(
+    mech: &dyn Mechanism,
+    policy: &LocationPolicyGraph,
+    eps: f64,
+    prior: &Prior,
+    estimator: BayesEstimator,
+    trials: usize,
+    mc_samples: usize,
+    rng: &mut R,
+) -> Result<AdversaryReport, PglpError> {
+    let grid = policy.grid().clone();
+    let like = LikelihoodModel::build(mech, policy, eps, mc_samples)?;
+    let mut total_err = 0.0;
+    let mut total_util = 0.0;
+    let mut hits = 0usize;
+    for _ in 0..trials {
+        let truth = prior.sample(rng);
+        let z = mech.perturb(policy, eps, truth, rng)?;
+        let answer =
+            estimate(&grid, prior, &like, z, estimator).expect("smoothed posterior never dies");
+        total_err += grid.distance(answer, truth);
+        total_util += grid.distance(z, truth);
+        if answer == truth {
+            hits += 1;
+        }
+    }
+    Ok(AdversaryReport {
+        mechanism: mech.name().to_string(),
+        policy: policy.name().to_string(),
+        eps,
+        trials,
+        mean_error: total_err / trials as f64,
+        hit_rate: hits as f64 / trials as f64,
+        mean_utility_error: total_util / trials as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_core::{GraphExponential, IdentityMechanism, LocationPolicyGraph};
+    use panda_geo::GridMap;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridMap {
+        GridMap::new(5, 5, 100.0)
+    }
+
+    #[test]
+    fn identity_mechanism_has_zero_privacy() {
+        let g = grid();
+        let policy = LocationPolicyGraph::isolated(g.clone());
+        let prior = Prior::uniform(&g);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let report = expected_inference_error(
+            &IdentityMechanism,
+            &policy,
+            1.0,
+            &prior,
+            BayesEstimator::Map,
+            200,
+            0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(report.mean_error, 0.0);
+        assert_eq!(report.hit_rate, 1.0);
+        assert_eq!(report.mean_utility_error, 0.0);
+    }
+
+    #[test]
+    fn privacy_decreases_with_eps() {
+        let g = grid();
+        let policy = LocationPolicyGraph::complete(g.clone());
+        let prior = Prior::uniform(&g);
+        let run = |eps: f64, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            expected_inference_error(
+                &GraphExponential,
+                &policy,
+                eps,
+                &prior,
+                BayesEstimator::MinExpectedDistance,
+                400,
+                0,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let low = run(0.1, 2);
+        let high = run(8.0, 3);
+        assert!(
+            low.mean_error > high.mean_error,
+            "adversary error must fall with eps: {} !> {}",
+            low.mean_error,
+            high.mean_error
+        );
+        assert!(low.hit_rate < high.hit_rate);
+    }
+
+    #[test]
+    fn utility_error_also_reported() {
+        let g = grid();
+        let policy = LocationPolicyGraph::complete(g.clone());
+        let prior = Prior::uniform(&g);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let report = expected_inference_error(
+            &GraphExponential,
+            &policy,
+            0.5,
+            &prior,
+            BayesEstimator::Map,
+            300,
+            0,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(report.mean_utility_error > 0.0);
+        assert!(report.trials == 300);
+    }
+
+    #[test]
+    fn skewed_prior_helps_the_attacker() {
+        let g = grid();
+        let policy = LocationPolicyGraph::complete(g.clone());
+        // Victim is almost always in cell 12 and the attacker knows it.
+        let mut weights = vec![0.01; 25];
+        weights[12] = 10.0;
+        let skewed = Prior::from_weights(weights);
+        let uniform = Prior::uniform(&g);
+        let run = |prior: &Prior, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            expected_inference_error(
+                &GraphExponential,
+                &policy,
+                0.2,
+                prior,
+                BayesEstimator::MinExpectedDistance,
+                400,
+                0,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let informed = run(&skewed, 5);
+        let blind = run(&uniform, 6);
+        assert!(
+            informed.mean_error < blind.mean_error,
+            "informed attacker must do better: {} !< {}",
+            informed.mean_error,
+            blind.mean_error
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Adversary priors over the location domain.
+
+use panda_geo::{CellId, GridMap};
+use panda_mobility::TrajectoryDb;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A probability distribution over grid cells — the adversary's background
+/// knowledge about where the user might be.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prior {
+    probs: Vec<f64>,
+}
+
+impl Prior {
+    /// Uniform prior over all cells.
+    pub fn uniform(grid: &GridMap) -> Self {
+        let n = grid.n_cells() as usize;
+        Prior {
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Empirical prior from public mobility data: overall visit frequencies
+    /// of a trajectory database, smoothed so no cell has probability zero
+    /// (the attacker never fully rules out a cell).
+    pub fn empirical(db: &TrajectoryDb) -> Self {
+        let mut probs = db.empirical_distribution();
+        let n = probs.len() as f64;
+        let smoothing = 1e-6;
+        let mut total = 0.0;
+        for p in &mut probs {
+            *p += smoothing / n;
+            total += *p;
+        }
+        for p in &mut probs {
+            *p /= total;
+        }
+        Prior { probs }
+    }
+
+    /// Personalised prior: the visit frequencies of a single user's history
+    /// (what an attacker who profiled the victim would use), smoothed.
+    pub fn personalised(grid: &GridMap, history: &[CellId]) -> Self {
+        let n = grid.n_cells() as usize;
+        let mut probs = vec![0.0f64; n];
+        for c in history {
+            probs[c.index()] += 1.0;
+        }
+        let smoothing = 0.5; // pseudo-count per cell
+        let total: f64 = history.len() as f64 + smoothing * n as f64;
+        for p in &mut probs {
+            *p = (*p + smoothing) / total;
+        }
+        Prior { probs }
+    }
+
+    /// Builds a prior from explicit weights (normalised).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative weights or an all-zero vector.
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all-zero prior");
+        Prior {
+            probs: weights.into_iter().map(|w| w / total).collect(),
+        }
+    }
+
+    /// Probability of `cell`.
+    #[inline]
+    pub fn prob(&self, cell: CellId) -> f64 {
+        self.probs[cell.index()]
+    }
+
+    /// The dense probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `true` when the domain is empty (never for valid grids).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Samples a cell from the prior.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> CellId {
+        let mut u: f64 = rng.gen();
+        for (i, &p) in self.probs.iter().enumerate() {
+            if u < p {
+                return CellId(i as u32);
+            }
+            u -= p;
+        }
+        CellId(self.probs.len() as u32 - 1)
+    }
+
+    /// Shannon entropy (nats) — a summary of attacker uncertainty before
+    /// seeing any release.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_mobility::{Trajectory, UserId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridMap {
+        GridMap::new(4, 4, 100.0)
+    }
+
+    #[test]
+    fn uniform_normalises() {
+        let p = Prior::uniform(&grid());
+        assert_eq!(p.len(), 16);
+        assert!((p.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p.prob(CellId(3)) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((p.entropy() - (16.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_reflects_visits() {
+        let g = grid();
+        let db = TrajectoryDb::new(
+            g.clone(),
+            vec![Trajectory {
+                user: UserId(0),
+                cells: vec![g.cell(0, 0), g.cell(0, 0), g.cell(1, 1), g.cell(0, 0)],
+            }],
+        );
+        let p = Prior::empirical(&db);
+        assert!((p.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.prob(g.cell(0, 0)) > p.prob(g.cell(1, 1)));
+        assert!(p.prob(g.cell(3, 3)) > 0.0, "smoothing must avoid zeros");
+        assert!(p.prob(g.cell(0, 0)) > 0.5);
+    }
+
+    #[test]
+    fn personalised_prior_peaks_on_history() {
+        let g = grid();
+        let history = vec![g.cell(2, 2); 10];
+        let p = Prior::personalised(&g, &history);
+        assert!((p.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.prob(g.cell(2, 2)) > 0.5);
+        assert!(p.prob(g.cell(0, 0)) > 0.0);
+    }
+
+    #[test]
+    fn from_weights_and_sampling() {
+        let mut w = vec![0.0; 16];
+        w[5] = 3.0;
+        w[10] = 1.0;
+        let p = Prior::from_weights(w);
+        assert!((p.prob(CellId(5)) - 0.75).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut hits5 = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let c = p.sample(&mut rng);
+            assert!(c == CellId(5) || c == CellId(10));
+            if c == CellId(5) {
+                hits5 += 1;
+            }
+        }
+        assert!((hits5 as f64 / N as f64 - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn zero_prior_rejected() {
+        Prior::from_weights(vec![0.0; 4]);
+    }
+}

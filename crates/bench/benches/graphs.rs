@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks: the graph substrate under policy-graph
+//! shaped workloads (BFS distances, k-neighbourhoods, components, policy
+//! construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::LocationPolicyGraph;
+use panda_geo::GridMap;
+use panda_graph::{bfs, components::connected_components, generators};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_distances");
+    for n in [16u32, 32, 64] {
+        let g = generators::grid8(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &g, |b, g| {
+            b.iter(|| black_box(bfs::bfs_distances(g, 0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_neighbors(c: &mut Criterion) {
+    let g = generators::grid8(32, 32);
+    let mut group = c.benchmark_group("k_neighbors");
+    for k in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(bfs::k_neighbors(&g, 512, k)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connected_components");
+    let mut rng = StdRng::seed_from_u64(3);
+    for &(n, p) in &[(256u32, 0.01f64), (1024, 0.005), (4096, 0.001)] {
+        let g = generators::erdos_renyi(&mut rng, n, p);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(connected_components(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_construction(c: &mut Criterion) {
+    // Dynamic policies are rebuilt per diagnosis: construction cost matters.
+    let grid = GridMap::new(32, 32, 500.0);
+    let mut group = c.benchmark_group("policy_construction");
+    group.bench_function("g1", |b| {
+        b.iter(|| {
+            black_box(LocationPolicyGraph::g1_geo_indistinguishability(
+                grid.clone(),
+            ))
+        })
+    });
+    group.bench_function("partition_4x4", |b| {
+        b.iter(|| black_box(LocationPolicyGraph::partition(grid.clone(), 4, 4)))
+    });
+    let base = LocationPolicyGraph::partition(grid.clone(), 2, 2);
+    let infected: Vec<panda_geo::CellId> = grid.chebyshev_ball(grid.cell(16, 16), 2);
+    group.bench_function("gc_isolate_25_cells", |b| {
+        b.iter(|| black_box(base.with_isolated(&infected)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bfs,
+    bench_k_neighbors,
+    bench_components,
+    bench_policy_construction
+);
+criterion_main!(benches);

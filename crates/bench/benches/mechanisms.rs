@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks: mechanism release latency per policy.
+//!
+//! PANDA clients perturb one location per epoch on-device; release latency
+//! bounds how cheap the client loop is. Measured per (mechanism, policy) on
+//! a 16×16 grid at ε = 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::{
+    GraphCalibratedLaplace, GraphExponential, LocationPolicyGraph, Mechanism, PlanarIsotropic,
+    PlanarLaplace,
+};
+use panda_geo::{CellId, GridMap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let grid = GridMap::new(16, 16, 500.0);
+    let policies = vec![
+        ("Ga", LocationPolicyGraph::partition(grid.clone(), 4, 4)),
+        ("Gb", LocationPolicyGraph::partition(grid.clone(), 2, 2)),
+        (
+            "G1",
+            LocationPolicyGraph::g1_geo_indistinguishability(grid.clone()),
+        ),
+    ];
+    let mut group = c.benchmark_group("perturb");
+    for (plabel, policy) in &policies {
+        let mechanisms: Vec<(&str, Box<dyn Mechanism>)> = vec![
+            ("gem", Box::new(GraphExponential)),
+            ("graph_laplace", Box::new(GraphCalibratedLaplace)),
+            ("pim_prepared", Box::new(PlanarIsotropic::prepared(policy, false))),
+            ("planar_laplace", Box::new(PlanarLaplace)),
+        ];
+        for (mlabel, mech) in mechanisms {
+            group.bench_with_input(
+                BenchmarkId::new(mlabel, plabel),
+                policy,
+                |b, policy| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let s = CellId(100);
+                    b.iter(|| {
+                        black_box(mech.perturb(policy, 1.0, black_box(s), &mut rng).unwrap())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact_distribution(c: &mut Criterion) {
+    // The GEM's closed-form distribution powers audits and attacks; its
+    // cost is one BFS + normalisation per input cell.
+    let mut group = c.benchmark_group("gem_output_distribution");
+    for n in [8u32, 16, 32] {
+        let grid = GridMap::new(n, n, 500.0);
+        let policy = LocationPolicyGraph::g1_geo_indistinguishability(grid);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &policy, |b, policy| {
+            b.iter(|| {
+                black_box(
+                    GraphExponential
+                        .output_distribution(policy, 1.0, CellId(0))
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimal_remap(c: &mut Criterion) {
+    // The optimal-remap extension: build cost (a full likelihood matrix +
+    // one Fermat-Weber argmin per output cell) and per-release overhead.
+    use panda_attack::{Prior, RemappedMechanism};
+    let grid = GridMap::new(12, 12, 500.0);
+    let policy = LocationPolicyGraph::partition(grid.clone(), 3, 3);
+    let prior = Prior::uniform(&grid);
+    let mut group = c.benchmark_group("optimal_remap");
+    group.sample_size(10);
+    group.bench_function("build_table", |b| {
+        b.iter(|| {
+            black_box(
+                RemappedMechanism::build(&GraphExponential, &policy, 1.0, &prior, 0).unwrap(),
+            )
+        })
+    });
+    let remapped = RemappedMechanism::build(&GraphExponential, &policy, 1.0, &prior, 0).unwrap();
+    group.bench_function("perturb_remapped", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(remapped.perturb(&policy, 1.0, CellId(7), &mut rng).unwrap()));
+    });
+    group.bench_function("perturb_base", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            black_box(
+                GraphExponential
+                    .perturb(&policy, 1.0, CellId(7), &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mechanisms,
+    bench_exact_distribution,
+    bench_optimal_remap
+);
+criterion_main!(benches);

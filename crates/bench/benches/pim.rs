@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks + ablation for the Planar Isotropic
+//! Mechanism.
+//!
+//! The DESIGN.md ablations: (a) prepared (cached sensitivity hulls) vs
+//! on-the-fly preparation, and (b) direct K-norm sampling vs the original
+//! paper's isotropic-transform path (distributionally identical; the bench
+//! quantifies the constant-factor cost of whitening).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::{LocationPolicyGraph, Mechanism, PlanarIsotropic};
+use panda_geo::{CellId, GridMap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_prepared_vs_fresh(c: &mut Criterion) {
+    let grid = GridMap::new(16, 16, 500.0);
+    let mut group = c.benchmark_group("pim_preparation_ablation");
+    for block in [2u32, 4, 8] {
+        let policy = LocationPolicyGraph::partition(grid.clone(), block, block);
+        let prepared = PlanarIsotropic::prepared(&policy, false);
+        let fresh = PlanarIsotropic::new();
+        group.bench_with_input(
+            BenchmarkId::new("prepared", block),
+            &policy,
+            |b, policy| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(prepared.perturb(policy, 1.0, CellId(0), &mut rng).unwrap()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fresh", block), &policy, |b, policy| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(fresh.perturb(policy, 1.0, CellId(0), &mut rng).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_isotropic_ablation(c: &mut Criterion) {
+    let grid = GridMap::new(16, 16, 500.0);
+    let policy = LocationPolicyGraph::partition(grid, 8, 8);
+    let direct = PlanarIsotropic::prepared(&policy, false);
+    let iso = PlanarIsotropic::prepared(&policy, true);
+    let mut group = c.benchmark_group("pim_isotropic_ablation");
+    group.bench_function("direct_knorm", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(direct.perturb(&policy, 1.0, CellId(0), &mut rng).unwrap()));
+    });
+    group.bench_function("isotropic_transform", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(iso.perturb(&policy, 1.0, CellId(0), &mut rng).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_preparation_cost(c: &mut Criterion) {
+    // One-off cost of building all sensitivity hulls for a policy.
+    let mut group = c.benchmark_group("pim_prepare");
+    group.sample_size(20);
+    for n in [8u32, 16, 32] {
+        let grid = GridMap::new(n, n, 500.0);
+        let policy = LocationPolicyGraph::partition(grid, 4, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &policy, |b, policy| {
+            b.iter(|| black_box(PlanarIsotropic::prepared(policy, false)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prepared_vs_fresh,
+    bench_isotropic_ablation,
+    bench_preparation_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks: contact tracing at population scale.
+//!
+//! The server-side cost of a diagnosis: running the co-location rule over
+//! the reported database, and rebuilding the `Gc` policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_bench::workload::{geolife, grid};
+use panda_mobility::{Timestamp, UserId};
+use panda_surveillance::tracing::ContactTracer;
+use panda_surveillance::PolicyConfigurator;
+use panda_geo::CellId;
+use std::hint::black_box;
+
+fn bench_find_contacts(c: &mut Criterion) {
+    let g = grid(16);
+    let mut group = c.benchmark_group("find_contacts");
+    group.sample_size(20);
+    for users in [50u32, 150, 400] {
+        let db = geolife(9, &g, users, 7);
+        let patient = UserId(0);
+        let history: Vec<(Timestamp, CellId)> = (0..db.horizon())
+            .filter_map(|t| db.cell_of(patient, t).map(|c| (t, c)))
+            .collect();
+        let tracer = ContactTracer::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(users),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    black_box(tracer.find_contacts(
+                        db,
+                        patient,
+                        &history,
+                        0,
+                        db.horizon(),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_policy_update(c: &mut Criterion) {
+    let g = grid(32);
+    let configurator = PolicyConfigurator::new(g.clone(), 4, 2);
+    let mut group = c.benchmark_group("diagnosis_policy_update");
+    group.sample_size(20);
+    for n_visits in [10usize, 100, 500] {
+        let history: Vec<(Timestamp, CellId)> = (0..n_visits)
+            .map(|i| (i as Timestamp, CellId((i % 1024) as u32)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_visits),
+            &history,
+            |b, history| {
+                b.iter(|| black_box(configurator.update_on_diagnosis(history)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_colocation_counts(c: &mut Criterion) {
+    let g = grid(16);
+    let mut group = c.benchmark_group("co_location_counts");
+    group.sample_size(10);
+    for users in [50u32, 150] {
+        let db = geolife(10, &g, users, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(users), &db, |b, db| {
+            b.iter(|| black_box(db.co_location_counts()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_find_contacts,
+    bench_policy_update,
+    bench_colocation_counts
+);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! **E4 — §3.2(2)**: the contact-tracing procedure with dynamic policy
+//! graphs, evaluated as precision/recall against the rule on ground truth.
+//!
+//! Three server strategies are compared for each diagnosed patient:
+//! * **static** — run the rule on the originally-perturbed reports (no
+//!   policy update);
+//! * **dynamic** — the full §3.2 protocol: patient disclosure → `Gc`
+//!   update → re-send → rule (expected recall 1.0, since infected-cell
+//!   visits arrive exactly);
+//! * **no-privacy** — the rule on true data (the definitional upper bound,
+//!   precision = recall = 1).
+
+use panda_bench::workload::{geolife, grid};
+use panda_bench::{f3, Table};
+use panda_core::GraphExponential;
+use panda_epidemic::{simulate_outbreak, OutbreakConfig};
+use panda_mobility::Timestamp;
+use panda_surveillance::tracing::{dynamic_trace, ContactRule, ContactTracer, TraceOutcome};
+use panda_surveillance::{Client, ClientConfig, ConsentRule, PolicyConfigurator, Server};
+use panda_geo::CellId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn make_clients(
+    truth: &panda_mobility::TrajectoryDb,
+    policy: &panda_core::LocationPolicyGraph,
+) -> Vec<Client> {
+    truth
+        .trajectories()
+        .iter()
+        .map(|tr| {
+            let mut c = Client::new(
+                tr.user,
+                ClientConfig {
+                    retention: 400,
+                    budget: 2_000.0,
+                    consent: ConsentRule::AlwaysAccept,
+                },
+                policy.clone(),
+                Box::new(GraphExponential),
+                1.0,
+            );
+            for (t, &cell) in tr.cells.iter().enumerate() {
+                c.observe(t as Timestamp, cell);
+            }
+            c
+        })
+        .collect()
+}
+
+fn main() {
+    let full = panda_bench::full_mode();
+    let g = grid(16);
+    let truth = geolife(31, &g, if full { 150 } else { 60 }, 7);
+    let mut rng = StdRng::seed_from_u64(32);
+    let outbreak = simulate_outbreak(
+        &mut rng,
+        &truth,
+        &OutbreakConfig {
+            n_seeds: 3,
+            diagnosis_delay: 24,
+            p_transmit: 0.5,
+            ..Default::default()
+        },
+    );
+    let n_patients = if full { 6 } else { 3 };
+    let patients: Vec<_> = outbreak.diagnoses.iter().take(n_patients).collect();
+    println!(
+        "E4: contact tracing ({} users, attack rate {:.0}%, {} diagnosed patients evaluated)\n",
+        truth.n_users(),
+        100.0 * outbreak.attack_rate(),
+        patients.len()
+    );
+
+    let configurator = PolicyConfigurator::new(g.clone(), 4, 2);
+    let tracer = ContactTracer::default();
+    let mut table = Table::new(
+        "e4_contact_tracing",
+        &["patient", "strategy", "flagged", "true_contacts", "precision", "recall", "resends"],
+    );
+
+    let mut static_recalls = Vec::new();
+    let mut dynamic_recalls = Vec::new();
+    let mut static_precisions = Vec::new();
+    let mut dynamic_precisions = Vec::new();
+    for &&(patient, t_diag) in &patients {
+        let window = (t_diag.saturating_sub(14 * 24), t_diag);
+        let history: Vec<(Timestamp, CellId)> = (window.0..window.1)
+            .filter_map(|t| truth.cell_of(patient, t).map(|c| (t, c)))
+            .collect();
+        let ground_truth =
+            tracer.find_contacts(&truth, patient, &history, window.0, window.1);
+
+        // --- static: originally-perturbed reports, no update. -----------
+        let server = Server::new(g.clone());
+        let mut clients = make_clients(&truth, &configurator.for_analysis());
+        let mut rng_s = StdRng::seed_from_u64(1000 + patient.0 as u64);
+        for c in clients.iter_mut() {
+            for t in window.0..window.1 {
+                if let Ok(r) = c.report(t, &mut rng_s) {
+                    server.receive(r);
+                }
+            }
+        }
+        let reported = server.reported_db(window.1);
+        let static_flags =
+            tracer.find_contacts(&reported, patient, &history, window.0, window.1);
+        let static_outcome =
+            TraceOutcome::evaluate(static_flags, ground_truth.clone(), 0);
+        table.row(&[
+            &patient,
+            &"static",
+            &static_outcome.flagged.len(),
+            &static_outcome.ground_truth.len(),
+            &f3(static_outcome.precision),
+            &f3(static_outcome.recall),
+            &0,
+        ]);
+        static_recalls.push(static_outcome.recall);
+        static_precisions.push(static_outcome.precision);
+
+        // --- dynamic: full protocol with Gc update + re-send. ------------
+        let server = Server::new(g.clone());
+        let mut clients = make_clients(&truth, &configurator.for_analysis());
+        let mut rng_d = StdRng::seed_from_u64(2000 + patient.0 as u64);
+        let outcome = dynamic_trace(
+            &mut clients,
+            &server,
+            &configurator,
+            &truth,
+            patient,
+            window,
+            4.0,
+            ContactRule::default(),
+            &mut rng_d,
+        );
+        table.row(&[
+            &patient,
+            &"dynamic",
+            &outcome.flagged.len(),
+            &outcome.ground_truth.len(),
+            &f3(outcome.precision),
+            &f3(outcome.recall),
+            &outcome.resend_count,
+        ]);
+        dynamic_recalls.push(outcome.recall);
+        dynamic_precisions.push(outcome.precision);
+
+        // --- no-privacy upper bound. -------------------------------------
+        let oracle = TraceOutcome::evaluate(ground_truth.clone(), ground_truth, 0);
+        table.row(&[
+            &patient,
+            &"no-privacy",
+            &oracle.flagged.len(),
+            &oracle.ground_truth.len(),
+            &f3(oracle.precision),
+            &f3(oracle.recall),
+            &0,
+        ]);
+    }
+    table.finish();
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "mean recall:    static {:.3} vs dynamic {:.3}",
+        mean(&static_recalls),
+        mean(&dynamic_recalls)
+    );
+    println!(
+        "mean precision: static {:.3} vs dynamic {:.3}",
+        mean(&static_precisions),
+        mean(&dynamic_precisions)
+    );
+    assert!(
+        mean(&dynamic_recalls) >= mean(&static_recalls),
+        "dynamic policies must not trace worse than static"
+    );
+    assert!(
+        (mean(&dynamic_recalls) - 1.0).abs() < 1e-9,
+        "dynamic protocol recovers all rule-defined contacts"
+    );
+    assert!(
+        mean(&dynamic_precisions) >= mean(&static_precisions),
+        "dynamic tracing must not over-flag more than static"
+    );
+    println!(
+        "\nShape check vs paper: tracing on statically-perturbed data over-flags\n\
+         badly (precision collapses: perturbed strangers collide with the\n\
+         patient's cells) and its recall is at the mercy of the noise. The\n\
+         dynamic policy update + re-send round is exact on both axes because\n\
+         visits to the patient's cells are disclosed exactly under Gc —\n\
+         §3.2's procedure, 'full usability of contact tracing with reasonable\n\
+         privacy'."
+    );
+}

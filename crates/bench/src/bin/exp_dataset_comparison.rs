@@ -1,0 +1,96 @@
+//! **E9 — §3.2 datasets**: the demo evaluates on GeoLife and Gowalla; this
+//! experiment runs the monitoring-utility readout on both synthetic
+//! stand-ins at fixed ε across the policy menu.
+//!
+//! Expected shape: the *relative* ordering of policies is dataset-
+//! independent (Gb < Ga < G1 in mean error), but the check-in data's
+//! hold-last-position trajectories concentrate on popular venues, so
+//! absolute errors and area accuracies differ — the reason the demo shows
+//! both datasets.
+
+use panda_bench::workload::{geolife, gowalla, grid, policy_menu};
+use panda_bench::{f1, parallel_map, Table};
+use panda_core::{GraphExponential, Mechanism};
+use panda_surveillance::analysis::contact_rate;
+use panda_surveillance::monitoring::monitoring_utility;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let full = panda_bench::full_mode();
+    let g = grid(16);
+    let users = if full { 200 } else { 80 };
+    let geolife_db = geolife(91, &g, users, 7);
+    let gowalla_db = gowalla(92, &g, users, 7 * 24);
+    println!(
+        "E9: dataset comparison at eps = 1.0 ({} users, 7 days)\n\
+         GeoLife-like: dense commutes | Gowalla-like: sparse Zipf check-ins\n",
+        users
+    );
+    println!(
+        "contact rates — geolife {:.3}, gowalla {:.3} contacts/user/epoch\n",
+        contact_rate(&geolife_db),
+        contact_rate(&gowalla_db)
+    );
+
+    let eps = 1.0;
+    let infected = vec![g.cell(8, 8)];
+    let policies = policy_menu(&g, &infected);
+    let datasets = [("geolife", &geolife_db), ("gowalla", &gowalla_db)];
+
+    let mut jobs = Vec::new();
+    for (dlabel, db) in datasets {
+        for (plabel, policy) in &policies {
+            jobs.push((dlabel, db, plabel.to_string(), policy.clone()));
+        }
+    }
+    let results = parallel_map(jobs, |(dlabel, db, plabel, policy)| {
+        let mut rng = StdRng::seed_from_u64(93);
+        let reported = db.map_cells(|_, _, c| {
+            GraphExponential
+                .perturb(policy, eps, c, &mut rng)
+                .expect("perturbation failed")
+        });
+        let util = monitoring_utility(db, &reported, 4);
+        (*dlabel, plabel.clone(), util)
+    });
+
+    let mut table = Table::new(
+        "e9_dataset_comparison",
+        &["dataset", "policy", "mean_err_m", "area_acc", "occupancy_l1"],
+    );
+    for (d, p, u) in &results {
+        table.row(&[
+            d,
+            p,
+            &f1(u.mean_distance),
+            &format!("{:.3}", u.area_accuracy),
+            &format!("{:.4}", u.occupancy_l1),
+        ]);
+    }
+    table.finish();
+
+    // Shape: the policy ordering holds on both datasets.
+    let err = |d: &str, p: &str| {
+        results
+            .iter()
+            .find(|r| r.0 == d && r.1 == p)
+            .map(|r| r.2.mean_distance)
+            .unwrap()
+    };
+    for d in ["geolife", "gowalla"] {
+        assert!(
+            err(d, "Gb") < err(d, "G1"),
+            "{d}: policy ordering must hold"
+        );
+        assert!(
+            err(d, "Ga") < err(d, "G1"),
+            "{d}: partition must beat G1"
+        );
+    }
+    println!(
+        "Shape check vs paper: the policy ordering (partition < G1 in error)\n\
+         is dataset-independent; absolute numbers differ with the mobility\n\
+         structure, which is why the demo ships both datasets."
+    );
+}

@@ -1,0 +1,81 @@
+//! **E1 — Fig. 2 + Theorems 2.1/2.2**: policy graphs `G1` and `G2`, and the
+//! implication of PGLP to Geo-Indistinguishability / δ-Location Set
+//! Privacy, verified by exact distribution audits.
+//!
+//! The demo's Fig. 2 shows the two graphs; §2.2.1 states the theorems. This
+//! experiment constructs both policies on an 8×8 grid and audits the
+//! graph-exponential mechanism against (a) the PGLP definition itself,
+//! (b) the ε·d_E geo-indistinguishability bound (Theorem 2.1) and (c) the
+//! pairwise ε bound inside the δ-location set (Theorem 2.2), at three ε.
+
+use panda_bench::{f3, Table};
+use panda_core::privacy::{
+    audit_geo_indistinguishability, audit_pglp, AuditOptions,
+};
+use panda_core::{GraphExponential, LocationPolicyGraph};
+use panda_geo::CellId;
+
+fn main() {
+    let grid = panda_bench::workload::grid(8);
+    println!("E1: policy equivalence audits on an 8x8 grid (exact distributions)\n");
+
+    let g1 = LocationPolicyGraph::g1_geo_indistinguishability(grid.clone());
+    let delta_set: Vec<CellId> = grid.chebyshev_ball(grid.cell(3, 3), 1);
+    let g2 = LocationPolicyGraph::g2_location_set(grid.clone(), &delta_set).unwrap();
+    println!(
+        "G1: {} edges, density {:.4} | G2: complete over {} cells",
+        g1.graph().n_edges(),
+        g1.density(),
+        delta_set.len()
+    );
+
+    let mut table = Table::new(
+        "e1_policy_equivalence",
+        &[
+            "policy", "eps", "audit", "pairs", "max_log_ratio", "bound", "satisfied",
+        ],
+    );
+    let opts = AuditOptions::default();
+    for eps in [0.5, 1.0, 2.0] {
+        // (a) PGLP definition on both policies.
+        for (label, policy) in [("G1", &g1), ("G2", &g2)] {
+            let r = audit_pglp(&GraphExponential, policy, eps).unwrap();
+            table.row(&[
+                &label,
+                &eps,
+                &"PGLP(Def 2.4)",
+                &r.pairs_checked,
+                &f3(r.max_log_ratio),
+                &f3(eps),
+                &r.satisfied,
+            ]);
+            assert!(r.satisfied && r.exact);
+        }
+        // (b) Theorem 2.1: geo-indistinguishability from {eps, G1}.
+        let cells: Vec<CellId> = grid.cells().collect();
+        let r = audit_geo_indistinguishability(&GraphExponential, &g1, eps, &cells, &opts)
+            .unwrap();
+        table.row(&[
+            &"G1",
+            &eps,
+            &"GeoInd(Thm 2.1)",
+            &r.pairs_checked,
+            &f3(r.max_log_ratio),
+            &f3(r.bound_at_worst),
+            &r.satisfied,
+        ]);
+        assert!(r.satisfied);
+        // (c) Theorem 2.2: location-set privacy = the PGLP audit on the
+        // complete G2 covers exactly the δ-set pairs (reported above); also
+        // confirm cells outside the set release exactly.
+        let outside = grid.cell(0, 7);
+        assert!(g2.is_isolated_cell(outside));
+    }
+    table.finish();
+
+    println!(
+        "Shape check vs paper: all audits satisfied at every eps — PGLP over G1\n\
+         implies eps-geo-indistinguishability, and over G2 implies delta-location\n\
+         set privacy, exactly as Theorems 2.1/2.2 claim."
+    );
+}

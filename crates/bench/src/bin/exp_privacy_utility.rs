@@ -1,0 +1,106 @@
+//! **E5 — §3.2(3)**: empirical privacy as adversary inference error
+//! (Shokri et al., paper ref. 15) versus utility, across policies, mechanisms and ε.
+//!
+//! The attacker is the optimal Bayesian adversary with an *empirical* prior
+//! learned from public mobility data and exact knowledge of mechanism and
+//! policy (the system publishes both, §2.1). Expected shape: adversary
+//! error falls with ε for every policy; utility error falls too — the
+//! trade-off curve; coarser/denser policies shift along the curve, no
+//! single policy dominating (the demo's core message).
+
+use panda_bench::workload::{eps_sweep, geolife, grid, policy_menu};
+use panda_bench::{f1, parallel_map, Table};
+use panda_attack::{expected_inference_error, BayesEstimator, Prior};
+use panda_core::{GraphCalibratedLaplace, GraphExponential, Mechanism, PlanarIsotropic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let full = panda_bench::full_mode();
+    let g = grid(if full { 12 } else { 10 });
+    let background = geolife(41, &g, 60, 5);
+    let prior = Prior::empirical(&background);
+    println!(
+        "E5: privacy-utility trade-off ({}x{} grid, empirical prior, optimal Bayes attacker)\n",
+        g.width(),
+        g.height()
+    );
+
+    let infected = vec![g.cell(2, 2)];
+    let policies = policy_menu(&g, &infected);
+    let mech_factories: Vec<(&str, fn() -> Box<dyn Mechanism + Send + Sync>)> = vec![
+        ("GEM", || Box::new(GraphExponential)),
+        ("GraphLap", || Box::new(GraphCalibratedLaplace)),
+        ("PIM", || Box::new(PlanarIsotropic::new())),
+    ];
+    let trials = if full { 500 } else { 250 };
+    let mc = if full { 30_000 } else { 10_000 };
+
+    let mut jobs = Vec::new();
+    for (plabel, policy) in &policies {
+        for (mlabel, factory) in &mech_factories {
+            for eps in eps_sweep(full) {
+                jobs.push((plabel.to_string(), policy.clone(), mlabel.to_string(), *factory, eps));
+            }
+        }
+    }
+    let results = parallel_map(jobs, |(plabel, policy, mlabel, factory, eps)| {
+        let mech = factory();
+        let mut rng = StdRng::seed_from_u64(55);
+        let report = expected_inference_error(
+            mech.as_ref(),
+            policy,
+            *eps,
+            &prior,
+            BayesEstimator::MinExpectedDistance,
+            trials,
+            mc,
+            &mut rng,
+        )
+        .expect("attack run failed");
+        (plabel.clone(), mlabel.clone(), *eps, report)
+    });
+
+    let mut table = Table::new(
+        "e5_privacy_utility",
+        &["policy", "mechanism", "eps", "adv_err_m", "hit_rate", "utility_err_m"],
+    );
+    for (p, m, eps, r) in &results {
+        table.row(&[
+            p,
+            m,
+            eps,
+            &f1(r.mean_error),
+            &format!("{:.3}", r.hit_rate),
+            &f1(r.mean_utility_error),
+        ]);
+    }
+    table.finish();
+
+    // Shape assertions: adversary error falls with eps (GEM rows).
+    let adv = |p: &str, eps: f64| {
+        results
+            .iter()
+            .find(|r| r.0 == p && r.1 == "GEM" && (r.2 - eps).abs() < 1e-9)
+            .map(|r| r.3.mean_error)
+            .unwrap()
+    };
+    let lo = eps_sweep(full)[0];
+    let hi = *eps_sweep(full).last().unwrap();
+    for p in ["Ga", "Gb", "G1"] {
+        assert!(
+            adv(p, hi) <= adv(p, lo) + 1e-9,
+            "{p}: adversary error must fall with eps"
+        );
+    }
+    assert!(
+        adv("G1", lo) > adv("Gb", lo),
+        "larger components leave the attacker more uncertain"
+    );
+    println!(
+        "Shape check vs paper: adversary error decreases with eps for every\n\
+         policy; policies with larger components (G1) keep the attacker more\n\
+         uncertain than small cliques (Gb) at equal eps, while costing more\n\
+         utility — the trade-off the demo visualises."
+    );
+}

@@ -1,0 +1,129 @@
+//! **E3 — §3.2(1)**: accuracy of transmission-model estimation — the gap
+//! between `R0` estimated over exact locations and over perturbed
+//! locations, versus ε and policy graph.
+//!
+//! Two estimators run side by side:
+//! * the location-sensitive contact-based estimate
+//!   (`p_transmit × contact rate × infectious period`), which perturbation
+//!   degrades, and
+//! * the incidence growth-rate estimate (location-free; shown once as the
+//!   reference the paper's SEIR fit would produce).
+//!
+//! Expected shape: the contact-based estimate from perturbed data
+//! approaches the exact-data estimate as ε grows, and finer policies (`Gb`)
+//! track it better than `G1` at equal ε because their components confine
+//! the perturbation.
+
+use panda_bench::workload::{eps_sweep, geolife, grid, policy_menu};
+use panda_bench::{f3, parallel_map, Table};
+use panda_core::{GraphExponential, Mechanism};
+use panda_epidemic::estimate::{estimate_r0_seir, growth_window};
+use panda_epidemic::{simulate_outbreak, OutbreakConfig};
+use panda_surveillance::analysis::compare_r0;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let full = panda_bench::full_mode();
+    let g = grid(16);
+    let truth = geolife(21, &g, if full { 200 } else { 80 }, if full { 14 } else { 7 });
+
+    // Ground-truth outbreak for the incidence-based reference estimate.
+    let cfg = OutbreakConfig {
+        n_seeds: 6,
+        p_transmit: 0.5,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(22);
+    let outbreak = simulate_outbreak(&mut rng, &truth, &cfg);
+    let (w0, w1) = growth_window(&outbreak.incidence);
+    let r0_incidence = estimate_r0_seir(&outbreak.incidence, w0, w1, cfg.p_onset, cfg.p_recover)
+        .or_else(|| {
+            // Sparse incidence: fall back to the whole series.
+            estimate_r0_seir(
+                &outbreak.incidence,
+                0,
+                outbreak.incidence.len(),
+                cfg.p_onset,
+                cfg.p_recover,
+            )
+        });
+    println!(
+        "E3: R0 estimation ({} users x {} epochs; attack rate {:.0}%)",
+        truth.n_users(),
+        truth.horizon(),
+        100.0 * outbreak.attack_rate()
+    );
+    match r0_incidence {
+        Some(r) => println!(
+            "incidence growth-rate estimate over exact data: {r:.2} (location-free reference)\n"
+        ),
+        None => println!(
+            "incidence growth-rate estimate: n/a — outbreak too sparse for a log-linear fit\n\
+             (the location-sensitive contact estimator below is the paper's actual metric)\n"
+        ),
+    }
+
+    let infected = outbreak.infected_cells_until(truth.horizon() - 1);
+    let policies = policy_menu(&g, &infected);
+    let infectious_epochs = 1.0 / cfg.p_recover;
+
+    let mut jobs = Vec::new();
+    for (plabel, policy) in &policies {
+        for eps in eps_sweep(full) {
+            jobs.push((plabel.to_string(), policy.clone(), eps));
+        }
+    }
+    let results = parallel_map(jobs, |(plabel, policy, eps)| {
+        let mut rng = StdRng::seed_from_u64(777);
+        let reported = truth.map_cells(|_, _, c| {
+            GraphExponential
+                .perturb(policy, *eps, c, &mut rng)
+                .expect("perturbation failed")
+        });
+        let cmp = compare_r0(&truth, &reported, cfg.p_transmit, infectious_epochs);
+        (plabel.clone(), *eps, cmp)
+    });
+
+    let mut table = Table::new(
+        "e3_r0_estimation",
+        &["policy", "eps", "r0_true", "r0_perturbed", "abs_err", "rel_err"],
+    );
+    for (p, eps, cmp) in &results {
+        table.row(&[
+            p,
+            eps,
+            &f3(cmp.r0_true),
+            &f3(cmp.r0_perturbed),
+            &f3(cmp.abs_error),
+            &f3(cmp.rel_error),
+        ]);
+    }
+    table.finish();
+
+    // Shape assertions.
+    let rel = |p: &str, eps: f64| {
+        results
+            .iter()
+            .find(|r| r.0 == p && (r.1 - eps).abs() < 1e-9)
+            .map(|r| r.2.rel_error)
+            .unwrap()
+    };
+    let lo = eps_sweep(full)[0];
+    let hi = *eps_sweep(full).last().unwrap();
+    assert!(
+        rel("Gb", hi) <= rel("Gb", lo) + 1e-9,
+        "R0 error must not grow with eps under Gb"
+    );
+    assert!(
+        rel("Gb", lo) <= rel("G1", lo) + 0.05,
+        "fine partition should track contacts at least as well as G1"
+    );
+    println!(
+        "Shape check vs paper: R0 estimated from perturbed locations approaches\n\
+         the exact-data estimate as eps grows; fine-grained policies (Gb) keep\n\
+         co-locations inside small components and so preserve the contact rate\n\
+         better than G1 — matching the paper's motivation for Gb in epidemic\n\
+         analysis."
+    );
+}

@@ -1,0 +1,114 @@
+//! **E6 — Fig. 5 "Random Policy Graph" panel**: the Size and Density knobs.
+//!
+//! The demo lets attendees "randomly generate a policy graph to explore its
+//! effect on the privacy-utility trade-off" with visible Size/Density
+//! controls (the screenshot shows Size 50, Density 0.1). This experiment
+//! sweeps both knobs, reporting utility error, adversary error and the
+//! fraction of exactly-disclosed (isolated) cells.
+//!
+//! Expected shape: higher density ⇒ larger components ⇒ more privacy
+//! (higher adversary error) and less utility; larger size at fixed density
+//! behaves likewise; tiny/empty graphs degenerate to exact release.
+
+use panda_attack::{expected_inference_error, BayesEstimator, Prior};
+use panda_bench::workload::grid;
+use panda_bench::{f1, parallel_map, Table};
+use panda_core::{GraphExponential, LocationPolicyGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let full = panda_bench::full_mode();
+    let g = grid(10);
+    let prior = Prior::uniform(&g);
+    let eps = 1.0;
+    let sizes: Vec<u32> = if full {
+        vec![25, 50, 75, 100]
+    } else {
+        vec![25, 50, 100]
+    };
+    let densities: Vec<f64> = if full {
+        vec![0.02, 0.05, 0.1, 0.2, 0.35, 0.5]
+    } else {
+        vec![0.02, 0.1, 0.3, 0.5]
+    };
+    println!(
+        "E6: random policy graphs on a {}x{} grid, eps = {eps} (Fig. 5 knobs)\n",
+        g.width(),
+        g.height()
+    );
+
+    let mut jobs = Vec::new();
+    for &size in &sizes {
+        for &density in &densities {
+            jobs.push((size, density));
+        }
+    }
+    let trials = if full { 400 } else { 200 };
+    let results = parallel_map(jobs, |&(size, density)| {
+        // Policy generation is seeded by the knobs: reproducible panels.
+        let mut rng = StdRng::seed_from_u64(6000 + size as u64 * 1000 + (density * 100.0) as u64);
+        let policy = LocationPolicyGraph::random(g.clone(), size, density, &mut rng);
+        let isolated = g.cells().filter(|&c| policy.is_isolated_cell(c)).count();
+        let report = expected_inference_error(
+            &GraphExponential,
+            &policy,
+            eps,
+            &prior,
+            BayesEstimator::MinExpectedDistance,
+            trials,
+            0,
+            &mut rng,
+        )
+        .expect("attack run failed");
+        (
+            size,
+            density,
+            policy.density(),
+            isolated as f64 / g.n_cells() as f64,
+            report,
+        )
+    });
+
+    let mut table = Table::new(
+        "e6_random_policy_sweep",
+        &[
+            "size", "density", "realised_density", "isolated_frac", "adv_err_m", "utility_err_m", "hit_rate",
+        ],
+    );
+    for (size, density, realised, iso, r) in &results {
+        table.row(&[
+            size,
+            density,
+            &format!("{realised:.4}"),
+            &format!("{iso:.2}"),
+            &f1(r.mean_error),
+            &f1(r.mean_utility_error),
+            &format!("{:.3}", r.hit_rate),
+        ]);
+    }
+    table.finish();
+
+    // Shape assertion: at fixed size, denser graphs give the attacker a
+    // harder time (monotone within sampling noise: compare extremes).
+    let adv = |size: u32, density: f64| {
+        results
+            .iter()
+            .find(|r| r.0 == size && (r.1 - density).abs() < 1e-9)
+            .map(|r| r.4.mean_error)
+            .unwrap()
+    };
+    let d_lo = densities[0];
+    let d_hi = *densities.last().unwrap();
+    for &s in &sizes {
+        assert!(
+            adv(s, d_hi) > adv(s, d_lo),
+            "size {s}: density {d_hi} must be more private than {d_lo}"
+        );
+    }
+    println!(
+        "Shape check vs paper: the Density knob moves the graph along the\n\
+         privacy-utility curve — denser random policies yield higher adversary\n\
+         error (more privacy) and higher utility error, the Fig. 5 exploration."
+    );
+}

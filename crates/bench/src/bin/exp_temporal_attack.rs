@@ -1,0 +1,131 @@
+//! **E10 (extension)** — temporal correlations: HMM tracking vs per-epoch
+//! inference, with and without timeline repair.
+//!
+//! Per-epoch {ε,G} audits say nothing about an attacker who chains releases
+//! with a mobility model (the PGLP technical report's central caveat).
+//! This experiment measures, at several ε:
+//!
+//! * the per-epoch Bayesian attack error (the E5 metric),
+//! * the HMM forward–backward tracking error on the same releases,
+//! * the tracking error when releases go through the
+//!   [`panda_core::timeline::TimelineReleaser`] with
+//!   `Restrict` repair (the defence).
+//!
+//! Expected shape: tracking ≤ per-epoch error (the attacker only gains);
+//! the gap narrows as ε grows (single releases are already sharp); repair
+//! costs some utility but does not *help* the attacker.
+
+use panda_attack::{BayesEstimator, LikelihoodModel, Prior, Tracker};
+use panda_bench::workload::grid;
+use panda_bench::{f1, Table};
+use panda_core::budget::{BudgetLedger, FixedPerEpoch};
+use panda_core::timeline::{RepairStrategy, TimelineReleaser};
+use panda_core::{GraphExponential, LocationPolicyGraph, Mechanism};
+use panda_geo::CellId;
+use panda_mobility::markov::MobilityKernel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let full = panda_bench::full_mode();
+    let g = grid(8);
+    let policy = LocationPolicyGraph::g1_geo_indistinguishability(g.clone());
+    let kernel = MobilityKernel::lazy_walk(&g, 0.6);
+    let prior = Prior::uniform(&g);
+    let horizon = 12usize;
+    let n_walks = if full { 60 } else { 25 };
+    println!(
+        "E10 (extension): temporal attack on {}x{} G1 policy, {} walks x {} epochs\n",
+        g.width(),
+        g.height(),
+        n_walks,
+        horizon
+    );
+
+    let mut table = Table::new(
+        "e10_temporal_attack",
+        &["eps", "per_epoch_err_m", "tracking_err_m", "tracking_repaired_err_m"],
+    );
+    let eps_values = if full {
+        vec![0.2, 0.5, 1.0, 2.0, 4.0]
+    } else {
+        vec![0.2, 1.0, 4.0]
+    };
+    let mut rows = Vec::new();
+    for &eps in &eps_values {
+        let like = LikelihoodModel::build(&GraphExponential, &policy, eps, 0).unwrap();
+        let tracker = Tracker::new(&g, &kernel, &like, BayesEstimator::MinExpectedDistance);
+        let mut rng = StdRng::seed_from_u64(101);
+        let (mut per_epoch, mut tracking, mut tracking_rep) = (0.0, 0.0, 0.0);
+        for _ in 0..n_walks {
+            // Truth drawn from the attacker's own mobility model.
+            let mut cell = prior.sample(&mut rng);
+            let mut truth = Vec::with_capacity(horizon);
+            for _ in 0..horizon {
+                truth.push(cell);
+                cell = kernel.step(&mut rng, cell);
+            }
+            // Plain per-epoch releases.
+            let obs: Vec<Option<CellId>> = truth
+                .iter()
+                .map(|&s| Some(GraphExponential.perturb(&policy, eps, s, &mut rng).unwrap()))
+                .collect();
+            // Per-epoch attack.
+            for (z, s) in obs.iter().zip(truth.iter()) {
+                let est = panda_attack::bayes::estimate(
+                    &g,
+                    &prior,
+                    &like,
+                    z.unwrap(),
+                    BayesEstimator::MinExpectedDistance,
+                )
+                .unwrap();
+                per_epoch += g.distance(est, *s) / horizon as f64;
+            }
+            // HMM tracking on the same releases.
+            tracking += tracker.attack(&prior, &obs, &truth).mean_error;
+            // Repaired timeline releases, attacked the same way.
+            let alloc = FixedPerEpoch { eps };
+            let releaser = TimelineReleaser::new(
+                &policy,
+                &GraphExponential,
+                &alloc,
+                1,
+                RepairStrategy::Restrict,
+            );
+            let mut ledger = BudgetLedger::new(eps * horizon as f64 + 1.0);
+            let result = releaser.release(&truth, &mut ledger, &mut rng).unwrap();
+            tracking_rep += tracker
+                .attack(&prior, &result.released_cells(), &truth)
+                .mean_error;
+        }
+        let n = n_walks as f64;
+        table.row(&[
+            &eps,
+            &f1(per_epoch / n),
+            &f1(tracking / n),
+            &f1(tracking_rep / n),
+        ]);
+        rows.push((eps, per_epoch / n, tracking / n, tracking_rep / n));
+    }
+    table.finish();
+
+    for (eps, per_epoch, tracking, _) in &rows {
+        assert!(
+            tracking <= &(per_epoch + 20.0),
+            "eps {eps}: tracking should not be much worse than per-epoch"
+        );
+    }
+    let first = &rows[0];
+    assert!(
+        first.2 < first.1,
+        "at low eps the HMM must beat per-epoch: {} !< {}",
+        first.2,
+        first.1
+    );
+    println!(
+        "Shape check: chaining releases with a mobility model strictly\n\
+         strengthens the attack at low eps (temporal correlation leak); the\n\
+         gap closes as eps grows. Timeline repair does not enlarge the leak."
+    );
+}

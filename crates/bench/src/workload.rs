@@ -1,0 +1,114 @@
+//! Standard workloads shared by the experiment binaries: the synthetic
+//! stand-ins for the paper's GeoLife and Gowalla datasets, and the policy
+//! menu of Fig. 4.
+
+use panda_core::LocationPolicyGraph;
+use panda_geo::GridMap;
+use panda_mobility::geolife_like::{beijing_grid, generate_geolife_like, GeoLifeLikeConfig};
+use panda_mobility::gowalla_like::{densify, generate_gowalla_like, GowallaLikeConfig};
+use panda_mobility::TrajectoryDb;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The standard experiment grid: `n × n` cells of 500 m, Beijing-anchored.
+pub fn grid(n: u32) -> GridMap {
+    beijing_grid(n, 500.0)
+}
+
+/// The GeoLife stand-in: dense hourly commuter trajectories.
+pub fn geolife(seed: u64, grid: &GridMap, n_users: u32, days: u32) -> TrajectoryDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_geolife_like(
+        &mut rng,
+        grid,
+        &GeoLifeLikeConfig {
+            n_users,
+            days,
+            ..Default::default()
+        },
+    )
+}
+
+/// The Gowalla stand-in: sparse check-ins densified by hold-last-position.
+pub fn gowalla(seed: u64, grid: &GridMap, n_users: u32, horizon: u32) -> TrajectoryDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let checkins = generate_gowalla_like(
+        &mut rng,
+        grid,
+        &GowallaLikeConfig {
+            n_users,
+            horizon,
+            ..Default::default()
+        },
+    );
+    densify(grid, &checkins, horizon)
+}
+
+/// The Fig. 4 policy menu over a grid: `(label, policy)` pairs.
+///
+/// * `Ga` — coarse 4×4-cell areas (location monitoring),
+/// * `Gb` — fine 2×2-cell areas (epidemic analysis),
+/// * `G1` — 8-neighbour geo-indistinguishability graph,
+/// * `Gc` — `Gb` with the given infected cells isolated (contact tracing).
+pub fn policy_menu(
+    grid: &GridMap,
+    infected: &[panda_geo::CellId],
+) -> Vec<(&'static str, LocationPolicyGraph)> {
+    let gb = LocationPolicyGraph::partition(grid.clone(), 2, 2);
+    let gc = gb.with_isolated(infected);
+    vec![
+        ("Ga", LocationPolicyGraph::partition(grid.clone(), 4, 4)),
+        ("Gb", gb),
+        (
+            "G1",
+            LocationPolicyGraph::g1_geo_indistinguishability(grid.clone()),
+        ),
+        ("Gc", gc),
+    ]
+}
+
+/// The ε sweep used across experiments (log-spaced, the demo's slider
+/// range).
+pub fn eps_sweep(full: bool) -> Vec<f64> {
+    if full {
+        vec![0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0]
+    } else {
+        vec![0.1, 0.5, 1.0, 2.0, 8.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let g = grid(8);
+        let a = geolife(1, &g, 10, 2);
+        let b = geolife(1, &g, 10, 2);
+        assert_eq!(a.trajectories(), b.trajectories());
+        let c = gowalla(2, &g, 10, 48);
+        let d = gowalla(2, &g, 10, 48);
+        assert_eq!(c.trajectories(), d.trajectories());
+    }
+
+    #[test]
+    fn policy_menu_has_expected_structure() {
+        let g = grid(8);
+        let infected = vec![g.cell(1, 1)];
+        let menu = policy_menu(&g, &infected);
+        assert_eq!(menu.len(), 4);
+        let gc = &menu[3].1;
+        assert!(gc.is_isolated_cell(g.cell(1, 1)));
+        let g1 = &menu[2].1;
+        assert_eq!(g1.n_components(), 1);
+    }
+
+    #[test]
+    fn eps_sweeps_are_sorted() {
+        for full in [false, true] {
+            let sweep = eps_sweep(full);
+            assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

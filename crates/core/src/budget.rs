@@ -1,0 +1,407 @@
+//! Policy-aware privacy-budget allocation and composition.
+//!
+//! PANDA releases one perturbed location per epoch over a two-week window
+//! (§3.2), so each user's privacy loss composes sequentially:
+//! `ε_total = Σ_t ε_t` within a policy component. A server that naïvely
+//! spends a fixed ε per epoch either runs out of budget or wastes it on
+//! epochs whose policy is coarse (a coarse partition needs less ε for the
+//! same utility than `G1`). This module provides:
+//!
+//! * [`BudgetLedger`] — per-user accounting with a hard cap; a charge that
+//!   would exceed the cap is refused, never clamped silently.
+//! * [`BudgetAllocator`] implementations: [`EvenSplit`], [`FixedPerEpoch`],
+//!   [`GeometricDecay`] and the policy-aware [`DiameterProportional`], which
+//!   sizes each epoch's ε by the *diameter* of the policy components — the
+//!   quantity that governs the noise magnitude of every PGLP mechanism in
+//!   [`crate::mech`].
+//! * [`compose_sequential`] / [`compose_parallel`] — the two composition
+//!   rules used by the analyses.
+
+use crate::error::PglpError;
+use crate::policy::LocationPolicyGraph;
+use panda_graph::properties::component_diameters;
+use serde::{Deserialize, Serialize};
+
+/// One recorded privacy charge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Charge {
+    /// Release epoch (timestamp index).
+    pub epoch: u64,
+    /// ε spent.
+    pub eps: f64,
+    /// Name of the policy graph in force.
+    pub policy: String,
+}
+
+/// Per-user privacy-budget ledger with a hard total cap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    total: f64,
+    spent: f64,
+    charges: Vec<Charge>,
+}
+
+impl BudgetLedger {
+    /// A ledger with the given lifetime budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `total` is not positive and finite.
+    pub fn new(total: f64) -> Self {
+        assert!(total > 0.0 && total.is_finite(), "budget must be positive");
+        BudgetLedger {
+            total,
+            spent: 0.0,
+            charges: Vec::new(),
+        }
+    }
+
+    /// Lifetime budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget spent so far (sequential composition).
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Records a charge of `eps` at `epoch` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`PglpError::BudgetExhausted`] when the charge does not fit;
+    /// [`PglpError::InvalidEpsilon`] for non-positive ε. On error the ledger
+    /// is unchanged.
+    pub fn charge(&mut self, epoch: u64, policy: &str, eps: f64) -> Result<(), PglpError> {
+        crate::error::check_epsilon(eps)?;
+        if eps > self.remaining() + 1e-12 {
+            return Err(PglpError::BudgetExhausted {
+                requested: eps,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += eps;
+        self.charges.push(Charge {
+            epoch,
+            eps,
+            policy: policy.to_string(),
+        });
+        Ok(())
+    }
+
+    /// `true` when a charge of `eps` would be accepted.
+    pub fn can_afford(&self, eps: f64) -> bool {
+        eps > 0.0 && eps <= self.remaining() + 1e-12
+    }
+
+    /// The charge history, in order.
+    pub fn history(&self) -> &[Charge] {
+        &self.charges
+    }
+}
+
+/// Sequential composition: total privacy loss of consecutive releases.
+pub fn compose_sequential(epsilons: &[f64]) -> f64 {
+    epsilons.iter().sum()
+}
+
+/// Parallel composition: privacy loss of releases on *disjoint* inputs
+/// (e.g. different policy components) is the maximum, not the sum.
+pub fn compose_parallel(epsilons: &[f64]) -> f64 {
+    epsilons.iter().copied().fold(0.0, f64::max)
+}
+
+/// Strategy for choosing each epoch's ε from the remaining budget.
+pub trait BudgetAllocator {
+    /// Short identifier for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// ε to spend at `epoch`, given the remaining budget, the number of
+    /// epochs still to cover (including this one) and the policy in force.
+    ///
+    /// Must return a value the ledger can afford (`≤ remaining`); zero means
+    /// "skip this epoch" (release nothing).
+    fn allocate(
+        &self,
+        epoch: u64,
+        remaining_budget: f64,
+        remaining_epochs: u32,
+        policy: &LocationPolicyGraph,
+    ) -> f64;
+}
+
+/// Spend the remaining budget evenly over the remaining epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct EvenSplit;
+
+impl BudgetAllocator for EvenSplit {
+    fn name(&self) -> &'static str {
+        "even-split"
+    }
+
+    fn allocate(&self, _epoch: u64, remaining: f64, remaining_epochs: u32, _p: &LocationPolicyGraph) -> f64 {
+        if remaining_epochs == 0 {
+            return 0.0;
+        }
+        remaining / remaining_epochs as f64
+    }
+}
+
+/// Spend a fixed ε each epoch until the budget runs dry.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPerEpoch {
+    /// ε per epoch.
+    pub eps: f64,
+}
+
+impl BudgetAllocator for FixedPerEpoch {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn allocate(&self, _epoch: u64, remaining: f64, _re: u32, _p: &LocationPolicyGraph) -> f64 {
+        if self.eps <= remaining {
+            self.eps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Geometric decay: spend `fraction` of whatever remains, front-loading
+/// accuracy (useful when early epochs matter most, e.g. fresh contact
+/// tracing data).
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricDecay {
+    /// Fraction of the remaining budget to spend each epoch, in `(0, 1)`.
+    pub fraction: f64,
+}
+
+impl BudgetAllocator for GeometricDecay {
+    fn name(&self) -> &'static str {
+        "geometric-decay"
+    }
+
+    fn allocate(&self, _epoch: u64, remaining: f64, _re: u32, _p: &LocationPolicyGraph) -> f64 {
+        debug_assert!(self.fraction > 0.0 && self.fraction < 1.0);
+        remaining * self.fraction
+    }
+}
+
+/// **Policy-aware allocation**: ε proportional to the mean diameter of the
+/// policy's non-singleton components.
+///
+/// Rationale: every mechanism's expected error scales with (component
+/// diameter)/ε — a release under a coarse partition (`Ga`, small diameter
+/// cliques) needs less ε to hit a target accuracy than a release under `G1`
+/// (diameter = grid span). Normalising ε by diameter equalises expected
+/// error across epochs with heterogeneous policies, which is precisely the
+/// "new dimension to tune the utility-privacy trade-off" the paper
+/// attributes to policy graphs (§1).
+///
+/// Allocation: `ε_t = base · D(G_t) / D_ref`, clamped to the per-epoch even
+/// split so the ledger can never be drained early.
+#[derive(Debug, Clone, Copy)]
+pub struct DiameterProportional {
+    /// ε granted per unit of normalised diameter.
+    pub base: f64,
+    /// Reference diameter (`D_ref`), e.g. the grid's G1 diameter.
+    pub reference_diameter: f64,
+}
+
+impl DiameterProportional {
+    /// Mean diameter over non-singleton components (singletons are exact
+    /// releases and consume no budget).
+    pub fn mean_component_diameter(policy: &LocationPolicyGraph) -> f64 {
+        let diams = component_diameters(policy.graph());
+        let non_trivial: Vec<u32> = diams.into_iter().filter(|&d| d > 0).collect();
+        if non_trivial.is_empty() {
+            0.0
+        } else {
+            non_trivial.iter().map(|&d| d as f64).sum::<f64>() / non_trivial.len() as f64
+        }
+    }
+}
+
+impl BudgetAllocator for DiameterProportional {
+    fn name(&self) -> &'static str {
+        "diameter-proportional"
+    }
+
+    fn allocate(
+        &self,
+        _epoch: u64,
+        remaining: f64,
+        remaining_epochs: u32,
+        policy: &LocationPolicyGraph,
+    ) -> f64 {
+        debug_assert!(self.reference_diameter > 0.0);
+        let d = Self::mean_component_diameter(policy);
+        if d == 0.0 {
+            return 0.0; // all-isolated policy: releases are free
+        }
+        let want = self.base * d / self.reference_diameter;
+        let cap = if remaining_epochs == 0 {
+            remaining
+        } else {
+            remaining / remaining_epochs as f64
+        };
+        want.min(cap).min(remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_geo::GridMap;
+
+    fn grid() -> GridMap {
+        GridMap::new(6, 6, 100.0)
+    }
+
+    #[test]
+    fn ledger_accounting() {
+        let mut l = BudgetLedger::new(1.0);
+        assert!(l.charge(0, "G1", 0.4).is_ok());
+        assert!(l.charge(1, "G1", 0.4).is_ok());
+        assert!((l.spent() - 0.8).abs() < 1e-12);
+        assert!((l.remaining() - 0.2).abs() < 1e-12);
+        let err = l.charge(2, "G1", 0.4).unwrap_err();
+        assert!(matches!(err, PglpError::BudgetExhausted { .. }));
+        // Failed charge leaves the ledger unchanged.
+        assert_eq!(l.history().len(), 2);
+        assert!((l.spent() - 0.8).abs() < 1e-12);
+        assert!(l.charge(2, "G1", 0.2).is_ok());
+        assert!(l.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_rejects_bad_epsilon() {
+        let mut l = BudgetLedger::new(1.0);
+        assert!(l.charge(0, "x", 0.0).is_err());
+        assert!(l.charge(0, "x", -0.5).is_err());
+        assert!(l.charge(0, "x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn composition_rules() {
+        assert!((compose_sequential(&[0.1, 0.2, 0.3]) - 0.6).abs() < 1e-12);
+        assert_eq!(compose_parallel(&[0.1, 0.5, 0.3]), 0.5);
+        assert_eq!(compose_sequential(&[]), 0.0);
+        assert_eq!(compose_parallel(&[]), 0.0);
+    }
+
+    #[test]
+    fn even_split_exhausts_exactly() {
+        let alloc = EvenSplit;
+        let policy = LocationPolicyGraph::g1_geo_indistinguishability(grid());
+        let mut ledger = BudgetLedger::new(2.0);
+        let horizon = 10u32;
+        for t in 0..horizon {
+            let eps = alloc.allocate(t as u64, ledger.remaining(), horizon - t, &policy);
+            ledger.charge(t as u64, policy.name(), eps).unwrap();
+        }
+        assert!(ledger.remaining() < 1e-9);
+        // Even: all charges equal.
+        let first = ledger.history()[0].eps;
+        assert!(ledger.history().iter().all(|c| (c.eps - first).abs() < 1e-9));
+    }
+
+    #[test]
+    fn fixed_stops_when_dry() {
+        let alloc = FixedPerEpoch { eps: 0.3 };
+        let policy = LocationPolicyGraph::grid4(grid());
+        let mut ledger = BudgetLedger::new(1.0);
+        let mut released = 0;
+        for t in 0..10u32 {
+            let eps = alloc.allocate(t as u64, ledger.remaining(), 10 - t, &policy);
+            if eps > 0.0 {
+                ledger.charge(t as u64, policy.name(), eps).unwrap();
+                released += 1;
+            }
+        }
+        assert_eq!(released, 3); // 3 × 0.3 ≤ 1.0 < 4 × 0.3
+        assert!(ledger.spent() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn geometric_decay_decreases() {
+        let alloc = GeometricDecay { fraction: 0.5 };
+        let policy = LocationPolicyGraph::grid4(grid());
+        let mut ledger = BudgetLedger::new(1.0);
+        let mut prev = f64::INFINITY;
+        for t in 0..5u32 {
+            let eps = alloc.allocate(t as u64, ledger.remaining(), 5 - t, &policy);
+            assert!(eps < prev);
+            prev = eps;
+            ledger.charge(t as u64, policy.name(), eps).unwrap();
+        }
+        assert!(ledger.spent() < 1.0);
+    }
+
+    #[test]
+    fn diameter_proportional_orders_policies() {
+        // G1 over 6x6 has diameter 5; a 2x2 partition has diameter 1;
+        // isolated has none. Allocation must order accordingly.
+        let g1 = LocationPolicyGraph::g1_geo_indistinguishability(grid());
+        let ga = LocationPolicyGraph::partition(grid(), 2, 2);
+        let iso = LocationPolicyGraph::isolated(grid());
+        let alloc = DiameterProportional {
+            base: 1.0,
+            reference_diameter: 5.0,
+        };
+        let big = 100.0; // effectively uncapped
+        let e_g1 = alloc.allocate(0, big, 0, &g1);
+        let e_ga = alloc.allocate(0, big, 0, &ga);
+        let e_iso = alloc.allocate(0, big, 0, &iso);
+        assert!(e_g1 > e_ga, "{e_g1} !> {e_ga}");
+        assert_eq!(e_iso, 0.0);
+        assert!((e_g1 - 1.0).abs() < 1e-12); // 5/5 * base
+        assert!((e_ga - 0.2).abs() < 1e-12); // 1/5 * base
+    }
+
+    #[test]
+    fn diameter_proportional_never_overspends() {
+        let ga = LocationPolicyGraph::partition(grid(), 3, 3);
+        let alloc = DiameterProportional {
+            base: 10.0,
+            reference_diameter: 1.0,
+        };
+        let mut ledger = BudgetLedger::new(1.0);
+        for t in 0..20u32 {
+            let eps = alloc.allocate(t as u64, ledger.remaining(), 20 - t, &ga);
+            if eps > 0.0 {
+                ledger.charge(t as u64, ga.name(), eps).unwrap();
+            }
+        }
+        assert!(ledger.spent() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn mean_component_diameter_values() {
+        assert_eq!(
+            DiameterProportional::mean_component_diameter(&LocationPolicyGraph::isolated(grid())),
+            0.0
+        );
+        assert_eq!(
+            DiameterProportional::mean_component_diameter(&LocationPolicyGraph::partition(
+                grid(),
+                2,
+                2
+            )),
+            1.0
+        );
+        assert_eq!(
+            DiameterProportional::mean_component_diameter(
+                &LocationPolicyGraph::g1_geo_indistinguishability(grid())
+            ),
+            5.0
+        );
+    }
+}

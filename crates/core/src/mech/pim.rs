@@ -1,0 +1,395 @@
+//! The Planar Isotropic Mechanism (PIM), adapted to policy graphs.
+//!
+//! PIM (Xiao & Xiong, CCS'15) is the optimal-rate mechanism for δ-Location
+//! Set Privacy. Its noise is the **K-norm mechanism** instantiated with the
+//! *sensitivity hull* `K = conv{ s_i − s_j }` of the protected location set:
+//! the released point has density `∝ exp(−ε·‖z − s‖_K)`.
+//!
+//! **Adaptation to PGLP.** The protected set becomes the policy component of
+//! the true location. For any policy edge `(s, s′)` the difference `s − s′`
+//! lies in `K` by construction, so `‖s − s′‖_K ≤ 1` and the density ratio is
+//! bounded by `e^ε` — exactly {ε,G}-location privacy, for *every* policy
+//! graph. For a complete-graph component (a δ-location set, `G2`) this
+//! coincides with the original PIM, which is how Theorem 2.2's relationship
+//! is exercised in the test suite.
+//!
+//! **Sampling.** In 2-D, `z = r·u` with `u` uniform in `K` and
+//! `r ~ Γ(3, 1/ε)` has density `∝ e^{−ε‖z‖_K}` (the standard K-norm
+//! construction). The *isotropic transform* step of the original paper —
+//! whitening `K` by `Σ^{-1/2}` before sampling and mapping back — leaves the
+//! distribution unchanged (it matters for the error lower-bound analysis,
+//! not for privacy), and is kept behind a flag as an ablation (`bench
+//! pim_ablation` measures both paths).
+//!
+//! **Degenerate hulls.** Singleton components release exactly; collinear
+//! components reduce to a 1-D Laplace along the segment direction.
+//!
+//! Hull construction uses `conv(A − A) = conv(conv(A) − conv(A))`: the
+//! position hull is computed first, and the difference set is expanded only
+//! over its (few) vertices, keeping per-component preparation cheap even for
+//! large components. Use [`PlanarIsotropic::prepared`] to amortise
+//! preparation across calls when sweeping a fixed policy.
+
+use crate::error::PglpError;
+use crate::mech::noise::{gamma_int, laplace_1d};
+use crate::mech::{validate, Mechanism};
+use crate::policy::LocationPolicyGraph;
+use panda_geo::polygon::HullShape;
+use panda_geo::{difference_set, CellId, ConvexPolygon, Mat2, Point};
+use rand::RngCore;
+
+/// Per-component prepared K-norm sampler.
+#[derive(Debug, Clone)]
+enum ComponentKind {
+    /// Singleton component: release exactly.
+    Exact,
+    /// Collinear positions: 1-D Laplace along `half_extent` (= the hull
+    /// segment's positive endpoint).
+    Line {
+        half_extent: Point,
+    },
+    /// Proper 2-D sensitivity hull.
+    Hull {
+        k: ConvexPolygon,
+        /// `(T, T⁻¹, T(K))` for the isotropic-transform sampling path.
+        iso: Option<(Mat2, Mat2, ConvexPolygon)>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PimCache {
+    n_cells: u32,
+    n_components: u32,
+    /// Indexed by policy component id; `None` until that component is used.
+    per_component: Vec<ComponentKind>,
+}
+
+/// Planar Isotropic Mechanism over policy components.
+#[derive(Debug, Clone, Default)]
+pub struct PlanarIsotropic {
+    use_isotropic_transform: bool,
+    cache: Option<PimCache>,
+}
+
+impl PlanarIsotropic {
+    /// A PIM that samples directly in the sensitivity hull (no whitening).
+    pub fn new() -> Self {
+        PlanarIsotropic {
+            use_isotropic_transform: false,
+            cache: None,
+        }
+    }
+
+    /// A PIM that routes sampling through the isotropic transform, like the
+    /// original CCS'15 construction. Distributionally identical to
+    /// [`PlanarIsotropic::new`]; kept for the ablation benchmarks.
+    pub fn with_isotropic_transform() -> Self {
+        PlanarIsotropic {
+            use_isotropic_transform: true,
+            cache: None,
+        }
+    }
+
+    /// Precomputes the sensitivity hull of **every** component of `policy`,
+    /// so subsequent [`Mechanism::perturb`] calls are O(sample + snap).
+    ///
+    /// The returned mechanism is bound to policies with the same component
+    /// structure; feeding it a different policy is detected (cell/component
+    /// counts) and falls back to on-the-fly preparation.
+    pub fn prepared(policy: &LocationPolicyGraph, use_isotropic_transform: bool) -> Self {
+        let n_components = policy.n_components();
+        let mut per_component: Vec<Option<ComponentKind>> =
+            vec![None; n_components as usize];
+        for cell in policy.grid().cells() {
+            let comp = policy.component_of(cell) as usize;
+            if per_component[comp].is_none() {
+                per_component[comp] =
+                    Some(Self::prepare_component(policy, cell, use_isotropic_transform));
+            }
+        }
+        PlanarIsotropic {
+            use_isotropic_transform,
+            cache: Some(PimCache {
+                n_cells: policy.n_locations(),
+                n_components,
+                per_component: per_component
+                    .into_iter()
+                    .map(|c| c.expect("all components visited"))
+                    .collect(),
+            }),
+        }
+    }
+
+    fn prepare_component(
+        policy: &LocationPolicyGraph,
+        member: CellId,
+        use_isotropic_transform: bool,
+    ) -> ComponentKind {
+        let cells = policy.component_cells(member);
+        if cells.len() <= 1 {
+            return ComponentKind::Exact;
+        }
+        let grid = policy.grid();
+        let positions: Vec<Point> = cells.iter().map(|&c| grid.center(c)).collect();
+        // conv(A − A) via the position hull's vertices only.
+        let position_hull: Vec<Point> = match ConvexPolygon::hull_of(&positions) {
+            HullShape::Point(_) => unreachable!("distinct cells have distinct centres"),
+            HullShape::Segment(a, b) => vec![a, b],
+            HullShape::Polygon(p) => p.vertices().to_vec(),
+        };
+        match ConvexPolygon::hull_of(&difference_set(&position_hull)) {
+            HullShape::Point(_) => ComponentKind::Exact,
+            HullShape::Segment(a, b) => {
+                // Symmetric segment [−e, e]; pick the positive endpoint.
+                debug_assert!((a + b).norm() < 1e-6 * (1.0 + a.norm()));
+                ComponentKind::Line { half_extent: b }
+            }
+            HullShape::Polygon(k) => {
+                let iso = if use_isotropic_transform {
+                    let cov = k.covariance();
+                    cov.inv_sqrt().and_then(|t| {
+                        let t_inv = t.inverse()?;
+                        let k_iso = k.transform(&t)?;
+                        Some((t, t_inv, k_iso))
+                    })
+                } else {
+                    None
+                };
+                ComponentKind::Hull { k, iso }
+            }
+        }
+    }
+
+    /// Samples a K-norm noise vector with parameter `eps` for the prepared
+    /// component.
+    fn sample_noise(kind: &ComponentKind, eps: f64, rng: &mut dyn RngCore) -> Point {
+        match kind {
+            ComponentKind::Exact => Point::ORIGIN,
+            ComponentKind::Line { half_extent } => {
+                // Density ∝ e^{−ε|t|} along the segment direction.
+                *half_extent * laplace_1d(rng, 1.0 / eps)
+            }
+            ComponentKind::Hull { k, iso } => {
+                let r = gamma_int(rng, 3, 1.0 / eps);
+                match iso {
+                    // Whitened path: sample in T(K), map back through T⁻¹.
+                    Some((_, t_inv, k_iso)) => {
+                        let u = k_iso.sample_uniform(rng);
+                        t_inv.apply(u * r)
+                    }
+                    None => {
+                        let u = k.sample_uniform(rng);
+                        u * r
+                    }
+                }
+            }
+        }
+    }
+
+    fn snap(policy: &LocationPolicyGraph, cells: &[CellId], y: Point) -> CellId {
+        let grid = policy.grid();
+        let mut best = cells[0];
+        let mut best_d = grid.center(best).distance_sq(y);
+        for &c in &cells[1..] {
+            let d = grid.center(c).distance_sq(y);
+            if d < best_d {
+                best = c;
+                best_d = d;
+            }
+        }
+        best
+    }
+
+    fn component_kind(&self, policy: &LocationPolicyGraph, true_loc: CellId) -> ComponentKind {
+        if let Some(cache) = &self.cache {
+            if cache.n_cells == policy.n_locations()
+                && cache.n_components == policy.n_components()
+            {
+                return cache.per_component[policy.component_of(true_loc) as usize].clone();
+            }
+        }
+        Self::prepare_component(policy, true_loc, self.use_isotropic_transform)
+    }
+}
+
+impl Mechanism for PlanarIsotropic {
+    fn name(&self) -> &'static str {
+        if self.use_isotropic_transform {
+            "pim-isotropic"
+        } else {
+            "pim"
+        }
+    }
+
+    fn perturb(
+        &self,
+        policy: &LocationPolicyGraph,
+        eps: f64,
+        true_loc: CellId,
+        rng: &mut dyn RngCore,
+    ) -> Result<CellId, PglpError> {
+        validate(policy, eps, true_loc)?;
+        let kind = self.component_kind(policy, true_loc);
+        if matches!(kind, ComponentKind::Exact) {
+            return Ok(true_loc);
+        }
+        let cells = policy.component_cells(true_loc);
+        let noise = Self::sample_noise(&kind, eps, rng);
+        let y = policy.grid().center(true_loc) + noise;
+        Ok(Self::snap(policy, &cells, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_geo::GridMap;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridMap {
+        GridMap::new(6, 6, 100.0)
+    }
+
+    #[test]
+    fn isolated_cells_released_exactly() {
+        let p = LocationPolicyGraph::isolated(grid());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            PlanarIsotropic::new()
+                .perturb(&p, 1.0, CellId(9), &mut rng)
+                .unwrap(),
+            CellId(9)
+        );
+    }
+
+    #[test]
+    fn output_stays_in_component() {
+        let p = LocationPolicyGraph::partition(grid(), 3, 3);
+        let pim = PlanarIsotropic::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..300 {
+            let z = pim.perturb(&p, 0.5, CellId(0), &mut rng).unwrap();
+            assert!(p.same_component(CellId(0), z));
+        }
+    }
+
+    #[test]
+    fn collinear_component_uses_line_noise() {
+        // A 1×6 grid with a complete policy: all centres collinear.
+        let g = GridMap::new(6, 1, 100.0);
+        let p = LocationPolicyGraph::complete(g);
+        let pim = PlanarIsotropic::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let z = pim.perturb(&p, 0.8, CellId(2), &mut rng).unwrap();
+            seen.insert(z);
+        }
+        assert!(seen.len() >= 3, "line noise must spread over the segment");
+    }
+
+    #[test]
+    fn prepared_matches_unprepared_distribution() {
+        let p = LocationPolicyGraph::partition(grid(), 2, 2);
+        let eps = 1.0;
+        let s = CellId(0);
+        const N: usize = 60_000;
+        let census = |mech: &PlanarIsotropic, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..N {
+                let z = mech.perturb(&p, eps, s, &mut rng).unwrap();
+                *counts.entry(z).or_insert(0usize) += 1;
+            }
+            counts
+        };
+        let fresh = census(&PlanarIsotropic::new(), 4);
+        let prepped = census(&PlanarIsotropic::prepared(&p, false), 5);
+        for (cell, &n1) in &fresh {
+            let n2 = *prepped.get(cell).unwrap_or(&0);
+            let (f1, f2) = (n1 as f64 / N as f64, n2 as f64 / N as f64);
+            assert!(
+                (f1 - f2).abs() < 0.02,
+                "cell {cell}: {f1} vs {f2} (prepared should match)"
+            );
+        }
+    }
+
+    #[test]
+    fn isotropic_transform_is_distribution_preserving() {
+        let p = LocationPolicyGraph::partition(grid(), 3, 2);
+        let eps = 0.8;
+        let s = CellId(1);
+        const N: usize = 80_000;
+        let census = |mech: &PlanarIsotropic, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..N {
+                let z = mech.perturb(&p, eps, s, &mut rng).unwrap();
+                *counts.entry(z).or_insert(0usize) += 1;
+            }
+            counts
+        };
+        let direct = census(&PlanarIsotropic::new(), 6);
+        let iso = census(&PlanarIsotropic::with_isotropic_transform(), 7);
+        for (cell, &n1) in &direct {
+            let n2 = *iso.get(cell).unwrap_or(&0);
+            let (f1, f2) = (n1 as f64 / N as f64, n2 as f64 / N as f64);
+            assert!(
+                (f1 - f2).abs() < 0.02,
+                "cell {cell}: direct {f1} vs isotropic {f2}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_edge_ratio_respects_epsilon() {
+        // Complete policy over a 2×2 grid = δ-location set of 4 cells:
+        // the original PIM setting (Theorem 2.2).
+        let p = LocationPolicyGraph::complete(GridMap::new(2, 2, 100.0));
+        let pim = PlanarIsotropic::new();
+        let eps = 1.0;
+        const N: usize = 400_000;
+        let mut rng = SmallRng::seed_from_u64(8);
+        let census = |s: CellId, rng: &mut SmallRng| {
+            let mut counts = [0usize; 4];
+            for _ in 0..N {
+                counts[pim.perturb(&p, eps, s, rng).unwrap().index()] += 1;
+            }
+            counts
+        };
+        let ca = census(CellId(0), &mut rng);
+        let cb = census(CellId(1), &mut rng);
+        for i in 0..4 {
+            if ca[i] > 1000 && cb[i] > 1000 {
+                let ratio = ca[i] as f64 / cb[i] as f64;
+                assert!(
+                    ratio <= eps.exp() * 1.25,
+                    "output {i}: ratio {ratio} exceeds e^eps"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_epsilon() {
+        let p = LocationPolicyGraph::partition(grid(), 3, 3);
+        let pim = PlanarIsotropic::prepared(&p, false);
+        let s = CellId(7);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mean_err = |eps: f64, rng: &mut SmallRng| {
+            const N: usize = 4000;
+            (0..N)
+                .map(|_| {
+                    let z = pim.perturb(&p, eps, s, rng).unwrap();
+                    p.grid().distance(s, z)
+                })
+                .sum::<f64>()
+                / N as f64
+        };
+        let coarse = mean_err(0.2, &mut rng);
+        let fine = mean_err(5.0, &mut rng);
+        assert!(fine < coarse, "{fine} !< {coarse}");
+    }
+}

@@ -1,0 +1,460 @@
+//! {ε, G}-location privacy as an *executable definition*.
+//!
+//! Def. 2.4 requires `Pr[A(s)=z] ≤ e^ε·Pr[A(s′)=z]` for every policy edge
+//! `(s, s′)` and every output `z`. On a discrete location domain this is a
+//! finite set of inequalities, so we can **audit** a mechanism rather than
+//! merely trust its proof:
+//!
+//! * [`audit_pglp`] — exact audit over every edge, using the mechanism's
+//!   closed-form output distribution when available and falling back to
+//!   Monte-Carlo estimation otherwise.
+//! * [`audit_lemma21`] — checks the Lemma 2.1 consequence: `∞`-neighbours
+//!   at graph distance `d` are `ε·d`-indistinguishable.
+//! * [`audit_geo_indistinguishability`] — checks Theorem 2.1's conclusion
+//!   on `G1`-style policies: `ε·d_E`-indistinguishability with Euclidean
+//!   distance measured in cell units.
+//!
+//! These audits are used three ways: unit tests (small grids, exact), the
+//! `exp_policy_equivalence` experiment (Fig. 2 / Theorems 2.1–2.2), and as a
+//! safety net in integration tests whenever a new mechanism/policy pairing
+//! is introduced.
+
+use crate::error::PglpError;
+use crate::mech::Mechanism;
+use crate::policy::LocationPolicyGraph;
+use panda_geo::CellId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How to obtain output distributions during an audit.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AuditOptions {
+    /// Monte-Carlo sample count per input location (used only when the
+    /// mechanism has no closed-form distribution).
+    pub mc_samples: usize,
+    /// Multiplicative slack applied to `e^ε` for Monte-Carlo audits, to
+    /// absorb estimation error. Ignored for exact audits.
+    pub mc_slack: f64,
+    /// Minimum per-cell count for a Monte-Carlo frequency to participate in
+    /// a ratio (rarely-hit cells carry too much estimation noise).
+    pub mc_min_count: usize,
+    /// RNG seed for Monte-Carlo audits (audits are deterministic).
+    pub seed: u64,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            mc_samples: 200_000,
+            mc_slack: 1.3,
+            mc_min_count: 200,
+            seed: 0xBADA_55ED,
+        }
+    }
+}
+
+/// Result of a privacy audit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Mechanism under audit.
+    pub mechanism: String,
+    /// Policy graph name.
+    pub policy: String,
+    /// Privacy parameter audited against.
+    pub eps: f64,
+    /// Number of (ordered) location pairs checked.
+    pub pairs_checked: usize,
+    /// Largest observed `ln(Pr[A(s)=z] / Pr[A(s′)=z])` across all checked
+    /// pairs and outputs.
+    pub max_log_ratio: f64,
+    /// The bound the worst pair was held to (`ε`, `ε·d`, or `ε·d_E`
+    /// depending on the audit flavour — slack already folded in).
+    pub bound_at_worst: f64,
+    /// Pair achieving `max_log_ratio − bound` (the tightest margin).
+    pub worst_pair: Option<(CellId, CellId)>,
+    /// Whether every inequality held.
+    pub satisfied: bool,
+    /// `true` when closed-form distributions were used (no statistical
+    /// slack involved).
+    pub exact: bool,
+}
+
+/// Output distribution of `mech` on input `s`, exact when available,
+/// otherwise a Monte-Carlo estimate with `opts` controls.
+pub fn output_distribution(
+    mech: &dyn Mechanism,
+    policy: &LocationPolicyGraph,
+    eps: f64,
+    s: CellId,
+    opts: &AuditOptions,
+) -> Result<(HashMap<CellId, f64>, bool), PglpError> {
+    if let Some(dist) = mech.output_distribution(policy, eps, s) {
+        return Ok((dist.into_iter().collect(), true));
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ (s.0 as u64).wrapping_mul(0x9E37_79B9));
+    let mut counts: HashMap<CellId, usize> = HashMap::new();
+    for _ in 0..opts.mc_samples {
+        let z = mech.perturb(policy, eps, s, &mut rng)?;
+        *counts.entry(z).or_insert(0) += 1;
+    }
+    let n = opts.mc_samples as f64;
+    Ok((
+        counts
+            .into_iter()
+            .filter(|&(_, c)| c >= opts.mc_min_count)
+            .map(|(cell, c)| (cell, c as f64 / n))
+            .collect(),
+        false,
+    ))
+}
+
+/// Max log-ratio between two distributions over the union of their supports.
+///
+/// For exact distributions, a cell present on one side but absent on the
+/// other is an immediate `+∞` violation; Monte-Carlo estimates simply skip
+/// such cells (their true probability may be below the counting floor).
+fn max_log_ratio(
+    pa: &HashMap<CellId, f64>,
+    pb: &HashMap<CellId, f64>,
+    exact: bool,
+) -> f64 {
+    let mut worst = f64::NEG_INFINITY;
+    for (cell, &p) in pa {
+        match pb.get(cell) {
+            Some(&q) if q > 0.0 => {
+                worst = worst.max((p / q).ln());
+            }
+            _ => {
+                if exact && p > 1e-300 {
+                    return f64::INFINITY;
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// Exact/Monte-Carlo audit of Def. 2.4 over **every policy edge**.
+pub fn audit_pglp(
+    mech: &dyn Mechanism,
+    policy: &LocationPolicyGraph,
+    eps: f64,
+) -> Result<AuditReport, PglpError> {
+    audit_pglp_with(mech, policy, eps, &AuditOptions::default())
+}
+
+/// [`audit_pglp`] with explicit options.
+pub fn audit_pglp_with(
+    mech: &dyn Mechanism,
+    policy: &LocationPolicyGraph,
+    eps: f64,
+    opts: &AuditOptions,
+) -> Result<AuditReport, PglpError> {
+    crate::error::check_epsilon(eps)?;
+    let mut report = AuditReport {
+        mechanism: mech.name().to_string(),
+        policy: policy.name().to_string(),
+        eps,
+        pairs_checked: 0,
+        max_log_ratio: f64::NEG_INFINITY,
+        bound_at_worst: f64::NAN,
+        worst_pair: None,
+        satisfied: true,
+        exact: true,
+    };
+    // Cache distributions per distinct endpoint.
+    let mut dists: HashMap<CellId, (HashMap<CellId, f64>, bool)> = HashMap::new();
+    let edges: Vec<(u32, u32)> = policy.graph().edges().collect();
+    for (a, b) in edges {
+        let (sa, sb) = (CellId(a), CellId(b));
+        for s in [sa, sb] {
+            if !dists.contains_key(&s) {
+                let d = output_distribution(mech, policy, eps, s, opts)?;
+                dists.insert(s, d);
+            }
+        }
+        let (pa, ea) = &dists[&sa];
+        let (pb, eb) = &dists[&sb];
+        let exact = *ea && *eb;
+        report.exact &= exact;
+        let bound = if exact {
+            eps + 1e-9
+        } else {
+            eps + opts.mc_slack.ln()
+        };
+        // Check both directions.
+        for (p, q, pair) in [(pa, pb, (sa, sb)), (pb, pa, (sb, sa))] {
+            let lr = max_log_ratio(p, q, exact);
+            report.pairs_checked += 1;
+            // Track the tightest margin across pairs.
+            if lr - bound
+                > report.max_log_ratio
+                    - if report.bound_at_worst.is_nan() {
+                        f64::INFINITY
+                    } else {
+                        report.bound_at_worst
+                    }
+            {
+                report.max_log_ratio = lr;
+                report.bound_at_worst = bound;
+                report.worst_pair = Some(pair);
+            }
+            if lr > bound {
+                report.satisfied = false;
+            }
+        }
+    }
+    if report.worst_pair.is_none() {
+        // Edgeless policy: vacuously satisfied.
+        report.max_log_ratio = 0.0;
+        report.bound_at_worst = eps;
+    }
+    Ok(report)
+}
+
+/// Audits the Lemma 2.1 consequence on explicit `∞`-neighbour pairs:
+/// `ln ratio ≤ ε · d_G(a, b)`.
+///
+/// Only pairs in the same component are meaningful; cross-component pairs
+/// are skipped (unconstrained by the policy).
+pub fn audit_lemma21(
+    mech: &dyn Mechanism,
+    policy: &LocationPolicyGraph,
+    eps: f64,
+    pairs: &[(CellId, CellId)],
+    opts: &AuditOptions,
+) -> Result<AuditReport, PglpError> {
+    crate::error::check_epsilon(eps)?;
+    let mut report = AuditReport {
+        mechanism: mech.name().to_string(),
+        policy: policy.name().to_string(),
+        eps,
+        pairs_checked: 0,
+        max_log_ratio: f64::NEG_INFINITY,
+        bound_at_worst: f64::NAN,
+        worst_pair: None,
+        satisfied: true,
+        exact: true,
+    };
+    let mut worst_margin = f64::NEG_INFINITY;
+    for &(a, b) in pairs {
+        let Some(d) = policy.distance(a, b) else {
+            continue;
+        };
+        let (pa, ea) = output_distribution(mech, policy, eps, a, opts)?;
+        let (pb, eb) = output_distribution(mech, policy, eps, b, opts)?;
+        let exact = ea && eb;
+        report.exact &= exact;
+        let bound = eps * d as f64
+            + if exact { 1e-9 } else { opts.mc_slack.ln() };
+        let lr = max_log_ratio(&pa, &pb, exact).max(max_log_ratio(&pb, &pa, exact));
+        report.pairs_checked += 1;
+        if lr - bound > worst_margin {
+            worst_margin = lr - bound;
+            report.max_log_ratio = lr;
+            report.bound_at_worst = bound;
+            report.worst_pair = Some((a, b));
+        }
+        if lr > bound {
+            report.satisfied = false;
+        }
+    }
+    Ok(report)
+}
+
+/// Audits Theorem 2.1's conclusion: under a `G1` policy, the mechanism is
+/// ε-geo-indistinguishable, i.e. every pair `(a, b)` is
+/// `ε·d_E(a, b)`-indistinguishable with `d_E` in **cell units**.
+///
+/// Checked over all same-component pairs of `cells` (pass a subsample for
+/// large grids).
+pub fn audit_geo_indistinguishability(
+    mech: &dyn Mechanism,
+    policy: &LocationPolicyGraph,
+    eps: f64,
+    cells: &[CellId],
+    opts: &AuditOptions,
+) -> Result<AuditReport, PglpError> {
+    crate::error::check_epsilon(eps)?;
+    let grid = policy.grid();
+    let mut report = AuditReport {
+        mechanism: mech.name().to_string(),
+        policy: policy.name().to_string(),
+        eps,
+        pairs_checked: 0,
+        max_log_ratio: f64::NEG_INFINITY,
+        bound_at_worst: f64::NAN,
+        worst_pair: None,
+        satisfied: true,
+        exact: true,
+    };
+    let mut worst_margin = f64::NEG_INFINITY;
+    for (i, &a) in cells.iter().enumerate() {
+        for &b in cells.iter().skip(i + 1) {
+            if !policy.same_component(a, b) {
+                continue;
+            }
+            let d_e = grid.distance(a, b) / grid.cell_size();
+            let (pa, ea) = output_distribution(mech, policy, eps, a, opts)?;
+            let (pb, eb) = output_distribution(mech, policy, eps, b, opts)?;
+            let exact = ea && eb;
+            report.exact &= exact;
+            let bound = eps * d_e + if exact { 1e-9 } else { opts.mc_slack.ln() };
+            let lr = max_log_ratio(&pa, &pb, exact).max(max_log_ratio(&pb, &pa, exact));
+            report.pairs_checked += 1;
+            if lr - bound > worst_margin {
+                worst_margin = lr - bound;
+                report.max_log_ratio = lr;
+                report.bound_at_worst = bound;
+                report.worst_pair = Some((a, b));
+            }
+            if lr > bound {
+                report.satisfied = false;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Total-variation distance between two output distributions — a utility
+/// diagnostic used by the experiments (how much a policy change moves the
+/// release distribution).
+pub fn total_variation(pa: &HashMap<CellId, f64>, pb: &HashMap<CellId, f64>) -> f64 {
+    let mut cells: Vec<CellId> = pa.keys().chain(pb.keys()).copied().collect();
+    cells.sort_unstable();
+    cells.dedup();
+    0.5 * cells
+        .into_iter()
+        .map(|c| (pa.get(&c).unwrap_or(&0.0) - pb.get(&c).unwrap_or(&0.0)).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mech::{GraphExponential, IdentityMechanism, UniformComponent};
+    use panda_geo::GridMap;
+
+    fn grid() -> GridMap {
+        GridMap::new(4, 4, 100.0)
+    }
+
+    #[test]
+    fn gem_passes_exact_audit_on_all_presets() {
+        let eps = 1.0;
+        let presets = vec![
+            LocationPolicyGraph::g1_geo_indistinguishability(grid()),
+            LocationPolicyGraph::grid4(grid()),
+            LocationPolicyGraph::partition(grid(), 2, 2),
+            LocationPolicyGraph::complete(grid()),
+        ];
+        for p in presets {
+            let report = audit_pglp(&GraphExponential, &p, eps).unwrap();
+            assert!(report.exact);
+            assert!(
+                report.satisfied,
+                "GEM failed audit on {}: {:?}",
+                p.name(),
+                report
+            );
+            assert!(report.max_log_ratio <= eps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_fails_audit_on_connected_policy() {
+        let p = LocationPolicyGraph::grid4(grid());
+        let report = audit_pglp(&IdentityMechanism, &p, 1.0).unwrap();
+        assert!(!report.satisfied, "identity must violate PGLP");
+        assert!(report.max_log_ratio.is_infinite());
+    }
+
+    #[test]
+    fn identity_passes_on_isolated_policy() {
+        let p = LocationPolicyGraph::isolated(grid());
+        let report = audit_pglp(&IdentityMechanism, &p, 0.1).unwrap();
+        assert!(report.satisfied, "no edges, nothing to violate");
+        assert_eq!(report.pairs_checked, 0);
+    }
+
+    #[test]
+    fn uniform_component_is_infinitely_private() {
+        let p = LocationPolicyGraph::partition(grid(), 2, 2);
+        let report = audit_pglp(&UniformComponent, &p, 0.001).unwrap();
+        assert!(report.satisfied);
+        assert!(report.max_log_ratio.abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma21_bound_on_gem() {
+        let p = LocationPolicyGraph::grid4(grid());
+        let g = p.grid().clone();
+        let pairs = vec![
+            (g.cell(0, 0), g.cell(3, 3)), // d_G = 6 in grid4
+            (g.cell(0, 0), g.cell(2, 0)), // d_G = 2
+            (g.cell(1, 1), g.cell(1, 2)), // d_G = 1
+        ];
+        let report = audit_lemma21(
+            &GraphExponential,
+            &p,
+            0.8,
+            &pairs,
+            &AuditOptions::default(),
+        )
+        .unwrap();
+        assert!(report.satisfied, "{report:?}");
+        assert_eq!(report.pairs_checked, 3);
+    }
+
+    #[test]
+    fn theorem21_geo_ind_from_g1() {
+        // {ε,G1}-privacy implies ε-geo-ind: check the GEM on G1.
+        let p = LocationPolicyGraph::g1_geo_indistinguishability(grid());
+        let cells: Vec<CellId> = p.grid().cells().collect();
+        let report = audit_geo_indistinguishability(
+            &GraphExponential,
+            &p,
+            1.0,
+            &cells,
+            &AuditOptions::default(),
+        )
+        .unwrap();
+        assert!(report.satisfied, "{report:?}");
+        assert!(report.pairs_checked > 100);
+    }
+
+    #[test]
+    fn monte_carlo_audit_of_sampling_mechanism() {
+        // Graph-Laplace has no closed form; MC audit with slack must pass.
+        let p = LocationPolicyGraph::partition(GridMap::new(4, 2, 100.0), 2, 2);
+        let opts = AuditOptions {
+            mc_samples: 60_000,
+            mc_slack: 1.5,
+            mc_min_count: 300,
+            seed: 99,
+        };
+        let report =
+            audit_pglp_with(&crate::mech::GraphCalibratedLaplace, &p, 1.0, &opts).unwrap();
+        assert!(!report.exact);
+        assert!(report.satisfied, "{report:?}");
+    }
+
+    #[test]
+    fn total_variation_basics() {
+        let mut a = HashMap::new();
+        a.insert(CellId(0), 0.5);
+        a.insert(CellId(1), 0.5);
+        let mut b = HashMap::new();
+        b.insert(CellId(0), 1.0);
+        assert!((total_variation(&a, &b) - 0.5).abs() < 1e-12);
+        assert!(total_variation(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        let p = LocationPolicyGraph::isolated(grid());
+        assert!(audit_pglp(&GraphExponential, &p, -1.0).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Policy feasibility and minimal repair.
+//!
+//! A policy graph promises indistinguishability between locations — but the
+//! adversary may know side information that *excludes* some locations
+//! outright (temporal reachability: "the user was within 2 cells of her
+//! last release", an infected-venue visit, opening hours…). If a location's
+//! policy neighbour is excluded, the promised plausible deniability
+//! silently collapses: releasing anything reveals the user is *not* at the
+//! excluded neighbour, and pairwise indistinguishability with it becomes
+//! vacuous or, worse, misleading.
+//!
+//! Following the technical report's treatment of policies under constraints,
+//! this module makes the collapse explicit and offers two repairs:
+//!
+//! * [`restrict`] — the honest weakening: keep only edges with both
+//!   endpoints feasible. The result is what the adversary's knowledge
+//!   leaves enforceable. [`protectable_cells`] reports which cells kept
+//!   their *entire* 1-neighbourhood (their Def. 2.4 promises survive
+//!   verbatim).
+//! * [`repair_by_expansion`] — the conservative strengthening: grow the
+//!   feasible set to the 1-hop closure, so every originally-promised edge
+//!   incident to a truly-feasible cell survives. The released support is
+//!   larger than strictly necessary, trading utility for the original
+//!   promise.
+//!
+//! The contact-tracing protocol uses these to recompute per-user policies
+//! when diagnoses update the infected-location set (§3.2).
+
+use crate::policy::LocationPolicyGraph;
+use panda_geo::CellId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Outcome summary of a policy repair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairSummary {
+    /// Cells added to the feasible set (expansion) — empty for restriction.
+    pub added_cells: Vec<CellId>,
+    /// Number of policy edges dropped (restriction) — zero for expansion.
+    pub dropped_edges: usize,
+}
+
+/// Cells of `feasible` whose **entire** policy 1-neighbourhood is feasible:
+/// their Def. 2.4 indistinguishability promises survive the constraint
+/// unchanged. Returned sorted.
+pub fn protectable_cells(policy: &LocationPolicyGraph, feasible: &[CellId]) -> Vec<CellId> {
+    let fset: BTreeSet<CellId> = feasible.iter().copied().collect();
+    let mut out: Vec<CellId> = fset
+        .iter()
+        .copied()
+        .filter(|&c| {
+            policy
+                .graph()
+                .neighbors(c.0)
+                .iter()
+                .all(|&n| fset.contains(&CellId(n)))
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The restricted policy: edges with an infeasible endpoint are dropped and
+/// infeasible cells are isolated. Returns the new policy and a summary.
+pub fn restrict(
+    policy: &LocationPolicyGraph,
+    feasible: &[CellId],
+) -> (LocationPolicyGraph, RepairSummary) {
+    let fset: BTreeSet<CellId> = feasible.iter().copied().collect();
+    let infeasible: Vec<CellId> = policy
+        .grid()
+        .cells()
+        .filter(|c| !fset.contains(c))
+        .collect();
+    let restricted = policy.with_isolated(&infeasible);
+    let dropped = policy.graph().n_edges() - restricted.graph().n_edges();
+    (
+        restricted,
+        RepairSummary {
+            added_cells: Vec::new(),
+            dropped_edges: dropped,
+        },
+    )
+}
+
+/// The 1-hop closure repair: the feasible set is expanded with every policy
+/// neighbour of a feasible cell, so no edge incident to the original
+/// feasible set is lost. Returns the expanded feasible set (sorted) and a
+/// summary listing the additions.
+pub fn repair_by_expansion(
+    policy: &LocationPolicyGraph,
+    feasible: &[CellId],
+) -> (Vec<CellId>, RepairSummary) {
+    let mut expanded: BTreeSet<CellId> = feasible.iter().copied().collect();
+    let mut added = Vec::new();
+    for &c in feasible {
+        for &n in policy.graph().neighbors(c.0) {
+            let cell = CellId(n);
+            if expanded.insert(cell) {
+                added.push(cell);
+            }
+        }
+    }
+    added.sort_unstable();
+    (
+        expanded.into_iter().collect(),
+        RepairSummary {
+            added_cells: added,
+            dropped_edges: 0,
+        },
+    )
+}
+
+/// Convenience predicate: `true` when every feasible cell is protectable,
+/// i.e. the constraint costs nothing.
+pub fn is_feasible_policy(policy: &LocationPolicyGraph, feasible: &[CellId]) -> bool {
+    protectable_cells(policy, feasible).len() == {
+        let mut f = feasible.to_vec();
+        f.sort_unstable();
+        f.dedup();
+        f.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_geo::GridMap;
+
+    fn grid() -> GridMap {
+        GridMap::new(4, 4, 100.0)
+    }
+
+    #[test]
+    fn protectable_requires_closed_neighborhood() {
+        let p = LocationPolicyGraph::grid4(grid());
+        let g = p.grid().clone();
+        // A 2x2 corner block: inner corner (0,0) has both neighbours inside
+        // only if (1,0) and (0,1) are present; (1,1) needs (2,1) & (1,2).
+        let feas = vec![g.cell(0, 0), g.cell(1, 0), g.cell(0, 1), g.cell(1, 1)];
+        let prot = protectable_cells(&p, &feas);
+        assert_eq!(prot, vec![g.cell(0, 0)]);
+    }
+
+    #[test]
+    fn protectable_whole_domain_is_everything() {
+        let p = LocationPolicyGraph::grid4(grid());
+        let all: Vec<CellId> = p.grid().cells().collect();
+        assert_eq!(protectable_cells(&p, &all).len(), 16);
+        assert!(is_feasible_policy(&p, &all));
+    }
+
+    #[test]
+    fn restriction_drops_only_crossing_edges() {
+        let p = LocationPolicyGraph::grid4(grid());
+        let g = p.grid().clone();
+        let feas = vec![g.cell(0, 0), g.cell(1, 0), g.cell(0, 1), g.cell(1, 1)];
+        let (restricted, summary) = restrict(&p, &feas);
+        // Inside the 2x2 block, 4 grid4 edges survive.
+        assert_eq!(restricted.graph().n_edges(), 4);
+        assert_eq!(
+            summary.dropped_edges,
+            p.graph().n_edges() - 4
+        );
+        assert!(restricted.are_neighbors(g.cell(0, 0), g.cell(1, 0)));
+        assert!(restricted.is_isolated_cell(g.cell(3, 3)));
+    }
+
+    #[test]
+    fn expansion_closure_property() {
+        let p = LocationPolicyGraph::grid4(grid());
+        let g = p.grid().clone();
+        let feas = vec![g.cell(1, 1)];
+        let (expanded, summary) = repair_by_expansion(&p, &feas);
+        // 1-hop closure of an interior cell under grid4: self + 4.
+        assert_eq!(expanded.len(), 5);
+        assert_eq!(summary.added_cells.len(), 4);
+        // Every original feasible cell is protectable w.r.t. the expansion.
+        let prot = protectable_cells(&p, &expanded);
+        assert!(prot.contains(&g.cell(1, 1)));
+    }
+
+    #[test]
+    fn expansion_of_closed_set_adds_nothing() {
+        let p = LocationPolicyGraph::partition(grid(), 2, 2);
+        let g = p.grid().clone();
+        // A whole partition block is closed under the clique policy.
+        let block = vec![g.cell(0, 0), g.cell(1, 0), g.cell(0, 1), g.cell(1, 1)];
+        let (expanded, summary) = repair_by_expansion(&p, &block);
+        assert_eq!(expanded.len(), 4);
+        assert!(summary.added_cells.is_empty());
+        assert!(is_feasible_policy(&p, &block));
+    }
+
+    #[test]
+    fn restriction_then_protectable_is_consistent() {
+        let p = LocationPolicyGraph::g1_geo_indistinguishability(grid());
+        let g = p.grid().clone();
+        let feas: Vec<CellId> = vec![
+            g.cell(0, 0),
+            g.cell(1, 0),
+            g.cell(0, 1),
+            g.cell(1, 1),
+            g.cell(2, 0),
+        ];
+        let (restricted, _) = restrict(&p, &feas);
+        // In the restricted policy every feasible cell's remaining
+        // neighbours are feasible by construction.
+        for &c in &feas {
+            for &n in restricted.graph().neighbors(c.0) {
+                assert!(feas.contains(&CellId(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_feasible_set() {
+        let p = LocationPolicyGraph::grid4(grid());
+        assert!(protectable_cells(&p, &[]).is_empty());
+        let (expanded, summary) = repair_by_expansion(&p, &[]);
+        assert!(expanded.is_empty());
+        assert!(summary.added_cells.is_empty());
+        let (restricted, summary) = restrict(&p, &[]);
+        assert!(restricted.graph().is_edgeless());
+        assert_eq!(summary.dropped_edges, p.graph().n_edges());
+    }
+}

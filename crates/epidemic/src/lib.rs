@@ -1,0 +1,25 @@
+//! # panda-epidemic
+//!
+//! Epidemic substrate for the PANDA reproduction: the disease models behind
+//! the "epidemic analysis" application (§3.1).
+//!
+//! * [`seir`] — the deterministic SEIR compartment model [Li & Muldowney,
+//!   1995] the paper cites, integrated with classical RK4.
+//! * [`outbreak`] — a stochastic agent-based SEIR running *on trajectories*:
+//!   transmission happens through co-location, which is what couples the
+//!   epidemic to location data (and so to location privacy).
+//! * [`estimate`] — `R0` estimation from incidence curves via the
+//!   exponential-growth method; the paper's utility metric for epidemic
+//!   analysis is the gap between `R0` estimated from exact vs. perturbed
+//!   locations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod estimate;
+pub mod outbreak;
+pub mod seir;
+
+pub use estimate::{estimate_growth_rate, estimate_r0_seir};
+pub use outbreak::{AgentState, OutbreakConfig, OutbreakResult, simulate_outbreak};
+pub use seir::{SeirParams, SeirState};

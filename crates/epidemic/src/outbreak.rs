@@ -1,0 +1,404 @@
+//! Agent-based SEIR over trajectories: transmission through co-location.
+//!
+//! This couples the epidemic to location data. Each epoch, every
+//! susceptible user sharing a cell with `k` infectious users becomes exposed
+//! with probability `1 − (1 − p_transmit)^k`; exposed users become
+//! infectious after a geometric latent period (rate σ) and recover after a
+//! geometric infectious period (rate γ). Diagnoses (with a reporting delay)
+//! feed the contact-tracing application; infected *visits* — `(epoch, cell)`
+//! pairs of infectious users — define the infected locations that the `Gc`
+//! policy isolates.
+
+use panda_geo::CellId;
+use panda_mobility::{Timestamp, TrajectoryDb, UserId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Infection status of one agent at one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentState {
+    /// Susceptible.
+    S,
+    /// Exposed (infected, not yet infectious).
+    E,
+    /// Infectious.
+    I,
+    /// Recovered.
+    R,
+}
+
+/// Parameters of the agent-based outbreak.
+#[derive(Debug, Clone, Copy)]
+pub struct OutbreakConfig {
+    /// Per-co-location-per-epoch transmission probability.
+    pub p_transmit: f64,
+    /// Probability an exposed agent turns infectious each epoch (≈ σ).
+    pub p_onset: f64,
+    /// Probability an infectious agent recovers each epoch (≈ γ).
+    pub p_recover: f64,
+    /// Number of initially-infectious agents (chosen uniformly).
+    pub n_seeds: usize,
+    /// Epochs between onset of infectiousness and diagnosis (reporting
+    /// delay for contact tracing).
+    pub diagnosis_delay: Timestamp,
+}
+
+impl Default for OutbreakConfig {
+    fn default() -> Self {
+        OutbreakConfig {
+            p_transmit: 0.35,
+            p_onset: 0.5,    // ≈ 2-epoch latent period
+            p_recover: 0.25, // ≈ 4-epoch infectious period
+            n_seeds: 3,
+            diagnosis_delay: 24,
+        }
+    }
+}
+
+/// One infection event: who, when, where, and (if traceable) by whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InfectionEvent {
+    /// The newly-exposed user.
+    pub victim: UserId,
+    /// Epoch of exposure.
+    pub time: Timestamp,
+    /// Cell where the exposure happened.
+    pub cell: CellId,
+    /// An infectious co-located user (one of possibly several).
+    pub source: UserId,
+}
+
+/// Full record of a simulated outbreak.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutbreakResult {
+    /// Per-user state timeline: `states[user][epoch]`.
+    pub states: HashMap<UserId, Vec<AgentState>>,
+    /// New exposures per epoch (the incidence curve analyses fit).
+    pub incidence: Vec<u32>,
+    /// All infection events in time order.
+    pub events: Vec<InfectionEvent>,
+    /// `(epoch, cell)` visits by infectious users — the infected locations
+    /// for `Gc` policies.
+    pub infected_visits: Vec<(Timestamp, CellId)>,
+    /// `(user, diagnosis_epoch)` pairs, ordered by epoch.
+    pub diagnoses: Vec<(UserId, Timestamp)>,
+    /// The initially-infectious users.
+    pub seeds: Vec<UserId>,
+}
+
+impl OutbreakResult {
+    /// Total number of users ever infected (including seeds).
+    pub fn total_infected(&self) -> usize {
+        self.states
+            .values()
+            .filter(|timeline| timeline.iter().any(|&s| s != AgentState::S))
+            .count()
+    }
+
+    /// Attack rate: fraction of the population ever infected.
+    pub fn attack_rate(&self) -> f64 {
+        self.total_infected() as f64 / self.states.len() as f64
+    }
+
+    /// State of `user` at `epoch`.
+    pub fn state_of(&self, user: UserId, epoch: Timestamp) -> Option<AgentState> {
+        self.states.get(&user)?.get(epoch as usize).copied()
+    }
+
+    /// Mean number of *traced* secondary infections per seed — a direct
+    /// empirical R0 estimate available only with full ground truth.
+    pub fn empirical_r0_of_seeds(&self) -> f64 {
+        if self.seeds.is_empty() {
+            return 0.0;
+        }
+        let secondary = self
+            .events
+            .iter()
+            .filter(|e| self.seeds.contains(&e.source))
+            .count();
+        secondary as f64 / self.seeds.len() as f64
+    }
+
+    /// The distinct infected cells up to (and including) `epoch`.
+    pub fn infected_cells_until(&self, epoch: Timestamp) -> Vec<CellId> {
+        let mut cells: Vec<CellId> = self
+            .infected_visits
+            .iter()
+            .filter(|&&(t, _)| t <= epoch)
+            .map(|&(_, c)| c)
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+}
+
+/// Runs the agent-based outbreak over `db`.
+///
+/// # Panics
+///
+/// Panics when probabilities are outside `[0, 1]` or there are fewer users
+/// than seeds.
+pub fn simulate_outbreak<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TrajectoryDb,
+    config: &OutbreakConfig,
+) -> OutbreakResult {
+    for p in [config.p_transmit, config.p_onset, config.p_recover] {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+    }
+    let users: Vec<UserId> = db.trajectories().iter().map(|t| t.user).collect();
+    assert!(
+        users.len() >= config.n_seeds,
+        "population smaller than seed count"
+    );
+    let horizon = db.horizon();
+
+    // Choose seeds without replacement.
+    let mut pool = users.clone();
+    let mut seeds = Vec::with_capacity(config.n_seeds);
+    for _ in 0..config.n_seeds {
+        let k = rng.gen_range(0..pool.len());
+        seeds.push(pool.swap_remove(k));
+    }
+
+    let mut current: HashMap<UserId, AgentState> = users
+        .iter()
+        .map(|&u| {
+            (
+                u,
+                if seeds.contains(&u) {
+                    AgentState::I
+                } else {
+                    AgentState::S
+                },
+            )
+        })
+        .collect();
+    let mut states: HashMap<UserId, Vec<AgentState>> = users
+        .iter()
+        .map(|&u| (u, Vec::with_capacity(horizon as usize)))
+        .collect();
+    let mut incidence = vec![0u32; horizon as usize];
+    let mut events = Vec::new();
+    let mut infected_visits = Vec::new();
+    let mut diagnoses = Vec::new();
+    let mut onset_epoch: BTreeMap<UserId, Timestamp> =
+        seeds.iter().map(|&u| (u, 0)).collect();
+
+    for t in 0..horizon {
+        // Record current states.
+        for &u in &users {
+            states.get_mut(&u).unwrap().push(current[&u]);
+        }
+        // Group users by cell for this epoch.
+        let mut by_cell: BTreeMap<CellId, Vec<UserId>> = BTreeMap::new();
+        for tr in db.trajectories() {
+            if let Some(c) = tr.at(t) {
+                by_cell.entry(c).or_default().push(tr.user);
+                if current[&tr.user] == AgentState::I {
+                    infected_visits.push((t, c));
+                }
+            }
+        }
+        // Transmission.
+        let mut newly_exposed = Vec::new();
+        for (&cell, occupants) in &by_cell {
+            let infectious: Vec<UserId> = occupants
+                .iter()
+                .copied()
+                .filter(|u| current[u] == AgentState::I)
+                .collect();
+            if infectious.is_empty() {
+                continue;
+            }
+            let p_escape = (1.0 - config.p_transmit).powi(infectious.len() as i32);
+            for &u in occupants {
+                if current[&u] == AgentState::S && rng.gen_bool(1.0 - p_escape) {
+                    let source = infectious[rng.gen_range(0..infectious.len())];
+                    newly_exposed.push((u, cell, source));
+                }
+            }
+        }
+        for (u, cell, source) in newly_exposed {
+            current.insert(u, AgentState::E);
+            incidence[t as usize] += 1;
+            events.push(InfectionEvent {
+                victim: u,
+                time: t,
+                cell,
+                source,
+            });
+        }
+        // Progression E→I and I→R.
+        for &u in &users {
+            match current[&u] {
+                AgentState::E => {
+                    if rng.gen_bool(config.p_onset) {
+                        current.insert(u, AgentState::I);
+                        onset_epoch.insert(u, t + 1);
+                    }
+                }
+                AgentState::I => {
+                    if rng.gen_bool(config.p_recover) {
+                        current.insert(u, AgentState::R);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Diagnoses with reporting delay.
+        for (&u, &onset) in &onset_epoch {
+            if t == onset.saturating_add(config.diagnosis_delay) {
+                diagnoses.push((u, t));
+            }
+        }
+    }
+    diagnoses.sort_by_key(|&(_, t)| t);
+
+    OutbreakResult {
+        states,
+        incidence,
+        events,
+        infected_visits,
+        diagnoses,
+        seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_geo::GridMap;
+    use panda_mobility::markov::{generate_markov, MarkovConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn db(seed: u64) -> TrajectoryDb {
+        let grid = GridMap::new(6, 6, 100.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate_markov(
+            &mut rng,
+            &grid,
+            &MarkovConfig {
+                n_users: 80,
+                horizon: 120,
+                p_stay: 0.6,
+            },
+        )
+    }
+
+    fn config() -> OutbreakConfig {
+        OutbreakConfig {
+            diagnosis_delay: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn outbreak_spreads_beyond_seeds() {
+        let db = db(1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let result = simulate_outbreak(&mut rng, &db, &config());
+        assert!(result.total_infected() > config().n_seeds);
+        assert!(result.attack_rate() > 0.1, "rate {}", result.attack_rate());
+        assert_eq!(result.seeds.len(), 3);
+    }
+
+    #[test]
+    fn state_timelines_are_monotone_seir() {
+        let db = db(3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let result = simulate_outbreak(&mut rng, &db, &config());
+        let rank = |s: AgentState| match s {
+            AgentState::S => 0,
+            AgentState::E => 1,
+            AgentState::I => 2,
+            AgentState::R => 3,
+        };
+        for timeline in result.states.values() {
+            assert_eq!(timeline.len(), db.horizon() as usize);
+            for w in timeline.windows(2) {
+                assert!(rank(w[1]) >= rank(w[0]), "SEIR must not regress");
+            }
+        }
+    }
+
+    #[test]
+    fn incidence_matches_events() {
+        let db = db(5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let result = simulate_outbreak(&mut rng, &db, &config());
+        let total_incidence: u32 = result.incidence.iter().sum();
+        assert_eq!(total_incidence as usize, result.events.len());
+        for e in &result.events {
+            // The victim was S before exposure, E at exposure+1 (or later I).
+            let before = result.state_of(e.victim, e.time).unwrap();
+            assert_eq!(before, AgentState::S);
+        }
+    }
+
+    #[test]
+    fn events_record_true_colocation() {
+        let db = db(7);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let result = simulate_outbreak(&mut rng, &db, &config());
+        for e in result.events.iter().take(50) {
+            assert_eq!(db.cell_of(e.victim, e.time), Some(e.cell));
+            assert_eq!(db.cell_of(e.source, e.time), Some(e.cell));
+            assert_eq!(result.state_of(e.source, e.time), Some(AgentState::I));
+        }
+    }
+
+    #[test]
+    fn diagnoses_lag_onset_by_delay() {
+        let db = db(9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let cfg = config();
+        let result = simulate_outbreak(&mut rng, &db, &cfg);
+        assert!(!result.diagnoses.is_empty());
+        for &(u, t_diag) in &result.diagnoses {
+            // At diagnosis the user has been infectious (or recovered).
+            let s = result.state_of(u, t_diag).unwrap();
+            assert!(matches!(s, AgentState::I | AgentState::R));
+            // And was infectious exactly delay epochs earlier (onset).
+            let onset = t_diag - cfg.diagnosis_delay;
+            assert_eq!(result.state_of(u, onset), Some(AgentState::I));
+        }
+    }
+
+    #[test]
+    fn infected_visits_grow_over_time() {
+        let db = db(11);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let result = simulate_outbreak(&mut rng, &db, &config());
+        let early = result.infected_cells_until(10).len();
+        let late = result.infected_cells_until(119).len();
+        assert!(late >= early);
+        assert!(late > 0);
+    }
+
+    #[test]
+    fn zero_transmission_stays_at_seeds() {
+        let db = db(13);
+        let mut rng = SmallRng::seed_from_u64(14);
+        let cfg = OutbreakConfig {
+            p_transmit: 0.0,
+            ..config()
+        };
+        let result = simulate_outbreak(&mut rng, &db, &cfg);
+        assert_eq!(result.total_infected(), cfg.n_seeds);
+        assert!(result.events.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let db = db(15);
+        let a = simulate_outbreak(&mut SmallRng::seed_from_u64(16), &db, &config());
+        let b = simulate_outbreak(&mut SmallRng::seed_from_u64(16), &db, &config());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.incidence, b.incidence);
+        assert_eq!(a.seeds, b.seeds);
+    }
+}

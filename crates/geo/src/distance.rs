@@ -1,0 +1,109 @@
+//! Distance functions over plane points.
+//!
+//! The paper's utility metric for location monitoring is the *Euclidean
+//! distance between perturbed and real locations* (§3.2); Manhattan and
+//! Chebyshev distances appear in grid-neighbourhood reasoning (a cell's
+//! 8-neighbourhood is exactly the Chebyshev unit ball, Fig. 2's `G1`).
+//! Haversine converts synthetic lat/lon traces to kilometre errors.
+
+use crate::point::Point;
+
+/// Euclidean distance `d_E` between two points — the paper's `dE(·,·)`.
+#[inline]
+pub fn euclidean(a: Point, b: Point) -> f64 {
+    a.distance(b)
+}
+
+/// Squared Euclidean distance (no square root, for comparisons).
+#[inline]
+pub fn euclidean_sq(a: Point, b: Point) -> f64 {
+    a.distance_sq(b)
+}
+
+/// Manhattan (L1) distance; the graph distance of the 4-neighbour grid graph
+/// between cell centres, in units of cells.
+#[inline]
+pub fn manhattan(a: Point, b: Point) -> f64 {
+    (a.x - b.x).abs() + (a.y - b.y).abs()
+}
+
+/// Chebyshev (L∞) distance; the graph distance of the 8-neighbour grid graph
+/// (`G1` in Fig. 2) between cell centres, in units of cells.
+#[inline]
+pub fn chebyshev(a: Point, b: Point) -> f64 {
+    (a.x - b.x).abs().max((a.y - b.y).abs())
+}
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Great-circle distance in kilometres between `(lat, lon)` pairs given in
+/// degrees, via the haversine formula.
+///
+/// Used to express utility error in physical units when a [`crate::GridMap`]
+/// is anchored at real-world coordinates (the GeoLife-like generator anchors
+/// its grid in Beijing for verisimilitude).
+pub fn haversine_km(a_lat_lon: (f64, f64), b_lat_lon: (f64, f64)) -> f64 {
+    let (lat1, lon1) = (a_lat_lon.0.to_radians(), a_lat_lon.1.to_radians());
+    let (lat2, lon2) = (b_lat_lon.0.to_radians(), b_lat_lon.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().min(1.0).asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_345() {
+        assert_eq!(euclidean(Point::new(0.0, 0.0), Point::new(3.0, 4.0)), 5.0);
+        assert_eq!(
+            euclidean_sq(Point::new(0.0, 0.0), Point::new(3.0, 4.0)),
+            25.0
+        );
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, -4.0);
+        assert_eq!(manhattan(a, b), 7.0);
+        assert_eq!(chebyshev(a, b), 4.0);
+    }
+
+    #[test]
+    fn metric_inequalities() {
+        // chebyshev <= euclidean <= manhattan for any pair.
+        let pairs = [
+            (Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            (Point::new(-2.0, 5.0), Point::new(3.0, 3.0)),
+            (Point::new(0.1, 0.2), Point::new(0.4, -0.9)),
+        ];
+        for (a, b) in pairs {
+            assert!(chebyshev(a, b) <= euclidean(a, b) + 1e-12);
+            assert!(euclidean(a, b) <= manhattan(a, b) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert!(haversine_km((39.9, 116.4), (39.9, 116.4)) < 1e-9);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Beijing (39.9042, 116.4074) to Shanghai (31.2304, 121.4737) is
+        // roughly 1068 km great-circle.
+        let d = haversine_km((39.9042, 116.4074), (31.2304, 121.4737));
+        assert!((d - 1068.0).abs() < 10.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_symmetry() {
+        let a = (35.0, 135.0);
+        let b = (34.0, 131.0);
+        assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,465 @@
+//! The discrete location domain: a rectangular grid of cells.
+//!
+//! PGLP (Def. 2.1) protects a finite set of *possible locations*. Following
+//! the paper's figures, locations are the cells of a rectangular grid; the
+//! policy graphs `G1`, `Ga`, `Gb`, `Gc` of Figs. 2 and 4 are all defined over
+//! this domain. [`GridMap`] owns the cell ↔ coordinate mapping, neighbourhood
+//! structure and the block coarsening used by the partition policies.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one grid cell, `row * width + col`.
+///
+/// `CellId` is the universal location type of the workspace: trajectories,
+/// policy graphs, mechanisms and the surveillance protocol all speak
+/// `CellId`. It is deliberately a thin `u32` (cheap keys, dense indexing).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The cell id as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for CellId {
+    fn from(v: u32) -> Self {
+        CellId(v)
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A rectangular grid map: `width × height` square cells of side
+/// `cell_size` (abstract length units; the experiments use metres).
+///
+/// The cell at column `c`, row `r` covers
+/// `[origin.x + c·size, origin.x + (c+1)·size) × [origin.y + r·size, …)`,
+/// and its representative point is the cell centre.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridMap {
+    width: u32,
+    height: u32,
+    cell_size: f64,
+    origin: Point,
+    /// Optional `(lat, lon)` of the origin corner, for reporting distances in
+    /// real-world kilometres (see [`GridMap::lat_lon`]).
+    anchor: Option<(f64, f64)>,
+}
+
+impl GridMap {
+    /// Creates a grid with the given dimensions and cell side length, with
+    /// the origin corner at `(0, 0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width`/`height` are zero, if the cell count would overflow
+    /// `u32`, or if `cell_size` is not strictly positive.
+    pub fn new(width: u32, height: u32, cell_size: f64) -> Self {
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        assert!(
+            (width as u64) * (height as u64) <= u32::MAX as u64,
+            "grid too large for u32 cell ids"
+        );
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive"
+        );
+        GridMap {
+            width,
+            height,
+            cell_size,
+            origin: Point::ORIGIN,
+            anchor: None,
+        }
+    }
+
+    /// Sets the plane coordinates of the origin corner.
+    pub fn with_origin(mut self, origin: Point) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// Anchors the origin corner at real-world `(lat, lon)` degrees, enabling
+    /// [`GridMap::lat_lon`].
+    pub fn with_anchor(mut self, lat: f64, lon: f64) -> Self {
+        self.anchor = Some((lat, lon));
+        self
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Cell side length.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Total number of cells (the size of the location domain `S`).
+    #[inline]
+    pub fn n_cells(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// The cell at column `col`, row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn cell(&self, col: u32, row: u32) -> CellId {
+        assert!(col < self.width && row < self.height, "cell out of bounds");
+        CellId(row * self.width + col)
+    }
+
+    /// Column of a cell.
+    #[inline]
+    pub fn col(&self, cell: CellId) -> u32 {
+        cell.0 % self.width
+    }
+
+    /// Row of a cell.
+    #[inline]
+    pub fn row(&self, cell: CellId) -> u32 {
+        cell.0 / self.width
+    }
+
+    /// `true` when `cell` belongs to this grid.
+    #[inline]
+    pub fn contains(&self, cell: CellId) -> bool {
+        cell.0 < self.n_cells()
+    }
+
+    /// Centre point of a cell.
+    #[inline]
+    pub fn center(&self, cell: CellId) -> Point {
+        debug_assert!(self.contains(cell));
+        Point::new(
+            self.origin.x + (self.col(cell) as f64 + 0.5) * self.cell_size,
+            self.origin.y + (self.row(cell) as f64 + 0.5) * self.cell_size,
+        )
+    }
+
+    /// The cell containing `p`, or `None` when `p` lies outside the grid.
+    pub fn cell_at(&self, p: Point) -> Option<CellId> {
+        let fx = (p.x - self.origin.x) / self.cell_size;
+        let fy = (p.y - self.origin.y) / self.cell_size;
+        if fx < 0.0 || fy < 0.0 {
+            return None;
+        }
+        let (col, row) = (fx as u32, fy as u32);
+        if col >= self.width || row >= self.height {
+            None
+        } else {
+            Some(self.cell(col, row))
+        }
+    }
+
+    /// The cell nearest to `p`, clamping coordinates outside the grid onto
+    /// the boundary. Used to snap continuous mechanism outputs (planar
+    /// Laplace samples) back onto the location domain.
+    pub fn nearest_cell(&self, p: Point) -> CellId {
+        let fx = ((p.x - self.origin.x) / self.cell_size).floor();
+        let fy = ((p.y - self.origin.y) / self.cell_size).floor();
+        let col = (fx.max(0.0) as u32).min(self.width - 1);
+        let row = (fy.max(0.0) as u32).min(self.height - 1);
+        self.cell(col, row)
+    }
+
+    /// Euclidean distance between two cell centres.
+    #[inline]
+    pub fn distance(&self, a: CellId, b: CellId) -> f64 {
+        self.center(a).distance(self.center(b))
+    }
+
+    /// Chebyshev distance between two cells in **cell units** — the graph
+    /// distance of the 8-neighbour policy graph `G1`.
+    pub fn chebyshev_cells(&self, a: CellId, b: CellId) -> u32 {
+        let dc = self.col(a).abs_diff(self.col(b));
+        let dr = self.row(a).abs_diff(self.row(b));
+        dc.max(dr)
+    }
+
+    /// Manhattan distance between two cells in cell units — the graph
+    /// distance of the 4-neighbour grid graph.
+    pub fn manhattan_cells(&self, a: CellId, b: CellId) -> u32 {
+        self.col(a).abs_diff(self.col(b)) + self.row(a).abs_diff(self.row(b))
+    }
+
+    /// Iterator over every cell, row-major.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.n_cells()).map(CellId)
+    }
+
+    /// The 4-neighbourhood (N, S, E, W) of a cell, respecting boundaries.
+    pub fn neighbors4(&self, cell: CellId) -> Vec<CellId> {
+        let (c, r) = (self.col(cell) as i64, self.row(cell) as i64);
+        let mut out = Vec::with_capacity(4);
+        for (dc, dr) in [(0i64, 1i64), (0, -1), (1, 0), (-1, 0)] {
+            self.push_if_valid(c + dc, r + dr, &mut out);
+        }
+        out
+    }
+
+    /// The 8-neighbourhood of a cell — the paper's "closest eight locations
+    /// on the map" that define `G1` (Fig. 2, left).
+    pub fn neighbors8(&self, cell: CellId) -> Vec<CellId> {
+        let (c, r) = (self.col(cell) as i64, self.row(cell) as i64);
+        let mut out = Vec::with_capacity(8);
+        for dc in -1i64..=1 {
+            for dr in -1i64..=1 {
+                if dc == 0 && dr == 0 {
+                    continue;
+                }
+                self.push_if_valid(c + dc, r + dr, &mut out);
+            }
+        }
+        out
+    }
+
+    fn push_if_valid(&self, c: i64, r: i64, out: &mut Vec<CellId>) {
+        if c >= 0 && r >= 0 && (c as u32) < self.width && (r as u32) < self.height {
+            out.push(self.cell(c as u32, r as u32));
+        }
+    }
+
+    /// All cells whose Chebyshev distance from `cell` is at most `k` — the
+    /// k-hop ball of the `G1` policy graph, used for δ-location sets.
+    pub fn chebyshev_ball(&self, cell: CellId, k: u32) -> Vec<CellId> {
+        let (c, r) = (self.col(cell), self.row(cell));
+        let c0 = c.saturating_sub(k);
+        let c1 = (c + k).min(self.width - 1);
+        let r0 = r.saturating_sub(k);
+        let r1 = (r + k).min(self.height - 1);
+        let mut out = Vec::with_capacity(((c1 - c0 + 1) * (r1 - r0 + 1)) as usize);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                out.push(self.cell(col, row));
+            }
+        }
+        out
+    }
+
+    /// Partitions the grid into rectangular blocks of `block_w × block_h`
+    /// cells and returns the block index of `cell` (row-major over blocks).
+    ///
+    /// This is the coarsening behind the `Ga`/`Gb` policies of Fig. 4:
+    /// "indistinguishability inside each coarse-grained area, distinguishable
+    /// across areas". Blocks at the right/bottom edge may be smaller.
+    pub fn block_of(&self, cell: CellId, block_w: u32, block_h: u32) -> u32 {
+        assert!(block_w > 0 && block_h > 0, "block dims must be positive");
+        let bc = self.col(cell) / block_w;
+        let br = self.row(cell) / block_h;
+        br * self.blocks_per_row(block_w) + bc
+    }
+
+    /// Number of blocks per row for a given block width.
+    pub fn blocks_per_row(&self, block_w: u32) -> u32 {
+        self.width.div_ceil(block_w)
+    }
+
+    /// Number of block rows for a given block height.
+    pub fn blocks_per_col(&self, block_h: u32) -> u32 {
+        self.height.div_ceil(block_h)
+    }
+
+    /// Total number of blocks in the `block_w × block_h` coarsening.
+    pub fn n_blocks(&self, block_w: u32, block_h: u32) -> u32 {
+        self.blocks_per_row(block_w) * self.blocks_per_col(block_h)
+    }
+
+    /// All cells belonging to block `block` of the coarsening.
+    pub fn block_cells(&self, block: u32, block_w: u32, block_h: u32) -> Vec<CellId> {
+        let per_row = self.blocks_per_row(block_w);
+        let (bc, br) = (block % per_row, block / per_row);
+        let c0 = bc * block_w;
+        let r0 = br * block_h;
+        let c1 = (c0 + block_w).min(self.width);
+        let r1 = (r0 + block_h).min(self.height);
+        let mut out = Vec::with_capacity(((c1 - c0) * (r1 - r0)) as usize);
+        for row in r0..r1 {
+            for col in c0..c1 {
+                out.push(self.cell(col, row));
+            }
+        }
+        out
+    }
+
+    /// Real-world `(lat, lon)` of a cell centre, if the grid is anchored.
+    ///
+    /// Uses the local equirectangular approximation at the anchor latitude —
+    /// adequate for city-scale grids (tens of kilometres), which is the scale
+    /// of the paper's GeoLife/Gowalla scenarios.
+    pub fn lat_lon(&self, cell: CellId) -> Option<(f64, f64)> {
+        let (lat0, lon0) = self.anchor?;
+        let center = self.center(cell);
+        // Metres per degree at the anchor latitude.
+        let m_per_deg_lat = 111_132.0;
+        let m_per_deg_lon = 111_320.0 * lat0.to_radians().cos();
+        Some((
+            lat0 + (center.y - self.origin.y) / m_per_deg_lat,
+            lon0 + (center.x - self.origin.x) / m_per_deg_lon,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridMap {
+        GridMap::new(4, 3, 100.0)
+    }
+
+    #[test]
+    fn dimensions_and_ids() {
+        let g = grid();
+        assert_eq!(g.n_cells(), 12);
+        let c = g.cell(3, 2);
+        assert_eq!(c, CellId(11));
+        assert_eq!(g.col(c), 3);
+        assert_eq!(g.row(c), 2);
+        assert!(g.contains(c));
+        assert!(!g.contains(CellId(12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn cell_out_of_bounds_panics() {
+        grid().cell(4, 0);
+    }
+
+    #[test]
+    fn centers_and_lookup_roundtrip() {
+        let g = grid();
+        for cell in g.cells() {
+            let p = g.center(cell);
+            assert_eq!(g.cell_at(p), Some(cell));
+            assert_eq!(g.nearest_cell(p), cell);
+        }
+    }
+
+    #[test]
+    fn cell_at_outside_is_none() {
+        let g = grid();
+        assert_eq!(g.cell_at(Point::new(-1.0, 50.0)), None);
+        assert_eq!(g.cell_at(Point::new(401.0, 50.0)), None);
+        assert_eq!(g.cell_at(Point::new(50.0, 301.0)), None);
+    }
+
+    #[test]
+    fn nearest_cell_clamps() {
+        let g = grid();
+        assert_eq!(g.nearest_cell(Point::new(-50.0, -50.0)), g.cell(0, 0));
+        assert_eq!(g.nearest_cell(Point::new(1e6, 1e6)), g.cell(3, 2));
+    }
+
+    #[test]
+    fn neighbors_counts() {
+        let g = grid();
+        // Corner, edge, interior.
+        assert_eq!(g.neighbors4(g.cell(0, 0)).len(), 2);
+        assert_eq!(g.neighbors8(g.cell(0, 0)).len(), 3);
+        assert_eq!(g.neighbors4(g.cell(1, 0)).len(), 3);
+        assert_eq!(g.neighbors8(g.cell(1, 0)).len(), 5);
+        assert_eq!(g.neighbors4(g.cell(1, 1)).len(), 4);
+        assert_eq!(g.neighbors8(g.cell(1, 1)).len(), 8);
+    }
+
+    #[test]
+    fn neighbors_are_distinct_and_adjacent() {
+        let g = grid();
+        for cell in g.cells() {
+            let n8 = g.neighbors8(cell);
+            let mut sorted = n8.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), n8.len(), "duplicate neighbours");
+            for n in n8 {
+                assert_eq!(g.chebyshev_cells(cell, n), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chebyshev_and_manhattan_cells() {
+        let g = grid();
+        let a = g.cell(0, 0);
+        let b = g.cell(3, 2);
+        assert_eq!(g.chebyshev_cells(a, b), 3);
+        assert_eq!(g.manhattan_cells(a, b), 5);
+        assert_eq!(g.chebyshev_cells(a, a), 0);
+    }
+
+    #[test]
+    fn chebyshev_ball_is_clipped_box() {
+        let g = grid();
+        let ball = g.chebyshev_ball(g.cell(0, 0), 1);
+        assert_eq!(ball.len(), 4); // 2x2 corner box
+        let ball = g.chebyshev_ball(g.cell(1, 1), 1);
+        assert_eq!(ball.len(), 9);
+        for c in ball {
+            assert!(g.chebyshev_cells(g.cell(1, 1), c) <= 1);
+        }
+    }
+
+    #[test]
+    fn blocks_partition_the_grid() {
+        let g = GridMap::new(8, 8, 10.0);
+        let (bw, bh) = (4, 4);
+        assert_eq!(g.n_blocks(bw, bh), 4);
+        let mut seen = vec![false; g.n_cells() as usize];
+        for b in 0..g.n_blocks(bw, bh) {
+            for cell in g.block_cells(b, bw, bh) {
+                assert_eq!(g.block_of(cell, bw, bh), b);
+                assert!(!seen[cell.index()], "cell in two blocks");
+                seen[cell.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "blocks must cover the grid");
+    }
+
+    #[test]
+    fn ragged_blocks_at_edges() {
+        let g = GridMap::new(5, 5, 10.0);
+        assert_eq!(g.n_blocks(2, 2), 9);
+        // Bottom-right block is a single cell.
+        let last = g.n_blocks(2, 2) - 1;
+        assert_eq!(g.block_cells(last, 2, 2), vec![g.cell(4, 4)]);
+    }
+
+    #[test]
+    fn anchored_lat_lon() {
+        let g = GridMap::new(10, 10, 1000.0).with_anchor(39.9, 116.3);
+        let (lat, lon) = g.lat_lon(g.cell(0, 0)).unwrap();
+        assert!(lat > 39.9 && lat < 39.91);
+        assert!(lon > 116.3 && lon < 116.32);
+        assert!(GridMap::new(2, 2, 1.0).lat_lon(CellId(0)).is_none());
+    }
+
+    #[test]
+    fn distance_between_centers() {
+        let g = grid();
+        assert_eq!(g.distance(g.cell(0, 0), g.cell(3, 0)), 300.0);
+        assert_eq!(g.distance(g.cell(0, 0), g.cell(0, 2)), 200.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Convex hulls and difference sets.
+//!
+//! The Planar Isotropic Mechanism's *sensitivity hull* is
+//! `K = conv{ s_i − s_j : s_i, s_j ∈ ΔX }` — the convex hull of the pairwise
+//! difference set of the protected locations (Xiao & Xiong, CCS'15, Def. 4.3).
+//! This module provides the hull construction (Andrew's monotone chain,
+//! O(n log n)) and the difference-set expansion.
+
+use crate::point::Point;
+
+/// Computes the convex hull of a point set with Andrew's monotone chain.
+///
+/// Returns the hull vertices in counter-clockwise order, starting from the
+/// lexicographically smallest point, with collinear interior points removed.
+/// Degenerate inputs are handled: the hull of fewer than three distinct
+/// points is the deduplicated point list itself (possibly a segment or a
+/// single point).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.iter().copied().filter(|p| p.is_finite()).collect();
+    pts.sort_by(|a, b| a.lex_cmp(b));
+    pts.dedup_by(|a, b| a == b);
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 {
+            let q = hull[hull.len() - 1];
+            let r = hull[hull.len() - 2];
+            if (q - r).cross(p - r) <= 1e-12 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len {
+            let q = hull[hull.len() - 1];
+            let r = hull[hull.len() - 2];
+            if (q - r).cross(p - r) <= 1e-12 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    if hull.len() < 3 {
+        // All points were collinear: return the two extreme points.
+        return vec![pts[0], pts[n - 1]];
+    }
+    hull
+}
+
+/// The pairwise difference set `{ a − b : a, b ∈ points, a ≠ b }`, plus the
+/// origin (every sensitivity hull contains `s − s = 0`).
+///
+/// The result has `n(n−1) + 1` points for `n` inputs; callers immediately
+/// reduce it with [`convex_hull`]. The difference set is symmetric about the
+/// origin by construction, so the resulting hull is origin-symmetric — a
+/// property the K-norm sampler relies on.
+pub fn difference_set(points: &[Point]) -> Vec<Point> {
+    let n = points.len();
+    let mut out = Vec::with_capacity(n * n.saturating_sub(1) + 1);
+    out.push(Point::ORIGIN);
+    for (i, &a) in points.iter().enumerate() {
+        for (j, &b) in points.iter().enumerate() {
+            if i != j {
+                out.push(a - b);
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: the sensitivity hull of a location set, i.e.
+/// `convex_hull(difference_set(points))`.
+pub fn sensitivity_hull(points: &[Point]) -> Vec<Point> {
+    convex_hull(&difference_set(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_point() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn hull_starts_at_lex_min_and_is_ccw() {
+        let pts = [
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull[0], Point::new(0.0, 0.0));
+        // CCW: every consecutive triple turns left.
+        for i in 0..hull.len() {
+            let a = hull[i];
+            let b = hull[(i + 1) % hull.len()];
+            let c = hull[(i + 2) % hull.len()];
+            assert!((b - a).cross(c - a) > 0.0);
+        }
+    }
+
+    #[test]
+    fn hull_removes_collinear_points() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        let seg = convex_hull(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        assert_eq!(seg.len(), 2);
+        // Collinear points give the two extremes.
+        let col = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ]);
+        assert_eq!(col, vec![Point::new(0.0, 0.0), Point::new(2.0, 2.0)]);
+    }
+
+    #[test]
+    fn hull_with_duplicates() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        assert_eq!(convex_hull(&pts).len(), 3);
+    }
+
+    #[test]
+    fn difference_set_size_and_symmetry() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let ds = difference_set(&pts);
+        assert_eq!(ds.len(), 3 * 2 + 1);
+        assert!(ds.contains(&Point::ORIGIN));
+        for &d in &ds {
+            assert!(
+                ds.iter().any(|&e| (e + d).norm() < 1e-12),
+                "difference set must be symmetric about the origin"
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivity_hull_of_unit_segment() {
+        // Two locations distance 1 apart: hull is the segment [-1, 1] on x.
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let hull = sensitivity_hull(&pts);
+        assert_eq!(hull.len(), 2);
+        assert!(hull.contains(&Point::new(-1.0, 0.0)));
+        assert!(hull.contains(&Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn sensitivity_hull_is_origin_symmetric() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 4.0),
+            Point::new(-2.0, 2.0),
+        ];
+        let hull = sensitivity_hull(&pts);
+        for &v in &hull {
+            assert!(
+                hull.iter().any(|&w| (w + v).norm() < 1e-9),
+                "vertex {v:?} lacks an antipode"
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # panda-geo
+//!
+//! 2-D geometry substrate for the PANDA / PGLP reproduction.
+//!
+//! This crate provides every spatial primitive the rest of the workspace
+//! builds on:
+//!
+//! * [`Point`] and [`Mat2`] — plane points and 2×2 linear algebra, including
+//!   the symmetric eigendecomposition used by the Planar Isotropic Mechanism's
+//!   isotropic transform.
+//! * [`GridMap`] and [`CellId`] — the discrete location domain of the paper
+//!   (Fig. 2 / Fig. 4 grid worlds), with cell ↔ coordinate conversions,
+//!   4/8-neighbourhoods and block coarsening (the basis for the `Ga`/`Gb`
+//!   partition policies).
+//! * [`hull`] — monotone-chain convex hulls and the pairwise difference sets
+//!   that define sensitivity hulls.
+//! * [`ConvexPolygon`] — area / centroid / containment / support function and
+//!   uniform sampling, everything K-norm noise sampling needs.
+//! * [`sample`] — uniform sampling in triangles, convex polygons and disks.
+//!
+//! All floating-point geometry is `f64`; all randomness flows through caller
+//! supplied [`rand::Rng`] values so experiments are reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distance;
+pub mod grid;
+pub mod hull;
+pub mod mat2;
+pub mod point;
+pub mod polygon;
+pub mod sample;
+
+pub use distance::{chebyshev, euclidean, euclidean_sq, haversine_km, manhattan};
+pub use grid::{CellId, GridMap};
+pub use hull::{convex_hull, difference_set};
+pub use mat2::Mat2;
+pub use point::Point;
+pub use polygon::ConvexPolygon;

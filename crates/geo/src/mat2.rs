@@ -1,0 +1,314 @@
+//! 2×2 matrices: the linear algebra behind the Planar Isotropic Mechanism.
+//!
+//! The PIM (Xiao & Xiong, CCS'15) transforms the sensitivity hull into
+//! *isotropic position* before sampling K-norm noise. In two dimensions this
+//! needs exactly: matrix multiplication / inversion, and the symmetric
+//! eigendecomposition used to build `Σ^{-1/2}` from a covariance matrix Σ.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Sub};
+
+/// A 2×2 matrix in row-major order:
+///
+/// ```text
+/// | a  b |
+/// | c  d |
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat2 {
+    /// Row 1, column 1.
+    pub a: f64,
+    /// Row 1, column 2.
+    pub b: f64,
+    /// Row 2, column 1.
+    pub c: f64,
+    /// Row 2, column 2.
+    pub d: f64,
+}
+
+impl Mat2 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat2 = Mat2 {
+        a: 1.0,
+        b: 0.0,
+        c: 0.0,
+        d: 1.0,
+    };
+
+    /// Creates a matrix from row-major entries.
+    #[inline]
+    pub const fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Mat2 { a, b, c, d }
+    }
+
+    /// A diagonal matrix `diag(a, d)`.
+    #[inline]
+    pub const fn diag(a: f64, d: f64) -> Self {
+        Mat2::new(a, 0.0, 0.0, d)
+    }
+
+    /// A uniform scaling matrix `s·I`.
+    #[inline]
+    pub const fn scale(s: f64) -> Self {
+        Mat2::diag(s, s)
+    }
+
+    /// Rotation by `angle` radians counter-clockwise.
+    pub fn rotation(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat2::new(c, -s, s, c)
+    }
+
+    /// Determinant.
+    #[inline]
+    pub fn det(&self) -> f64 {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Trace.
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.a + self.d
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat2 {
+        Mat2::new(self.a, self.c, self.b, self.d)
+    }
+
+    /// Matrix inverse, or `None` when the determinant is (near) zero.
+    pub fn inverse(&self) -> Option<Mat2> {
+        let det = self.det();
+        if det.abs() < 1e-300 {
+            return None;
+        }
+        Some(Mat2::new(
+            self.d / det,
+            -self.b / det,
+            -self.c / det,
+            self.a / det,
+        ))
+    }
+
+    /// Applies the matrix to a point/vector.
+    #[inline]
+    pub fn apply(&self, p: Point) -> Point {
+        Point::new(self.a * p.x + self.b * p.y, self.c * p.x + self.d * p.y)
+    }
+
+    /// `true` when the matrix is symmetric up to `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        (self.b - self.c).abs() <= tol
+    }
+
+    /// Eigendecomposition of a **symmetric** matrix.
+    ///
+    /// Returns `(λ1, λ2, v1, v2)` with `λ1 ≥ λ2` and `v1 ⟂ v2` unit
+    /// eigenvectors. The closed form for 2×2 symmetric matrices is exact up
+    /// to floating point; no iteration is involved.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the matrix is symmetric.
+    pub fn symmetric_eigen(&self) -> (f64, f64, Point, Point) {
+        debug_assert!(self.is_symmetric(1e-9 * (1.0 + self.trace().abs())));
+        let half_tr = 0.5 * self.trace();
+        // Discriminant of the characteristic polynomial; clamp tiny negative
+        // values caused by rounding.
+        let disc = (0.5 * (self.a - self.d)).powi(2) + self.b * self.c;
+        let root = disc.max(0.0).sqrt();
+        let l1 = half_tr + root;
+        let l2 = half_tr - root;
+
+        let v1 = if self.b.abs() > 1e-12 {
+            Point::new(l1 - self.d, self.b)
+        } else if self.c.abs() > 1e-12 {
+            Point::new(self.c, l1 - self.a)
+        } else if self.a >= self.d {
+            Point::new(1.0, 0.0)
+        } else {
+            Point::new(0.0, 1.0)
+        };
+        let v1 = v1.normalized().unwrap_or(Point::new(1.0, 0.0));
+        let v2 = Point::new(-v1.y, v1.x);
+        (l1, l2, v1, v2)
+    }
+
+    /// Inverse square root `M^{-1/2}` of a symmetric **positive definite**
+    /// matrix.
+    ///
+    /// Built from the eigendecomposition: `M^{-1/2} = V diag(λ^{-1/2}) Vᵀ`.
+    /// Returns `None` when an eigenvalue is not strictly positive (the
+    /// matrix is singular or indefinite), which for PIM means the sensitivity
+    /// hull is degenerate and the caller must fall back to a 1-D treatment.
+    pub fn inv_sqrt(&self) -> Option<Mat2> {
+        let (l1, l2, v1, v2) = self.symmetric_eigen();
+        if l1 <= 0.0 || l2 <= 0.0 {
+            return None;
+        }
+        let s1 = 1.0 / l1.sqrt();
+        let s2 = 1.0 / l2.sqrt();
+        // V diag(s) V^T, with V = [v1 v2] as columns.
+        Some(Mat2::new(
+            s1 * v1.x * v1.x + s2 * v2.x * v2.x,
+            s1 * v1.x * v1.y + s2 * v2.x * v2.y,
+            s1 * v1.y * v1.x + s2 * v2.y * v2.x,
+            s1 * v1.y * v1.y + s2 * v2.y * v2.y,
+        ))
+    }
+
+    /// Square root `M^{1/2}` of a symmetric positive **semi-definite**
+    /// matrix (eigenvalues clamped at zero).
+    pub fn sqrt(&self) -> Mat2 {
+        let (l1, l2, v1, v2) = self.symmetric_eigen();
+        let s1 = l1.max(0.0).sqrt();
+        let s2 = l2.max(0.0).sqrt();
+        Mat2::new(
+            s1 * v1.x * v1.x + s2 * v2.x * v2.x,
+            s1 * v1.x * v1.y + s2 * v2.x * v2.y,
+            s1 * v1.y * v1.x + s2 * v2.y * v2.x,
+            s1 * v1.y * v1.y + s2 * v2.y * v2.y,
+        )
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        (self.a * self.a + self.b * self.b + self.c * self.c + self.d * self.d).sqrt()
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Mat2;
+    fn mul(self, rhs: Mat2) -> Mat2 {
+        Mat2::new(
+            self.a * rhs.a + self.b * rhs.c,
+            self.a * rhs.b + self.b * rhs.d,
+            self.c * rhs.a + self.d * rhs.c,
+            self.c * rhs.b + self.d * rhs.d,
+        )
+    }
+}
+
+impl Add for Mat2 {
+    type Output = Mat2;
+    fn add(self, rhs: Mat2) -> Mat2 {
+        Mat2::new(
+            self.a + rhs.a,
+            self.b + rhs.b,
+            self.c + rhs.c,
+            self.d + rhs.d,
+        )
+    }
+}
+
+impl Sub for Mat2 {
+    type Output = Mat2;
+    fn sub(self, rhs: Mat2) -> Mat2 {
+        Mat2::new(
+            self.a - rhs.a,
+            self.b - rhs.b,
+            self.c - rhs.c,
+            self.d - rhs.d,
+        )
+    }
+}
+
+impl Mul<f64> for Mat2 {
+    type Output = Mat2;
+    fn mul(self, s: f64) -> Mat2 {
+        Mat2::new(self.a * s, self.b * s, self.c * s, self.d * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = Mat2::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m * Mat2::IDENTITY, m);
+        assert_eq!(Mat2::IDENTITY * m, m);
+    }
+
+    #[test]
+    fn determinant_and_trace() {
+        let m = Mat2::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m.det(), -2.0);
+        assert_eq!(m.trace(), 5.0);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Mat2::new(2.0, 1.0, 1.0, 3.0);
+        let inv = m.inverse().unwrap();
+        let id = m * inv;
+        assert!(close(id.a, 1.0) && close(id.b, 0.0) && close(id.c, 0.0) && close(id.d, 1.0));
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        assert!(Mat2::new(1.0, 2.0, 2.0, 4.0).inverse().is_none());
+    }
+
+    #[test]
+    fn apply_rotation() {
+        let r = Mat2::rotation(std::f64::consts::FRAC_PI_2);
+        let p = r.apply(Point::new(1.0, 0.0));
+        assert!(close(p.x, 0.0) && close(p.y, 1.0));
+    }
+
+    #[test]
+    fn symmetric_eigen_diagonal() {
+        let (l1, l2, v1, v2) = Mat2::diag(3.0, 1.0).symmetric_eigen();
+        assert!(close(l1, 3.0) && close(l2, 1.0));
+        assert!(close(v1.dot(v2), 0.0));
+        assert!(close(v1.norm(), 1.0) && close(v2.norm(), 1.0));
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstruction() {
+        let m = Mat2::new(2.0, 0.7, 0.7, 1.2);
+        let (l1, l2, v1, v2) = m.symmetric_eigen();
+        // M v = λ v for both eigenpairs.
+        let mv1 = m.apply(v1);
+        let mv2 = m.apply(v2);
+        assert!(close(mv1.x, l1 * v1.x) && close(mv1.y, l1 * v1.y));
+        assert!(close(mv2.x, l2 * v2.x) && close(mv2.y, l2 * v2.y));
+        assert!(l1 >= l2);
+    }
+
+    #[test]
+    fn inv_sqrt_whitens() {
+        // Σ^{-1/2} Σ Σ^{-1/2} = I
+        let sigma = Mat2::new(4.0, 1.0, 1.0, 2.0);
+        let w = sigma.inv_sqrt().unwrap();
+        let id = w * sigma * w;
+        assert!(close(id.a, 1.0) && close(id.b, 0.0) && close(id.c, 0.0) && close(id.d, 1.0));
+    }
+
+    #[test]
+    fn inv_sqrt_rejects_indefinite() {
+        assert!(Mat2::new(1.0, 0.0, 0.0, -1.0).inv_sqrt().is_none());
+        assert!(Mat2::diag(0.0, 1.0).inv_sqrt().is_none());
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let m = Mat2::new(5.0, 2.0, 2.0, 3.0);
+        let r = m.sqrt();
+        let back = r * r;
+        assert!(close(back.a, m.a) && close(back.b, m.b) && close(back.d, m.d));
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        assert!(close(Mat2::new(1.0, 2.0, 2.0, 0.0).frobenius(), 3.0));
+    }
+}

@@ -1,0 +1,254 @@
+//! Plane points with the small amount of vector algebra the workspace needs.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point (or vector) in the Euclidean plane.
+///
+/// `Point` doubles as a 2-vector: subtraction of two points yields the
+/// displacement vector between them, and scalar multiplication scales it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate ("east" in the paper's figures).
+    pub x: f64,
+    /// Vertical coordinate ("north" in the paper's figures).
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Dot product of `self` and `other` viewed as vectors.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (the z-component of the 3-D cross product).
+    ///
+    /// Positive when `other` lies counter-clockwise of `self`.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm of `self` viewed as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Unit vector in the direction of `self`.
+    ///
+    /// Returns `None` for the zero vector (there is no direction to
+    /// normalise).
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Rotates the vector by `angle` radians counter-clockwise.
+    pub fn rotated(self, angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        Point::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// The midpoint of the segment from `self` to `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// `true` when both coordinates are finite (not NaN / infinite).
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Lexicographic comparison by `(x, y)`.
+    ///
+    /// A total order used by the convex-hull construction; NaN coordinates
+    /// are rejected by debug assertion (geometry never produces them).
+    pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        debug_assert!(self.is_finite() && other.is_finite());
+        self.x
+            .partial_cmp(&other.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                self.y
+                    .partial_cmp(&other.y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Point::new(3.0, 4.0);
+        let b = Point::new(-1.0, 2.0);
+        assert_eq!(a + b, Point::new(2.0, 6.0));
+        assert_eq!(a - b, Point::new(4.0, 2.0));
+        assert_eq!(a * 2.0, Point::new(6.0, 8.0));
+        assert_eq!(a / 2.0, Point::new(1.5, 2.0));
+        assert_eq!(-a, Point::new(-3.0, -4.0));
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        let a = Point::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.distance(Point::ORIGIN), 5.0);
+        assert_eq!(Point::ORIGIN.distance_sq(a), 25.0);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let e1 = Point::new(1.0, 0.0);
+        let e2 = Point::new(0.0, 1.0);
+        assert_eq!(e1.dot(e2), 0.0);
+        assert_eq!(e1.cross(e2), 1.0);
+        assert_eq!(e2.cross(e1), -1.0);
+    }
+
+    #[test]
+    fn normalized_unit_vector() {
+        let v = Point::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(Point::ORIGIN.normalized().is_none());
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let v = Point::new(1.0, 0.0).rotated(std::f64::consts::FRAC_PI_2);
+        assert!((v.x - 0.0).abs() < 1e-12);
+        assert!((v.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Point::new(2.5, -1.5);
+        for k in 0..8 {
+            let r = v.rotated(k as f64 * 0.7);
+            assert!((r.norm() - v.norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        use std::cmp::Ordering;
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(1.0, 6.0);
+        let c = Point::new(2.0, 0.0);
+        assert_eq!(a.lex_cmp(&b), Ordering::Less);
+        assert_eq!(b.lex_cmp(&c), Ordering::Less);
+        assert_eq!(a.lex_cmp(&a), Ordering::Equal);
+    }
+}

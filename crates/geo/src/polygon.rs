@@ -1,0 +1,389 @@
+//! Convex polygons: the geometry of K-norm noise.
+//!
+//! The K-norm mechanism samples noise with density `∝ exp(−ε‖z‖_K)` where
+//! `‖·‖_K` is the Minkowski norm of the sensitivity hull `K`. This module
+//! provides the polygon type with everything that sampler needs: containment,
+//! Minkowski norm, linear transforms, the covariance of the uniform
+//! distribution over the polygon (for the isotropic transform) and uniform
+//! sampling.
+
+use crate::hull::convex_hull;
+use crate::mat2::Mat2;
+use crate::point::Point;
+use crate::sample;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Shape of a convex hull, distinguishing degenerate cases.
+///
+/// Policy-graph components with a single location, or with all locations
+/// collinear, produce degenerate sensitivity hulls; the PIM implementation
+/// handles each variant separately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HullShape {
+    /// All input points coincide.
+    Point(Point),
+    /// All input points are collinear; the two extremes are stored.
+    Segment(Point, Point),
+    /// A proper (positive-area) convex polygon.
+    Polygon(ConvexPolygon),
+}
+
+/// A convex polygon with vertices in counter-clockwise order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Builds the convex hull of `points` and classifies its shape.
+    pub fn hull_of(points: &[Point]) -> HullShape {
+        let hull = convex_hull(points);
+        match hull.len() {
+            0 => HullShape::Point(Point::ORIGIN),
+            1 => HullShape::Point(hull[0]),
+            2 => HullShape::Segment(hull[0], hull[1]),
+            _ => HullShape::Polygon(ConvexPolygon { vertices: hull }),
+        }
+    }
+
+    /// Creates a polygon from vertices **already known** to be a CCW convex
+    /// hull. Verified in debug builds.
+    pub fn from_ccw_vertices(vertices: Vec<Point>) -> Self {
+        debug_assert!(vertices.len() >= 3, "polygon needs >= 3 vertices");
+        #[cfg(debug_assertions)]
+        for i in 0..vertices.len() {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % vertices.len()];
+            let c = vertices[(i + 2) % vertices.len()];
+            debug_assert!(
+                (b - a).cross(c - a) > 0.0,
+                "vertices must be strictly convex CCW"
+            );
+        }
+        ConvexPolygon { vertices }
+    }
+
+    /// The vertices in CCW order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false` (a polygon has at least three vertices); provided for
+    /// API completeness with the usual `len`/`is_empty` pairing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Polygon area via the shoelace formula (positive, since CCW).
+    pub fn area(&self) -> f64 {
+        let mut twice = 0.0;
+        for i in 0..self.vertices.len() {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % self.vertices.len()];
+            twice += a.cross(b);
+        }
+        twice * 0.5
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        let mut sum = 0.0;
+        for i in 0..self.vertices.len() {
+            sum += self.vertices[i].distance(self.vertices[(i + 1) % self.vertices.len()]);
+        }
+        sum
+    }
+
+    /// Area centroid.
+    pub fn centroid(&self) -> Point {
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut twice_area = 0.0;
+        for i in 0..self.vertices.len() {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % self.vertices.len()];
+            let w = a.cross(b);
+            twice_area += w;
+            cx += (a.x + b.x) * w;
+            cy += (a.y + b.y) * w;
+        }
+        Point::new(cx / (3.0 * twice_area), cy / (3.0 * twice_area))
+    }
+
+    /// `true` when `p` lies inside or on the boundary (within `1e-9` slack).
+    pub fn contains(&self, p: Point) -> bool {
+        for i in 0..self.vertices.len() {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % self.vertices.len()];
+            if (b - a).cross(p - a) < -1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Minkowski norm `‖p‖_K = inf { r ≥ 0 : p ∈ r·K }` of this polygon
+    /// viewed as a norm ball.
+    ///
+    /// Requires the origin strictly inside the polygon (true for sensitivity
+    /// hulls, which are origin-symmetric with positive area). Returns
+    /// `f64::INFINITY` if the ray from the origin through `p` never exits the
+    /// polygon (origin outside — a caller bug flagged by debug assertion).
+    pub fn minkowski_norm(&self, p: Point) -> f64 {
+        debug_assert!(self.contains(Point::ORIGIN), "origin must lie inside K");
+        if p.norm_sq() == 0.0 {
+            return 0.0;
+        }
+        // Find t > 0 minimal with t·p on an edge; then ‖p‖_K = 1/t.
+        let mut best_t = f64::INFINITY;
+        for i in 0..self.vertices.len() {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % self.vertices.len()];
+            // Solve t·p = a + s·(b−a), 0 ≤ s ≤ 1.
+            let e = b - a;
+            let denom = p.cross(e);
+            if denom.abs() < 1e-15 {
+                continue; // ray parallel to edge
+            }
+            let t = a.cross(e) / denom;
+            let s = a.cross(p) / denom;
+            if t > 1e-15 && (-1e-9..=1.0 + 1e-9).contains(&s) {
+                best_t = best_t.min(t);
+            }
+        }
+        if best_t.is_finite() {
+            1.0 / best_t
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Applies a linear map to every vertex. If the map reverses orientation
+    /// (negative determinant) the vertex order is flipped to stay CCW.
+    ///
+    /// Returns `None` when the map is singular (the image degenerates).
+    pub fn transform(&self, m: &Mat2) -> Option<ConvexPolygon> {
+        if m.det().abs() < 1e-300 {
+            return None;
+        }
+        let mut vertices: Vec<Point> = self.vertices.iter().map(|&v| m.apply(v)).collect();
+        if m.det() < 0.0 {
+            vertices.reverse();
+        }
+        Some(ConvexPolygon { vertices })
+    }
+
+    /// Uniformly scales the polygon about the origin.
+    pub fn scaled(&self, s: f64) -> ConvexPolygon {
+        ConvexPolygon {
+            vertices: self.vertices.iter().map(|&v| v * s).collect(),
+        }
+    }
+
+    /// Covariance matrix of the **uniform distribution** over the polygon.
+    ///
+    /// Computed exactly by fan triangulation: for a triangle with vertices
+    /// `v0, v1, v2` and area `A`, the second moment about the origin is
+    /// `(A/12)·(Σ vᵢvᵢᵀ + (Σ vᵢ)(Σ vᵢ)ᵀ)`. PIM whitens the sensitivity hull
+    /// with the inverse square root of this matrix (isotropic position).
+    pub fn covariance(&self) -> Mat2 {
+        let v0 = self.vertices[0];
+        let mut area_total = 0.0;
+        let mut m = Mat2::new(0.0, 0.0, 0.0, 0.0);
+        for i in 1..self.vertices.len() - 1 {
+            let v1 = self.vertices[i];
+            let v2 = self.vertices[i + 1];
+            let area = 0.5 * (v1 - v0).cross(v2 - v0);
+            let s = v0 + v1 + v2;
+            let sum_outer = outer(v0) + outer(v1) + outer(v2) + outer_of(s, s);
+            m = m + sum_outer * (area / 12.0);
+            area_total += area;
+        }
+        let mu = self.centroid();
+        let second = m * (1.0 / area_total);
+        second - outer_of(mu, mu)
+    }
+
+    /// Samples a point uniformly from the polygon.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        // Fan triangulation, area-weighted triangle choice.
+        let v0 = self.vertices[0];
+        let mut areas = Vec::with_capacity(self.vertices.len() - 2);
+        let mut total = 0.0;
+        for i in 1..self.vertices.len() - 1 {
+            let a = 0.5 * (self.vertices[i] - v0).cross(self.vertices[i + 1] - v0);
+            total += a;
+            areas.push(total);
+        }
+        let u = rng.gen_range(0.0..total);
+        let k = areas.partition_point(|&acc| acc < u);
+        sample::uniform_in_triangle(rng, v0, self.vertices[k + 1], self.vertices[k + 2])
+    }
+
+    /// Radius of the smallest origin-centred disk containing the polygon.
+    pub fn bounding_radius(&self) -> f64 {
+        self.vertices
+            .iter()
+            .map(|v| v.norm())
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+#[inline]
+fn outer(v: Point) -> Mat2 {
+    outer_of(v, v)
+}
+
+#[inline]
+fn outer_of(a: Point, b: Point) -> Mat2 {
+    Mat2::new(a.x * b.x, a.x * b.y, a.y * b.x, a.y * b.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn unit_square() -> ConvexPolygon {
+        match ConvexPolygon::hull_of(&[
+            Point::new(-1.0, -1.0),
+            Point::new(1.0, -1.0),
+            Point::new(1.0, 1.0),
+            Point::new(-1.0, 1.0),
+        ]) {
+            HullShape::Polygon(p) => p,
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hull_shape_classification() {
+        assert!(matches!(
+            ConvexPolygon::hull_of(&[Point::new(1.0, 2.0); 3]),
+            HullShape::Point(_)
+        ));
+        assert!(matches!(
+            ConvexPolygon::hull_of(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)]),
+            HullShape::Segment(_, _)
+        ));
+        assert!(matches!(
+            ConvexPolygon::hull_of(&[
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0)
+            ]),
+            HullShape::Polygon(_)
+        ));
+        assert!(matches!(
+            ConvexPolygon::hull_of(&[]),
+            HullShape::Point(Point { x: 0.0, y: 0.0 })
+        ));
+    }
+
+    #[test]
+    fn square_area_perimeter_centroid() {
+        let sq = unit_square();
+        assert!((sq.area() - 4.0).abs() < 1e-12);
+        assert!((sq.perimeter() - 8.0).abs() < 1e-12);
+        let c = sq.centroid();
+        assert!(c.norm() < 1e-12);
+    }
+
+    #[test]
+    fn containment() {
+        let sq = unit_square();
+        assert!(sq.contains(Point::ORIGIN));
+        assert!(sq.contains(Point::new(1.0, 1.0))); // vertex
+        assert!(sq.contains(Point::new(0.0, 1.0))); // edge
+        assert!(!sq.contains(Point::new(1.5, 0.0)));
+        assert!(!sq.contains(Point::new(0.0, -1.01)));
+    }
+
+    #[test]
+    fn minkowski_norm_of_square() {
+        let sq = unit_square();
+        // Boundary points have norm 1.
+        assert!((sq.minkowski_norm(Point::new(1.0, 0.0)) - 1.0).abs() < 1e-9);
+        assert!((sq.minkowski_norm(Point::new(1.0, 1.0)) - 1.0).abs() < 1e-9);
+        assert!((sq.minkowski_norm(Point::new(0.5, 0.25)) - 0.5).abs() < 1e-9);
+        assert!((sq.minkowski_norm(Point::new(2.0, 0.0)) - 2.0).abs() < 1e-9);
+        assert_eq!(sq.minkowski_norm(Point::ORIGIN), 0.0);
+    }
+
+    #[test]
+    fn minkowski_norm_homogeneous_and_triangle_inequality() {
+        let sq = unit_square();
+        let a = Point::new(0.3, -0.7);
+        let b = Point::new(-1.2, 0.4);
+        let na = sq.minkowski_norm(a);
+        assert!((sq.minkowski_norm(a * 3.0) - 3.0 * na).abs() < 1e-9);
+        assert!(sq.minkowski_norm(a + b) <= na + sq.minkowski_norm(b) + 1e-9);
+    }
+
+    #[test]
+    fn transform_scales_area_by_det() {
+        let sq = unit_square();
+        let m = Mat2::new(2.0, 1.0, 0.0, 3.0); // det 6
+        let t = sq.transform(&m).unwrap();
+        assert!((t.area() - 24.0).abs() < 1e-9);
+        // Orientation-reversing map still yields CCW polygon.
+        let flip = Mat2::diag(-1.0, 1.0);
+        let f = sq.transform(&flip).unwrap();
+        assert!((f.area() - 4.0).abs() < 1e-9);
+        assert!(f.area() > 0.0);
+        assert!(sq.transform(&Mat2::diag(0.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn covariance_of_square() {
+        // Uniform on [-1,1]^2 has covariance diag(1/3, 1/3).
+        let cov = unit_square().covariance();
+        assert!((cov.a - 1.0 / 3.0).abs() < 1e-9, "cov.a = {}", cov.a);
+        assert!((cov.d - 1.0 / 3.0).abs() < 1e-9);
+        assert!(cov.b.abs() < 1e-9 && cov.c.abs() < 1e-9);
+    }
+
+    #[test]
+    fn covariance_translation_rule() {
+        // Shift the square: covariance must not change.
+        let sq = unit_square();
+        let shifted = ConvexPolygon::from_ccw_vertices(
+            sq.vertices()
+                .iter()
+                .map(|&v| v + Point::new(5.0, -2.0))
+                .collect(),
+        );
+        let c0 = sq.covariance();
+        let c1 = shifted.covariance();
+        assert!((c0 - c1).frobenius() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_samples_inside_and_mean_near_centroid() {
+        let sq = unit_square();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut mean = Point::ORIGIN;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let p = sq.sample_uniform(&mut rng);
+            assert!(sq.contains(p));
+            mean += p / N as f64;
+        }
+        assert!(mean.norm() < 0.03, "sample mean {mean:?} too far from 0");
+    }
+
+    #[test]
+    fn bounding_radius() {
+        assert!((unit_square().bounding_radius() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Uniform geometric sampling primitives.
+//!
+//! These are the building blocks of the noise mechanisms: planar Laplace
+//! needs a uniform direction, K-norm needs uniform points in a convex body,
+//! and the mobility generators need uniform points in disks and rectangles.
+
+use crate::point::Point;
+use rand::Rng;
+
+/// Samples a point uniformly from the triangle `(a, b, c)`.
+///
+/// Uses the standard square-root reflection trick: with `u, v ~ U(0,1)`,
+/// fold the unit square onto the simplex and map affinely.
+pub fn uniform_in_triangle<R: Rng + ?Sized>(rng: &mut R, a: Point, b: Point, c: Point) -> Point {
+    let mut u: f64 = rng.gen();
+    let mut v: f64 = rng.gen();
+    if u + v > 1.0 {
+        u = 1.0 - u;
+        v = 1.0 - v;
+    }
+    a + (b - a) * u + (c - a) * v
+}
+
+/// Samples a unit vector with uniformly distributed direction.
+pub fn uniform_direction<R: Rng + ?Sized>(rng: &mut R) -> Point {
+    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+    Point::new(theta.cos(), theta.sin())
+}
+
+/// Samples a point uniformly from the disk of radius `r` centred at `center`.
+pub fn uniform_in_disk<R: Rng + ?Sized>(rng: &mut R, center: Point, r: f64) -> Point {
+    let radius = r * rng.gen::<f64>().sqrt();
+    center + uniform_direction(rng) * radius
+}
+
+/// Samples a point uniformly from the axis-aligned rectangle
+/// `[min.x, max.x] × [min.y, max.y]`.
+pub fn uniform_in_rect<R: Rng + ?Sized>(rng: &mut R, min: Point, max: Point) -> Point {
+    Point::new(rng.gen_range(min.x..=max.x), rng.gen_range(min.y..=max.y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangle_samples_stay_inside() {
+        let (a, b, c) = (
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..5000 {
+            let p = uniform_in_triangle(&mut rng, a, b, c);
+            assert!(p.x >= -1e-12 && p.y >= -1e-12 && p.x + p.y <= 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangle_mean_is_centroid() {
+        let (a, b, c) = (
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+        );
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut mean = Point::ORIGIN;
+        const N: usize = 30_000;
+        for _ in 0..N {
+            mean += uniform_in_triangle(&mut rng, a, b, c) / N as f64;
+        }
+        let centroid = Point::new(1.0, 1.0);
+        assert!(mean.distance(centroid) < 0.03, "mean {mean:?}");
+    }
+
+    #[test]
+    fn directions_are_unit_and_cover_quadrants() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut quadrants = [0usize; 4];
+        for _ in 0..4000 {
+            let d = uniform_direction(&mut rng);
+            assert!((d.norm() - 1.0).abs() < 1e-12);
+            let q = match (d.x >= 0.0, d.y >= 0.0) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            };
+            quadrants[q] += 1;
+        }
+        for &count in &quadrants {
+            assert!(count > 800, "quadrant counts skewed: {quadrants:?}");
+        }
+    }
+
+    #[test]
+    fn disk_samples_inside_radius() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let center = Point::new(5.0, -3.0);
+        for _ in 0..5000 {
+            let p = uniform_in_disk(&mut rng, center, 2.0);
+            assert!(p.distance(center) <= 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn disk_is_area_uniform() {
+        // Half the samples should fall within r/sqrt(2) of the centre.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let inner = (0..20_000)
+            .filter(|_| {
+                uniform_in_disk(&mut rng, Point::ORIGIN, 1.0).norm() <= std::f64::consts::FRAC_1_SQRT_2
+            })
+            .count();
+        let frac = inner as f64 / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "inner fraction {frac}");
+    }
+
+    #[test]
+    fn rect_samples_inside() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let (min, max) = (Point::new(-1.0, 2.0), Point::new(1.0, 4.0));
+        for _ in 0..2000 {
+            let p = uniform_in_rect(&mut rng, min, max);
+            assert!(p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y);
+        }
+    }
+}

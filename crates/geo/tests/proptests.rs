@@ -1,0 +1,117 @@
+//! Property-based tests for the geometry substrate.
+
+use panda_geo::{convex_hull, difference_set, ConvexPolygon, GridMap, Mat2, Point};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), min..max)
+}
+
+proptest! {
+    /// Every input point lies inside (or on) the hull of the set.
+    #[test]
+    fn hull_contains_all_inputs(pts in arb_points(3, 40)) {
+        let hull = convex_hull(&pts);
+        if hull.len() >= 3 {
+            let poly = ConvexPolygon::from_ccw_vertices(hull);
+            for p in pts {
+                prop_assert!(poly.contains(p));
+            }
+        }
+    }
+
+    /// The hull of a hull is the hull (idempotence).
+    #[test]
+    fn hull_is_idempotent(pts in arb_points(3, 40)) {
+        let h1 = convex_hull(&pts);
+        let h2 = convex_hull(&h1);
+        prop_assert_eq!(h1.len(), h2.len());
+    }
+
+    /// The hull of the difference set is symmetric about the origin.
+    #[test]
+    fn sensitivity_hull_symmetry(pts in arb_points(2, 15)) {
+        let hull = convex_hull(&difference_set(&pts));
+        for &v in &hull {
+            prop_assert!(
+                hull.iter().any(|&w| (w + v).norm() < 1e-6 * (1.0 + v.norm())),
+                "missing antipode of {:?}", v
+            );
+        }
+    }
+
+    /// Minkowski norm is absolutely homogeneous: ‖t·p‖ = t·‖p‖ for t ≥ 0.
+    #[test]
+    fn minkowski_homogeneity(pts in arb_points(4, 20), p in arb_point(), t in 0.0f64..10.0) {
+        if let panda_geo::polygon::HullShape::Polygon(poly) =
+            ConvexPolygon::hull_of(&difference_set(&pts))
+        {
+            if poly.contains(Point::ORIGIN) && poly.area() > 1e-6 {
+                let n1 = poly.minkowski_norm(p);
+                let n2 = poly.minkowski_norm(p * t);
+                if n1.is_finite() && n2.is_finite() {
+                    prop_assert!((n2 - t * n1).abs() < 1e-6 * (1.0 + n2.abs()));
+                }
+            }
+        }
+    }
+
+    /// Points sampled uniformly from a hull polygon stay inside it.
+    #[test]
+    fn polygon_sampling_containment(pts in arb_points(4, 20), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        if let panda_geo::polygon::HullShape::Polygon(poly) = ConvexPolygon::hull_of(&pts) {
+            if poly.area() > 1e-6 {
+                for _ in 0..32 {
+                    prop_assert!(poly.contains(poly.sample_uniform(&mut rng)));
+                }
+            }
+        }
+    }
+
+    /// Whitening really whitens: cov of transformed polygon ≈ identity.
+    #[test]
+    fn isotropic_transform_identity_covariance(pts in arb_points(5, 20)) {
+        if let panda_geo::polygon::HullShape::Polygon(poly) = ConvexPolygon::hull_of(&pts) {
+            let cov = poly.covariance();
+            if poly.area() > 1e-3 && cov.det() > 1e-6 {
+                if let Some(w) = cov.inv_sqrt() {
+                    if let Some(t) = poly.transform(&w) {
+                        let c2 = t.covariance();
+                        prop_assert!((c2 - Mat2::IDENTITY).frobenius() < 1e-6,
+                            "whitened covariance {:?}", c2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Grid cell <-> centre round trip for arbitrary grid geometry.
+    #[test]
+    fn grid_roundtrip(w in 1u32..60, h in 1u32..60, size in 0.1f64..1000.0) {
+        let g = GridMap::new(w, h, size);
+        for cell in g.cells().step_by(7) {
+            prop_assert_eq!(g.cell_at(g.center(cell)), Some(cell));
+        }
+    }
+
+    /// Chebyshev cell distance is a metric (triangle inequality).
+    #[test]
+    fn chebyshev_cells_triangle(w in 2u32..20, h in 2u32..20, s in 0u32..400, t in 0u32..400, u in 0u32..400) {
+        let g = GridMap::new(w, h, 1.0);
+        let n = g.n_cells();
+        let (a, b, c) = (
+            panda_geo::CellId(s % n),
+            panda_geo::CellId(t % n),
+            panda_geo::CellId(u % n),
+        );
+        prop_assert!(g.chebyshev_cells(a, c) <= g.chebyshev_cells(a, b) + g.chebyshev_cells(b, c));
+        prop_assert_eq!(g.chebyshev_cells(a, b), g.chebyshev_cells(b, a));
+        prop_assert_eq!(g.chebyshev_cells(a, a), 0);
+    }
+}

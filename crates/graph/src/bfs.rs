@@ -1,0 +1,207 @@
+//! Breadth-first search: graph distances and k-neighbourhoods.
+//!
+//! These implement the paper's Definitions 2.2 and 2.3 directly:
+//! `d_G(s_i, s_j)` is the unweighted shortest-path length, and
+//! `N^k(s) = { s′ : d_G(s, s′) ≤ k }`. Lemma 2.1 turns these distances into
+//! indistinguishability budgets (`ε · d_G`), so BFS correctness is privacy
+//! correctness.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable node pairs (`d_G = ∞` in the paper).
+pub const INFINITE: u32 = u32::MAX;
+
+/// Single-source shortest-path distances from `src` to every node.
+///
+/// Unreachable nodes get [`INFINITE`]. Runs in `O(V + E)`.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![INFINITE; g.n_nodes() as usize];
+    dist[src as usize] = 0;
+    let mut queue = VecDeque::with_capacity(64);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == INFINITE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path length between `a` and `b`, or [`INFINITE`] when
+/// disconnected. Early-exits as soon as `b` is settled.
+pub fn shortest_path_len(g: &Graph, a: NodeId, b: NodeId) -> u32 {
+    if a == b {
+        return 0;
+    }
+    let mut dist = vec![INFINITE; g.n_nodes() as usize];
+    dist[a as usize] = 0;
+    let mut queue = VecDeque::with_capacity(64);
+    queue.push_back(a);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == INFINITE {
+                if w == b {
+                    return dv + 1;
+                }
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    INFINITE
+}
+
+/// The k-neighbourhood `N^k(s)` (paper Def. 2.3): all nodes within `k` hops
+/// of `s`, **including `s` itself** (`d_G(s, s) = 0 ≤ k`).
+///
+/// Pass `k = u32::MAX` for `N^∞(s)`, the connected component of `s`.
+/// Results are sorted by node id.
+pub fn k_neighbors(g: &Graph, s: NodeId, k: u32) -> Vec<NodeId> {
+    let mut dist = vec![INFINITE; g.n_nodes() as usize];
+    dist[s as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(s);
+    let mut out = vec![s];
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        if dv >= k {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == INFINITE {
+                dist[w as usize] = dv + 1;
+                out.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Eccentricity of `s` within its component: the greatest distance from `s`
+/// to any reachable node. Used to compute component diameters for the
+/// PIM graph-diameter calibration.
+pub fn eccentricity(g: &Graph, s: NodeId) -> u32 {
+    bfs_distances(g, s)
+        .into_iter()
+        .filter(|&d| d != INFINITE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// All-pairs distances restricted to a node subset, as a dense matrix in the
+/// subset's index order. `matrix[i][j] = d_G(subset[i], subset[j])`.
+///
+/// Cost is one BFS per subset element; intended for policy components, which
+/// are small relative to the full grid.
+pub fn pairwise_distances(g: &Graph, subset: &[NodeId]) -> Vec<Vec<u32>> {
+    subset
+        .iter()
+        .map(|&s| {
+            let dist = bfs_distances(g, s);
+            subset.iter().map(|&t| dist[t as usize]).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::GraphBuilder;
+
+    fn path5() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.edges([(0, 1), (1, 2), (2, 3), (3, 4)]);
+        b.build()
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path5();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(shortest_path_len(&g, 0, 4), 4);
+        assert_eq!(shortest_path_len(&g, 2, 2), 0);
+    }
+
+    #[test]
+    fn disconnected_is_infinite() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(2, 3);
+        let g = b.build();
+        assert_eq!(shortest_path_len(&g, 0, 3), INFINITE);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], INFINITE);
+        assert_eq!(d[3], INFINITE);
+    }
+
+    #[test]
+    fn k_neighbors_grow_with_k() {
+        let g = path5();
+        assert_eq!(k_neighbors(&g, 2, 0), vec![2]);
+        assert_eq!(k_neighbors(&g, 2, 1), vec![1, 2, 3]);
+        assert_eq!(k_neighbors(&g, 2, 2), vec![0, 1, 2, 3, 4]);
+        // N^∞ = whole component.
+        assert_eq!(k_neighbors(&g, 2, u32::MAX).len(), 5);
+    }
+
+    #[test]
+    fn k_neighbors_includes_self_always() {
+        let g = Graph::empty(3);
+        assert_eq!(k_neighbors(&g, 1, 5), vec![1]);
+    }
+
+    #[test]
+    fn shortest_path_shorter_through_shortcut() {
+        let mut b = GraphBuilder::new(5);
+        b.edges([(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let g = b.build();
+        assert_eq!(shortest_path_len(&g, 0, 3), 2); // 0-4-3
+    }
+
+    #[test]
+    fn eccentricity_path_and_complete() {
+        let g = path5();
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+        let k = generators::complete(6);
+        assert_eq!(eccentricity(&k, 0), 1);
+        let e = Graph::empty(3);
+        assert_eq!(eccentricity(&e, 1), 0);
+    }
+
+    #[test]
+    fn pairwise_matrix_symmetric_with_zero_diagonal() {
+        let g = path5();
+        let subset = vec![0, 2, 4];
+        let m = pairwise_distances(&g, &subset);
+        assert_eq!(m[0][0], 0);
+        assert_eq!(m[0][1], 2);
+        assert_eq!(m[0][2], 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn grid8_distance_is_chebyshev() {
+        // The G1 policy graph's d_G equals Chebyshev distance in cells.
+        let (w, h) = (6, 5);
+        let g = generators::grid8(w, h);
+        let id = |c: u32, r: u32| r * w + c;
+        let d = bfs_distances(&g, id(0, 0));
+        assert_eq!(d[id(3, 2) as usize], 3);
+        assert_eq!(d[id(5, 4) as usize], 5);
+        assert_eq!(d[id(0, 4) as usize], 4);
+    }
+}

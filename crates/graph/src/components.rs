@@ -1,0 +1,217 @@
+//! Connected components via union-find.
+//!
+//! Lemma 2.1 partitions the policy graph into `∞`-neighbour classes: within
+//! a component, indistinguishability degrades with `ε·d_G`; across
+//! components nothing is required, and singleton components may be released
+//! exactly. Mechanisms therefore operate *per component*, and this module
+//! supplies that decomposition.
+
+use crate::graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Union-find (disjoint-set forest) with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    n_sets: u32,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets.
+    pub fn new(n: u32) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+            size: vec![1; n as usize],
+            n_sets: n,
+        }
+    }
+
+    /// Representative of the set containing `x`, with path halving.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` when they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.n_sets -= 1;
+        true
+    }
+
+    /// `true` when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn n_sets(&self) -> u32 {
+        self.n_sets
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// The component decomposition of a graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentLabels {
+    /// `label[v]` is the component index of node `v`, in `0..n_components`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub n_components: u32,
+}
+
+impl ComponentLabels {
+    /// Component index of `v`.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.label[v as usize]
+    }
+
+    /// `true` when `a` and `b` are `∞`-neighbours (same component).
+    #[inline]
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.label[a as usize] == self.label[b as usize]
+    }
+
+    /// The sorted member list of component `c`.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+
+    /// All components as sorted member lists, indexed by component id.
+    pub fn all_members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.n_components as usize];
+        for (v, &l) in self.label.iter().enumerate() {
+            out[l as usize].push(v as NodeId);
+        }
+        out
+    }
+
+    /// Sizes of all components, indexed by component id.
+    pub fn sizes(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.n_components as usize];
+        for &l in &self.label {
+            out[l as usize] += 1;
+        }
+        out
+    }
+}
+
+/// Computes connected components. Labels are assigned in order of first
+/// appearance by node id, so the labelling is deterministic.
+pub fn connected_components(g: &Graph) -> ComponentLabels {
+    let n = g.n_nodes();
+    let mut ds = DisjointSets::new(n);
+    for (a, b) in g.edges() {
+        ds.union(a, b);
+    }
+    let mut label = vec![u32::MAX; n as usize];
+    let mut next = 0u32;
+    for v in 0..n {
+        let root = ds.find(v);
+        if label[root as usize] == u32::MAX {
+            label[root as usize] = next;
+            next += 1;
+        }
+        label[v as usize] = label[root as usize];
+    }
+    ComponentLabels {
+        label,
+        n_components: next,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn union_find_basics() {
+        let mut ds = DisjointSets::new(5);
+        assert_eq!(ds.n_sets(), 5);
+        assert!(ds.union(0, 1));
+        assert!(ds.union(1, 2));
+        assert!(!ds.union(0, 2));
+        assert!(ds.connected(0, 2));
+        assert!(!ds.connected(0, 3));
+        assert_eq!(ds.n_sets(), 3);
+        assert_eq!(ds.set_size(2), 3);
+        assert_eq!(ds.set_size(4), 1);
+    }
+
+    #[test]
+    fn components_of_two_cliques_and_isolate() {
+        let mut b = GraphBuilder::new(7);
+        b.edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)]);
+        let g = b.build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.n_components, 3);
+        assert!(cc.same_component(0, 2));
+        assert!(cc.same_component(3, 5));
+        assert!(!cc.same_component(0, 3));
+        assert_eq!(cc.members(cc.component_of(6)), vec![6]);
+        assert_eq!(cc.sizes().iter().sum::<u32>(), 7);
+    }
+
+    #[test]
+    fn labels_are_deterministic_and_dense() {
+        let mut b = GraphBuilder::new(6);
+        b.edges([(4, 5), (0, 1)]);
+        let g = b.build();
+        let cc = connected_components(&g);
+        // First appearance order: node 0's comp = 0, node 2 = 1, node 3 = 2, node 4 = 3.
+        assert_eq!(cc.label, vec![0, 0, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn all_members_partition_nodes() {
+        let mut b = GraphBuilder::new(8);
+        b.edges([(0, 3), (3, 6), (1, 2)]);
+        let g = b.build();
+        let cc = connected_components(&g);
+        let members = cc.all_members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 8);
+        for (c, list) in members.iter().enumerate() {
+            for &v in list {
+                assert_eq!(cc.component_of(v), c as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_all_singletons() {
+        let g = Graph::empty(4);
+        let cc = connected_components(&g);
+        assert_eq!(cc.n_components, 4);
+        assert_eq!(cc.sizes(), vec![1, 1, 1, 1]);
+    }
+}

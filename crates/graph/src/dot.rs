@@ -1,0 +1,79 @@
+//! Graphviz DOT export.
+//!
+//! Policy graphs are *the* user-facing artefact of PGLP — the demo paper
+//! draws them in every figure. This module renders any graph (optionally
+//! with fixed node positions, so grid policies lay out like the paper's
+//! maps) as DOT for `neato`/`fdp`.
+
+use crate::graph::Graph;
+
+/// Renders `g` as an undirected DOT graph.
+///
+/// `positions`, when given, must supply one `(x, y)` per node and is
+/// emitted as fixed `pos` attributes (inches, `!`-pinned, for `neato -n`).
+/// `highlight` nodes are filled red — the experiments use it for infected
+/// locations.
+pub fn to_dot(g: &Graph, positions: Option<&[(f64, f64)]>, highlight: &[u32]) -> String {
+    if let Some(pos) = positions {
+        assert_eq!(
+            pos.len(),
+            g.n_nodes() as usize,
+            "one position per node required"
+        );
+    }
+    let mut out = String::from("graph policy {\n  node [shape=circle, fontsize=10];\n");
+    for v in g.nodes() {
+        let mut attrs = Vec::new();
+        if let Some(pos) = positions {
+            let (x, y) = pos[v as usize];
+            attrs.push(format!("pos=\"{x:.3},{y:.3}!\""));
+        }
+        if highlight.contains(&v) {
+            attrs.push("style=filled, fillcolor=red".to_string());
+        }
+        if attrs.is_empty() {
+            out.push_str(&format!("  n{v};\n"));
+        } else {
+            out.push_str(&format!("  n{v} [{}];\n", attrs.join(", ")));
+        }
+    }
+    for (a, b) in g.edges() {
+        out.push_str(&format!("  n{a} -- n{b};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_structure() {
+        let g = generators::path(3);
+        let dot = to_dot(&g, None, &[]);
+        assert!(dot.starts_with("graph policy {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(dot.contains("n1 -- n2;"));
+        assert!(!dot.contains("n0 -- n2;"));
+    }
+
+    #[test]
+    fn dot_with_positions_and_highlight() {
+        let g = generators::path(2);
+        let dot = to_dot(&g, Some(&[(0.0, 0.0), (1.0, 0.0)]), &[1]);
+        assert!(dot.contains("pos=\"0.000,0.000!\""));
+        assert!(dot.contains("fillcolor=red"));
+        // Only node 1 is highlighted.
+        let red_lines = dot.lines().filter(|l| l.contains("red")).count();
+        assert_eq!(red_lines, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one position per node")]
+    fn dot_position_mismatch_panics() {
+        to_dot(&generators::path(3), Some(&[(0.0, 0.0)]), &[]);
+    }
+}

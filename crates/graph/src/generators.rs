@@ -1,0 +1,277 @@
+//! Graph generators: the vocabulary of location policy graphs.
+//!
+//! Every policy the paper draws (Figs. 2 and 4) is built from these:
+//!
+//! * [`grid8`] — `G1`, each location adjacent to its eight closest map
+//!   neighbours; PGLP over `G1` implies ε-Geo-Indistinguishability
+//!   (Theorem 2.1).
+//! * [`complete`] — `G2`, the complete graph over a δ-location set; PGLP
+//!   over `G2` implies δ-Location Set Privacy (Theorem 2.2).
+//! * [`partition_cliques`] — `Ga`/`Gb`, indistinguishability *within* each
+//!   coarse area, none across (Fig. 4).
+//! * [`erdos_renyi`] / [`random_with_density`] — the demo's "Random Policy
+//!   Graph" generator with its *Size* and *Density* knobs (Fig. 5).
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// 4-neighbour grid graph on `w × h` nodes (node id = `row·w + col`).
+pub fn grid4(w: u32, h: u32) -> Graph {
+    let mut b = GraphBuilder::new(w * h);
+    for r in 0..h {
+        for c in 0..w {
+            let v = r * w + c;
+            if c + 1 < w {
+                b.edge(v, v + 1);
+            }
+            if r + 1 < h {
+                b.edge(v, v + w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// 8-neighbour grid graph on `w × h` nodes — the paper's `G1` (Fig. 2 left).
+pub fn grid8(w: u32, h: u32) -> Graph {
+    let mut b = GraphBuilder::new(w * h);
+    for r in 0..h {
+        for c in 0..w {
+            let v = r * w + c;
+            if c + 1 < w {
+                b.edge(v, v + 1);
+            }
+            if r + 1 < h {
+                b.edge(v, v + w);
+                if c + 1 < w {
+                    b.edge(v, v + w + 1); // diagonal ↘
+                }
+                if c > 0 {
+                    b.edge(v, v + w - 1); // diagonal ↙
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete graph on `n` nodes — the paper's `G2` over a δ-location set
+/// (Fig. 2 right).
+pub fn complete(n: u32) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for a in 0..n {
+        for c in (a + 1)..n {
+            b.edge(a, c);
+        }
+    }
+    b.build()
+}
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path(n: u32) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics for `n < 3` (smaller cycles are not simple graphs).
+pub fn cycle(n: u32) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.edge(v - 1, v);
+    }
+    b.edge(n - 1, 0);
+    b.build()
+}
+
+/// Star graph: node 0 adjacent to all others.
+pub fn star(n: u32) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.edge(0, v);
+    }
+    b.build()
+}
+
+/// Builds the union of cliques induced by a labelling: nodes with equal
+/// label become mutually 1-neighbours; no edges cross labels.
+///
+/// This is exactly the `Ga`/`Gb` construction of Fig. 4: "ensuring
+/// indistinguishability inside each coarse-grained area and allowing the
+/// locations to be distinguishable in different coarse-grained areas".
+pub fn partition_cliques(labels: &[u32]) -> Graph {
+    let mut b = GraphBuilder::new(labels.len() as u32);
+    // Group node ids by label.
+    let mut groups: std::collections::BTreeMap<u32, Vec<NodeId>> = std::collections::BTreeMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        groups.entry(l).or_default().push(v as NodeId);
+    }
+    for members in groups.values() {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                b.edge(members[i], members[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn erdos_renyi<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    for a in 0..n {
+        for c in (a + 1)..n {
+            if rng.gen_bool(p) {
+                b.edge(a, c);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random graph with an **exact** number of edges: `⌊density · n(n−1)/2⌋`
+/// distinct pairs chosen uniformly.
+///
+/// This mirrors the demo UI's Random Policy Graph panel, where the attendee
+/// dials in *Size* (n) and *Density* directly (Fig. 5 shows Size 50,
+/// Density 0.1).
+pub fn random_with_density<R: Rng + ?Sized>(rng: &mut R, n: u32, density: f64) -> Graph {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    let max_edges = (n as u64) * (n as u64 - 1) / 2;
+    let m = ((density * max_edges as f64).floor() as u64).min(max_edges);
+    // Enumerate all pairs and sample m of them; policy graphs are small
+    // (demo sizes ≤ a few hundred), so materialising pairs is cheap.
+    let mut pairs = Vec::with_capacity(max_edges as usize);
+    for a in 0..n {
+        for c in (a + 1)..n {
+            pairs.push((a, c));
+        }
+    }
+    pairs.shuffle(rng);
+    let mut b = GraphBuilder::new(n);
+    b.edges(pairs.into_iter().take(m as usize));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{bfs_distances, shortest_path_len};
+    use crate::components::connected_components;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid4_structure() {
+        let g = grid4(3, 2);
+        assert_eq!(g.n_nodes(), 6);
+        assert_eq!(g.n_edges(), 7); // 2*2 horizontal + 3 vertical
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 4)); // no diagonal
+    }
+
+    #[test]
+    fn grid8_has_diagonals() {
+        let g = grid8(3, 3);
+        assert!(g.has_edge(0, 4)); // ↘ diagonal
+        assert!(g.has_edge(2, 4)); // ↙ diagonal
+        assert_eq!(g.degree(4), 8); // centre has all 8 neighbours
+        assert_eq!(g.degree(0), 3);
+        // Edge count for w=h=3 grid8: 2*(2*3) horizontal+vertical = 12, diagonals 2*4 = 8.
+        assert_eq!(g.n_edges(), 20);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = complete(5);
+        assert_eq!(g.n_edges(), 10);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    assert_eq!(shortest_path_len(&g, a, b), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        assert_eq!(path(4).n_edges(), 3);
+        assert_eq!(cycle(5).n_edges(), 5);
+        assert_eq!(star(6).n_edges(), 5);
+        assert_eq!(bfs_distances(&cycle(6), 0)[3], 3);
+        assert_eq!(bfs_distances(&star(6), 3)[5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn partition_cliques_structure() {
+        // Labels: two areas {0,1,2} and {3,4}.
+        let g = partition_cliques(&[7, 7, 7, 9, 9]);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && g.has_edge(1, 2));
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(2, 3));
+        let cc = connected_components(&g);
+        assert_eq!(cc.n_components, 2);
+    }
+
+    #[test]
+    fn partition_single_labels_gives_edgeless() {
+        let g = partition_cliques(&[0, 1, 2, 3]);
+        assert!(g.is_edgeless());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        assert!(erdos_renyi(&mut rng, 10, 0.0).is_edgeless());
+        assert_eq!(erdos_renyi(&mut rng, 10, 1.0).n_edges(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_density_close_to_p() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = erdos_renyi(&mut rng, 80, 0.3);
+        let max = 80.0 * 79.0 / 2.0;
+        let density = g.n_edges() as f64 / max;
+        assert!((density - 0.3).abs() < 0.05, "density {density}");
+    }
+
+    #[test]
+    fn random_with_density_exact_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = random_with_density(&mut rng, 50, 0.1);
+        let expect = (0.1_f64 * (50.0 * 49.0 / 2.0)).floor() as usize;
+        assert_eq!(g.n_edges(), expect);
+        // Determinism under the same seed.
+        let mut rng2 = SmallRng::seed_from_u64(13);
+        let g2 = random_with_density(&mut rng2, 50, 0.1);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn random_with_density_bounds() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        assert!(random_with_density(&mut rng, 20, 0.0).is_edgeless());
+        assert_eq!(random_with_density(&mut rng, 20, 1.0).n_edges(), 190);
+    }
+}

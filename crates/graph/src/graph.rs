@@ -1,0 +1,317 @@
+//! Compact undirected graph with sorted adjacency lists.
+
+use serde::{Deserialize, Serialize};
+
+/// Node index within a [`Graph`]. Policy graphs map location ids onto these.
+pub type NodeId = u32;
+
+/// An undirected simple graph (no self-loops, no parallel edges).
+///
+/// Neighbour lists are kept sorted, giving `O(log d)` membership queries and
+/// deterministic iteration order — important both for reproducible sampling
+/// and for the exact privacy audits in `panda-core`, which enumerate
+/// distributions in node order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    n_edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` nodes. In policy terms: every location is an
+    /// isolated node, i.e. everything may be released exactly (the extreme
+    /// no-privacy policy of Lemma 2.1's discussion).
+    pub fn empty(n: u32) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n as usize],
+            n_edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// `true` when the graph has no edges at all.
+    pub fn is_edgeless(&self) -> bool {
+        self.n_edges == 0
+    }
+
+    /// The sorted neighbour list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// `true` when `{a, b}` is an edge (the paper's 1-neighbour relation).
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a as usize >= self.adj.len() || b as usize >= self.adj.len() {
+            return false;
+        }
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n_nodes()
+    }
+
+    /// Iterator over all undirected edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(a, nbrs)| {
+            let a = a as NodeId;
+            nbrs.iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Inserts an edge, keeping adjacency sorted. Returns `true` when the
+    /// edge was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert!(a != b, "self-loops are not allowed in policy graphs");
+        assert!(
+            (a as usize) < self.adj.len() && (b as usize) < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        match self.adj[a as usize].binary_search(&b) {
+            Ok(_) => false,
+            Err(pos_a) => {
+                self.adj[a as usize].insert(pos_a, b);
+                let pos_b = self.adj[b as usize]
+                    .binary_search(&a)
+                    .expect_err("adjacency lists out of sync");
+                self.adj[b as usize].insert(pos_b, a);
+                self.n_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes an edge if present. Returns `true` when it existed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a as usize >= self.adj.len() || b as usize >= self.adj.len() || a == b {
+            return false;
+        }
+        match self.adj[a as usize].binary_search(&b) {
+            Ok(pos_a) => {
+                self.adj[a as usize].remove(pos_a);
+                let pos_b = self.adj[b as usize]
+                    .binary_search(&a)
+                    .expect("adjacency lists out of sync");
+                self.adj[b as usize].remove(pos_b);
+                self.n_edges -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Removes every edge incident to `v`, making it an isolated node.
+    ///
+    /// This is the `Gc` transform of Fig. 4: isolating an infected location
+    /// lifts its indistinguishability requirement so it can be disclosed.
+    pub fn isolate_node(&mut self, v: NodeId) {
+        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        for b in &nbrs {
+            let pos = self.adj[*b as usize]
+                .binary_search(&v)
+                .expect("adjacency lists out of sync");
+            self.adj[*b as usize].remove(pos);
+        }
+        self.n_edges -= nbrs.len();
+    }
+
+    /// `true` when `v` has no incident edges.
+    pub fn is_isolated(&self, v: NodeId) -> bool {
+        self.adj[v as usize].is_empty()
+    }
+}
+
+/// Incremental builder that tolerates duplicate and unordered edge input.
+///
+/// Collects edges, then sorts and deduplicates once — cheaper than repeated
+/// sorted insertion when constructing large generated graphs.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` nodes.
+    pub fn new(n: u32) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Queues an edge; order of endpoints and duplicates do not matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn edge(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        assert!(a != b, "self-loops are not allowed in policy graphs");
+        assert!(a < self.n && b < self.n, "edge endpoint out of range");
+        self.edges.push(if a < b { (a, b) } else { (b, a) });
+        self
+    }
+
+    /// Queues many edges at once.
+    pub fn edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) -> &mut Self {
+        for (a, b) in iter {
+            self.edge(a, b);
+        }
+        self
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn n_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Finalises the graph.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut adj = vec![Vec::new(); self.n as usize];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        Graph {
+            adj,
+            n_edges: self.edges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_edges(), 0);
+        assert!(g.is_edgeless());
+        assert!(g.nodes().all(|v| g.is_isolated(v)));
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::empty(4);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(1, 0), "duplicate edge must be rejected");
+        assert_eq!(g.n_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 99));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Graph::empty(3).add_edge(1, 1);
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.n_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn isolate_node_clears_incident_edges() {
+        let mut g = Graph::empty(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        g.add_edge(2, 3);
+        g.isolate_node(0);
+        assert!(g.is_isolated(0));
+        assert_eq!(g.n_edges(), 1);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let mut g = Graph::empty(4);
+        g.add_edge(2, 0);
+        g.add_edge(1, 3);
+        g.add_edge(0, 1);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (a, b) in edges {
+            assert!(a < b);
+            assert!(g.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn builder_dedups_and_sorts() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(3, 1).edge(1, 3).edge(0, 4).edge(4, 0).edge(2, 3);
+        let g = b.build();
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        assert!(g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn builder_bulk_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.edges([(0, 1), (1, 2), (2, 3)]);
+        let g = b.build();
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 2);
+        let g2 = g.clone();
+        assert_eq!(g, g2);
+        assert_eq!(g2.n_edges(), 1);
+    }
+}

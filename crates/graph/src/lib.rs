@@ -1,0 +1,40 @@
+//! # panda-graph
+//!
+//! Undirected-graph substrate for the PANDA / PGLP reproduction.
+//!
+//! A *location policy graph* (paper Def. 2.1) is an undirected graph whose
+//! nodes are possible locations and whose edges are indistinguishability
+//! requirements. Everything PGLP computes over policy graphs reduces to the
+//! primitives in this crate:
+//!
+//! * [`Graph`] — compact adjacency-list representation with sorted
+//!   neighbour lists (O(log d) edge queries, cache-friendly iteration).
+//! * [`bfs`] — unweighted shortest-path distances `d_G` (Def. 2.2),
+//!   k-neighbourhoods `N^k(s)` (Def. 2.3) and eccentricities.
+//! * [`components`] — connected components, i.e. the `∞`-neighbour classes
+//!   of Lemma 2.1, via union-find.
+//! * [`generators`] — the policy-graph building blocks: 4/8-neighbour grid
+//!   graphs (`G1`), complete graphs (`G2`/δ-location sets), partition
+//!   cliques (`Ga`/`Gb`), Erdős–Rényi random graphs (the demo's "Random
+//!   Policy Graph" knob), paths, cycles, stars.
+//! * [`ops`] — induced subgraphs, node isolation (the `Gc` contact-tracing
+//!   transform), unions and edge edits.
+//! * [`properties`] — density, degree statistics, diameters.
+//!
+//! The crate is deliberately independent of the location domain: nodes are
+//! plain `u32` indices, and `panda-core` maps grid cells onto them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bfs;
+pub mod components;
+pub mod dot;
+pub mod generators;
+pub mod graph;
+pub mod ops;
+pub mod properties;
+
+pub use bfs::{bfs_distances, eccentricity, k_neighbors, shortest_path_len, INFINITE};
+pub use components::{connected_components, ComponentLabels, DisjointSets};
+pub use graph::{Graph, GraphBuilder, NodeId};

@@ -1,0 +1,161 @@
+//! Graph surgery: subgraphs, isolation, unions and edge edits.
+//!
+//! Dynamic policies (§3.2's contact-tracing flow) are *edits* of a base
+//! policy graph: isolating infected locations (`Gc`), restricting to a
+//! feasible subset of locations, or merging several users' policy updates.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// The subgraph induced by `nodes`, together with the mapping from new
+/// (dense) node ids back to the original ids.
+///
+/// `nodes` may be unsorted but must not contain duplicates (checked).
+/// Returned mapping: `original_of[new_id] = old_id`.
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut original_of: Vec<NodeId> = nodes.to_vec();
+    original_of.sort_unstable();
+    let before = original_of.len();
+    original_of.dedup();
+    assert_eq!(before, original_of.len(), "duplicate nodes in subset");
+
+    let mut new_of = vec![u32::MAX; g.n_nodes() as usize];
+    for (new_id, &old) in original_of.iter().enumerate() {
+        assert!(old < g.n_nodes(), "subset node out of range");
+        new_of[old as usize] = new_id as u32;
+    }
+
+    let mut b = GraphBuilder::new(original_of.len() as u32);
+    for &old in &original_of {
+        let a_new = new_of[old as usize];
+        for &nbr in g.neighbors(old) {
+            let b_new = new_of[nbr as usize];
+            if b_new != u32::MAX && a_new < b_new {
+                b.edge(a_new, b_new);
+            }
+        }
+    }
+    (b.build(), original_of)
+}
+
+/// Returns a copy of `g` with every node in `nodes` isolated (all incident
+/// edges removed).
+///
+/// This is the contact-tracing policy transform: given a base policy and the
+/// set of infected locations, `isolate_nodes` yields `Gc` — infected
+/// locations may be disclosed exactly, everything else keeps its
+/// indistinguishability (Fig. 4, right).
+pub fn isolate_nodes(g: &Graph, nodes: &[NodeId]) -> Graph {
+    let mut out = g.clone();
+    for &v in nodes {
+        out.isolate_node(v);
+    }
+    out
+}
+
+/// Edge-union of two graphs over the same node set.
+///
+/// # Panics
+///
+/// Panics when node counts differ.
+pub fn union(a: &Graph, b: &Graph) -> Graph {
+    assert_eq!(
+        a.n_nodes(),
+        b.n_nodes(),
+        "graph union requires equal node sets"
+    );
+    let mut builder = GraphBuilder::new(a.n_nodes());
+    builder.edges(a.edges());
+    builder.edges(b.edges());
+    builder.build()
+}
+
+/// Returns a copy of `g` with the given extra edges added.
+pub fn with_edges(g: &Graph, extra: &[(NodeId, NodeId)]) -> Graph {
+    let mut out = g.clone();
+    for &(a, b) in extra {
+        out.add_edge(a, b);
+    }
+    out
+}
+
+/// Returns a copy of `g` with the given edges removed (missing edges are
+/// ignored).
+pub fn without_edges(g: &Graph, remove: &[(NodeId, NodeId)]) -> Graph {
+    let mut out = g.clone();
+    for &(a, b) in remove {
+        out.remove_edge(a, b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = generators::complete(5);
+        let (sub, map) = induced_subgraph(&g, &[4, 0, 2]);
+        assert_eq!(sub.n_nodes(), 3);
+        assert_eq!(sub.n_edges(), 3); // triangle
+        assert_eq!(map, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_external_edges() {
+        let g = generators::path(5); // 0-1-2-3-4
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(map, vec![0, 1, 3]);
+        assert_eq!(sub.n_edges(), 1); // only 0-1 survives
+        assert!(sub.has_edge(0, 1));
+        assert!(!sub.has_edge(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = generators::path(3);
+        induced_subgraph(&g, &[0, 0, 1]);
+    }
+
+    #[test]
+    fn isolate_nodes_copy_semantics() {
+        let g = generators::complete(4);
+        let gc = isolate_nodes(&g, &[0, 2]);
+        assert_eq!(g.n_edges(), 6, "original untouched");
+        assert!(gc.is_isolated(0));
+        assert!(gc.is_isolated(2));
+        assert_eq!(gc.n_edges(), 1);
+        assert!(gc.has_edge(1, 3));
+    }
+
+    #[test]
+    fn union_of_path_halves() {
+        let mut a = Graph::empty(4);
+        a.add_edge(0, 1);
+        let mut b = Graph::empty(4);
+        b.add_edge(1, 2);
+        b.add_edge(0, 1); // overlap deduplicated
+        let u = union(&a, &b);
+        assert_eq!(u.n_edges(), 2);
+        assert!(u.has_edge(0, 1) && u.has_edge(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal node sets")]
+    fn union_size_mismatch_panics() {
+        union(&Graph::empty(2), &Graph::empty(3));
+    }
+
+    #[test]
+    fn with_and_without_edges() {
+        let g = generators::path(4);
+        let g2 = with_edges(&g, &[(0, 3)]);
+        assert!(g2.has_edge(0, 3));
+        let g3 = without_edges(&g2, &[(0, 3), (1, 2)]);
+        assert!(!g3.has_edge(0, 3));
+        assert!(!g3.has_edge(1, 2));
+        assert!(g3.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,164 @@
+//! Global graph properties: density, degrees, diameters.
+//!
+//! The demo UI reports a policy graph's *Size* and *Density* (Fig. 5); the
+//! PIM calibration needs component diameters; and the policy-design
+//! heuristics in `panda-core` reason about degree distributions (a location's
+//! degree is the size of its plausible-deniability set).
+
+use crate::bfs;
+use crate::components::connected_components;
+use crate::graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Edge density: `m / (n(n-1)/2)`, the Fig. 5 "Density" knob. Zero for
+/// graphs with fewer than two nodes.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.n_nodes() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    g.n_edges() as f64 / (n * (n - 1.0) / 2.0)
+}
+
+/// Summary statistics of the degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of isolated (degree-0) nodes — locations releasable exactly.
+    pub isolated: usize,
+}
+
+/// Computes [`DegreeStats`]. Returns all-zeros for the empty graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.n_nodes();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            isolated: 0,
+        };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut isolated = 0usize;
+    for v in g.nodes() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / n as f64,
+        isolated,
+    }
+}
+
+/// `true` when the graph is connected (and non-empty).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n_nodes() > 0 && connected_components(g).n_components == 1
+}
+
+/// Diameter of the component containing `v`: the largest `d_G` between any
+/// two nodes reachable from `v`.
+///
+/// Exact (one BFS per component member); policy components are small.
+pub fn component_diameter(g: &Graph, v: NodeId) -> u32 {
+    let members = bfs::k_neighbors(g, v, u32::MAX);
+    members
+        .iter()
+        .map(|&m| bfs::eccentricity(g, m))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Diameter of every component, indexed by component id.
+pub fn component_diameters(g: &Graph) -> Vec<u32> {
+    let cc = connected_components(g);
+    let mut out = vec![0u32; cc.n_components as usize];
+    for (c, members) in cc.all_members().into_iter().enumerate() {
+        out[c] = members
+            .iter()
+            .map(|&m| bfs::eccentricity(g, m))
+            .max()
+            .unwrap_or(0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn density_of_known_graphs() {
+        assert_eq!(density(&generators::complete(10)), 1.0);
+        assert_eq!(density(&Graph::empty(10)), 0.0);
+        assert_eq!(density(&Graph::empty(1)), 0.0);
+        let p = generators::path(4); // 3 edges of 6 possible
+        assert!((density(&p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let s = generators::star(5);
+        let st = degree_stats(&s);
+        assert_eq!(st.min, 1);
+        assert_eq!(st.max, 4);
+        assert_eq!(st.isolated, 0);
+        assert!((st.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_with_isolated() {
+        let mut g = Graph::empty(4);
+        g.add_edge(0, 1);
+        let st = degree_stats(&g);
+        assert_eq!(st.isolated, 2);
+        assert_eq!(st.min, 0);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&generators::cycle(5)));
+        assert!(!is_connected(&Graph::empty(2)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn diameters() {
+        let p = generators::path(6);
+        assert_eq!(component_diameter(&p, 0), 5);
+        assert_eq!(component_diameter(&p, 3), 5);
+        let k = generators::complete(4);
+        assert_eq!(component_diameter(&k, 2), 1);
+
+        let mut g = Graph::empty(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2); // path of 3 + two singletons
+        let ds = component_diameters(&g);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[0], 2);
+        assert_eq!(ds[1], 0);
+        assert_eq!(ds[2], 0);
+    }
+
+    #[test]
+    fn grid8_diameter_is_max_chebyshev() {
+        let g = generators::grid8(5, 3);
+        assert_eq!(component_diameter(&g, 0), 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the graph substrate.
+
+use panda_graph::{
+    bfs, components::connected_components, generators, graph::GraphBuilder, Graph, INFINITE,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Arbitrary small graph: node count and an edge bitmask.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2u32..30, any::<u64>(), any::<u64>()).prop_map(|(n, seed, _)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generators::erdos_renyi(&mut rng, n, 0.2)
+    })
+}
+
+proptest! {
+    /// d_G satisfies the triangle inequality on every connected triple.
+    #[test]
+    fn bfs_distance_is_metric(g in arb_graph()) {
+        let n = g.n_nodes();
+        let dists: Vec<Vec<u32>> = (0..n).map(|v| bfs::bfs_distances(&g, v)).collect();
+        for a in 0..n as usize {
+            for b in 0..n as usize {
+                // Symmetry.
+                prop_assert_eq!(dists[a][b], dists[b][a]);
+                // Identity of indiscernibles (one direction).
+                if a == b { prop_assert_eq!(dists[a][b], 0); }
+                for c in 0..n as usize {
+                    let (ab, bc, ac) = (dists[a][b], dists[b][c], dists[a][c]);
+                    if ab != INFINITE && bc != INFINITE {
+                        prop_assert!(ac != INFINITE && ac <= ab + bc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// N^k(s) is monotone in k and reaches the whole component.
+    #[test]
+    fn k_neighbors_monotone(g in arb_graph(), s in 0u32..30, k in 0u32..6) {
+        let s = s % g.n_nodes();
+        let nk = bfs::k_neighbors(&g, s, k);
+        let nk1 = bfs::k_neighbors(&g, s, k + 1);
+        prop_assert!(nk.iter().all(|v| nk1.contains(v)));
+        prop_assert!(nk.contains(&s));
+        let comp = bfs::k_neighbors(&g, s, u32::MAX);
+        let cc = connected_components(&g);
+        prop_assert_eq!(comp.len() as u32, cc.sizes()[cc.component_of(s) as usize]);
+    }
+
+    /// Components partition the nodes, and edges never cross components.
+    #[test]
+    fn components_partition(g in arb_graph()) {
+        let cc = connected_components(&g);
+        prop_assert_eq!(cc.sizes().iter().sum::<u32>(), g.n_nodes());
+        for (a, b) in g.edges() {
+            prop_assert!(cc.same_component(a, b));
+        }
+    }
+
+    /// Distance finiteness agrees exactly with component membership.
+    #[test]
+    fn distance_finite_iff_same_component(g in arb_graph()) {
+        let cc = connected_components(&g);
+        for a in 0..g.n_nodes() {
+            let d = bfs::bfs_distances(&g, a);
+            for b in 0..g.n_nodes() {
+                prop_assert_eq!(d[b as usize] != INFINITE, cc.same_component(a, b));
+            }
+        }
+    }
+
+    /// isolate_nodes really isolates, and removes nothing else.
+    #[test]
+    fn isolation_is_local(g in arb_graph(), pick in any::<u64>()) {
+        let v = (pick % g.n_nodes() as u64) as u32;
+        let iso = panda_graph::ops::isolate_nodes(&g, &[v]);
+        prop_assert!(iso.is_isolated(v));
+        for (a, b) in g.edges() {
+            if a != v && b != v {
+                prop_assert!(iso.has_edge(a, b));
+            }
+        }
+        prop_assert_eq!(iso.n_edges(), g.n_edges() - g.degree(v));
+    }
+
+    /// Induced subgraph edges are exactly the original edges inside the set.
+    #[test]
+    fn induced_subgraph_correct(g in arb_graph(), mask in any::<u32>()) {
+        let nodes: Vec<u32> = (0..g.n_nodes()).filter(|v| mask >> (v % 32) & 1 == 1).collect();
+        if nodes.len() >= 2 {
+            let (sub, map) = panda_graph::ops::induced_subgraph(&g, &nodes);
+            for i in 0..sub.n_nodes() {
+                for j in (i + 1)..sub.n_nodes() {
+                    prop_assert_eq!(
+                        sub.has_edge(i, j),
+                        g.has_edge(map[i as usize], map[j as usize])
+                    );
+                }
+            }
+        }
+    }
+
+    /// Builder and incremental insertion agree.
+    #[test]
+    fn builder_matches_incremental(edges in prop::collection::vec((0u32..15, 0u32..15), 0..40)) {
+        let clean: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+        let mut b = GraphBuilder::new(15);
+        b.edges(clean.iter().copied());
+        let built = b.build();
+        let mut inc = Graph::empty(15);
+        for &(a, c) in &clean {
+            inc.add_edge(a, c);
+        }
+        prop_assert_eq!(built, inc);
+    }
+
+    /// Partition cliques: same label ⟺ adjacent (for groups of ≥ 2).
+    #[test]
+    fn partition_cliques_iff_same_label(labels in prop::collection::vec(0u32..5, 2..20)) {
+        let g = generators::partition_cliques(&labels);
+        for a in 0..labels.len() {
+            for b in (a + 1)..labels.len() {
+                prop_assert_eq!(
+                    g.has_edge(a as u32, b as u32),
+                    labels[a] == labels[b]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! GeoLife-like synthetic trajectories.
+//!
+//! **Substitution note (see DESIGN.md §3).** The demo evaluates on GeoLife
+//! [Zheng et al., MDM'09]: dense GPS trajectories of Beijing commuters. The
+//! statistics the PANDA evaluation actually consumes are (a) dense, regular
+//! sampling, (b) strong home/work anchoring with high revisit rates,
+//! (c) bounded per-epoch movement, and (d) occasional irregular errands.
+//! This generator reproduces those with an explicit daily routine:
+//!
+//! * Each user gets a **home** cell and a **work** cell (work cells cluster
+//!   in a central "business district" so that co-location actually happens).
+//! * A day is `epochs_per_day` epochs: night at home, a morning commute
+//!   along the straight line between home and work, the workday at work
+//!   (with short walks to nearby lunch cells), an evening commute back and,
+//!   with some probability, an evening errand at a Zipf-popular POI.
+//! * Weekends (`day % 7 ∈ {5, 6}`) replace work with home time and errands.
+//!
+//! The grid is anchored at Beijing's coordinates so experiments can report
+//! kilometre-scale utility errors.
+
+use crate::poi::PoiSet;
+use crate::trajectory::{Timestamp, Trajectory, TrajectoryDb, UserId};
+use panda_geo::{CellId, GridMap, Point};
+use rand::Rng;
+
+/// Parameters for [`generate_geolife_like`].
+#[derive(Debug, Clone, Copy)]
+pub struct GeoLifeLikeConfig {
+    /// Number of users.
+    pub n_users: u32,
+    /// Number of simulated days.
+    pub days: u32,
+    /// Epochs per day (24 ⇒ hourly sampling, the common GeoLife resampling).
+    pub epochs_per_day: u32,
+    /// Number of POIs for errands.
+    pub n_pois: usize,
+    /// Zipf exponent of POI popularity.
+    pub poi_exponent: f64,
+    /// Probability of an evening errand on any day.
+    pub errand_prob: f64,
+    /// Fraction of the grid's span used for the central business district
+    /// where work cells concentrate (e.g. 0.25 ⇒ central quarter).
+    pub cbd_fraction: f64,
+}
+
+impl Default for GeoLifeLikeConfig {
+    fn default() -> Self {
+        GeoLifeLikeConfig {
+            n_users: 100,
+            days: 14,
+            epochs_per_day: 24,
+            n_pois: 30,
+            poi_exponent: 1.2,
+            errand_prob: 0.3,
+            cbd_fraction: 0.3,
+        }
+    }
+}
+
+/// A Beijing-anchored grid sized for city-scale experiments: `n × n` cells
+/// of `cell_m` metres.
+pub fn beijing_grid(n: u32, cell_m: f64) -> GridMap {
+    GridMap::new(n, n, cell_m).with_anchor(39.82, 116.25)
+}
+
+/// Generates a GeoLife-like [`TrajectoryDb`].
+///
+/// # Panics
+///
+/// Panics when `epochs_per_day < 8` (the routine needs at least distinct
+/// night/commute/day phases).
+pub fn generate_geolife_like<R: Rng + ?Sized>(
+    rng: &mut R,
+    grid: &GridMap,
+    config: &GeoLifeLikeConfig,
+) -> TrajectoryDb {
+    assert!(
+        config.epochs_per_day >= 8,
+        "need at least 8 epochs per day for the daily routine"
+    );
+    let pois = PoiSet::generate(rng, grid, config.n_pois.max(1), config.poi_exponent);
+    let horizon = (config.days * config.epochs_per_day) as Timestamp;
+
+    // Central business district bounds (in cells).
+    let cbd_w = ((grid.width() as f64 * config.cbd_fraction).ceil() as u32).max(1);
+    let cbd_h = ((grid.height() as f64 * config.cbd_fraction).ceil() as u32).max(1);
+    let cbd_c0 = (grid.width() - cbd_w) / 2;
+    let cbd_r0 = (grid.height() - cbd_h) / 2;
+
+    let mut trajectories = Vec::with_capacity(config.n_users as usize);
+    for uid in 0..config.n_users {
+        let home = CellId(rng.gen_range(0..grid.n_cells()));
+        let work = grid.cell(
+            cbd_c0 + rng.gen_range(0..cbd_w),
+            cbd_r0 + rng.gen_range(0..cbd_h),
+        );
+        let mut cells = Vec::with_capacity(horizon as usize);
+        for day in 0..config.days {
+            let weekend = day % 7 >= 5;
+            let errand = rng.gen_bool(config.errand_prob);
+            let errand_poi = pois.sample(rng);
+            for hour in 0..config.epochs_per_day {
+                let cell = daily_cell(
+                    grid, home, work, weekend, errand, errand_poi, hour,
+                    config.epochs_per_day, rng,
+                );
+                cells.push(cell);
+            }
+        }
+        trajectories.push(Trajectory {
+            user: UserId(uid),
+            cells,
+        });
+    }
+    TrajectoryDb::new(grid.clone(), trajectories)
+}
+
+/// The cell occupied at `hour` of a day with the given routine flags.
+#[allow(clippy::too_many_arguments)]
+fn daily_cell<R: Rng + ?Sized>(
+    grid: &GridMap,
+    home: CellId,
+    work: CellId,
+    weekend: bool,
+    errand: bool,
+    errand_poi: CellId,
+    hour: u32,
+    epochs_per_day: u32,
+    rng: &mut R,
+) -> CellId {
+    // Phase boundaries scaled to the day length (defaults: commute at 7-9,
+    // work 9-17, return 17-19, evening after).
+    let frac = hour as f64 / epochs_per_day as f64;
+    if weekend {
+        return if errand && (0.4..0.7).contains(&frac) {
+            errand_poi
+        } else if (0.45..0.6).contains(&frac) {
+            // Weekend stroll near home.
+            jitter(grid, home, rng)
+        } else {
+            home
+        };
+    }
+    match frac {
+        f if f < 0.29 => home,
+        f if f < 0.375 => commute_cell(grid, home, work, (f - 0.29) / 0.085),
+        f if f < 0.7 => {
+            // Workday, with a mid-day lunch walk.
+            if (0.5..0.54).contains(&f) {
+                jitter(grid, work, rng)
+            } else {
+                work
+            }
+        }
+        f if f < 0.8 => commute_cell(grid, work, home, (f - 0.7) / 0.1),
+        _ => {
+            if errand {
+                errand_poi
+            } else {
+                home
+            }
+        }
+    }
+}
+
+/// A point `t ∈ [0,1]` of the way along the straight line between two cell
+/// centres, snapped to the grid.
+fn commute_cell(grid: &GridMap, from: CellId, to: CellId, t: f64) -> CellId {
+    let p = grid
+        .center(from)
+        .lerp(grid.center(to), t.clamp(0.0, 1.0));
+    grid.nearest_cell(p)
+}
+
+/// A uniformly-chosen 8-neighbour (or the cell itself).
+fn jitter<R: Rng + ?Sized>(grid: &GridMap, cell: CellId, rng: &mut R) -> CellId {
+    let mut options = grid.neighbors8(cell);
+    options.push(cell);
+    options[rng.gen_range(0..options.len())]
+}
+
+/// Convenience offset helper used by tests and examples: the cell centre of
+/// a trajectory epoch as a plane point.
+pub fn position_at(grid: &GridMap, tr: &Trajectory, t: Timestamp) -> Option<Point> {
+    tr.at(t).map(|c| grid.center(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn generate(seed: u64) -> TrajectoryDb {
+        let grid = beijing_grid(16, 500.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate_geolife_like(&mut rng, &grid, &GeoLifeLikeConfig::default())
+    }
+
+    #[test]
+    fn shape_and_domain() {
+        let db = generate(1);
+        assert_eq!(db.n_users(), 100);
+        assert_eq!(db.horizon(), 14 * 24);
+        for tr in db.trajectories() {
+            assert!(tr.cells.iter().all(|&c| db.grid().contains(c)));
+        }
+    }
+
+    #[test]
+    fn home_anchoring_dominates_nights() {
+        let db = generate(2);
+        // At midnight (hour 0) every user is at home; homes are the modal
+        // cell of the trajectory's night hours across days.
+        for tr in db.trajectories().iter().take(20) {
+            let night0 = tr.at(0).unwrap();
+            for day in 1..14u32 {
+                assert_eq!(
+                    tr.at(day * 24).unwrap(),
+                    night0,
+                    "user must be home at midnight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_revisit_rate() {
+        // GeoLife-like data revisits few distinct cells relative to epochs.
+        let db = generate(3);
+        for tr in db.trajectories().iter().take(20) {
+            let distinct = tr.distinct_cells().len();
+            assert!(
+                distinct <= 40,
+                "too many distinct cells for a routine commuter: {distinct}"
+            );
+        }
+    }
+
+    #[test]
+    fn workdays_create_colocation() {
+        // Work cells concentrate in the CBD, so midday co-location counts
+        // must be substantial.
+        let db = generate(4);
+        let midday_occ = db.occupancy_at(12);
+        let max_cell = midday_occ.iter().max().copied().unwrap();
+        assert!(
+            max_cell >= 3,
+            "CBD should concentrate users at midday (max {max_cell})"
+        );
+    }
+
+    #[test]
+    fn weekends_differ_from_weekdays() {
+        let db = generate(5);
+        let tr = &db.trajectories()[0];
+        // Midday Monday (day 0) is work; midday Saturday (day 5) is mostly
+        // home/stroll: they should differ for a commuter whose home != work.
+        let monday_noon = tr.at(12).unwrap();
+        let saturday_noon = tr.at(5 * 24 + 12).unwrap();
+        let home = tr.at(0).unwrap();
+        if monday_noon != home {
+            assert_ne!(
+                monday_noon, saturday_noon,
+                "weekend noon should not be at work"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(7);
+        let b = generate(7);
+        assert_eq!(a.trajectories(), b.trajectories());
+    }
+
+    #[test]
+    fn grid_is_beijing_anchored() {
+        let g = beijing_grid(8, 1000.0);
+        let (lat, lon) = g.lat_lon(g.cell(0, 0)).unwrap();
+        assert!((lat - 39.82).abs() < 0.1);
+        assert!((lon - 116.25).abs() < 0.1);
+    }
+}

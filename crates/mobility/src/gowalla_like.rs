@@ -1,0 +1,266 @@
+//! Gowalla-like synthetic check-ins.
+//!
+//! **Substitution note (see DESIGN.md §3).** Gowalla [Cho et al., KDD'11]
+//! is a sparse check-in dataset: users visit venues occasionally, venue
+//! popularity is heavy-tailed, and users mix a small personal set of
+//! favourites with globally popular places. This generator reproduces that
+//! structure:
+//!
+//! * venues are Zipf-popular POIs ([`crate::poi::PoiSet`]);
+//! * each user keeps a small personal favourite set (chosen by popularity)
+//!   and revisits it with probability `p_favourite`, otherwise exploring a
+//!   popularity-weighted venue — the "preferential return" mechanism of
+//!   human-mobility studies;
+//! * inter-check-in gaps are heavy-tailed (truncated Pareto), giving the
+//!   bursty timelines check-in data shows.
+//!
+//! The sparse [`CheckIn`] stream is the native output; [`densify`] converts
+//! it to a dense [`TrajectoryDb`] (hold-last-position semantics) for the
+//! experiments that need per-epoch locations.
+
+use crate::levy::pareto_step;
+use crate::poi::PoiSet;
+use crate::trajectory::{Timestamp, Trajectory, TrajectoryDb, UserId};
+use panda_geo::{CellId, GridMap};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single check-in event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckIn {
+    /// Who checked in.
+    pub user: UserId,
+    /// When (epoch).
+    pub time: Timestamp,
+    /// Where (venue cell).
+    pub cell: CellId,
+}
+
+/// Parameters for [`generate_gowalla_like`].
+#[derive(Debug, Clone, Copy)]
+pub struct GowallaLikeConfig {
+    /// Number of users.
+    pub n_users: u32,
+    /// Number of epochs in the observation window.
+    pub horizon: Timestamp,
+    /// Number of venues.
+    pub n_venues: usize,
+    /// Zipf exponent of venue popularity (Gowalla fits ≈ 1.0–1.3).
+    pub venue_exponent: f64,
+    /// Per-user favourite-set size.
+    pub n_favourites: usize,
+    /// Probability a check-in returns to a favourite.
+    pub p_favourite: f64,
+    /// Pareto tail exponent of inter-check-in gaps.
+    pub gap_alpha: f64,
+    /// Minimum gap between a user's check-ins, in epochs.
+    pub gap_min: f64,
+    /// Maximum gap, in epochs.
+    pub gap_max: f64,
+}
+
+impl Default for GowallaLikeConfig {
+    fn default() -> Self {
+        GowallaLikeConfig {
+            n_users: 100,
+            horizon: 336, // two weeks of hourly epochs
+            n_venues: 40,
+            venue_exponent: 1.1,
+            n_favourites: 4,
+            p_favourite: 0.6,
+            gap_alpha: 1.3,
+            gap_min: 1.0,
+            gap_max: 72.0,
+        }
+    }
+}
+
+/// Generates a Gowalla-like check-in stream, sorted by `(user, time)`.
+pub fn generate_gowalla_like<R: Rng + ?Sized>(
+    rng: &mut R,
+    grid: &GridMap,
+    config: &GowallaLikeConfig,
+) -> Vec<CheckIn> {
+    assert!(config.n_favourites >= 1, "need at least one favourite");
+    let venues = PoiSet::generate(rng, grid, config.n_venues, config.venue_exponent);
+    let mut checkins = Vec::new();
+    for uid in 0..config.n_users {
+        // Favourite set: popularity-weighted without replacement.
+        let mut favourites = Vec::with_capacity(config.n_favourites);
+        let mut guard = 0;
+        while favourites.len() < config.n_favourites && guard < 1000 {
+            let v = venues.sample(rng);
+            if !favourites.contains(&v) {
+                favourites.push(v);
+            }
+            guard += 1;
+        }
+        let mut t = rng.gen_range(0.0..config.gap_max);
+        while (t as Timestamp) < config.horizon {
+            let cell = if rng.gen_bool(config.p_favourite) {
+                favourites[rng.gen_range(0..favourites.len())]
+            } else {
+                venues.sample(rng)
+            };
+            checkins.push(CheckIn {
+                user: UserId(uid),
+                time: t as Timestamp,
+                cell,
+            });
+            t += pareto_step(rng, config.gap_alpha, config.gap_min, config.gap_max);
+        }
+    }
+    checkins.sort_by_key(|c| (c.user, c.time));
+    checkins
+}
+
+/// Converts a check-in stream into a dense [`TrajectoryDb`] with
+/// hold-last-position semantics; epochs before a user's first check-in hold
+/// the first check-in's venue. Users without check-ins are dropped.
+pub fn densify(grid: &GridMap, checkins: &[CheckIn], horizon: Timestamp) -> TrajectoryDb {
+    use std::collections::BTreeMap;
+    let mut per_user: BTreeMap<UserId, Vec<(Timestamp, CellId)>> = BTreeMap::new();
+    for c in checkins {
+        per_user.entry(c.user).or_default().push((c.time, c.cell));
+    }
+    let trajectories = per_user
+        .into_iter()
+        .map(|(user, mut events)| {
+            events.sort_by_key(|&(t, _)| t);
+            let mut cells = Vec::with_capacity(horizon as usize);
+            let mut current = events[0].1;
+            let mut next_idx = 0;
+            for t in 0..horizon {
+                while next_idx < events.len() && events[next_idx].0 <= t {
+                    current = events[next_idx].1;
+                    next_idx += 1;
+                }
+                cells.push(current);
+            }
+            Trajectory { user, cells }
+        })
+        .collect();
+    TrajectoryDb::new(grid.clone(), trajectories)
+}
+
+/// Venue visit counts (dense, indexed by cell id) — the popularity curve
+/// the generator is supposed to reproduce.
+pub fn venue_counts(grid: &GridMap, checkins: &[CheckIn]) -> Vec<u32> {
+    let mut counts = vec![0u32; grid.n_cells() as usize];
+    for c in checkins {
+        counts[c.cell.index()] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridMap {
+        GridMap::new(12, 12, 200.0)
+    }
+
+    fn checkins(seed: u64) -> Vec<CheckIn> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate_gowalla_like(&mut rng, &grid(), &GowallaLikeConfig::default())
+    }
+
+    #[test]
+    fn stream_is_sorted_and_in_window() {
+        let cs = checkins(1);
+        assert!(!cs.is_empty());
+        for w in cs.windows(2) {
+            assert!((w[0].user, w[0].time) <= (w[1].user, w[1].time));
+        }
+        assert!(cs.iter().all(|c| c.time < 336));
+        assert!(cs.iter().all(|c| grid().contains(c.cell)));
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let cs = checkins(2);
+        let mut counts = venue_counts(&grid(), &cs);
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u32 = counts.iter().sum();
+        let top5: u32 = counts.iter().take(5).sum();
+        // Zipf(1.1) over 40 venues: top-5 carries a large share.
+        assert!(
+            top5 as f64 / total as f64 > 0.3,
+            "top-5 share {}",
+            top5 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn users_revisit_favourites() {
+        let cs = checkins(3);
+        // For most users, the modal venue should account for a sizeable
+        // fraction of their check-ins.
+        use std::collections::HashMap;
+        let mut per_user: HashMap<UserId, Vec<CellId>> = HashMap::new();
+        for c in &cs {
+            per_user.entry(c.user).or_default().push(c.cell);
+        }
+        let mut concentrated = 0;
+        let mut eligible = 0;
+        for (_, cells) in per_user {
+            if cells.len() < 5 {
+                continue;
+            }
+            eligible += 1;
+            let mut counts: HashMap<CellId, usize> = HashMap::new();
+            for c in &cells {
+                *counts.entry(*c).or_insert(0) += 1;
+            }
+            let modal = counts.values().max().copied().unwrap();
+            if modal as f64 / cells.len() as f64 > 0.2 {
+                concentrated += 1;
+            }
+        }
+        assert!(
+            concentrated as f64 / eligible as f64 > 0.6,
+            "{concentrated}/{eligible} users concentrated"
+        );
+    }
+
+    #[test]
+    fn densify_holds_last_position() {
+        let g = grid();
+        let cs = vec![
+            CheckIn {
+                user: UserId(0),
+                time: 2,
+                cell: g.cell(1, 1),
+            },
+            CheckIn {
+                user: UserId(0),
+                time: 5,
+                cell: g.cell(3, 3),
+            },
+        ];
+        let db = densify(&g, &cs, 8);
+        let tr = db.trajectory(UserId(0)).unwrap();
+        // Before first check-in: first venue.
+        assert_eq!(tr.at(0), Some(g.cell(1, 1)));
+        assert_eq!(tr.at(2), Some(g.cell(1, 1)));
+        assert_eq!(tr.at(4), Some(g.cell(1, 1)));
+        assert_eq!(tr.at(5), Some(g.cell(3, 3)));
+        assert_eq!(tr.at(7), Some(g.cell(3, 3)));
+    }
+
+    #[test]
+    fn densify_full_stream() {
+        let cs = checkins(4);
+        let db = densify(&grid(), &cs, 336);
+        assert!(db.n_users() > 0);
+        assert_eq!(db.horizon(), 336);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(checkins(9), checkins(9));
+    }
+}

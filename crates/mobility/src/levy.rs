@@ -1,0 +1,166 @@
+//! Lévy-flight mobility.
+//!
+//! Human displacement lengths are famously heavy-tailed ("Lévy-flight"
+//! structure): many short hops, rare long jumps. This generator samples step
+//! lengths from a truncated Pareto distribution and uniform directions,
+//! reflecting at the grid boundary. It is the stress-test workload for
+//! policies tuned to local movement (a `G1` policy handles short hops well;
+//! long jumps expose the difference between graph and Euclidean distance).
+
+use crate::trajectory::{Timestamp, Trajectory, TrajectoryDb, UserId};
+use panda_geo::{sample, GridMap, Point};
+use rand::Rng;
+
+/// Parameters for [`generate_levy`].
+#[derive(Debug, Clone, Copy)]
+pub struct LevyConfig {
+    /// Number of users.
+    pub n_users: u32,
+    /// Number of epochs.
+    pub horizon: Timestamp,
+    /// Pareto tail exponent `α > 0` (smaller ⇒ heavier tail; human mobility
+    /// studies report ≈ 1.5–2).
+    pub alpha: f64,
+    /// Minimum step length (the Pareto scale), length units per epoch.
+    pub step_min: f64,
+    /// Hard cap on step length (truncation), length units per epoch.
+    pub step_max: f64,
+}
+
+impl Default for LevyConfig {
+    fn default() -> Self {
+        LevyConfig {
+            n_users: 50,
+            horizon: 100,
+            alpha: 1.6,
+            step_min: 20.0,
+            step_max: 3_000.0,
+        }
+    }
+}
+
+/// Samples a truncated Pareto(α, x_min) step length, capped at `x_max`.
+pub fn pareto_step<R: Rng + ?Sized>(rng: &mut R, alpha: f64, x_min: f64, x_max: f64) -> f64 {
+    debug_assert!(alpha > 0.0 && x_min > 0.0 && x_max >= x_min);
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (x_min / u.powf(1.0 / alpha)).min(x_max)
+}
+
+/// Generates a Lévy-flight [`TrajectoryDb`] on `grid`.
+pub fn generate_levy<R: Rng + ?Sized>(
+    rng: &mut R,
+    grid: &GridMap,
+    config: &LevyConfig,
+) -> TrajectoryDb {
+    assert!(config.alpha > 0.0, "alpha must be positive");
+    assert!(
+        config.step_min > 0.0 && config.step_max >= config.step_min,
+        "invalid step range"
+    );
+    let width = grid.width() as f64 * grid.cell_size();
+    let height = grid.height() as f64 * grid.cell_size();
+    let mut trajectories = Vec::with_capacity(config.n_users as usize);
+    for uid in 0..config.n_users {
+        let mut pos = sample::uniform_in_rect(
+            rng,
+            Point::new(0.0, 0.0),
+            Point::new(width, height),
+        );
+        let mut cells = Vec::with_capacity(config.horizon as usize);
+        for _ in 0..config.horizon {
+            cells.push(grid.nearest_cell(pos));
+            let step = pareto_step(rng, config.alpha, config.step_min, config.step_max);
+            let dir = sample::uniform_direction(rng);
+            pos += dir * step;
+            // Reflect at boundaries.
+            pos.x = reflect(pos.x, width);
+            pos.y = reflect(pos.y, height);
+        }
+        trajectories.push(Trajectory {
+            user: UserId(uid),
+            cells,
+        });
+    }
+    TrajectoryDb::new(grid.clone(), trajectories)
+}
+
+/// Reflects `x` into `[0, limit]` (possibly multiple folds for huge steps).
+fn reflect(mut x: f64, limit: f64) -> f64 {
+    loop {
+        if x < 0.0 {
+            x = -x;
+        } else if x > limit {
+            x = 2.0 * limit - x;
+        } else {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reflect_keeps_in_range() {
+        assert_eq!(reflect(-3.0, 10.0), 3.0);
+        assert_eq!(reflect(13.0, 10.0), 7.0);
+        assert_eq!(reflect(5.0, 10.0), 5.0);
+        let x = reflect(47.0, 10.0); // multiple folds
+        assert!((0.0..=10.0).contains(&x));
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..5000 {
+            let s = pareto_step(&mut rng, 1.5, 10.0, 500.0);
+            assert!((10.0..=500.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        const N: usize = 50_000;
+        let steps: Vec<f64> = (0..N)
+            .map(|_| pareto_step(&mut rng, 1.5, 10.0, 1e9))
+            .collect();
+        let median = {
+            let mut s = steps.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[N / 2]
+        };
+        let mean = steps.iter().sum::<f64>() / N as f64;
+        // Heavy tail: Pareto(1.5) median = 10·2^(2/3) ≈ 15.9 while the mean
+        // is α·x_min/(α−1) = 30 ≈ 1.9× the median.
+        assert!((median - 15.9).abs() < 1.0, "median {median}");
+        assert!(mean > 1.6 * median, "mean {mean} median {median}");
+    }
+
+    #[test]
+    fn trajectories_stay_on_grid_and_mix() {
+        let grid = GridMap::new(12, 12, 100.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let db = generate_levy(&mut rng, &grid, &LevyConfig::default());
+        assert_eq!(db.n_users(), 50);
+        // Lévy walkers should cover many distinct cells.
+        let coverage: usize = db
+            .trajectories()
+            .iter()
+            .map(|t| t.distinct_cells().len())
+            .sum();
+        assert!(coverage / db.n_users() >= 5, "walkers too sedentary");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let grid = GridMap::new(8, 8, 50.0);
+        let cfg = LevyConfig::default();
+        let a = generate_levy(&mut SmallRng::seed_from_u64(9), &grid, &cfg);
+        let b = generate_levy(&mut SmallRng::seed_from_u64(9), &grid, &cfg);
+        assert_eq!(a.trajectories(), b.trajectories());
+    }
+}

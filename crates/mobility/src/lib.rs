@@ -1,0 +1,39 @@
+//! # panda-mobility
+//!
+//! Synthetic mobility substrate for the PANDA reproduction.
+//!
+//! The demo evaluates on **GeoLife** (dense GPS trajectories, Beijing) and
+//! **Gowalla** (sparse check-ins). Neither dataset can ship with a
+//! reproduction, and nothing in the paper's evaluation depends on the real
+//! coordinates — every metric consumes `(user, epoch, cell)` triples and
+//! their statistical structure (revisit patterns, spatial autocorrelation,
+//! heavy-tailed place popularity). This crate generates seeded synthetic
+//! datasets with exactly that structure:
+//!
+//! * [`geolife_like`] — dense, regularly-sampled trajectories from a
+//!   home/work-anchored daily routine with random-waypoint commutes and
+//!   Zipf-popular errands. Anchored on a Beijing-scale grid.
+//! * [`gowalla_like`] — sparse check-ins at Zipf-popular POIs with bursty
+//!   (heavy-tailed) inter-arrival times.
+//! * [`waypoint`], [`levy`], [`markov`] — the classic mobility models used
+//!   as building blocks and as alternative workloads.
+//! * [`trajectory`] — the dense trajectory database all experiments consume,
+//!   with co-location queries (the substrate of contact tracing).
+//!
+//! Everything is deterministic under a caller-supplied RNG.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod geolife_like;
+pub mod gowalla_like;
+pub mod levy;
+pub mod markov;
+pub mod poi;
+pub mod stats;
+pub mod trajectory;
+pub mod waypoint;
+
+pub use geolife_like::{GeoLifeLikeConfig, generate_geolife_like};
+pub use gowalla_like::{CheckIn, GowallaLikeConfig, generate_gowalla_like};
+pub use trajectory::{Timestamp, Trajectory, TrajectoryDb, UserId};

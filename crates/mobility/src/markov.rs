@@ -1,0 +1,304 @@
+//! First-order Markov mobility on grid cells.
+//!
+//! Besides generating trajectories, the Markov kernel doubles as the
+//! adversary's *mobility prior* in the inference attack (`panda-attack`) and
+//! as the reachability model behind policy feasibility (`panda-core::repair`):
+//! from cell `c`, one epoch later the user is in `c` (stay) or one of its
+//! 8 neighbours.
+
+use crate::trajectory::{Timestamp, Trajectory, TrajectoryDb, UserId};
+use panda_geo::{CellId, GridMap};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A sparse row-stochastic transition kernel over grid cells.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobilityKernel {
+    n_cells: u32,
+    /// Per-cell `(target, probability)` rows, probabilities summing to 1.
+    rows: Vec<Vec<(CellId, f64)>>,
+}
+
+impl MobilityKernel {
+    /// The lazy-random-walk kernel: stay with probability `p_stay`,
+    /// otherwise move to a uniformly-chosen 8-neighbour.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p_stay ≤ 1`.
+    pub fn lazy_walk(grid: &GridMap, p_stay: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_stay), "p_stay must be in [0,1]");
+        let mut rows = Vec::with_capacity(grid.n_cells() as usize);
+        for cell in grid.cells() {
+            let nbrs = grid.neighbors8(cell);
+            let mut row = Vec::with_capacity(nbrs.len() + 1);
+            if nbrs.is_empty() {
+                row.push((cell, 1.0));
+            } else {
+                row.push((cell, p_stay));
+                let p_move = (1.0 - p_stay) / nbrs.len() as f64;
+                for n in nbrs {
+                    row.push((n, p_move));
+                }
+            }
+            rows.push(row);
+        }
+        MobilityKernel {
+            n_cells: grid.n_cells(),
+            rows,
+        }
+    }
+
+    /// Builds a kernel from empirical transition counts of a trajectory
+    /// database (add-one smoothing over the observed support; unseen cells
+    /// fall back to self-loops). This is how the adversary learns a prior
+    /// from public mobility data.
+    pub fn from_trajectories(db: &TrajectoryDb) -> Self {
+        let n = db.grid().n_cells();
+        let mut counts: Vec<std::collections::HashMap<CellId, f64>> =
+            vec![std::collections::HashMap::new(); n as usize];
+        for tr in db.trajectories() {
+            for w in tr.cells.windows(2) {
+                *counts[w[0].index()].entry(w[1]).or_insert(0.0) += 1.0;
+            }
+        }
+        let rows = counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut row)| {
+                if row.is_empty() {
+                    return vec![(CellId(i as u32), 1.0)];
+                }
+                // Add-one smoothing over observed targets.
+                for v in row.values_mut() {
+                    *v += 1.0;
+                }
+                let total: f64 = row.values().sum();
+                let mut out: Vec<(CellId, f64)> =
+                    row.into_iter().map(|(c, v)| (c, v / total)).collect();
+                out.sort_by_key(|&(c, _)| c);
+                out
+            })
+            .collect();
+        MobilityKernel { n_cells: n, rows }
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> u32 {
+        self.n_cells
+    }
+
+    /// The transition row of `cell`.
+    pub fn row(&self, cell: CellId) -> &[(CellId, f64)] {
+        &self.rows[cell.index()]
+    }
+
+    /// Transition probability `P(to | from)`.
+    pub fn prob(&self, from: CellId, to: CellId) -> f64 {
+        self.rows[from.index()]
+            .iter()
+            .find(|&&(c, _)| c == to)
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0)
+    }
+
+    /// Samples the next cell.
+    pub fn step<R: Rng + ?Sized>(&self, rng: &mut R, from: CellId) -> CellId {
+        let row = &self.rows[from.index()];
+        let mut u: f64 = rng.gen();
+        for &(c, p) in row {
+            if u < p {
+                return c;
+            }
+            u -= p;
+        }
+        row.last().expect("rows are never empty").0
+    }
+
+    /// The set of cells reachable from `from` within `steps` transitions —
+    /// the feasibility constraint used for policy repair.
+    pub fn reachable(&self, from: CellId, steps: u32) -> Vec<CellId> {
+        let mut frontier = vec![from];
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(from);
+        for _ in 0..steps {
+            let mut next = Vec::new();
+            for &c in &frontier {
+                for &(t, p) in self.row(c) {
+                    if p > 0.0 && seen.insert(t) {
+                        next.push(t);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Evolves a distribution over cells by one step: `next = dist · P`.
+    pub fn evolve(&self, dist: &[f64]) -> Vec<f64> {
+        assert_eq!(dist.len(), self.n_cells as usize);
+        let mut next = vec![0.0; dist.len()];
+        for (i, row) in self.rows.iter().enumerate() {
+            let mass = dist[i];
+            if mass == 0.0 {
+                continue;
+            }
+            for &(c, p) in row {
+                next[c.index()] += mass * p;
+            }
+        }
+        next
+    }
+}
+
+/// Parameters for [`generate_markov`].
+#[derive(Debug, Clone, Copy)]
+pub struct MarkovConfig {
+    /// Number of users.
+    pub n_users: u32,
+    /// Number of epochs.
+    pub horizon: Timestamp,
+    /// Stay probability of the lazy walk.
+    pub p_stay: f64,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        MarkovConfig {
+            n_users: 50,
+            horizon: 100,
+            p_stay: 0.5,
+        }
+    }
+}
+
+/// Generates trajectories by running the lazy-walk kernel from uniform
+/// starting cells.
+pub fn generate_markov<R: Rng + ?Sized>(
+    rng: &mut R,
+    grid: &GridMap,
+    config: &MarkovConfig,
+) -> TrajectoryDb {
+    let kernel = MobilityKernel::lazy_walk(grid, config.p_stay);
+    let mut trajectories = Vec::with_capacity(config.n_users as usize);
+    for uid in 0..config.n_users {
+        let mut cell = CellId(rng.gen_range(0..grid.n_cells()));
+        let mut cells = Vec::with_capacity(config.horizon as usize);
+        for _ in 0..config.horizon {
+            cells.push(cell);
+            cell = kernel.step(rng, cell);
+        }
+        trajectories.push(Trajectory {
+            user: UserId(uid),
+            cells,
+        });
+    }
+    TrajectoryDb::new(grid.clone(), trajectories)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridMap {
+        GridMap::new(5, 5, 100.0)
+    }
+
+    #[test]
+    fn lazy_walk_rows_are_stochastic() {
+        let k = MobilityKernel::lazy_walk(&grid(), 0.4);
+        for cell in grid().cells() {
+            let total: f64 = k.row(cell).iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-12, "row {cell} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn lazy_walk_moves_to_neighbors_only() {
+        let g = grid();
+        let k = MobilityKernel::lazy_walk(&g, 0.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c = g.cell(2, 2);
+        for _ in 0..500 {
+            let next = k.step(&mut rng, c);
+            assert!(g.chebyshev_cells(c, next) <= 1);
+        }
+    }
+
+    #[test]
+    fn prob_lookup() {
+        let g = grid();
+        let k = MobilityKernel::lazy_walk(&g, 0.2);
+        assert!((k.prob(g.cell(2, 2), g.cell(2, 2)) - 0.2).abs() < 1e-12);
+        assert!((k.prob(g.cell(2, 2), g.cell(3, 2)) - 0.1).abs() < 1e-12);
+        assert_eq!(k.prob(g.cell(0, 0), g.cell(4, 4)), 0.0);
+    }
+
+    #[test]
+    fn reachable_grows_like_chebyshev_balls() {
+        let g = grid();
+        let k = MobilityKernel::lazy_walk(&g, 0.5);
+        let r1 = k.reachable(g.cell(2, 2), 1);
+        assert_eq!(r1.len(), 9);
+        let r2 = k.reachable(g.cell(2, 2), 2);
+        assert_eq!(r2.len(), 25);
+        let r0 = k.reachable(g.cell(2, 2), 0);
+        assert_eq!(r0, vec![g.cell(2, 2)]);
+    }
+
+    #[test]
+    fn evolve_preserves_mass() {
+        let g = grid();
+        let k = MobilityKernel::lazy_walk(&g, 0.3);
+        let mut dist = vec![0.0; g.n_cells() as usize];
+        dist[g.cell(2, 2).index()] = 1.0;
+        for _ in 0..5 {
+            dist = k.evolve(&dist);
+            let total: f64 = dist.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        // After 5 steps mass has spread beyond the centre cell.
+        assert!(dist[g.cell(2, 2).index()] < 0.9);
+    }
+
+    #[test]
+    fn empirical_kernel_matches_behaviour() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let db = generate_markov(
+            &mut rng,
+            &g,
+            &MarkovConfig {
+                n_users: 40,
+                horizon: 200,
+                p_stay: 0.7,
+            },
+        );
+        let k = MobilityKernel::from_trajectories(&db);
+        // Self-transition should dominate for a sticky walk.
+        let c = g.cell(2, 2);
+        let p_self = k.prob(c, c);
+        assert!(p_self > 0.4, "learned p_stay {p_self}");
+        // Rows normalise.
+        let total: f64 = k.row(c).iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markov_trajectories_are_step_bounded() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let db = generate_markov(&mut rng, &g, &MarkovConfig::default());
+        for tr in db.trajectories() {
+            for w in tr.cells.windows(2) {
+                assert!(g.chebyshev_cells(w[0], w[1]) <= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Points of interest with Zipf-distributed popularity.
+//!
+//! Check-in datasets (Gowalla) are dominated by a heavy-tailed place
+//! popularity: a few venues absorb most visits. A [`PoiSet`] models this
+//! with an explicit Zipf law over randomly-placed POI cells; both synthetic
+//! generators use it for "errand" and "check-in" destinations.
+
+use panda_geo::{CellId, GridMap};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A set of POI cells with Zipf(s) popularity weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoiSet {
+    cells: Vec<CellId>,
+    /// Cumulative popularity, normalised to end at 1.
+    cumulative: Vec<f64>,
+    exponent: f64,
+}
+
+impl PoiSet {
+    /// Places `n` distinct POIs uniformly on the grid, ranked by Zipf
+    /// exponent `s` (rank-`k` weight `∝ 1/k^s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or exceeds the number of cells, or `s < 0`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, grid: &GridMap, n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one POI");
+        assert!(n as u64 <= grid.n_cells() as u64, "more POIs than cells");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut all: Vec<CellId> = grid.cells().collect();
+        all.shuffle(rng);
+        all.truncate(n);
+        Self::from_ranked_cells(all, s)
+    }
+
+    /// Builds a POI set from cells already ordered by rank (most popular
+    /// first).
+    pub fn from_ranked_cells(cells: Vec<CellId>, s: f64) -> Self {
+        assert!(!cells.is_empty());
+        let mut cumulative = Vec::with_capacity(cells.len());
+        let mut acc = 0.0;
+        for k in 1..=cells.len() {
+            acc += 1.0 / (k as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        PoiSet {
+            cells,
+            cumulative,
+            exponent: s,
+        }
+    }
+
+    /// The POI cells, most popular first.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when there are no POIs (never; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Zipf exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Samples a POI by popularity.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> CellId {
+        let u: f64 = rng.gen();
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        self.cells[idx.min(self.cells.len() - 1)]
+    }
+
+    /// Exact popularity of the rank-`k` POI (0-based).
+    pub fn popularity(&self, k: usize) -> f64 {
+        let prev = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        self.cumulative[k] - prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn popularity_normalises_and_decays() {
+        let cells: Vec<CellId> = (0..10).map(CellId).collect();
+        let pois = PoiSet::from_ranked_cells(cells, 1.2);
+        let total: f64 = (0..10).map(|k| pois.popularity(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for k in 1..10 {
+            assert!(pois.popularity(k) < pois.popularity(k - 1));
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let cells: Vec<CellId> = (0..4).map(CellId).collect();
+        let pois = PoiSet::from_ranked_cells(cells, 0.0);
+        for k in 0..4 {
+            assert!((pois.popularity(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_popularity() {
+        let cells: Vec<CellId> = (0..5).map(CellId).collect();
+        let pois = PoiSet::from_ranked_cells(cells, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        const N: usize = 100_000;
+        let mut counts = vec![0usize; 5];
+        for _ in 0..N {
+            counts[pois.sample(&mut rng).index()] += 1;
+        }
+        for k in 0..5 {
+            let emp = counts[k] as f64 / N as f64;
+            assert!(
+                (emp - pois.popularity(k)).abs() < 0.01,
+                "rank {k}: {emp} vs {}",
+                pois.popularity(k)
+            );
+        }
+    }
+
+    #[test]
+    fn generate_places_distinct_pois() {
+        let grid = GridMap::new(8, 8, 100.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pois = PoiSet::generate(&mut rng, &grid, 20, 1.0);
+        assert_eq!(pois.len(), 20);
+        let mut cells = pois.cells().to_vec();
+        cells.sort_unstable();
+        cells.dedup();
+        assert_eq!(cells.len(), 20, "POIs must be distinct");
+        assert!(cells.iter().all(|&c| grid.contains(c)));
+    }
+
+    #[test]
+    #[should_panic(expected = "more POIs than cells")]
+    fn too_many_pois_panics() {
+        let grid = GridMap::new(2, 2, 100.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        PoiSet::generate(&mut rng, &grid, 5, 1.0);
+    }
+}

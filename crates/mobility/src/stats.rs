@@ -1,0 +1,250 @@
+//! Mobility statistics: the measurable signatures behind the dataset
+//! substitution argument (DESIGN.md §3).
+//!
+//! The claim that the synthetic generators stand in for GeoLife/Gowalla
+//! rests on matching the statistics the evaluation consumes. This module
+//! makes those statistics first-class so the claim is *testable*:
+//!
+//! * [`radius_of_gyration`] — the classic human-mobility localisation
+//!   measure; commuters have small, stable radii.
+//! * [`revisit_ratio`] — fraction of epochs spent in previously-visited
+//!   cells; routine-driven data revisits heavily.
+//! * [`hop_lengths`] — per-epoch displacement distribution; Lévy data is
+//!   heavy-tailed, commuter data is bimodal (dwell + commute).
+//! * [`top_k_share`] — visit concentration in the k most-visited cells
+//!   (check-in data is Zipf-concentrated).
+
+use crate::trajectory::{Trajectory, TrajectoryDb};
+use panda_geo::{GridMap, Point};
+use std::collections::HashMap;
+
+/// Radius of gyration of one trajectory: RMS distance of visited positions
+/// from their centre of mass (grid length units).
+pub fn radius_of_gyration(grid: &GridMap, tr: &Trajectory) -> f64 {
+    if tr.cells.is_empty() {
+        return 0.0;
+    }
+    let n = tr.cells.len() as f64;
+    let mut com = Point::ORIGIN;
+    for &c in &tr.cells {
+        com += grid.center(c) / n;
+    }
+    let ms = tr
+        .cells
+        .iter()
+        .map(|&c| grid.center(c).distance_sq(com))
+        .sum::<f64>()
+        / n;
+    ms.sqrt()
+}
+
+/// Mean radius of gyration over all users.
+pub fn mean_radius_of_gyration(db: &TrajectoryDb) -> f64 {
+    if db.n_users() == 0 {
+        return 0.0;
+    }
+    db.trajectories()
+        .iter()
+        .map(|tr| radius_of_gyration(db.grid(), tr))
+        .sum::<f64>()
+        / db.n_users() as f64
+}
+
+/// Fraction of epochs (after the first) spent in a cell the user had
+/// already visited.
+pub fn revisit_ratio(tr: &Trajectory) -> f64 {
+    if tr.cells.len() <= 1 {
+        return 0.0;
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut revisits = 0usize;
+    for (i, &c) in tr.cells.iter().enumerate() {
+        if !seen.insert(c) && i > 0 {
+            revisits += 1;
+        }
+    }
+    revisits as f64 / (tr.cells.len() - 1) as f64
+}
+
+/// Mean revisit ratio over all users.
+pub fn mean_revisit_ratio(db: &TrajectoryDb) -> f64 {
+    if db.n_users() == 0 {
+        return 0.0;
+    }
+    db.trajectories()
+        .iter()
+        .map(revisit_ratio)
+        .sum::<f64>()
+        / db.n_users() as f64
+}
+
+/// All per-epoch displacement lengths (grid length units), pooled over
+/// users. Zero-length dwells are included — their share is itself a
+/// signature (commuters dwell most of the day).
+pub fn hop_lengths(db: &TrajectoryDb) -> Vec<f64> {
+    let grid = db.grid();
+    let mut out = Vec::new();
+    for tr in db.trajectories() {
+        for w in tr.cells.windows(2) {
+            out.push(grid.distance(w[0], w[1]));
+        }
+    }
+    out
+}
+
+/// Share of all visits captured by the `k` most-visited cells, in `[0, 1]`.
+pub fn top_k_share(db: &TrajectoryDb, k: usize) -> f64 {
+    let mut counts: HashMap<panda_geo::CellId, usize> = HashMap::new();
+    let mut total = 0usize;
+    for tr in db.trajectories() {
+        for &c in &tr.cells {
+            *counts.entry(c).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<usize> = counts.into_values().collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    sorted.iter().take(k).sum::<usize>() as f64 / total as f64
+}
+
+/// Summary bundle for one database — what the substitution tests compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilitySignature {
+    /// Mean radius of gyration (length units).
+    pub radius_of_gyration: f64,
+    /// Mean revisit ratio.
+    pub revisit_ratio: f64,
+    /// Fraction of epoch transitions that are dwells (zero displacement).
+    pub dwell_fraction: f64,
+    /// Share of visits in the 5 hottest cells.
+    pub top5_share: f64,
+}
+
+/// Computes the [`MobilitySignature`] of a database.
+pub fn signature(db: &TrajectoryDb) -> MobilitySignature {
+    let hops = hop_lengths(db);
+    let dwell_fraction = if hops.is_empty() {
+        0.0
+    } else {
+        hops.iter().filter(|&&h| h == 0.0).count() as f64 / hops.len() as f64
+    };
+    MobilitySignature {
+        radius_of_gyration: mean_radius_of_gyration(db),
+        revisit_ratio: mean_revisit_ratio(db),
+        dwell_fraction,
+        top5_share: top_k_share(db, 5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geolife_like::{beijing_grid, generate_geolife_like, GeoLifeLikeConfig};
+    use crate::levy::{generate_levy, LevyConfig};
+    use crate::trajectory::UserId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridMap {
+        GridMap::new(8, 8, 100.0)
+    }
+
+    #[test]
+    fn gyration_of_stationary_user_is_zero() {
+        let g = grid();
+        let tr = Trajectory {
+            user: UserId(0),
+            cells: vec![g.cell(3, 3); 10],
+        };
+        assert_eq!(radius_of_gyration(&g, &tr), 0.0);
+        assert_eq!(revisit_ratio(&tr), 1.0);
+    }
+
+    #[test]
+    fn gyration_of_two_point_commuter() {
+        let g = grid();
+        // Half the time at (0,3), half at (4,3): rg = distance/2 = 200.
+        let tr = Trajectory {
+            user: UserId(0),
+            cells: vec![g.cell(0, 3), g.cell(4, 3), g.cell(0, 3), g.cell(4, 3)],
+        };
+        assert!((radius_of_gyration(&g, &tr) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn revisit_ratio_of_explorer_is_zero() {
+        let g = grid();
+        let tr = Trajectory {
+            user: UserId(0),
+            cells: (0..8).map(|i| g.cell(i, 0)).collect(),
+        };
+        assert_eq!(revisit_ratio(&tr), 0.0);
+    }
+
+    #[test]
+    fn top_k_share_bounds() {
+        let g = grid();
+        let db = TrajectoryDb::new(
+            g.clone(),
+            vec![Trajectory {
+                user: UserId(0),
+                cells: vec![g.cell(0, 0), g.cell(0, 0), g.cell(1, 1), g.cell(2, 2)],
+            }],
+        );
+        assert!((top_k_share(&db, 1) - 0.5).abs() < 1e-12);
+        assert!((top_k_share(&db, 10) - 1.0).abs() < 1e-12);
+        let empty = TrajectoryDb::new(g, vec![]);
+        assert_eq!(top_k_share(&empty, 3), 0.0);
+    }
+
+    /// The substitution claim, as a test: the GeoLife stand-in is
+    /// routine-driven (high revisits, many dwells) while Lévy flights are
+    /// exploratory (few revisits, no dwells) — the generators really do
+    /// produce distinguishable mobility classes.
+    #[test]
+    fn geolife_like_is_routine_levy_is_exploratory() {
+        let g = beijing_grid(12, 500.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let commuters = generate_geolife_like(
+            &mut rng,
+            &g,
+            &GeoLifeLikeConfig {
+                n_users: 30,
+                days: 5,
+                ..Default::default()
+            },
+        );
+        // Lévy steps must be cell-scale to register at grid resolution
+        // (median step ≈ 1.5 cells here; the default 20 m min-step would
+        // rarely leave a 500 m cell and look sedentary).
+        let levy = generate_levy(
+            &mut rng,
+            &g,
+            &LevyConfig {
+                n_users: 30,
+                horizon: 120,
+                alpha: 1.6,
+                step_min: 500.0,
+                step_max: 6_000.0,
+            },
+        );
+        let sig_c = signature(&commuters);
+        let sig_l = signature(&levy);
+        assert!(
+            sig_c.revisit_ratio > 0.8,
+            "commuters must revisit heavily: {sig_c:?}"
+        );
+        assert!(
+            sig_c.revisit_ratio > sig_l.revisit_ratio + 0.1,
+            "commuters {sig_c:?} vs levy {sig_l:?}"
+        );
+        assert!(
+            sig_c.dwell_fraction > sig_l.dwell_fraction,
+            "commuters dwell more: {sig_c:?} vs {sig_l:?}"
+        );
+        assert!(sig_c.top5_share > 0.2, "routines concentrate visits");
+    }
+}

@@ -1,0 +1,166 @@
+//! The random-waypoint mobility model.
+//!
+//! The classic synthetic mobility baseline: pick a uniform destination,
+//! travel toward it at a sampled speed, pause, repeat. Continuous positions
+//! are sampled once per epoch and discretised to grid cells.
+
+use crate::trajectory::{Timestamp, Trajectory, TrajectoryDb, UserId};
+use panda_geo::{sample, GridMap, Point};
+use rand::Rng;
+
+/// Parameters for [`generate_waypoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaypointConfig {
+    /// Number of users.
+    pub n_users: u32,
+    /// Number of epochs.
+    pub horizon: Timestamp,
+    /// Minimum speed in length units per epoch.
+    pub speed_min: f64,
+    /// Maximum speed in length units per epoch.
+    pub speed_max: f64,
+    /// Maximum pause, in whole epochs, after reaching a waypoint.
+    pub pause_max: u32,
+}
+
+impl Default for WaypointConfig {
+    fn default() -> Self {
+        WaypointConfig {
+            n_users: 50,
+            horizon: 100,
+            speed_min: 50.0,
+            speed_max: 400.0,
+            pause_max: 3,
+        }
+    }
+}
+
+/// State of one walker.
+struct Walker {
+    pos: Point,
+    target: Point,
+    speed: f64,
+    pause_left: u32,
+}
+
+/// Generates a random-waypoint [`TrajectoryDb`] on `grid`.
+///
+/// # Panics
+///
+/// Panics when speeds are non-positive or inverted.
+pub fn generate_waypoint<R: Rng + ?Sized>(
+    rng: &mut R,
+    grid: &GridMap,
+    config: &WaypointConfig,
+) -> TrajectoryDb {
+    assert!(
+        config.speed_min > 0.0 && config.speed_max >= config.speed_min,
+        "invalid speed range"
+    );
+    let min = Point::new(0.0, 0.0);
+    let max = Point::new(
+        grid.width() as f64 * grid.cell_size(),
+        grid.height() as f64 * grid.cell_size(),
+    );
+    let mut trajectories = Vec::with_capacity(config.n_users as usize);
+    for uid in 0..config.n_users {
+        let start = sample::uniform_in_rect(rng, min, max);
+        let mut w = Walker {
+            pos: start,
+            target: sample::uniform_in_rect(rng, min, max),
+            speed: rng.gen_range(config.speed_min..=config.speed_max),
+            pause_left: 0,
+        };
+        let mut cells = Vec::with_capacity(config.horizon as usize);
+        for _ in 0..config.horizon {
+            cells.push(grid.nearest_cell(w.pos));
+            if w.pause_left > 0 {
+                w.pause_left -= 1;
+                continue;
+            }
+            let to_target = w.target - w.pos;
+            let dist = to_target.norm();
+            if dist <= w.speed {
+                // Arrive and pick the next leg.
+                w.pos = w.target;
+                w.target = sample::uniform_in_rect(rng, min, max);
+                w.speed = rng.gen_range(config.speed_min..=config.speed_max);
+                w.pause_left = rng.gen_range(0..=config.pause_max);
+            } else {
+                w.pos += to_target * (w.speed / dist);
+            }
+        }
+        trajectories.push(Trajectory {
+            user: UserId(uid),
+            cells,
+        });
+    }
+    TrajectoryDb::new(grid.clone(), trajectories)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridMap {
+        GridMap::new(10, 10, 100.0)
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = WaypointConfig {
+            n_users: 7,
+            horizon: 25,
+            ..Default::default()
+        };
+        let db = generate_waypoint(&mut rng, &grid(), &cfg);
+        assert_eq!(db.n_users(), 7);
+        assert_eq!(db.horizon(), 25);
+    }
+
+    #[test]
+    fn movement_is_speed_bounded() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cfg = WaypointConfig {
+            n_users: 5,
+            horizon: 60,
+            speed_min: 10.0,
+            speed_max: 150.0,
+            pause_max: 2,
+        };
+        let g = grid();
+        let db = generate_waypoint(&mut rng, &g, &cfg);
+        // Per-epoch displacement between cell centres is bounded by the max
+        // speed plus one cell of discretisation slack on each end.
+        let bound = 150.0 + 2.0 * g.cell_size() * std::f64::consts::SQRT_2;
+        for tr in db.trajectories() {
+            for w in tr.cells.windows(2) {
+                assert!(g.distance(w[0], w[1]) <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = WaypointConfig::default();
+        let g = grid();
+        let a = generate_waypoint(&mut SmallRng::seed_from_u64(3), &g, &cfg);
+        let b = generate_waypoint(&mut SmallRng::seed_from_u64(3), &g, &cfg);
+        assert_eq!(a.trajectories(), b.trajectories());
+    }
+
+    #[test]
+    fn walkers_eventually_move() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let db = generate_waypoint(&mut rng, &grid(), &WaypointConfig::default());
+        let moved = db
+            .trajectories()
+            .iter()
+            .filter(|tr| tr.distinct_cells().len() > 1)
+            .count();
+        assert!(moved > db.n_users() / 2, "most walkers must move");
+    }
+}

@@ -1,0 +1,171 @@
+//! Terminal dashboards: the demo's "Visualization of Results" panel
+//! (Fig. 5), rendered as text.
+//!
+//! PANDA is a demonstration system; its value proposition is *showing*
+//! attendees the trade-offs. This module renders the same artefacts the
+//! GUI shows — occupancy heatmaps, policy-graph summaries, ε-series — as
+//! plain strings, so examples and experiment binaries can display them in
+//! any terminal and tests can assert on their structure.
+
+use panda_core::LocationPolicyGraph;
+use panda_geo::GridMap;
+
+/// Unicode shade ramp used by the heatmap (low → high).
+const RAMP: [char; 5] = [' ', '░', '▒', '▓', '█'];
+
+/// Renders per-cell values as a grid heatmap, one character per cell, rows
+/// top-to-bottom. Values are normalised to the observed maximum; an
+/// all-zero field renders as blanks inside the frame.
+///
+/// # Panics
+///
+/// Panics when `values.len()` differs from the grid's cell count.
+pub fn render_heatmap(grid: &GridMap, values: &[f64]) -> String {
+    assert_eq!(
+        values.len(),
+        grid.n_cells() as usize,
+        "one value per cell required"
+    );
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    let mut out = String::new();
+    out.push('┌');
+    out.push_str(&"─".repeat(grid.width() as usize));
+    out.push_str("┐\n");
+    // Row 0 is the grid's bottom; render top row first.
+    for row in (0..grid.height()).rev() {
+        out.push('│');
+        for col in 0..grid.width() {
+            let v = values[grid.cell(col, row).index()];
+            let shade = if max <= 0.0 {
+                0
+            } else {
+                (((v / max) * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)
+            };
+            out.push(RAMP[shade]);
+        }
+        out.push_str("│\n");
+    }
+    out.push('└');
+    out.push_str(&"─".repeat(grid.width() as usize));
+    out.push_str("┘\n");
+    out
+}
+
+/// One-line summary of a policy graph: the numbers the demo UI shows next
+/// to the graph picker.
+pub fn policy_summary(policy: &LocationPolicyGraph) -> String {
+    let isolated = policy
+        .grid()
+        .cells()
+        .filter(|&c| policy.is_isolated_cell(c))
+        .count();
+    format!(
+        "{}: {} nodes, {} edges (density {:.4}), {} components, {} isolated",
+        policy.name(),
+        policy.n_locations(),
+        policy.graph().n_edges(),
+        policy.density(),
+        policy.n_components(),
+        isolated
+    )
+}
+
+/// Renders an (x, y) series as a fixed-height column chart with axis
+/// labels — the ε-sweep curves of the results panel.
+pub fn render_series(label: &str, xs: &[f64], ys: &[f64], height: usize) -> String {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    assert!(height >= 2);
+    if ys.is_empty() {
+        return format!("{label}: (empty series)\n");
+    }
+    let max = ys.iter().copied().fold(f64::MIN, f64::max);
+    let min = ys.iter().copied().fold(f64::MAX, f64::min).min(0.0);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let mut out = format!("{label}  (min {min:.1}, max {max:.1})\n");
+    for level in (0..height).rev() {
+        let threshold = min + span * (level as f64 + 0.5) / height as f64;
+        for &y in ys {
+            out.push(if y >= threshold { '█' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    // X-axis labels: first and last.
+    out.push_str(&format!(
+        "x: {:.2} … {:.2} ({} points)\n",
+        xs.first().unwrap(),
+        xs.last().unwrap(),
+        xs.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_geo::CellId;
+
+    fn grid() -> GridMap {
+        GridMap::new(4, 3, 100.0)
+    }
+
+    #[test]
+    fn heatmap_shape_and_extremes() {
+        let g = grid();
+        let mut values = vec![0.0; 12];
+        values[g.cell(0, 0).index()] = 10.0; // bottom-left: full block
+        let art = render_heatmap(&g, &values);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3 + 2); // 3 rows + frame
+        // Bottom row (last content line) starts with the full shade.
+        let bottom = lines[lines.len() - 2];
+        assert!(bottom.contains('█'));
+        // Top row has no shading.
+        assert!(!lines[1].contains('█'));
+        // Every content line is framed.
+        for l in &lines[1..lines.len() - 1] {
+            assert!(l.starts_with('│') && l.ends_with('│'));
+        }
+    }
+
+    #[test]
+    fn heatmap_all_zero_is_blank() {
+        let g = grid();
+        let art = render_heatmap(&g, &vec![0.0; 12]);
+        assert!(!art.contains('█') && !art.contains('░'));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per cell")]
+    fn heatmap_size_mismatch_panics() {
+        render_heatmap(&grid(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn policy_summary_contents() {
+        let p = LocationPolicyGraph::partition(grid(), 2, 2).with_isolated(&[CellId(0)]);
+        let s = policy_summary(&p);
+        assert!(s.contains("12 nodes"));
+        assert!(s.contains("isolated"));
+        assert!(s.contains("components"));
+    }
+
+    #[test]
+    fn series_chart_monotone_heights() {
+        let xs = [0.1, 0.5, 1.0, 2.0];
+        let ys = [4.0, 3.0, 2.0, 1.0];
+        let art = render_series("err vs eps", &xs, &ys, 4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains("err vs eps"));
+        // Top band: only the first column is filled.
+        assert_eq!(lines[1].trim_end(), "█");
+        // Bottom band: all columns filled.
+        assert_eq!(lines[4].trim_end(), "████");
+        assert!(lines.last().unwrap().contains("4 points"));
+    }
+
+    #[test]
+    fn series_handles_flat_data() {
+        let art = render_series("flat", &[1.0, 2.0], &[5.0, 5.0], 3);
+        assert!(art.contains("min 0.0, max 5.0") || art.contains("min 5.0"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The "health code" service (§1, §3.1).
+//!
+//! China's health-code apps certify a user's status from health and travel
+//! history; the paper lists a privacy-preserving health code as a use of
+//! location monitoring. Codes are derived from server-visible facts only:
+//! diagnoses, contact-tracing flags and (perturbed) visits to confirmed
+//! infected locations.
+
+use panda_geo::CellId;
+use panda_mobility::{Timestamp, TrajectoryDb, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Certification levels, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HealthCode {
+    /// Free movement.
+    Green,
+    /// Visited an infected location recently, or is a flagged contact:
+    /// advisory quarantine.
+    Yellow,
+    /// Diagnosed within the quarantine horizon: isolation.
+    Red,
+}
+
+/// Rules for code assignment.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthCodeRules {
+    /// Epochs a diagnosis keeps a user red.
+    pub red_duration: Timestamp,
+    /// Epochs an exposure keeps a user yellow.
+    pub yellow_duration: Timestamp,
+}
+
+impl Default for HealthCodeRules {
+    fn default() -> Self {
+        HealthCodeRules {
+            red_duration: 336,    // 14 days of hourly epochs
+            yellow_duration: 336,
+        }
+    }
+}
+
+/// Assigns a code to every user of `reported` at epoch `now`.
+///
+/// * `diagnoses` — `(user, diagnosis epoch)` pairs (exact, from health
+///   authorities).
+/// * `flagged_contacts` — output of the contact tracer.
+/// * `infected_visits` — confirmed infected `(epoch, cell)` visits; a user
+///   whose *reported* trajectory matches one within the yellow window goes
+///   yellow.
+pub fn assign_codes(
+    reported: &TrajectoryDb,
+    diagnoses: &[(UserId, Timestamp)],
+    flagged_contacts: &[UserId],
+    infected_visits: &[(Timestamp, CellId)],
+    now: Timestamp,
+    rules: &HealthCodeRules,
+) -> HashMap<UserId, HealthCode> {
+    let mut codes: HashMap<UserId, HealthCode> = reported
+        .trajectories()
+        .iter()
+        .map(|t| (t.user, HealthCode::Green))
+        .collect();
+
+    // Yellow: reported co-presence with an infected visit.
+    for tr in reported.trajectories() {
+        let exposed = infected_visits.iter().any(|&(t, cell)| {
+            t + rules.yellow_duration >= now && tr.at(t) == Some(cell)
+        });
+        if exposed {
+            codes.insert(tr.user, HealthCode::Yellow);
+        }
+    }
+    // Yellow: flagged by the contact tracer.
+    for user in flagged_contacts {
+        codes
+            .entry(*user)
+            .and_modify(|c| *c = (*c).max(HealthCode::Yellow))
+            .or_insert(HealthCode::Yellow);
+    }
+    // Red overrides: recent diagnosis.
+    for &(user, t_diag) in diagnoses {
+        if t_diag + rules.red_duration >= now {
+            codes.insert(user, HealthCode::Red);
+        }
+    }
+    codes
+}
+
+/// Counts codes by level — the dashboard summary.
+pub fn code_census(codes: &HashMap<UserId, HealthCode>) -> (usize, usize, usize) {
+    let mut green = 0;
+    let mut yellow = 0;
+    let mut red = 0;
+    for code in codes.values() {
+        match code {
+            HealthCode::Green => green += 1,
+            HealthCode::Yellow => yellow += 1,
+            HealthCode::Red => red += 1,
+        }
+    }
+    (green, yellow, red)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_geo::GridMap;
+    use panda_mobility::Trajectory;
+
+    fn db() -> TrajectoryDb {
+        let g = GridMap::new(4, 4, 100.0);
+        TrajectoryDb::new(
+            g.clone(),
+            vec![
+                Trajectory {
+                    user: UserId(0),
+                    cells: vec![g.cell(0, 0), g.cell(1, 1)],
+                },
+                Trajectory {
+                    user: UserId(1),
+                    cells: vec![g.cell(0, 0), g.cell(2, 2)],
+                },
+                Trajectory {
+                    user: UserId(2),
+                    cells: vec![g.cell(3, 3), g.cell(3, 3)],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn default_is_green() {
+        let codes = assign_codes(&db(), &[], &[], &[], 10, &HealthCodeRules::default());
+        assert_eq!(codes.len(), 3);
+        assert!(codes.values().all(|&c| c == HealthCode::Green));
+        assert_eq!(code_census(&codes), (3, 0, 0));
+    }
+
+    #[test]
+    fn diagnosis_goes_red_and_expires() {
+        let rules = HealthCodeRules {
+            red_duration: 5,
+            yellow_duration: 5,
+        };
+        let diag = vec![(UserId(2), 3)];
+        let codes = assign_codes(&db(), &diag, &[], &[], 7, &rules);
+        assert_eq!(codes[&UserId(2)], HealthCode::Red);
+        let later = assign_codes(&db(), &diag, &[], &[], 9, &rules);
+        assert_eq!(later[&UserId(2)], HealthCode::Green, "red expires");
+    }
+
+    #[test]
+    fn infected_visit_goes_yellow() {
+        let g = GridMap::new(4, 4, 100.0);
+        // Cell (0,0) at epoch 0 is infected: users 0 and 1 were there.
+        let visits = vec![(0, g.cell(0, 0))];
+        let codes = assign_codes(&db(), &[], &[], &visits, 1, &HealthCodeRules::default());
+        assert_eq!(codes[&UserId(0)], HealthCode::Yellow);
+        assert_eq!(codes[&UserId(1)], HealthCode::Yellow);
+        assert_eq!(codes[&UserId(2)], HealthCode::Green);
+    }
+
+    #[test]
+    fn flagged_contact_goes_yellow_but_red_wins() {
+        let diag = vec![(UserId(1), 0)];
+        let flagged = vec![UserId(1), UserId(2)];
+        let codes = assign_codes(&db(), &diag, &flagged, &[], 1, &HealthCodeRules::default());
+        assert_eq!(codes[&UserId(1)], HealthCode::Red, "red beats yellow");
+        assert_eq!(codes[&UserId(2)], HealthCode::Yellow);
+        assert_eq!(code_census(&codes), (1, 1, 1));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(HealthCode::Red > HealthCode::Yellow);
+        assert!(HealthCode::Yellow > HealthCode::Green);
+    }
+}

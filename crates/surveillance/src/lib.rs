@@ -1,0 +1,41 @@
+//! # panda-surveillance
+//!
+//! The PANDA system itself (paper Figs. 1 and 3): privacy-preserving
+//! epidemic surveillance assembled from the PGLP core and the substrates.
+//!
+//! * [`client`] — a user's device: local location database holding the past
+//!   two weeks (Fig. 1), consent checks, mechanism invocation, privacy
+//!   budget ledger.
+//! * [`server`] — the semi-honest collector: stores only *perturbed*
+//!   reports, runs the three applications, never sees raw data except what
+//!   policies deliberately disclose.
+//! * [`policy_config`] — the Location Policy Configuration module (Fig. 3):
+//!   recommends `Ga`/`Gb`/`Gc` per application and recomputes per-user
+//!   policies when diagnoses arrive.
+//! * [`monitoring`] — location monitoring: coarse-area occupancy and
+//!   movement matrices ("people moving between different cities").
+//! * [`analysis`] — epidemic analysis: contact-rate and `R0` estimation
+//!   from (perturbed) location data.
+//! * [`tracing`] — contact tracing with the paper's co-location rule and
+//!   the dynamic policy-update / re-send protocol of §3.2.
+//! * [`health_code`] — the "health code" certification service.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod client;
+pub mod dashboard;
+pub mod health_code;
+pub mod monitoring;
+pub mod policy_config;
+pub mod protocol;
+pub mod server;
+pub mod simulation;
+pub mod tracing;
+
+pub use client::{Client, ClientConfig, ConsentRule};
+pub use policy_config::PolicyConfigurator;
+pub use protocol::{LocationReport, PolicyAssignment, ResendRequest};
+pub use server::Server;
+pub use tracing::{ContactRule, ContactTracer, TraceOutcome};

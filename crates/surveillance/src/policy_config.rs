@@ -1,0 +1,130 @@
+//! The Location Policy Configuration module (Fig. 3).
+//!
+//! "Location Policy Configuration defines different location policies
+//! according to the application of epidemic surveillance" (§3.1). This
+//! module encodes the three recommendations of Fig. 4 and the dynamic
+//! update that drives contact tracing: when a patient's location history is
+//! confirmed, their visited cells are isolated in the policies of at-risk
+//! users so those locations can be disclosed on re-send (§3.2).
+
+use panda_core::LocationPolicyGraph;
+use panda_geo::{CellId, GridMap};
+
+/// Policy recommender for the three surveillance applications.
+#[derive(Debug, Clone)]
+pub struct PolicyConfigurator {
+    grid: GridMap,
+    /// Block size (cells) of the coarse `Ga` partition.
+    pub coarse_block: u32,
+    /// Block size (cells) of the finer `Gb` partition.
+    pub fine_block: u32,
+}
+
+impl PolicyConfigurator {
+    /// A configurator with the given partition granularities.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fine block is not strictly smaller than the coarse
+    /// block (the whole point of `Gb` is finer granularity).
+    pub fn new(grid: GridMap, coarse_block: u32, fine_block: u32) -> Self {
+        assert!(
+            fine_block < coarse_block,
+            "Gb must be finer-grained than Ga"
+        );
+        assert!(fine_block >= 1);
+        PolicyConfigurator {
+            grid,
+            coarse_block,
+            fine_block,
+        }
+    }
+
+    /// The shared grid.
+    pub fn grid(&self) -> &GridMap {
+        &self.grid
+    }
+
+    /// `Ga` (Fig. 4 left): coarse areas for **location monitoring** —
+    /// "indistinguishability inside each coarse-grained area", movement
+    /// between areas visible.
+    pub fn for_monitoring(&self) -> LocationPolicyGraph {
+        LocationPolicyGraph::partition(self.grid.clone(), self.coarse_block, self.coarse_block)
+    }
+
+    /// `Gb` (Fig. 4 middle): finer areas for **epidemic analysis**, where
+    /// fine-grained data improves parameter estimation (R0).
+    pub fn for_analysis(&self) -> LocationPolicyGraph {
+        LocationPolicyGraph::partition(self.grid.clone(), self.fine_block, self.fine_block)
+    }
+
+    /// `Gc` (Fig. 4 right): the **contact tracing** policy — the analysis
+    /// policy with every infected cell isolated, so that visiting an
+    /// infected location may be disclosed exactly while all other locations
+    /// keep their indistinguishability.
+    pub fn for_contact_tracing(&self, infected_cells: &[CellId]) -> LocationPolicyGraph {
+        self.for_analysis().with_isolated(infected_cells)
+    }
+
+    /// Dynamic update on diagnosis (§3.2): given the patient's confirmed
+    /// `(epoch, cell)` history, produce the updated policy for at-risk
+    /// users. The infected-location set is the patient's distinct cells.
+    pub fn update_on_diagnosis(
+        &self,
+        patient_history: &[(panda_mobility::Timestamp, CellId)],
+    ) -> LocationPolicyGraph {
+        let mut cells: Vec<CellId> = patient_history.iter().map(|&(_, c)| c).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        self.for_contact_tracing(&cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configurator() -> PolicyConfigurator {
+        PolicyConfigurator::new(GridMap::new(8, 8, 100.0), 4, 2)
+    }
+
+    #[test]
+    fn ga_is_coarser_than_gb() {
+        let c = configurator();
+        let ga = c.for_monitoring();
+        let gb = c.for_analysis();
+        assert_eq!(ga.n_components(), 4); // 8x8 with 4x4 blocks
+        assert_eq!(gb.n_components(), 16); // 2x2 blocks
+        // Coarser partition = larger components = higher per-cell degree.
+        assert!(ga.graph().degree(0) > gb.graph().degree(0));
+    }
+
+    #[test]
+    fn gc_isolates_infected_cells_only() {
+        let c = configurator();
+        let infected = vec![CellId(0), CellId(9)];
+        let gc = c.for_contact_tracing(&infected);
+        assert!(gc.is_isolated_cell(CellId(0)));
+        assert!(gc.is_isolated_cell(CellId(9)));
+        // A cell in another block keeps its clique.
+        assert!(!gc.is_isolated_cell(CellId(36)));
+        // Its component is its Gb block minus nothing.
+        assert_eq!(gc.component_cells(CellId(36)).len(), 4);
+    }
+
+    #[test]
+    fn update_on_diagnosis_dedups_history() {
+        let c = configurator();
+        let history = vec![(0, CellId(5)), (1, CellId(5)), (2, CellId(12))];
+        let gc = c.update_on_diagnosis(&history);
+        assert!(gc.is_isolated_cell(CellId(5)));
+        assert!(gc.is_isolated_cell(CellId(12)));
+        assert!(!gc.is_isolated_cell(CellId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "finer-grained")]
+    fn inverted_granularity_panics() {
+        PolicyConfigurator::new(GridMap::new(8, 8, 100.0), 2, 4);
+    }
+}

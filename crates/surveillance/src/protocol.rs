@@ -1,0 +1,87 @@
+//! Wire types between clients and the server.
+//!
+//! The protocol is deliberately minimal: the server pushes policy
+//! assignments (which the user may refuse — §2.1: "the user has the right
+//! to reject a privacy policy so that no location will be released"),
+//! clients push perturbed location reports, and after a diagnosis the
+//! server asks affected clients to **re-send** a past window under an
+//! updated policy (§3.2).
+
+use panda_core::LocationPolicyGraph;
+use panda_geo::CellId;
+use panda_mobility::{Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Server → client: a recommended policy and per-epoch budget.
+#[derive(Debug, Clone)]
+pub struct PolicyAssignment {
+    /// Target user.
+    pub user: UserId,
+    /// The policy graph to apply from `effective_from` onwards.
+    pub policy: LocationPolicyGraph,
+    /// ε per release epoch under this policy.
+    pub eps_per_epoch: f64,
+    /// First epoch the policy applies to.
+    pub effective_from: Timestamp,
+}
+
+/// Client → server: one perturbed location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocationReport {
+    /// Reporting user.
+    pub user: UserId,
+    /// Epoch the location belongs to.
+    pub epoch: Timestamp,
+    /// The *perturbed* cell.
+    pub cell: CellId,
+    /// `true` when this report supersedes an earlier one for the same epoch
+    /// (produced by the re-send protocol).
+    pub resend: bool,
+}
+
+/// Server → client: please re-send `[from, to)` under the attached policy
+/// (used after a diagnosis updates the infected-location set).
+#[derive(Debug, Clone)]
+pub struct ResendRequest {
+    /// Target user.
+    pub user: UserId,
+    /// Window start (inclusive).
+    pub from: Timestamp,
+    /// Window end (exclusive).
+    pub to: Timestamp,
+    /// Updated policy (a `Gc` with infected cells isolated).
+    pub policy: LocationPolicyGraph,
+    /// ε per re-sent epoch.
+    pub eps_per_epoch: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_geo::GridMap;
+
+    #[test]
+    fn report_equality_and_copy() {
+        let r = LocationReport {
+            user: UserId(3),
+            epoch: 7,
+            cell: CellId(11),
+            resend: false,
+        };
+        let r2 = r;
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn assignment_carries_policy() {
+        let p = LocationPolicyGraph::partition(GridMap::new(4, 4, 100.0), 2, 2);
+        let a = PolicyAssignment {
+            user: UserId(0),
+            policy: p,
+            eps_per_epoch: 0.5,
+            effective_from: 10,
+        };
+        assert_eq!(a.policy.n_components(), 4);
+        assert_eq!(a.effective_from, 10);
+    }
+}

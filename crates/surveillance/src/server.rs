@@ -1,0 +1,235 @@
+//! The semi-honest server: stores perturbed reports, serves the apps.
+//!
+//! The server never sees raw locations — only what clients release under
+//! consented policies. It is shared state (`parking_lot::RwLock`) so the
+//! three applications and the experiment harness can read concurrently
+//! while reports stream in.
+
+use crate::protocol::LocationReport;
+use panda_geo::{CellId, GridMap};
+use panda_mobility::{Timestamp, Trajectory, TrajectoryDb, UserId};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+
+/// Server-side state.
+#[derive(Debug, Default)]
+struct State {
+    /// Latest report per (user, epoch) — re-sends overwrite.
+    reports: HashMap<UserId, BTreeMap<Timestamp, CellId>>,
+    /// Diagnosed patients with diagnosis epoch.
+    diagnoses: Vec<(UserId, Timestamp)>,
+    /// Confirmed infected `(epoch, cell)` visits (from patient disclosures).
+    infected_visits: Vec<(Timestamp, CellId)>,
+    n_received: usize,
+    n_resends: usize,
+}
+
+/// The PANDA collection server.
+#[derive(Debug)]
+pub struct Server {
+    grid: GridMap,
+    state: RwLock<State>,
+}
+
+impl Server {
+    /// A fresh server for the given location domain.
+    pub fn new(grid: GridMap) -> Self {
+        Server {
+            grid,
+            state: RwLock::new(State::default()),
+        }
+    }
+
+    /// The location domain.
+    pub fn grid(&self) -> &GridMap {
+        &self.grid
+    }
+
+    /// Ingests one report (re-sends overwrite the original epoch).
+    pub fn receive(&self, report: LocationReport) {
+        let mut st = self.state.write();
+        st.n_received += 1;
+        if report.resend {
+            st.n_resends += 1;
+        }
+        st.reports
+            .entry(report.user)
+            .or_default()
+            .insert(report.epoch, report.cell);
+    }
+
+    /// Ingests a batch.
+    pub fn receive_all<I: IntoIterator<Item = LocationReport>>(&self, reports: I) {
+        for r in reports {
+            self.receive(r);
+        }
+    }
+
+    /// Total reports received (including overwritten ones).
+    pub fn n_received(&self) -> usize {
+        self.state.read().n_received
+    }
+
+    /// Number of re-sent reports received.
+    pub fn n_resends(&self) -> usize {
+        self.state.read().n_resends
+    }
+
+    /// Users that have reported at least once, sorted.
+    pub fn users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.state.read().reports.keys().copied().collect();
+        users.sort_unstable();
+        users
+    }
+
+    /// The stored (perturbed) cell for `(user, epoch)`.
+    pub fn reported_cell(&self, user: UserId, epoch: Timestamp) -> Option<CellId> {
+        self.state
+            .read()
+            .reports
+            .get(&user)
+            .and_then(|m| m.get(&epoch))
+            .copied()
+    }
+
+    /// Registers a diagnosis (from the health system, out of band).
+    pub fn record_diagnosis(&self, user: UserId, epoch: Timestamp) {
+        self.state.write().diagnoses.push((user, epoch));
+    }
+
+    /// All diagnoses so far.
+    pub fn diagnoses(&self) -> Vec<(UserId, Timestamp)> {
+        self.state.read().diagnoses.clone()
+    }
+
+    /// Records confirmed infected visits (a diagnosed patient's disclosed
+    /// history).
+    pub fn record_infected_visits(&self, visits: &[(Timestamp, CellId)]) {
+        self.state.write().infected_visits.extend_from_slice(visits);
+    }
+
+    /// All confirmed infected `(epoch, cell)` visits.
+    pub fn infected_visits(&self) -> Vec<(Timestamp, CellId)> {
+        self.state.read().infected_visits.clone()
+    }
+
+    /// The distinct confirmed infected cells.
+    pub fn infected_cells(&self) -> Vec<CellId> {
+        let st = self.state.read();
+        let mut cells: Vec<CellId> = st.infected_visits.iter().map(|&(_, c)| c).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+
+    /// Materialises the server's view as a dense [`TrajectoryDb`] over
+    /// `[0, horizon)`, holding the last known position for missing epochs
+    /// (users with no reports at all are dropped).
+    ///
+    /// This is what the monitoring/analysis apps consume: the *perturbed*
+    /// counterpart of the population's true trajectory database.
+    pub fn reported_db(&self, horizon: Timestamp) -> TrajectoryDb {
+        let st = self.state.read();
+        let mut users: Vec<(&UserId, &BTreeMap<Timestamp, CellId>)> = st.reports.iter().collect();
+        users.sort_by_key(|(u, _)| **u);
+        let trajectories: Vec<Trajectory> = users
+            .into_iter()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(user, m)| {
+                let first = *m.values().next().expect("non-empty");
+                let mut cells = Vec::with_capacity(horizon as usize);
+                let mut current = first;
+                for t in 0..horizon {
+                    if let Some(&c) = m.get(&t) {
+                        current = c;
+                    }
+                    cells.push(current);
+                }
+                Trajectory { user: *user, cells }
+            })
+            .collect();
+        TrajectoryDb::new(self.grid.clone(), trajectories)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(user: u32, epoch: Timestamp, cell: u32, resend: bool) -> LocationReport {
+        LocationReport {
+            user: UserId(user),
+            epoch,
+            cell: CellId(cell),
+            resend,
+        }
+    }
+
+    #[test]
+    fn receive_and_query() {
+        let s = Server::new(GridMap::new(4, 4, 100.0));
+        s.receive(report(0, 0, 3, false));
+        s.receive(report(0, 1, 4, false));
+        s.receive(report(1, 0, 7, false));
+        assert_eq!(s.n_received(), 3);
+        assert_eq!(s.users(), vec![UserId(0), UserId(1)]);
+        assert_eq!(s.reported_cell(UserId(0), 1), Some(CellId(4)));
+        assert_eq!(s.reported_cell(UserId(1), 1), None);
+    }
+
+    #[test]
+    fn resend_overwrites() {
+        let s = Server::new(GridMap::new(4, 4, 100.0));
+        s.receive(report(0, 0, 3, false));
+        s.receive(report(0, 0, 9, true));
+        assert_eq!(s.reported_cell(UserId(0), 0), Some(CellId(9)));
+        assert_eq!(s.n_resends(), 1);
+        assert_eq!(s.n_received(), 2);
+    }
+
+    #[test]
+    fn reported_db_holds_last_position() {
+        let s = Server::new(GridMap::new(4, 4, 100.0));
+        s.receive_all([report(0, 0, 1, false), report(0, 3, 5, false)]);
+        let db = s.reported_db(5);
+        let tr = db.trajectory(UserId(0)).unwrap();
+        assert_eq!(tr.cells, vec![CellId(1), CellId(1), CellId(1), CellId(5), CellId(5)]);
+    }
+
+    #[test]
+    fn diagnoses_and_infected_cells() {
+        let s = Server::new(GridMap::new(4, 4, 100.0));
+        s.record_diagnosis(UserId(2), 40);
+        s.record_infected_visits(&[(38, CellId(3)), (39, CellId(3)), (40, CellId(8))]);
+        assert_eq!(s.diagnoses(), vec![(UserId(2), 40)]);
+        assert_eq!(s.infected_cells(), vec![CellId(3), CellId(8)]);
+    }
+
+    #[test]
+    fn concurrent_reads_while_writing() {
+        use std::sync::Arc;
+        let s = Arc::new(Server::new(GridMap::new(4, 4, 100.0)));
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for t in 0..200 {
+                    s.receive(report(0, t, (t % 16) as u32, false));
+                }
+            })
+        };
+        let reader = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                for _ in 0..200 {
+                    seen = seen.max(s.n_received());
+                }
+                seen
+            })
+        };
+        writer.join().unwrap();
+        let seen = reader.join().unwrap();
+        assert!(seen <= 200);
+        assert_eq!(s.n_received(), 200);
+    }
+}

@@ -1,0 +1,297 @@
+//! Full-system simulation driver: the Fig. 1 deployment loop in one call.
+//!
+//! Orchestrates what the individual modules provide: clients observe their
+//! true trajectories epoch by epoch and report under budgeted PGLP; an
+//! agent-based outbreak spreads through true co-location; diagnoses arrive
+//! with a reporting delay and each one triggers the §3.2 dynamic-tracing
+//! round; health codes are refreshed after every diagnosis. The returned
+//! log carries everything the experiments and dashboards read.
+//!
+//! This is the entry point a downstream user would build on: give it a
+//! trajectory database (real or synthetic), a policy configurator and a
+//! budget, get back the complete privacy-preserving surveillance history.
+
+use crate::client::{Client, ClientConfig};
+use crate::health_code::{assign_codes, HealthCode, HealthCodeRules};
+use crate::policy_config::PolicyConfigurator;
+use crate::server::Server;
+use crate::tracing::{dynamic_trace, ContactRule, TraceOutcome};
+use panda_core::{GraphExponential, Mechanism};
+use panda_epidemic::{simulate_outbreak, OutbreakConfig, OutbreakResult};
+use panda_mobility::{Timestamp, TrajectoryDb, UserId};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Simulation parameters.
+pub struct SimulationConfig {
+    /// Per-epoch ε for routine reports.
+    pub eps_report: f64,
+    /// Per-epoch ε for re-sent windows.
+    pub eps_resend: f64,
+    /// Client configuration (retention, lifetime budget, consent).
+    pub client: ClientConfig,
+    /// Outbreak dynamics.
+    pub outbreak: OutbreakConfig,
+    /// Contact rule for tracing rounds.
+    pub rule: ContactRule,
+    /// Look-back window length for tracing (epochs; the paper's two weeks).
+    pub trace_window: Timestamp,
+    /// Health-code rules.
+    pub health: HealthCodeRules,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            eps_report: 1.0,
+            eps_resend: 2.0,
+            client: ClientConfig::default(),
+            outbreak: OutbreakConfig::default(),
+            rule: ContactRule::default(),
+            trace_window: 336,
+            health: HealthCodeRules::default(),
+        }
+    }
+}
+
+/// Complete record of a simulated deployment.
+pub struct SimulationLog {
+    /// The outbreak ground truth (never visible to the server).
+    pub outbreak: OutbreakResult,
+    /// One tracing outcome per processed diagnosis, in diagnosis order.
+    pub traces: Vec<(UserId, Timestamp, TraceOutcome)>,
+    /// Final health codes.
+    pub codes: HashMap<UserId, HealthCode>,
+    /// Reports the server received in the routine phase.
+    pub routine_reports: usize,
+    /// Users that ran out of budget before the horizon.
+    pub exhausted_users: Vec<UserId>,
+}
+
+impl SimulationLog {
+    /// Mean recall over all tracing rounds (1.0 when no rounds ran).
+    pub fn mean_recall(&self) -> f64 {
+        if self.traces.is_empty() {
+            return 1.0;
+        }
+        self.traces.iter().map(|(_, _, o)| o.recall).sum::<f64>() / self.traces.len() as f64
+    }
+
+    /// Mean precision over all tracing rounds.
+    pub fn mean_precision(&self) -> f64 {
+        if self.traces.is_empty() {
+            return 1.0;
+        }
+        self.traces.iter().map(|(_, _, o)| o.precision).sum::<f64>() / self.traces.len() as f64
+    }
+}
+
+/// Runs the full deployment over `truth`.
+///
+/// `max_traced_diagnoses` bounds how many diagnoses trigger tracing rounds
+/// (each round re-sends up to a full window per user — budget-hungry).
+pub fn run_simulation(
+    truth: &TrajectoryDb,
+    configurator: &PolicyConfigurator,
+    config: &SimulationConfig,
+    max_traced_diagnoses: usize,
+    rng: &mut dyn RngCore,
+) -> SimulationLog {
+    let grid = truth.grid().clone();
+    let server = Server::new(grid.clone());
+    let base_policy = configurator.for_analysis();
+
+    // Clients, pre-loaded with their (local, private) trajectories.
+    let mut clients: Vec<Client> = truth
+        .trajectories()
+        .iter()
+        .map(|tr| {
+            let mut c = Client::new(
+                tr.user,
+                config.client.clone(),
+                base_policy.clone(),
+                Box::new(GraphExponential) as Box<dyn Mechanism + Send + Sync>,
+                config.eps_report,
+            );
+            for (t, &cell) in tr.cells.iter().enumerate() {
+                c.observe(t as Timestamp, cell);
+            }
+            c
+        })
+        .collect();
+
+    // Ground-truth epidemic (the environment, not the system).
+    let outbreak = simulate_outbreak(rng, truth, &config.outbreak);
+
+    // Routine reporting phase.
+    let mut routine_reports = 0usize;
+    let mut exhausted: Vec<UserId> = Vec::new();
+    for client in clients.iter_mut() {
+        let mut user_exhausted = false;
+        for t in 0..truth.horizon() {
+            match client.report(t, rng) {
+                Ok(report) => {
+                    server.receive(report);
+                    routine_reports += 1;
+                }
+                Err(panda_core::PglpError::BudgetExhausted { .. }) => {
+                    user_exhausted = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        if user_exhausted {
+            exhausted.push(client.user());
+        }
+    }
+
+    // Diagnosis-driven tracing rounds.
+    let mut traces = Vec::new();
+    for &(patient, t_diag) in outbreak.diagnoses.iter().take(max_traced_diagnoses) {
+        let from = t_diag.saturating_sub(config.trace_window);
+        let outcome = dynamic_trace(
+            &mut clients,
+            &server,
+            configurator,
+            truth,
+            patient,
+            (from, t_diag),
+            config.eps_resend,
+            config.rule,
+            rng,
+        );
+        traces.push((patient, t_diag, outcome));
+    }
+
+    // Final health codes from server-visible facts.
+    let now = truth.horizon();
+    let flagged: Vec<UserId> = traces
+        .iter()
+        .flat_map(|(_, _, o)| o.flagged.iter().copied())
+        .collect();
+    let codes = assign_codes(
+        &server.reported_db(now),
+        &server.diagnoses(),
+        &flagged,
+        &server.infected_visits(),
+        now,
+        &config.health,
+    );
+
+    SimulationLog {
+        outbreak,
+        traces,
+        codes,
+        routine_reports,
+        exhausted_users: exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ConsentRule;
+    use panda_mobility::markov::{generate_markov, MarkovConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn population(seed: u64) -> TrajectoryDb {
+        let grid = panda_geo::GridMap::new(10, 10, 200.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate_markov(
+            &mut rng,
+            &grid,
+            &MarkovConfig {
+                n_users: 40,
+                horizon: 72,
+                p_stay: 0.6,
+            },
+        )
+    }
+
+    fn config() -> SimulationConfig {
+        SimulationConfig {
+            eps_report: 1.0,
+            eps_resend: 3.0,
+            client: ClientConfig {
+                retention: 100,
+                budget: 500.0,
+                consent: ConsentRule::AlwaysAccept,
+            },
+            outbreak: OutbreakConfig {
+                n_seeds: 3,
+                p_transmit: 0.5,
+                diagnosis_delay: 12,
+                ..Default::default()
+            },
+            rule: ContactRule::default(),
+            trace_window: 48,
+            health: HealthCodeRules::default(),
+        }
+    }
+
+    #[test]
+    fn full_simulation_round_trip() {
+        let truth = population(1);
+        let configurator =
+            PolicyConfigurator::new(truth.grid().clone(), 5, 2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let log = run_simulation(&truth, &configurator, &config(), 2, &mut rng);
+        assert_eq!(log.routine_reports, 40 * 72);
+        assert!(log.exhausted_users.is_empty());
+        assert!(!log.traces.is_empty(), "seeded outbreak must diagnose");
+        assert_eq!(log.mean_recall(), 1.0, "dynamic tracing is exact");
+        assert_eq!(log.codes.len(), 40);
+        // Diagnosed patients are red.
+        for (patient, _, _) in &log.traces {
+            assert_eq!(log.codes[patient], HealthCode::Red);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let truth = population(3);
+        let configurator = PolicyConfigurator::new(truth.grid().clone(), 5, 2);
+        let mut cfg = config();
+        cfg.client.budget = 10.0; // only 10 epochs of eps=1.0
+        let mut rng = SmallRng::seed_from_u64(4);
+        let log = run_simulation(&truth, &configurator, &cfg, 0, &mut rng);
+        assert_eq!(log.exhausted_users.len(), 40, "everyone runs dry");
+        assert_eq!(log.routine_reports, 40 * 10);
+    }
+
+    #[test]
+    fn no_outbreak_no_traces() {
+        let truth = population(5);
+        let configurator = PolicyConfigurator::new(truth.grid().clone(), 5, 2);
+        let mut cfg = config();
+        cfg.outbreak.p_transmit = 0.0;
+        cfg.outbreak.diagnosis_delay = 200; // past horizon: never diagnosed
+        let mut rng = SmallRng::seed_from_u64(6);
+        let log = run_simulation(&truth, &configurator, &cfg, 5, &mut rng);
+        assert!(log.traces.is_empty());
+        assert_eq!(log.mean_recall(), 1.0);
+        assert_eq!(log.mean_precision(), 1.0);
+        // Everyone green: no diagnoses ever reach the server.
+        assert!(log.codes.values().all(|&c| c == HealthCode::Green));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let truth = population(7);
+        let configurator = PolicyConfigurator::new(truth.grid().clone(), 5, 2);
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            run_simulation(&truth, &configurator, &config(), 1, &mut rng)
+        };
+        let a = run(8);
+        let b = run(8);
+        assert_eq!(a.routine_reports, b.routine_reports);
+        assert_eq!(a.outbreak.seeds, b.outbreak.seeds);
+        assert_eq!(
+            a.traces.iter().map(|(u, t, _)| (*u, *t)).collect::<Vec<_>>(),
+            b.traces.iter().map(|(u, t, _)| (*u, *t)).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Policy-aware privacy-budget allocation over a two-week window.
+//!
+//! A user's client releases one location per epoch from a fixed lifetime
+//! budget. When the policy schedule is heterogeneous — fine-grained `Gb`
+//! cliques on weekdays, the full `G1` graph on weekends — sizing each
+//! epoch's ε to the policy's component *diameter* spends the same budget
+//! for visibly lower error than flat allocation: weekday releases are cheap
+//! (1-hop cliques) and the saved budget buys down the expensive weekend
+//! noise. This is the "policy-aware" dimension PANDA adds over plain
+//! geo-indistinguishability.
+//!
+//! ```text
+//! cargo run --example budget_allocation
+//! ```
+
+use panda::core::budget::{
+    BudgetAllocator, BudgetLedger, DiameterProportional, EvenSplit, FixedPerEpoch,
+};
+use panda::core::{GraphExponential, LocationPolicyGraph, Mechanism};
+use panda::geo::GridMap;
+use panda::mobility::markov::{generate_markov, MarkovConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let grid = GridMap::new(12, 12, 500.0);
+    let mut rng = StdRng::seed_from_u64(99);
+    let db = generate_markov(
+        &mut rng,
+        &grid,
+        &MarkovConfig {
+            n_users: 1,
+            horizon: 336, // 14 days, hourly
+            p_stay: 0.7,
+        },
+    );
+    let trajectory = &db.trajectories()[0].cells;
+    let horizon = trajectory.len() as u32;
+
+    // Weekday policy: 2x2 cliques (Gb). Weekend policy: full G1 graph.
+    let gb = LocationPolicyGraph::partition(grid.clone(), 2, 2);
+    let g1 = LocationPolicyGraph::g1_geo_indistinguishability(grid.clone());
+    let policy_at = |t: u32| if (t / 24) % 7 >= 5 { &g1 } else { &gb };
+
+    let budget = 120.0;
+    println!(
+        "one user, {horizon} epochs, lifetime budget {budget} eps\n\
+         schedule: weekdays Gb (diameter 1), weekends G1 (diameter 11)\n"
+    );
+    println!(
+        "{:<24} {:>9} {:>10} {:>13} {:>15}",
+        "allocator", "released", "spent", "mean err (m)", "weekend err (m)"
+    );
+
+    let allocators: Vec<(&str, Box<dyn BudgetAllocator>)> = vec![
+        ("fixed 0.35/epoch", Box::new(FixedPerEpoch { eps: 0.35 })),
+        ("even split", Box::new(EvenSplit)),
+        (
+            "diameter proportional",
+            Box::new(DiameterProportional {
+                base: 1.1,
+                reference_diameter: 11.0,
+            }),
+        ),
+    ];
+    for (label, alloc) in allocators {
+        let mut ledger = BudgetLedger::new(budget);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut err, mut weekend_err) = (0.0, 0.0);
+        let (mut n, mut n_weekend, mut released) = (0usize, 0usize, 0usize);
+        for (t, &truth) in trajectory.iter().enumerate() {
+            let t = t as u32;
+            let policy = policy_at(t);
+            let eps = alloc.allocate(t as u64, ledger.remaining(), horizon - t, policy);
+            if eps <= 0.0 || !ledger.can_afford(eps) {
+                continue;
+            }
+            if !policy.is_isolated_cell(truth) {
+                ledger.charge(t as u64, policy.name(), eps).unwrap();
+            }
+            let z = GraphExponential.perturb(policy, eps, truth, &mut rng).unwrap();
+            let d = grid.distance(truth, z);
+            err += d;
+            n += 1;
+            released += 1;
+            if (t / 24) % 7 >= 5 {
+                weekend_err += d;
+                n_weekend += 1;
+            }
+        }
+        println!(
+            "{:<24} {:>9} {:>10.1} {:>13.1} {:>15.1}",
+            label,
+            released,
+            ledger.spent(),
+            err / n.max(1) as f64,
+            weekend_err / n_weekend.max(1) as f64
+        );
+    }
+    println!(
+        "\nSame lifetime budget, same mechanism: shifting eps toward the\n\
+         large-diameter weekend policy cuts both mean and weekend error.\n\
+         The ledger guarantees the total can never be exceeded."
+    );
+}

@@ -1,0 +1,81 @@
+//! The Fig. 5 "PANDA Demonstration" panel as a CLI: choose a policy graph
+//! (preset or random with Size/Density knobs), choose ε and a PGLP
+//! mechanism, and read the resulting privacy-utility numbers.
+//!
+//! ```text
+//! cargo run --example policy_explorer [size] [density] [eps]
+//! # e.g. the Fig. 5 screenshot settings:
+//! cargo run --example policy_explorer 50 0.1 1.0
+//! ```
+
+use panda::attack::{expected_inference_error, BayesEstimator, Prior};
+use panda::core::{
+    GraphCalibratedLaplace, GraphExponential, LocationPolicyGraph, Mechanism, PlanarIsotropic,
+};
+use panda::geo::GridMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let density: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let eps: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    let grid = GridMap::new(10, 10, 200.0);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // The policy menu of the demo UI: three presets plus the random graph.
+    let policies = vec![
+        LocationPolicyGraph::partition(grid.clone(), 5, 5), // Ga
+        LocationPolicyGraph::partition(grid.clone(), 2, 2), // Gb
+        LocationPolicyGraph::g1_geo_indistinguishability(grid.clone()), // G1
+        LocationPolicyGraph::random(grid.clone(), size, density, &mut rng),
+    ];
+
+    let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(GraphExponential),
+        Box::new(GraphCalibratedLaplace),
+        Box::new(PlanarIsotropic::new()),
+    ];
+
+    let prior = Prior::uniform(&grid);
+    println!("epsilon = {eps}; random graph: size {size}, density {density}");
+    println!(
+        "\n{:<24} {:<18} {:>12} {:>12} {:>9}",
+        "policy", "mechanism", "utility (m)", "adv err (m)", "hit rate"
+    );
+    println!("{}", "-".repeat(80));
+    for policy in &policies {
+        for mech in &mechanisms {
+            let mut trial_rng = StdRng::seed_from_u64(17);
+            let report = expected_inference_error(
+                mech.as_ref(),
+                policy,
+                eps,
+                &prior,
+                BayesEstimator::MinExpectedDistance,
+                200,
+                10_000,
+                &mut trial_rng,
+            )
+            .expect("attack run failed");
+            println!(
+                "{:<24} {:<18} {:>12.1} {:>12.1} {:>9.3}",
+                policy.name(),
+                report.mechanism,
+                report.mean_utility_error,
+                report.mean_error,
+                report.hit_rate
+            );
+        }
+    }
+    println!(
+        "\nReading the table the way the demo intends: utility error is what\n\
+         the server loses, adversary error is what the attacker cannot\n\
+         recover. Ga gives the attacker little room inside small cliques but\n\
+         also loses little utility; G1 protects everywhere and costs the\n\
+         most; the random graph sits wherever its density puts it — the\n\
+         'new dimension' of the privacy-utility trade-off."
+    );
+}

@@ -1,0 +1,50 @@
+//! # PANDA — Policy-aware Location Privacy for Epidemic Surveillance
+//!
+//! A from-scratch Rust reproduction of *PANDA: Policy-aware Location
+//! Privacy for Epidemic Surveillance* (Cao, Takagi, Xiao, Xiong,
+//! Yoshikawa — PVLDB 12(12), VLDB 2020 demo) and the PGLP framework it
+//! implements.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`geo`] | `panda-geo` | grids, hulls, polygon sampling, 2×2 algebra |
+//! | [`graph`] | `panda-graph` | policy-graph substrate: BFS, components, generators |
+//! | [`core`] | `panda-core` | PGLP: policies, mechanisms, audits, budgets, repair |
+//! | [`mobility`] | `panda-mobility` | GeoLife-like / Gowalla-like synthetic data |
+//! | [`epidemic`] | `panda-epidemic` | SEIR, agent-based outbreaks, R0 estimation |
+//! | [`attack`] | `panda-attack` | Bayesian inference attacks, empirical privacy |
+//! | [`surveillance`] | `panda-surveillance` | clients, server, policy config, the three apps |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use panda::core::{GraphExponential, LocationPolicyGraph, Mechanism};
+//! use panda::geo::GridMap;
+//! use rand::SeedableRng;
+//!
+//! // An 8×8 city grid with 500 m cells and the paper's G1 policy.
+//! let grid = GridMap::new(8, 8, 500.0);
+//! let policy = LocationPolicyGraph::g1_geo_indistinguishability(grid);
+//!
+//! // Release a perturbed location under {ε, G1}-location privacy.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let true_loc = policy.grid().cell(3, 4);
+//! let released = GraphExponential
+//!     .perturb(&policy, 1.0, true_loc, &mut rng)
+//!     .unwrap();
+//! assert!(policy.grid().contains(released));
+//!
+//! // And audit the guarantee exactly (Def. 2.4 on every policy edge):
+//! let report = panda::core::audit_pglp(&GraphExponential, &policy, 1.0).unwrap();
+//! assert!(report.satisfied && report.exact);
+//! ```
+
+pub use panda_attack as attack;
+pub use panda_core as core;
+pub use panda_epidemic as epidemic;
+pub use panda_geo as geo;
+pub use panda_graph as graph;
+pub use panda_mobility as mobility;
+pub use panda_surveillance as surveillance;

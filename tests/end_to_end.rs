@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: the full PANDA pipeline.
+
+use panda::core::{
+    audit_pglp, GraphCalibratedLaplace, GraphExponential, LocationPolicyGraph, Mechanism,
+    PlanarIsotropic,
+};
+use panda::epidemic::{simulate_outbreak, OutbreakConfig};
+use panda::geo::GridMap;
+use panda::mobility::geolife_like::{beijing_grid, generate_geolife_like, GeoLifeLikeConfig};
+use panda::mobility::Timestamp;
+use panda::surveillance::analysis::compare_r0;
+use panda::surveillance::monitoring::monitoring_utility;
+use panda::surveillance::tracing::dynamic_trace;
+use panda::surveillance::{
+    Client, ClientConfig, ConsentRule, ContactRule, PolicyConfigurator, Server,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_population(seed: u64) -> (GridMap, panda::mobility::TrajectoryDb) {
+    let grid = beijing_grid(12, 500.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = generate_geolife_like(
+        &mut rng,
+        &grid,
+        &GeoLifeLikeConfig {
+            n_users: 40,
+            days: 3,
+            ..Default::default()
+        },
+    );
+    (grid, db)
+}
+
+fn make_clients(
+    truth: &panda::mobility::TrajectoryDb,
+    policy: &LocationPolicyGraph,
+    eps: f64,
+) -> Vec<Client> {
+    truth
+        .trajectories()
+        .iter()
+        .map(|tr| {
+            let mut c = Client::new(
+                tr.user,
+                ClientConfig {
+                    retention: 400,
+                    budget: 500.0,
+                    consent: ConsentRule::AlwaysAccept,
+                },
+                policy.clone(),
+                Box::new(GraphExponential),
+                eps,
+            );
+            for (t, &cell) in tr.cells.iter().enumerate() {
+                c.observe(t as Timestamp, cell);
+            }
+            c
+        })
+        .collect()
+}
+
+#[test]
+fn full_reporting_round_preserves_components() {
+    let (grid, truth) = small_population(1);
+    let policy = LocationPolicyGraph::partition(grid.clone(), 3, 3);
+    let mut clients = make_clients(&truth, &policy, 1.0);
+    let server = Server::new(grid);
+    let mut rng = StdRng::seed_from_u64(2);
+    for c in clients.iter_mut() {
+        for t in 0..truth.horizon() {
+            server.receive(c.report(t, &mut rng).expect("report"));
+        }
+    }
+    assert_eq!(
+        server.n_received(),
+        truth.n_users() * truth.horizon() as usize
+    );
+    // Every stored report is in the same policy component as the truth.
+    for tr in truth.trajectories() {
+        for t in 0..truth.horizon() {
+            let reported = server.reported_cell(tr.user, t).unwrap();
+            assert!(policy.same_component(tr.at(t).unwrap(), reported));
+        }
+    }
+}
+
+#[test]
+fn monitoring_utility_improves_with_epsilon_and_policy_coarseness() {
+    let (grid, truth) = small_population(3);
+    let run = |policy: &LocationPolicyGraph, eps: f64| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let reported = truth.map_cells(|_, _, c| {
+            GraphExponential.perturb(policy, eps, c, &mut rng).unwrap()
+        });
+        monitoring_utility(&truth, &reported, 4).mean_distance
+    };
+    let ga = LocationPolicyGraph::partition(grid.clone(), 4, 4);
+    let g1 = LocationPolicyGraph::g1_geo_indistinguishability(grid.clone());
+    // Error decreases in eps for a fixed policy.
+    assert!(run(&g1, 4.0) < run(&g1, 0.25));
+    // At low eps, the coarse partition bounds error by the block diameter
+    // while G1 wanders across the grid.
+    assert!(run(&ga, 0.25) < run(&g1, 0.25));
+}
+
+#[test]
+fn r0_estimate_degrades_gracefully() {
+    let (grid, truth) = small_population(5);
+    let policy = LocationPolicyGraph::partition(grid.clone(), 2, 2);
+    let mut rng = StdRng::seed_from_u64(6);
+    let reported_hi = truth.map_cells(|_, _, c| {
+        GraphExponential.perturb(&policy, 8.0, c, &mut rng).unwrap()
+    });
+    let reported_lo = truth.map_cells(|_, _, c| {
+        GraphExponential.perturb(&policy, 0.2, c, &mut rng).unwrap()
+    });
+    let hi = compare_r0(&truth, &reported_hi, 0.35, 4.0);
+    let lo = compare_r0(&truth, &reported_lo, 0.35, 4.0);
+    assert!(hi.r0_true > 0.0);
+    assert!(
+        hi.abs_error <= lo.abs_error + 1e-9,
+        "higher eps must not estimate worse: {} vs {}",
+        hi.abs_error,
+        lo.abs_error
+    );
+}
+
+#[test]
+fn outbreak_plus_dynamic_tracing_end_to_end() {
+    let (grid, truth) = small_population(7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let outbreak = simulate_outbreak(
+        &mut rng,
+        &truth,
+        &OutbreakConfig {
+            n_seeds: 3,
+            diagnosis_delay: 12,
+            p_transmit: 0.5,
+            ..Default::default()
+        },
+    );
+    let Some(&(patient, t_diag)) = outbreak.diagnoses.first() else {
+        panic!("seeded outbreak must produce a diagnosis");
+    };
+    let configurator = PolicyConfigurator::new(grid.clone(), 4, 2);
+    let mut clients = make_clients(&truth, &configurator.for_analysis(), 1.0);
+    let server = Server::new(grid);
+    let outcome = dynamic_trace(
+        &mut clients,
+        &server,
+        &configurator,
+        &truth,
+        patient,
+        (0, t_diag),
+        4.0,
+        ContactRule::default(),
+        &mut rng,
+    );
+    // The dynamic protocol discloses infected-cell visits exactly, so every
+    // ground-truth contact is recovered.
+    assert_eq!(outcome.recall, 1.0, "outcome: {outcome:?}");
+    assert!(server.n_resends() > 0);
+    assert_eq!(server.diagnoses().len(), 1);
+}
+
+#[test]
+fn all_mechanisms_pass_monte_carlo_audit_on_gc_policy() {
+    // The contact-tracing policy (isolated cells + partition remainder) is
+    // the structurally trickiest preset; audit all three PGLP mechanisms.
+    let grid = GridMap::new(4, 4, 250.0);
+    let base = LocationPolicyGraph::partition(grid.clone(), 2, 2);
+    let gc = base.with_isolated(&[grid.cell(1, 1)]);
+    let eps = 1.0;
+    let report = audit_pglp(&GraphExponential, &gc, eps).unwrap();
+    assert!(report.exact && report.satisfied, "{report:?}");
+    let opts = panda::core::privacy::AuditOptions {
+        mc_samples: 40_000,
+        mc_slack: 1.5,
+        mc_min_count: 200,
+        seed: 11,
+    };
+    for mech in [
+        Box::new(GraphCalibratedLaplace) as Box<dyn Mechanism>,
+        Box::new(PlanarIsotropic::new()),
+    ] {
+        let report =
+            panda::core::privacy::audit_pglp_with(mech.as_ref(), &gc, eps, &opts).unwrap();
+        assert!(report.satisfied, "{}: {report:?}", mech.name());
+    }
+}
+
+#[test]
+fn budget_exhaustion_halts_release_pipeline() {
+    let (grid, truth) = small_population(9);
+    let policy = LocationPolicyGraph::partition(grid.clone(), 3, 3);
+    let mut client = Client::new(
+        truth.trajectories()[0].user,
+        ClientConfig {
+            retention: 400,
+            budget: 2.0,
+            consent: ConsentRule::AlwaysAccept,
+        },
+        policy,
+        Box::new(GraphExponential),
+        1.0,
+    );
+    for (t, &cell) in truth.trajectories()[0].cells.iter().enumerate() {
+        client.observe(t as Timestamp, cell);
+    }
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut successes = 0;
+    for t in 0..10 {
+        if client.report(t, &mut rng).is_ok() {
+            successes += 1;
+        }
+    }
+    assert_eq!(successes, 2, "budget of 2.0 at eps 1.0 allows 2 releases");
+}

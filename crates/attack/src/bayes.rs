@@ -29,9 +29,9 @@ pub fn posterior(prior: &Prior, like: &LikelihoodModel, z: CellId) -> Option<Vec
     let n = like.n_cells();
     let mut post = vec![0.0f64; n];
     let mut total = 0.0;
-    for s in 0..n {
+    for (s, slot) in post.iter_mut().enumerate() {
         let w = prior.prob(CellId(s as u32)) * like.prob(CellId(s as u32), z);
-        post[s] = w;
+        *slot = w;
         total += w;
     }
     if total <= 0.0 {
@@ -121,7 +121,11 @@ mod tests {
         let like = LikelihoodModel::build(&GraphExponential, &policy, 12.0, 0).unwrap();
         let prior = Prior::uniform(&g);
         let post = posterior(&prior, &like, CellId(0)).unwrap();
-        assert!(post[0] > 0.95, "high eps must pin the posterior: {}", post[0]);
+        assert!(
+            post[0] > 0.95,
+            "high eps must pin the posterior: {}",
+            post[0]
+        );
     }
 
     #[test]
@@ -161,11 +165,8 @@ mod tests {
         for z in [CellId(0), CellId(7), CellId(15)] {
             let post = posterior(&prior, &like, z).unwrap();
             let map = estimate(&g, &prior, &like, z, BayesEstimator::Map).unwrap();
-            let med =
-                estimate(&g, &prior, &like, z, BayesEstimator::MinExpectedDistance).unwrap();
-            assert!(
-                expected_distance(&g, &post, med) <= expected_distance(&g, &post, map) + 1e-9
-            );
+            let med = estimate(&g, &prior, &like, z, BayesEstimator::MinExpectedDistance).unwrap();
+            assert!(expected_distance(&g, &post, med) <= expected_distance(&g, &post, map) + 1e-9);
         }
     }
 

@@ -33,11 +33,11 @@ impl LikelihoodModel {
         let n = policy.n_locations() as usize;
         let mut like = vec![vec![0.0f64; n]; n];
         let mut exact = true;
-        for s in 0..n {
+        for (s, like_row) in like.iter_mut().enumerate() {
             let cell = CellId(s as u32);
             if let Some(dist) = mech.output_distribution(policy, eps, cell) {
                 for (z, p) in dist {
-                    like[s][z.index()] = p;
+                    like_row[z.index()] = p;
                 }
             } else {
                 exact = false;
@@ -53,7 +53,7 @@ impl LikelihoodModel {
                 let support = policy.component_cells(cell);
                 let denom = mc_samples as f64 + support.len() as f64;
                 for c in support {
-                    like[s][c.index()] = (counts[c.index()] as f64 + 1.0) / denom;
+                    like_row[c.index()] = (counts[c.index()] as f64 + 1.0) / denom;
                 }
             }
         }

@@ -38,6 +38,7 @@ pub struct AdversaryReport {
 ///
 /// `mc_samples` is forwarded to [`LikelihoodModel::build`] for mechanisms
 /// without closed-form distributions.
+#[allow(clippy::too_many_arguments)]
 pub fn expected_inference_error<R: Rng>(
     mech: &dyn Mechanism,
     policy: &LocationPolicyGraph,

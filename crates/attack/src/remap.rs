@@ -138,7 +138,9 @@ mod tests {
         let (mut base_err, mut remap_err) = (0.0, 0.0);
         for _ in 0..N {
             let truth = prior.sample(&mut rng);
-            let z0 = GraphExponential.perturb(&policy, eps, truth, &mut rng).unwrap();
+            let z0 = GraphExponential
+                .perturb(&policy, eps, truth, &mut rng)
+                .unwrap();
             let z1 = remapped.perturb(&policy, eps, truth, &mut rng).unwrap();
             base_err += g.distance(truth, z0);
             remap_err += g.distance(truth, z1);

@@ -103,7 +103,7 @@ impl<'a> Tracker<'a> {
         for t in (0..t_max.saturating_sub(1)).rev() {
             // beta_t(s) = sum_{s'} K(s→s') · P(z_{t+1} | s') · beta_{t+1}(s')
             let mut row = vec![0.0f64; n];
-            for s in 0..n {
+            for (s, slot) in row.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for &(target, p) in self.kernel.row(CellId(s as u32)) {
                     let emit = match observations[t + 1] {
@@ -112,7 +112,7 @@ impl<'a> Tracker<'a> {
                     };
                     acc += p * emit * betas[t + 1][target.index()];
                 }
-                row[s] = acc;
+                *slot = acc;
             }
             // Normalise for numerical stability.
             let total: f64 = row.iter().sum();
@@ -298,9 +298,15 @@ mod tests {
         let obs = vec![Some(CellId(12)), None, None, None];
         let alphas = tracker.forward(&prior, &obs);
         let entropy = |d: &[f64]| -> f64 {
-            -d.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>()
+            -d.iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| p * p.ln())
+                .sum::<f64>()
         };
-        assert!(entropy(&alphas[3]) > entropy(&alphas[0]), "belief must diffuse");
+        assert!(
+            entropy(&alphas[3]) > entropy(&alphas[0]),
+            "belief must diffuse"
+        );
     }
 
     #[test]
@@ -312,7 +318,13 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let obs: Vec<Option<CellId>> = truth
             .iter()
-            .map(|&s| Some(GraphExponential.perturb(&policy, 12.0, s, &mut rng).unwrap()))
+            .map(|&s| {
+                Some(
+                    GraphExponential
+                        .perturb(&policy, 12.0, s, &mut rng)
+                        .unwrap(),
+                )
+            })
             .collect();
         let tracker = Tracker::new(&g, &kernel, &like, BayesEstimator::Map);
         let report = tracker.attack(&prior, &obs, &truth);

@@ -29,21 +29,18 @@ fn bench_mechanisms(c: &mut Criterion) {
         let mechanisms: Vec<(&str, Box<dyn Mechanism>)> = vec![
             ("gem", Box::new(GraphExponential)),
             ("graph_laplace", Box::new(GraphCalibratedLaplace)),
-            ("pim_prepared", Box::new(PlanarIsotropic::prepared(policy, false))),
+            (
+                "pim_prepared",
+                Box::new(PlanarIsotropic::prepared(policy, false)),
+            ),
             ("planar_laplace", Box::new(PlanarLaplace)),
         ];
         for (mlabel, mech) in mechanisms {
-            group.bench_with_input(
-                BenchmarkId::new(mlabel, plabel),
-                policy,
-                |b, policy| {
-                    let mut rng = StdRng::seed_from_u64(1);
-                    let s = CellId(100);
-                    b.iter(|| {
-                        black_box(mech.perturb(policy, 1.0, black_box(s), &mut rng).unwrap())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(mlabel, plabel), policy, |b, policy| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let s = CellId(100);
+                b.iter(|| black_box(mech.perturb(policy, 1.0, black_box(s), &mut rng).unwrap()));
+            });
         }
     }
     group.finish();
@@ -80,9 +77,7 @@ fn bench_optimal_remap(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("build_table", |b| {
         b.iter(|| {
-            black_box(
-                RemappedMechanism::build(&GraphExponential, &policy, 1.0, &prior, 0).unwrap(),
-            )
+            black_box(RemappedMechanism::build(&GraphExponential, &policy, 1.0, &prior, 0).unwrap())
         })
     });
     let remapped = RemappedMechanism::build(&GraphExponential, &policy, 1.0, &prior, 0).unwrap();

@@ -1,0 +1,113 @@
+//! Indexed bulk release vs. the naive per-call path.
+//!
+//! The PR 1 refactor claims: releasing a trajectory through
+//! `Mechanism::perturb_batch` with a `PolicyIndex` amortises all
+//! policy-graph work (distances, output distributions) down to O(log k)
+//! table sampling per report, while the naive loop rebuilds each
+//! distribution per call. This bench measures both paths on the same
+//! workload — a synthetic 256-report trajectory over a 32×32 grid — per
+//! policy and mechanism, so the speedup is visible in one run's output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::{
+    EuclideanExponential, GraphCalibratedLaplace, GraphExponential, LocationPolicyGraph, Mechanism,
+    PolicyIndex, UniformComponent,
+};
+use panda_geo::{CellId, GridMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A plausible trajectory: a lazy random walk over the grid.
+fn workload(grid: &GridMap, len: usize, seed: u64) -> Vec<CellId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cell = grid.cell(grid.width() / 2, grid.height() / 2);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                let neighbors = grid.neighbors8(cell);
+                cell = neighbors[rng.gen_range(0..neighbors.len())];
+            }
+            cell
+        })
+        .collect()
+}
+
+fn bench_batch_vs_naive(c: &mut Criterion) {
+    let grid = GridMap::new(32, 32, 500.0);
+    let locs = workload(&grid, 256, 7);
+    let eps = 1.0;
+
+    let policies = vec![
+        ("Ga", LocationPolicyGraph::partition(grid.clone(), 4, 4)),
+        ("Gb", LocationPolicyGraph::partition(grid.clone(), 2, 2)),
+        (
+            "G1",
+            LocationPolicyGraph::g1_geo_indistinguishability(grid.clone()),
+        ),
+    ];
+    let mechanisms: Vec<(&str, Box<dyn Mechanism>)> = vec![
+        ("gem", Box::new(GraphExponential)),
+        ("euc_exp", Box::new(EuclideanExponential)),
+        ("graph_laplace", Box::new(GraphCalibratedLaplace)),
+        ("uniform", Box::new(UniformComponent)),
+    ];
+
+    let mut group = c.benchmark_group("mechanisms_batch");
+    for (plabel, policy) in &policies {
+        let index = PolicyIndex::new(policy.clone());
+        for (mlabel, mech) in &mechanisms {
+            // Naive: one perturb call per report, distributions rebuilt
+            // every time (the seed behaviour).
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive_{mlabel}"), plabel),
+                policy,
+                |b, policy| {
+                    let mut rng = StdRng::seed_from_u64(11);
+                    b.iter(|| {
+                        for &s in &locs {
+                            black_box(mech.perturb(policy, eps, black_box(s), &mut rng).unwrap());
+                        }
+                    });
+                },
+            );
+            // Indexed: one perturb_batch over the whole trajectory.
+            group.bench_with_input(
+                BenchmarkId::new(format!("indexed_{mlabel}"), plabel),
+                &index,
+                |b, index| {
+                    let mut rng = StdRng::seed_from_u64(11);
+                    b.iter(|| {
+                        black_box(
+                            mech.perturb_batch(index, eps, black_box(&locs), &mut rng)
+                                .unwrap(),
+                        );
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_index_construction(c: &mut Criterion) {
+    // The one-time cost the batch path pays up front: policy construction
+    // (with distance tables) and first-touch distribution builds.
+    let grid = GridMap::new(32, 32, 500.0);
+    let mut group = c.benchmark_group("policy_index_build");
+    group.sample_size(10);
+    group.bench_function("partition_2x2_with_tables", |b| {
+        b.iter(|| black_box(LocationPolicyGraph::partition(grid.clone(), 2, 2)));
+    });
+    group.bench_function("g1_with_tables", |b| {
+        b.iter(|| {
+            black_box(LocationPolicyGraph::g1_geo_indistinguishability(
+                grid.clone(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_naive, bench_index_construction);
+criterion_main!(benches);

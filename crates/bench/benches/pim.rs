@@ -20,14 +20,10 @@ fn bench_prepared_vs_fresh(c: &mut Criterion) {
         let policy = LocationPolicyGraph::partition(grid.clone(), block, block);
         let prepared = PlanarIsotropic::prepared(&policy, false);
         let fresh = PlanarIsotropic::new();
-        group.bench_with_input(
-            BenchmarkId::new("prepared", block),
-            &policy,
-            |b, policy| {
-                let mut rng = StdRng::seed_from_u64(1);
-                b.iter(|| black_box(prepared.perturb(policy, 1.0, CellId(0), &mut rng).unwrap()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("prepared", block), &policy, |b, policy| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(prepared.perturb(policy, 1.0, CellId(0), &mut rng).unwrap()));
+        });
         group.bench_with_input(BenchmarkId::new("fresh", block), &policy, |b, policy| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| black_box(fresh.perturb(policy, 1.0, CellId(0), &mut rng).unwrap()));

@@ -5,10 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use panda_bench::workload::{geolife, grid};
+use panda_geo::CellId;
 use panda_mobility::{Timestamp, UserId};
 use panda_surveillance::tracing::ContactTracer;
 use panda_surveillance::PolicyConfigurator;
-use panda_geo::CellId;
 use std::hint::black_box;
 
 fn bench_find_contacts(c: &mut Criterion) {
@@ -22,21 +22,9 @@ fn bench_find_contacts(c: &mut Criterion) {
             .filter_map(|t| db.cell_of(patient, t).map(|c| (t, c)))
             .collect();
         let tracer = ContactTracer::default();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(users),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    black_box(tracer.find_contacts(
-                        db,
-                        patient,
-                        &history,
-                        0,
-                        db.horizon(),
-                    ))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(users), &db, |b, db| {
+            b.iter(|| black_box(tracer.find_contacts(db, patient, &history, 0, db.horizon())));
+        });
     }
     group.finish();
 }

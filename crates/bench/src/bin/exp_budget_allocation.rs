@@ -56,7 +56,10 @@ fn main() {
     let allocators: Vec<(&str, Box<dyn BudgetAllocator>)> = vec![
         ("fixed", Box::new(FixedPerEpoch { eps: 0.5 })),
         ("even-split", Box::new(EvenSplit)),
-        ("geometric-decay", Box::new(GeometricDecay { fraction: 0.02 })),
+        (
+            "geometric-decay",
+            Box::new(GeometricDecay { fraction: 0.02 }),
+        ),
         (
             "diameter-proportional",
             Box::new(DiameterProportional {
@@ -75,7 +78,12 @@ fn main() {
     let mut table = Table::new(
         "e8_budget_allocation",
         &[
-            "allocator", "released", "skipped", "spent_eps", "mean_err_m", "weekend_err_m",
+            "allocator",
+            "released",
+            "skipped",
+            "spent_eps",
+            "mean_err_m",
+            "weekend_err_m",
         ],
     );
     let mut summary = Vec::new();
@@ -100,6 +108,13 @@ fn main() {
                 if !policy.is_isolated_cell(truth_cell) {
                     ledger.charge(t as u64, policy.name(), eps).unwrap();
                 }
+                // Plain per-call release: most allocators here emit a
+                // different eps every epoch (a function of the remaining
+                // budget), which defeats (eps, cell) distribution caching —
+                // each batch call would build a table used exactly once.
+                // perturb is already BFS-free via the policy's precomputed
+                // distance tables, which is the win that matters for this
+                // workload.
                 let z = GraphExponential
                     .perturb(policy, eps, truth_cell, &mut rng)
                     .unwrap();

@@ -14,10 +14,10 @@ use panda_bench::workload::{geolife, grid};
 use panda_bench::{f3, Table};
 use panda_core::GraphExponential;
 use panda_epidemic::{simulate_outbreak, OutbreakConfig};
+use panda_geo::CellId;
 use panda_mobility::Timestamp;
 use panda_surveillance::tracing::{dynamic_trace, ContactRule, ContactTracer, TraceOutcome};
 use panda_surveillance::{Client, ClientConfig, ConsentRule, PolicyConfigurator, Server};
-use panda_geo::CellId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -76,7 +76,15 @@ fn main() {
     let tracer = ContactTracer::default();
     let mut table = Table::new(
         "e4_contact_tracing",
-        &["patient", "strategy", "flagged", "true_contacts", "precision", "recall", "resends"],
+        &[
+            "patient",
+            "strategy",
+            "flagged",
+            "true_contacts",
+            "precision",
+            "recall",
+            "resends",
+        ],
     );
 
     let mut static_recalls = Vec::new();
@@ -88,8 +96,7 @@ fn main() {
         let history: Vec<(Timestamp, CellId)> = (window.0..window.1)
             .filter_map(|t| truth.cell_of(patient, t).map(|c| (t, c)))
             .collect();
-        let ground_truth =
-            tracer.find_contacts(&truth, patient, &history, window.0, window.1);
+        let ground_truth = tracer.find_contacts(&truth, patient, &history, window.0, window.1);
 
         // --- static: originally-perturbed reports, no update. -----------
         let server = Server::new(g.clone());
@@ -103,10 +110,8 @@ fn main() {
             }
         }
         let reported = server.reported_db(window.1);
-        let static_flags =
-            tracer.find_contacts(&reported, patient, &history, window.0, window.1);
-        let static_outcome =
-            TraceOutcome::evaluate(static_flags, ground_truth.clone(), 0);
+        let static_flags = tracer.find_contacts(&reported, patient, &history, window.0, window.1);
+        let static_outcome = TraceOutcome::evaluate(static_flags, ground_truth.clone(), 0);
         table.row(&[
             &patient,
             &"static",

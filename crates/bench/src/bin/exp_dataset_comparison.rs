@@ -8,13 +8,14 @@
 //! absolute errors and area accuracies differ — the reason the demo shows
 //! both datasets.
 
-use panda_bench::workload::{geolife, gowalla, grid, policy_menu};
+use panda_bench::workload::{geolife, gowalla, grid, indexed_policy_menu, release_db};
 use panda_bench::{f1, parallel_map, Table};
-use panda_core::{GraphExponential, Mechanism};
+use panda_core::GraphExponential;
 use panda_surveillance::analysis::contact_rate;
 use panda_surveillance::monitoring::monitoring_utility;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() {
     let full = panda_bench::full_mode();
@@ -35,29 +36,36 @@ fn main() {
 
     let eps = 1.0;
     let infected = vec![g.cell(8, 8)];
-    let policies = policy_menu(&g, &infected);
+    // One shared PolicyIndex per policy: both datasets reuse the same
+    // cached distributions.
+    let policies: Vec<(&str, Arc<panda_core::PolicyIndex>)> = indexed_policy_menu(&g, &infected)
+        .into_iter()
+        .map(|(label, index)| (label, Arc::new(index)))
+        .collect();
     let datasets = [("geolife", &geolife_db), ("gowalla", &gowalla_db)];
 
     let mut jobs = Vec::new();
     for (dlabel, db) in datasets {
-        for (plabel, policy) in &policies {
-            jobs.push((dlabel, db, plabel.to_string(), policy.clone()));
+        for (plabel, index) in &policies {
+            jobs.push((dlabel, db, plabel.to_string(), Arc::clone(index)));
         }
     }
-    let results = parallel_map(jobs, |(dlabel, db, plabel, policy)| {
+    let results = parallel_map(jobs, |(dlabel, db, plabel, index)| {
         let mut rng = StdRng::seed_from_u64(93);
-        let reported = db.map_cells(|_, _, c| {
-            GraphExponential
-                .perturb(policy, eps, c, &mut rng)
-                .expect("perturbation failed")
-        });
+        let reported = release_db(db, index, &GraphExponential, eps, &mut rng);
         let util = monitoring_utility(db, &reported, 4);
         (*dlabel, plabel.clone(), util)
     });
 
     let mut table = Table::new(
         "e9_dataset_comparison",
-        &["dataset", "policy", "mean_err_m", "area_acc", "occupancy_l1"],
+        &[
+            "dataset",
+            "policy",
+            "mean_err_m",
+            "area_acc",
+            "occupancy_l1",
+        ],
     );
     for (d, p, u) in &results {
         table.row(&[
@@ -83,10 +91,7 @@ fn main() {
             err(d, "Gb") < err(d, "G1"),
             "{d}: policy ordering must hold"
         );
-        assert!(
-            err(d, "Ga") < err(d, "G1"),
-            "{d}: partition must beat G1"
-        );
+        assert!(err(d, "Ga") < err(d, "G1"), "{d}: partition must beat G1");
     }
     println!(
         "Shape check vs paper: the policy ordering (partition < G1 in error)\n\

@@ -9,20 +9,26 @@
 //! policy and therefore leaks across components while achieving G1-like
 //! error.
 
-use panda_bench::workload::{eps_sweep, geolife, grid, policy_menu};
+use panda_bench::workload::{eps_sweep, geolife, grid, indexed_policy_menu, release_db};
 use panda_bench::{f1, parallel_map, Table};
 use panda_core::{
     EuclideanExponential, GraphCalibratedLaplace, GraphExponential, Mechanism, PlanarIsotropic,
-    PlanarLaplace,
+    PlanarLaplace, PolicyIndex,
 };
 use panda_surveillance::monitoring::monitoring_utility;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() {
     let full = panda_bench::full_mode();
     let g = grid(if full { 32 } else { 16 });
-    let truth = geolife(11, &g, if full { 200 } else { 60 }, if full { 14 } else { 5 });
+    let truth = geolife(
+        11,
+        &g,
+        if full { 200 } else { 60 },
+        if full { 14 } else { 5 },
+    );
     println!(
         "E2: monitoring utility on GeoLife-like data ({} users x {} epochs, {}x{} grid)\n",
         truth.n_users(),
@@ -33,9 +39,16 @@ fn main() {
 
     // Infected cells for Gc: a small cluster near the CBD.
     let infected = g.chebyshev_ball(g.cell(g.width() / 2, g.height() / 2), 1);
-    let policies = policy_menu(&g, &infected);
+    // One PolicyIndex per policy, shared across the whole sweep: each
+    // (mechanism, eps, cell) distribution is built once and reused by every
+    // user, epoch and eps-sweep job touching it.
+    let policies: Vec<(&str, Arc<PolicyIndex>)> = indexed_policy_menu(&g, &infected)
+        .into_iter()
+        .map(|(label, index)| (label, Arc::new(index)))
+        .collect();
 
-    let mech_factories: Vec<(&str, fn() -> Box<dyn Mechanism + Send + Sync>)> = vec![
+    type MechFactory = fn() -> Box<dyn Mechanism + Send + Sync>;
+    let mech_factories: Vec<(&str, MechFactory)> = vec![
         ("GEM", || Box::new(GraphExponential)),
         ("EucExp", || Box::new(EuclideanExponential)),
         ("GraphLap", || Box::new(GraphCalibratedLaplace)),
@@ -45,20 +58,23 @@ fn main() {
 
     // Sweep (policy × mechanism × eps) in parallel.
     let mut jobs = Vec::new();
-    for (plabel, policy) in &policies {
+    for (plabel, index) in &policies {
         for (mlabel, factory) in &mech_factories {
             for eps in eps_sweep(full) {
-                jobs.push((plabel.to_string(), policy.clone(), mlabel.to_string(), *factory, eps));
+                jobs.push((
+                    plabel.to_string(),
+                    Arc::clone(index),
+                    mlabel.to_string(),
+                    *factory,
+                    eps,
+                ));
             }
         }
     }
-    let results = parallel_map(jobs, |(plabel, policy, mlabel, factory, eps)| {
+    let results = parallel_map(jobs, |(plabel, index, mlabel, factory, eps)| {
         let mech = factory();
         let mut rng = StdRng::seed_from_u64(4242);
-        let reported = truth.map_cells(|_, _, c| {
-            mech.perturb(policy, *eps, c, &mut rng)
-                .expect("perturbation failed")
-        });
+        let reported = release_db(&truth, index, mech.as_ref(), *eps, &mut rng);
         let util = monitoring_utility(&truth, &reported, 4);
         (
             plabel.clone(),
@@ -72,10 +88,24 @@ fn main() {
 
     let mut table = Table::new(
         "e2_monitoring_utility",
-        &["policy", "mechanism", "eps", "mean_err_m", "area_acc", "occupancy_l1"],
+        &[
+            "policy",
+            "mechanism",
+            "eps",
+            "mean_err_m",
+            "area_acc",
+            "occupancy_l1",
+        ],
     );
     for (p, m, eps, err, acc, l1) in &results {
-        table.row(&[p, m, eps, &f1(*err), &format!("{acc:.3}"), &format!("{l1:.4}")]);
+        table.row(&[
+            p,
+            m,
+            eps,
+            &f1(*err),
+            &format!("{acc:.3}"),
+            &format!("{l1:.4}"),
+        ]);
     }
     table.finish();
 

@@ -9,9 +9,7 @@
 //! pairwise ε bound inside the δ-location set (Theorem 2.2), at three ε.
 
 use panda_bench::{f3, Table};
-use panda_core::privacy::{
-    audit_geo_indistinguishability, audit_pglp, AuditOptions,
-};
+use panda_core::privacy::{audit_geo_indistinguishability, audit_pglp, AuditOptions};
 use panda_core::{GraphExponential, LocationPolicyGraph};
 use panda_geo::CellId;
 
@@ -32,7 +30,13 @@ fn main() {
     let mut table = Table::new(
         "e1_policy_equivalence",
         &[
-            "policy", "eps", "audit", "pairs", "max_log_ratio", "bound", "satisfied",
+            "policy",
+            "eps",
+            "audit",
+            "pairs",
+            "max_log_ratio",
+            "bound",
+            "satisfied",
         ],
     );
     let opts = AuditOptions::default();
@@ -53,8 +57,7 @@ fn main() {
         }
         // (b) Theorem 2.1: geo-indistinguishability from {eps, G1}.
         let cells: Vec<CellId> = grid.cells().collect();
-        let r = audit_geo_indistinguishability(&GraphExponential, &g1, eps, &cells, &opts)
-            .unwrap();
+        let r = audit_geo_indistinguishability(&GraphExponential, &g1, eps, &cells, &opts).unwrap();
         table.row(&[
             &"G1",
             &eps,

@@ -8,9 +8,9 @@
 //! trade-off curve; coarser/denser policies shift along the curve, no
 //! single policy dominating (the demo's core message).
 
+use panda_attack::{expected_inference_error, BayesEstimator, Prior};
 use panda_bench::workload::{eps_sweep, geolife, grid, policy_menu};
 use panda_bench::{f1, parallel_map, Table};
-use panda_attack::{expected_inference_error, BayesEstimator, Prior};
 use panda_core::{GraphCalibratedLaplace, GraphExponential, Mechanism, PlanarIsotropic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,7 +28,8 @@ fn main() {
 
     let infected = vec![g.cell(2, 2)];
     let policies = policy_menu(&g, &infected);
-    let mech_factories: Vec<(&str, fn() -> Box<dyn Mechanism + Send + Sync>)> = vec![
+    type MechFactory = fn() -> Box<dyn Mechanism + Send + Sync>;
+    let mech_factories: Vec<(&str, MechFactory)> = vec![
         ("GEM", || Box::new(GraphExponential)),
         ("GraphLap", || Box::new(GraphCalibratedLaplace)),
         ("PIM", || Box::new(PlanarIsotropic::new())),
@@ -40,7 +41,13 @@ fn main() {
     for (plabel, policy) in &policies {
         for (mlabel, factory) in &mech_factories {
             for eps in eps_sweep(full) {
-                jobs.push((plabel.to_string(), policy.clone(), mlabel.to_string(), *factory, eps));
+                jobs.push((
+                    plabel.to_string(),
+                    policy.clone(),
+                    mlabel.to_string(),
+                    *factory,
+                    eps,
+                ));
             }
         }
     }
@@ -63,7 +70,14 @@ fn main() {
 
     let mut table = Table::new(
         "e5_privacy_utility",
-        &["policy", "mechanism", "eps", "adv_err_m", "hit_rate", "utility_err_m"],
+        &[
+            "policy",
+            "mechanism",
+            "eps",
+            "adv_err_m",
+            "hit_rate",
+            "utility_err_m",
+        ],
     );
     for (p, m, eps, r) in &results {
         table.row(&[

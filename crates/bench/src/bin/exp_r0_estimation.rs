@@ -14,9 +14,9 @@
 //! track it better than `G1` at equal ε because their components confine
 //! the perturbation.
 
-use panda_bench::workload::{eps_sweep, geolife, grid, policy_menu};
+use panda_bench::workload::{eps_sweep, geolife, grid, indexed_policy_menu, release_db};
 use panda_bench::{f3, parallel_map, Table};
-use panda_core::{GraphExponential, Mechanism};
+use panda_core::GraphExponential;
 use panda_epidemic::estimate::{estimate_r0_seir, growth_window};
 use panda_epidemic::{simulate_outbreak, OutbreakConfig};
 use panda_surveillance::analysis::compare_r0;
@@ -26,7 +26,12 @@ use rand::SeedableRng;
 fn main() {
     let full = panda_bench::full_mode();
     let g = grid(16);
-    let truth = geolife(21, &g, if full { 200 } else { 80 }, if full { 14 } else { 7 });
+    let truth = geolife(
+        21,
+        &g,
+        if full { 200 } else { 80 },
+        if full { 14 } else { 7 },
+    );
 
     // Ground-truth outbreak for the incidence-based reference estimate.
     let cfg = OutbreakConfig {
@@ -65,29 +70,36 @@ fn main() {
     }
 
     let infected = outbreak.infected_cells_until(truth.horizon() - 1);
-    let policies = policy_menu(&g, &infected);
+    let policies: Vec<(&str, std::sync::Arc<panda_core::PolicyIndex>)> =
+        indexed_policy_menu(&g, &infected)
+            .into_iter()
+            .map(|(label, index)| (label, std::sync::Arc::new(index)))
+            .collect();
     let infectious_epochs = 1.0 / cfg.p_recover;
 
     let mut jobs = Vec::new();
-    for (plabel, policy) in &policies {
+    for (plabel, index) in &policies {
         for eps in eps_sweep(full) {
-            jobs.push((plabel.to_string(), policy.clone(), eps));
+            jobs.push((plabel.to_string(), std::sync::Arc::clone(index), eps));
         }
     }
-    let results = parallel_map(jobs, |(plabel, policy, eps)| {
+    let results = parallel_map(jobs, |(plabel, index, eps)| {
         let mut rng = StdRng::seed_from_u64(777);
-        let reported = truth.map_cells(|_, _, c| {
-            GraphExponential
-                .perturb(policy, *eps, c, &mut rng)
-                .expect("perturbation failed")
-        });
+        let reported = release_db(&truth, index, &GraphExponential, *eps, &mut rng);
         let cmp = compare_r0(&truth, &reported, cfg.p_transmit, infectious_epochs);
         (plabel.clone(), *eps, cmp)
     });
 
     let mut table = Table::new(
         "e3_r0_estimation",
-        &["policy", "eps", "r0_true", "r0_perturbed", "abs_err", "rel_err"],
+        &[
+            "policy",
+            "eps",
+            "r0_true",
+            "r0_perturbed",
+            "abs_err",
+            "rel_err",
+        ],
     );
     for (p, eps, cmp) in &results {
         table.row(&[

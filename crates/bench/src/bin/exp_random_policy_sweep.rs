@@ -73,7 +73,13 @@ fn main() {
     let mut table = Table::new(
         "e6_random_policy_sweep",
         &[
-            "size", "density", "realised_density", "isolated_frac", "adv_err_m", "utility_err_m", "hit_rate",
+            "size",
+            "density",
+            "realised_density",
+            "isolated_frac",
+            "adv_err_m",
+            "utility_err_m",
+            "hit_rate",
         ],
     );
     for (size, density, realised, iso, r) in &results {

@@ -20,7 +20,7 @@ use panda_bench::workload::grid;
 use panda_bench::{f1, Table};
 use panda_core::budget::{BudgetLedger, FixedPerEpoch};
 use panda_core::timeline::{RepairStrategy, TimelineReleaser};
-use panda_core::{GraphExponential, LocationPolicyGraph, Mechanism};
+use panda_core::{GraphExponential, LocationPolicyGraph, Mechanism, PolicyIndex};
 use panda_geo::CellId;
 use panda_mobility::markov::MobilityKernel;
 use rand::rngs::StdRng;
@@ -30,6 +30,7 @@ fn main() {
     let full = panda_bench::full_mode();
     let g = grid(8);
     let policy = LocationPolicyGraph::g1_geo_indistinguishability(g.clone());
+    let index = PolicyIndex::new(policy.clone());
     let kernel = MobilityKernel::lazy_walk(&g, 0.6);
     let prior = Prior::uniform(&g);
     let horizon = 12usize;
@@ -44,7 +45,12 @@ fn main() {
 
     let mut table = Table::new(
         "e10_temporal_attack",
-        &["eps", "per_epoch_err_m", "tracking_err_m", "tracking_repaired_err_m"],
+        &[
+            "eps",
+            "per_epoch_err_m",
+            "tracking_err_m",
+            "tracking_repaired_err_m",
+        ],
     );
     let eps_values = if full {
         vec![0.2, 0.5, 1.0, 2.0, 4.0]
@@ -65,10 +71,13 @@ fn main() {
                 truth.push(cell);
                 cell = kernel.step(&mut rng, cell);
             }
-            // Plain per-epoch releases.
-            let obs: Vec<Option<CellId>> = truth
-                .iter()
-                .map(|&s| Some(GraphExponential.perturb(&policy, eps, s, &mut rng).unwrap()))
+            // Plain releases of the whole walk through the indexed bulk
+            // path (one cached table per visited cell).
+            let obs: Vec<Option<CellId>> = GraphExponential
+                .perturb_batch(&index, eps, &truth, &mut rng)
+                .unwrap()
+                .into_iter()
+                .map(Some)
                 .collect();
             // Per-epoch attack.
             for (z, s) in obs.iter().zip(truth.iter()) {

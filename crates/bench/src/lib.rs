@@ -25,7 +25,7 @@ pub mod workload;
 
 /// `true` when the full (slow) parameter grid was requested.
 pub fn full_mode() -> bool {
-    std::env::var("PANDA_FULL").map_or(false, |v| v == "1")
+    std::env::var("PANDA_FULL").is_ok_and(|v| v == "1")
 }
 
 /// A results table that renders to stdout and persists as CSV under
@@ -69,7 +69,10 @@ impl Table {
             println!("{}", out.trim_end());
         };
         line(&self.headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             line(row);
         }

@@ -2,12 +2,13 @@
 //! stand-ins for the paper's GeoLife and Gowalla datasets, and the policy
 //! menu of Fig. 4.
 
-use panda_core::LocationPolicyGraph;
-use panda_geo::GridMap;
+use panda_core::{LocationPolicyGraph, Mechanism, PolicyIndex};
+use panda_geo::{CellId, GridMap};
 use panda_mobility::geolife_like::{beijing_grid, generate_geolife_like, GeoLifeLikeConfig};
 use panda_mobility::gowalla_like::{densify, generate_gowalla_like, GowallaLikeConfig};
 use panda_mobility::TrajectoryDb;
 use rand::rngs::StdRng;
+use rand::RngCore;
 use rand::SeedableRng;
 
 /// The standard experiment grid: `n × n` cells of 500 m, Beijing-anchored.
@@ -65,6 +66,37 @@ pub fn policy_menu(
         ),
         ("Gc", gc),
     ]
+}
+
+/// The Fig. 4 policy menu with each policy pre-indexed for bulk release:
+/// `(label, PolicyIndex)` pairs. Experiment binaries releasing whole
+/// trajectory databases should prefer this over [`policy_menu`] — the index
+/// caches each `(mechanism, ε, cell)` output distribution across every
+/// user and epoch of the sweep.
+pub fn indexed_policy_menu(
+    grid: &GridMap,
+    infected: &[panda_geo::CellId],
+) -> Vec<(&'static str, PolicyIndex)> {
+    policy_menu(grid, infected)
+        .into_iter()
+        .map(|(label, policy)| (label, PolicyIndex::new(policy)))
+        .collect()
+}
+
+/// Releases every trajectory of `truth` through the indexed bulk path:
+/// one [`Mechanism::perturb_batch`] call per user. The standard way the
+/// experiment binaries produce the perturbed database the server sees.
+pub fn release_db(
+    truth: &TrajectoryDb,
+    index: &PolicyIndex,
+    mech: &dyn Mechanism,
+    eps: f64,
+    rng: &mut dyn RngCore,
+) -> TrajectoryDb {
+    truth.map_trajectories(|_, cells: &[CellId]| {
+        mech.perturb_batch(index, eps, cells, rng)
+            .expect("perturbation failed")
+    })
 }
 
 /// The ε sweep used across experiments (log-spaced, the demo's slider

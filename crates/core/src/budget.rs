@@ -145,7 +145,13 @@ impl BudgetAllocator for EvenSplit {
         "even-split"
     }
 
-    fn allocate(&self, _epoch: u64, remaining: f64, remaining_epochs: u32, _p: &LocationPolicyGraph) -> f64 {
+    fn allocate(
+        &self,
+        _epoch: u64,
+        remaining: f64,
+        remaining_epochs: u32,
+        _p: &LocationPolicyGraph,
+    ) -> f64 {
         if remaining_epochs == 0 {
             return 0.0;
         }
@@ -310,7 +316,10 @@ mod tests {
         assert!(ledger.remaining() < 1e-9);
         // Even: all charges equal.
         let first = ledger.history()[0].eps;
-        assert!(ledger.history().iter().all(|c| (c.eps - first).abs() < 1e-9));
+        assert!(ledger
+            .history()
+            .iter()
+            .all(|c| (c.eps - first).abs() < 1e-9));
     }
 
     #[test]

@@ -83,7 +83,9 @@ mod tests {
             .to_string()
             .contains("c3"));
         assert!(PglpError::InvalidEpsilon(-1.0).to_string().contains("-1"));
-        assert!(PglpError::EmptyLocationSet.to_string().contains("non-empty"));
+        assert!(PglpError::EmptyLocationSet
+            .to_string()
+            .contains("non-empty"));
         assert!(PglpError::DomainMismatch.to_string().contains("domains"));
     }
 }

@@ -1,0 +1,359 @@
+//! [`PolicyIndex`]: the precomputed fast path for bulk location release.
+//!
+//! Every PGLP mechanism (§3.1) samples from a distribution shaped by the
+//! policy-graph distances `d_G(s, ·)`. The [`crate::policy`] layer already
+//! tabulates those distances at construction; this module adds the second
+//! cache level — **per-`(mechanism, ε, cell)` output distributions compiled
+//! into cumulative sampling tables** — so releasing a whole trajectory costs
+//! one table build per distinct `(mechanism, ε, cell)` and then O(log k)
+//! per report.
+//!
+//! A [`PolicyIndex`] wraps one policy. Servers and clients build it once per
+//! policy assignment and feed it to
+//! [`Mechanism::perturb_batch`](crate::mech::Mechanism::perturb_batch);
+//! experiment harnesses build one per swept policy. The cache is
+//! thread-safe (`parking_lot::RwLock`), so one index can serve concurrent
+//! report streams.
+
+use crate::policy::LocationPolicyGraph;
+use panda_geo::CellId;
+use parking_lot::RwLock;
+use rand::Rng;
+use rand::RngCore;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: mechanism identity × ε (by bit pattern) × true location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DistKey {
+    mech: &'static str,
+    eps_bits: u64,
+    cell: CellId,
+}
+
+/// A closed-form output distribution compiled for O(log k) inverse-CDF
+/// sampling.
+#[derive(Debug, Clone)]
+pub struct SamplingTable {
+    cells: Vec<CellId>,
+    /// `cum[i]` = Σ probabilities up to and including cell `i`;
+    /// `cum.last() == total`.
+    cum: Vec<f64>,
+    total: f64,
+}
+
+impl SamplingTable {
+    /// Compiles `(cell, weight)` pairs into a cumulative table. Weights need
+    /// not be normalised; they must be non-negative with a positive sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty distribution or a non-positive total weight.
+    pub fn from_weights(dist: Vec<(CellId, f64)>) -> Self {
+        assert!(!dist.is_empty(), "sampling table needs support");
+        let mut cells = Vec::with_capacity(dist.len());
+        let mut cum = Vec::with_capacity(dist.len());
+        let mut total = 0.0;
+        for (c, w) in dist {
+            debug_assert!(w >= 0.0 && w.is_finite(), "bad weight {w} for {c}");
+            total += w;
+            cells.push(c);
+            cum.push(total);
+        }
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "sampling table total weight must be positive"
+        );
+        SamplingTable { cells, cum, total }
+    }
+
+    /// Support cells, in table order.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Normalised probability of each support cell, in table order.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let mut prev = 0.0;
+        self.cum
+            .iter()
+            .map(|&c| {
+                let p = (c - prev) / self.total;
+                prev = c;
+                p
+            })
+            .collect()
+    }
+
+    /// Draws one cell by inverse-CDF binary search: O(log k), no allocation.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> CellId {
+        let u = rng.gen_range(0.0..self.total);
+        let i = self.cum.partition_point(|&c| c <= u);
+        // partition_point can land one past the end on FP edge cases.
+        self.cells[i.min(self.cells.len() - 1)]
+    }
+}
+
+/// Precomputed sampling state for one policy: distance tables (shared with
+/// the policy), interned component slices, cached per-`(mechanism, ε, cell)`
+/// sampling tables, and cached per-component calibration lengths.
+#[derive(Debug)]
+pub struct PolicyIndex {
+    policy: LocationPolicyGraph,
+    distributions: RwLock<HashMap<DistKey, Arc<SamplingTable>>>,
+    /// Total entries retained across all cached tables (cap enforcement).
+    cached_entries: std::sync::atomic::AtomicUsize,
+    /// Retention cap for the distribution cache, in table entries.
+    max_cached_entries: usize,
+    /// `calibrations[component]`: `None` = not yet computed,
+    /// `Some(None)` = singleton component (exact release),
+    /// `Some(Some(len))` = longest policy edge in the component.
+    calibrations: RwLock<Vec<Option<Option<f64>>>>,
+}
+
+impl PolicyIndex {
+    /// Indexes a policy with the default cache budget
+    /// ([`PolicyIndex::MAX_CACHED_ENTRIES`]). The distance tables are shared
+    /// with `policy` (they were computed at its construction); only the
+    /// distribution cache is new, and it fills lazily as mechanisms run.
+    pub fn new(policy: LocationPolicyGraph) -> Self {
+        Self::with_cache_capacity(policy, Self::MAX_CACHED_ENTRIES)
+    }
+
+    /// Indexes a policy with an explicit distribution-cache budget, in
+    /// table entries (Σ support sizes across retained tables).
+    pub fn with_cache_capacity(policy: LocationPolicyGraph, max_cached_entries: usize) -> Self {
+        let n_components = policy.n_components() as usize;
+        PolicyIndex {
+            policy,
+            distributions: RwLock::new(HashMap::new()),
+            cached_entries: std::sync::atomic::AtomicUsize::new(0),
+            max_cached_entries,
+            calibrations: RwLock::new(vec![None; n_components]),
+        }
+    }
+
+    /// The indexed policy.
+    #[inline]
+    pub fn policy(&self) -> &LocationPolicyGraph {
+        &self.policy
+    }
+
+    /// `d_G(a, b)`, or `None` across components (delegates to the policy's
+    /// precomputed tables).
+    #[inline]
+    pub fn distance(&self, a: CellId, b: CellId) -> Option<u32> {
+        self.policy.distance(a, b)
+    }
+
+    /// The interned, sorted component slice of `c` — the release support.
+    #[inline]
+    pub fn component_slice(&self, c: CellId) -> &[CellId] {
+        self.policy.component_slice(c)
+    }
+
+    /// Default retention cap for the distribution cache, in table *entries*
+    /// (Σ support sizes) — the same quadratic-memory guard the distance
+    /// tables have. Past the cap, tables are still built and returned but
+    /// no longer retained.
+    pub const MAX_CACHED_ENTRIES: usize = 1 << 24;
+
+    /// The cached sampling table for `(mech, eps, cell)`, building it with
+    /// `build` on first use. `build` receives the indexed policy and returns
+    /// the mechanism's closed-form output weights over the support.
+    pub fn distribution(
+        &self,
+        mech: &'static str,
+        eps: f64,
+        cell: CellId,
+        build: impl FnOnce(&LocationPolicyGraph) -> Vec<(CellId, f64)>,
+    ) -> Arc<SamplingTable> {
+        let key = DistKey {
+            mech,
+            eps_bits: eps.to_bits(),
+            cell,
+        };
+        if let Some(table) = self.distributions.read().get(&key) {
+            return Arc::clone(table);
+        }
+        let table = Arc::new(SamplingTable::from_weights(build(&self.policy)));
+        let mut cache = self.distributions.write();
+        if self
+            .cached_entries
+            .load(std::sync::atomic::Ordering::Relaxed)
+            + table.cells().len()
+            > self.max_cached_entries
+        {
+            // Cache full: serve the table without retaining it, bounding
+            // memory for huge components or unbounded (ε, cell) churn.
+            return table;
+        }
+        let entry = cache.entry(key).or_insert_with(|| {
+            self.cached_entries
+                .fetch_add(table.cells().len(), std::sync::atomic::Ordering::Relaxed);
+            table
+        });
+        Arc::clone(entry)
+    }
+
+    /// Cached calibration length of the component of `cell`: the longest
+    /// Euclidean policy edge inside the component, or `None` for isolated
+    /// cells (exact release). Used by the Laplace-style mechanisms.
+    pub fn calibration_length(&self, cell: CellId) -> Option<f64> {
+        let comp = self.policy.component_of(cell) as usize;
+        if let Some(cached) = self.calibrations.read()[comp] {
+            return cached;
+        }
+        let computed = compute_calibration_length(&self.policy, cell);
+        self.calibrations.write()[comp] = Some(computed);
+        computed
+    }
+
+    /// Number of distribution tables currently cached (diagnostics).
+    pub fn n_cached_distributions(&self) -> usize {
+        self.distributions.read().len()
+    }
+}
+
+/// The longest Euclidean policy edge within the component of `s`, or `None`
+/// when `s` is isolated. (The calibration scale `L` of the Laplace-style
+/// mechanisms; cached per component by [`PolicyIndex`].)
+pub(crate) fn compute_calibration_length(policy: &LocationPolicyGraph, s: CellId) -> Option<f64> {
+    let cells = policy.component_slice(s);
+    if cells.len() <= 1 {
+        return None;
+    }
+    let grid = policy.grid();
+    let mut max_len = 0.0_f64;
+    for &a in cells {
+        for &b in policy.graph().neighbors(a.0) {
+            let d = grid.distance(a, CellId(b));
+            max_len = max_len.max(d);
+        }
+    }
+    Some(max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mech::{GraphExponential, Mechanism};
+    use panda_geo::GridMap;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn policy() -> LocationPolicyGraph {
+        LocationPolicyGraph::partition(GridMap::new(4, 4, 100.0), 2, 2)
+    }
+
+    #[test]
+    fn sampling_table_matches_probabilities() {
+        let table =
+            SamplingTable::from_weights(vec![(CellId(0), 1.0), (CellId(1), 3.0), (CellId(2), 6.0)]);
+        let probs = table.probabilities();
+        assert!((probs[0] - 0.1).abs() < 1e-12);
+        assert!((probs[1] - 0.3).abs() < 1e-12);
+        assert!((probs[2] - 0.6).abs() < 1e-12);
+
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        const N: usize = 120_000;
+        for _ in 0..N {
+            counts[table.sample(&mut rng).index()] += 1;
+        }
+        for (i, &expect) in [0.1, 0.3, 0.6].iter().enumerate() {
+            let freq = counts[i] as f64 / N as f64;
+            assert!((freq - expect).abs() < 0.01, "cell {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn distribution_cache_hits_by_key() {
+        let index = PolicyIndex::new(policy());
+        let mut builds = 0;
+        for _ in 0..3 {
+            index.distribution("gem", 1.0, CellId(0), |p| {
+                builds += 1;
+                GraphExponential
+                    .output_distribution(p, 1.0, CellId(0))
+                    .unwrap()
+            });
+        }
+        assert_eq!(builds, 1, "same key must build once");
+        index.distribution("gem", 2.0, CellId(0), |p| {
+            builds += 1;
+            GraphExponential
+                .output_distribution(p, 2.0, CellId(0))
+                .unwrap()
+        });
+        assert_eq!(builds, 2, "different eps is a different key");
+        assert_eq!(index.n_cached_distributions(), 2);
+    }
+
+    #[test]
+    fn cached_distribution_matches_closed_form() {
+        let index = PolicyIndex::new(policy());
+        let exact = GraphExponential
+            .output_distribution(index.policy(), 1.0, CellId(5))
+            .unwrap();
+        let table = index.distribution("gem", 1.0, CellId(5), |p| {
+            GraphExponential
+                .output_distribution(p, 1.0, CellId(5))
+                .unwrap()
+        });
+        assert_eq!(table.cells().len(), exact.len());
+        for ((&cell, p_table), (cell_exact, p_exact)) in
+            table.cells().iter().zip(table.probabilities()).zip(exact)
+        {
+            assert_eq!(cell, cell_exact);
+            assert!((p_table - p_exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cache_cap_stops_retention_but_not_service() {
+        // Budget of 5 entries: the first 4-cell table fills it; further
+        // distinct keys are served but not retained.
+        let index = PolicyIndex::with_cache_capacity(policy(), 5);
+        for (i, eps) in [0.5, 1.0, 2.0, 4.0].iter().enumerate() {
+            let table = index.distribution("gem", *eps, CellId(0), |p| {
+                GraphExponential
+                    .output_distribution(p, *eps, CellId(0))
+                    .unwrap()
+            });
+            assert_eq!(table.cells().len(), 4, "table {i} must still be served");
+        }
+        assert_eq!(
+            index.n_cached_distributions(),
+            1,
+            "only the first table fits the 5-entry budget"
+        );
+        // The retained key still hits the cache (no rebuild).
+        index.distribution("gem", 0.5, CellId(0), |_| {
+            panic!("retained table must be served from cache")
+        });
+    }
+
+    #[test]
+    fn calibration_length_cached_and_correct() {
+        let p = policy();
+        let index = PolicyIndex::new(p.clone());
+        let fresh = compute_calibration_length(&p, CellId(0));
+        assert_eq!(index.calibration_length(CellId(0)), fresh);
+        // Second call answers from cache (no way to observe directly, but it
+        // must agree and not panic).
+        assert_eq!(index.calibration_length(CellId(0)), fresh);
+        // Isolated policy: no calibration.
+        let iso = PolicyIndex::new(LocationPolicyGraph::isolated(GridMap::new(2, 2, 50.0)));
+        assert_eq!(iso.calibration_length(CellId(0)), None);
+    }
+
+    #[test]
+    fn component_slice_is_sorted_support() {
+        let index = PolicyIndex::new(policy());
+        let slice = index.component_slice(CellId(0));
+        assert_eq!(slice.len(), 4);
+        assert!(slice.windows(2).all(|w| w[0] < w[1]));
+        assert!(slice.contains(&CellId(0)));
+    }
+}

@@ -19,6 +19,10 @@
 //!   graph-exponential mechanism, a graph-calibrated planar Laplace, the
 //!   Planar Isotropic Mechanism (K-norm noise over the sensitivity hull) and
 //!   baselines.
+//! * [`index`] — the [`PolicyIndex`] bulk-release fast path: cached
+//!   per-`(mechanism, ε, cell)` sampling tables over the policy's
+//!   precomputed distance tables, consumed by
+//!   [`Mechanism::perturb_batch`].
 //! * [`budget`] — policy-aware privacy-budget allocation and sequential
 //!   composition across release epochs.
 //! * [`repair`] — policy feasibility under external constraints and minimal
@@ -29,6 +33,7 @@
 
 pub mod budget;
 pub mod error;
+pub mod index;
 pub mod mech;
 pub mod policy;
 pub mod privacy;
@@ -36,6 +41,7 @@ pub mod repair;
 pub mod timeline;
 
 pub use error::PglpError;
+pub use index::{PolicyIndex, SamplingTable};
 pub use mech::{
     EuclideanExponential, GraphCalibratedLaplace, GraphExponential, IdentityMechanism, Mechanism,
     PlanarIsotropic, PlanarLaplace, UniformComponent,

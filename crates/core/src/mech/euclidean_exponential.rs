@@ -22,7 +22,8 @@
 //! policy graph makes them several hops away (e.g. sparse random policies
 //! whose edges zig-zag), which is usually what utility metrics reward.
 
-use crate::error::PglpError;
+use crate::error::{check_epsilon, PglpError};
+use crate::index::PolicyIndex;
 use crate::mech::{validate, Mechanism};
 use crate::policy::LocationPolicyGraph;
 use panda_geo::CellId;
@@ -45,15 +46,23 @@ impl EuclideanExponential {
         eps: f64,
         s: CellId,
     ) -> Option<(Vec<CellId>, Vec<f64>)> {
-        let len = Self::calibration_length(policy, s)?;
+        Self::weights_with_len(policy, eps, s, Self::calibration_length(policy, s)?)
+    }
+
+    fn weights_with_len(
+        policy: &LocationPolicyGraph,
+        eps: f64,
+        s: CellId,
+        len: f64,
+    ) -> Option<(Vec<CellId>, Vec<f64>)> {
         let grid = policy.grid();
-        let cells = policy.component_cells(s);
+        let cells = policy.component_slice(s);
         let center = grid.center(s);
         let weights = cells
             .iter()
             .map(|&c| (-eps * grid.center(c).distance(center) / (2.0 * len)).exp())
             .collect();
-        Some((cells, weights))
+        Some((cells.to_vec(), weights))
     }
 }
 
@@ -104,6 +113,32 @@ impl Mechanism for EuclideanExponential {
                 )
             }
         }
+    }
+
+    fn perturb_batch(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<CellId>, PglpError> {
+        check_epsilon(eps)?;
+        let policy = index.policy();
+        let mut out = Vec::with_capacity(locs.len());
+        for &s in locs {
+            policy.check_cell(s)?;
+            let Some(len) = index.calibration_length(s) else {
+                out.push(s); // isolated: exact release
+                continue;
+            };
+            let table = index.distribution(self.name(), eps, s, |p| {
+                let (cells, weights) =
+                    Self::weights_with_len(p, eps, s, len).expect("non-isolated");
+                cells.into_iter().zip(weights).collect()
+            });
+            out.push(table.sample(rng));
+        }
+        Ok(out)
     }
 }
 

@@ -16,7 +16,8 @@
 //! to `ε·d_G` for arbitrary `∞`-neighbours. Isolated nodes form singleton
 //! components and are released exactly, as the paper prescribes.
 
-use crate::error::PglpError;
+use crate::error::{check_epsilon, PglpError};
+use crate::index::PolicyIndex;
 use crate::mech::{validate, Mechanism};
 use crate::policy::LocationPolicyGraph;
 use panda_geo::CellId;
@@ -30,11 +31,7 @@ pub struct GraphExponential;
 impl GraphExponential {
     /// Unnormalised log-weights `−ε·d_G(s,z)/2` over the component of `s`,
     /// paired with the cells, sorted by cell id.
-    fn log_weights(
-        policy: &LocationPolicyGraph,
-        eps: f64,
-        s: CellId,
-    ) -> Vec<(CellId, f64)> {
+    fn log_weights(policy: &LocationPolicyGraph, eps: f64, s: CellId) -> Vec<(CellId, f64)> {
         policy
             .component_distances(s)
             .into_iter()
@@ -53,15 +50,8 @@ impl GraphExponential {
     ) -> Result<Vec<(CellId, f64)>, PglpError> {
         validate(policy, eps, s)?;
         let lw = Self::log_weights(policy, eps, s);
-        let max = lw
-            .iter()
-            .map(|&(_, w)| w)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let log_z = max
-            + lw.iter()
-                .map(|&(_, w)| (w - max).exp())
-                .sum::<f64>()
-                .ln();
+        let max = lw.iter().map(|&(_, w)| w).fold(f64::NEG_INFINITY, f64::max);
+        let log_z = max + lw.iter().map(|&(_, w)| (w - max).exp()).sum::<f64>().ln();
         Ok(lw.into_iter().map(|(c, w)| (c, w - log_z)).collect())
     }
 }
@@ -85,10 +75,7 @@ impl Mechanism for GraphExponential {
         let lw = Self::log_weights(policy, eps, true_loc);
         // Stable categorical sampling: shift by max log-weight (= 0 at s
         // itself, but kept general), accumulate, then inverse-CDF.
-        let max = lw
-            .iter()
-            .map(|&(_, w)| w)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = lw.iter().map(|&(_, w)| w).fold(f64::NEG_INFINITY, f64::max);
         let weights: Vec<f64> = lw.iter().map(|&(_, w)| (w - max).exp()).collect();
         let total: f64 = weights.iter().sum();
         let mut u = rng.gen_range(0.0..total);
@@ -110,6 +97,35 @@ impl Mechanism for GraphExponential {
     ) -> Option<Vec<(CellId, f64)>> {
         let log_dist = self.log_output_distribution(policy, eps, true_loc).ok()?;
         Some(log_dist.into_iter().map(|(c, l)| (c, l.exp())).collect())
+    }
+
+    fn perturb_batch(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<CellId>, PglpError> {
+        check_epsilon(eps)?;
+        let policy = index.policy();
+        let mut out = Vec::with_capacity(locs.len());
+        for &s in locs {
+            policy.check_cell(s)?;
+            if policy.is_isolated_cell(s) {
+                out.push(s);
+                continue;
+            }
+            let table = index.distribution(self.name(), eps, s, |p| {
+                // Unnormalised weights suffice for inverse-CDF sampling; the
+                // max log-weight is 0 (at s itself), so exp() is stable.
+                Self::log_weights(p, eps, s)
+                    .into_iter()
+                    .map(|(c, lw)| (c, lw.exp()))
+                    .collect()
+            });
+            out.push(table.sample(rng));
+        }
+        Ok(out)
     }
 }
 
@@ -201,7 +217,9 @@ mod tests {
         let p = LocationPolicyGraph::partition(grid(), 2, 2);
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..200 {
-            let z = GraphExponential.perturb(&p, 0.7, CellId(0), &mut rng).unwrap();
+            let z = GraphExponential
+                .perturb(&p, 0.7, CellId(0), &mut rng)
+                .unwrap();
             assert!(p.same_component(CellId(0), z));
         }
     }

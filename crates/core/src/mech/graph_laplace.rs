@@ -23,7 +23,8 @@
 //! edge inflates `L` and thus the noise everywhere in the component — one of
 //! the trade-offs the Fig. 5 explorer makes visible.
 
-use crate::error::PglpError;
+use crate::error::{check_epsilon, PglpError};
+use crate::index::PolicyIndex;
 use crate::mech::noise::planar_laplace_noise;
 use crate::mech::{validate, Mechanism};
 use crate::policy::LocationPolicyGraph;
@@ -39,19 +40,7 @@ impl GraphCalibratedLaplace {
     /// edge inside the component of `s`. Returns `None` when `s` is
     /// isolated (no edges → exact release).
     pub fn calibration_length(policy: &LocationPolicyGraph, s: CellId) -> Option<f64> {
-        let cells = policy.component_cells(s);
-        if cells.len() <= 1 {
-            return None;
-        }
-        let grid = policy.grid();
-        let mut max_len = 0.0_f64;
-        for &a in &cells {
-            for &b in policy.graph().neighbors(a.0) {
-                let d = grid.distance(a, CellId(b));
-                max_len = max_len.max(d);
-            }
-        }
-        Some(max_len)
+        crate::index::compute_calibration_length(policy, s)
     }
 
     /// Snaps a continuous point to the nearest cell among `cells`
@@ -87,10 +76,35 @@ impl Mechanism for GraphCalibratedLaplace {
         let Some(len) = Self::calibration_length(policy, true_loc) else {
             return Ok(true_loc); // isolated: exact release
         };
-        let cells = policy.component_cells(true_loc);
+        let cells = policy.component_slice(true_loc);
         let center = policy.grid().center(true_loc);
         let y = center + planar_laplace_noise(rng, eps / len);
-        Ok(Self::snap(policy, &cells, y))
+        Ok(Self::snap(policy, cells, y))
+    }
+
+    fn perturb_batch(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<CellId>, PglpError> {
+        check_epsilon(eps)?;
+        let policy = index.policy();
+        let mut out = Vec::with_capacity(locs.len());
+        for &s in locs {
+            policy.check_cell(s)?;
+            // Calibration length comes from the per-component cache; the
+            // noise itself is continuous, so there is no table to reuse.
+            let Some(len) = index.calibration_length(s) else {
+                out.push(s);
+                continue;
+            };
+            let cells = index.component_slice(s);
+            let y = policy.grid().center(s) + planar_laplace_noise(rng, eps / len);
+            out.push(Self::snap(policy, cells, y));
+        }
+        Ok(out)
     }
 }
 
@@ -175,7 +189,11 @@ mod tests {
                     .unwrap(),
             );
         }
-        assert!(distinct.len() > 10, "only {} distinct cells", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct cells",
+            distinct.len()
+        );
     }
 
     /// Monte-Carlo audit of the defining ε bound on one policy edge.

@@ -36,8 +36,10 @@ pub use pim::PlanarIsotropic;
 pub use planar_laplace::PlanarLaplace;
 
 use crate::error::{check_epsilon, PglpError};
+use crate::index::PolicyIndex;
 use crate::policy::LocationPolicyGraph;
 use panda_geo::CellId;
+use rand::Rng;
 use rand::RngCore;
 
 /// A randomized location-release mechanism `A : S → S` (Def. 2.4).
@@ -77,6 +79,35 @@ pub trait Mechanism {
         _true_loc: CellId,
     ) -> Option<Vec<(CellId, f64)>> {
         None
+    }
+
+    /// Releases perturbed locations for a batch of true locations (e.g. a
+    /// whole trajectory window), amortising all policy-graph work through
+    /// the [`PolicyIndex`].
+    ///
+    /// The default delegates to [`Mechanism::perturb`] per location —
+    /// already BFS-free thanks to the policy's precomputed distance tables.
+    /// Closed-form mechanisms override this to sample from cached cumulative
+    /// tables: O(log k) per report after the first occurrence of each
+    /// `(ε, cell)` pair.
+    ///
+    /// Outputs are positionally aligned with `locs`. Distributionally
+    /// identical to calling [`Mechanism::perturb`] in a loop.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Mechanism::perturb`]; the first failing
+    /// location aborts the batch.
+    fn perturb_batch(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<CellId>, PglpError> {
+        locs.iter()
+            .map(|&s| self.perturb(index.policy(), eps, s, rng))
+            .collect()
     }
 }
 
@@ -120,6 +151,20 @@ impl Mechanism for IdentityMechanism {
         validate(policy, eps, true_loc).ok()?;
         Some(vec![(true_loc, 1.0)])
     }
+
+    fn perturb_batch(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        _rng: &mut dyn RngCore,
+    ) -> Result<Vec<CellId>, PglpError> {
+        check_epsilon(eps)?;
+        for &s in locs {
+            index.policy().check_cell(s)?;
+        }
+        Ok(locs.to_vec())
+    }
 }
 
 /// Releases a uniform cell from the component of the true location
@@ -145,9 +190,10 @@ impl Mechanism for UniformComponent {
         rng: &mut dyn RngCore,
     ) -> Result<CellId, PglpError> {
         validate(policy, eps, true_loc)?;
-        let cells = policy.component_cells(true_loc);
-        let idx = (rng.next_u64() % cells.len() as u64) as usize;
-        Ok(cells[idx])
+        let cells = policy.component_slice(true_loc);
+        // gen_range uses rejection sampling: uniform with no modulo bias
+        // (`next_u64() % len` would overweight low indices).
+        Ok(cells[rng.gen_range(0..cells.len())])
     }
 
     fn output_distribution(
@@ -160,6 +206,24 @@ impl Mechanism for UniformComponent {
         let cells = policy.component_cells(true_loc);
         let p = 1.0 / cells.len() as f64;
         Some(cells.into_iter().map(|c| (c, p)).collect())
+    }
+
+    fn perturb_batch(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<CellId>, PglpError> {
+        check_epsilon(eps)?;
+        let policy = index.policy();
+        locs.iter()
+            .map(|&s| {
+                policy.check_cell(s)?;
+                let cells = index.component_slice(s);
+                Ok(cells[rng.gen_range(0..cells.len())])
+            })
+            .collect()
     }
 }
 

@@ -45,9 +45,7 @@ enum ComponentKind {
     Exact,
     /// Collinear positions: 1-D Laplace along `half_extent` (= the hull
     /// segment's positive endpoint).
-    Line {
-        half_extent: Point,
-    },
+    Line { half_extent: Point },
     /// Proper 2-D sensitivity hull.
     Hull {
         k: ConvexPolygon,
@@ -58,8 +56,12 @@ enum ComponentKind {
 
 #[derive(Debug, Clone)]
 struct PimCache {
-    n_cells: u32,
-    n_components: u32,
+    /// The component/distance index of the policy the hulls were prepared
+    /// for. Cache validity is **identity** of the component structure
+    /// (`Arc::ptr_eq`), not just matching counts — two different policies
+    /// can share cell and component counts while their components have
+    /// different shapes, which would silently miscalibrate the noise.
+    prepared_for: std::sync::Arc<panda_graph::distances::ComponentDistances>,
     /// Indexed by policy component id; `None` until that component is used.
     per_component: Vec<ComponentKind>,
 }
@@ -93,25 +95,26 @@ impl PlanarIsotropic {
     /// Precomputes the sensitivity hull of **every** component of `policy`,
     /// so subsequent [`Mechanism::perturb`] calls are O(sample + snap).
     ///
-    /// The returned mechanism is bound to policies with the same component
-    /// structure; feeding it a different policy is detected (cell/component
-    /// counts) and falls back to on-the-fly preparation.
+    /// The returned mechanism is bound to the given policy's component
+    /// structure (shared with clones of that policy); feeding it any other
+    /// policy is detected and falls back to on-the-fly preparation.
     pub fn prepared(policy: &LocationPolicyGraph, use_isotropic_transform: bool) -> Self {
         let n_components = policy.n_components();
-        let mut per_component: Vec<Option<ComponentKind>> =
-            vec![None; n_components as usize];
+        let mut per_component: Vec<Option<ComponentKind>> = vec![None; n_components as usize];
         for cell in policy.grid().cells() {
             let comp = policy.component_of(cell) as usize;
             if per_component[comp].is_none() {
-                per_component[comp] =
-                    Some(Self::prepare_component(policy, cell, use_isotropic_transform));
+                per_component[comp] = Some(Self::prepare_component(
+                    policy,
+                    cell,
+                    use_isotropic_transform,
+                ));
             }
         }
         PlanarIsotropic {
             use_isotropic_transform,
             cache: Some(PimCache {
-                n_cells: policy.n_locations(),
-                n_components,
+                prepared_for: std::sync::Arc::clone(policy.distance_index()),
                 per_component: per_component
                     .into_iter()
                     .map(|c| c.expect("all components visited"))
@@ -125,7 +128,7 @@ impl PlanarIsotropic {
         member: CellId,
         use_isotropic_transform: bool,
     ) -> ComponentKind {
-        let cells = policy.component_cells(member);
+        let cells = policy.component_slice(member);
         if cells.len() <= 1 {
             return ComponentKind::Exact;
         }
@@ -202,9 +205,7 @@ impl PlanarIsotropic {
 
     fn component_kind(&self, policy: &LocationPolicyGraph, true_loc: CellId) -> ComponentKind {
         if let Some(cache) = &self.cache {
-            if cache.n_cells == policy.n_locations()
-                && cache.n_components == policy.n_components()
-            {
+            if std::sync::Arc::ptr_eq(&cache.prepared_for, policy.distance_index()) {
                 return cache.per_component[policy.component_of(true_loc) as usize].clone();
             }
         }
@@ -233,10 +234,10 @@ impl Mechanism for PlanarIsotropic {
         if matches!(kind, ComponentKind::Exact) {
             return Ok(true_loc);
         }
-        let cells = policy.component_cells(true_loc);
+        let cells = policy.component_slice(true_loc);
         let noise = Self::sample_noise(&kind, eps, rng);
         let y = policy.grid().center(true_loc) + noise;
-        Ok(Self::snap(policy, &cells, y))
+        Ok(Self::snap(policy, cells, y))
     }
 }
 
@@ -287,6 +288,43 @@ mod tests {
             seen.insert(z);
         }
         assert!(seen.len() >= 3, "line noise must spread over the segment");
+    }
+
+    #[test]
+    fn prepared_cache_rejects_different_policy_with_matching_counts() {
+        // Two policies over a 6×1 grid, both with 6 cells and 4 components,
+        // but different component shapes: A connects {0,1,2}, B connects
+        // {3,4,5}. A count-based validity check confuses them; the identity
+        // check must fall back to fresh preparation for B.
+        let g = GridMap::new(6, 1, 100.0);
+        let a = LocationPolicyGraph::isolated(g.clone())
+            .with_edges(&[(CellId(0), CellId(1)), (CellId(1), CellId(2))]);
+        let b = LocationPolicyGraph::isolated(g.clone())
+            .with_edges(&[(CellId(3), CellId(4)), (CellId(4), CellId(5))]);
+        assert_eq!(a.n_components(), b.n_components());
+        assert_eq!(a.n_locations(), b.n_locations());
+
+        let pim = PlanarIsotropic::prepared(&a, false);
+        // Under A's stale cache, cell 3 looked isolated (exact release);
+        // under B it sits in a 3-cell line and must receive noise.
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let z = pim.perturb(&b, 0.5, CellId(3), &mut rng).unwrap();
+            assert!(b.same_component(CellId(3), z));
+            seen.insert(z);
+        }
+        assert!(
+            seen.len() >= 2,
+            "stale hull cache: cell 3 released exactly under policy B"
+        );
+        // Clones of A share its component index: the cache stays valid.
+        let a2 = a.clone();
+        assert_eq!(
+            pim.perturb(&a2, 0.5, CellId(5), &mut rng).unwrap(),
+            CellId(5),
+            "cell 5 is isolated in A; prepared cache must apply to clones"
+        );
     }
 
     #[test]

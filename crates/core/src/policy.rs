@@ -7,22 +7,37 @@
 
 use crate::error::PglpError;
 use panda_geo::{CellId, GridMap};
-use panda_graph::components::{connected_components, ComponentLabels};
+use panda_graph::distances::{ComponentDistances, DistanceLookup};
 use panda_graph::{bfs, generators, ops, Graph};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::Arc;
+
+/// Views an interned node-id slice as a cell-id slice.
+///
+/// Sound because [`CellId`] is `#[repr(transparent)]` over `u32`, which is
+/// what `panda_graph::NodeId` is.
+#[inline]
+pub(crate) fn cells_of_nodes(nodes: &[panda_graph::NodeId]) -> &[CellId] {
+    // SAFETY: CellId is #[repr(transparent)] over u32 = NodeId, so the two
+    // slice types have identical layout.
+    unsafe { std::slice::from_raw_parts(nodes.as_ptr().cast::<CellId>(), nodes.len()) }
+}
 
 /// A location policy graph `G = (S, E)` over a grid domain (Def. 2.1).
 ///
 /// Immutable after construction; dynamic policy updates (contact tracing's
 /// `Gc` transforms) build new values via [`LocationPolicyGraph::with_isolated`]
 /// and friends. Connected components — the `∞`-neighbour classes of
-/// Lemma 2.1 — are precomputed, since every mechanism call needs them.
+/// Lemma 2.1 — **and their all-pairs distance tables** are precomputed at
+/// construction (see [`panda_graph::distances`]), so `d_G` queries and
+/// component enumeration on the mechanism hot path never run BFS. The
+/// precomputed state is shared through an [`Arc`], keeping `Clone` cheap.
 #[derive(Debug, Clone)]
 pub struct LocationPolicyGraph {
     grid: GridMap,
     graph: Graph,
-    components: ComponentLabels,
+    dist: Arc<ComponentDistances>,
     name: String,
 }
 
@@ -38,11 +53,11 @@ impl LocationPolicyGraph {
             grid.n_cells(),
             "policy graph must have one node per grid cell"
         );
-        let components = connected_components(&graph);
+        let dist = Arc::new(ComponentDistances::new(&graph));
         LocationPolicyGraph {
             grid,
             graph,
-            components,
+            dist,
             name: name.into(),
         }
     }
@@ -217,7 +232,10 @@ impl LocationPolicyGraph {
     /// `self` satisfies `other`). Grids must match.
     pub fn is_at_least_as_strict_as(&self, other: &LocationPolicyGraph) -> bool {
         self.grid == *other.grid()
-            && other.graph().edges().all(|(a, b)| self.graph.has_edge(a, b))
+            && other
+                .graph()
+                .edges()
+                .all(|(a, b)| self.graph.has_edge(a, b))
     }
 
     // ------------------------------------------------------------------
@@ -257,13 +275,19 @@ impl LocationPolicyGraph {
 
     /// `d_G(a, b)` (Def. 2.2): shortest-path distance in the policy graph,
     /// or `None` when `a` and `b` are not `∞`-neighbours.
+    ///
+    /// O(1) table lookup for components within the precomputed-index budget;
+    /// BFS only for oversized components.
     pub fn distance(&self, a: CellId, b: CellId) -> Option<u32> {
-        if !self.components.same_component(a.0, b.0) {
-            return None;
+        match self.dist.distance(a.0, b.0) {
+            DistanceLookup::DifferentComponents => None,
+            DistanceLookup::Known(d) => Some(d),
+            DistanceLookup::NotIndexed => {
+                let d = bfs::shortest_path_len(&self.graph, a.0, b.0);
+                debug_assert_ne!(d, bfs::INFINITE);
+                Some(d)
+            }
         }
-        let d = bfs::shortest_path_len(&self.graph, a.0, b.0);
-        debug_assert_ne!(d, bfs::INFINITE);
-        Some(d)
     }
 
     /// `N^k(s)` (Def. 2.3): all cells within `k` hops of `s`, including `s`.
@@ -282,27 +306,37 @@ impl LocationPolicyGraph {
 
     /// `true` when `a` and `b` are `∞`-neighbours (same component).
     pub fn same_component(&self, a: CellId, b: CellId) -> bool {
-        self.components.same_component(a.0, b.0)
+        self.dist.same_component(a.0, b.0)
     }
 
     /// Component index of a cell.
     pub fn component_of(&self, c: CellId) -> u32 {
-        self.components.component_of(c.0)
+        self.dist.component_of(c.0)
     }
 
-    /// All cells in the component of `c` (sorted) — the support a mechanism
-    /// may release when the true location is `c`.
+    /// All cells in the component of `c` (sorted), as an interned slice —
+    /// the support a mechanism may release when the true location is `c`.
+    /// No allocation; prefer this over
+    /// [`LocationPolicyGraph::component_cells`] on hot paths.
+    #[inline]
+    pub fn component_slice(&self, c: CellId) -> &[CellId] {
+        cells_of_nodes(self.dist.members_of(c.0))
+    }
+
+    /// All cells in the component of `c` (sorted), as an owned `Vec`.
     pub fn component_cells(&self, c: CellId) -> Vec<CellId> {
-        self.components
-            .members(self.components.component_of(c.0))
-            .into_iter()
-            .map(CellId)
-            .collect()
+        self.component_slice(c).to_vec()
     }
 
     /// Number of connected components.
     pub fn n_components(&self) -> u32 {
-        self.components.n_components
+        self.dist.n_components()
+    }
+
+    /// The shared component/distance index built at construction.
+    #[inline]
+    pub fn distance_index(&self) -> &Arc<ComponentDistances> {
+        &self.dist
     }
 
     /// `true` when the cell is an isolated node — releasable exactly
@@ -318,16 +352,27 @@ impl LocationPolicyGraph {
         self.distance(a, b).map(|d| eps * d as f64)
     }
 
-    /// BFS distances from `s` to every cell of its component, as
-    /// `(cell, d_G)` pairs sorted by cell id. The workhorse of the
-    /// graph-exponential mechanism.
+    /// Distances from `s` to every cell of its component, as `(cell, d_G)`
+    /// pairs sorted by cell id. The workhorse of the graph-exponential
+    /// mechanism — served from the precomputed table (O(k) copy, no BFS)
+    /// except for components over the index budget.
     pub fn component_distances(&self, s: CellId) -> Vec<(CellId, u32)> {
-        let dist = bfs::bfs_distances(&self.graph, s.0);
-        dist.into_iter()
-            .enumerate()
-            .filter(|&(_, d)| d != bfs::INFINITE)
-            .map(|(i, d)| (CellId(i as u32), d))
-            .collect()
+        match self.dist.row(s.0) {
+            Some(row) => self
+                .component_slice(s)
+                .iter()
+                .zip(row)
+                .map(|(&c, &d)| (c, u32::from(d)))
+                .collect(),
+            None => {
+                let dist = bfs::bfs_distances(&self.graph, s.0);
+                dist.into_iter()
+                    .enumerate()
+                    .filter(|&(_, d)| d != bfs::INFINITE)
+                    .map(|(i, d)| (CellId(i as u32), d))
+                    .collect()
+            }
+        }
     }
 
     /// Validates that a cell belongs to the domain.
@@ -530,7 +575,10 @@ mod tests {
         let p = LocationPolicyGraph::grid4(grid());
         let iso = LocationPolicyGraph::isolated(grid());
         // p ∪ ∅ = p; p ∩ ∅ = ∅.
-        assert_eq!(p.union(&iso).unwrap().graph().n_edges(), p.graph().n_edges());
+        assert_eq!(
+            p.union(&iso).unwrap().graph().n_edges(),
+            p.graph().n_edges()
+        );
         assert!(p.intersection(&iso).unwrap().graph().is_edgeless());
         // Self-comparison.
         assert!(p.is_at_least_as_strict_as(&p));

@@ -115,11 +115,7 @@ pub fn output_distribution(
 /// For exact distributions, a cell present on one side but absent on the
 /// other is an immediate `+∞` violation; Monte-Carlo estimates simply skip
 /// such cells (their true probability may be below the counting floor).
-fn max_log_ratio(
-    pa: &HashMap<CellId, f64>,
-    pb: &HashMap<CellId, f64>,
-    exact: bool,
-) -> f64 {
+fn max_log_ratio(pa: &HashMap<CellId, f64>, pb: &HashMap<CellId, f64>, exact: bool) -> f64 {
     let mut worst = f64::NEG_INFINITY;
     for (cell, &p) in pa {
         match pb.get(cell) {
@@ -170,9 +166,9 @@ pub fn audit_pglp_with(
     for (a, b) in edges {
         let (sa, sb) = (CellId(a), CellId(b));
         for s in [sa, sb] {
-            if !dists.contains_key(&s) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dists.entry(s) {
                 let d = output_distribution(mech, policy, eps, s, opts)?;
-                dists.insert(s, d);
+                e.insert(d);
             }
         }
         let (pa, ea) = &dists[&sa];
@@ -247,8 +243,7 @@ pub fn audit_lemma21(
         let (pb, eb) = output_distribution(mech, policy, eps, b, opts)?;
         let exact = ea && eb;
         report.exact &= exact;
-        let bound = eps * d as f64
-            + if exact { 1e-9 } else { opts.mc_slack.ln() };
+        let bound = eps * d as f64 + if exact { 1e-9 } else { opts.mc_slack.ln() };
         let lr = max_log_ratio(&pa, &pb, exact).max(max_log_ratio(&pb, &pa, exact));
         report.pairs_checked += 1;
         if lr - bound > worst_margin {
@@ -396,14 +391,8 @@ mod tests {
             (g.cell(0, 0), g.cell(2, 0)), // d_G = 2
             (g.cell(1, 1), g.cell(1, 2)), // d_G = 1
         ];
-        let report = audit_lemma21(
-            &GraphExponential,
-            &p,
-            0.8,
-            &pairs,
-            &AuditOptions::default(),
-        )
-        .unwrap();
+        let report =
+            audit_lemma21(&GraphExponential, &p, 0.8, &pairs, &AuditOptions::default()).unwrap();
         assert!(report.satisfied, "{report:?}");
         assert_eq!(report.pairs_checked, 3);
     }
@@ -435,8 +424,7 @@ mod tests {
             mc_min_count: 300,
             seed: 99,
         };
-        let report =
-            audit_pglp_with(&crate::mech::GraphCalibratedLaplace, &p, 1.0, &opts).unwrap();
+        let report = audit_pglp_with(&crate::mech::GraphCalibratedLaplace, &p, 1.0, &opts).unwrap();
         assert!(!report.exact);
         assert!(report.satisfied, "{report:?}");
     }

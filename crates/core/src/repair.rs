@@ -158,10 +158,7 @@ mod tests {
         let (restricted, summary) = restrict(&p, &feas);
         // Inside the 2x2 block, 4 grid4 edges survive.
         assert_eq!(restricted.graph().n_edges(), 4);
-        assert_eq!(
-            summary.dropped_edges,
-            p.graph().n_edges() - 4
-        );
+        assert_eq!(summary.dropped_edges, p.graph().n_edges() - 4);
         assert!(restricted.are_neighbors(g.cell(0, 0), g.cell(1, 0)));
         assert!(restricted.is_isolated_cell(g.cell(3, 3)));
     }

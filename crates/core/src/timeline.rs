@@ -78,7 +78,10 @@ impl TimelineResult {
 
     /// Number of epochs actually released.
     pub fn n_released(&self) -> usize {
-        self.releases.iter().filter(|r| r.released.is_some()).count()
+        self.releases
+            .iter()
+            .filter(|r| r.released.is_some())
+            .count()
     }
 }
 
@@ -149,9 +152,9 @@ impl<'a> TimelineReleaser<'a> {
         for (t, &true_cell) in trajectory.iter().enumerate() {
             let t = t as u32;
             // 1. Allocation.
-            let eps = self
-                .allocator
-                .allocate(t as u64, ledger.remaining(), horizon - t, self.policy);
+            let eps =
+                self.allocator
+                    .allocate(t as u64, ledger.remaining(), horizon - t, self.policy);
             // 2-3. Repair policy against the feasible set.
             let (epoch_policy, dropped, support): (LocationPolicyGraph, usize, Vec<CellId>) =
                 match self.strategy {
@@ -232,7 +235,7 @@ mod tests {
             .map(|t| {
                 let row = (t / grid.width()) % grid.height();
                 let col_raw = t % grid.width();
-                let col = if row % 2 == 0 {
+                let col = if row.is_multiple_of(2) {
                     col_raw
                 } else {
                     grid.width() - 1 - col_raw
@@ -326,8 +329,7 @@ mod tests {
         let policy = LocationPolicyGraph::partition(g.clone(), 2, 2);
         let alloc = FixedPerEpoch { eps: 1.0 };
         let run = |strategy: RepairStrategy| {
-            let releaser =
-                TimelineReleaser::new(&policy, &GraphExponential, &alloc, 1, strategy);
+            let releaser = TimelineReleaser::new(&policy, &GraphExponential, &alloc, 1, strategy);
             let mut ledger = BudgetLedger::new(100.0);
             let mut rng = SmallRng::seed_from_u64(4);
             let traj = vec![g.cell(0, 0); 5];

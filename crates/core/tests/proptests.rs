@@ -6,7 +6,7 @@ use panda_core::mech::{
     EuclideanExponential, GraphCalibratedLaplace, GraphExponential, Mechanism, PlanarIsotropic,
     UniformComponent,
 };
-use panda_core::{audit_pglp, repair, LocationPolicyGraph};
+use panda_core::{audit_pglp, repair, LocationPolicyGraph, PolicyIndex};
 use panda_geo::{CellId, GridMap};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -145,6 +145,100 @@ proptest! {
             summary.dropped_edges,
             policy.graph().n_edges() - restricted.graph().n_edges()
         );
+    }
+
+    /// The precomputed distance tables agree with fresh BFS on every pair
+    /// of every random policy — cached `distance(a, b)` IS `d_G(a, b)`.
+    #[test]
+    fn policy_index_distances_match_fresh_bfs(policy in arb_policy()) {
+        let graph = policy.graph();
+        for a in 0..policy.n_locations() {
+            let fresh = panda_graph::bfs::bfs_distances(graph, a);
+            for b in 0..policy.n_locations() {
+                let cached = policy.distance(CellId(a), CellId(b));
+                match cached {
+                    Some(d) => prop_assert_eq!(d, fresh[b as usize]),
+                    None => prop_assert_eq!(fresh[b as usize], panda_graph::bfs::INFINITE),
+                }
+            }
+        }
+    }
+
+    /// The PolicyIndex's cached sampling tables are the mechanism's exact
+    /// closed-form output distribution, cell for cell and probability for
+    /// probability — across random policies, ε values and inputs.
+    #[test]
+    fn policy_index_cached_distributions_match_fresh(
+        policy in arb_policy(),
+        eps in 0.05f64..4.0,
+        pick in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let s = CellId(pick % policy.n_locations());
+        let index = PolicyIndex::new(policy.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let closed_form: Vec<(&str, &dyn Mechanism)> = vec![
+            ("gem", &GraphExponential),
+            ("euc-exp", &EuclideanExponential),
+        ];
+        for (_, mech) in &closed_form {
+            // Warm the cache through the batch path, then compare the table
+            // against a fresh closed-form distribution.
+            let batch = mech.perturb_batch(&index, eps, &[s, s, s], &mut rng).unwrap();
+            for z in &batch {
+                prop_assert!(policy.same_component(s, *z));
+            }
+            if policy.is_isolated_cell(s) {
+                // Exact release: no table is cached, by design.
+                prop_assert_eq!(batch, vec![s, s, s]);
+                continue;
+            }
+            let fresh = mech.output_distribution(&policy, eps, s).unwrap();
+            let table = index.distribution(mech.name(), eps, s, |_| {
+                panic!("distribution must already be cached after perturb_batch")
+            });
+            prop_assert_eq!(table.cells().len(), fresh.len());
+            for ((&cell, p_cached), (fresh_cell, p_fresh)) in
+                table.cells().iter().zip(table.probabilities()).zip(fresh)
+            {
+                prop_assert_eq!(cell, fresh_cell);
+                prop_assert!(
+                    (p_cached - p_fresh).abs() < 1e-9,
+                    "cell {}: cached {} vs fresh {}", cell, p_cached, p_fresh
+                );
+            }
+        }
+    }
+
+    /// perturb_batch and a perturb loop draw from the same distribution:
+    /// empirical frequencies over many draws agree within Monte-Carlo noise.
+    #[test]
+    fn perturb_batch_matches_per_call_distribution(
+        w in 2u32..5, h in 2u32..5, eps in 0.3f64..2.0, seed in any::<u64>()
+    ) {
+        let grid = GridMap::new(w, h, 100.0);
+        let policy = LocationPolicyGraph::partition(grid, 2, 2);
+        let index = PolicyIndex::new(policy.clone());
+        let s = CellId(0);
+        const N: usize = 4000;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let batch = GraphExponential
+            .perturb_batch(&index, eps, &vec![s; N], &mut rng)
+            .unwrap();
+        let mut naive = Vec::with_capacity(N);
+        for _ in 0..N {
+            naive.push(GraphExponential.perturb(&policy, eps, s, &mut rng).unwrap());
+        }
+        let freq = |samples: &[CellId], c: CellId| {
+            samples.iter().filter(|&&z| z == c).count() as f64 / N as f64
+        };
+        for &c in policy.component_slice(s) {
+            let (fb, fn_) = (freq(&batch, c), freq(&naive, c));
+            prop_assert!(
+                (fb - fn_).abs() < 0.06,
+                "cell {}: batch {} vs naive {}", c, fb, fn_
+            );
+        }
     }
 
     /// Lemma 2.1 for GEM, derived from the audit distances: for random

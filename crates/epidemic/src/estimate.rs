@@ -88,17 +88,15 @@ pub fn estimate_r0_seir(
     sigma: f64,
     gamma: f64,
 ) -> Option<f64> {
-    estimate_growth_rate(incidence, start, end).map(|fit| r0_from_growth_rate(fit.rate, sigma, gamma))
+    estimate_growth_rate(incidence, start, end)
+        .map(|fit| r0_from_growth_rate(fit.rate, sigma, gamma))
 }
 
 /// Picks a sensible early-growth window automatically: from the first
 /// epoch with non-zero incidence to the incidence peak (inclusive bounds
 /// clipped to the series).
 pub fn growth_window(incidence: &[u32]) -> (usize, usize) {
-    let first = incidence
-        .iter()
-        .position(|&c| c > 0)
-        .unwrap_or(0);
+    let first = incidence.iter().position(|&c| c > 0).unwrap_or(0);
     let peak = incidence
         .iter()
         .enumerate()

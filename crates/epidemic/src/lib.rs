@@ -21,5 +21,5 @@ pub mod outbreak;
 pub mod seir;
 
 pub use estimate::{estimate_growth_rate, estimate_r0_seir};
-pub use outbreak::{AgentState, OutbreakConfig, OutbreakResult, simulate_outbreak};
+pub use outbreak::{simulate_outbreak, AgentState, OutbreakConfig, OutbreakResult};
 pub use seir::{SeirParams, SeirState};

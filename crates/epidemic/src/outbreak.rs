@@ -184,8 +184,7 @@ pub fn simulate_outbreak<R: Rng + ?Sized>(
     let mut events = Vec::new();
     let mut infected_visits = Vec::new();
     let mut diagnoses = Vec::new();
-    let mut onset_epoch: BTreeMap<UserId, Timestamp> =
-        seeds.iter().map(|&u| (u, 0)).collect();
+    let mut onset_epoch: BTreeMap<UserId, Timestamp> = seeds.iter().map(|&u| (u, 0)).collect();
 
     for t in 0..horizon {
         // Record current states.
@@ -234,16 +233,12 @@ pub fn simulate_outbreak<R: Rng + ?Sized>(
         // Progression E→I and I→R.
         for &u in &users {
             match current[&u] {
-                AgentState::E => {
-                    if rng.gen_bool(config.p_onset) {
-                        current.insert(u, AgentState::I);
-                        onset_epoch.insert(u, t + 1);
-                    }
+                AgentState::E if rng.gen_bool(config.p_onset) => {
+                    current.insert(u, AgentState::I);
+                    onset_epoch.insert(u, t + 1);
                 }
-                AgentState::I => {
-                    if rng.gen_bool(config.p_recover) {
-                        current.insert(u, AgentState::R);
-                    }
+                AgentState::I if rng.gen_bool(config.p_recover) => {
+                    current.insert(u, AgentState::R);
                 }
                 _ => {}
             }

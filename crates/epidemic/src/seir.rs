@@ -167,7 +167,10 @@ mod tests {
     fn epidemic_grows_then_wanes_when_r0_above_one() {
         let traj = simulate(SeirState::seeded(10_000.0, 5.0), params(), 0.1, 2000);
         let peak_i = traj.iter().map(|s| s.i).fold(0.0, f64::max);
-        assert!(peak_i > 5.0 * 10.0, "epidemic must take off (peak {peak_i})");
+        assert!(
+            peak_i > 5.0 * 10.0,
+            "epidemic must take off (peak {peak_i})"
+        );
         let last = traj.last().unwrap();
         assert!(last.i < peak_i / 10.0, "epidemic must wane");
     }

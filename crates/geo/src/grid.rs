@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
 )]
+#[repr(transparent)] // guarantees &[u32] ↔ &[CellId] reinterpretation is sound
 pub struct CellId(pub u32);
 
 impl CellId {

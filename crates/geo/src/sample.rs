@@ -112,7 +112,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let inner = (0..20_000)
             .filter(|_| {
-                uniform_in_disk(&mut rng, Point::ORIGIN, 1.0).norm() <= std::f64::consts::FRAC_1_SQRT_2
+                uniform_in_disk(&mut rng, Point::ORIGIN, 1.0).norm()
+                    <= std::f64::consts::FRAC_1_SQRT_2
             })
             .count();
         let frac = inner as f64 / 20_000.0;

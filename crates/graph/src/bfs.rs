@@ -179,6 +179,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pairwise_matrix_symmetric_with_zero_diagonal() {
         let g = path5();
         let subset = vec![0, 2, 4];

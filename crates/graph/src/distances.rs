@@ -1,0 +1,321 @@
+//! Precomputed per-component all-pairs distance tables.
+//!
+//! Every PGLP mechanism call needs `d_G(s, z)` for all `z` in the component
+//! of `s` (Def. 2.2), and the seed implementation re-ran a BFS on every
+//! query. This module computes those distances **once**: for each connected
+//! component, one BFS per member fills a dense `k × k` table of `u16` hop
+//! counts, and component membership is interned as contiguous slices so no
+//! per-query allocation is needed.
+//!
+//! Components whose table would exceed a size budget (quadratic memory!)
+//! are left un-tabulated; callers fall back to on-demand BFS for those, so
+//! huge policies degrade to the seed behaviour instead of exhausting memory.
+
+use crate::bfs;
+use crate::components::{connected_components, ComponentLabels};
+use crate::graph::{Graph, NodeId};
+
+/// Default per-component table budget: 16 Mi entries (32 MiB of `u16`),
+/// i.e. components of up to 4096 nodes are fully tabulated.
+pub const DEFAULT_MAX_TABLE_ENTRIES: usize = 1 << 24;
+
+/// Result of a distance lookup in [`ComponentDistances`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceLookup {
+    /// The nodes are in different components (`d_G = ∞`).
+    DifferentComponents,
+    /// Tabulated distance.
+    Known(u32),
+    /// Same component, but the component exceeded the table budget; the
+    /// caller must BFS.
+    NotIndexed,
+}
+
+/// Dense distance table of one component: `d[i * k + j]` is the hop count
+/// between the `i`-th and `j`-th member (member order = sorted node id).
+#[derive(Debug, Clone)]
+struct DistanceTable {
+    k: usize,
+    d: Vec<u16>,
+}
+
+/// Interned component membership plus per-component all-pairs distances.
+///
+/// Construction runs one BFS per node of every tabulated component —
+/// `O(Σ k·(V_C + E_C))` total — after which [`ComponentDistances::distance`]
+/// is a table lookup and [`ComponentDistances::members_of`] is a slice
+/// borrow.
+#[derive(Debug, Clone)]
+pub struct ComponentDistances {
+    labels: ComponentLabels,
+    /// `members[offsets[c]..offsets[c + 1]]` are the sorted nodes of
+    /// component `c`.
+    offsets: Vec<u32>,
+    members: Vec<NodeId>,
+    /// `rank[v]` is the position of `v` within its component slice.
+    rank: Vec<u32>,
+    /// Indexed by component id; `None` when over the size budget.
+    tables: Vec<Option<DistanceTable>>,
+}
+
+impl ComponentDistances {
+    /// Builds tables for `g` with the default size budget.
+    pub fn new(g: &Graph) -> Self {
+        Self::with_budget(g, DEFAULT_MAX_TABLE_ENTRIES)
+    }
+
+    /// Builds tables for `g`, tabulating only components with at most
+    /// `max_table_entries` (= k²) table cells.
+    pub fn with_budget(g: &Graph, max_table_entries: usize) -> Self {
+        let labels = connected_components(g);
+        let n = g.n_nodes() as usize;
+        let n_comp = labels.n_components as usize;
+
+        // Intern membership: counting sort by component label.
+        let mut counts = vec![0u32; n_comp];
+        for &l in &labels.label {
+            counts[l as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n_comp + 1];
+        for c in 0..n_comp {
+            offsets[c + 1] = offsets[c] + counts[c];
+        }
+        let mut members = vec![0 as NodeId; n];
+        let mut rank = vec![0u32; n];
+        let mut cursor = offsets.clone();
+        // Node ids ascend, so each component slice comes out sorted.
+        for v in 0..n as u32 {
+            let c = labels.label[v as usize] as usize;
+            let pos = cursor[c];
+            members[pos as usize] = v;
+            rank[v as usize] = pos - offsets[c];
+            cursor[c] += 1;
+        }
+
+        // Per-component all-pairs BFS with a reusable scratch buffer.
+        let mut tables: Vec<Option<DistanceTable>> = Vec::with_capacity(n_comp);
+        let mut scratch = vec![bfs::INFINITE; n];
+        let mut queue = std::collections::VecDeque::new();
+        for c in 0..n_comp {
+            let slice = &members[offsets[c] as usize..offsets[c + 1] as usize];
+            let k = slice.len();
+            // Two skip conditions: the entry budget (quadratic memory), and
+            // the u16 storage width — a component of k nodes has
+            // eccentricity < k, so k ≤ 65535 guarantees distances fit.
+            if k.saturating_mul(k) > max_table_entries || k > usize::from(u16::MAX) {
+                tables.push(None);
+                continue;
+            }
+            let mut d = vec![0u16; k * k];
+            for (i, &src) in slice.iter().enumerate() {
+                // BFS from src; only nodes of this component are reachable.
+                scratch[src as usize] = 0;
+                queue.push_back(src);
+                while let Some(v) = queue.pop_front() {
+                    let dv = scratch[v as usize];
+                    for &w in g.neighbors(v) {
+                        if scratch[w as usize] == bfs::INFINITE {
+                            scratch[w as usize] = dv + 1;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+                for (j, &dst) in slice.iter().enumerate() {
+                    debug_assert_ne!(scratch[dst as usize], bfs::INFINITE);
+                    // Cannot truncate: eccentricity < k ≤ u16::MAX (checked
+                    // above), so every in-component distance fits.
+                    debug_assert!(scratch[dst as usize] <= u32::from(u16::MAX));
+                    d[i * k + j] = scratch[dst as usize] as u16;
+                }
+                // Reset only the touched entries.
+                for &v in slice {
+                    scratch[v as usize] = bfs::INFINITE;
+                }
+            }
+            tables.push(Some(DistanceTable { k, d }));
+        }
+
+        ComponentDistances {
+            labels,
+            offsets,
+            members,
+            rank,
+            tables,
+        }
+    }
+
+    /// The component decomposition the tables are built over.
+    #[inline]
+    pub fn labels(&self) -> &ComponentLabels {
+        &self.labels
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn n_components(&self) -> u32 {
+        self.labels.n_components
+    }
+
+    /// Component id of `v`.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.labels.component_of(v)
+    }
+
+    /// `true` when `a` and `b` share a component.
+    #[inline]
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.labels.same_component(a, b)
+    }
+
+    /// The sorted members of component `c`, as an interned slice — no
+    /// allocation, unlike [`ComponentLabels::members`].
+    #[inline]
+    pub fn members(&self, c: u32) -> &[NodeId] {
+        &self.members[self.offsets[c as usize] as usize..self.offsets[c as usize + 1] as usize]
+    }
+
+    /// The sorted members of the component containing `v`.
+    #[inline]
+    pub fn members_of(&self, v: NodeId) -> &[NodeId] {
+        self.members(self.component_of(v))
+    }
+
+    /// Position of `v` within [`ComponentDistances::members_of`]`(v)`.
+    #[inline]
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// `true` when the component of `v` has a distance table.
+    #[inline]
+    pub fn is_indexed(&self, v: NodeId) -> bool {
+        self.tables[self.component_of(v) as usize].is_some()
+    }
+
+    /// Distance lookup; O(1) for tabulated components.
+    #[inline]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> DistanceLookup {
+        let c = self.labels.component_of(a);
+        if c != self.labels.component_of(b) {
+            return DistanceLookup::DifferentComponents;
+        }
+        match &self.tables[c as usize] {
+            Some(t) => {
+                let (i, j) = (
+                    self.rank[a as usize] as usize,
+                    self.rank[b as usize] as usize,
+                );
+                DistanceLookup::Known(u32::from(t.d[i * t.k + j]))
+            }
+            None => DistanceLookup::NotIndexed,
+        }
+    }
+
+    /// Distances from `v` to every member of its component, in member-slice
+    /// order — the precomputed equivalent of one full BFS. `None` when the
+    /// component is over the table budget.
+    #[inline]
+    pub fn row(&self, v: NodeId) -> Option<&[u16]> {
+        let c = self.labels.component_of(v) as usize;
+        self.tables[c].as_ref().map(|t| {
+            let i = self.rank[v as usize] as usize;
+            &t.d[i * t.k..(i + 1) * t.k]
+        })
+    }
+
+    /// Total tabulated entries across all components (diagnostics).
+    pub fn table_entries(&self) -> usize {
+        self.tables.iter().flatten().map(|t| t.d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::GraphBuilder;
+
+    fn two_components() -> Graph {
+        // Path 0-1-2-3 and triangle 4-5-6; node 7 isolated.
+        let mut b = GraphBuilder::new(8);
+        b.edges([(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (4, 6)]);
+        b.build()
+    }
+
+    #[test]
+    fn membership_is_interned_and_sorted() {
+        let g = two_components();
+        let cd = ComponentDistances::new(&g);
+        assert_eq!(cd.n_components(), 3);
+        assert_eq!(cd.members_of(2), &[0, 1, 2, 3]);
+        assert_eq!(cd.members_of(6), &[4, 5, 6]);
+        assert_eq!(cd.members_of(7), &[7]);
+        for v in 0..8u32 {
+            let slice = cd.members_of(v);
+            assert_eq!(slice[cd.rank(v) as usize], v);
+        }
+    }
+
+    #[test]
+    fn distances_match_fresh_bfs() {
+        let g = two_components();
+        let cd = ComponentDistances::new(&g);
+        for a in 0..8u32 {
+            let fresh = bfs::bfs_distances(&g, a);
+            for b in 0..8u32 {
+                match cd.distance(a, b) {
+                    DistanceLookup::Known(d) => assert_eq!(d, fresh[b as usize]),
+                    DistanceLookup::DifferentComponents => {
+                        assert_eq!(fresh[b as usize], bfs::INFINITE)
+                    }
+                    DistanceLookup::NotIndexed => panic!("small graph must be indexed"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_cover_components() {
+        let g = two_components();
+        let cd = ComponentDistances::new(&g);
+        let row = cd.row(1).unwrap();
+        assert_eq!(row, &[1, 0, 1, 2]);
+        assert_eq!(cd.row(7).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn over_budget_components_fall_back() {
+        let g = generators::complete(10);
+        let cd = ComponentDistances::with_budget(&g, 50); // 10² = 100 > 50
+        assert!(!cd.is_indexed(0));
+        assert_eq!(cd.distance(0, 5), DistanceLookup::NotIndexed);
+        assert!(cd.row(0).is_none());
+        // Membership interning still works.
+        assert_eq!(cd.members_of(3).len(), 10);
+        assert_eq!(cd.table_entries(), 0);
+    }
+
+    #[test]
+    fn grid8_distance_is_chebyshev() {
+        let (w, h) = (6, 5);
+        let g = generators::grid8(w, h);
+        let cd = ComponentDistances::new(&g);
+        let id = |c: u32, r: u32| r * w + c;
+        assert_eq!(cd.distance(id(0, 0), id(3, 2)), DistanceLookup::Known(3));
+        assert_eq!(cd.distance(id(0, 0), id(5, 4)), DistanceLookup::Known(5));
+        assert_eq!(cd.table_entries(), 30 * 30);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Graph::empty(4);
+        let cd = ComponentDistances::new(&g);
+        assert_eq!(cd.n_components(), 4);
+        for v in 0..4u32 {
+            assert_eq!(cd.members_of(v), &[v]);
+            assert_eq!(cd.distance(v, v), DistanceLookup::Known(0));
+        }
+        assert_eq!(cd.distance(0, 1), DistanceLookup::DifferentComponents);
+    }
+}

@@ -110,7 +110,8 @@ pub fn star(n: u32) -> Graph {
 pub fn partition_cliques(labels: &[u32]) -> Graph {
     let mut b = GraphBuilder::new(labels.len() as u32);
     // Group node ids by label.
-    let mut groups: std::collections::BTreeMap<u32, Vec<NodeId>> = std::collections::BTreeMap::new();
+    let mut groups: std::collections::BTreeMap<u32, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
     for (v, &l) in labels.iter().enumerate() {
         groups.entry(l).or_default().push(v as NodeId);
     }

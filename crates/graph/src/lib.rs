@@ -13,6 +13,9 @@
 //!   k-neighbourhoods `N^k(s)` (Def. 2.3) and eccentricities.
 //! * [`components`] — connected components, i.e. the `∞`-neighbour classes
 //!   of Lemma 2.1, via union-find.
+//! * [`distances`] — interned component membership and per-component
+//!   all-pairs distance tables, computed once so the policy/mechanism hot
+//!   path never re-runs BFS.
 //! * [`generators`] — the policy-graph building blocks: 4/8-neighbour grid
 //!   graphs (`G1`), complete graphs (`G2`/δ-location sets), partition
 //!   cliques (`Ga`/`Gb`), Erdős–Rényi random graphs (the demo's "Random
@@ -29,6 +32,7 @@
 
 pub mod bfs;
 pub mod components;
+pub mod distances;
 pub mod dot;
 pub mod generators;
 pub mod graph;
@@ -37,4 +41,5 @@ pub mod properties;
 
 pub use bfs::{bfs_distances, eccentricity, k_neighbors, shortest_path_len, INFINITE};
 pub use components::{connected_components, ComponentLabels, DisjointSets};
+pub use distances::{ComponentDistances, DistanceLookup};
 pub use graph::{Graph, GraphBuilder, NodeId};

@@ -101,8 +101,15 @@ pub fn generate_geolife_like<R: Rng + ?Sized>(
             let errand_poi = pois.sample(rng);
             for hour in 0..config.epochs_per_day {
                 let cell = daily_cell(
-                    grid, home, work, weekend, errand, errand_poi, hour,
-                    config.epochs_per_day, rng,
+                    grid,
+                    home,
+                    work,
+                    weekend,
+                    errand,
+                    errand_poi,
+                    hour,
+                    config.epochs_per_day,
+                    rng,
                 );
                 cells.push(cell);
             }
@@ -166,9 +173,7 @@ fn daily_cell<R: Rng + ?Sized>(
 /// A point `t ∈ [0,1]` of the way along the straight line between two cell
 /// centres, snapped to the grid.
 fn commute_cell(grid: &GridMap, from: CellId, to: CellId, t: f64) -> CellId {
-    let p = grid
-        .center(from)
-        .lerp(grid.center(to), t.clamp(0.0, 1.0));
+    let p = grid.center(from).lerp(grid.center(to), t.clamp(0.0, 1.0));
     grid.nearest_cell(p)
 }
 

@@ -61,11 +61,7 @@ pub fn generate_levy<R: Rng + ?Sized>(
     let height = grid.height() as f64 * grid.cell_size();
     let mut trajectories = Vec::with_capacity(config.n_users as usize);
     for uid in 0..config.n_users {
-        let mut pos = sample::uniform_in_rect(
-            rng,
-            Point::new(0.0, 0.0),
-            Point::new(width, height),
-        );
+        let mut pos = sample::uniform_in_rect(rng, Point::new(0.0, 0.0), Point::new(width, height));
         let mut cells = Vec::with_capacity(config.horizon as usize);
         for _ in 0..config.horizon {
             cells.push(grid.nearest_cell(pos));

@@ -34,6 +34,6 @@ pub mod stats;
 pub mod trajectory;
 pub mod waypoint;
 
-pub use geolife_like::{GeoLifeLikeConfig, generate_geolife_like};
-pub use gowalla_like::{CheckIn, GowallaLikeConfig, generate_gowalla_like};
+pub use geolife_like::{generate_geolife_like, GeoLifeLikeConfig};
+pub use gowalla_like::{generate_gowalla_like, CheckIn, GowallaLikeConfig};
 pub use trajectory::{Timestamp, Trajectory, TrajectoryDb, UserId};

@@ -123,12 +123,12 @@ mod tests {
         let pois = PoiSet::from_ranked_cells(cells, 1.0);
         let mut rng = SmallRng::seed_from_u64(1);
         const N: usize = 100_000;
-        let mut counts = vec![0usize; 5];
+        let mut counts = [0usize; 5];
         for _ in 0..N {
             counts[pois.sample(&mut rng).index()] += 1;
         }
-        for k in 0..5 {
-            let emp = counts[k] as f64 / N as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / N as f64;
             assert!(
                 (emp - pois.popularity(k)).abs() < 0.01,
                 "rank {k}: {emp} vs {}",

@@ -71,11 +71,7 @@ pub fn mean_revisit_ratio(db: &TrajectoryDb) -> f64 {
     if db.n_users() == 0 {
         return 0.0;
     }
-    db.trajectories()
-        .iter()
-        .map(revisit_ratio)
-        .sum::<f64>()
-        / db.n_users() as f64
+    db.trajectories().iter().map(revisit_ratio).sum::<f64>() / db.n_users() as f64
 }
 
 /// All per-epoch displacement lengths (grid length units), pooled over

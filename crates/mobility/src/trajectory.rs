@@ -226,6 +226,37 @@ impl TrajectoryDb {
         counts
     }
 
+    /// Maps every trajectory as a whole through `f` (e.g. a privacy
+    /// mechanism's bulk-release path), producing the perturbed database the
+    /// server sees. `f` must return one cell per input epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` returns a different number of cells than it was
+    /// given.
+    pub fn map_trajectories<F>(&self, mut f: F) -> TrajectoryDb
+    where
+        F: FnMut(UserId, &[CellId]) -> Vec<CellId>,
+    {
+        let trajectories = self
+            .trajectories
+            .iter()
+            .map(|tr| {
+                let cells = f(tr.user, &tr.cells);
+                assert_eq!(
+                    cells.len(),
+                    tr.cells.len(),
+                    "trajectory map must preserve the horizon"
+                );
+                Trajectory {
+                    user: tr.user,
+                    cells,
+                }
+            })
+            .collect();
+        TrajectoryDb::new(self.grid.clone(), trajectories)
+    }
+
     /// Maps every trajectory through a per-epoch transformation (e.g. a
     /// privacy mechanism), producing the perturbed database the server sees.
     pub fn map_cells<F>(&self, mut f: F) -> TrajectoryDb

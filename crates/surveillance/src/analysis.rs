@@ -147,13 +147,7 @@ mod tests {
         let truth = colocated_db();
         let g = truth.grid().clone();
         // Separate the co-located pair at every epoch.
-        let reported = truth.map_cells(|u, _, c| {
-            if u == UserId(1) {
-                g.cell(1, 1)
-            } else {
-                c
-            }
-        });
+        let reported = truth.map_cells(|u, _, c| if u == UserId(1) { g.cell(1, 1) } else { c });
         let cmp = compare_r0(&truth, &reported, 0.3, 4.0);
         assert!(cmp.r0_perturbed < cmp.r0_true);
         assert!(cmp.abs_error > 0.0);
@@ -168,8 +162,8 @@ mod tests {
         assert_eq!(arrivals[0][0], 2);
         assert_eq!(arrivals[0][3], 1);
         // No further arrivals.
-        for t in 1..4 {
-            assert!(arrivals[t].iter().all(|&c| c == 0));
+        for row in arrivals.iter().take(4).skip(1) {
+            assert!(row.iter().all(|&c| c == 0));
         }
     }
 

@@ -8,7 +8,7 @@
 
 use crate::protocol::{LocationReport, PolicyAssignment, ResendRequest};
 use panda_core::budget::BudgetLedger;
-use panda_core::{LocationPolicyGraph, Mechanism, PglpError};
+use panda_core::{LocationPolicyGraph, Mechanism, PglpError, PolicyIndex};
 use panda_geo::CellId;
 use panda_mobility::{Timestamp, UserId};
 use rand::RngCore;
@@ -57,7 +57,9 @@ pub struct Client {
     config: ClientConfig,
     /// `(epoch, true cell)` ring buffer, newest at the back.
     history: VecDeque<(Timestamp, CellId)>,
-    policy: LocationPolicyGraph,
+    /// The consented policy plus its precomputed sampling index; every
+    /// release — routine or re-send — runs through the indexed batch path.
+    index: PolicyIndex,
     mechanism: Box<dyn Mechanism + Send + Sync>,
     ledger: BudgetLedger,
     eps_per_epoch: f64,
@@ -77,7 +79,7 @@ impl Client {
             user,
             config,
             history: VecDeque::new(),
-            policy,
+            index: PolicyIndex::new(policy),
             mechanism,
             ledger,
             eps_per_epoch,
@@ -96,7 +98,12 @@ impl Client {
 
     /// The policy currently in force.
     pub fn policy(&self) -> &LocationPolicyGraph {
-        &self.policy
+        self.index.policy()
+    }
+
+    /// The sampling index of the policy currently in force.
+    pub fn policy_index(&self) -> &PolicyIndex {
+        &self.index
     }
 
     /// Number of epochs currently retained.
@@ -108,7 +115,7 @@ impl Client {
     /// evicting entries older than the retention window.
     pub fn observe(&mut self, epoch: Timestamp, cell: CellId) {
         debug_assert!(
-            self.history.back().map_or(true, |&(t, _)| t < epoch),
+            self.history.back().is_none_or(|&(t, _)| t < epoch),
             "observations must arrive in epoch order"
         );
         self.history.push_back((epoch, cell));
@@ -156,7 +163,7 @@ impl Client {
         if !self.consents_to(&assignment) {
             return false;
         }
-        self.policy = assignment.policy;
+        self.index = PolicyIndex::new(assignment.policy);
         self.eps_per_epoch = assignment.eps_per_epoch;
         true
     }
@@ -177,10 +184,11 @@ impl Client {
         let Some(cell) = self.true_location(epoch) else {
             return Err(PglpError::LocationOutOfDomain(CellId(u32::MAX)));
         };
-        self.policy.check_cell(cell)?;
+        let policy = self.index.policy();
+        policy.check_cell(cell)?;
         // Isolated cells release exactly and are free (parallel to
         // Lemma 2.1's unconstrained case); everything else costs ε.
-        if !self.policy.is_isolated_cell(cell) {
+        if !policy.is_isolated_cell(cell) {
             if !self.ledger.can_afford(self.eps_per_epoch) {
                 return Err(PglpError::BudgetExhausted {
                     requested: self.eps_per_epoch,
@@ -188,11 +196,20 @@ impl Client {
                 });
             }
             self.ledger
-                .charge(epoch as u64, self.policy.name(), self.eps_per_epoch)?;
+                .charge(epoch as u64, policy.name(), self.eps_per_epoch)?;
         }
+        // The indexed path serves repeat visits to the same cell from a
+        // cached sampling table instead of rebuilding the distribution.
         let perturbed = self
             .mechanism
-            .perturb(&self.policy, self.eps_per_epoch, cell, rng)?;
+            .perturb_batch(
+                &self.index,
+                self.eps_per_epoch,
+                std::slice::from_ref(&cell),
+                rng,
+            )?
+            .pop()
+            .expect("batch of one yields one release");
         Ok(LocationReport {
             user: self.user,
             epoch,
@@ -221,33 +238,44 @@ impl Client {
         if !self.apply_assignment(assignment) {
             return Ok(Vec::new()); // consent refused: nothing re-sent
         }
+        // Pass 1: charge the ledger epoch by epoch, keeping the prefix the
+        // budget covers (isolated cells disclose exactly and are free).
         let epochs: Vec<(Timestamp, CellId)> = self
             .history
             .iter()
             .copied()
             .filter(|&(t, _)| t >= request.from && t < request.to)
             .collect();
-        let mut out = Vec::with_capacity(epochs.len());
+        let policy = self.index.policy();
+        let mut affordable = Vec::with_capacity(epochs.len());
         for (t, cell) in epochs {
-            self.policy.check_cell(cell)?;
-            if !self.policy.is_isolated_cell(cell) {
+            policy.check_cell(cell)?;
+            if !policy.is_isolated_cell(cell) {
                 if !self.ledger.can_afford(self.eps_per_epoch) {
                     break; // stop re-sending when the budget runs dry
                 }
                 self.ledger
-                    .charge(t as u64, self.policy.name(), self.eps_per_epoch)?;
+                    .charge(t as u64, policy.name(), self.eps_per_epoch)?;
             }
-            let perturbed = self
-                .mechanism
-                .perturb(&self.policy, self.eps_per_epoch, cell, rng)?;
-            out.push(LocationReport {
+            affordable.push((t, cell));
+        }
+        // Pass 2: one indexed bulk release for the whole window — the
+        // policy-graph work (distances, distributions) is shared across all
+        // re-sent epochs instead of being redone per epoch.
+        let cells: Vec<CellId> = affordable.iter().map(|&(_, c)| c).collect();
+        let perturbed =
+            self.mechanism
+                .perturb_batch(&self.index, self.eps_per_epoch, &cells, rng)?;
+        Ok(affordable
+            .into_iter()
+            .zip(perturbed)
+            .map(|((t, _), cell)| LocationReport {
                 user: self.user,
                 epoch: t,
-                cell: perturbed,
+                cell,
                 resend: true,
-            });
-        }
-        Ok(out)
+            })
+            .collect())
     }
 }
 
@@ -370,8 +398,11 @@ mod tests {
         // Isolating cells 0 and 1 would disclose half of history: refuse.
         let aggressive = PolicyAssignment {
             user: UserId(1),
-            policy: LocationPolicyGraph::complete(grid())
-                .with_isolated(&[CellId(0), CellId(1), CellId(2)]),
+            policy: LocationPolicyGraph::complete(grid()).with_isolated(&[
+                CellId(0),
+                CellId(1),
+                CellId(2),
+            ]),
             eps_per_epoch: 0.5,
             effective_from: 4,
         };

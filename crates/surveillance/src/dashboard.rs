@@ -116,7 +116,7 @@ mod tests {
         let art = render_heatmap(&g, &values);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 3 + 2); // 3 rows + frame
-        // Bottom row (last content line) starts with the full shade.
+                                        // Bottom row (last content line) starts with the full shade.
         let bottom = lines[lines.len() - 2];
         assert!(bottom.contains('█'));
         // Top row has no shading.
@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn heatmap_all_zero_is_blank() {
         let g = grid();
-        let art = render_heatmap(&g, &vec![0.0; 12]);
+        let art = render_heatmap(&g, &[0.0; 12]);
         assert!(!art.contains('█') && !art.contains('░'));
     }
 

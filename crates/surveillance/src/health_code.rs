@@ -35,7 +35,7 @@ pub struct HealthCodeRules {
 impl Default for HealthCodeRules {
     fn default() -> Self {
         HealthCodeRules {
-            red_duration: 336,    // 14 days of hourly epochs
+            red_duration: 336, // 14 days of hourly epochs
             yellow_duration: 336,
         }
     }
@@ -65,9 +65,9 @@ pub fn assign_codes(
 
     // Yellow: reported co-presence with an infected visit.
     for tr in reported.trajectories() {
-        let exposed = infected_visits.iter().any(|&(t, cell)| {
-            t + rules.yellow_duration >= now && tr.at(t) == Some(cell)
-        });
+        let exposed = infected_visits
+            .iter()
+            .any(|&(t, cell)| t + rules.yellow_duration >= now && tr.at(t) == Some(cell));
         if exposed {
             codes.insert(tr.user, HealthCode::Yellow);
         }

@@ -95,7 +95,7 @@ mod tests {
         let gb = c.for_analysis();
         assert_eq!(ga.n_components(), 4); // 8x8 with 4x4 blocks
         assert_eq!(gb.n_components(), 16); // 2x2 blocks
-        // Coarser partition = larger components = higher per-cell degree.
+                                           // Coarser partition = larger components = higher per-cell degree.
         assert!(ga.graph().degree(0) > gb.graph().degree(0));
     }
 

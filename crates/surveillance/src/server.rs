@@ -193,7 +193,10 @@ mod tests {
         s.receive_all([report(0, 0, 1, false), report(0, 3, 5, false)]);
         let db = s.reported_db(5);
         let tr = db.trajectory(UserId(0)).unwrap();
-        assert_eq!(tr.cells, vec![CellId(1), CellId(1), CellId(1), CellId(5), CellId(5)]);
+        assert_eq!(
+            tr.cells,
+            vec![CellId(1), CellId(1), CellId(1), CellId(5), CellId(5)]
+        );
     }
 
     #[test]
@@ -213,7 +216,7 @@ mod tests {
             let s = Arc::clone(&s);
             std::thread::spawn(move || {
                 for t in 0..200 {
-                    s.receive(report(0, t, (t % 16) as u32, false));
+                    s.receive(report(0, t, t % 16, false));
                 }
             })
         };

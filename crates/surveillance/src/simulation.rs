@@ -234,8 +234,7 @@ mod tests {
     #[test]
     fn full_simulation_round_trip() {
         let truth = population(1);
-        let configurator =
-            PolicyConfigurator::new(truth.grid().clone(), 5, 2);
+        let configurator = PolicyConfigurator::new(truth.grid().clone(), 5, 2);
         let mut rng = SmallRng::seed_from_u64(2);
         let log = run_simulation(&truth, &configurator, &config(), 2, &mut rng);
         assert_eq!(log.routine_reports, 40 * 72);
@@ -290,8 +289,14 @@ mod tests {
         assert_eq!(a.routine_reports, b.routine_reports);
         assert_eq!(a.outbreak.seeds, b.outbreak.seeds);
         assert_eq!(
-            a.traces.iter().map(|(u, t, _)| (*u, *t)).collect::<Vec<_>>(),
-            b.traces.iter().map(|(u, t, _)| (*u, *t)).collect::<Vec<_>>()
+            a.traces
+                .iter()
+                .map(|(u, t, _)| (*u, *t))
+                .collect::<Vec<_>>(),
+            b.traces
+                .iter()
+                .map(|(u, t, _)| (*u, *t))
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -102,15 +102,8 @@ pub struct TraceOutcome {
 
 impl TraceOutcome {
     /// Computes precision/recall for a flag set against ground truth.
-    pub fn evaluate(
-        flagged: Vec<UserId>,
-        ground_truth: Vec<UserId>,
-        resend_count: usize,
-    ) -> Self {
-        let tp = flagged
-            .iter()
-            .filter(|u| ground_truth.contains(u))
-            .count() as f64;
+    pub fn evaluate(flagged: Vec<UserId>, ground_truth: Vec<UserId>, resend_count: usize) -> Self {
+        let tp = flagged.iter().filter(|u| ground_truth.contains(u)).count() as f64;
         let precision = if flagged.is_empty() {
             1.0
         } else {
@@ -162,8 +155,7 @@ pub fn dynamic_trace(
         .iter_mut()
         .find(|c| c.user() == patient)
         .expect("patient client missing");
-    let disclose_policy =
-        panda_core::LocationPolicyGraph::isolated(configurator.grid().clone());
+    let disclose_policy = panda_core::LocationPolicyGraph::isolated(configurator.grid().clone());
     let patient_reports = patient_client
         .handle_resend(
             &ResendRequest {
@@ -176,10 +168,8 @@ pub fn dynamic_trace(
             rng,
         )
         .expect("patient disclosure cannot fail");
-    let patient_history: Vec<(Timestamp, CellId)> = patient_reports
-        .iter()
-        .map(|r| (r.epoch, r.cell))
-        .collect();
+    let patient_history: Vec<(Timestamp, CellId)> =
+        patient_reports.iter().map(|r| (r.epoch, r.cell)).collect();
     server.receive_all(patient_reports.iter().copied());
     server.record_diagnosis(patient, to);
     server.record_infected_visits(&patient_history);
@@ -283,11 +273,7 @@ mod tests {
 
     #[test]
     fn outcome_evaluation_math() {
-        let o = TraceOutcome::evaluate(
-            vec![UserId(1), UserId(2)],
-            vec![UserId(1), UserId(3)],
-            10,
-        );
+        let o = TraceOutcome::evaluate(vec![UserId(1), UserId(2)], vec![UserId(1), UserId(3)], 10);
         assert!((o.precision - 0.5).abs() < 1e-12);
         assert!((o.recall - 0.5).abs() < 1e-12);
         let empty = TraceOutcome::evaluate(vec![], vec![], 0);
@@ -401,7 +387,13 @@ mod tests {
             1.0,
         );
         let mut refusing = refusing;
-        for (t, &cell) in truth.trajectory(UserId(1)).unwrap().cells.iter().enumerate() {
+        for (t, &cell) in truth
+            .trajectory(UserId(1))
+            .unwrap()
+            .cells
+            .iter()
+            .enumerate()
+        {
             refusing.observe(t as Timestamp, cell);
         }
         clients[1] = refusing;

@@ -78,7 +78,9 @@ fn main() {
             if !policy.is_isolated_cell(truth) {
                 ledger.charge(t as u64, policy.name(), eps).unwrap();
             }
-            let z = GraphExponential.perturb(policy, eps, truth, &mut rng).unwrap();
+            let z = GraphExponential
+                .perturb(policy, eps, truth, &mut rng)
+                .unwrap();
             let d = grid.distance(truth, z);
             err += d;
             n += 1;

@@ -12,7 +12,9 @@ use panda::mobility::geolife_like::{beijing_grid, generate_geolife_like, GeoLife
 use panda::mobility::Timestamp;
 use panda::surveillance::health_code::{assign_codes, code_census, HealthCodeRules};
 use panda::surveillance::tracing::dynamic_trace;
-use panda::surveillance::{Client, ClientConfig, ContactRule, ConsentRule, PolicyConfigurator, Server};
+use panda::surveillance::{
+    Client, ClientConfig, ConsentRule, ContactRule, PolicyConfigurator, Server,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -137,7 +139,7 @@ fn main() {
     // The policy graph acted as the information filter: only the patient's
     // disclosed cells ever left a client exactly; everything else stayed
     // indistinguishable within its policy component.
-    let avg_budget: f64 = clients.iter().map(|c| c.budget_remaining()).sum::<f64>()
-        / clients.len() as f64;
+    let avg_budget: f64 =
+        clients.iter().map(|c| c.budget_remaining()).sum::<f64>() / clients.len() as f64;
     println!("average remaining privacy budget: {avg_budget:.1}");
 }

@@ -98,7 +98,10 @@ fn main() {
     let noon = 36; // day 2, 12:00
     let to_f64 = |counts: Vec<u32>| counts.into_iter().map(f64::from).collect::<Vec<_>>();
     println!("\nmidday occupancy — ground truth:");
-    print!("{}", render_heatmap(&grid, &to_f64(truth.occupancy_at(noon))));
+    print!(
+        "{}",
+        render_heatmap(&grid, &to_f64(truth.occupancy_at(noon)))
+    );
     println!("midday occupancy — server view under Ga (eps = {eps}):");
     print!(
         "{}",

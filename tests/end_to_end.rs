@@ -90,9 +90,8 @@ fn monitoring_utility_improves_with_epsilon_and_policy_coarseness() {
     let (grid, truth) = small_population(3);
     let run = |policy: &LocationPolicyGraph, eps: f64| {
         let mut rng = StdRng::seed_from_u64(4);
-        let reported = truth.map_cells(|_, _, c| {
-            GraphExponential.perturb(policy, eps, c, &mut rng).unwrap()
-        });
+        let reported =
+            truth.map_cells(|_, _, c| GraphExponential.perturb(policy, eps, c, &mut rng).unwrap());
         monitoring_utility(&truth, &reported, 4).mean_distance
     };
     let ga = LocationPolicyGraph::partition(grid.clone(), 4, 4);
@@ -109,12 +108,10 @@ fn r0_estimate_degrades_gracefully() {
     let (grid, truth) = small_population(5);
     let policy = LocationPolicyGraph::partition(grid.clone(), 2, 2);
     let mut rng = StdRng::seed_from_u64(6);
-    let reported_hi = truth.map_cells(|_, _, c| {
-        GraphExponential.perturb(&policy, 8.0, c, &mut rng).unwrap()
-    });
-    let reported_lo = truth.map_cells(|_, _, c| {
-        GraphExponential.perturb(&policy, 0.2, c, &mut rng).unwrap()
-    });
+    let reported_hi =
+        truth.map_cells(|_, _, c| GraphExponential.perturb(&policy, 8.0, c, &mut rng).unwrap());
+    let reported_lo =
+        truth.map_cells(|_, _, c| GraphExponential.perturb(&policy, 0.2, c, &mut rng).unwrap());
     let hi = compare_r0(&truth, &reported_hi, 0.35, 4.0);
     let lo = compare_r0(&truth, &reported_lo, 0.35, 4.0);
     assert!(hi.r0_true > 0.0);
@@ -184,8 +181,7 @@ fn all_mechanisms_pass_monte_carlo_audit_on_gc_policy() {
         Box::new(GraphCalibratedLaplace) as Box<dyn Mechanism>,
         Box::new(PlanarIsotropic::new()),
     ] {
-        let report =
-            panda::core::privacy::audit_pglp_with(mech.as_ref(), &gc, eps, &opts).unwrap();
+        let report = panda::core::privacy::audit_pglp_with(mech.as_ref(), &gc, eps, &opts).unwrap();
         assert!(report.satisfied, "{}: {report:?}", mech.name());
     }
 }

@@ -4,9 +4,7 @@
 //! tolerate malformed traffic, and accounting must fail closed.
 
 use panda::core::privacy::{audit_pglp_with, AuditOptions};
-use panda::core::{
-    GraphExponential, LocationPolicyGraph, Mechanism, PglpError,
-};
+use panda::core::{GraphExponential, LocationPolicyGraph, Mechanism, PglpError};
 use panda::geo::{CellId, GridMap};
 use panda::mobility::UserId;
 use panda::surveillance::{Client, ClientConfig, ConsentRule, LocationReport, Server};

@@ -1,0 +1,273 @@
+//! Offline micro-benchmark harness with a `criterion`-compatible surface.
+//!
+//! Implements the subset this workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `sample_size`, `BenchmarkId` — and *really measures*:
+//! each benchmark is warmed up, iteration count is calibrated to a target
+//! measurement window, and the mean/min per-iteration time is printed as
+//!
+//! ```text
+//! bench group/id ... mean 123.4 ns/iter (min 119.0 ns, 10 samples)
+//! ```
+//!
+//! No HTML reports, statistics beyond mean/min, or outlier analysis — the
+//! numbers are honest wall-clock measurements suitable for A/B comparisons
+//! within one run (e.g. indexed vs. naive sampling paths).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id like `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Measurement settings shared by a group.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_count: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_count: 10,
+            warm_up: Duration::from_millis(50),
+            measure: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark("", &id.into().label, &Settings::default(), |b| f(b));
+        self
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_count = n.max(2);
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measure = t;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, &id.into().label, &self.settings, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.name, &id.label, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (cosmetic; measurements print as they complete).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    settings: Settings,
+}
+
+impl Bencher {
+    /// Measures `f`, calling it repeatedly. The return value is passed
+    /// through [`black_box`] so the computation cannot be optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in ~1/sample_count of the
+        // measurement window?
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < self.settings.warm_up {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = self.settings.warm_up.as_secs_f64() / calib_iters.max(1) as f64;
+        let per_sample = self.settings.measure.as_secs_f64() / self.settings.sample_count as f64;
+        self.iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 28);
+
+        self.samples = (0..self.settings.sample_count)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(f());
+                }
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(group: &str, id: &str, settings: &Settings, mut f: F) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        settings: settings.clone(),
+    };
+    f(&mut bencher);
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if bencher.samples.is_empty() {
+        println!("bench {name} ... no measurement (Bencher::iter never called)");
+        return;
+    }
+    let per_iter_ns: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e9 / bencher.iters_per_sample as f64)
+        .collect();
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    println!(
+        "bench {name} ... mean {} /iter (min {}, {} samples x {} iters)",
+        format_ns(mean),
+        format_ns(min),
+        per_iter_ns.len(),
+        bencher.iters_per_sample
+    );
+}
+
+/// Declares a benchmark group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline subset of `crossbeam`: scoped threads over `std::thread::scope`.
+//!
+//! Matches the upstream call shape `crossbeam::scope(|s| { s.spawn(|_| …) })
+//! .expect(…)`: the closure passed to `spawn` receives a `&Scope` (so nested
+//! spawns compose), and `scope` returns `Err` when any spawned thread
+//! panicked.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// Scope handle passed to [`scope`] and to every spawned closure.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope, so it can
+    /// spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; all
+/// spawned threads are joined before this returns. Returns `Err` with the
+/// panic payload when any spawned (un-joined) thread panicked.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(move || {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u32, 2, 3, 4];
+        let total = scope(|s| {
+            let mid = data.len() / 2;
+            let (a, b) = data.split_at(mid);
+            let ha = s.spawn(move |_| a.iter().sum::<u32>());
+            let hb = s.spawn(move |_| b.iter().sum::<u32>());
+            ha.join().unwrap() + hb.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panicking_child_surfaces_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7u8).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,126 @@
+//! Distribution trait and the [`Standard`] distribution.
+
+use crate::{uniform_u64_below, RngCore};
+
+/// A distribution that can produce values of type `T` from an RNG.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution per type: `f64`/`f32` uniform in `[0, 1)`,
+/// integers over their full range, fair `bool`s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits → every representable multiple of 2⁻⁵³.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty : $next:ident),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$next() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8: next_u32,
+    u16: next_u32,
+    u32: next_u32,
+    u64: next_u64,
+    usize: next_u64,
+    i8: next_u32,
+    i16: next_u32,
+    i32: next_u32,
+    i64: next_u64,
+    isize: next_u64
+);
+
+/// A uniform distribution over `[low, high)`, reusable across samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: Copy> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        Uniform { low, high }
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit: f64 = Standard.sample(rng);
+        self.low + (self.high - self.low) * unit
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                let span = (self.high as i128 - self.low as i128) as u64;
+                assert!(span > 0, "Uniform: empty range");
+                self.low.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(u32, u64, usize, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_struct_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Uniform::new(10u32, 20u32);
+        for _ in 0..1000 {
+            let x = rng.sample(d);
+            assert!((10..20).contains(&x));
+        }
+        let f = Uniform::new(-1.0f64, 1.0);
+        for _ in 0..1000 {
+            let x = rng.sample(f);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline, API-compatible subset of the `rand` crate (v0.8 surface).
+//!
+//! This workspace builds in an environment without crates.io access, so the
+//! pieces of `rand` the codebase actually uses are vendored here: the
+//! [`RngCore`] / [`Rng`] / [`SeedableRng`] traits, the [`rngs::SmallRng`] and
+//! [`rngs::StdRng`] generators (xoshiro256++ cores), unbiased integer and
+//! float range sampling, and [`seq::SliceRandom::shuffle`].
+//!
+//! Determinism is part of the contract: every generator is seeded explicitly
+//! and produces the same stream on every platform. The streams do **not**
+//! match upstream `rand` bit-for-bit — tests in this workspace only rely on
+//! same-seed reproducibility and distributional properties, never on the
+//! exact upstream byte stream.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of uniform bits.
+///
+/// Object-safe, so mechanisms can take `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value whose type implements the [`Standard`] distribution
+    /// (`f64` in `[0, 1)`, full-range integers, fair `bool`s).
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range. Integer ranges use Lemire's unbiased
+    /// multiply-shift rejection method — **no modulo bias**.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty ranges.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution object.
+    #[inline]
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanded through SplitMix64 so
+    /// nearby seeds give unrelated streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut state);
+            for (b, s) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence (used for seed expansion).
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `u64` in `[0, n)` via Lemire's multiply-shift with rejection:
+/// exactly uniform, no modulo bias.
+#[inline]
+pub(crate) fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // 2^64 mod n; values of `lo` below this threshold are over-represented.
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let m = u128::from(rng.next_u64()) * u128::from(n);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: every bit pattern is valid.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit: f64 = Standard.sample(rng); // [0, 1)
+                let v = (self.start as f64
+                    + (self.end as f64 - self.start as f64) * unit) as $t;
+                // Guard against rounding up to the excluded endpoint: step
+                // to the largest representable value below `end`. Bit
+                // arithmetic differs by sign (negative floats order with
+                // *larger* bit patterns further from zero).
+                if v >= self.end {
+                    if self.end == 0.0 {
+                        -<$t>::from_bits(1) // largest value below 0
+                    } else if self.end > 0.0 {
+                        <$t>::from_bits(self.end.to_bits() - 1)
+                    } else {
+                        <$t>::from_bits(self.end.to_bits() + 1)
+                    }
+                } else {
+                    v
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit: f64 = Standard.sample(rng);
+                (lo as f64 + (hi as f64 - lo as f64) * unit) as $t
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert!((0..10).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_int_bounds_and_coverage() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = rng.gen_range(0u32..7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues must appear");
+        for _ in 0..1000 {
+            let x = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(2.0f64..3.5);
+            assert!((2.0..3.5).contains(&x));
+        }
+        // Non-positive upper bounds: the excluded-endpoint guard must step
+        // downward, not wrap (end == 0.0) or step upward (end < 0).
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-5.0f64..0.0);
+            assert!((-5.0..0.0).contains(&x), "got {x}");
+            let y = rng.gen_range(-2.0f64..-1.0);
+            assert!((-2.0..-1.0).contains(&y), "got {y}");
+        }
+        // Denormal-narrow range exercises the guard branch directly.
+        let lo = -1.0f64;
+        let hi = -1.0f64 + f64::EPSILON;
+        for _ in 0..1000 {
+            let z = rng.gen_range(lo..hi);
+            assert!((lo..hi).contains(&z), "got {z}");
+        }
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_chi_square() {
+        // 16 buckets over a non-power-of-two span; the old `% len` pattern
+        // would skew low buckets. χ² with 15 dof: reject above ~37.7 (1%).
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n_buckets = 13u64;
+        let n = 130_000u64;
+        let mut counts = vec![0f64; n_buckets as usize];
+        for _ in 0..n {
+            counts[rng.gen_range(0..n_buckets) as usize] += 1.0;
+        }
+        let expect = n as f64 / n_buckets as f64;
+        let chi2: f64 = counts.iter().map(|c| (c - expect).powi(2) / expect).sum();
+        assert!(chi2 < 40.0, "chi2 {chi2} too large for uniform");
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn dyn_rng_core_is_usable() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x = dyn_rng.gen_range(0.0f64..1.0);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

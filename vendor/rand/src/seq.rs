@@ -1,0 +1,65 @@
+//! Sequence helpers: shuffling and random element choice.
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, unbiased).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::uniform_u64_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[crate::uniform_u64_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+// Suppress an unused-import lint trap: Rng is intentionally part of the
+// public bounds so callers can pass any Rng.
+const _: fn(&mut dyn RngCore) = |_| {};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never stay sorted");
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline subset of `rand_distr`.
+//!
+//! The workspace samples its privacy-critical distributions from first
+//! principles in `panda-core::mech::noise`; this crate exists so the
+//! workspace-level dependency pin stays meaningful and common generic
+//! distributions are available to future experiment code.
+
+#![warn(missing_docs)]
+
+pub use rand::distributions::{Distribution, Standard, Uniform};
+use rand::RngCore;
+
+/// Normal (Gaussian) distribution, sampled via Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when `std_dev` is negative or non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, &'static str> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err("Normal: std_dev must be finite and non-negative")
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        use rand::Rng as _;
+        // Box–Muller; u ∈ (0, 1] avoids ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        let v: f64 = rng.gen();
+        let r = (-2.0 * u.ln()).sqrt();
+        self.mean + self.std_dev * r * (std::f64::consts::TAU * v).cos()
+    }
+}
+
+/// Exponential distribution with the given rate λ.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// An exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, &'static str> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err("Exp: lambda must be positive and finite")
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        use rand::Rng as _;
+        -(1.0 - rng.gen::<f64>()).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.sample(d)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = Exp::new(2.0).unwrap();
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.sample(d)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline marker-trait subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so they
+//! are serialization-ready, but nothing in-tree performs serialization yet
+//! (no `serde_json` and no wire format). Since the build environment has no
+//! crates.io access, this vendored stand-in keeps the derive surface
+//! compiling: the traits are markers and the derive macros emit empty impls.
+//!
+//! When a real transport lands, replace this crate (and `serde_derive`) with
+//! the upstream ones in `[workspace.dependencies]`; no call-site changes.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types with a stable serialized form.
+pub trait Serialize {}
+
+/// Marker for types reconstructible from a serialized form.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}

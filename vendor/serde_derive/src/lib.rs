@@ -1,0 +1,160 @@
+//! Derive macros emitting empty impls of the vendored `serde` marker traits.
+//!
+//! Token-level parsing only (no `syn`/`quote` available offline): the macro
+//! skips attributes and visibility, reads the `struct`/`enum` name and any
+//! generic parameter list, and emits
+//! `impl<...> serde::Serialize for Name<...> {}` (resp. `Deserialize`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    let impl_generics = target.generics_with_bounds();
+    let type_args = target.generic_args();
+    format!(
+        "impl{impl_generics} serde::Serialize for {}{type_args} {{}}",
+        target.name
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    // Splice the 'de lifetime in front of any existing parameters.
+    let impl_generics = match target.params_with_bounds.as_deref() {
+        None | Some("") => "<'de>".to_string(),
+        Some(params) => format!("<'de, {params}>"),
+    };
+    let type_args = target.generic_args();
+    format!(
+        "impl{impl_generics} serde::Deserialize<'de> for {}{type_args} {{}}",
+        target.name
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+struct Target {
+    name: String,
+    /// Raw generic parameter list (with bounds), without the angle brackets.
+    params_with_bounds: Option<String>,
+    /// Parameter names only, for the type position.
+    param_names: Vec<String>,
+}
+
+impl Target {
+    fn generics_with_bounds(&self) -> String {
+        match self.params_with_bounds.as_deref() {
+            None | Some("") => String::new(),
+            Some(p) => format!("<{p}>"),
+        }
+    }
+
+    fn generic_args(&self) -> String {
+        if self.param_names.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.param_names.join(", "))
+        }
+    }
+}
+
+fn parse_target(input: TokenStream) -> Target {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (#[...]) and visibility (pub, pub(...)).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" || kw.to_string() == "enum" => {
+            i += 1;
+        }
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Optional generic parameter list: collect raw tokens between < and >.
+    let mut params_with_bounds = None;
+    let mut param_names = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut raw = String::new();
+            let mut current = Vec::new();
+            let mut at_param_start = true;
+            let mut in_bounds = false;
+            while depth > 0 {
+                let tt = tokens
+                    .get(i)
+                    .unwrap_or_else(|| panic!("serde derive: unclosed generics on {name}"));
+                i += 1;
+                if let TokenTree::Punct(p) = tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            if !current.is_empty() {
+                                param_names.push(current.join(""));
+                            }
+                            current.clear();
+                            at_param_start = true;
+                            in_bounds = false;
+                            raw.push(',');
+                            continue;
+                        }
+                        ':' if depth == 1 => in_bounds = true,
+                        '\'' if at_param_start => current.push("'".to_string()),
+                        _ => {}
+                    }
+                } else if let TokenTree::Ident(id) = tt {
+                    if !in_bounds && (at_param_start || current.last().is_some_and(|s| s == "'")) {
+                        current.push(id.to_string());
+                        at_param_start = false;
+                    }
+                }
+                raw.push_str(&tt.to_string());
+                raw.push(' ');
+            }
+            if !current.is_empty() {
+                param_names.push(current.join(""));
+            }
+            params_with_bounds = Some(raw.trim().trim_end_matches(',').to_string());
+        }
+    }
+
+    Target {
+        name,
+        params_with_bounds,
+        param_names,
+    }
+}

@@ -29,10 +29,7 @@ fn bench_mechanisms(c: &mut Criterion) {
         let mechanisms: Vec<(&str, Box<dyn Mechanism>)> = vec![
             ("gem", Box::new(GraphExponential)),
             ("graph_laplace", Box::new(GraphCalibratedLaplace)),
-            (
-                "pim_prepared",
-                Box::new(PlanarIsotropic::prepared(policy, false)),
-            ),
+            ("pim", Box::new(PlanarIsotropic::new())),
             ("planar_laplace", Box::new(PlanarLaplace)),
         ];
         for (mlabel, mech) in mechanisms {

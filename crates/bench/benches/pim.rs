@@ -1,32 +1,41 @@
 //! Criterion micro-benchmarks + ablation for the Planar Isotropic
 //! Mechanism.
 //!
-//! The DESIGN.md ablations: (a) prepared (cached sensitivity hulls) vs
-//! on-the-fly preparation, and (b) direct K-norm sampling vs the original
-//! paper's isotropic-transform path (distributionally identical; the bench
-//! quantifies the constant-factor cost of whitening).
+//! The DESIGN.md ablations: (a) index-cached sensitivity hulls (the
+//! `PolicyIndex` batch path) vs on-the-fly preparation, and (b) direct
+//! K-norm sampling vs the original paper's isotropic-transform path
+//! (distributionally identical; the bench quantifies the constant-factor
+//! cost of whitening).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use panda_core::{LocationPolicyGraph, Mechanism, PlanarIsotropic};
+use panda_core::{LocationPolicyGraph, Mechanism, PlanarIsotropic, PolicyIndex};
 use panda_geo::{CellId, GridMap};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_prepared_vs_fresh(c: &mut Criterion) {
+fn bench_indexed_vs_fresh(c: &mut Criterion) {
     let grid = GridMap::new(16, 16, 500.0);
-    let mut group = c.benchmark_group("pim_preparation_ablation");
+    let mut group = c.benchmark_group("pim_hull_cache_ablation");
+    let locs = vec![CellId(0); 64];
     for block in [2u32, 4, 8] {
         let policy = LocationPolicyGraph::partition(grid.clone(), block, block);
-        let prepared = PlanarIsotropic::prepared(&policy, false);
-        let fresh = PlanarIsotropic::new();
-        group.bench_with_input(BenchmarkId::new("prepared", block), &policy, |b, policy| {
+        let index = PolicyIndex::new(policy.clone());
+        let pim = PlanarIsotropic::new();
+        // Indexed: hulls prepared once in the PolicyIndex, then reused by
+        // every report of the batch.
+        group.bench_with_input(BenchmarkId::new("indexed", block), &index, |b, index| {
             let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| black_box(prepared.perturb(policy, 1.0, CellId(0), &mut rng).unwrap()));
+            b.iter(|| black_box(pim.perturb_batch(index, 1.0, &locs, &mut rng).unwrap()));
         });
+        // Fresh: every perturb call re-prepares the component hull.
         group.bench_with_input(BenchmarkId::new("fresh", block), &policy, |b, policy| {
             let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| black_box(fresh.perturb(policy, 1.0, CellId(0), &mut rng).unwrap()));
+            b.iter(|| {
+                for &s in &locs {
+                    black_box(pim.perturb(policy, 1.0, s, &mut rng).unwrap());
+                }
+            });
         });
     }
     group.finish();
@@ -35,29 +44,37 @@ fn bench_prepared_vs_fresh(c: &mut Criterion) {
 fn bench_isotropic_ablation(c: &mut Criterion) {
     let grid = GridMap::new(16, 16, 500.0);
     let policy = LocationPolicyGraph::partition(grid, 8, 8);
-    let direct = PlanarIsotropic::prepared(&policy, false);
-    let iso = PlanarIsotropic::prepared(&policy, true);
+    let index = PolicyIndex::new(policy);
+    let direct = PlanarIsotropic::new();
+    let iso = PlanarIsotropic::with_isotropic_transform();
+    direct.prepare_all(&index);
+    iso.prepare_all(&index);
+    let locs = [CellId(0)];
     let mut group = c.benchmark_group("pim_isotropic_ablation");
     group.bench_function("direct_knorm", |b| {
         let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| black_box(direct.perturb(&policy, 1.0, CellId(0), &mut rng).unwrap()));
+        b.iter(|| black_box(direct.perturb_batch(&index, 1.0, &locs, &mut rng).unwrap()));
     });
     group.bench_function("isotropic_transform", |b| {
         let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| black_box(iso.perturb(&policy, 1.0, CellId(0), &mut rng).unwrap()));
+        b.iter(|| black_box(iso.perturb_batch(&index, 1.0, &locs, &mut rng).unwrap()));
     });
     group.finish();
 }
 
 fn bench_preparation_cost(c: &mut Criterion) {
-    // One-off cost of building all sensitivity hulls for a policy.
+    // One-off cost of building all sensitivity hulls into a PolicyIndex.
     let mut group = c.benchmark_group("pim_prepare");
     group.sample_size(20);
     for n in [8u32, 16, 32] {
         let grid = GridMap::new(n, n, 500.0);
         let policy = LocationPolicyGraph::partition(grid, 4, 4);
         group.bench_with_input(BenchmarkId::from_parameter(n), &policy, |b, policy| {
-            b.iter(|| black_box(PlanarIsotropic::prepared(policy, false)));
+            b.iter(|| {
+                let index = PolicyIndex::new(policy.clone());
+                PlanarIsotropic::new().prepare_all(&index);
+                black_box(index.n_cached_pim_hulls())
+            });
         });
     }
     group.finish();
@@ -65,7 +82,7 @@ fn bench_preparation_cost(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_prepared_vs_fresh,
+    bench_indexed_vs_fresh,
     bench_isotropic_ablation,
     bench_preparation_cost
 );

@@ -1,0 +1,228 @@
+//! Machine-readable release-engine benchmark: writes `BENCH_release.json`
+//! so the perf trajectory is trackable across PRs.
+//!
+//! ```text
+//! cargo run --release -p panda-bench --bin bench_release [-- --quick]
+//! ```
+//!
+//! * `--quick` — CI smoke mode: one small batch, few iterations, still
+//!   exercising every code path (parallel release, alias sampling, shard
+//!   ingest).
+//!
+//! Measures, per (mechanism × batch size × thread count): reports/sec and
+//! p50/p99 per-batch latency of [`ParallelReleaser`] against the
+//! single-threaded PR-1 `perturb_batch` baseline; plus the alias-table vs
+//! binary-search ns/draw ablation per support size. JSON is assembled by
+//! hand (no JSON dependency in the offline workspace).
+
+use panda_bench::workload::grid;
+use panda_core::{
+    GraphExponential, LocationPolicyGraph, Mechanism, ParallelReleaser, PolicyIndex, SamplingTable,
+};
+use panda_geo::CellId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct ReleaseRow {
+    mechanism: &'static str,
+    batch: usize,
+    threads: usize,
+    reports_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    speedup_vs_single: f64,
+}
+
+struct SamplingRow {
+    support: usize,
+    alias_ns: f64,
+    binary_search_ns: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Times `iters` runs of `f`, returning per-run latencies in ms (sorted).
+fn time_batches(iters: usize, mut f: impl FnMut()) -> Vec<f64> {
+    // One warm-up run fills the index caches (the steady-state regime the
+    // engine is designed for).
+    f();
+    let mut latencies: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies
+}
+
+fn bench_release(quick: bool) -> Vec<ReleaseRow> {
+    let g = grid(32);
+    let index = PolicyIndex::new(LocationPolicyGraph::partition(g.clone(), 2, 2));
+    let batches: &[usize] = if quick { &[16_384] } else { &[65_536, 262_144] };
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let iters = if quick { 3 } else { 15 };
+    let mut rows = Vec::new();
+    for &n in batches {
+        let mut rng = StdRng::seed_from_u64(7);
+        let locs: Vec<CellId> = (0..n)
+            .map(|_| CellId(rng.gen_range(0..g.n_cells())))
+            .collect();
+        // Single-threaded PR-1 baseline.
+        let mut rng = StdRng::seed_from_u64(11);
+        let single = time_batches(iters, || {
+            black_box(
+                GraphExponential
+                    .perturb_batch(&index, 1.0, &locs, &mut rng)
+                    .unwrap(),
+            );
+        });
+        let single_p50 = percentile(&single, 0.5);
+        rows.push(ReleaseRow {
+            mechanism: "gem",
+            batch: n,
+            threads: 1,
+            reports_per_sec: n as f64 / (single_p50 / 1e3),
+            p50_ms: single_p50,
+            p99_ms: percentile(&single, 0.99),
+            speedup_vs_single: 1.0,
+        });
+        for &t in thread_counts.iter().filter(|&&t| t > 1) {
+            let releaser = ParallelReleaser::with_threads(t);
+            let lat = time_batches(iters, || {
+                black_box(
+                    releaser
+                        .release(&GraphExponential, &index, 1.0, &locs, 11)
+                        .unwrap(),
+                );
+            });
+            let p50 = percentile(&lat, 0.5);
+            rows.push(ReleaseRow {
+                mechanism: "gem",
+                batch: n,
+                threads: t,
+                reports_per_sec: n as f64 / (p50 / 1e3),
+                p50_ms: p50,
+                p99_ms: percentile(&lat, 0.99),
+                speedup_vs_single: single_p50 / p50,
+            });
+        }
+    }
+    rows
+}
+
+fn bench_sampling(quick: bool) -> Vec<SamplingRow> {
+    let draws = if quick { 200_000 } else { 2_000_000 };
+    let supports: &[usize] = if quick {
+        &[1024]
+    } else {
+        &[256, 1024, 4096, 16_384]
+    };
+    supports
+        .iter()
+        .map(|&k| {
+            let dist: Vec<(CellId, f64)> = (0..k as u32)
+                .map(|i| (CellId(i), 1.0 + f64::from(i % 31)))
+                .collect();
+            let alias = SamplingTable::alias(dist.clone());
+            let cumulative = SamplingTable::cumulative(dist);
+            let time_draws = |table: &SamplingTable| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let t0 = Instant::now();
+                for _ in 0..draws {
+                    black_box(table.sample(&mut rng));
+                }
+                t0.elapsed().as_secs_f64() * 1e9 / draws as f64
+            };
+            SamplingRow {
+                support: k,
+                alias_ns: time_draws(&alias),
+                binary_search_ns: time_draws(&cumulative),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "release-engine bench ({} mode, {hw} hardware threads)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let release = bench_release(quick);
+    println!("mechanism  batch    threads  reports/s    p50 ms   p99 ms   speedup");
+    for r in &release {
+        println!(
+            "{:<9}  {:<7}  {:<7}  {:<11.0}  {:<7.2}  {:<7.2}  {:.2}x",
+            r.mechanism,
+            r.batch,
+            r.threads,
+            r.reports_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.speedup_vs_single
+        );
+    }
+
+    let sampling = bench_sampling(quick);
+    println!("\nsupport  alias ns/draw  binary-search ns/draw  alias speedup");
+    for s in &sampling {
+        println!(
+            "{:<7}  {:<13.1}  {:<21.1}  {:.2}x",
+            s.support,
+            s.alias_ns,
+            s.binary_search_ns,
+            s.binary_search_ns / s.alias_ns
+        );
+    }
+
+    // Hand-assembled JSON (the offline workspace carries no JSON crate).
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"panda-bench-release/v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
+    json.push_str("  \"release\": [\n");
+    for (i, r) in release.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mechanism\": \"{}\", \"batch\": {}, \"threads\": {}, \
+             \"reports_per_sec\": {:.0}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"speedup_vs_single\": {:.3}}}{}\n",
+            r.mechanism,
+            r.batch,
+            r.threads,
+            r.reports_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.speedup_vs_single,
+            if i + 1 < release.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"sampling\": [\n");
+    for (i, s) in sampling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"support\": {}, \"alias_ns_per_draw\": {:.2}, \
+             \"binary_search_ns_per_draw\": {:.2}, \"alias_speedup\": {:.3}}}{}\n",
+            s.support,
+            s.alias_ns,
+            s.binary_search_ns,
+            s.binary_search_ns / s.alias_ns,
+            if i + 1 < sampling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_release.json", &json).expect("write BENCH_release.json");
+    println!("\n[saved BENCH_release.json]");
+}

@@ -8,13 +8,11 @@
 //! absolute errors and area accuracies differ — the reason the demo shows
 //! both datasets.
 
-use panda_bench::workload::{geolife, gowalla, grid, indexed_policy_menu, release_db};
-use panda_bench::{f1, parallel_map, Table};
-use panda_core::GraphExponential;
+use panda_bench::workload::{geolife, gowalla, grid, indexed_policy_menu, release_db_parallel};
+use panda_bench::{f1, Table};
+use panda_core::{GraphExponential, ParallelReleaser};
 use panda_surveillance::analysis::contact_rate;
 use panda_surveillance::monitoring::monitoring_utility;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 fn main() {
@@ -44,18 +42,23 @@ fn main() {
         .collect();
     let datasets = [("geolife", &geolife_db), ("gowalla", &gowalla_db)];
 
+    // Both datasets release on the parallel engine over the same shared
+    // per-policy indexes.
+    let releaser = ParallelReleaser::new();
     let mut jobs = Vec::new();
     for (dlabel, db) in datasets {
         for (plabel, index) in &policies {
             jobs.push((dlabel, db, plabel.to_string(), Arc::clone(index)));
         }
     }
-    let results = parallel_map(jobs, |(dlabel, db, plabel, index)| {
-        let mut rng = StdRng::seed_from_u64(93);
-        let reported = release_db(db, index, &GraphExponential, eps, &mut rng);
-        let util = monitoring_utility(db, &reported, 4);
-        (*dlabel, plabel.clone(), util)
-    });
+    let results: Vec<_> = jobs
+        .into_iter()
+        .map(|(dlabel, db, plabel, index)| {
+            let reported = release_db_parallel(db, &index, &GraphExponential, eps, 93, &releaser);
+            let util = monitoring_utility(db, &reported, 4);
+            (dlabel, plabel, util)
+        })
+        .collect();
 
     let mut table = Table::new(
         "e9_dataset_comparison",

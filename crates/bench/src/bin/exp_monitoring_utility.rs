@@ -9,15 +9,13 @@
 //! policy and therefore leaks across components while achieving G1-like
 //! error.
 
-use panda_bench::workload::{eps_sweep, geolife, grid, indexed_policy_menu, release_db};
-use panda_bench::{f1, parallel_map, Table};
+use panda_bench::workload::{eps_sweep, geolife, grid, indexed_policy_menu, release_db_parallel};
+use panda_bench::{f1, Table};
 use panda_core::{
-    EuclideanExponential, GraphCalibratedLaplace, GraphExponential, Mechanism, PlanarIsotropic,
-    PlanarLaplace, PolicyIndex,
+    EuclideanExponential, GraphCalibratedLaplace, GraphExponential, Mechanism, ParallelReleaser,
+    PlanarIsotropic, PlanarLaplace, PolicyIndex,
 };
 use panda_surveillance::monitoring::monitoring_utility;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 fn main() {
@@ -56,7 +54,10 @@ fn main() {
         ("PlanarLap", || Box::new(PlanarLaplace)),
     ];
 
-    // Sweep (policy × mechanism × eps) in parallel.
+    // Sweep (policy × mechanism × eps): each job's database release runs on
+    // the parallel engine (all cores on one batch), so the sweep itself
+    // stays a simple deterministic loop.
+    let releaser = ParallelReleaser::new();
     let mut jobs = Vec::new();
     for (plabel, index) in &policies {
         for (mlabel, factory) in &mech_factories {
@@ -71,20 +72,22 @@ fn main() {
             }
         }
     }
-    let results = parallel_map(jobs, |(plabel, index, mlabel, factory, eps)| {
-        let mech = factory();
-        let mut rng = StdRng::seed_from_u64(4242);
-        let reported = release_db(&truth, index, mech.as_ref(), *eps, &mut rng);
-        let util = monitoring_utility(&truth, &reported, 4);
-        (
-            plabel.clone(),
-            mlabel.clone(),
-            *eps,
-            util.mean_distance,
-            util.area_accuracy,
-            util.occupancy_l1,
-        )
-    });
+    let results: Vec<_> = jobs
+        .into_iter()
+        .map(|(plabel, index, mlabel, factory, eps)| {
+            let mech = factory();
+            let reported = release_db_parallel(&truth, &index, mech.as_ref(), eps, 4242, &releaser);
+            let util = monitoring_utility(&truth, &reported, 4);
+            (
+                plabel,
+                mlabel,
+                eps,
+                util.mean_distance,
+                util.area_accuracy,
+                util.occupancy_l1,
+            )
+        })
+        .collect();
 
     let mut table = Table::new(
         "e2_monitoring_utility",

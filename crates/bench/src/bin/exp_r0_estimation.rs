@@ -14,9 +14,9 @@
 //! track it better than `G1` at equal ε because their components confine
 //! the perturbation.
 
-use panda_bench::workload::{eps_sweep, geolife, grid, indexed_policy_menu, release_db};
-use panda_bench::{f3, parallel_map, Table};
-use panda_core::GraphExponential;
+use panda_bench::workload::{eps_sweep, geolife, grid, indexed_policy_menu, release_db_parallel};
+use panda_bench::{f3, Table};
+use panda_core::{GraphExponential, ParallelReleaser};
 use panda_epidemic::estimate::{estimate_r0_seir, growth_window};
 use panda_epidemic::{simulate_outbreak, OutbreakConfig};
 use panda_surveillance::analysis::compare_r0;
@@ -77,18 +77,24 @@ fn main() {
             .collect();
     let infectious_epochs = 1.0 / cfg.p_recover;
 
+    // Each job's release runs on the parallel engine against the shared
+    // per-policy index.
+    let releaser = ParallelReleaser::new();
     let mut jobs = Vec::new();
     for (plabel, index) in &policies {
         for eps in eps_sweep(full) {
             jobs.push((plabel.to_string(), std::sync::Arc::clone(index), eps));
         }
     }
-    let results = parallel_map(jobs, |(plabel, index, eps)| {
-        let mut rng = StdRng::seed_from_u64(777);
-        let reported = release_db(&truth, index, &GraphExponential, *eps, &mut rng);
-        let cmp = compare_r0(&truth, &reported, cfg.p_transmit, infectious_epochs);
-        (plabel.clone(), *eps, cmp)
-    });
+    let results: Vec<_> = jobs
+        .into_iter()
+        .map(|(plabel, index, eps)| {
+            let reported =
+                release_db_parallel(&truth, &index, &GraphExponential, eps, 777, &releaser);
+            let cmp = compare_r0(&truth, &reported, cfg.p_transmit, infectious_epochs);
+            (plabel, eps, cmp)
+        })
+        .collect();
 
     let mut table = Table::new(
         "e3_r0_estimation",

@@ -2,10 +2,11 @@
 //! stand-ins for the paper's GeoLife and Gowalla datasets, and the policy
 //! menu of Fig. 4.
 
-use panda_core::{LocationPolicyGraph, Mechanism, PolicyIndex};
+use panda_core::{LocationPolicyGraph, Mechanism, ParallelReleaser, PolicyIndex};
 use panda_geo::{CellId, GridMap};
 use panda_mobility::geolife_like::{beijing_grid, generate_geolife_like, GeoLifeLikeConfig};
 use panda_mobility::gowalla_like::{densify, generate_gowalla_like, GowallaLikeConfig};
+use panda_mobility::Trajectory;
 use panda_mobility::TrajectoryDb;
 use rand::rngs::StdRng;
 use rand::RngCore;
@@ -83,9 +84,11 @@ pub fn indexed_policy_menu(
         .collect()
 }
 
-/// Releases every trajectory of `truth` through the indexed bulk path:
-/// one [`Mechanism::perturb_batch`] call per user. The standard way the
-/// experiment binaries produce the perturbed database the server sees.
+/// Releases every trajectory of `truth` through the single-threaded
+/// indexed bulk path: one [`Mechanism::perturb_batch`] call per user. Kept
+/// as the PR-1 baseline (and for callers that need one continuous RNG
+/// stream); the experiment binaries release through
+/// [`release_db_parallel`].
 pub fn release_db(
     truth: &TrajectoryDb,
     index: &PolicyIndex,
@@ -97,6 +100,44 @@ pub fn release_db(
         mech.perturb_batch(index, eps, cells, rng)
             .expect("perturbation failed")
     })
+}
+
+/// Releases every trajectory of `truth` through the parallel release
+/// engine: the whole population is flattened into one report batch,
+/// perturbed by `releaser` across threads against the shared index, and
+/// split back per user. Deterministic in `seed` regardless of thread
+/// count. The standard way the experiment binaries produce the perturbed
+/// database the server sees.
+pub fn release_db_parallel(
+    truth: &TrajectoryDb,
+    index: &PolicyIndex,
+    mech: &(dyn Mechanism + Sync),
+    eps: f64,
+    seed: u64,
+    releaser: &ParallelReleaser,
+) -> TrajectoryDb {
+    let flat: Vec<CellId> = truth
+        .trajectories()
+        .iter()
+        .flat_map(|tr| tr.cells.iter().copied())
+        .collect();
+    let released = releaser
+        .release(mech, index, eps, &flat, seed)
+        .expect("perturbation failed");
+    let mut cursor = 0usize;
+    let trajectories: Vec<Trajectory> = truth
+        .trajectories()
+        .iter()
+        .map(|tr| {
+            let cells = released[cursor..cursor + tr.cells.len()].to_vec();
+            cursor += tr.cells.len();
+            Trajectory {
+                user: tr.user,
+                cells,
+            }
+        })
+        .collect();
+    TrajectoryDb::new(truth.grid().clone(), trajectories)
 }
 
 /// The ε sweep used across experiments (log-spaced, the demo's slider
@@ -112,6 +153,41 @@ pub fn eps_sweep(full: bool) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use panda_core::GraphExponential;
+
+    #[test]
+    fn parallel_release_db_is_thread_count_invariant() {
+        let g = grid(8);
+        let truth = geolife(5, &g, 12, 2);
+        let index = PolicyIndex::new(LocationPolicyGraph::partition(g.clone(), 2, 2));
+        let a = release_db_parallel(
+            &truth,
+            &index,
+            &GraphExponential,
+            1.0,
+            77,
+            &ParallelReleaser::with_threads(1),
+        );
+        let b = release_db_parallel(
+            &truth,
+            &index,
+            &GraphExponential,
+            1.0,
+            77,
+            &ParallelReleaser::with_threads(8),
+        );
+        assert_eq!(a.trajectories(), b.trajectories());
+        // Structure preserved: same users, same horizon, cells perturbed
+        // within components.
+        assert_eq!(a.n_users(), truth.n_users());
+        for (ta, tt) in a.trajectories().iter().zip(truth.trajectories()) {
+            assert_eq!(ta.user, tt.user);
+            assert_eq!(ta.cells.len(), tt.cells.len());
+            for (&z, &s) in ta.cells.iter().zip(&tt.cells) {
+                assert!(index.policy().same_component(s, z));
+            }
+        }
+    }
 
     #[test]
     fn workloads_are_deterministic() {

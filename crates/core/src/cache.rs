@@ -1,0 +1,230 @@
+//! A weight-aware LRU cache (the [`crate::PolicyIndex`] distribution-cache
+//! backend).
+//!
+//! Entries carry an explicit *weight* (for sampling tables: the support
+//! size), and the cache evicts least-recently-used entries until the total
+//! weight fits the capacity — strictly better than the previous
+//! serve-without-retain policy, which froze the cache at whatever filled it
+//! first and rebuilt everything else forever.
+//!
+//! O(1) `get`/`insert` via a slab-backed doubly-linked recency list.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel for "no slot".
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    weight: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// A weighted LRU cache. Not thread-safe by itself; callers wrap it in a
+/// lock (reads promote recency, so even lookups mutate).
+#[derive(Debug)]
+pub(crate) struct WeightedLru<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    /// Most-recently-used slot.
+    head: usize,
+    /// Least-recently-used slot.
+    tail: usize,
+    weight: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
+    /// An empty cache with the given total-weight capacity.
+    pub(crate) fn new(capacity: usize) -> Self {
+        WeightedLru {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            weight: 0,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total weight of cached entries.
+    pub(crate) fn weight(&self) -> usize {
+        self.weight
+    }
+
+    /// Detaches `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Pushes `slot` to the front (most-recently-used).
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub(crate) fn get(&mut self, key: &K) -> Option<V> {
+        let slot = *self.map.get(key)?;
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+        Some(self.slots[slot].value.clone())
+    }
+
+    /// Evicts least-recently-used entries until `extra` additional weight
+    /// fits the capacity.
+    fn make_room(&mut self, extra: usize) {
+        while self.weight + extra > self.capacity && self.tail != NIL {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.weight -= self.slots[victim].weight;
+            self.free.push(victim);
+        }
+    }
+
+    /// Inserts `key → value` with the given weight, evicting LRU entries to
+    /// make room. An entry heavier than the whole capacity is not retained
+    /// (serving it is the caller's business); an existing entry under the
+    /// same key is replaced.
+    pub(crate) fn insert(&mut self, key: K, value: V, weight: usize) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.unlink(slot);
+            self.map.remove(&self.slots[slot].key);
+            self.weight -= self.slots[slot].weight;
+            self.free.push(slot);
+        }
+        if weight > self.capacity {
+            return;
+        }
+        self.make_room(weight);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Slot {
+                    key: key.clone(),
+                    value,
+                    weight,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    weight,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.weight += weight;
+        self.push_front(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_weight_accounting() {
+        let mut lru: WeightedLru<u32, &str> = WeightedLru::new(10);
+        lru.insert(1, "a", 4);
+        lru.insert(2, "b", 4);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.weight(), 8);
+        assert_eq!(lru.get(&1), Some("a"));
+        assert_eq!(lru.get(&3), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut lru: WeightedLru<u32, u32> = WeightedLru::new(10);
+        lru.insert(1, 10, 4);
+        lru.insert(2, 20, 4);
+        // Touch 1 so 2 becomes LRU, then overflow.
+        assert_eq!(lru.get(&1), Some(10));
+        lru.insert(3, 30, 4);
+        assert_eq!(lru.get(&2), None, "2 was LRU and must be evicted");
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        assert_eq!(lru.weight(), 8);
+    }
+
+    #[test]
+    fn heavy_entry_evicts_many() {
+        let mut lru: WeightedLru<u32, u32> = WeightedLru::new(10);
+        for k in 0..5 {
+            lru.insert(k, k, 2);
+        }
+        lru.insert(9, 9, 9);
+        assert_eq!(lru.get(&9), Some(9));
+        assert_eq!(lru.len(), 1, "the 9-weight entry displaces four 2s");
+        assert_eq!(lru.weight(), 9);
+    }
+
+    #[test]
+    fn oversized_entry_not_retained() {
+        let mut lru: WeightedLru<u32, u32> = WeightedLru::new(10);
+        lru.insert(1, 1, 2);
+        lru.insert(2, 2, 11);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(1), "existing entries survive");
+    }
+
+    #[test]
+    fn replacing_a_key_updates_weight() {
+        let mut lru: WeightedLru<u32, u32> = WeightedLru::new(10);
+        lru.insert(1, 1, 8);
+        lru.insert(1, 2, 3);
+        assert_eq!(lru.get(&1), Some(2));
+        assert_eq!(lru.weight(), 3);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut lru: WeightedLru<u32, u32> = WeightedLru::new(4);
+        for k in 0..100 {
+            lru.insert(k, k, 2);
+        }
+        assert_eq!(lru.len(), 2);
+        assert!(lru.slots.len() <= 3, "slab must recycle evicted slots");
+        assert_eq!(lru.get(&99), Some(99));
+        assert_eq!(lru.get(&98), Some(98));
+    }
+}

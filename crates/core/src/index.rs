@@ -1,26 +1,32 @@
 //! [`PolicyIndex`]: the precomputed fast path for bulk location release.
 //!
 //! Every PGLP mechanism (§3.1) samples from a distribution shaped by the
-//! policy-graph distances `d_G(s, ·)`. The [`crate::policy`] layer already
-//! tabulates those distances at construction; this module adds the second
-//! cache level — **per-`(mechanism, ε, cell)` output distributions compiled
-//! into cumulative sampling tables** — so releasing a whole trajectory costs
-//! one table build per distinct `(mechanism, ε, cell)` and then O(log k)
-//! per report.
+//! policy-graph distances `d_G(s, ·)`. The [`crate::policy`] layer
+//! tabulates those distances (lazily per component); this module adds the
+//! second cache level — **per-`(mechanism, ε, cell)` output distributions
+//! compiled into sampling tables** — so releasing a whole trajectory costs
+//! one table build per distinct `(mechanism, ε, cell)` and then O(1)–O(log
+//! k) per report. Small supports use a cumulative table (inverse-CDF binary
+//! search); supports of at least [`SamplingTable::ALIAS_THRESHOLD`] cells
+//! are compiled into a Vose **alias table** for O(1) draws.
 //!
-//! A [`PolicyIndex`] wraps one policy. Servers and clients build it once per
-//! policy assignment and feed it to
-//! [`Mechanism::perturb_batch`](crate::mech::Mechanism::perturb_batch);
-//! experiment harnesses build one per swept policy. The cache is
-//! thread-safe (`parking_lot::RwLock`), so one index can serve concurrent
-//! report streams.
+//! A [`PolicyIndex`] wraps one policy and owns *all* per-policy mechanism
+//! state: the distribution cache (proper LRU eviction under a total-entry
+//! budget), per-component calibration lengths (Laplace-style mechanisms),
+//! and per-component prepared sensitivity hulls (the Planar Isotropic
+//! Mechanism). Servers and clients build it once per policy assignment and
+//! feed it to [`Mechanism::perturb_batch`](crate::mech::Mechanism::perturb_batch);
+//! experiment harnesses build one per swept policy. All caches are
+//! thread-safe, so one index can serve concurrent report streams — this is
+//! what [`crate::release::ParallelReleaser`] relies on.
 
+use crate::cache::WeightedLru;
+use crate::mech::pim::PreparedHull;
 use crate::policy::LocationPolicyGraph;
 use panda_geo::CellId;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use rand::RngCore;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Cache key: mechanism identity × ε (by bit pattern) × true location.
@@ -31,25 +37,53 @@ struct DistKey {
     cell: CellId,
 }
 
-/// A closed-form output distribution compiled for O(log k) inverse-CDF
-/// sampling.
+/// Sampling backend, chosen by support size.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// `cum[i]` = Σ probabilities up to and including cell `i`;
+    /// `cum.last() == total`. O(log k) inverse-CDF draws.
+    Cumulative { cum: Vec<f64>, total: f64 },
+    /// Vose alias table: O(1) draws. `prob[i]` is the probability of
+    /// staying in bucket `i` (scaled to [0, 1]); otherwise the draw is
+    /// redirected to `alias[i]`.
+    Alias { prob: Vec<f64>, alias: Vec<u32> },
+}
+
+/// A closed-form output distribution compiled for fast sampling.
 #[derive(Debug, Clone)]
 pub struct SamplingTable {
     cells: Vec<CellId>,
-    /// `cum[i]` = Σ probabilities up to and including cell `i`;
-    /// `cum.last() == total`.
-    cum: Vec<f64>,
-    total: f64,
+    backend: Backend,
 }
 
 impl SamplingTable {
-    /// Compiles `(cell, weight)` pairs into a cumulative table. Weights need
-    /// not be normalised; they must be non-negative with a positive sum.
+    /// Support size from which [`SamplingTable::from_weights`] compiles an
+    /// alias table instead of a cumulative table. Below it, the O(log k)
+    /// binary search wins on cache locality and build cost; at and above
+    /// it, O(1) alias draws win (see `benches/release_engine.rs`).
+    pub const ALIAS_THRESHOLD: usize = 1024;
+
+    /// Compiles `(cell, weight)` pairs into a sampling table, selecting the
+    /// backend automatically by support size. Weights need not be
+    /// normalised; they must be non-negative with a positive sum.
     ///
     /// # Panics
     ///
     /// Panics on an empty distribution or a non-positive total weight.
     pub fn from_weights(dist: Vec<(CellId, f64)>) -> Self {
+        if dist.len() >= Self::ALIAS_THRESHOLD {
+            Self::alias(dist)
+        } else {
+            Self::cumulative(dist)
+        }
+    }
+
+    /// Compiles an inverse-CDF cumulative table (O(log k) draws).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SamplingTable::from_weights`].
+    pub fn cumulative(dist: Vec<(CellId, f64)>) -> Self {
         assert!(!dist.is_empty(), "sampling table needs support");
         let mut cells = Vec::with_capacity(dist.len());
         let mut cum = Vec::with_capacity(dist.len());
@@ -64,7 +98,63 @@ impl SamplingTable {
             total > 0.0 && total.is_finite(),
             "sampling table total weight must be positive"
         );
-        SamplingTable { cells, cum, total }
+        SamplingTable {
+            cells,
+            backend: Backend::Cumulative { cum, total },
+        }
+    }
+
+    /// Compiles a Vose alias table (O(1) draws).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SamplingTable::from_weights`].
+    pub fn alias(dist: Vec<(CellId, f64)>) -> Self {
+        assert!(!dist.is_empty(), "sampling table needs support");
+        let n = dist.len();
+        let mut cells = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for &(c, w) in &dist {
+            debug_assert!(w >= 0.0 && w.is_finite(), "bad weight {w} for {c}");
+            total += w;
+            cells.push(c);
+        }
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "sampling table total weight must be positive"
+        );
+        // Vose's method: scale weights to mean 1 (bucket capacity), then
+        // pair each under-full bucket with an over-full donor.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = dist.iter().map(|&(_, w)| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l as u32;
+            // The donor gives (1 − prob[s]) of its mass to bucket s.
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Residuals (FP rounding): remaining buckets keep their own mass.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        SamplingTable {
+            cells,
+            backend: Backend::Alias { prob, alias },
+        }
     }
 
     /// Support cells, in table order.
@@ -72,50 +162,84 @@ impl SamplingTable {
         &self.cells
     }
 
-    /// Normalised probability of each support cell, in table order.
-    pub fn probabilities(&self) -> Vec<f64> {
-        let mut prev = 0.0;
-        self.cum
-            .iter()
-            .map(|&c| {
-                let p = (c - prev) / self.total;
-                prev = c;
-                p
-            })
-            .collect()
+    /// `true` when this table uses the O(1) alias backend.
+    pub fn is_alias(&self) -> bool {
+        matches!(self.backend, Backend::Alias { .. })
     }
 
-    /// Draws one cell by inverse-CDF binary search: O(log k), no allocation.
+    /// Normalised probability of each support cell, in table order. Exact
+    /// for both backends (the alias construction is mass-preserving, so the
+    /// original distribution is recoverable from the buckets).
+    pub fn probabilities(&self) -> Vec<f64> {
+        match &self.backend {
+            Backend::Cumulative { cum, total } => {
+                let mut prev = 0.0;
+                cum.iter()
+                    .map(|&c| {
+                        let p = (c - prev) / total;
+                        prev = c;
+                        p
+                    })
+                    .collect()
+            }
+            Backend::Alias { prob, alias } => {
+                // p[i] = (own mass + mass donated into other buckets) / n.
+                let n = prob.len() as f64;
+                let mut p: Vec<f64> = prob.iter().map(|&q| q / n).collect();
+                for (i, &a) in alias.iter().enumerate() {
+                    if a as usize != i {
+                        p[a as usize] += (1.0 - prob[i]) / n;
+                    }
+                }
+                p
+            }
+        }
+    }
+
+    /// Draws one cell. O(log k) for the cumulative backend, O(1) for the
+    /// alias backend; no allocation either way.
     pub fn sample(&self, rng: &mut dyn RngCore) -> CellId {
-        let u = rng.gen_range(0.0..self.total);
-        let i = self.cum.partition_point(|&c| c <= u);
-        // partition_point can land one past the end on FP edge cases.
-        self.cells[i.min(self.cells.len() - 1)]
+        match &self.backend {
+            Backend::Cumulative { cum, total } => {
+                let u = rng.gen_range(0.0..*total);
+                let i = cum.partition_point(|&c| c <= u);
+                // partition_point can land one past the end on FP edge cases.
+                self.cells[i.min(self.cells.len() - 1)]
+            }
+            Backend::Alias { prob, alias } => {
+                let i = rng.gen_range(0..self.cells.len());
+                if rng.gen::<f64>() < prob[i] {
+                    self.cells[i]
+                } else {
+                    self.cells[alias[i] as usize]
+                }
+            }
+        }
     }
 }
 
 /// Precomputed sampling state for one policy: distance tables (shared with
-/// the policy), interned component slices, cached per-`(mechanism, ε, cell)`
-/// sampling tables, and cached per-component calibration lengths.
+/// the policy), interned component slices, an LRU cache of
+/// per-`(mechanism, ε, cell)` sampling tables, per-component calibration
+/// lengths, and per-component prepared PIM sensitivity hulls.
 #[derive(Debug)]
 pub struct PolicyIndex {
     policy: LocationPolicyGraph,
-    distributions: RwLock<HashMap<DistKey, Arc<SamplingTable>>>,
-    /// Total entries retained across all cached tables (cap enforcement).
-    cached_entries: std::sync::atomic::AtomicUsize,
-    /// Retention cap for the distribution cache, in table entries.
-    max_cached_entries: usize,
+    distributions: Mutex<WeightedLru<DistKey, Arc<SamplingTable>>>,
     /// `calibrations[component]`: `None` = not yet computed,
     /// `Some(None)` = singleton component (exact release),
     /// `Some(Some(len))` = longest policy edge in the component.
     calibrations: RwLock<Vec<Option<Option<f64>>>>,
+    /// Per-component prepared PIM hulls, one slot per sampling path
+    /// (`[direct, isotropic-transform]`), filled on first use.
+    pim_hulls: [RwLock<Vec<Option<Arc<PreparedHull>>>>; 2],
 }
 
 impl PolicyIndex {
     /// Indexes a policy with the default cache budget
     /// ([`PolicyIndex::MAX_CACHED_ENTRIES`]). The distance tables are shared
-    /// with `policy` (they were computed at its construction); only the
-    /// distribution cache is new, and it fills lazily as mechanisms run.
+    /// with `policy`; the distribution/calibration/hull caches fill lazily
+    /// as mechanisms run.
     pub fn new(policy: LocationPolicyGraph) -> Self {
         Self::with_cache_capacity(policy, Self::MAX_CACHED_ENTRIES)
     }
@@ -126,10 +250,12 @@ impl PolicyIndex {
         let n_components = policy.n_components() as usize;
         PolicyIndex {
             policy,
-            distributions: RwLock::new(HashMap::new()),
-            cached_entries: std::sync::atomic::AtomicUsize::new(0),
-            max_cached_entries,
+            distributions: Mutex::new(WeightedLru::new(max_cached_entries)),
             calibrations: RwLock::new(vec![None; n_components]),
+            pim_hulls: [
+                RwLock::new(vec![None; n_components]),
+                RwLock::new(vec![None; n_components]),
+            ],
         }
     }
 
@@ -154,13 +280,15 @@ impl PolicyIndex {
 
     /// Default retention cap for the distribution cache, in table *entries*
     /// (Σ support sizes) — the same quadratic-memory guard the distance
-    /// tables have. Past the cap, tables are still built and returned but
-    /// no longer retained.
+    /// tables have. Past the cap, the least-recently-used tables are
+    /// evicted (tables heavier than the whole cap are served without
+    /// retention).
     pub const MAX_CACHED_ENTRIES: usize = 1 << 24;
 
     /// The cached sampling table for `(mech, eps, cell)`, building it with
-    /// `build` on first use. `build` receives the indexed policy and returns
-    /// the mechanism's closed-form output weights over the support.
+    /// `build` on first use (and after eviction). `build` receives the
+    /// indexed policy and returns the mechanism's closed-form output
+    /// weights over the support.
     pub fn distribution(
         &self,
         mech: &'static str,
@@ -173,27 +301,16 @@ impl PolicyIndex {
             eps_bits: eps.to_bits(),
             cell,
         };
-        if let Some(table) = self.distributions.read().get(&key) {
-            return Arc::clone(table);
-        }
-        let table = Arc::new(SamplingTable::from_weights(build(&self.policy)));
-        let mut cache = self.distributions.write();
-        if self
-            .cached_entries
-            .load(std::sync::atomic::Ordering::Relaxed)
-            + table.cells().len()
-            > self.max_cached_entries
-        {
-            // Cache full: serve the table without retaining it, bounding
-            // memory for huge components or unbounded (ε, cell) churn.
+        if let Some(table) = self.distributions.lock().get(&key) {
             return table;
         }
-        let entry = cache.entry(key).or_insert_with(|| {
-            self.cached_entries
-                .fetch_add(table.cells().len(), std::sync::atomic::Ordering::Relaxed);
-            table
-        });
-        Arc::clone(entry)
+        // Built outside the lock: concurrent misses on the same key may
+        // build twice, but never block each other on the build.
+        let table = Arc::new(SamplingTable::from_weights(build(&self.policy)));
+        self.distributions
+            .lock()
+            .insert(key, Arc::clone(&table), table.cells().len());
+        table
     }
 
     /// Cached calibration length of the component of `cell`: the longest
@@ -209,9 +326,49 @@ impl PolicyIndex {
         computed
     }
 
+    /// The cached prepared PIM hull for the component of `cell`, building
+    /// it with `build` on first use. `isotropic` selects the sampling path
+    /// the hull was prepared for (the two paths cache independently).
+    pub(crate) fn pim_hull(
+        &self,
+        cell: CellId,
+        isotropic: bool,
+        build: impl FnOnce(&LocationPolicyGraph) -> PreparedHull,
+    ) -> Arc<PreparedHull> {
+        let comp = self.policy.component_of(cell) as usize;
+        let slot = &self.pim_hulls[usize::from(isotropic)];
+        if let Some(hull) = &slot.read()[comp] {
+            return Arc::clone(hull);
+        }
+        let built = Arc::new(build(&self.policy));
+        let mut w = slot.write();
+        match &w[comp] {
+            // Another thread won the build race; keep its hull.
+            Some(hull) => Arc::clone(hull),
+            None => {
+                w[comp] = Some(Arc::clone(&built));
+                built
+            }
+        }
+    }
+
     /// Number of distribution tables currently cached (diagnostics).
     pub fn n_cached_distributions(&self) -> usize {
-        self.distributions.read().len()
+        self.distributions.lock().len()
+    }
+
+    /// Total entries across currently cached tables (diagnostics).
+    pub fn cached_entry_weight(&self) -> usize {
+        self.distributions.lock().weight()
+    }
+
+    /// Number of prepared PIM hulls currently cached, across both sampling
+    /// paths (diagnostics).
+    pub fn n_cached_pim_hulls(&self) -> usize {
+        self.pim_hulls
+            .iter()
+            .map(|s| s.read().iter().flatten().count())
+            .sum()
     }
 }
 
@@ -250,6 +407,7 @@ mod tests {
     fn sampling_table_matches_probabilities() {
         let table =
             SamplingTable::from_weights(vec![(CellId(0), 1.0), (CellId(1), 3.0), (CellId(2), 6.0)]);
+        assert!(!table.is_alias(), "3-cell support stays cumulative");
         let probs = table.probabilities();
         assert!((probs[0] - 0.1).abs() < 1e-12);
         assert!((probs[1] - 0.3).abs() < 1e-12);
@@ -265,6 +423,76 @@ mod tests {
             let freq = counts[i] as f64 / N as f64;
             assert!((freq - expect).abs() < 0.01, "cell {i}: {freq} vs {expect}");
         }
+    }
+
+    #[test]
+    fn alias_table_reconstructs_exact_probabilities() {
+        // Deterministic skewed weights over a mid-size support.
+        let dist: Vec<(CellId, f64)> = (0..300)
+            .map(|i| (CellId(i), 1.0 + f64::from(i % 17)))
+            .collect();
+        let total: f64 = dist.iter().map(|&(_, w)| w).sum();
+        let expect: Vec<f64> = dist.iter().map(|&(_, w)| w / total).collect();
+        let alias = SamplingTable::alias(dist.clone());
+        assert!(alias.is_alias());
+        let cumulative = SamplingTable::cumulative(dist);
+        for ((pa, pc), pe) in alias
+            .probabilities()
+            .iter()
+            .zip(cumulative.probabilities())
+            .zip(expect)
+        {
+            assert!((pa - pe).abs() < 1e-12, "alias {pa} vs exact {pe}");
+            assert!((pc - pe).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn alias_draws_match_cumulative_draws_chi_square() {
+        // Same weights through both backends; a chi-square test on the
+        // alias sample counts against the exact probabilities.
+        let dist: Vec<(CellId, f64)> = (0..64)
+            .map(|i| (CellId(i), (f64::from(i) / 9.0).exp()))
+            .collect();
+        let alias = SamplingTable::alias(dist.clone());
+        let cumulative = SamplingTable::cumulative(dist);
+        let probs = cumulative.probabilities();
+        const N: usize = 200_000;
+        let census = |table: &SamplingTable, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut counts = vec![0usize; 64];
+            for _ in 0..N {
+                counts[table.sample(&mut rng).index()] += 1;
+            }
+            counts
+        };
+        for (label, counts) in [
+            ("alias", census(&alias, 7)),
+            ("cumulative", census(&cumulative, 8)),
+        ] {
+            let chi2: f64 = counts
+                .iter()
+                .zip(&probs)
+                .map(|(&n, &p)| {
+                    let e = p * N as f64;
+                    (n as f64 - e).powi(2) / e
+                })
+                .sum();
+            // 63 degrees of freedom: the 99.9% critical value is ≈ 103.4.
+            assert!(chi2 < 103.4, "{label}: chi-square {chi2} too large");
+        }
+    }
+
+    #[test]
+    fn automatic_backend_selection_by_support_size() {
+        let big: Vec<(CellId, f64)> = (0..SamplingTable::ALIAS_THRESHOLD as u32)
+            .map(|i| (CellId(i), 1.0))
+            .collect();
+        assert!(SamplingTable::from_weights(big).is_alias());
+        let small: Vec<(CellId, f64)> = (0..SamplingTable::ALIAS_THRESHOLD as u32 - 1)
+            .map(|i| (CellId(i), 1.0))
+            .collect();
+        assert!(!SamplingTable::from_weights(small).is_alias());
     }
 
     #[test]
@@ -288,6 +516,7 @@ mod tests {
         });
         assert_eq!(builds, 2, "different eps is a different key");
         assert_eq!(index.n_cached_distributions(), 2);
+        assert_eq!(index.cached_entry_weight(), 8);
     }
 
     #[test]
@@ -311,9 +540,10 @@ mod tests {
     }
 
     #[test]
-    fn cache_cap_stops_retention_but_not_service() {
-        // Budget of 5 entries: the first 4-cell table fills it; further
-        // distinct keys are served but not retained.
+    fn cache_cap_evicts_lru_but_still_serves() {
+        // Budget of 5 entries: each 4-cell table fills it; inserting the
+        // next evicts the previous (LRU), and every request is still
+        // served.
         let index = PolicyIndex::with_cache_capacity(policy(), 5);
         for (i, eps) in [0.5, 1.0, 2.0, 4.0].iter().enumerate() {
             let table = index.distribution("gem", *eps, CellId(0), |p| {
@@ -322,16 +552,48 @@ mod tests {
                     .unwrap()
             });
             assert_eq!(table.cells().len(), 4, "table {i} must still be served");
+            assert_eq!(index.n_cached_distributions(), 1);
         }
-        assert_eq!(
-            index.n_cached_distributions(),
-            1,
-            "only the first table fits the 5-entry budget"
-        );
-        // The retained key still hits the cache (no rebuild).
-        index.distribution("gem", 0.5, CellId(0), |_| {
-            panic!("retained table must be served from cache")
+        // The most recent key is retained (no rebuild)...
+        index.distribution("gem", 4.0, CellId(0), |_| {
+            panic!("most-recent table must be served from cache")
         });
+        // ...and the first key was evicted, so it rebuilds.
+        let mut rebuilt = false;
+        index.distribution("gem", 0.5, CellId(0), |p| {
+            rebuilt = true;
+            GraphExponential
+                .output_distribution(p, 0.5, CellId(0))
+                .unwrap()
+        });
+        assert!(rebuilt, "LRU must have evicted the oldest key");
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_tables() {
+        // Capacity for two 4-cell tables. Touch the first before inserting
+        // a third: the *second* must be the victim.
+        let index = PolicyIndex::with_cache_capacity(policy(), 8);
+        let build = |eps: f64| {
+            move |p: &LocationPolicyGraph| {
+                GraphExponential
+                    .output_distribution(p, eps, CellId(0))
+                    .unwrap()
+            }
+        };
+        index.distribution("gem", 1.0, CellId(0), build(1.0));
+        index.distribution("gem", 2.0, CellId(0), build(2.0));
+        index.distribution("gem", 1.0, CellId(0), |_| panic!("hit expected"));
+        index.distribution("gem", 3.0, CellId(0), build(3.0));
+        index.distribution("gem", 1.0, CellId(0), |_| {
+            panic!("recently-used table must survive eviction")
+        });
+        let mut rebuilt = false;
+        index.distribution("gem", 2.0, CellId(0), |p| {
+            rebuilt = true;
+            build(2.0)(p)
+        });
+        assert!(rebuilt, "LRU victim must be the least-recently-used key");
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //!   graph-exponential mechanism, a graph-calibrated planar Laplace, the
 //!   Planar Isotropic Mechanism (K-norm noise over the sensitivity hull) and
 //!   baselines.
-//! * [`index`] — the [`PolicyIndex`] bulk-release fast path: cached
-//!   per-`(mechanism, ε, cell)` sampling tables over the policy's
-//!   precomputed distance tables, consumed by
+//! * [`index`] — the [`PolicyIndex`] bulk-release fast path: LRU-cached
+//!   per-`(mechanism, ε, cell)` sampling tables (alias-compiled for large
+//!   supports) over the policy's lazily-built distance tables, consumed by
 //!   [`Mechanism::perturb_batch`].
+//! * [`release`] — the [`release::ParallelReleaser`]: deterministic
+//!   multi-threaded bulk release over one shared [`PolicyIndex`].
 //! * [`budget`] — policy-aware privacy-budget allocation and sequential
 //!   composition across release epochs.
 //! * [`repair`] — policy feasibility under external constraints and minimal
@@ -32,11 +34,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod budget;
+mod cache;
 pub mod error;
 pub mod index;
 pub mod mech;
 pub mod policy;
 pub mod privacy;
+pub mod release;
 pub mod repair;
 pub mod timeline;
 
@@ -48,3 +52,4 @@ pub use mech::{
 };
 pub use policy::LocationPolicyGraph;
 pub use privacy::{audit_pglp, AuditReport};
+pub use release::ParallelReleaser;

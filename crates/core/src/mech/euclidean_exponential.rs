@@ -125,16 +125,21 @@ impl Mechanism for EuclideanExponential {
         check_epsilon(eps)?;
         let policy = index.policy();
         let mut out = Vec::with_capacity(locs.len());
+        // Batch-local memo: one shared-LRU lock touch per distinct cell.
+        let mut local: std::collections::HashMap<CellId, std::sync::Arc<crate::SamplingTable>> =
+            std::collections::HashMap::new();
         for &s in locs {
             policy.check_cell(s)?;
             let Some(len) = index.calibration_length(s) else {
                 out.push(s); // isolated: exact release
                 continue;
             };
-            let table = index.distribution(self.name(), eps, s, |p| {
-                let (cells, weights) =
-                    Self::weights_with_len(p, eps, s, len).expect("non-isolated");
-                cells.into_iter().zip(weights).collect()
+            let table = local.entry(s).or_insert_with(|| {
+                index.distribution(self.name(), eps, s, |p| {
+                    let (cells, weights) =
+                        Self::weights_with_len(p, eps, s, len).expect("non-isolated");
+                    cells.into_iter().zip(weights).collect()
+                })
             });
             out.push(table.sample(rng));
         }

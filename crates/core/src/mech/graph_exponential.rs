@@ -109,19 +109,27 @@ impl Mechanism for GraphExponential {
         check_epsilon(eps)?;
         let policy = index.policy();
         let mut out = Vec::with_capacity(locs.len());
+        // Batch-local memo: the shared LRU lock is touched once per
+        // distinct cell, not once per report — parallel chunks would
+        // otherwise serialise on it.
+        let mut local: std::collections::HashMap<CellId, std::sync::Arc<crate::SamplingTable>> =
+            std::collections::HashMap::new();
         for &s in locs {
             policy.check_cell(s)?;
             if policy.is_isolated_cell(s) {
                 out.push(s);
                 continue;
             }
-            let table = index.distribution(self.name(), eps, s, |p| {
-                // Unnormalised weights suffice for inverse-CDF sampling; the
-                // max log-weight is 0 (at s itself), so exp() is stable.
-                Self::log_weights(p, eps, s)
-                    .into_iter()
-                    .map(|(c, lw)| (c, lw.exp()))
-                    .collect()
+            let table = local.entry(s).or_insert_with(|| {
+                index.distribution(self.name(), eps, s, |p| {
+                    // Unnormalised weights suffice for inverse-CDF sampling;
+                    // the max log-weight is 0 (at s itself), so exp() is
+                    // stable.
+                    Self::log_weights(p, eps, s)
+                        .into_iter()
+                        .map(|(c, lw)| (c, lw.exp()))
+                        .collect()
+                })
             });
             out.push(table.sample(rng));
         }

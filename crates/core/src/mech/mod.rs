@@ -25,7 +25,7 @@ mod euclidean_exponential;
 mod graph_exponential;
 mod graph_laplace;
 mod noise;
-mod pim;
+pub(crate) mod pim;
 mod planar_laplace;
 
 pub use euclidean_exponential::EuclideanExponential;

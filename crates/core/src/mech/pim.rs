@@ -27,10 +27,15 @@
 //! Hull construction uses `conv(A − A) = conv(conv(A) − conv(A))`: the
 //! position hull is computed first, and the difference set is expanded only
 //! over its (few) vertices, keeping per-component preparation cheap even for
-//! large components. Use [`PlanarIsotropic::prepared`] to amortise
-//! preparation across calls when sweeping a fixed policy.
+//! large components. Prepared hulls are cached **in the
+//! [`PolicyIndex`]** — the one object owning all per-policy mechanism state
+//! — so the bulk path ([`Mechanism::perturb_batch`]) prepares each
+//! component once per index regardless of batch size, and a stale-cache
+//! hazard (a hull prepared for one policy reused under another) is
+//! impossible by construction.
 
-use crate::error::PglpError;
+use crate::error::{check_epsilon, PglpError};
+use crate::index::PolicyIndex;
 use crate::mech::noise::{gamma_int, laplace_1d};
 use crate::mech::{validate, Mechanism};
 use crate::policy::LocationPolicyGraph;
@@ -38,9 +43,9 @@ use panda_geo::polygon::HullShape;
 use panda_geo::{difference_set, CellId, ConvexPolygon, Mat2, Point};
 use rand::RngCore;
 
-/// Per-component prepared K-norm sampler.
+/// Per-component prepared K-norm sampler, cached by [`PolicyIndex`].
 #[derive(Debug, Clone)]
-enum ComponentKind {
+pub(crate) enum PreparedHull {
     /// Singleton component: release exactly.
     Exact,
     /// Collinear positions: 1-D Laplace along `half_extent` (= the hull
@@ -54,23 +59,11 @@ enum ComponentKind {
     },
 }
 
-#[derive(Debug, Clone)]
-struct PimCache {
-    /// The component/distance index of the policy the hulls were prepared
-    /// for. Cache validity is **identity** of the component structure
-    /// (`Arc::ptr_eq`), not just matching counts — two different policies
-    /// can share cell and component counts while their components have
-    /// different shapes, which would silently miscalibrate the noise.
-    prepared_for: std::sync::Arc<panda_graph::distances::ComponentDistances>,
-    /// Indexed by policy component id; `None` until that component is used.
-    per_component: Vec<ComponentKind>,
-}
-
-/// Planar Isotropic Mechanism over policy components.
-#[derive(Debug, Clone, Default)]
+/// Planar Isotropic Mechanism over policy components. Stateless — all
+/// per-policy preparation lives in the [`PolicyIndex`].
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PlanarIsotropic {
     use_isotropic_transform: bool,
-    cache: Option<PimCache>,
 }
 
 impl PlanarIsotropic {
@@ -78,7 +71,6 @@ impl PlanarIsotropic {
     pub fn new() -> Self {
         PlanarIsotropic {
             use_isotropic_transform: false,
-            cache: None,
         }
     }
 
@@ -88,49 +80,34 @@ impl PlanarIsotropic {
     pub fn with_isotropic_transform() -> Self {
         PlanarIsotropic {
             use_isotropic_transform: true,
-            cache: None,
         }
     }
 
-    /// Precomputes the sensitivity hull of **every** component of `policy`,
-    /// so subsequent [`Mechanism::perturb`] calls are O(sample + snap).
-    ///
-    /// The returned mechanism is bound to the given policy's component
-    /// structure (shared with clones of that policy); feeding it any other
-    /// policy is detected and falls back to on-the-fly preparation.
-    pub fn prepared(policy: &LocationPolicyGraph, use_isotropic_transform: bool) -> Self {
-        let n_components = policy.n_components();
-        let mut per_component: Vec<Option<ComponentKind>> = vec![None; n_components as usize];
+    /// Pre-warms the index's hull cache for **every** component of its
+    /// policy, so subsequent [`Mechanism::perturb_batch`] calls are
+    /// O(sample + snap) from the first report on.
+    pub fn prepare_all(&self, index: &PolicyIndex) {
+        let policy = index.policy();
         for cell in policy.grid().cells() {
-            let comp = policy.component_of(cell) as usize;
-            if per_component[comp].is_none() {
-                per_component[comp] = Some(Self::prepare_component(
-                    policy,
-                    cell,
-                    use_isotropic_transform,
-                ));
-            }
+            self.hull_of(index, cell);
         }
-        PlanarIsotropic {
-            use_isotropic_transform,
-            cache: Some(PimCache {
-                prepared_for: std::sync::Arc::clone(policy.distance_index()),
-                per_component: per_component
-                    .into_iter()
-                    .map(|c| c.expect("all components visited"))
-                    .collect(),
-            }),
-        }
+    }
+
+    /// The cached prepared hull of the component of `cell`.
+    fn hull_of(&self, index: &PolicyIndex, cell: CellId) -> std::sync::Arc<PreparedHull> {
+        index.pim_hull(cell, self.use_isotropic_transform, |policy| {
+            Self::prepare_component(policy, cell, self.use_isotropic_transform)
+        })
     }
 
     fn prepare_component(
         policy: &LocationPolicyGraph,
         member: CellId,
         use_isotropic_transform: bool,
-    ) -> ComponentKind {
+    ) -> PreparedHull {
         let cells = policy.component_slice(member);
         if cells.len() <= 1 {
-            return ComponentKind::Exact;
+            return PreparedHull::Exact;
         }
         let grid = policy.grid();
         let positions: Vec<Point> = cells.iter().map(|&c| grid.center(c)).collect();
@@ -141,11 +118,11 @@ impl PlanarIsotropic {
             HullShape::Polygon(p) => p.vertices().to_vec(),
         };
         match ConvexPolygon::hull_of(&difference_set(&position_hull)) {
-            HullShape::Point(_) => ComponentKind::Exact,
+            HullShape::Point(_) => PreparedHull::Exact,
             HullShape::Segment(a, b) => {
                 // Symmetric segment [−e, e]; pick the positive endpoint.
                 debug_assert!((a + b).norm() < 1e-6 * (1.0 + a.norm()));
-                ComponentKind::Line { half_extent: b }
+                PreparedHull::Line { half_extent: b }
             }
             HullShape::Polygon(k) => {
                 let iso = if use_isotropic_transform {
@@ -158,21 +135,21 @@ impl PlanarIsotropic {
                 } else {
                     None
                 };
-                ComponentKind::Hull { k, iso }
+                PreparedHull::Hull { k, iso }
             }
         }
     }
 
     /// Samples a K-norm noise vector with parameter `eps` for the prepared
     /// component.
-    fn sample_noise(kind: &ComponentKind, eps: f64, rng: &mut dyn RngCore) -> Point {
+    fn sample_noise(kind: &PreparedHull, eps: f64, rng: &mut dyn RngCore) -> Point {
         match kind {
-            ComponentKind::Exact => Point::ORIGIN,
-            ComponentKind::Line { half_extent } => {
+            PreparedHull::Exact => Point::ORIGIN,
+            PreparedHull::Line { half_extent } => {
                 // Density ∝ e^{−ε|t|} along the segment direction.
                 *half_extent * laplace_1d(rng, 1.0 / eps)
             }
-            ComponentKind::Hull { k, iso } => {
+            PreparedHull::Hull { k, iso } => {
                 let r = gamma_int(rng, 3, 1.0 / eps);
                 match iso {
                     // Whitened path: sample in T(K), map back through T⁻¹.
@@ -203,13 +180,21 @@ impl PlanarIsotropic {
         best
     }
 
-    fn component_kind(&self, policy: &LocationPolicyGraph, true_loc: CellId) -> ComponentKind {
-        if let Some(cache) = &self.cache {
-            if std::sync::Arc::ptr_eq(&cache.prepared_for, policy.distance_index()) {
-                return cache.per_component[policy.component_of(true_loc) as usize].clone();
-            }
+    /// One release through a prepared hull.
+    fn release_with(
+        kind: &PreparedHull,
+        policy: &LocationPolicyGraph,
+        eps: f64,
+        true_loc: CellId,
+        rng: &mut dyn RngCore,
+    ) -> CellId {
+        if matches!(kind, PreparedHull::Exact) {
+            return true_loc;
         }
-        Self::prepare_component(policy, true_loc, self.use_isotropic_transform)
+        let cells = policy.component_slice(true_loc);
+        let noise = Self::sample_noise(kind, eps, rng);
+        let y = policy.grid().center(true_loc) + noise;
+        Self::snap(policy, cells, y)
     }
 }
 
@@ -230,14 +215,26 @@ impl Mechanism for PlanarIsotropic {
         rng: &mut dyn RngCore,
     ) -> Result<CellId, PglpError> {
         validate(policy, eps, true_loc)?;
-        let kind = self.component_kind(policy, true_loc);
-        if matches!(kind, ComponentKind::Exact) {
-            return Ok(true_loc);
+        let kind = Self::prepare_component(policy, true_loc, self.use_isotropic_transform);
+        Ok(Self::release_with(&kind, policy, eps, true_loc, rng))
+    }
+
+    fn perturb_batch(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<CellId>, PglpError> {
+        check_epsilon(eps)?;
+        let policy = index.policy();
+        let mut out = Vec::with_capacity(locs.len());
+        for &s in locs {
+            policy.check_cell(s)?;
+            let kind = self.hull_of(index, s);
+            out.push(Self::release_with(&kind, policy, eps, s, rng));
         }
-        let cells = policy.component_slice(true_loc);
-        let noise = Self::sample_noise(&kind, eps, rng);
-        let y = policy.grid().center(true_loc) + noise;
-        Ok(Self::snap(policy, cells, y))
+        Ok(out)
     }
 }
 
@@ -291,65 +288,84 @@ mod tests {
     }
 
     #[test]
-    fn prepared_cache_rejects_different_policy_with_matching_counts() {
-        // Two policies over a 6×1 grid, both with 6 cells and 4 components,
-        // but different component shapes: A connects {0,1,2}, B connects
-        // {3,4,5}. A count-based validity check confuses them; the identity
-        // check must fall back to fresh preparation for B.
+    fn index_hull_cache_fills_lazily_and_per_policy() {
+        // Two policies over a 6×1 grid with matching cell/component counts
+        // but different component shapes. Each index owns its own hulls, so
+        // the PR-1 stale-cache hazard (a prepared hull applied to the wrong
+        // policy) cannot arise.
         let g = GridMap::new(6, 1, 100.0);
         let a = LocationPolicyGraph::isolated(g.clone())
             .with_edges(&[(CellId(0), CellId(1)), (CellId(1), CellId(2))]);
         let b = LocationPolicyGraph::isolated(g.clone())
             .with_edges(&[(CellId(3), CellId(4)), (CellId(4), CellId(5))]);
         assert_eq!(a.n_components(), b.n_components());
-        assert_eq!(a.n_locations(), b.n_locations());
+        let (ia, ib) = (PolicyIndex::new(a), PolicyIndex::new(b));
+        assert_eq!(ia.n_cached_pim_hulls(), 0, "hulls must build lazily");
 
-        let pim = PlanarIsotropic::prepared(&a, false);
-        // Under A's stale cache, cell 3 looked isolated (exact release);
-        // under B it sits in a 3-cell line and must receive noise.
+        let pim = PlanarIsotropic::new();
         let mut rng = SmallRng::seed_from_u64(10);
+        // Cell 3 is isolated under A (exact), in a 3-cell line under B.
+        for _ in 0..200 {
+            assert_eq!(
+                pim.perturb_batch(&ia, 0.5, &[CellId(3)], &mut rng).unwrap()[0],
+                CellId(3)
+            );
+        }
         let mut seen = std::collections::HashSet::new();
         for _ in 0..500 {
-            let z = pim.perturb(&b, 0.5, CellId(3), &mut rng).unwrap();
-            assert!(b.same_component(CellId(3), z));
+            let z = pim.perturb_batch(&ib, 0.5, &[CellId(3)], &mut rng).unwrap()[0];
+            assert!(ib.policy().same_component(CellId(3), z));
             seen.insert(z);
         }
-        assert!(
-            seen.len() >= 2,
-            "stale hull cache: cell 3 released exactly under policy B"
-        );
-        // Clones of A share its component index: the cache stays valid.
-        let a2 = a.clone();
+        assert!(seen.len() >= 2, "cell 3 must receive noise under B");
+        // Only the touched components were prepared.
+        assert_eq!(ia.n_cached_pim_hulls(), 1);
+        assert_eq!(ib.n_cached_pim_hulls(), 1);
+    }
+
+    #[test]
+    fn prepare_all_warms_every_component() {
+        let p = LocationPolicyGraph::partition(grid(), 2, 2);
+        let index = PolicyIndex::new(p);
+        PlanarIsotropic::new().prepare_all(&index);
         assert_eq!(
-            pim.perturb(&a2, 0.5, CellId(5), &mut rng).unwrap(),
-            CellId(5),
-            "cell 5 is isolated in A; prepared cache must apply to clones"
+            index.n_cached_pim_hulls(),
+            index.policy().n_components() as usize
         );
     }
 
     #[test]
-    fn prepared_matches_unprepared_distribution() {
+    fn indexed_batch_matches_percall_distribution() {
         let p = LocationPolicyGraph::partition(grid(), 2, 2);
+        let index = PolicyIndex::new(p.clone());
         let eps = 1.0;
         let s = CellId(0);
         const N: usize = 60_000;
-        let census = |mech: &PlanarIsotropic, seed: u64| {
-            let mut rng = SmallRng::seed_from_u64(seed);
+        let pim = PlanarIsotropic::new();
+        let percall = {
+            let mut rng = SmallRng::seed_from_u64(4);
             let mut counts = std::collections::HashMap::new();
             for _ in 0..N {
-                let z = mech.perturb(&p, eps, s, &mut rng).unwrap();
+                let z = pim.perturb(&p, eps, s, &mut rng).unwrap();
                 *counts.entry(z).or_insert(0usize) += 1;
             }
             counts
         };
-        let fresh = census(&PlanarIsotropic::new(), 4);
-        let prepped = census(&PlanarIsotropic::prepared(&p, false), 5);
-        for (cell, &n1) in &fresh {
-            let n2 = *prepped.get(cell).unwrap_or(&0);
+        let batched = {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let locs = vec![s; N];
+            let mut counts = std::collections::HashMap::new();
+            for z in pim.perturb_batch(&index, eps, &locs, &mut rng).unwrap() {
+                *counts.entry(z).or_insert(0usize) += 1;
+            }
+            counts
+        };
+        for (cell, &n1) in &percall {
+            let n2 = *batched.get(cell).unwrap_or(&0);
             let (f1, f2) = (n1 as f64 / N as f64, n2 as f64 / N as f64);
             assert!(
                 (f1 - f2).abs() < 0.02,
-                "cell {cell}: {f1} vs {f2} (prepared should match)"
+                "cell {cell}: {f1} vs {f2} (indexed batch should match)"
             );
         }
     }
@@ -389,11 +405,13 @@ mod tests {
         let pim = PlanarIsotropic::new();
         let eps = 1.0;
         const N: usize = 400_000;
+        let index = PolicyIndex::new(p.clone());
         let mut rng = SmallRng::seed_from_u64(8);
         let census = |s: CellId, rng: &mut SmallRng| {
             let mut counts = [0usize; 4];
-            for _ in 0..N {
-                counts[pim.perturb(&p, eps, s, rng).unwrap().index()] += 1;
+            let locs = vec![s; N];
+            for z in pim.perturb_batch(&index, eps, &locs, rng).unwrap() {
+                counts[z.index()] += 1;
             }
             counts
         };
@@ -413,16 +431,17 @@ mod tests {
     #[test]
     fn error_decreases_with_epsilon() {
         let p = LocationPolicyGraph::partition(grid(), 3, 3);
-        let pim = PlanarIsotropic::prepared(&p, false);
+        let index = PolicyIndex::new(p.clone());
+        let pim = PlanarIsotropic::new();
         let s = CellId(7);
         let mut rng = SmallRng::seed_from_u64(9);
         let mean_err = |eps: f64, rng: &mut SmallRng| {
             const N: usize = 4000;
-            (0..N)
-                .map(|_| {
-                    let z = pim.perturb(&p, eps, s, rng).unwrap();
-                    p.grid().distance(s, z)
-                })
+            let locs = vec![s; N];
+            pim.perturb_batch(&index, eps, &locs, rng)
+                .unwrap()
+                .into_iter()
+                .map(|z| p.grid().distance(s, z))
                 .sum::<f64>()
                 / N as f64
         };

@@ -29,14 +29,15 @@ pub(crate) fn cells_of_nodes(nodes: &[panda_graph::NodeId]) -> &[CellId] {
 /// Immutable after construction; dynamic policy updates (contact tracing's
 /// `Gc` transforms) build new values via [`LocationPolicyGraph::with_isolated`]
 /// and friends. Connected components — the `∞`-neighbour classes of
-/// Lemma 2.1 — **and their all-pairs distance tables** are precomputed at
-/// construction (see [`panda_graph::distances`]), so `d_G` queries and
-/// component enumeration on the mechanism hot path never run BFS. The
-/// precomputed state is shared through an [`Arc`], keeping `Clone` cheap.
+/// Lemma 2.1 — are interned at construction; their all-pairs distance
+/// tables are built **lazily per component on first `d_G` touch** (see
+/// [`panda_graph::distances`]), so transient one-shot policies skip the
+/// all-pairs BFS entirely while hot-path `d_G` queries stay table lookups
+/// after warm-up. The component/distance state (which also owns the graph)
+/// is shared through an [`Arc`], keeping `Clone` cheap.
 #[derive(Debug, Clone)]
 pub struct LocationPolicyGraph {
     grid: GridMap,
-    graph: Graph,
     dist: Arc<ComponentDistances>,
     name: String,
 }
@@ -53,10 +54,12 @@ impl LocationPolicyGraph {
             grid.n_cells(),
             "policy graph must have one node per grid cell"
         );
-        let dist = Arc::new(ComponentDistances::new(&graph));
+        let dist = Arc::new(ComponentDistances::from_graph(
+            graph,
+            panda_graph::distances::DEFAULT_MAX_TABLE_ENTRIES,
+        ));
         LocationPolicyGraph {
             grid,
-            graph,
             dist,
             name: name.into(),
         }
@@ -162,14 +165,14 @@ impl LocationPolicyGraph {
     /// indistinguishability requirements intact.
     pub fn with_isolated(&self, cells: &[CellId]) -> Self {
         let nodes: Vec<u32> = cells.iter().map(|c| c.0).collect();
-        let g = ops::isolate_nodes(&self.graph, &nodes);
+        let g = ops::isolate_nodes(self.graph(), &nodes);
         Self::from_graph(self.grid.clone(), g, format!("{}+isolated", self.name))
     }
 
     /// Returns a copy with extra indistinguishability edges added.
     pub fn with_edges(&self, extra: &[(CellId, CellId)]) -> Self {
         let pairs: Vec<(u32, u32)> = extra.iter().map(|&(a, b)| (a.0, b.0)).collect();
-        let g = ops::with_edges(&self.graph, &pairs);
+        let g = ops::with_edges(self.graph(), &pairs);
         Self::from_graph(self.grid.clone(), g, format!("{}+edges", self.name))
     }
 
@@ -192,7 +195,7 @@ impl LocationPolicyGraph {
         if self.grid != *other.grid() {
             return Err(PglpError::DomainMismatch);
         }
-        let g = ops::union(&self.graph, other.graph());
+        let g = ops::union(self.graph(), other.graph());
         Ok(Self::from_graph(
             self.grid.clone(),
             g,
@@ -215,7 +218,7 @@ impl LocationPolicyGraph {
             return Err(PglpError::DomainMismatch);
         }
         let mut g = Graph::empty(self.grid.n_cells());
-        for (a, b) in self.graph.edges() {
+        for (a, b) in self.graph().edges() {
             if other.graph().has_edge(a, b) {
                 g.add_edge(a, b);
             }
@@ -235,7 +238,7 @@ impl LocationPolicyGraph {
             && other
                 .graph()
                 .edges()
-                .all(|(a, b)| self.graph.has_edge(a, b))
+                .all(|(a, b)| self.graph().has_edge(a, b))
     }
 
     // ------------------------------------------------------------------
@@ -248,10 +251,11 @@ impl LocationPolicyGraph {
         &self.grid
     }
 
-    /// The underlying indistinguishability graph.
+    /// The underlying indistinguishability graph (owned by the shared
+    /// component/distance index).
     #[inline]
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.dist.graph()
     }
 
     /// Human-readable policy name (used in experiment output).
@@ -266,7 +270,7 @@ impl LocationPolicyGraph {
 
     /// Edge density of the policy graph (the Fig. 5 "Density" readout).
     pub fn density(&self) -> f64 {
-        panda_graph::properties::density(&self.graph)
+        panda_graph::properties::density(self.graph())
     }
 
     // ------------------------------------------------------------------
@@ -283,7 +287,7 @@ impl LocationPolicyGraph {
             DistanceLookup::DifferentComponents => None,
             DistanceLookup::Known(d) => Some(d),
             DistanceLookup::NotIndexed => {
-                let d = bfs::shortest_path_len(&self.graph, a.0, b.0);
+                let d = bfs::shortest_path_len(self.graph(), a.0, b.0);
                 debug_assert_ne!(d, bfs::INFINITE);
                 Some(d)
             }
@@ -292,7 +296,7 @@ impl LocationPolicyGraph {
 
     /// `N^k(s)` (Def. 2.3): all cells within `k` hops of `s`, including `s`.
     pub fn k_neighbors(&self, s: CellId, k: u32) -> Vec<CellId> {
-        bfs::k_neighbors(&self.graph, s.0, k)
+        bfs::k_neighbors(self.graph(), s.0, k)
             .into_iter()
             .map(CellId)
             .collect()
@@ -301,7 +305,7 @@ impl LocationPolicyGraph {
     /// `true` when `{a, b}` is a policy edge (1-neighbours, the pairs bound
     /// by Def. 2.4 directly).
     pub fn are_neighbors(&self, a: CellId, b: CellId) -> bool {
-        self.graph.has_edge(a.0, b.0)
+        self.graph().has_edge(a.0, b.0)
     }
 
     /// `true` when `a` and `b` are `∞`-neighbours (same component).
@@ -342,7 +346,7 @@ impl LocationPolicyGraph {
     /// `true` when the cell is an isolated node — releasable exactly
     /// (Lemma 2.1's extreme case).
     pub fn is_isolated_cell(&self, c: CellId) -> bool {
-        self.graph.is_isolated(c.0)
+        self.graph().is_isolated(c.0)
     }
 
     /// The indistinguishability level Lemma 2.1 requires between `a` and
@@ -365,7 +369,7 @@ impl LocationPolicyGraph {
                 .map(|(&c, &d)| (c, u32::from(d)))
                 .collect(),
             None => {
-                let dist = bfs::bfs_distances(&self.graph, s.0);
+                let dist = bfs::bfs_distances(self.graph(), s.0);
                 dist.into_iter()
                     .enumerate()
                     .filter(|&(_, d)| d != bfs::INFINITE)

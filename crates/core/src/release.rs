@@ -1,0 +1,275 @@
+//! [`ParallelReleaser`]: deterministic multi-threaded bulk release.
+//!
+//! The PR-1 batch path ([`Mechanism::perturb_batch`]) amortises policy-graph
+//! work through the [`PolicyIndex`] but still runs on one thread. This
+//! module partitions a report batch into **fixed-size chunks** and fans the
+//! chunks out over a crossbeam scoped-thread pool, with each chunk's RNG
+//! stream split deterministically from one seed:
+//!
+//! * the chunk grid depends only on the batch length and
+//!   [`ParallelReleaser::chunk_size`] — *never* on the thread count — so a
+//!   fixed seed yields **bit-identical output on 1 thread or 64**;
+//! * every chunk seeds its own `StdRng` via a SplitMix64-style mix of
+//!   `(seed, chunk index)`, so streams are unrelated across chunks and
+//!   reproducible in isolation;
+//! * all threads share one [`PolicyIndex`] — its distribution, calibration
+//!   and hull caches are concurrent, so the first thread to touch a
+//!   `(mechanism, ε, cell)` key builds the table and the rest sample from
+//!   it.
+//!
+//! The surveillance server consumes the output via
+//! `Server::receive_batch`, which groups reports by shard before taking any
+//! lock — together they form the parallel release engine the experiment
+//! binaries and the simulation driver run on.
+
+use crate::error::PglpError;
+use crate::index::PolicyIndex;
+use crate::mech::Mechanism;
+use panda_geo::CellId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default chunk size: big enough to amortise thread hand-off, small enough
+/// to load-balance a 256k-report batch over many threads.
+pub const DEFAULT_CHUNK_SIZE: usize = 4096;
+
+/// A deterministic parallel bulk-release driver. Cheap to construct; holds
+/// no per-policy state (that lives in the [`PolicyIndex`]).
+#[derive(Debug, Clone)]
+pub struct ParallelReleaser {
+    n_threads: usize,
+    chunk_size: usize,
+}
+
+impl Default for ParallelReleaser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelReleaser {
+    /// A releaser using all available hardware parallelism.
+    pub fn new() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(n)
+    }
+
+    /// A releaser with an explicit thread count (≥ 1). The thread count
+    /// affects wall-clock only, never the released cells.
+    pub fn with_threads(n_threads: usize) -> Self {
+        ParallelReleaser {
+            n_threads: n_threads.max(1),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Overrides the chunk size (≥ 1). Unlike the thread count, the chunk
+    /// grid is part of the deterministic stream: changing it changes which
+    /// RNG stream covers which report, and therefore the output.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Worker threads used per release call.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Reports per deterministic RNG chunk.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Releases `locs` through `mech` under the indexed policy, using up to
+    /// [`ParallelReleaser::n_threads`] threads. Outputs are positionally
+    /// aligned with `locs` and **bit-identical for a fixed `(seed,
+    /// chunk_size)` regardless of the thread count**.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Mechanism::perturb_batch`]. When several
+    /// chunks fail, the error of the earliest failing chunk is returned
+    /// (deterministic).
+    pub fn release(
+        &self,
+        mech: &(dyn Mechanism + Sync),
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        seed: u64,
+    ) -> Result<Vec<CellId>, PglpError> {
+        let mut out = vec![CellId(0); locs.len()];
+        if locs.is_empty() {
+            return Ok(out);
+        }
+        let n_chunks = locs.len().div_ceil(self.chunk_size);
+        let n_threads = self.n_threads.min(n_chunks);
+        // One chunk of work: (chunk index, input cells, output slot).
+        type Chunk<'a> = (usize, &'a [CellId], &'a mut [CellId]);
+        // Deal chunks round-robin onto threads. The assignment affects only
+        // which thread runs which chunk; the per-chunk RNG stream is a pure
+        // function of (seed, chunk index).
+        let mut lanes: Vec<Vec<Chunk<'_>>> = (0..n_threads).map(|_| Vec::new()).collect();
+        for (i, (input, output)) in locs
+            .chunks(self.chunk_size)
+            .zip(out.chunks_mut(self.chunk_size))
+            .enumerate()
+        {
+            lanes[i % n_threads].push((i, input, output));
+        }
+        let failures: Vec<(usize, PglpError)> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .into_iter()
+                .map(|lane| {
+                    scope.spawn(move |_| {
+                        let mut errs = Vec::new();
+                        for (i, input, output) in lane {
+                            let mut rng = chunk_rng(seed, i as u64);
+                            match mech.perturb_batch(index, eps, input, &mut rng) {
+                                Ok(cells) => output.copy_from_slice(&cells),
+                                Err(e) => errs.push((i, e)),
+                            }
+                        }
+                        errs
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("release worker panicked"))
+                .collect()
+        })
+        .expect("release scope panicked");
+        match failures.into_iter().min_by_key(|&(i, _)| i) {
+            Some((_, e)) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+/// The RNG stream of chunk `chunk` under `seed`: a SplitMix64-style
+/// finaliser over the pair, so nearby chunk indices (and nearby seeds) get
+/// unrelated streams.
+fn chunk_rng(seed: u64, chunk: u64) -> StdRng {
+    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mech::{GraphExponential, UniformComponent};
+    use crate::policy::LocationPolicyGraph;
+    use panda_geo::GridMap;
+    use rand::Rng;
+
+    fn workload(n: usize) -> (PolicyIndex, Vec<CellId>) {
+        let grid = GridMap::new(16, 16, 100.0);
+        let policy = LocationPolicyGraph::partition(grid.clone(), 4, 4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let locs: Vec<CellId> = (0..n)
+            .map(|_| CellId(rng.gen_range(0..grid.n_cells())))
+            .collect();
+        (PolicyIndex::new(policy), locs)
+    }
+
+    #[test]
+    fn output_is_bit_identical_across_thread_counts() {
+        let (index, locs) = workload(10_000);
+        let reference = ParallelReleaser::with_threads(1)
+            .release(&GraphExponential, &index, 1.0, &locs, 7)
+            .unwrap();
+        for threads in [2, 3, 4, 8, 16] {
+            let out = ParallelReleaser::with_threads(threads)
+                .release(&GraphExponential, &index, 1.0, &locs, 7)
+                .unwrap();
+            assert_eq!(out, reference, "thread count {threads} changed output");
+        }
+    }
+
+    #[test]
+    fn seed_and_chunk_size_are_part_of_the_stream() {
+        let (index, locs) = workload(5_000);
+        let r = ParallelReleaser::with_threads(4);
+        let a = r.release(&UniformComponent, &index, 1.0, &locs, 1).unwrap();
+        let b = r.release(&UniformComponent, &index, 1.0, &locs, 2).unwrap();
+        assert_ne!(a, b, "different seeds must differ");
+        let c = r
+            .clone()
+            .with_chunk_size(512)
+            .release(&UniformComponent, &index, 1.0, &locs, 1)
+            .unwrap();
+        assert_ne!(a, c, "chunk size is documented as part of the stream");
+    }
+
+    #[test]
+    fn matches_sequential_perturb_batch_distribution() {
+        // Not bit-equal to a single-rng run (streams differ), but each
+        // output must stay in its component and the empirical distribution
+        // must match the single-threaded batch path.
+        let (index, _) = workload(0);
+        let s = CellId(0);
+        let locs = vec![s; 40_000];
+        let par = ParallelReleaser::with_threads(4)
+            .release(&GraphExponential, &index, 1.0, &locs, 11)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let seq = GraphExponential
+            .perturb_batch(&index, 1.0, &locs, &mut rng)
+            .unwrap();
+        let census = |out: &[CellId]| {
+            let mut m = std::collections::HashMap::new();
+            for &z in out {
+                *m.entry(z).or_insert(0usize) += 1;
+            }
+            m
+        };
+        let (cp, cs) = (census(&par), census(&seq));
+        for (cell, &n_par) in &cp {
+            assert!(index.policy().same_component(s, *cell));
+            let n_seq = *cs.get(cell).unwrap_or(&0);
+            let (fp, fs) = (
+                n_par as f64 / locs.len() as f64,
+                n_seq as f64 / locs.len() as f64,
+            );
+            assert!((fp - fs).abs() < 0.015, "cell {cell}: {fp} vs {fs}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_error_propagation() {
+        let (index, _) = workload(0);
+        let r = ParallelReleaser::with_threads(4);
+        assert_eq!(
+            r.release(&GraphExponential, &index, 1.0, &[], 3).unwrap(),
+            Vec::new()
+        );
+        // Invalid eps fails in every chunk; the error must surface.
+        let locs = vec![CellId(0); 100];
+        assert!(matches!(
+            r.release(&GraphExponential, &index, 0.0, &locs, 3),
+            Err(PglpError::InvalidEpsilon(_))
+        ));
+        // An out-of-domain cell in a late chunk also surfaces.
+        let mut locs = vec![CellId(0); 9000];
+        locs[8999] = CellId(u32::MAX);
+        assert!(matches!(
+            r.release(&GraphExponential, &index, 1.0, &locs, 3),
+            Err(PglpError::LocationOutOfDomain(_))
+        ));
+    }
+
+    #[test]
+    fn more_threads_than_chunks_is_fine() {
+        let (index, locs) = workload(10);
+        let out = ParallelReleaser::with_threads(64)
+            .release(&GraphExponential, &index, 1.0, &locs, 5)
+            .unwrap();
+        assert_eq!(out.len(), locs.len());
+    }
+}

@@ -1,19 +1,26 @@
-//! Precomputed per-component all-pairs distance tables.
+//! Lazy per-component all-pairs distance tables.
 //!
 //! Every PGLP mechanism call needs `d_G(s, z)` for all `z` in the component
 //! of `s` (Def. 2.2), and the seed implementation re-ran a BFS on every
-//! query. This module computes those distances **once**: for each connected
-//! component, one BFS per member fills a dense `k × k` table of `u16` hop
-//! counts, and component membership is interned as contiguous slices so no
-//! per-query allocation is needed.
+//! query. This module computes those distances **once per component, on
+//! first touch**: component membership is interned eagerly (one cheap
+//! labelling pass at construction), but each component's dense `k × k`
+//! table of `u16` hop counts is built lazily behind a [`OnceLock`] the
+//! first time a `distance()`/`row()` query lands in it. Transient policies
+//! (per-epoch timeline repair, refused assignments, random-policy sweeps)
+//! therefore no longer pay the all-pairs BFS tax for components they never
+//! query, while long-lived policies converge to the fully-tabulated state
+//! after a warm-up touch per component (or one [`ComponentDistances::prebuild`]
+//! call).
 //!
 //! Components whose table would exceed a size budget (quadratic memory!)
-//! are left un-tabulated; callers fall back to on-demand BFS for those, so
+//! are never tabulated; callers fall back to on-demand BFS for those, so
 //! huge policies degrade to the seed behaviour instead of exhausting memory.
 
 use crate::bfs;
 use crate::components::{connected_components, ComponentLabels};
 use crate::graph::{Graph, NodeId};
+use std::sync::OnceLock;
 
 /// Default per-component table budget: 16 Mi entries (32 MiB of `u16`),
 /// i.e. components of up to 4096 nodes are fully tabulated.
@@ -26,7 +33,7 @@ pub enum DistanceLookup {
     DifferentComponents,
     /// Tabulated distance.
     Known(u32),
-    /// Same component, but the component exceeded the table budget; the
+    /// Same component, but the component exceeds the table budget; the
     /// caller must BFS.
     NotIndexed,
 }
@@ -39,14 +46,20 @@ struct DistanceTable {
     d: Vec<u16>,
 }
 
-/// Interned component membership plus per-component all-pairs distances.
+/// Interned component membership plus lazily-built per-component all-pairs
+/// distances.
 ///
-/// Construction runs one BFS per node of every tabulated component —
-/// `O(Σ k·(V_C + E_C))` total — after which [`ComponentDistances::distance`]
-/// is a table lookup and [`ComponentDistances::members_of`] is a slice
-/// borrow.
+/// Construction costs one component-labelling pass (`O(V + E)`). The first
+/// query into a component runs one BFS per member of that component —
+/// `O(k·(V_C + E_C))` — after which [`ComponentDistances::distance`] is a
+/// table lookup and [`ComponentDistances::members_of`] is a slice borrow.
+/// The lazy build is thread-safe (`OnceLock` per component): concurrent
+/// first touches build once and share the result.
 #[derive(Debug, Clone)]
 pub struct ComponentDistances {
+    /// The graph the tables are built over (owned so tables can be built
+    /// lazily after construction).
+    graph: Graph,
     labels: ComponentLabels,
     /// `members[offsets[c]..offsets[c + 1]]` are the sorted nodes of
     /// component `c`.
@@ -54,20 +67,31 @@ pub struct ComponentDistances {
     members: Vec<NodeId>,
     /// `rank[v]` is the position of `v` within its component slice.
     rank: Vec<u32>,
-    /// Indexed by component id; `None` when over the size budget.
-    tables: Vec<Option<DistanceTable>>,
+    /// Indexed by component id; built on first touch. The inner `Option`
+    /// is `None` for components over the size budget. On `clone`,
+    /// already-built tables carry over; unbuilt ones stay lazy.
+    tables: Vec<OnceLock<Option<DistanceTable>>>,
+    max_table_entries: usize,
 }
 
 impl ComponentDistances {
-    /// Builds tables for `g` with the default size budget.
+    /// Interns components of `g` with the default table budget (the graph
+    /// is cloned; prefer [`ComponentDistances::from_graph`] when an owned
+    /// graph is at hand).
     pub fn new(g: &Graph) -> Self {
-        Self::with_budget(g, DEFAULT_MAX_TABLE_ENTRIES)
+        Self::from_graph(g.clone(), DEFAULT_MAX_TABLE_ENTRIES)
     }
 
-    /// Builds tables for `g`, tabulating only components with at most
-    /// `max_table_entries` (= k²) table cells.
+    /// Interns components of `g`, tabulating (lazily) only components with
+    /// at most `max_table_entries` (= k²) table cells.
     pub fn with_budget(g: &Graph, max_table_entries: usize) -> Self {
-        let labels = connected_components(g);
+        Self::from_graph(g.clone(), max_table_entries)
+    }
+
+    /// Takes ownership of `g` and interns its components. No BFS runs here;
+    /// distance tables are built on first touch.
+    pub fn from_graph(g: Graph, max_table_entries: usize) -> Self {
+        let labels = connected_components(&g);
         let n = g.n_nodes() as usize;
         let n_comp = labels.n_components as usize;
 
@@ -92,56 +116,23 @@ impl ComponentDistances {
             cursor[c] += 1;
         }
 
-        // Per-component all-pairs BFS with a reusable scratch buffer.
-        let mut tables: Vec<Option<DistanceTable>> = Vec::with_capacity(n_comp);
-        let mut scratch = vec![bfs::INFINITE; n];
-        let mut queue = std::collections::VecDeque::new();
-        for c in 0..n_comp {
-            let slice = &members[offsets[c] as usize..offsets[c + 1] as usize];
-            let k = slice.len();
-            // Two skip conditions: the entry budget (quadratic memory), and
-            // the u16 storage width — a component of k nodes has
-            // eccentricity < k, so k ≤ 65535 guarantees distances fit.
-            if k.saturating_mul(k) > max_table_entries || k > usize::from(u16::MAX) {
-                tables.push(None);
-                continue;
-            }
-            let mut d = vec![0u16; k * k];
-            for (i, &src) in slice.iter().enumerate() {
-                // BFS from src; only nodes of this component are reachable.
-                scratch[src as usize] = 0;
-                queue.push_back(src);
-                while let Some(v) = queue.pop_front() {
-                    let dv = scratch[v as usize];
-                    for &w in g.neighbors(v) {
-                        if scratch[w as usize] == bfs::INFINITE {
-                            scratch[w as usize] = dv + 1;
-                            queue.push_back(w);
-                        }
-                    }
-                }
-                for (j, &dst) in slice.iter().enumerate() {
-                    debug_assert_ne!(scratch[dst as usize], bfs::INFINITE);
-                    // Cannot truncate: eccentricity < k ≤ u16::MAX (checked
-                    // above), so every in-component distance fits.
-                    debug_assert!(scratch[dst as usize] <= u32::from(u16::MAX));
-                    d[i * k + j] = scratch[dst as usize] as u16;
-                }
-                // Reset only the touched entries.
-                for &v in slice {
-                    scratch[v as usize] = bfs::INFINITE;
-                }
-            }
-            tables.push(Some(DistanceTable { k, d }));
-        }
-
+        let mut tables = Vec::with_capacity(n_comp);
+        tables.resize_with(n_comp, OnceLock::new);
         ComponentDistances {
+            graph: g,
             labels,
             offsets,
             members,
             rank,
             tables,
+            max_table_entries,
         }
+    }
+
+    /// The graph the distances are defined over.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
     }
 
     /// The component decomposition the tables are built over.
@@ -187,20 +178,88 @@ impl ComponentDistances {
         self.rank[v as usize]
     }
 
-    /// `true` when the component of `v` has a distance table.
+    /// `true` when the component of `v` fits the table budget (its table is
+    /// either built already or will be built on first touch). Does not
+    /// force a build.
     #[inline]
     pub fn is_indexed(&self, v: NodeId) -> bool {
-        self.tables[self.component_of(v) as usize].is_some()
+        self.fits_budget(self.component_of(v) as usize)
     }
 
-    /// Distance lookup; O(1) for tabulated components.
+    /// Whether component `c`'s table fits the entry budget and the `u16`
+    /// storage width — a component of k nodes has eccentricity < k, so
+    /// k ≤ 65535 guarantees distances fit.
+    #[inline]
+    fn fits_budget(&self, c: usize) -> bool {
+        let k = (self.offsets[c + 1] - self.offsets[c]) as usize;
+        k.saturating_mul(k) <= self.max_table_entries && k <= usize::from(u16::MAX)
+    }
+
+    /// The (lazily built) table of component `c`; `None` when over budget.
+    fn table(&self, c: usize) -> Option<&DistanceTable> {
+        self.tables[c].get_or_init(|| self.build_table(c)).as_ref()
+    }
+
+    /// One BFS per member of component `c`, filling the dense table.
+    fn build_table(&self, c: usize) -> Option<DistanceTable> {
+        if !self.fits_budget(c) {
+            return None;
+        }
+        let slice = self.members(c as u32);
+        let k = slice.len();
+        if k == 1 {
+            // Singleton: d(v, v) = 0, no BFS needed.
+            return Some(DistanceTable { k: 1, d: vec![0] });
+        }
+        let mut scratch = vec![bfs::INFINITE; self.graph.n_nodes() as usize];
+        let mut queue = std::collections::VecDeque::new();
+        let mut d = vec![0u16; k * k];
+        for (i, &src) in slice.iter().enumerate() {
+            // BFS from src; only nodes of this component are reachable.
+            scratch[src as usize] = 0;
+            queue.push_back(src);
+            while let Some(v) = queue.pop_front() {
+                let dv = scratch[v as usize];
+                for &w in self.graph.neighbors(v) {
+                    if scratch[w as usize] == bfs::INFINITE {
+                        scratch[w as usize] = dv + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            for (j, &dst) in slice.iter().enumerate() {
+                debug_assert_ne!(scratch[dst as usize], bfs::INFINITE);
+                // Cannot truncate: eccentricity < k ≤ u16::MAX (budget
+                // check), so every in-component distance fits.
+                debug_assert!(scratch[dst as usize] <= u32::from(u16::MAX));
+                d[i * k + j] = scratch[dst as usize] as u16;
+            }
+            // Reset only the touched entries.
+            for &v in slice {
+                scratch[v as usize] = bfs::INFINITE;
+            }
+        }
+        Some(DistanceTable { k, d })
+    }
+
+    /// Forces the build of every within-budget table (the eager,
+    /// pre-refactor behaviour). Useful before latency-sensitive phases and
+    /// in benchmarks separating build cost from query cost.
+    pub fn prebuild(&self) {
+        for c in 0..self.tables.len() {
+            let _ = self.table(c);
+        }
+    }
+
+    /// Distance lookup; O(1) for tabulated components (first touch of a
+    /// component builds its table).
     #[inline]
     pub fn distance(&self, a: NodeId, b: NodeId) -> DistanceLookup {
         let c = self.labels.component_of(a);
         if c != self.labels.component_of(b) {
             return DistanceLookup::DifferentComponents;
         }
-        match &self.tables[c as usize] {
+        match self.table(c as usize) {
             Some(t) => {
                 let (i, j) = (
                     self.rank[a as usize] as usize,
@@ -218,15 +277,28 @@ impl ComponentDistances {
     #[inline]
     pub fn row(&self, v: NodeId) -> Option<&[u16]> {
         let c = self.labels.component_of(v) as usize;
-        self.tables[c].as_ref().map(|t| {
+        self.table(c).map(|t| {
             let i = self.rank[v as usize] as usize;
             &t.d[i * t.k..(i + 1) * t.k]
         })
     }
 
-    /// Total tabulated entries across all components (diagnostics).
+    /// Number of component tables built so far (diagnostics; lazy-build
+    /// observability).
+    pub fn n_built_tables(&self) -> usize {
+        self.tables
+            .iter()
+            .filter(|t| t.get().is_some_and(|o| o.is_some()))
+            .count()
+    }
+
+    /// Total tabulated entries across all *built* components (diagnostics).
     pub fn table_entries(&self) -> usize {
-        self.tables.iter().flatten().map(|t| t.d.len()).sum()
+        self.tables
+            .iter()
+            .filter_map(|t| t.get().and_then(|o| o.as_ref()))
+            .map(|t| t.d.len())
+            .sum()
     }
 }
 
@@ -276,6 +348,36 @@ mod tests {
     }
 
     #[test]
+    fn tables_build_lazily_on_first_touch() {
+        let g = two_components();
+        let cd = ComponentDistances::new(&g);
+        assert_eq!(cd.n_built_tables(), 0, "construction must not BFS");
+        assert_eq!(cd.table_entries(), 0);
+        // Touching one component builds exactly that component's table.
+        assert_eq!(cd.distance(0, 3), DistanceLookup::Known(3));
+        assert_eq!(cd.n_built_tables(), 1);
+        assert_eq!(cd.table_entries(), 16);
+        // Untouched components stay lazy.
+        assert_eq!(cd.row(4).unwrap(), &[0, 1, 1]);
+        assert_eq!(cd.n_built_tables(), 2);
+    }
+
+    #[test]
+    fn lazy_equals_prebuilt_eager() {
+        let g = generators::grid8(7, 5);
+        let lazy = ComponentDistances::new(&g);
+        let eager = ComponentDistances::new(&g);
+        eager.prebuild();
+        assert_eq!(eager.n_built_tables(), 1);
+        for a in 0..g.n_nodes() {
+            for b in 0..g.n_nodes() {
+                assert_eq!(lazy.distance(a, b), eager.distance(a, b));
+            }
+            assert_eq!(lazy.row(a), eager.row(a));
+        }
+    }
+
+    #[test]
     fn rows_cover_components() {
         let g = two_components();
         let cd = ComponentDistances::new(&g);
@@ -294,6 +396,9 @@ mod tests {
         // Membership interning still works.
         assert_eq!(cd.members_of(3).len(), 10);
         assert_eq!(cd.table_entries(), 0);
+        // prebuild skips over-budget components.
+        cd.prebuild();
+        assert_eq!(cd.n_built_tables(), 0);
     }
 
     #[test]
@@ -305,6 +410,35 @@ mod tests {
         assert_eq!(cd.distance(id(0, 0), id(3, 2)), DistanceLookup::Known(3));
         assert_eq!(cd.distance(id(0, 0), id(5, 4)), DistanceLookup::Known(5));
         assert_eq!(cd.table_entries(), 30 * 30);
+    }
+
+    #[test]
+    fn clone_carries_built_tables() {
+        let g = two_components();
+        let cd = ComponentDistances::new(&g);
+        assert_eq!(cd.distance(0, 2), DistanceLookup::Known(2));
+        let cloned = cd.clone();
+        assert_eq!(cloned.n_built_tables(), 1, "built tables survive clone");
+        assert_eq!(cloned.distance(0, 2), DistanceLookup::Known(2));
+    }
+
+    #[test]
+    fn concurrent_first_touch_builds_once() {
+        let g = generators::grid8(16, 16);
+        let n = g.n_nodes();
+        let cd = ComponentDistances::new(&g);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let cd = &cd;
+                s.spawn(move || {
+                    for v in 0..n {
+                        assert!(matches!(cd.distance(t, v), DistanceLookup::Known(_)));
+                    }
+                });
+            }
+        });
+        assert_eq!(cd.n_built_tables(), 1);
+        assert_eq!(cd.table_entries(), 256 * 256);
     }
 
     #[test]

@@ -218,6 +218,40 @@ impl Client {
         })
     }
 
+    /// Plans the routine reporting of every retained epoch in
+    /// `[0, horizon)`: charges the budget exactly as per-epoch
+    /// [`Client::report`] calls would (isolated cells release exactly and
+    /// are free) and returns the affordable `(epoch, true cell)` prefix
+    /// plus whether the budget ran dry before the horizon.
+    ///
+    /// The caller perturbs the returned cells — typically in one
+    /// [`panda_core::release::ParallelReleaser`] batch shared across all
+    /// clients — which is distributionally identical to the per-epoch
+    /// `report` loop.
+    pub fn plan_routine(&mut self, horizon: Timestamp) -> (Vec<(Timestamp, CellId)>, bool) {
+        let mut plan = Vec::new();
+        let policy = self.index.policy();
+        for &(t, cell) in self.history.iter().filter(|&&(t, _)| t < horizon) {
+            if policy.check_cell(cell).is_err() {
+                break;
+            }
+            if !policy.is_isolated_cell(cell) {
+                if !self.ledger.can_afford(self.eps_per_epoch) {
+                    return (plan, true);
+                }
+                if self
+                    .ledger
+                    .charge(t as u64, policy.name(), self.eps_per_epoch)
+                    .is_err()
+                {
+                    return (plan, true);
+                }
+            }
+            plan.push((t, cell));
+        }
+        (plan, false)
+    }
+
     /// Handles a re-send request: applies the updated policy (subject to
     /// consent) and re-perturbs every retained epoch in the window.
     ///
@@ -368,6 +402,57 @@ mod tests {
         let r = c.report(0, &mut rng).unwrap();
         assert_eq!(r.cell, CellId(7));
         assert_eq!(c.budget_remaining(), before, "exact release is free");
+    }
+
+    #[test]
+    fn plan_routine_matches_per_epoch_report_budgeting() {
+        // Two identical clients: one reports per epoch, one plans. Same
+        // affordable epochs, same budget afterwards.
+        let build = || {
+            let mut c = client(ConsentRule::AlwaysAccept, 2.0); // 4 × 0.5
+            for t in 0..5 {
+                c.observe(t, CellId(5));
+            }
+            c
+        };
+        let mut reporting = build();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut reported = Vec::new();
+        for t in 0..5 {
+            match reporting.report(t, &mut rng) {
+                Ok(r) => reported.push(r.epoch),
+                Err(PglpError::BudgetExhausted { .. }) => break,
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        let mut planning = build();
+        let (plan, exhausted) = planning.plan_routine(5);
+        assert!(exhausted);
+        assert_eq!(
+            plan.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            reported,
+            "plan must cover exactly the epochs report() affords"
+        );
+        assert_eq!(planning.budget_remaining(), reporting.budget_remaining());
+        // Isolated cells stay free in the plan too.
+        let mut free = Client::new(
+            UserId(3),
+            ClientConfig {
+                retention: 5,
+                budget: 1.0,
+                consent: ConsentRule::AlwaysAccept,
+            },
+            LocationPolicyGraph::isolated(grid()),
+            Box::new(GraphExponential),
+            0.5,
+        );
+        for t in 0..5 {
+            free.observe(t, CellId(7));
+        }
+        let (plan, exhausted) = free.plan_routine(5);
+        assert_eq!(plan.len(), 5);
+        assert!(!exhausted);
+        assert_eq!(free.budget_remaining(), 1.0);
     }
 
     #[test]

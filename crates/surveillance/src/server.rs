@@ -1,42 +1,83 @@
 //! The semi-honest server: stores perturbed reports, serves the apps.
 //!
 //! The server never sees raw locations — only what clients release under
-//! consented policies. It is shared state (`parking_lot::RwLock`) so the
-//! three applications and the experiment harness can read concurrently
-//! while reports stream in.
+//! consented policies. Report storage is **sharded by user** into
+//! lock-striped partitions so millions of concurrent report streams don't
+//! serialise on one global lock:
+//!
+//! * [`Server::receive`] locks exactly one shard;
+//! * [`Server::receive_batch`] groups the batch by shard first and then
+//!   locks each touched shard **once**, which is how the parallel release
+//!   engine (`panda_core::release::ParallelReleaser`) feeds output in;
+//! * ingest counters are per-shard atomics (no lock at all), aggregated on
+//!   read;
+//! * low-volume epidemiological facts (diagnoses, infected visits) stay
+//!   under a single `RwLock` — they arrive out of band, not on the ingest
+//!   hot path.
+//!
+//! Read-side queries aggregate across shards; between ingest rounds a
+//! sharded server is observationally equivalent to the PR-1 single-lock
+//! server (see the `sharding_is_observationally_equivalent` test). A
+//! reader racing an in-flight `receive_batch` may observe the batch
+//! partially applied (per-shard atomicity, not whole-batch) — the price of
+//! lock striping; the surveillance apps read between phases, never
+//! mid-ingest.
 
 use crate::protocol::LocationReport;
 use panda_geo::{CellId, GridMap};
 use panda_mobility::{Timestamp, Trajectory, TrajectoryDb, UserId};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Server-side state.
+/// One lock stripe: the report store of every user hashing to this shard,
+/// plus its lock-free ingest counters.
 #[derive(Debug, Default)]
-struct State {
+struct Shard {
     /// Latest report per (user, epoch) — re-sends overwrite.
-    reports: HashMap<UserId, BTreeMap<Timestamp, CellId>>,
+    reports: RwLock<HashMap<UserId, BTreeMap<Timestamp, CellId>>>,
+    n_received: AtomicUsize,
+    n_resends: AtomicUsize,
+}
+
+/// Out-of-band epidemiological state (not sharded: low volume).
+#[derive(Debug, Default)]
+struct HealthState {
     /// Diagnosed patients with diagnosis epoch.
     diagnoses: Vec<(UserId, Timestamp)>,
     /// Confirmed infected `(epoch, cell)` visits (from patient disclosures).
     infected_visits: Vec<(Timestamp, CellId)>,
-    n_received: usize,
-    n_resends: usize,
 }
 
 /// The PANDA collection server.
 #[derive(Debug)]
 pub struct Server {
     grid: GridMap,
-    state: RwLock<State>,
+    shards: Vec<Shard>,
+    health: RwLock<HealthState>,
 }
 
 impl Server {
-    /// A fresh server for the given location domain.
+    /// Default shard count: enough stripes that a batch from each core
+    /// rarely contends, without fragmenting read-side aggregation.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A fresh server for the given location domain with
+    /// [`Server::DEFAULT_SHARDS`] lock stripes.
     pub fn new(grid: GridMap) -> Self {
+        Self::with_shards(grid, Self::DEFAULT_SHARDS)
+    }
+
+    /// A fresh server with an explicit shard count (≥ 1). `with_shards(g, 1)`
+    /// is the PR-1 single-lock server.
+    pub fn with_shards(grid: GridMap, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let mut shards = Vec::with_capacity(n_shards);
+        shards.resize_with(n_shards, Shard::default);
         Server {
             grid,
-            state: RwLock::new(State::default()),
+            shards,
+            health: RwLock::new(HealthState::default()),
         }
     }
 
@@ -45,48 +86,97 @@ impl Server {
         &self.grid
     }
 
-    /// Ingests one report (re-sends overwrite the original epoch).
+    /// Number of lock stripes.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index of a user (stable for the server's lifetime).
+    #[inline]
+    fn shard_of(&self, user: UserId) -> usize {
+        user.0 as usize % self.shards.len()
+    }
+
+    /// Ingests one report (re-sends overwrite the original epoch). Locks
+    /// exactly one shard.
     pub fn receive(&self, report: LocationReport) {
-        let mut st = self.state.write();
-        st.n_received += 1;
+        let shard = &self.shards[self.shard_of(report.user)];
+        shard.n_received.fetch_add(1, Ordering::Relaxed);
         if report.resend {
-            st.n_resends += 1;
+            shard.n_resends.fetch_add(1, Ordering::Relaxed);
         }
-        st.reports
+        shard
+            .reports
+            .write()
             .entry(report.user)
             .or_default()
             .insert(report.epoch, report.cell);
     }
 
-    /// Ingests a batch.
-    pub fn receive_all<I: IntoIterator<Item = LocationReport>>(&self, reports: I) {
+    /// Ingests a batch: groups reports by shard, then locks each touched
+    /// shard once. Within a user the input order is preserved, so
+    /// re-send overwrite semantics match sequential [`Server::receive`]
+    /// calls.
+    pub fn receive_batch(&self, reports: Vec<LocationReport>) {
+        let mut by_shard: Vec<Vec<LocationReport>> = Vec::new();
+        by_shard.resize_with(self.shards.len(), Vec::new);
         for r in reports {
-            self.receive(r);
+            by_shard[self.shard_of(r.user)].push(r);
+        }
+        for (shard, group) in self.shards.iter().zip(by_shard) {
+            if group.is_empty() {
+                continue;
+            }
+            shard.n_received.fetch_add(group.len(), Ordering::Relaxed);
+            let resends = group.iter().filter(|r| r.resend).count();
+            if resends > 0 {
+                shard.n_resends.fetch_add(resends, Ordering::Relaxed);
+            }
+            let mut store = shard.reports.write();
+            for r in group {
+                store.entry(r.user).or_default().insert(r.epoch, r.cell);
+            }
         }
     }
 
-    /// Total reports received (including overwritten ones).
-    pub fn n_received(&self) -> usize {
-        self.state.read().n_received
+    /// Ingests from an iterator (collects, then batches by shard).
+    pub fn receive_all<I: IntoIterator<Item = LocationReport>>(&self, reports: I) {
+        self.receive_batch(reports.into_iter().collect());
     }
 
-    /// Number of re-sent reports received.
+    /// Total reports received (including overwritten ones), aggregated
+    /// across shards.
+    pub fn n_received(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.n_received.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of re-sent reports received, aggregated across shards.
     pub fn n_resends(&self) -> usize {
-        self.state.read().n_resends
+        self.shards
+            .iter()
+            .map(|s| s.n_resends.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Users that have reported at least once, sorted.
     pub fn users(&self) -> Vec<UserId> {
-        let mut users: Vec<UserId> = self.state.read().reports.keys().copied().collect();
+        let mut users: Vec<UserId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.reports.read().keys().copied().collect::<Vec<_>>())
+            .collect();
         users.sort_unstable();
         users
     }
 
     /// The stored (perturbed) cell for `(user, epoch)`.
     pub fn reported_cell(&self, user: UserId, epoch: Timestamp) -> Option<CellId> {
-        self.state
-            .read()
+        self.shards[self.shard_of(user)]
             .reports
+            .read()
             .get(&user)
             .and_then(|m| m.get(&epoch))
             .copied()
@@ -94,29 +184,37 @@ impl Server {
 
     /// Registers a diagnosis (from the health system, out of band).
     pub fn record_diagnosis(&self, user: UserId, epoch: Timestamp) {
-        self.state.write().diagnoses.push((user, epoch));
+        self.health.write().diagnoses.push((user, epoch));
     }
 
     /// All diagnoses so far.
     pub fn diagnoses(&self) -> Vec<(UserId, Timestamp)> {
-        self.state.read().diagnoses.clone()
+        self.health.read().diagnoses.clone()
     }
 
     /// Records confirmed infected visits (a diagnosed patient's disclosed
     /// history).
     pub fn record_infected_visits(&self, visits: &[(Timestamp, CellId)]) {
-        self.state.write().infected_visits.extend_from_slice(visits);
+        self.health
+            .write()
+            .infected_visits
+            .extend_from_slice(visits);
     }
 
     /// All confirmed infected `(epoch, cell)` visits.
     pub fn infected_visits(&self) -> Vec<(Timestamp, CellId)> {
-        self.state.read().infected_visits.clone()
+        self.health.read().infected_visits.clone()
     }
 
     /// The distinct confirmed infected cells.
     pub fn infected_cells(&self) -> Vec<CellId> {
-        let st = self.state.read();
-        let mut cells: Vec<CellId> = st.infected_visits.iter().map(|&(_, c)| c).collect();
+        let mut cells: Vec<CellId> = self
+            .health
+            .read()
+            .infected_visits
+            .iter()
+            .map(|&(_, c)| c)
+            .collect();
         cells.sort_unstable();
         cells.dedup();
         cells
@@ -129,25 +227,30 @@ impl Server {
     /// This is what the monitoring/analysis apps consume: the *perturbed*
     /// counterpart of the population's true trajectory database.
     pub fn reported_db(&self, horizon: Timestamp) -> TrajectoryDb {
-        let st = self.state.read();
-        let mut users: Vec<(&UserId, &BTreeMap<Timestamp, CellId>)> = st.reports.iter().collect();
-        users.sort_by_key(|(u, _)| **u);
-        let trajectories: Vec<Trajectory> = users
-            .into_iter()
-            .filter(|(_, m)| !m.is_empty())
-            .map(|(user, m)| {
-                let first = *m.values().next().expect("non-empty");
-                let mut cells = Vec::with_capacity(horizon as usize);
-                let mut current = first;
-                for t in 0..horizon {
-                    if let Some(&c) = m.get(&t) {
-                        current = c;
-                    }
-                    cells.push(current);
-                }
-                Trajectory { user: *user, cells }
+        let mut trajectories: Vec<Trajectory> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let store = shard.reports.read();
+                store
+                    .iter()
+                    .filter(|(_, m)| !m.is_empty())
+                    .map(|(user, m)| {
+                        let first = *m.values().next().expect("non-empty");
+                        let mut cells = Vec::with_capacity(horizon as usize);
+                        let mut current = first;
+                        for t in 0..horizon {
+                            if let Some(&c) = m.get(&t) {
+                                current = c;
+                            }
+                            cells.push(current);
+                        }
+                        Trajectory { user: *user, cells }
+                    })
+                    .collect::<Vec<_>>()
             })
             .collect();
+        trajectories.sort_by_key(|tr| tr.user);
         TrajectoryDb::new(self.grid.clone(), trajectories)
     }
 }
@@ -155,6 +258,8 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     fn report(user: u32, epoch: Timestamp, cell: u32, resend: bool) -> LocationReport {
         LocationReport {
@@ -188,6 +293,17 @@ mod tests {
     }
 
     #[test]
+    fn batch_preserves_per_user_order() {
+        let s = Server::new(GridMap::new(4, 4, 100.0));
+        // Same (user, epoch) twice in one batch: the later entry wins, as
+        // with sequential receive calls.
+        s.receive_batch(vec![report(3, 0, 1, false), report(3, 0, 2, true)]);
+        assert_eq!(s.reported_cell(UserId(3), 0), Some(CellId(2)));
+        assert_eq!(s.n_received(), 2);
+        assert_eq!(s.n_resends(), 1);
+    }
+
+    #[test]
     fn reported_db_holds_last_position() {
         let s = Server::new(GridMap::new(4, 4, 100.0));
         s.receive_all([report(0, 0, 1, false), report(0, 3, 5, false)]);
@@ -206,6 +322,82 @@ mod tests {
         s.record_infected_visits(&[(38, CellId(3)), (39, CellId(3)), (40, CellId(8))]);
         assert_eq!(s.diagnoses(), vec![(UserId(2), 40)]);
         assert_eq!(s.infected_cells(), vec![CellId(3), CellId(8)]);
+    }
+
+    /// The scripted op-sequence oracle: every observable of a sharded
+    /// server must match the single-lock (`with_shards == 1`) server under
+    /// an identical interleaving of receives, re-sends and reads.
+    #[test]
+    fn sharding_is_observationally_equivalent() {
+        let grid = GridMap::new(8, 8, 100.0);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut ops: Vec<LocationReport> = Vec::new();
+        for _ in 0..2000 {
+            ops.push(report(
+                rng.gen_range(0..37),
+                rng.gen_range(0..24),
+                rng.gen_range(0..64),
+                rng.gen_bool(0.2),
+            ));
+        }
+        let single = Server::with_shards(grid.clone(), 1);
+        let sharded = Server::with_shards(grid.clone(), 7);
+        // Interleave single receives, batches and mid-stream reads.
+        for (i, chunk) in ops.chunks(17).enumerate() {
+            if i % 2 == 0 {
+                for &r in chunk {
+                    single.receive(r);
+                    sharded.receive(r);
+                }
+            } else {
+                single.receive_batch(chunk.to_vec());
+                sharded.receive_batch(chunk.to_vec());
+            }
+            assert_eq!(single.n_received(), sharded.n_received());
+            assert_eq!(single.n_resends(), sharded.n_resends());
+        }
+        assert_eq!(single.users(), sharded.users());
+        for u in single.users() {
+            for t in 0..24 {
+                assert_eq!(single.reported_cell(u, t), sharded.reported_cell(u, t));
+            }
+        }
+        let (a, b) = (single.reported_db(24), sharded.reported_db(24));
+        assert_eq!(a.trajectories(), b.trajectories());
+    }
+
+    #[test]
+    fn concurrent_batch_ingest_totals() {
+        use std::sync::Arc;
+        let s = Arc::new(Server::with_shards(GridMap::new(4, 4, 100.0), 8));
+        let writers: Vec<_> = (0..4u32)
+            .map(|w| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let batch: Vec<LocationReport> = (0..500)
+                        .map(|i| report(w * 100 + i % 50, i / 50, (w + i) % 16, false))
+                        .collect();
+                    s.receive_batch(batch);
+                })
+            })
+            .collect();
+        let reader = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                for _ in 0..200 {
+                    seen = seen.max(s.n_received());
+                }
+                seen
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        let seen = reader.join().unwrap();
+        assert!(seen <= 2000);
+        assert_eq!(s.n_received(), 2000);
+        assert_eq!(s.users().len(), 200);
     }
 
     #[test]

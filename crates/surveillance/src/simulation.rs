@@ -14,12 +14,14 @@
 use crate::client::{Client, ClientConfig};
 use crate::health_code::{assign_codes, HealthCode, HealthCodeRules};
 use crate::policy_config::PolicyConfigurator;
+use crate::protocol::LocationReport;
 use crate::server::Server;
 use crate::tracing::{dynamic_trace, ContactRule, TraceOutcome};
-use panda_core::{GraphExponential, Mechanism};
+use panda_core::{GraphExponential, Mechanism, ParallelReleaser, PolicyIndex};
 use panda_epidemic::{simulate_outbreak, OutbreakConfig, OutbreakResult};
+use panda_geo::CellId;
 use panda_mobility::{Timestamp, TrajectoryDb, UserId};
-use rand::RngCore;
+use rand::{Rng, RngCore};
 use std::collections::HashMap;
 
 /// Simulation parameters.
@@ -123,28 +125,55 @@ pub fn run_simulation(
     // Ground-truth epidemic (the environment, not the system).
     let outbreak = simulate_outbreak(rng, truth, &config.outbreak);
 
-    // Routine reporting phase.
-    let mut routine_reports = 0usize;
+    // Routine reporting phase, on the parallel release engine: each client
+    // plans (and budgets) its affordable epochs sequentially, then one
+    // shared PolicyIndex perturbs the whole population's reports across
+    // threads, and the server ingests the output shard-batched. An invalid
+    // per-epoch ε yields zero routine reports (and charges nothing) —
+    // matching the old per-client loop, which stopped at the first failing
+    // report instead of panicking.
+    let shared_index = PolicyIndex::new(base_policy.clone());
+    let releaser = ParallelReleaser::new();
     let mut exhausted: Vec<UserId> = Vec::new();
-    for client in clients.iter_mut() {
-        let mut user_exhausted = false;
-        for t in 0..truth.horizon() {
-            match client.report(t, rng) {
-                Ok(report) => {
-                    server.receive(report);
-                    routine_reports += 1;
-                }
-                Err(panda_core::PglpError::BudgetExhausted { .. }) => {
-                    user_exhausted = true;
-                    break;
-                }
-                Err(_) => break,
+    let mut meta: Vec<(UserId, Timestamp)> = Vec::new();
+    let mut cells: Vec<CellId> = Vec::new();
+    if panda_core::error::check_epsilon(config.eps_report).is_ok() {
+        for client in clients.iter_mut() {
+            let (plan, ran_dry) = client.plan_routine(truth.horizon());
+            if ran_dry {
+                exhausted.push(client.user());
+            }
+            let user = client.user();
+            for (t, cell) in plan {
+                meta.push((user, t));
+                cells.push(cell);
             }
         }
-        if user_exhausted {
-            exhausted.push(client.user());
-        }
     }
+    let release_seed = rng.gen::<u64>();
+    // With ε pre-validated and every planned cell domain-checked, a
+    // failure here is an invariant violation worth surfacing loudly.
+    let released = releaser
+        .release(
+            &GraphExponential,
+            &shared_index,
+            config.eps_report,
+            &cells,
+            release_seed,
+        )
+        .expect("routine release failed on planned, validated reports");
+    let routine_reports = released.len();
+    server.receive_batch(
+        meta.into_iter()
+            .zip(released)
+            .map(|((user, epoch), cell)| LocationReport {
+                user,
+                epoch,
+                cell,
+                resend: false,
+            })
+            .collect(),
+    );
 
     // Diagnosis-driven tracing rounds.
     let mut traces = Vec::new();
@@ -258,6 +287,20 @@ mod tests {
         let log = run_simulation(&truth, &configurator, &cfg, 0, &mut rng);
         assert_eq!(log.exhausted_users.len(), 40, "everyone runs dry");
         assert_eq!(log.routine_reports, 40 * 10);
+    }
+
+    #[test]
+    fn invalid_eps_yields_no_reports_instead_of_panicking() {
+        let truth = population(9);
+        let configurator = PolicyConfigurator::new(truth.grid().clone(), 5, 2);
+        let mut cfg = config();
+        cfg.eps_report = 0.0;
+        cfg.outbreak.p_transmit = 0.0;
+        cfg.outbreak.diagnosis_delay = 200;
+        let mut rng = SmallRng::seed_from_u64(10);
+        let log = run_simulation(&truth, &configurator, &cfg, 0, &mut rng);
+        assert_eq!(log.routine_reports, 0);
+        assert!(log.exhausted_users.is_empty(), "nothing was charged");
     }
 
     #[test]

@@ -2,28 +2,36 @@
 //! so the perf trajectory is trackable across PRs.
 //!
 //! ```text
-//! cargo run --release -p panda-bench --bin bench_release [-- --quick]
+//! cargo run --release -p panda-bench --bin bench_release [-- --quick] [-- --streaming]
 //! ```
 //!
 //! * `--quick` — CI smoke mode: one small batch, few iterations, still
 //!   exercising every code path (parallel release, alias sampling, shard
-//!   ingest).
+//!   ingest — and, with `--streaming`, the ingest pipeline).
+//! * `--streaming` — also measure the streaming ingest pipeline under
+//!   open-loop Poisson arrivals (sustained reports/sec, p50/p99 flush
+//!   latency), appended as a `streaming` section.
 //!
 //! Measures, per (mechanism × batch size × thread count): reports/sec and
 //! p50/p99 per-batch latency of [`ParallelReleaser`] against the
-//! single-threaded PR-1 `perturb_batch` baseline; plus the alias-table vs
-//! binary-search ns/draw ablation per support size. JSON is assembled by
-//! hand (no JSON dependency in the offline workspace).
+//! single-threaded PR-1 `perturb_batch` baseline; the small-batch
+//! dispatch cost of the persistent pool against the PR-2 scoped-spawn
+//! path; plus the alias-table vs binary-search ns/draw ablation per
+//! support size. JSON is assembled by hand (no JSON dependency in the
+//! offline workspace).
 
-use panda_bench::workload::grid;
+use panda_bench::workload::{geolife, grid};
 use panda_core::{
     GraphExponential, LocationPolicyGraph, Mechanism, ParallelReleaser, PolicyIndex, SamplingTable,
 };
 use panda_geo::CellId;
+use panda_surveillance::ingest::{percentile, IngestConfig};
+use panda_surveillance::simulation::{run_streaming_simulation, StreamingConfig};
+use panda_surveillance::PolicyConfigurator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct ReleaseRow {
     mechanism: &'static str,
@@ -41,9 +49,24 @@ struct SamplingRow {
     binary_search_ns: f64,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
+struct SmallBatchRow {
+    batch: usize,
+    scoped_p50_ms: f64,
+    pooled_p50_ms: f64,
+    speedup: f64,
+}
+
+struct StreamingRow {
+    label: &'static str,
+    max_batch: usize,
+    max_delay_ms: f64,
+    lanes: usize,
+    reports: usize,
+    reports_per_sec: f64,
+    flush_p50_ms: f64,
+    flush_p99_ms: f64,
+    batches: usize,
+    deadline_flushes: usize,
 }
 
 /// Times `iters` runs of `f`, returning per-run latencies in ms (sorted).
@@ -117,6 +140,100 @@ fn bench_release(quick: bool) -> Vec<ReleaseRow> {
     rows
 }
 
+/// The small-batch dispatch ablation: for batches at/below one chunk the
+/// pooled path runs inline on the caller thread, while the PR-2 reference
+/// pays a fresh thread spawn per call — the cost streaming micro-batches
+/// used to eat on every flush.
+fn bench_small_batch(quick: bool) -> Vec<SmallBatchRow> {
+    let g = grid(32);
+    let index = PolicyIndex::new(LocationPolicyGraph::partition(g.clone(), 2, 2));
+    let batches: &[usize] = if quick { &[1024] } else { &[512, 1024, 4096] };
+    let iters = if quick { 100 } else { 400 };
+    let releaser = ParallelReleaser::new();
+    batches
+        .iter()
+        .map(|&n| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let locs: Vec<CellId> = (0..n)
+                .map(|_| CellId(rng.gen_range(0..g.n_cells())))
+                .collect();
+            let scoped = time_batches(iters, || {
+                black_box(
+                    releaser
+                        .release_scoped(&GraphExponential, &index, 1.0, &locs, 11)
+                        .unwrap(),
+                );
+            });
+            let pooled = time_batches(iters, || {
+                black_box(
+                    releaser
+                        .release(&GraphExponential, &index, 1.0, &locs, 11)
+                        .unwrap(),
+                );
+            });
+            let (scoped_p50, pooled_p50) = (percentile(&scoped, 0.5), percentile(&pooled, 0.5));
+            SmallBatchRow {
+                batch: n,
+                scoped_p50_ms: scoped_p50,
+                pooled_p50_ms: pooled_p50,
+                speedup: scoped_p50 / pooled_p50,
+            }
+        })
+        .collect()
+}
+
+/// Open-loop streaming ingest: Poisson arrivals across a GeoLife-like
+/// population, submitted as fast as they are generated, drained through
+/// the bounded-queue pipeline onto the sharded server.
+fn bench_streaming(quick: bool) -> Vec<StreamingRow> {
+    let g = grid(16);
+    let configurator = PolicyConfigurator::new(g.clone(), 4, 2);
+    let (n_users, days) = if quick { (200, 2) } else { (1_500, 7) };
+    let truth = geolife(5, &g, n_users, days);
+    let configs: &[(&'static str, usize, u64)] = if quick {
+        &[("micro-batch", 256, 1)]
+    } else {
+        &[
+            // Latency-leaning: small batches, tight deadline.
+            ("micro-batch", 256, 1),
+            // Throughput-leaning: chunk-sized batches, lazy deadline.
+            ("bulk-batch", 4096, 10),
+        ]
+    };
+    configs
+        .iter()
+        .map(|&(label, max_batch, delay_ms)| {
+            let cfg = StreamingConfig {
+                mean_reports_per_epoch: 2.0,
+                switch_every: 24,
+                ingest: IngestConfig {
+                    eps: 1.0,
+                    max_batch,
+                    max_delay: Duration::from_millis(delay_ms),
+                    queue_capacity: 16_384,
+                    ..Default::default()
+                },
+            };
+            let mut rng = StdRng::seed_from_u64(13);
+            let t0 = Instant::now();
+            let log = run_streaming_simulation(&truth, &configurator, &cfg, &mut rng);
+            let elapsed = t0.elapsed().as_secs_f64();
+            StreamingRow {
+                label,
+                max_batch,
+                max_delay_ms: delay_ms as f64,
+                lanes: cfg.ingest.release_lanes,
+                reports: log.stats.landed,
+                reports_per_sec: log.stats.landed as f64 / elapsed,
+                flush_p50_ms: log.stats.flush_ms_percentile(0.5),
+                flush_p99_ms: log.stats.flush_ms_percentile(0.99),
+                batches: log.stats.batches,
+                deadline_flushes: log.stats.deadline_flushes,
+            }
+        })
+        .collect()
+}
+
 fn bench_sampling(quick: bool) -> Vec<SamplingRow> {
     let draws = if quick { 200_000 } else { 2_000_000 };
     let supports: &[usize] = if quick {
@@ -151,9 +268,8 @@ fn bench_sampling(quick: bool) -> Vec<SamplingRow> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let streaming_mode = std::env::args().any(|a| a == "--streaming");
+    let hw = panda_core::release::pool::default_parallelism();
     println!(
         "release-engine bench ({} mode, {hw} hardware threads)\n",
         if quick { "quick" } else { "full" }
@@ -174,6 +290,40 @@ fn main() {
         );
     }
 
+    let small_batch = bench_small_batch(quick);
+    println!("\nsmall batch  scoped p50 ms  pooled p50 ms  pooled speedup");
+    for s in &small_batch {
+        println!(
+            "{:<11}  {:<13.4}  {:<13.4}  {:.2}x",
+            s.batch, s.scoped_p50_ms, s.pooled_p50_ms, s.speedup
+        );
+    }
+
+    let streaming = if streaming_mode {
+        let rows = bench_streaming(quick);
+        println!(
+            "\nstreaming    max_batch  delay ms  lanes  reports  reports/s  flush p50 ms  flush p99 ms  batches  deadline"
+        );
+        for s in &rows {
+            println!(
+                "{:<11}  {:<9}  {:<8.1}  {:<5}  {:<7}  {:<9.0}  {:<12.3}  {:<12.3}  {:<7}  {}",
+                s.label,
+                s.max_batch,
+                s.max_delay_ms,
+                s.lanes,
+                s.reports,
+                s.reports_per_sec,
+                s.flush_p50_ms,
+                s.flush_p99_ms,
+                s.batches,
+                s.deadline_flushes
+            );
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+
     let sampling = bench_sampling(quick);
     println!("\nsupport  alias ns/draw  binary-search ns/draw  alias speedup");
     for s in &sampling {
@@ -188,7 +338,7 @@ fn main() {
 
     // Hand-assembled JSON (the offline workspace carries no JSON crate).
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"panda-bench-release/v1\",\n");
+    json.push_str("  \"schema\": \"panda-bench-release/v2\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -210,7 +360,43 @@ fn main() {
             if i + 1 < release.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ],\n  \"sampling\": [\n");
+    json.push_str("  ],\n  \"small_batch\": [\n");
+    for (i, s) in small_batch.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"batch\": {}, \"scoped_p50_ms\": {:.4}, \"pooled_p50_ms\": {:.4}, \
+             \"pooled_speedup\": {:.3}}}{}\n",
+            s.batch,
+            s.scoped_p50_ms,
+            s.pooled_p50_ms,
+            s.speedup,
+            if i + 1 < small_batch.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    if !streaming.is_empty() {
+        json.push_str("  \"streaming\": [\n");
+        for (i, s) in streaming.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"label\": \"{}\", \"max_batch\": {}, \"max_delay_ms\": {:.1}, \
+                 \"lanes\": {}, \"reports\": {}, \"reports_per_sec\": {:.0}, \
+                 \"flush_p50_ms\": {:.3}, \"flush_p99_ms\": {:.3}, \"batches\": {}, \
+                 \"deadline_flushes\": {}}}{}\n",
+                s.label,
+                s.max_batch,
+                s.max_delay_ms,
+                s.lanes,
+                s.reports,
+                s.reports_per_sec,
+                s.flush_p50_ms,
+                s.flush_p99_ms,
+                s.batches,
+                s.deadline_flushes,
+                if i + 1 < streaming.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+    }
+    json.push_str("  \"sampling\": [\n");
     for (i, s) in sampling.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"support\": {}, \"alias_ns_per_draw\": {:.2}, \

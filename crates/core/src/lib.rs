@@ -24,7 +24,9 @@
 //!   supports) over the policy's lazily-built distance tables, consumed by
 //!   [`Mechanism::perturb_batch`].
 //! * [`release`] — the [`release::ParallelReleaser`]: deterministic
-//!   multi-threaded bulk release over one shared [`PolicyIndex`].
+//!   multi-threaded bulk release over one shared [`PolicyIndex`], running on
+//!   the persistent [`release::pool::ReleasePool`] (workers parked between
+//!   bursts; single-lane batches run inline on the caller).
 //! * [`budget`] — policy-aware privacy-budget allocation and sequential
 //!   composition across release epochs.
 //! * [`repair`] — policy feasibility under external constraints and minimal
@@ -52,4 +54,5 @@ pub use mech::{
 };
 pub use policy::LocationPolicyGraph;
 pub use privacy::{audit_pglp, AuditReport};
+pub use release::pool::ReleasePool;
 pub use release::ParallelReleaser;

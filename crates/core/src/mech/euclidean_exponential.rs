@@ -64,6 +64,20 @@ impl EuclideanExponential {
             .collect();
         Some((cells.to_vec(), weights))
     }
+
+    /// The cached sampling table for `(ε, s)` via the index's LRU.
+    fn table(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        s: CellId,
+        len: f64,
+    ) -> std::sync::Arc<crate::SamplingTable> {
+        index.distribution(self.name(), eps, s, |p| {
+            let (cells, weights) = Self::weights_with_len(p, eps, s, len).expect("non-isolated");
+            cells.into_iter().zip(weights).collect()
+        })
+    }
 }
 
 impl Mechanism for EuclideanExponential {
@@ -115,35 +129,42 @@ impl Mechanism for EuclideanExponential {
         }
     }
 
-    fn perturb_batch(
+    fn perturb_batch_into(
         &self,
         index: &PolicyIndex,
         eps: f64,
         locs: &[CellId],
         rng: &mut dyn RngCore,
-    ) -> Result<Vec<CellId>, PglpError> {
+        out: &mut [CellId],
+    ) -> Result<(), PglpError> {
+        crate::mech::check_out_len(locs, out);
         check_epsilon(eps)?;
         let policy = index.policy();
-        let mut out = Vec::with_capacity(locs.len());
+        // Streaming fast path: single-report batches skip the memo (the
+        // shared index LRU already caches the table).
+        if let [s] = *locs {
+            policy.check_cell(s)?;
+            out[0] = match index.calibration_length(s) {
+                None => s, // isolated: exact release
+                Some(len) => self.table(index, eps, s, len).sample(rng),
+            };
+            return Ok(());
+        }
         // Batch-local memo: one shared-LRU lock touch per distinct cell.
         let mut local: std::collections::HashMap<CellId, std::sync::Arc<crate::SamplingTable>> =
             std::collections::HashMap::new();
-        for &s in locs {
+        for (slot, &s) in out.iter_mut().zip(locs) {
             policy.check_cell(s)?;
             let Some(len) = index.calibration_length(s) else {
-                out.push(s); // isolated: exact release
+                *slot = s; // isolated: exact release
                 continue;
             };
-            let table = local.entry(s).or_insert_with(|| {
-                index.distribution(self.name(), eps, s, |p| {
-                    let (cells, weights) =
-                        Self::weights_with_len(p, eps, s, len).expect("non-isolated");
-                    cells.into_iter().zip(weights).collect()
-                })
-            });
-            out.push(table.sample(rng));
+            let table = local
+                .entry(s)
+                .or_insert_with(|| self.table(index, eps, s, len));
+            *slot = table.sample(rng);
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -39,6 +39,23 @@ impl GraphExponential {
             .collect()
     }
 
+    /// The cached sampling table for `(ε, s)` via the index's LRU.
+    /// Unnormalised weights suffice for sampling; the max log-weight is 0
+    /// (at `s` itself), so `exp()` is stable.
+    fn table(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        s: CellId,
+    ) -> std::sync::Arc<crate::SamplingTable> {
+        index.distribution(self.name(), eps, s, |p| {
+            Self::log_weights(p, eps, s)
+                .into_iter()
+                .map(|(c, lw)| (c, lw.exp()))
+                .collect()
+        })
+    }
+
     /// Exact log-probabilities `ln Pr[A(s) = ·]` over the support.
     /// Numerically stable (log-sum-exp); used by the privacy auditor so
     /// ratios can be checked in log space even when probabilities underflow.
@@ -99,41 +116,44 @@ impl Mechanism for GraphExponential {
         Some(log_dist.into_iter().map(|(c, l)| (c, l.exp())).collect())
     }
 
-    fn perturb_batch(
+    fn perturb_batch_into(
         &self,
         index: &PolicyIndex,
         eps: f64,
         locs: &[CellId],
         rng: &mut dyn RngCore,
-    ) -> Result<Vec<CellId>, PglpError> {
+        out: &mut [CellId],
+    ) -> Result<(), PglpError> {
+        crate::mech::check_out_len(locs, out);
         check_epsilon(eps)?;
         let policy = index.policy();
-        let mut out = Vec::with_capacity(locs.len());
+        // Streaming fast path: a single-report batch (the ingest
+        // pipeline's per-report streams) skips the batch-local memo — the
+        // shared index LRU already caches the table.
+        if let [s] = *locs {
+            policy.check_cell(s)?;
+            out[0] = if policy.is_isolated_cell(s) {
+                s
+            } else {
+                self.table(index, eps, s).sample(rng)
+            };
+            return Ok(());
+        }
         // Batch-local memo: the shared LRU lock is touched once per
         // distinct cell, not once per report — parallel chunks would
         // otherwise serialise on it.
         let mut local: std::collections::HashMap<CellId, std::sync::Arc<crate::SamplingTable>> =
             std::collections::HashMap::new();
-        for &s in locs {
+        for (slot, &s) in out.iter_mut().zip(locs) {
             policy.check_cell(s)?;
             if policy.is_isolated_cell(s) {
-                out.push(s);
+                *slot = s;
                 continue;
             }
-            let table = local.entry(s).or_insert_with(|| {
-                index.distribution(self.name(), eps, s, |p| {
-                    // Unnormalised weights suffice for inverse-CDF sampling;
-                    // the max log-weight is 0 (at s itself), so exp() is
-                    // stable.
-                    Self::log_weights(p, eps, s)
-                        .into_iter()
-                        .map(|(c, lw)| (c, lw.exp()))
-                        .collect()
-                })
-            });
-            out.push(table.sample(rng));
+            let table = local.entry(s).or_insert_with(|| self.table(index, eps, s));
+            *slot = table.sample(rng);
         }
-        Ok(out)
+        Ok(())
     }
 }
 

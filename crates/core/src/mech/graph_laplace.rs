@@ -82,29 +82,30 @@ impl Mechanism for GraphCalibratedLaplace {
         Ok(Self::snap(policy, cells, y))
     }
 
-    fn perturb_batch(
+    fn perturb_batch_into(
         &self,
         index: &PolicyIndex,
         eps: f64,
         locs: &[CellId],
         rng: &mut dyn RngCore,
-    ) -> Result<Vec<CellId>, PglpError> {
+        out: &mut [CellId],
+    ) -> Result<(), PglpError> {
+        crate::mech::check_out_len(locs, out);
         check_epsilon(eps)?;
         let policy = index.policy();
-        let mut out = Vec::with_capacity(locs.len());
-        for &s in locs {
+        for (slot, &s) in out.iter_mut().zip(locs) {
             policy.check_cell(s)?;
             // Calibration length comes from the per-component cache; the
             // noise itself is continuous, so there is no table to reuse.
             let Some(len) = index.calibration_length(s) else {
-                out.push(s);
+                *slot = s;
                 continue;
             };
             let cells = index.component_slice(s);
             let y = policy.grid().center(s) + planar_laplace_noise(rng, eps / len);
-            out.push(Self::snap(policy, cells, y));
+            *slot = Self::snap(policy, cells, y);
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -85,11 +85,10 @@ pub trait Mechanism {
     /// whole trajectory window), amortising all policy-graph work through
     /// the [`PolicyIndex`].
     ///
-    /// The default delegates to [`Mechanism::perturb`] per location —
-    /// already BFS-free thanks to the policy's precomputed distance tables.
-    /// Closed-form mechanisms override this to sample from cached cumulative
-    /// tables: O(log k) per report after the first occurrence of each
-    /// `(ε, cell)` pair.
+    /// The default allocates the output and delegates to
+    /// [`Mechanism::perturb_batch_into`] — override *that* method, not this
+    /// one, so both the allocating and the in-place path share one sampling
+    /// sequence.
     ///
     /// Outputs are positionally aligned with `locs`. Distributionally
     /// identical to calling [`Mechanism::perturb`] in a loop.
@@ -105,10 +104,59 @@ pub trait Mechanism {
         locs: &[CellId],
         rng: &mut dyn RngCore,
     ) -> Result<Vec<CellId>, PglpError> {
-        locs.iter()
-            .map(|&s| self.perturb(index.policy(), eps, s, rng))
-            .collect()
+        let mut out = vec![CellId(0); locs.len()];
+        self.perturb_batch_into(index, eps, locs, rng, &mut out)?;
+        Ok(out)
     }
+
+    /// Like [`Mechanism::perturb_batch`], but writes the released cells into
+    /// a caller-provided slice — the hot path of the release engine, which
+    /// perturbs each chunk straight into its slot of the output batch with
+    /// no intermediate allocation.
+    ///
+    /// Consumes exactly the same RNG sequence as [`Mechanism::perturb_batch`]
+    /// (which is implemented on top of this method), so for a fixed `rng`
+    /// state the two paths are byte-identical. On error `out` may be
+    /// partially written; positions at and after the failing location are
+    /// unspecified.
+    ///
+    /// The default delegates to [`Mechanism::perturb`] per location —
+    /// already BFS-free thanks to the policy's precomputed distance tables.
+    /// Closed-form mechanisms override this to sample from cached sampling
+    /// tables: O(1)–O(log k) per report after the first occurrence of each
+    /// `(ε, cell)` pair.
+    ///
+    /// # Panics
+    ///
+    /// When `out.len() != locs.len()` — a caller bug, not a data error.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Mechanism::perturb`]; the first failing
+    /// location aborts the batch.
+    fn perturb_batch_into(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        rng: &mut dyn RngCore,
+        out: &mut [CellId],
+    ) -> Result<(), PglpError> {
+        check_out_len(locs, out);
+        for (slot, &s) in out.iter_mut().zip(locs) {
+            *slot = self.perturb(index.policy(), eps, s, rng)?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared length check for [`Mechanism::perturb_batch_into`] overrides.
+pub(crate) fn check_out_len(locs: &[CellId], out: &[CellId]) {
+    assert_eq!(
+        locs.len(),
+        out.len(),
+        "perturb_batch_into: output slice length must match input"
+    );
 }
 
 /// Shared input validation for all mechanisms.
@@ -152,18 +200,21 @@ impl Mechanism for IdentityMechanism {
         Some(vec![(true_loc, 1.0)])
     }
 
-    fn perturb_batch(
+    fn perturb_batch_into(
         &self,
         index: &PolicyIndex,
         eps: f64,
         locs: &[CellId],
         _rng: &mut dyn RngCore,
-    ) -> Result<Vec<CellId>, PglpError> {
+        out: &mut [CellId],
+    ) -> Result<(), PglpError> {
+        check_out_len(locs, out);
         check_epsilon(eps)?;
         for &s in locs {
             index.policy().check_cell(s)?;
         }
-        Ok(locs.to_vec())
+        out.copy_from_slice(locs);
+        Ok(())
     }
 }
 
@@ -208,22 +259,23 @@ impl Mechanism for UniformComponent {
         Some(cells.into_iter().map(|c| (c, p)).collect())
     }
 
-    fn perturb_batch(
+    fn perturb_batch_into(
         &self,
         index: &PolicyIndex,
         eps: f64,
         locs: &[CellId],
         rng: &mut dyn RngCore,
-    ) -> Result<Vec<CellId>, PglpError> {
+        out: &mut [CellId],
+    ) -> Result<(), PglpError> {
+        check_out_len(locs, out);
         check_epsilon(eps)?;
         let policy = index.policy();
-        locs.iter()
-            .map(|&s| {
-                policy.check_cell(s)?;
-                let cells = index.component_slice(s);
-                Ok(cells[rng.gen_range(0..cells.len())])
-            })
-            .collect()
+        for (slot, &s) in out.iter_mut().zip(locs) {
+            policy.check_cell(s)?;
+            let cells = index.component_slice(s);
+            *slot = cells[rng.gen_range(0..cells.len())];
+        }
+        Ok(())
     }
 }
 

@@ -219,22 +219,23 @@ impl Mechanism for PlanarIsotropic {
         Ok(Self::release_with(&kind, policy, eps, true_loc, rng))
     }
 
-    fn perturb_batch(
+    fn perturb_batch_into(
         &self,
         index: &PolicyIndex,
         eps: f64,
         locs: &[CellId],
         rng: &mut dyn RngCore,
-    ) -> Result<Vec<CellId>, PglpError> {
+        out: &mut [CellId],
+    ) -> Result<(), PglpError> {
+        crate::mech::check_out_len(locs, out);
         check_epsilon(eps)?;
         let policy = index.policy();
-        let mut out = Vec::with_capacity(locs.len());
-        for &s in locs {
+        for (slot, &s) in out.iter_mut().zip(locs) {
             policy.check_cell(s)?;
             let kind = self.hull_of(index, s);
-            out.push(Self::release_with(&kind, policy, eps, s, rng));
+            *slot = Self::release_with(&kind, policy, eps, s, rng);
         }
-        Ok(out)
+        Ok(())
     }
 }
 

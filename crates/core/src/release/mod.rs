@@ -1,0 +1,426 @@
+//! [`ParallelReleaser`]: deterministic multi-threaded bulk release.
+//!
+//! The PR-1 batch path ([`Mechanism::perturb_batch`]) amortises policy-graph
+//! work through the [`PolicyIndex`] but still runs on one thread. This
+//! module partitions a report batch into **fixed-size chunks** and fans the
+//! chunks out over the persistent [`pool::ReleasePool`], with each chunk's
+//! RNG stream split deterministically from one seed:
+//!
+//! * the chunk grid depends only on the batch length and
+//!   [`ParallelReleaser::chunk_size`] — *never* on the thread count, the
+//!   pool size, or which worker runs which chunk — so a fixed seed yields
+//!   **bit-identical output on 1 thread or 64**;
+//! * every chunk seeds its own `StdRng` via a SplitMix64-style mix of
+//!   `(seed, chunk index)`, so streams are unrelated across chunks and
+//!   reproducible in isolation;
+//! * all threads share one [`PolicyIndex`] — its distribution, calibration
+//!   and hull caches are concurrent, so the first thread to touch a
+//!   `(mechanism, ε, cell)` key builds the table and the rest sample from
+//!   it;
+//! * chunks are perturbed **in place** into their slot of the output batch
+//!   ([`Mechanism::perturb_batch_into`]) — no per-chunk allocation or copy;
+//! * work that fits a single lane (one thread requested, or the batch fits
+//!   one chunk) runs **inline on the caller thread** — the small-batch
+//!   streaming hot path pays neither a spawn nor a queue hand-off.
+//!
+//! [`ParallelReleaser::release_scoped`] keeps the PR-2 fresh-scope-per-call
+//! implementation as the executable reference for the determinism contract:
+//! the pooled path must stay byte-identical to it (CI-enforced) and the
+//! spawn cost it pays per call is the small-batch baseline
+//! `BENCH_release.json` tracks.
+//!
+//! The surveillance server consumes the output via
+//! `Server::receive_batch`, which groups reports by shard before taking any
+//! lock — together with the streaming ingest pipeline they form the release
+//! engine the experiment binaries and the simulation driver run on.
+
+pub mod pool;
+
+use crate::error::PglpError;
+use crate::index::PolicyIndex;
+use crate::mech::Mechanism;
+use panda_geo::CellId;
+use pool::ReleasePool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Default chunk size: big enough to amortise thread hand-off, small enough
+/// to load-balance a 256k-report batch over many threads.
+pub const DEFAULT_CHUNK_SIZE: usize = 4096;
+
+/// One chunk of work: (chunk index, input cells, output slot).
+type Chunk<'a> = (usize, &'a [CellId], &'a mut [CellId]);
+
+/// A deterministic parallel bulk-release driver. Cheap to construct; holds
+/// no per-policy state (that lives in the [`PolicyIndex`]) and no threads
+/// (releases run on the shared [`ReleasePool`], or inline when a single
+/// lane suffices).
+#[derive(Debug, Clone)]
+pub struct ParallelReleaser {
+    n_threads: usize,
+    chunk_size: usize,
+}
+
+impl Default for ParallelReleaser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelReleaser {
+    /// A releaser using all available hardware parallelism.
+    pub fn new() -> Self {
+        Self::with_threads(pool::default_parallelism())
+    }
+
+    /// A releaser with an explicit lane count (≥ 1): the maximum number of
+    /// pool workers one release call occupies. The lane count affects
+    /// wall-clock only, never the released cells.
+    pub fn with_threads(n_threads: usize) -> Self {
+        ParallelReleaser {
+            n_threads: n_threads.max(1),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Overrides the chunk size (≥ 1). Unlike the thread count, the chunk
+    /// grid is part of the deterministic stream: changing it changes which
+    /// RNG stream covers which report, and therefore the output.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Maximum concurrent lanes per release call.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Reports per deterministic RNG chunk.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Releases `locs` through `mech` under the indexed policy on the
+    /// shared [`ReleasePool::global`], using up to
+    /// [`ParallelReleaser::n_threads`] lanes. Outputs are positionally
+    /// aligned with `locs` and **bit-identical for a fixed `(seed,
+    /// chunk_size)` regardless of the lane count, pool size, or
+    /// scheduling** — and identical to [`ParallelReleaser::release_scoped`].
+    ///
+    /// Single-lane work (one thread requested, or `locs` fits one chunk)
+    /// runs inline on the caller thread with no hand-off at all.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Mechanism::perturb_batch`]. When several
+    /// chunks fail, the error of the earliest failing chunk is returned
+    /// (deterministic).
+    pub fn release(
+        &self,
+        mech: &(dyn Mechanism + Sync),
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        seed: u64,
+    ) -> Result<Vec<CellId>, PglpError> {
+        self.release_on(ReleasePool::global(), mech, index, eps, locs, seed)
+    }
+
+    /// [`ParallelReleaser::release`] on an explicit pool (a dedicated
+    /// ingest pool, a test pool of a fixed size). Output does not depend on
+    /// which pool runs the work.
+    pub fn release_on(
+        &self,
+        pool: &ReleasePool,
+        mech: &(dyn Mechanism + Sync),
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        seed: u64,
+    ) -> Result<Vec<CellId>, PglpError> {
+        let mut out = vec![CellId(0); locs.len()];
+        if locs.is_empty() {
+            return Ok(out);
+        }
+        let mut lanes = self.lanes(locs, &mut out);
+        let failures: Vec<(usize, PglpError)> = if lanes.len() == 1 {
+            // Small-batch fast path: one lane has zero exploitable
+            // parallelism — run it on the caller thread, skipping the queue
+            // hand-off entirely. Byte-identical: same chunk grid, same
+            // per-chunk streams.
+            run_lane(mech, index, eps, seed, lanes.pop().expect("one lane"))
+        } else {
+            let failures: Mutex<Vec<(usize, PglpError)>> = Mutex::new(Vec::new());
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = lanes
+                .into_iter()
+                .map(|lane| {
+                    let failures = &failures;
+                    Box::new(move || {
+                        let errs = run_lane(mech, index, eps, seed, lane);
+                        if !errs.is_empty() {
+                            failures.lock().expect("failures poisoned").extend(errs);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(jobs);
+            failures.into_inner().expect("failures poisoned")
+        };
+        match failures.into_iter().min_by_key(|&(i, _)| i) {
+            Some((_, e)) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// The PR-2 implementation — a fresh crossbeam scope per call — kept as
+    /// the executable reference for the determinism contract (the pooled
+    /// [`ParallelReleaser::release`] must match it byte for byte; see the
+    /// `pooled_release_matches_scoped_reference` test) and as the
+    /// spawn-cost baseline the small-batch benchmarks compare against.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ParallelReleaser::release`].
+    pub fn release_scoped(
+        &self,
+        mech: &(dyn Mechanism + Sync),
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        seed: u64,
+    ) -> Result<Vec<CellId>, PglpError> {
+        let mut out = vec![CellId(0); locs.len()];
+        if locs.is_empty() {
+            return Ok(out);
+        }
+        let lanes = self.lanes(locs, &mut out);
+        let failures: Vec<(usize, PglpError)> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .into_iter()
+                .map(|lane| scope.spawn(move |_| run_lane(mech, index, eps, seed, lane)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("release worker panicked"))
+                .collect()
+        })
+        .expect("release scope panicked");
+        match failures.into_iter().min_by_key(|&(i, _)| i) {
+            Some((_, e)) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Deals the chunk grid round-robin onto `min(n_threads, n_chunks)`
+    /// lanes. The assignment affects only which lane runs which chunk; the
+    /// per-chunk RNG stream is a pure function of `(seed, chunk index)`.
+    fn lanes<'a>(&self, locs: &'a [CellId], out: &'a mut [CellId]) -> Vec<Vec<Chunk<'a>>> {
+        let n_chunks = locs.len().div_ceil(self.chunk_size);
+        let n_lanes = self.n_threads.min(n_chunks);
+        let mut lanes: Vec<Vec<Chunk<'a>>> = (0..n_lanes).map(|_| Vec::new()).collect();
+        for (i, (input, output)) in locs
+            .chunks(self.chunk_size)
+            .zip(out.chunks_mut(self.chunk_size))
+            .enumerate()
+        {
+            lanes[i % n_lanes].push((i, input, output));
+        }
+        lanes
+    }
+}
+
+/// Perturbs every chunk of one lane in place, collecting `(chunk index,
+/// error)` pairs. Shared by the pooled, scoped and inline paths — one
+/// sampling sequence, three schedulers.
+fn run_lane(
+    mech: &(dyn Mechanism + Sync),
+    index: &PolicyIndex,
+    eps: f64,
+    seed: u64,
+    lane: Vec<Chunk<'_>>,
+) -> Vec<(usize, PglpError)> {
+    let mut errs = Vec::new();
+    for (i, input, output) in lane {
+        let mut rng = chunk_rng(seed, i as u64);
+        if let Err(e) = mech.perturb_batch_into(index, eps, input, &mut rng, output) {
+            errs.push((i, e));
+        }
+    }
+    errs
+}
+
+/// The SplitMix64 finaliser: a bijective avalanche mix, shared by the
+/// chunk-stream derivation here and the server's shard routing so the two
+/// never drift apart.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG stream of chunk `chunk` under `seed`: a SplitMix64-style
+/// finaliser over the pair, so nearby chunk indices (and nearby seeds) get
+/// unrelated streams.
+pub fn chunk_rng(seed: u64, chunk: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mech::{GraphExponential, UniformComponent};
+    use crate::policy::LocationPolicyGraph;
+    use panda_geo::GridMap;
+    use rand::Rng;
+
+    fn workload(n: usize) -> (PolicyIndex, Vec<CellId>) {
+        let grid = GridMap::new(16, 16, 100.0);
+        let policy = LocationPolicyGraph::partition(grid.clone(), 4, 4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let locs: Vec<CellId> = (0..n)
+            .map(|_| CellId(rng.gen_range(0..grid.n_cells())))
+            .collect();
+        (PolicyIndex::new(policy), locs)
+    }
+
+    #[test]
+    fn output_is_bit_identical_across_thread_counts() {
+        let (index, locs) = workload(10_000);
+        let reference = ParallelReleaser::with_threads(1)
+            .release(&GraphExponential, &index, 1.0, &locs, 7)
+            .unwrap();
+        for threads in [2, 3, 4, 8, 16] {
+            let out = ParallelReleaser::with_threads(threads)
+                .release(&GraphExponential, &index, 1.0, &locs, 7)
+                .unwrap();
+            assert_eq!(out, reference, "thread count {threads} changed output");
+        }
+    }
+
+    /// The PR-3 contract: the persistent-pool path must be byte-identical
+    /// to the PR-2 scoped-spawn reference for every lane count — including
+    /// the single-lane inline fast path and batches at/below one chunk.
+    #[test]
+    fn pooled_release_matches_scoped_reference() {
+        for n in [100, DEFAULT_CHUNK_SIZE, 10_000] {
+            let (index, locs) = workload(n);
+            for threads in [1, 2, 4, 16] {
+                let r = ParallelReleaser::with_threads(threads);
+                let scoped = r
+                    .release_scoped(&GraphExponential, &index, 1.0, &locs, 7)
+                    .unwrap();
+                let pooled = r.release(&GraphExponential, &index, 1.0, &locs, 7).unwrap();
+                assert_eq!(
+                    pooled, scoped,
+                    "pooled != scoped at batch {n}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    /// Output must not depend on the size of the pool running the lanes.
+    #[test]
+    fn output_is_pool_size_invariant() {
+        let (index, locs) = workload(20_000);
+        let r = ParallelReleaser::with_threads(4);
+        let reference = r
+            .release_scoped(&GraphExponential, &index, 1.0, &locs, 3)
+            .unwrap();
+        for workers in [1, 2, 8] {
+            let pool = ReleasePool::new(workers);
+            let out = r
+                .release_on(&pool, &GraphExponential, &index, 1.0, &locs, 3)
+                .unwrap();
+            assert_eq!(out, reference, "pool size {workers} changed output");
+        }
+    }
+
+    #[test]
+    fn seed_and_chunk_size_are_part_of_the_stream() {
+        let (index, locs) = workload(5_000);
+        let r = ParallelReleaser::with_threads(4);
+        let a = r.release(&UniformComponent, &index, 1.0, &locs, 1).unwrap();
+        let b = r.release(&UniformComponent, &index, 1.0, &locs, 2).unwrap();
+        assert_ne!(a, b, "different seeds must differ");
+        let c = r
+            .clone()
+            .with_chunk_size(512)
+            .release(&UniformComponent, &index, 1.0, &locs, 1)
+            .unwrap();
+        assert_ne!(a, c, "chunk size is documented as part of the stream");
+    }
+
+    #[test]
+    fn matches_sequential_perturb_batch_distribution() {
+        // Not bit-equal to a single-rng run (streams differ), but each
+        // output must stay in its component and the empirical distribution
+        // must match the single-threaded batch path.
+        let (index, _) = workload(0);
+        let s = CellId(0);
+        let locs = vec![s; 40_000];
+        let par = ParallelReleaser::with_threads(4)
+            .release(&GraphExponential, &index, 1.0, &locs, 11)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let seq = GraphExponential
+            .perturb_batch(&index, 1.0, &locs, &mut rng)
+            .unwrap();
+        let census = |out: &[CellId]| {
+            let mut m = std::collections::HashMap::new();
+            for &z in out {
+                *m.entry(z).or_insert(0usize) += 1;
+            }
+            m
+        };
+        let (cp, cs) = (census(&par), census(&seq));
+        for (cell, &n_par) in &cp {
+            assert!(index.policy().same_component(s, *cell));
+            let n_seq = *cs.get(cell).unwrap_or(&0);
+            let (fp, fs) = (
+                n_par as f64 / locs.len() as f64,
+                n_seq as f64 / locs.len() as f64,
+            );
+            assert!((fp - fs).abs() < 0.015, "cell {cell}: {fp} vs {fs}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_error_propagation() {
+        let (index, _) = workload(0);
+        let r = ParallelReleaser::with_threads(4);
+        assert_eq!(
+            r.release(&GraphExponential, &index, 1.0, &[], 3).unwrap(),
+            Vec::new()
+        );
+        // Invalid eps fails in every chunk; the error must surface.
+        let locs = vec![CellId(0); 100];
+        assert!(matches!(
+            r.release(&GraphExponential, &index, 0.0, &locs, 3),
+            Err(PglpError::InvalidEpsilon(_))
+        ));
+        // An out-of-domain cell in a late chunk also surfaces — from the
+        // pooled and the scoped path alike.
+        let mut locs = vec![CellId(0); 9000];
+        locs[8999] = CellId(u32::MAX);
+        assert!(matches!(
+            r.release(&GraphExponential, &index, 1.0, &locs, 3),
+            Err(PglpError::LocationOutOfDomain(_))
+        ));
+        assert!(matches!(
+            r.release_scoped(&GraphExponential, &index, 1.0, &locs, 3),
+            Err(PglpError::LocationOutOfDomain(_))
+        ));
+    }
+
+    #[test]
+    fn more_threads_than_chunks_is_fine() {
+        let (index, locs) = workload(10);
+        let out = ParallelReleaser::with_threads(64)
+            .release(&GraphExponential, &index, 1.0, &locs, 5)
+            .unwrap();
+        assert_eq!(out.len(), locs.len());
+    }
+}

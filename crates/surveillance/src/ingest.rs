@@ -1,0 +1,929 @@
+//! [`IngestPipeline`]: streaming report ingest with micro-batching.
+//!
+//! PANDA's surveillance setting is inherently *streaming* — users report
+//! perturbed locations continuously, not as one offline bulk replay. This
+//! module is the server-side front end for that regime:
+//!
+//! * producers push [`PendingReport`]s through a **bounded MPMC queue**
+//!   ([`IngestHandle::submit`] blocks at capacity — backpressure, never an
+//!   unbounded backlog);
+//! * a collector thread **micro-batches** the stream under a size/deadline
+//!   flush policy: a batch goes out when it reaches
+//!   [`IngestConfig::max_batch`] reports or when its oldest report has
+//!   waited [`IngestConfig::max_delay`];
+//! * each flush releases through one shared [`PolicyIndex`] over the
+//!   persistent release pool and lands via `Server::receive_batch`;
+//! * dropping or [`IngestPipeline::shutdown`]-ing the pipeline **drains**:
+//!   everything queued before shutdown is flushed before the collector
+//!   exits — no report is lost.
+//!
+//! ## Determinism
+//!
+//! Every report is perturbed from its own RNG stream, keyed by the
+//! pipeline seed and the report's **arrival sequence number** (its position
+//! in the queue order). Batch boundaries therefore do not touch the
+//! sampling streams: for a fixed seed and a fixed arrival order the
+//! released cells are bit-identical regardless of flush timing, micro-batch
+//! sizes, release-lane count, or pool size.
+//!
+//! Caveats: (1) the *arrival order* is the contract — concurrent producers
+//! interleave nondeterministically, so cross-producer reproducibility
+//! requires replaying the same interleaving (each report's released cell
+//! still depends only on its own sequence number, so any two runs that
+//! agree on a report's queue position agree on its output); (2) reports
+//! for the same `(user, epoch)` overwrite in queue order — racing them
+//! across *separate* pipelines (or submitting after shutdown began) forfeits
+//! that ordering.
+//!
+//! Policy updates ride the same queue ([`IngestPipeline::switch_policy`]):
+//! a switch flushes the batch in progress, then applies to every later
+//! report — epoch boundaries in the streaming simulation map onto exactly
+//! this mechanism.
+
+use crate::protocol::LocationReport;
+use crate::server::Server;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use panda_core::release::chunk_rng;
+use panda_core::{Mechanism, PolicyIndex, ReleasePool};
+use panda_geo::CellId;
+use panda_mobility::{Timestamp, UserId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A client's planned (not yet perturbed) report entering the pipeline.
+///
+/// The pipeline perturbs `cell` under the current policy index before the
+/// server ever sees it — mirroring how the simulation driver releases
+/// planned routine reports centrally through one shared index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingReport {
+    /// Reporting user.
+    pub user: UserId,
+    /// Epoch the location belongs to.
+    pub epoch: Timestamp,
+    /// The *true* cell, to be perturbed on release.
+    pub cell: CellId,
+    /// Whether this supersedes an earlier report for the same epoch.
+    pub resend: bool,
+}
+
+/// Flush policy, queue bound and release parameters of a pipeline.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Flush a micro-batch at this many pending reports.
+    pub max_batch: usize,
+    /// Flush when the oldest pending report has waited this long.
+    pub max_delay: Duration,
+    /// Bounded queue capacity: producers block (or [`IngestHandle::try_submit`]
+    /// fails fast) once this many messages are in flight.
+    pub queue_capacity: usize,
+    /// Maximum release lanes per flush over the shared pool (1 = release
+    /// inline on the collector thread). Affects wall-clock only, never the
+    /// released cells.
+    pub release_lanes: usize,
+    /// ε per released report.
+    pub eps: f64,
+    /// Base seed of the per-report RNG streams.
+    pub seed: u64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            max_batch: 512,
+            max_delay: Duration::from_millis(5),
+            queue_capacity: 8192,
+            release_lanes: panda_core::release::pool::default_parallelism(),
+            eps: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Counters and latency trace of a pipeline's lifetime, returned by
+/// [`IngestPipeline::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Reports that entered the collector.
+    pub submitted: usize,
+    /// Reports released and landed on the server.
+    pub landed: usize,
+    /// Reports dropped because release failed (bad ε, foreign cell).
+    pub rejected: usize,
+    /// Micro-batches flushed (only non-empty flushes count).
+    pub batches: usize,
+    /// Flushes triggered by reaching [`IngestConfig::max_batch`].
+    pub size_flushes: usize,
+    /// Flushes triggered by the [`IngestConfig::max_delay`] deadline.
+    pub deadline_flushes: usize,
+    /// Flushes forced by a policy switch or shutdown drain.
+    pub forced_flushes: usize,
+    /// Policy switches applied.
+    pub policy_switches: usize,
+    /// Per-flush wall-clock latency (release + server landing), in ms —
+    /// the most recent [`FLUSH_LATENCY_WINDOW`] flushes (ring-buffered so
+    /// an indefinitely-running pipeline keeps bounded memory).
+    pub flush_ms: Vec<f64>,
+}
+
+/// How many per-flush latencies [`IngestStats::flush_ms`] retains: a
+/// sliding window wide enough for stable p99 estimates, small enough
+/// (64 KiB) that a pipeline running for months stays bounded.
+pub const FLUSH_LATENCY_WINDOW: usize = 8192;
+
+impl IngestStats {
+    /// The `p`-th percentile (0 < p ≤ 1) of per-flush latency over the
+    /// retained window, in ms.
+    pub fn flush_ms_percentile(&self, p: f64) -> f64 {
+        let mut sorted = self.flush_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        percentile(&sorted, p)
+    }
+}
+
+/// The `p`-th percentile (0 < p ≤ 1) of an ascending-sorted sample by the
+/// ceil-index rule, 0.0 on an empty sample — the one formula shared by the
+/// pipeline stats and the latency benchmarks, so their reported p50/p99
+/// stay comparable.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Submit failed: the pipeline has shut down.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SubmitError(pub PendingReport);
+
+/// Why a [`IngestHandle::try_submit`] did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySubmitError {
+    /// The queue is at capacity right now (backpressure).
+    Full(PendingReport),
+    /// The pipeline has shut down.
+    Closed(PendingReport),
+}
+
+/// Messages riding the ingest queue: reports, in-band policy switches, and
+/// the shutdown marker.
+enum IngestMsg {
+    Report(PendingReport),
+    Switch(Arc<PolicyIndex>),
+    Stop,
+}
+
+/// A cloneable producer handle onto a pipeline's bounded queue.
+#[derive(Clone)]
+pub struct IngestHandle {
+    tx: Sender<IngestMsg>,
+}
+
+impl IngestHandle {
+    /// Enqueues a report, blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the pipeline has shut down.
+    pub fn submit(&self, report: PendingReport) -> Result<(), SubmitError> {
+        self.tx
+            .send(IngestMsg::Report(report))
+            .map_err(|_| SubmitError(report))
+    }
+
+    /// Enqueues a report only if the queue has room right now.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Full`] at capacity, [`TrySubmitError::Closed`]
+    /// when the pipeline has shut down.
+    pub fn try_submit(&self, report: PendingReport) -> Result<(), TrySubmitError> {
+        self.tx
+            .try_send(IngestMsg::Report(report))
+            .map_err(|e| match e {
+                TrySendError::Full(_) => TrySubmitError::Full(report),
+                TrySendError::Disconnected(_) => TrySubmitError::Closed(report),
+            })
+    }
+
+    /// Messages currently queued (racy by nature; for monitoring/tests).
+    pub fn queue_len(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// The queue's fixed capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.tx.capacity()
+    }
+}
+
+/// The streaming ingest front end: one bounded queue, one collector thread,
+/// releases fanned over the shared [`ReleasePool`].
+pub struct IngestPipeline {
+    tx: Sender<IngestMsg>,
+    collector: Option<std::thread::JoinHandle<IngestStats>>,
+}
+
+impl IngestPipeline {
+    /// Spawns a pipeline landing into `server`, releasing through `mech`
+    /// under `index` with the given flush policy.
+    pub fn spawn(
+        server: Arc<Server>,
+        index: Arc<PolicyIndex>,
+        mech: Arc<dyn Mechanism + Send + Sync>,
+        config: IngestConfig,
+    ) -> Self {
+        let (tx, rx) = bounded::<IngestMsg>(config.queue_capacity.max(1));
+        let collector = std::thread::Builder::new()
+            .name("panda-ingest".into())
+            .spawn(move || Collector::new(server, index, mech, config).run(rx))
+            .expect("spawn ingest collector");
+        IngestPipeline {
+            tx,
+            collector: Some(collector),
+        }
+    }
+
+    /// A new producer handle onto the queue (clone freely across threads).
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Switches the policy index for all later reports, in-band: the batch
+    /// in progress is flushed first, so a switch is a clean boundary in the
+    /// landed stream.
+    pub fn switch_policy(&self, index: Arc<PolicyIndex>) {
+        // The collector outlives the pipeline's own sender, so this only
+        // fails after shutdown — at which point a switch is a no-op anyway.
+        let _ = self.tx.send(IngestMsg::Switch(index));
+    }
+
+    /// Shuts down: everything queued before this call is flushed and
+    /// landed, then the collector exits and its stats are returned.
+    ///
+    /// Reports submitted concurrently with shutdown (from cloned handles)
+    /// may or may not make the final drain; reports submitted *before* are
+    /// never lost.
+    pub fn shutdown(mut self) -> IngestStats {
+        let _ = self.tx.send(IngestMsg::Stop);
+        self.collector
+            .take()
+            .expect("collector joined once")
+            .join()
+            .expect("ingest collector panicked")
+    }
+}
+
+impl Drop for IngestPipeline {
+    fn drop(&mut self) {
+        if let Some(collector) = self.collector.take() {
+            let _ = self.tx.send(IngestMsg::Stop);
+            // Same drain guarantee as `shutdown`; stats are discarded.
+            collector.join().expect("ingest collector panicked");
+        }
+    }
+}
+
+/// The collector-thread state: pending micro-batch plus lifetime stats.
+struct Collector {
+    server: Arc<Server>,
+    index: Arc<PolicyIndex>,
+    mech: Arc<dyn Mechanism + Send + Sync>,
+    config: IngestConfig,
+    /// `(arrival sequence number, report)` pending in the current batch.
+    pending: Vec<(u64, PendingReport)>,
+    /// When the oldest pending report arrived (deadline anchor).
+    oldest: Option<Instant>,
+    next_seq: u64,
+    /// Ring cursor into `stats.flush_ms` once the window is full.
+    flush_cursor: usize,
+    stats: IngestStats,
+}
+
+/// Why a flush fired (stats attribution).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FlushCause {
+    Size,
+    Deadline,
+    Forced,
+}
+
+impl Collector {
+    fn new(
+        server: Arc<Server>,
+        index: Arc<PolicyIndex>,
+        mech: Arc<dyn Mechanism + Send + Sync>,
+        config: IngestConfig,
+    ) -> Self {
+        Collector {
+            server,
+            index,
+            mech,
+            config,
+            pending: Vec::new(),
+            oldest: None,
+            next_seq: 0,
+            flush_cursor: 0,
+            stats: IngestStats::default(),
+        }
+    }
+
+    fn run(mut self, rx: Receiver<IngestMsg>) -> IngestStats {
+        loop {
+            // Parked when idle; woken by work or by the flush deadline.
+            // A `max_delay` too large for `Instant` arithmetic (e.g.
+            // `Duration::MAX` as a "never flush by deadline" sentinel)
+            // simply disables the deadline.
+            let deadline = self
+                .oldest
+                .and_then(|oldest| oldest.checked_add(self.config.max_delay));
+            let msg = match deadline {
+                None => rx.recv().ok(),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.flush(FlushCause::Deadline);
+                        continue;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(msg) => Some(msg),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            self.flush(FlushCause::Deadline);
+                            continue;
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => None,
+                    }
+                }
+            };
+            match msg {
+                Some(IngestMsg::Report(report)) => {
+                    if self.pending.is_empty() {
+                        self.oldest = Some(Instant::now());
+                    }
+                    self.pending.push((self.next_seq, report));
+                    self.next_seq += 1;
+                    self.stats.submitted += 1;
+                    if self.pending.len() >= self.config.max_batch {
+                        self.flush(FlushCause::Size);
+                    }
+                }
+                Some(IngestMsg::Switch(index)) => {
+                    // Flush under the old policy first: the switch is a
+                    // clean boundary in the landed stream.
+                    self.flush(FlushCause::Forced);
+                    self.index = index;
+                    self.stats.policy_switches += 1;
+                }
+                // Stop, or every sender gone: drain and exit.
+                Some(IngestMsg::Stop) | None => {
+                    self.flush(FlushCause::Forced);
+                    return self.stats;
+                }
+            }
+        }
+    }
+
+    /// Releases the pending micro-batch (per-report RNG streams, fanned
+    /// over the shared pool) and lands it on the server.
+    fn flush(&mut self, cause: FlushCause) {
+        self.oldest = None;
+        if self.pending.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let batch = std::mem::take(&mut self.pending);
+        let mut released: Vec<Option<CellId>> = vec![None; batch.len()];
+        let n_lanes = self.config.release_lanes.max(1).min(batch.len());
+        let lane_len = batch.len().div_ceil(n_lanes);
+        if n_lanes == 1 {
+            release_lane(
+                &*self.mech,
+                &self.index,
+                self.config.eps,
+                self.config.seed,
+                &batch,
+                &mut released,
+            );
+        } else {
+            let mech = &*self.mech;
+            let (index, eps, seed) = (&self.index, self.config.eps, self.config.seed);
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = batch
+                .chunks(lane_len)
+                .zip(released.chunks_mut(lane_len))
+                .map(|(reports, out)| {
+                    Box::new(move || release_lane(mech, index, eps, seed, reports, out))
+                        as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            ReleasePool::global().run_scoped(jobs);
+        }
+        let mut landed = Vec::with_capacity(batch.len());
+        for (&(_, r), z) in batch.iter().zip(released) {
+            match z {
+                Some(cell) => landed.push(LocationReport {
+                    user: r.user,
+                    epoch: r.epoch,
+                    cell,
+                    resend: r.resend,
+                }),
+                None => self.stats.rejected += 1,
+            }
+        }
+        self.stats.landed += landed.len();
+        if !landed.is_empty() {
+            self.server.receive_batch(landed);
+        }
+        self.stats.batches += 1;
+        match cause {
+            FlushCause::Size => self.stats.size_flushes += 1,
+            FlushCause::Deadline => self.stats.deadline_flushes += 1,
+            FlushCause::Forced => self.stats.forced_flushes += 1,
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if self.stats.flush_ms.len() < FLUSH_LATENCY_WINDOW {
+            self.stats.flush_ms.push(ms);
+        } else {
+            // Window full: overwrite the oldest sample (ring).
+            self.stats.flush_ms[self.flush_cursor] = ms;
+            self.flush_cursor = (self.flush_cursor + 1) % FLUSH_LATENCY_WINDOW;
+        }
+    }
+}
+
+/// Releases one lane of a micro-batch: each report from its own RNG stream
+/// `chunk_rng(seed, arrival seq)`, so the output is a pure per-report
+/// function — invariant to batching, lane count and scheduling. `None`
+/// marks a rejected report.
+fn release_lane(
+    mech: &(dyn Mechanism + Sync),
+    index: &PolicyIndex,
+    eps: f64,
+    seed: u64,
+    reports: &[(u64, PendingReport)],
+    out: &mut [Option<CellId>],
+) {
+    for (&(seq, r), slot) in reports.iter().zip(out.iter_mut()) {
+        let mut rng = chunk_rng(seed, seq);
+        let mut released = [CellId(0)];
+        *slot = mech
+            .perturb_batch_into(index, eps, &[r.cell], &mut rng, &mut released)
+            .ok()
+            .map(|()| released[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_core::{GraphExponential, LocationPolicyGraph};
+    use panda_geo::GridMap;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(shards: usize) -> (Arc<Server>, Arc<PolicyIndex>) {
+        let grid = GridMap::new(8, 8, 100.0);
+        let server = Arc::new(Server::with_shards(grid.clone(), shards));
+        let index = Arc::new(PolicyIndex::new(LocationPolicyGraph::partition(grid, 2, 2)));
+        (server, index)
+    }
+
+    fn trace(n: usize, seed: u64) -> Vec<PendingReport> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| PendingReport {
+                user: UserId(rng.gen_range(0..200)),
+                epoch: (i / 200) as Timestamp,
+                cell: CellId(rng.gen_range(0..64)),
+                resend: false,
+            })
+            .collect()
+    }
+
+    fn run_trace(trace: &[PendingReport], config: IngestConfig) -> (Arc<Server>, IngestStats) {
+        let (server, index) = setup(16);
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            index,
+            Arc::new(GraphExponential),
+            config,
+        );
+        let handle = pipeline.handle();
+        for &r in trace {
+            handle.submit(r).unwrap();
+        }
+        let stats = pipeline.shutdown();
+        (server, stats)
+    }
+
+    /// The determinism contract: same seed + same arrival trace ⇒ identical
+    /// server DB, regardless of lane count and flush timing.
+    #[test]
+    fn server_db_invariant_to_lanes_and_flush_policy() {
+        let trace = trace(3_000, 5);
+        let configs = [
+            // One lane, big batches.
+            IngestConfig {
+                max_batch: 1024,
+                release_lanes: 1,
+                seed: 9,
+                ..Default::default()
+            },
+            // Many lanes, big batches.
+            IngestConfig {
+                max_batch: 1024,
+                release_lanes: 8,
+                seed: 9,
+                ..Default::default()
+            },
+            // Tiny batches: ~94 flushes instead of 3.
+            IngestConfig {
+                max_batch: 32,
+                release_lanes: 4,
+                seed: 9,
+                ..Default::default()
+            },
+            // Deadline-dominated: flushes fire on the clock mid-stream.
+            IngestConfig {
+                max_batch: usize::MAX,
+                max_delay: Duration::from_micros(200),
+                release_lanes: 2,
+                seed: 9,
+                ..Default::default()
+            },
+        ];
+        let (reference, ref_stats) = run_trace(&trace, configs[0].clone());
+        assert_eq!(ref_stats.landed, trace.len());
+        let horizon = 16;
+        let ref_db = reference.reported_db(horizon);
+        for config in &configs[1..] {
+            let (server, stats) = run_trace(&trace, config.clone());
+            assert_eq!(stats.landed, trace.len());
+            assert_eq!(
+                server.reported_db(horizon).trajectories(),
+                ref_db.trajectories(),
+                "lanes={} max_batch={} changed the DB",
+                config.release_lanes,
+                config.max_batch
+            );
+        }
+    }
+
+    /// A different seed must change the released stream.
+    #[test]
+    fn seed_is_part_of_the_stream() {
+        let trace = trace(2_000, 5);
+        let (a, _) = run_trace(
+            &trace,
+            IngestConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let (b, _) = run_trace(
+            &trace,
+            IngestConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        assert_ne!(
+            a.reported_db(16).trajectories(),
+            b.reported_db(16).trajectories()
+        );
+    }
+
+    /// Backpressure: under a bursty multi-producer load the queue never
+    /// exceeds its capacity, and every blocked submit still lands.
+    #[test]
+    fn backpressure_bound_is_honored() {
+        let (server, index) = setup(16);
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            index,
+            Arc::new(GraphExponential),
+            IngestConfig {
+                queue_capacity: 64,
+                max_batch: 128,
+                ..Default::default()
+            },
+        );
+        let producers: Vec<_> = (0..4u32)
+            .map(|p| {
+                let handle = pipeline.handle();
+                std::thread::spawn(move || {
+                    for i in 0..2_000u32 {
+                        handle
+                            .submit(PendingReport {
+                                user: UserId(p * 10_000 + i % 100),
+                                epoch: (i / 100) as Timestamp,
+                                cell: CellId(i % 64),
+                                resend: false,
+                            })
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        let sampler = {
+            let handle = pipeline.handle();
+            std::thread::spawn(move || {
+                let mut max_len = 0;
+                for _ in 0..2_000 {
+                    max_len = max_len.max(handle.queue_len());
+                    std::thread::yield_now();
+                }
+                max_len
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        let max_len = sampler.join().unwrap();
+        assert!(
+            max_len <= 64,
+            "queue grew past its capacity: {max_len} > 64"
+        );
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.submitted, 8_000);
+        assert_eq!(stats.landed, 8_000);
+        assert_eq!(server.n_received(), 8_000);
+    }
+
+    /// try_submit fails fast with Full instead of blocking — and Closed
+    /// after shutdown.
+    #[test]
+    fn try_submit_reports_full_and_closed() {
+        let report = PendingReport {
+            user: UserId(0),
+            epoch: 0,
+            cell: CellId(0),
+            resend: false,
+        };
+        let (server, index) = setup(1);
+        let pipeline = IngestPipeline::spawn(
+            server,
+            index,
+            Arc::new(GraphExponential),
+            IngestConfig::default(),
+        );
+        let handle = pipeline.handle();
+        pipeline.shutdown();
+        assert_eq!(
+            handle.try_submit(report),
+            Err(TrySubmitError::Closed(report))
+        );
+        assert_eq!(handle.submit(report), Err(SubmitError(report)));
+    }
+
+    /// Saturating a tiny queue with a spinning producer must surface
+    /// [`TrySubmitError::Full`] (the backpressure fast-fail the README
+    /// advertises), and every accepted report still lands.
+    #[test]
+    fn try_submit_full_under_saturated_queue() {
+        let (server, index) = setup(16);
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            index,
+            Arc::new(GraphExponential),
+            IngestConfig {
+                queue_capacity: 1,
+                ..Default::default()
+            },
+        );
+        let handle = pipeline.handle();
+        let mut accepted = 0usize;
+        let mut saw_full = false;
+        for i in 0..1_000_000u32 {
+            let r = PendingReport {
+                user: UserId(i % 50),
+                epoch: 0,
+                cell: CellId(i % 64),
+                resend: false,
+            };
+            match handle.try_submit(r) {
+                Ok(()) => accepted += 1,
+                Err(TrySubmitError::Full(rejected)) => {
+                    assert_eq!(rejected, r, "Full must return the report");
+                    saw_full = true;
+                    break;
+                }
+                Err(TrySubmitError::Closed(_)) => unreachable!("pipeline alive"),
+            }
+        }
+        assert!(
+            saw_full,
+            "a capacity-1 queue never filled under a spinning producer"
+        );
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.landed, accepted, "accepted reports must all land");
+        assert_eq!(server.n_received(), accepted);
+    }
+
+    /// `Duration::MAX` is a usable "never flush by deadline" sentinel: the
+    /// deadline arithmetic must disable itself rather than panic the
+    /// collector.
+    #[test]
+    fn duration_max_delay_disables_the_deadline() {
+        let trace = trace(100, 8);
+        let (server, stats) = run_trace(
+            &trace,
+            IngestConfig {
+                max_batch: 40,
+                max_delay: Duration::MAX,
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.landed, 100);
+        assert_eq!(stats.deadline_flushes, 0);
+        assert_eq!(stats.size_flushes, 2);
+        assert_eq!(server.n_received(), 100);
+    }
+
+    /// Shutdown drains: every report queued before shutdown lands, even
+    /// with a flush policy that would otherwise still be waiting.
+    #[test]
+    fn drain_on_shutdown_loses_no_reports() {
+        let trace = trace(777, 3);
+        let (server, stats) = run_trace(
+            &trace,
+            IngestConfig {
+                // Neither bound would fire on its own before shutdown.
+                max_batch: usize::MAX,
+                max_delay: Duration::from_secs(3600),
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.submitted, 777);
+        assert_eq!(stats.landed, 777);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.batches, 1, "single forced drain flush");
+        assert_eq!(stats.forced_flushes, 1);
+        assert_eq!(server.n_received(), 777);
+    }
+
+    /// Size-flush attribution, timing-robust: with the deadline effectively
+    /// off, a dense stream flushes by size alone (plus one forced drain for
+    /// the remainder), no matter how the collector gets scheduled.
+    #[test]
+    fn size_flushes_are_attributed() {
+        let (server, index) = setup(16);
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            index,
+            Arc::new(GraphExponential),
+            IngestConfig {
+                max_batch: 50,
+                max_delay: Duration::from_secs(3600),
+                ..Default::default()
+            },
+        );
+        let handle = pipeline.handle();
+        for i in 0..120u32 {
+            handle
+                .submit(PendingReport {
+                    user: UserId(i),
+                    epoch: 0,
+                    cell: CellId(i % 64),
+                    resend: false,
+                })
+                .unwrap();
+        }
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.landed, 120);
+        assert_eq!(stats.size_flushes, 2, "{stats:?}");
+        assert_eq!(stats.deadline_flushes, 0, "{stats:?}");
+        assert_eq!(stats.forced_flushes, 1, "20-report drain: {stats:?}");
+        assert_eq!(server.n_received(), 120);
+    }
+
+    /// Deadline-flush attribution: with the size bound effectively off, a
+    /// trickle lands via the deadline (observed by polling the server, so a
+    /// slow scheduler only delays the test, never fails it).
+    #[test]
+    fn deadline_flushes_are_attributed() {
+        let (server, index) = setup(16);
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            index,
+            Arc::new(GraphExponential),
+            IngestConfig {
+                max_batch: usize::MAX,
+                max_delay: Duration::from_millis(5),
+                ..Default::default()
+            },
+        );
+        let handle = pipeline.handle();
+        for i in 0..3u32 {
+            handle
+                .submit(PendingReport {
+                    user: UserId(i),
+                    epoch: 0,
+                    cell: CellId(i),
+                    resend: false,
+                })
+                .unwrap();
+        }
+        // Only the deadline can flush these; wait for it to fire.
+        let t0 = std::time::Instant::now();
+        while server.n_received() < 3 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "deadline flush never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.landed, 3);
+        assert!(stats.deadline_flushes >= 1, "{stats:?}");
+        assert_eq!(stats.size_flushes, 0, "{stats:?}");
+    }
+
+    /// In-band policy switches apply to everything after the switch, and
+    /// the landed outputs respect the policy in force at submit order.
+    #[test]
+    fn policy_switch_is_a_clean_boundary() {
+        let grid = GridMap::new(8, 8, 100.0);
+        let server = Arc::new(Server::new(grid.clone()));
+        let coarse = Arc::new(PolicyIndex::new(LocationPolicyGraph::partition(
+            grid.clone(),
+            4,
+            4,
+        )));
+        let isolated = Arc::new(PolicyIndex::new(LocationPolicyGraph::isolated(grid)));
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            coarse,
+            Arc::new(GraphExponential),
+            IngestConfig::default(),
+        );
+        let handle = pipeline.handle();
+        for i in 0..50u32 {
+            handle
+                .submit(PendingReport {
+                    user: UserId(i),
+                    epoch: 0,
+                    cell: CellId(i % 64),
+                    resend: false,
+                })
+                .unwrap();
+        }
+        pipeline.switch_policy(Arc::clone(&isolated));
+        for i in 0..50u32 {
+            handle
+                .submit(PendingReport {
+                    user: UserId(i),
+                    epoch: 1,
+                    cell: CellId(i % 64),
+                    resend: false,
+                })
+                .unwrap();
+        }
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.landed, 100);
+        assert_eq!(stats.policy_switches, 1);
+        // Under the isolated policy every epoch-1 report is exact.
+        for i in 0..50u32 {
+            assert_eq!(
+                server.reported_cell(UserId(i), 1),
+                Some(CellId(i % 64)),
+                "isolated policy must release exactly"
+            );
+        }
+    }
+
+    /// Reports that cannot be released (foreign cell) are rejected and
+    /// counted, not landed — and don't poison the rest of the batch.
+    #[test]
+    fn rejected_reports_are_counted_not_landed() {
+        let (server, index) = setup(4);
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            index,
+            Arc::new(GraphExponential),
+            IngestConfig::default(),
+        );
+        let handle = pipeline.handle();
+        for i in 0..10u32 {
+            handle
+                .submit(PendingReport {
+                    user: UserId(i),
+                    epoch: 0,
+                    // Every third report is out of the 8×8 domain.
+                    cell: if i % 3 == 0 {
+                        CellId(u32::MAX)
+                    } else {
+                        CellId(i)
+                    },
+                    resend: false,
+                })
+                .unwrap();
+        }
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.rejected, 4);
+        assert_eq!(stats.landed, 6);
+        assert_eq!(server.n_received(), 6);
+    }
+}

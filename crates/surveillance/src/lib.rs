@@ -9,6 +9,10 @@
 //! * [`server`] — the semi-honest collector: stores only *perturbed*
 //!   reports, runs the three applications, never sees raw data except what
 //!   policies deliberately disclose.
+//! * [`ingest`] — the streaming front end: a bounded-queue pipeline that
+//!   micro-batches open-loop report streams (size/deadline flush policy,
+//!   backpressure), releases them over the persistent pool and lands them
+//!   on the server.
 //! * [`policy_config`] — the Location Policy Configuration module (Fig. 3):
 //!   recommends `Ga`/`Gb`/`Gc` per application and recomputes per-user
 //!   policies when diagnoses arrive.
@@ -27,6 +31,7 @@ pub mod analysis;
 pub mod client;
 pub mod dashboard;
 pub mod health_code;
+pub mod ingest;
 pub mod monitoring;
 pub mod policy_config;
 pub mod protocol;
@@ -35,6 +40,7 @@ pub mod simulation;
 pub mod tracing;
 
 pub use client::{Client, ClientConfig, ConsentRule};
+pub use ingest::{IngestConfig, IngestHandle, IngestPipeline, IngestStats, PendingReport};
 pub use policy_config::PolicyConfigurator;
 pub use protocol::{LocationReport, PolicyAssignment, ResendRequest};
 pub use server::Server;

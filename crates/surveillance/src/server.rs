@@ -92,9 +92,28 @@ impl Server {
     }
 
     /// The shard index of a user (stable for the server's lifetime).
+    ///
+    /// The raw ID is mixed through a SplitMix64-style finaliser before the
+    /// modulo: `user.0 % n_shards` would collapse any stride-aligned ID
+    /// population (IDs stepping by 16 with 16 stripes, a common allocator
+    /// pattern) onto a single stripe and serialise the whole server. The
+    /// finaliser is bijective, so distinct users still spread and the
+    /// routing stays a pure function of the ID.
     #[inline]
     fn shard_of(&self, user: UserId) -> usize {
-        user.0 as usize % self.shards.len()
+        let z =
+            panda_core::release::splitmix64(u64::from(user.0).wrapping_add(0x9E37_79B9_7F4A_7C15));
+        (z % self.shards.len() as u64) as usize
+    }
+
+    /// Reports received per lock stripe (ingest-side load view, aggregated
+    /// from the per-shard atomic counters). A healthy ID population spreads
+    /// across all stripes; a single hot stripe means routing collapse.
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.n_received.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Ingests one report (re-sends overwrite the original epoch). Locks
@@ -364,6 +383,50 @@ mod tests {
         }
         let (a, b) = (single.reported_db(24), sharded.reported_db(24));
         assert_eq!(a.trajectories(), b.trajectories());
+    }
+
+    /// Regression: `user.0 % shards` sent every stride-aligned ID
+    /// population (IDs stepping by the stripe count) to one stripe. The
+    /// mixed routing must spread such a workload across all stripes while
+    /// staying a stable pure function of the user ID.
+    #[test]
+    fn stride_aligned_users_spread_across_all_stripes() {
+        let s = Server::new(GridMap::new(4, 4, 100.0));
+        assert_eq!(s.n_shards(), 16);
+        // 256 users whose IDs step by exactly the stripe count — the
+        // worst case for the raw modulo, which maps them all to stripe 0.
+        for i in 0..256u32 {
+            s.receive(report(i * 16, 0, 3, false));
+        }
+        let loads = s.shard_loads();
+        assert_eq!(loads.iter().sum::<usize>(), 256);
+        let occupied = loads.iter().filter(|&&n| n > 0).count();
+        assert_eq!(
+            occupied,
+            s.n_shards(),
+            "stride-16 workload collapsed onto {occupied} stripes: {loads:?}"
+        );
+        // No pathological hot stripe either: each holds well under the
+        // whole population (expected 16 ± a few under the mixed routing).
+        assert!(loads.iter().all(|&n| n < 64), "hot stripe in {loads:?}");
+    }
+
+    /// Per-user routing is stable: every observable keyed by user works
+    /// after the mix, and repeated sends for one user land on one stripe.
+    #[test]
+    fn mixed_shard_routing_is_stable_per_user() {
+        let s = Server::with_shards(GridMap::new(4, 4, 100.0), 7);
+        for t in 0..20 {
+            s.receive(report(4242, t, t % 16, false));
+        }
+        // All 20 reports routed to the same stripe…
+        let loads = s.shard_loads();
+        assert_eq!(loads.iter().sum::<usize>(), 20);
+        assert_eq!(loads.iter().filter(|&&n| n > 0).count(), 1);
+        // …and the read path finds them all again.
+        for t in 0..20 {
+            assert_eq!(s.reported_cell(UserId(4242), t), Some(CellId(t % 16)));
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::client::{Client, ClientConfig};
 use crate::health_code::{assign_codes, HealthCode, HealthCodeRules};
+use crate::ingest::{IngestConfig, IngestPipeline, IngestStats, PendingReport};
 use crate::policy_config::PolicyConfigurator;
 use crate::protocol::LocationReport;
 use crate::server::Server;
@@ -22,7 +23,9 @@ use panda_epidemic::{simulate_outbreak, OutbreakConfig, OutbreakResult};
 use panda_geo::CellId;
 use panda_mobility::{Timestamp, TrajectoryDb, UserId};
 use rand::{Rng, RngCore};
+use rand_distr::{Distribution, Poisson};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Simulation parameters.
 pub struct SimulationConfig {
@@ -217,6 +220,108 @@ pub fn run_simulation(
     }
 }
 
+/// Parameters of the streaming deployment scenario: open-loop Poisson
+/// report arrivals through the [`IngestPipeline`], with periodic policy
+/// switches.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Mean reports per client per epoch (Poisson; duplicates within an
+    /// epoch overwrite, like real repeated fixes).
+    pub mean_reports_per_epoch: f64,
+    /// Switch between the analysis (`Gb`) and monitoring (`Ga`) policies
+    /// every this many epochs (0 = never switch).
+    pub switch_every: Timestamp,
+    /// Pipeline parameters (flush policy, queue bound, lanes, ε). The
+    /// `seed` field is ignored: the scenario draws it from its `rng` so one
+    /// simulation seed fixes the whole run.
+    pub ingest: IngestConfig,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            mean_reports_per_epoch: 1.5,
+            switch_every: 24,
+            ingest: IngestConfig::default(),
+        }
+    }
+}
+
+/// Record of a streaming deployment run.
+pub struct StreamingLog {
+    /// The server after the stream drained (perturbed reports only).
+    pub server: Arc<Server>,
+    /// Pipeline counters: landed/rejected reports, flush causes, latency.
+    pub stats: IngestStats,
+    /// Reports submitted into the pipeline.
+    pub submitted: usize,
+}
+
+/// Runs the continuous-reporting deployment over `truth`: every epoch each
+/// client submits a Poisson-distributed number of reports of its current
+/// true cell into the [`IngestPipeline`] (open-loop arrivals), and every
+/// [`StreamingConfig::switch_every`] epochs the pipeline switches between
+/// the configurator's analysis and monitoring policies in-band.
+///
+/// The arrival trace (and hence, for a fixed `rng` seed, the landed
+/// database) is deterministic: one producer submits in epoch/user order and
+/// the per-report release streams are keyed by arrival sequence number —
+/// flush timing and lane count never change the outcome.
+pub fn run_streaming_simulation(
+    truth: &TrajectoryDb,
+    configurator: &PolicyConfigurator,
+    config: &StreamingConfig,
+    rng: &mut dyn RngCore,
+) -> StreamingLog {
+    let server = Arc::new(Server::new(truth.grid().clone()));
+    let analysis = Arc::new(PolicyIndex::new(configurator.for_analysis()));
+    let monitoring = Arc::new(PolicyIndex::new(configurator.for_monitoring()));
+    let pipeline = IngestPipeline::spawn(
+        Arc::clone(&server),
+        Arc::clone(&analysis),
+        Arc::new(GraphExponential),
+        IngestConfig {
+            seed: rng.gen::<u64>(),
+            ..config.ingest.clone()
+        },
+    );
+    let handle = pipeline.handle();
+    let arrivals =
+        Poisson::new(config.mean_reports_per_epoch).expect("arrival rate must be positive");
+    let mut submitted = 0usize;
+    let mut on_analysis = true;
+    for t in 0..truth.horizon() {
+        if config.switch_every > 0 && t > 0 && t % config.switch_every == 0 {
+            on_analysis = !on_analysis;
+            pipeline.switch_policy(if on_analysis {
+                Arc::clone(&analysis)
+            } else {
+                Arc::clone(&monitoring)
+            });
+        }
+        for tr in truth.trajectories() {
+            let k = arrivals.sample(rng) as usize;
+            for _ in 0..k {
+                handle
+                    .submit(PendingReport {
+                        user: tr.user,
+                        epoch: t,
+                        cell: tr.cells[t as usize],
+                        resend: false,
+                    })
+                    .expect("pipeline alive for the whole run");
+                submitted += 1;
+            }
+        }
+    }
+    let stats = pipeline.shutdown();
+    StreamingLog {
+        server,
+        stats,
+        submitted,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +422,80 @@ mod tests {
         assert_eq!(log.mean_precision(), 1.0);
         // Everyone green: no diagnoses ever reach the server.
         assert!(log.codes.values().all(|&c| c == HealthCode::Green));
+    }
+
+    #[test]
+    fn streaming_simulation_lands_every_valid_report() {
+        let truth = population(11);
+        let configurator = PolicyConfigurator::new(truth.grid().clone(), 5, 2);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let cfg = StreamingConfig {
+            switch_every: 24,
+            ingest: IngestConfig {
+                max_batch: 128,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let log = run_streaming_simulation(&truth, &configurator, &cfg, &mut rng);
+        assert!(log.submitted > 0);
+        assert_eq!(log.stats.submitted, log.submitted);
+        assert_eq!(log.stats.landed, log.submitted, "{:?}", log.stats);
+        assert_eq!(log.stats.rejected, 0);
+        assert_eq!(log.server.n_received(), log.submitted);
+        // horizon 72 / switch_every 24 → switches at t = 24 and 48.
+        assert_eq!(log.stats.policy_switches, 2);
+        // Every landed cell stays in its true cell's component under *one*
+        // of the two policies in rotation (epochs without a report hold the
+        // last position in `reported_db`, so query actual reports instead).
+        let ga = configurator.for_monitoring();
+        let gb = configurator.for_analysis();
+        for tr in truth.trajectories() {
+            for (t, &s) in tr.cells.iter().enumerate() {
+                if let Some(z) = log.server.reported_cell(tr.user, t as Timestamp) {
+                    assert!(
+                        ga.same_component(s, z) || gb.same_component(s, z),
+                        "released {z} foreign to both policies' component of {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Streaming determinism end to end: one seed fixes the arrival trace
+    /// *and* the per-report release streams, so the landed database is
+    /// identical across runs (and across flush-timing jitter between them).
+    #[test]
+    fn streaming_simulation_deterministic_under_seed() {
+        let truth = population(13);
+        let configurator = PolicyConfigurator::new(truth.grid().clone(), 5, 2);
+        let run = |seed: u64, lanes: usize, max_batch: usize| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let cfg = StreamingConfig {
+                ingest: IngestConfig {
+                    release_lanes: lanes,
+                    max_batch,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            run_streaming_simulation(&truth, &configurator, &cfg, &mut rng)
+        };
+        let a = run(5, 1, 64);
+        let b = run(5, 8, 1024);
+        assert_eq!(a.submitted, b.submitted);
+        let horizon = truth.horizon();
+        assert_eq!(
+            a.server.reported_db(horizon).trajectories(),
+            b.server.reported_db(horizon).trajectories(),
+            "lane count / flush size must not change the landed DB"
+        );
+        let c = run(6, 1, 64);
+        assert_ne!(
+            a.server.reported_db(horizon).trajectories(),
+            c.server.reported_db(horizon).trajectories(),
+            "different seed must change the stream"
+        );
     }
 
     #[test]

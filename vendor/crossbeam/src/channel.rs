@@ -1,0 +1,441 @@
+//! Offline subset of `crossbeam-channel`: a **bounded MPMC queue**.
+//!
+//! Matches the upstream call shape — `let (tx, rx) = bounded(cap);` with
+//! cloneable [`Sender`]/[`Receiver`] halves — on a `Mutex` + `Condvar`
+//! core. Semantics mirror upstream where the workspace relies on them:
+//!
+//! * [`Sender::send`] blocks while the queue holds `cap` messages
+//!   (backpressure); [`Sender::try_send`] fails fast with
+//!   [`TrySendError::Full`] instead.
+//! * [`Receiver::recv`] blocks on an empty queue — a worker parked in
+//!   `recv` consumes no CPU between bursts — and keeps draining messages
+//!   that were queued before the last [`Sender`] dropped; only an empty
+//!   *and* disconnected queue yields [`RecvError`].
+//! * Dropping every `Receiver` disconnects the senders: subsequent sends
+//!   fail with [`SendError`] instead of blocking forever.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared queue state behind both halves.
+struct Inner<T> {
+    queue: Mutex<State<T>>,
+    /// Signalled when a message is pushed or the channel disconnects.
+    not_empty: Condvar,
+    /// Signalled when a message is popped or the channel disconnects.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Creates a bounded MPMC channel holding at most `capacity` messages
+/// (`capacity` ≥ 1 is enforced).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let capacity = capacity.max(1);
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(State {
+            items: VecDeque::with_capacity(capacity),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+/// The channel is disconnected: every [`Receiver`] has been dropped. The
+/// unsent message is returned.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// As upstream: `Debug` without a `T: Debug` bound, so channels of
+// non-`Debug` payloads (boxed closures) still compose with `expect`.
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Why a [`Sender::try_send`] did not enqueue.
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue currently holds `capacity` messages.
+    Full(T),
+    /// Every [`Receiver`] has been dropped.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// The channel is empty and every [`Sender`] has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Why a [`Receiver::recv_timeout`] returned without a message.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and every [`Sender`] has been dropped.
+    Disconnected,
+}
+
+/// The sending half; clone freely (MPMC).
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] when every [`Receiver`] has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.queue.lock().expect("channel poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if state.items.len() < self.inner.capacity {
+                state.items.push_back(msg);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Enqueues `msg` only if the queue has room right now.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] at capacity, [`TrySendError::Disconnected`]
+    /// when every [`Receiver`] has been dropped.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.inner.queue.lock().expect("channel poisoned");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if state.items.len() >= self.inner.capacity {
+            return Err(TrySendError::Full(msg));
+        }
+        state.items.push_back(msg);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued (racy by nature; for monitoring/tests).
+    pub fn len(&self) -> usize {
+        self.inner
+            .queue
+            .lock()
+            .expect("channel poisoned")
+            .items
+            .len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The queue's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.queue.lock().expect("channel poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake parked receivers so they can observe the disconnect.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half; clone freely (MPMC).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the oldest message, blocking (parked, zero CPU) while the
+    /// queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] once the queue is empty **and** every [`Sender`] has
+    /// been dropped — queued messages are always drained first.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = state.items.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.inner.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Like [`Receiver::recv`], but gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when no message arrived in time;
+    /// [`RecvTimeoutError::Disconnected`] on an empty, sender-less queue.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        // A timeout too large for `Instant` arithmetic (`Duration::MAX`)
+        // degenerates to an untimed recv rather than panicking.
+        let Some(deadline) = Instant::now().checked_add(timeout) else {
+            return self
+                .recv()
+                .map_err(|RecvError| RecvTimeoutError::Disconnected);
+        };
+        let mut state = self.inner.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = state.items.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, result) = self
+                .inner
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("channel poisoned");
+            state = guard;
+            if result.timed_out() && state.items.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Messages currently queued (racy by nature; for monitoring/tests).
+    pub fn len(&self) -> usize {
+        self.inner
+            .queue
+            .lock()
+            .expect("channel poisoned")
+            .items
+            .len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The queue's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().expect("channel poisoned").receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.queue.lock().expect("channel poisoned");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            // Wake parked senders so they can observe the disconnect.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 5);
+        for i in 0..5 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn try_send_full_and_capacity_is_hard() {
+        let (tx, rx) = bounded(3);
+        for i in 0..3 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(tx.try_send(9), Err(TrySendError::Full(9)));
+        assert_eq!(tx.len(), 3);
+        rx.recv().unwrap();
+        tx.try_send(9).unwrap();
+    }
+
+    #[test]
+    fn blocking_send_resumes_after_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let t = thread::spawn(move || tx.send(1).unwrap());
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_drains_queue_after_sender_drop() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+        assert_eq!(tx.try_send(5), Err(TrySendError::Disconnected(5)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpmc_all_messages_delivered_exactly_once() {
+        let (tx, rx) = bounded(16);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..250u32 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<u32> = (0..4)
+            .flat_map(|p| (0..250).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn queue_never_exceeds_capacity_under_bursty_producers() {
+        let (tx, rx) = bounded(8);
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..200u32 {
+                        tx.send(i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut seen = 0usize;
+        let mut max_len = 0usize;
+        loop {
+            max_len = max_len.max(rx.len());
+            match rx.recv() {
+                Ok(_) => seen += 1,
+                Err(RecvError) => break,
+            }
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(seen, 800);
+        assert!(max_len <= 8, "queue grew past capacity: {max_len}");
+    }
+}

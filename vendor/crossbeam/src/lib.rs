@@ -1,11 +1,15 @@
-//! Offline subset of `crossbeam`: scoped threads over `std::thread::scope`.
+//! Offline subset of `crossbeam`: scoped threads over `std::thread::scope`,
+//! plus a bounded MPMC [`channel`].
 //!
 //! Matches the upstream call shape `crossbeam::scope(|s| { s.spawn(|_| …) })
 //! .expect(…)`: the closure passed to `spawn` receives a `&Scope` (so nested
 //! spawns compose), and `scope` returns `Err` when any spawned thread
-//! panicked.
+//! panicked. `channel::bounded` mirrors `crossbeam-channel`'s bounded
+//! queue — the work-distribution substrate of persistent worker pools.
 
 #![warn(missing_docs)]
+
+pub mod channel;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;

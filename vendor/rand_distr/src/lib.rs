@@ -71,6 +71,52 @@ impl Distribution<f64> for Exp {
     }
 }
 
+/// Poisson distribution with the given mean λ, sampled as `f64` counts
+/// (matching upstream `rand_distr::Poisson`).
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// A Poisson distribution with mean `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, &'static str> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Poisson { lambda })
+        } else {
+            Err("Poisson: lambda must be positive and finite")
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        use rand::Rng as _;
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method: exact, O(λ) draws.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        }
+        // Large λ: normal approximation with continuity correction — the
+        // regime where Knuth's method degrades and the approximation error
+        // (O(1/√λ)) is already below simulation noise.
+        let normal = Normal::new(self.lambda, self.lambda.sqrt()).expect("λ validated");
+        normal.sample(rng).round().max(0.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,8 +145,32 @@ mod tests {
     }
 
     #[test]
+    fn poisson_moments_small_and_large_lambda() {
+        let n = 100_000;
+        for lambda in [0.3, 4.0, 80.0] {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let d = Poisson::new(lambda).unwrap();
+            let xs: Vec<f64> = (0..n).map(|_| rng.sample(d)).collect();
+            assert!(xs.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            // Poisson: mean = var = λ.
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "λ {lambda}: mean {mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.1 * lambda.max(1.0),
+                "λ {lambda}: var {var}"
+            );
+        }
+    }
+
+    #[test]
     fn invalid_params_rejected() {
         assert!(Normal::new(0.0, -1.0).is_err());
         assert!(Exp::new(0.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
     }
 }

@@ -14,7 +14,7 @@
 use crate::bayes::{estimate, BayesEstimator};
 use crate::likelihood::LikelihoodModel;
 use crate::prior::Prior;
-use panda_core::{LocationPolicyGraph, Mechanism, PglpError};
+use panda_core::{CellSampler, LocationPolicyGraph, Mechanism, PglpError, PolicyIndex};
 use panda_geo::CellId;
 use rand::RngCore;
 
@@ -92,6 +92,46 @@ impl Mechanism for RemappedMechanism<'_> {
         }
         Some(acc.into_iter().collect())
     }
+
+    /// Delegates to the base mechanism's batched path and applies the remap
+    /// table in place. Crucially this **never caches under this wrapper's
+    /// non-unique `name()`**: the base releases under its own cache keys, so
+    /// two wrappers over different bases can share one [`PolicyIndex`]
+    /// without colliding in the distribution cache.
+    fn perturb_batch_into(
+        &self,
+        index: &PolicyIndex,
+        eps: f64,
+        locs: &[CellId],
+        rng: &mut dyn RngCore,
+        out: &mut [CellId],
+    ) -> Result<(), PglpError> {
+        let result = self.base.perturb_batch_into(index, eps, locs, rng, out);
+        // Remap even the partially-written prefix of a failed batch: the
+        // trait contract leaves only positions at/after the failure
+        // unspecified, so the prefix must hold *remapped* cells. `get`
+        // guards the unspecified tail (arbitrary caller-provided ids).
+        for slot in out.iter_mut() {
+            if let Some(&r) = self.remap.get(slot.index()) {
+                *slot = r;
+            }
+        }
+        result
+    }
+
+    /// The base mechanism's handle wrapped in the remap table — shared-cache
+    /// entries stay keyed by the base's unique name.
+    fn sampler<'a>(
+        &'a self,
+        index: &'a PolicyIndex,
+        eps: f64,
+        cell: CellId,
+    ) -> Result<CellSampler<'a>, PglpError> {
+        Ok(CellSampler::remapped(
+            self.base.sampler(index, eps, cell)?,
+            &self.remap,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +204,84 @@ mod tests {
             .unwrap();
         let total: f64 = dist.iter().map(|&(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// The batched path must be the base's batched path plus the remap
+    /// table — bit for bit, so the wrapper inherits the release engine's
+    /// determinism contract.
+    #[test]
+    fn batched_path_is_base_plus_remap_bitwise() {
+        use panda_core::{PolicyIndex, UniformComponent};
+        let policy = LocationPolicyGraph::partition(grid(), 2, 2);
+        let prior = Prior::uniform(policy.grid());
+        let index = PolicyIndex::new(policy.clone());
+        let eps = 0.7;
+        let bases: [&dyn Mechanism; 2] = [&GraphExponential, &UniformComponent];
+        for base in bases {
+            let remapped = RemappedMechanism::build(base, &policy, eps, &prior, 0).unwrap();
+            let locs: Vec<CellId> = (0..500).map(|i| CellId(i % 25)).collect();
+            let mut rng_a = SmallRng::seed_from_u64(7);
+            let mut rng_b = SmallRng::seed_from_u64(7);
+            let wrapped = remapped
+                .perturb_batch(&index, eps, &locs, &mut rng_a)
+                .unwrap();
+            let raw = base.perturb_batch(&index, eps, &locs, &mut rng_b).unwrap();
+            for (w, r) in wrapped.iter().zip(raw) {
+                assert_eq!(*w, remapped.remap_of(r), "{}", base.name());
+            }
+        }
+    }
+
+    /// Two wrappers over *different* bases sharing one `PolicyIndex` must
+    /// not collide in the distribution cache (the old static `"remapped"`
+    /// name would have keyed both bases' tables identically).
+    #[test]
+    fn wrappers_over_different_bases_share_an_index_safely() {
+        use panda_core::{EuclideanExponential, PolicyIndex};
+        let policy = LocationPolicyGraph::partition(grid(), 2, 2);
+        let prior = Prior::uniform(policy.grid());
+        let index = PolicyIndex::new(policy.clone());
+        let eps = 1.0;
+        let over_gem =
+            RemappedMechanism::build(&GraphExponential, &policy, eps, &prior, 0).unwrap();
+        let over_euc =
+            RemappedMechanism::build(&EuclideanExponential, &policy, eps, &prior, 0).unwrap();
+        let locs = vec![CellId(0); 30_000];
+        // Interleave so a shared cache key would serve the wrong table.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let out_gem = over_gem
+            .perturb_batch(&index, eps, &locs, &mut rng)
+            .unwrap();
+        let out_euc = over_euc
+            .perturb_batch(&index, eps, &locs, &mut rng)
+            .unwrap();
+        let out_gem2 = over_gem
+            .perturb_batch(&index, eps, &locs, &mut rng)
+            .unwrap();
+        let census = |out: &[CellId]| {
+            let mut m = std::collections::HashMap::new();
+            for &z in out {
+                *m.entry(z).or_insert(0usize) += 1;
+            }
+            m
+        };
+        // Each wrapper must keep matching its own closed-form distribution
+        // even after the other wrapper used the shared index.
+        for (label, out, mech) in [
+            ("gem", &out_gem, &over_gem),
+            ("euc", &out_euc, &over_euc),
+            ("gem-after-euc", &out_gem2, &over_gem),
+        ] {
+            let exact = mech.output_distribution(&policy, eps, CellId(0)).unwrap();
+            let counts = census(out);
+            for (c, p) in exact {
+                let emp = *counts.get(&c).unwrap_or(&0) as f64 / locs.len() as f64;
+                assert!(
+                    (emp - p).abs() < 0.01,
+                    "{label} cell {c}: empirical {emp} vs exact {p}"
+                );
+            }
+        }
     }
 
     #[test]

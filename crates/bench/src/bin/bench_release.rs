@@ -16,13 +16,17 @@
 //! p50/p99 per-batch latency of [`ParallelReleaser`] against the
 //! single-threaded PR-1 `perturb_batch` baseline; the small-batch
 //! dispatch cost of the persistent pool against the PR-2 scoped-spawn
-//! path; plus the alias-table vs binary-search ns/draw ablation per
-//! support size. JSON is assembled by hand (no JSON dependency in the
-//! offline workspace).
+//! path; the per-report-lock vs sampler-handle streaming ablation
+//! (`sampler` section, schema v3) with the shared-cache touch counts;
+//! plus the alias-table vs binary-search ns/draw ablation per support
+//! size. JSON is assembled by hand (no JSON dependency in the offline
+//! workspace).
 
 use panda_bench::workload::{geolife, grid};
+use panda_core::release::chunk_rng;
 use panda_core::{
-    GraphExponential, LocationPolicyGraph, Mechanism, ParallelReleaser, PolicyIndex, SamplingTable,
+    GraphExponential, LocationPolicyGraph, Mechanism, ParallelReleaser, PolicyIndex, SamplerMemo,
+    SamplingTable,
 };
 use panda_geo::CellId;
 use panda_surveillance::ingest::{percentile, IngestConfig};
@@ -54,6 +58,17 @@ struct SmallBatchRow {
     scoped_p50_ms: f64,
     pooled_p50_ms: f64,
     speedup: f64,
+}
+
+struct SamplerRow {
+    mechanism: &'static str,
+    distinct_cells: usize,
+    reports: usize,
+    per_report_rps: f64,
+    sampler_rps: f64,
+    speedup: f64,
+    per_report_touches: u64,
+    sampler_touches: u64,
 }
 
 struct StreamingRow {
@@ -234,6 +249,64 @@ fn bench_streaming(quick: bool) -> Vec<StreamingRow> {
         .collect()
 }
 
+/// The streaming contention ablation: per-report releases (each report
+/// resolves against the shared distribution cache — one mutex touch per
+/// report, the pre-sampler ingest regime) versus sampler-handle releases
+/// (one resolution per distinct cell per lane, then lock-free draws).
+/// Both paths draw every report from its own `chunk_rng(seed, seq)` stream
+/// and produce identical cells; only the shared-cache traffic differs.
+fn bench_sampler(quick: bool) -> Vec<SamplerRow> {
+    let g = grid(32);
+    let index = PolicyIndex::new(LocationPolicyGraph::partition(g.clone(), 2, 2));
+    let n = if quick { 65_536 } else { 262_144 };
+    let iters = if quick { 3 } else { 15 };
+    let distinct_counts: &[usize] = if quick { &[4] } else { &[1, 4, 64] };
+    let mech = GraphExponential;
+    distinct_counts
+        .iter()
+        .map(|&distinct| {
+            // Cell-concentrated arrival trace (the contention-defect load).
+            let cells: Vec<CellId> = (0..n).map(|i| CellId((i % distinct) as u32)).collect();
+            let mut out = vec![CellId(0); n];
+            let t0_touch = index.distribution_cache_touches();
+            let per_report = time_batches(iters, || {
+                for (seq, &cell) in cells.iter().enumerate() {
+                    let mut rng = chunk_rng(5, seq as u64);
+                    let sampler = mech.sampler(&index, 1.0, cell).unwrap();
+                    out[seq] = sampler.draw(&mut rng);
+                }
+                black_box(&out);
+            });
+            let per_report_touches =
+                (index.distribution_cache_touches() - t0_touch) / (iters as u64 + 1);
+            let t1_touch = index.distribution_cache_touches();
+            let sampler_path = time_batches(iters, || {
+                let mut memo = SamplerMemo::new();
+                for (seq, &cell) in cells.iter().enumerate() {
+                    let mut rng = chunk_rng(5, seq as u64);
+                    let sampler = memo.resolve(&mech, &index, 1.0, cell).unwrap().unwrap();
+                    out[seq] = sampler.draw(&mut rng);
+                }
+                black_box(&out);
+            });
+            let sampler_touches =
+                (index.distribution_cache_touches() - t1_touch) / (iters as u64 + 1);
+            let (p50_report, p50_sampler) =
+                (percentile(&per_report, 0.5), percentile(&sampler_path, 0.5));
+            SamplerRow {
+                mechanism: "gem",
+                distinct_cells: distinct,
+                reports: n,
+                per_report_rps: n as f64 / (p50_report / 1e3),
+                sampler_rps: n as f64 / (p50_sampler / 1e3),
+                speedup: p50_report / p50_sampler,
+                per_report_touches,
+                sampler_touches,
+            }
+        })
+        .collect()
+}
+
 fn bench_sampling(quick: bool) -> Vec<SamplingRow> {
     let draws = if quick { 200_000 } else { 2_000_000 };
     let supports: &[usize] = if quick {
@@ -324,6 +397,24 @@ fn main() {
         Vec::new()
     };
 
+    let sampler = bench_sampler(quick);
+    println!(
+        "\nsampler   distinct  reports  per-report r/s  sampler r/s  speedup  touches (report/sampler)"
+    );
+    for s in &sampler {
+        println!(
+            "{:<8}  {:<8}  {:<7}  {:<14.0}  {:<11.0}  {:<6.2}x  {}/{}",
+            s.mechanism,
+            s.distinct_cells,
+            s.reports,
+            s.per_report_rps,
+            s.sampler_rps,
+            s.speedup,
+            s.per_report_touches,
+            s.sampler_touches
+        );
+    }
+
     let sampling = bench_sampling(quick);
     println!("\nsupport  alias ns/draw  binary-search ns/draw  alias speedup");
     for s in &sampling {
@@ -338,7 +429,7 @@ fn main() {
 
     // Hand-assembled JSON (the offline workspace carries no JSON crate).
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"panda-bench-release/v2\",\n");
+    json.push_str("  \"schema\": \"panda-bench-release/v3\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -396,6 +487,24 @@ fn main() {
         }
         json.push_str("  ],\n");
     }
+    json.push_str("  \"sampler\": [\n");
+    for (i, s) in sampler.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mechanism\": \"{}\", \"distinct_cells\": {}, \"reports\": {}, \
+             \"per_report_rps\": {:.0}, \"sampler_rps\": {:.0}, \"speedup\": {:.3}, \
+             \"per_report_touches\": {}, \"sampler_touches\": {}}}{}\n",
+            s.mechanism,
+            s.distinct_cells,
+            s.reports,
+            s.per_report_rps,
+            s.sampler_rps,
+            s.speedup,
+            s.per_report_touches,
+            s.sampler_touches,
+            if i + 1 < sampler.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"sampling\": [\n");
     for (i, s) in sampling.iter().enumerate() {
         json.push_str(&format!(

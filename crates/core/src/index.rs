@@ -27,6 +27,7 @@ use panda_geo::CellId;
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use rand::RngCore;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cache key: mechanism identity × ε (by bit pattern) × true location.
@@ -226,6 +227,12 @@ impl SamplingTable {
 pub struct PolicyIndex {
     policy: LocationPolicyGraph,
     distributions: Mutex<WeightedLru<DistKey, Arc<SamplingTable>>>,
+    /// Lifetime count of [`PolicyIndex::distribution`] lookups — i.e. of
+    /// distribution-cache mutex acquisitions (a cold miss re-acquires the
+    /// lock briefly to insert, still counted as the one touch its lookup
+    /// was). The release engine's per-lane sampler memos keep this at one
+    /// touch per distinct `(mechanism, ε, cell)` per lane; tests assert it.
+    dist_touches: AtomicU64,
     /// `calibrations[component]`: `None` = not yet computed,
     /// `Some(None)` = singleton component (exact release),
     /// `Some(Some(len))` = longest policy edge in the component.
@@ -251,6 +258,7 @@ impl PolicyIndex {
         PolicyIndex {
             policy,
             distributions: Mutex::new(WeightedLru::new(max_cached_entries)),
+            dist_touches: AtomicU64::new(0),
             calibrations: RwLock::new(vec![None; n_components]),
             pim_hulls: [
                 RwLock::new(vec![None; n_components]),
@@ -296,6 +304,7 @@ impl PolicyIndex {
         cell: CellId,
         build: impl FnOnce(&LocationPolicyGraph) -> Vec<(CellId, f64)>,
     ) -> Arc<SamplingTable> {
+        self.dist_touches.fetch_add(1, Ordering::Relaxed);
         let key = DistKey {
             mech,
             eps_bits: eps.to_bits(),
@@ -350,6 +359,15 @@ impl PolicyIndex {
                 built
             }
         }
+    }
+
+    /// Number of distribution-cache lookups (= cache-mutex touches) since
+    /// construction (diagnostics). Under cell-concentrated streaming load
+    /// this is the contention metric: the sampler-handle release paths
+    /// bound it by `lanes × distinct cells` per flush, where the per-report
+    /// path paid one touch per report.
+    pub fn distribution_cache_touches(&self) -> u64 {
+        self.dist_touches.load(Ordering::Relaxed)
     }
 
     /// Number of distribution tables currently cached (diagnostics).

@@ -49,8 +49,8 @@ pub mod timeline;
 pub use error::PglpError;
 pub use index::{PolicyIndex, SamplingTable};
 pub use mech::{
-    EuclideanExponential, GraphCalibratedLaplace, GraphExponential, IdentityMechanism, Mechanism,
-    PlanarIsotropic, PlanarLaplace, UniformComponent,
+    CellSampler, EuclideanExponential, GraphCalibratedLaplace, GraphExponential, IdentityMechanism,
+    Mechanism, PlanarIsotropic, PlanarLaplace, SamplerMemo, UniformComponent,
 };
 pub use policy::LocationPolicyGraph;
 pub use privacy::{audit_pglp, AuditReport};

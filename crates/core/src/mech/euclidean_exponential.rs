@@ -22,7 +22,7 @@
 //! policy graph makes them several hops away (e.g. sparse random policies
 //! whose edges zig-zag), which is usually what utility metrics reward.
 
-use crate::error::{check_epsilon, PglpError};
+use crate::error::PglpError;
 use crate::index::PolicyIndex;
 use crate::mech::{validate, Mechanism};
 use crate::policy::LocationPolicyGraph;
@@ -129,42 +129,19 @@ impl Mechanism for EuclideanExponential {
         }
     }
 
-    fn perturb_batch_into(
-        &self,
-        index: &PolicyIndex,
+    fn sampler<'a>(
+        &'a self,
+        index: &'a PolicyIndex,
         eps: f64,
-        locs: &[CellId],
-        rng: &mut dyn RngCore,
-        out: &mut [CellId],
-    ) -> Result<(), PglpError> {
-        crate::mech::check_out_len(locs, out);
-        check_epsilon(eps)?;
-        let policy = index.policy();
-        // Streaming fast path: single-report batches skip the memo (the
-        // shared index LRU already caches the table).
-        if let [s] = *locs {
-            policy.check_cell(s)?;
-            out[0] = match index.calibration_length(s) {
-                None => s, // isolated: exact release
-                Some(len) => self.table(index, eps, s, len).sample(rng),
-            };
-            return Ok(());
+        cell: CellId,
+    ) -> Result<crate::mech::CellSampler<'a>, PglpError> {
+        validate(index.policy(), eps, cell)?;
+        match index.calibration_length(cell) {
+            None => Ok(crate::mech::CellSampler::exact(cell)), // isolated
+            Some(len) => Ok(crate::mech::CellSampler::table(
+                self.table(index, eps, cell, len),
+            )),
         }
-        // Batch-local memo: one shared-LRU lock touch per distinct cell.
-        let mut local: std::collections::HashMap<CellId, std::sync::Arc<crate::SamplingTable>> =
-            std::collections::HashMap::new();
-        for (slot, &s) in out.iter_mut().zip(locs) {
-            policy.check_cell(s)?;
-            let Some(len) = index.calibration_length(s) else {
-                *slot = s; // isolated: exact release
-                continue;
-            };
-            let table = local
-                .entry(s)
-                .or_insert_with(|| self.table(index, eps, s, len));
-            *slot = table.sample(rng);
-        }
-        Ok(())
     }
 }
 

@@ -16,7 +16,7 @@
 //! to `ε·d_G` for arbitrary `∞`-neighbours. Isolated nodes form singleton
 //! components and are released exactly, as the paper prescribes.
 
-use crate::error::{check_epsilon, PglpError};
+use crate::error::PglpError;
 use crate::index::PolicyIndex;
 use crate::mech::{validate, Mechanism};
 use crate::policy::LocationPolicyGraph;
@@ -116,44 +116,21 @@ impl Mechanism for GraphExponential {
         Some(log_dist.into_iter().map(|(c, l)| (c, l.exp())).collect())
     }
 
-    fn perturb_batch_into(
-        &self,
-        index: &PolicyIndex,
+    fn sampler<'a>(
+        &'a self,
+        index: &'a PolicyIndex,
         eps: f64,
-        locs: &[CellId],
-        rng: &mut dyn RngCore,
-        out: &mut [CellId],
-    ) -> Result<(), PglpError> {
-        crate::mech::check_out_len(locs, out);
-        check_epsilon(eps)?;
-        let policy = index.policy();
-        // Streaming fast path: a single-report batch (the ingest
-        // pipeline's per-report streams) skips the batch-local memo — the
-        // shared index LRU already caches the table.
-        if let [s] = *locs {
-            policy.check_cell(s)?;
-            out[0] = if policy.is_isolated_cell(s) {
-                s
-            } else {
-                self.table(index, eps, s).sample(rng)
-            };
-            return Ok(());
+        cell: CellId,
+    ) -> Result<crate::mech::CellSampler<'a>, PglpError> {
+        validate(index.policy(), eps, cell)?;
+        if index.policy().is_isolated_cell(cell) {
+            // Singleton component: exact release, no randomness consumed.
+            return Ok(crate::mech::CellSampler::exact(cell));
         }
-        // Batch-local memo: the shared LRU lock is touched once per
-        // distinct cell, not once per report — parallel chunks would
-        // otherwise serialise on it.
-        let mut local: std::collections::HashMap<CellId, std::sync::Arc<crate::SamplingTable>> =
-            std::collections::HashMap::new();
-        for (slot, &s) in out.iter_mut().zip(locs) {
-            policy.check_cell(s)?;
-            if policy.is_isolated_cell(s) {
-                *slot = s;
-                continue;
-            }
-            let table = local.entry(s).or_insert_with(|| self.table(index, eps, s));
-            *slot = table.sample(rng);
-        }
-        Ok(())
+        // One shared-LRU touch here; every draw is then lock-free.
+        Ok(crate::mech::CellSampler::table(
+            self.table(index, eps, cell),
+        ))
     }
 }
 

@@ -23,7 +23,7 @@
 //! edge inflates `L` and thus the noise everywhere in the component — one of
 //! the trade-offs the Fig. 5 explorer makes visible.
 
-use crate::error::{check_epsilon, PglpError};
+use crate::error::PglpError;
 use crate::index::PolicyIndex;
 use crate::mech::noise::planar_laplace_noise;
 use crate::mech::{validate, Mechanism};
@@ -46,17 +46,7 @@ impl GraphCalibratedLaplace {
     /// Snaps a continuous point to the nearest cell among `cells`
     /// (deterministic; ties broken by lower cell id via strict `<`).
     fn snap(policy: &LocationPolicyGraph, cells: &[CellId], y: Point) -> CellId {
-        let grid = policy.grid();
-        let mut best = cells[0];
-        let mut best_d = grid.center(best).distance_sq(y);
-        for &c in &cells[1..] {
-            let d = grid.center(c).distance_sq(y);
-            if d < best_d {
-                best = c;
-                best_d = d;
-            }
-        }
-        best
+        crate::mech::snap_to_cells(policy.grid(), cells, y)
     }
 }
 
@@ -82,30 +72,28 @@ impl Mechanism for GraphCalibratedLaplace {
         Ok(Self::snap(policy, cells, y))
     }
 
-    fn perturb_batch_into(
-        &self,
-        index: &PolicyIndex,
+    fn sampler<'a>(
+        &'a self,
+        index: &'a PolicyIndex,
         eps: f64,
-        locs: &[CellId],
-        rng: &mut dyn RngCore,
-        out: &mut [CellId],
-    ) -> Result<(), PglpError> {
-        crate::mech::check_out_len(locs, out);
-        check_epsilon(eps)?;
-        let policy = index.policy();
-        for (slot, &s) in out.iter_mut().zip(locs) {
-            policy.check_cell(s)?;
-            // Calibration length comes from the per-component cache; the
-            // noise itself is continuous, so there is no table to reuse.
-            let Some(len) = index.calibration_length(s) else {
-                *slot = s;
-                continue;
-            };
-            let cells = index.component_slice(s);
-            let y = policy.grid().center(s) + planar_laplace_noise(rng, eps / len);
-            *slot = Self::snap(policy, cells, y);
+        cell: CellId,
+    ) -> Result<crate::mech::CellSampler<'a>, PglpError> {
+        validate(index.policy(), eps, cell)?;
+        // Calibration length comes from the per-component cache; the noise
+        // itself is continuous, so the handle carries the scale and the
+        // component slice to snap onto instead of a table.
+        match index.calibration_length(cell) {
+            None => Ok(crate::mech::CellSampler::exact(cell)), // isolated
+            Some(len) => {
+                let grid = index.policy().grid();
+                Ok(crate::mech::CellSampler::laplace_snap(
+                    grid,
+                    index.component_slice(cell),
+                    grid.center(cell),
+                    eps / len,
+                ))
+            }
         }
-        Ok(())
     }
 }
 

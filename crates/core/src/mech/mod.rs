@@ -27,6 +27,7 @@ mod graph_laplace;
 mod noise;
 pub(crate) mod pim;
 mod planar_laplace;
+mod sampler;
 
 pub use euclidean_exponential::EuclideanExponential;
 pub use graph_exponential::GraphExponential;
@@ -34,13 +35,15 @@ pub use graph_laplace::GraphCalibratedLaplace;
 pub use noise::{gamma_int, laplace_1d, planar_laplace_noise};
 pub use pim::PlanarIsotropic;
 pub use planar_laplace::PlanarLaplace;
+pub use sampler::{snap_to_cells, CellSampler, SamplerMemo};
 
 use crate::error::{check_epsilon, PglpError};
-use crate::index::PolicyIndex;
+use crate::index::{PolicyIndex, SamplingTable};
 use crate::policy::LocationPolicyGraph;
 use panda_geo::CellId;
 use rand::Rng;
 use rand::RngCore;
+use std::sync::Arc;
 
 /// A randomized location-release mechanism `A : S → S` (Def. 2.4).
 ///
@@ -120,11 +123,14 @@ pub trait Mechanism {
     /// partially written; positions at and after the failing location are
     /// unspecified.
     ///
-    /// The default delegates to [`Mechanism::perturb`] per location —
-    /// already BFS-free thanks to the policy's precomputed distance tables.
-    /// Closed-form mechanisms override this to sample from cached sampling
-    /// tables: O(1)–O(log k) per report after the first occurrence of each
-    /// `(ε, cell)` pair.
+    /// The default resolves one [`CellSampler`] per **distinct** cell
+    /// (batch-local [`SamplerMemo`] — one shared-cache touch per distinct
+    /// `(ε, cell)` pair) and draws per report: O(1)–O(log k) per report
+    /// after each cell's first occurrence. Mechanisms customise the batch
+    /// path by overriding [`Mechanism::sampler`], not this method.
+    /// Mechanisms without sampler support fall back to
+    /// [`Mechanism::perturb`] per location, preserving their historical RNG
+    /// streams.
     ///
     /// # Panics
     ///
@@ -143,10 +149,100 @@ pub trait Mechanism {
         out: &mut [CellId],
     ) -> Result<(), PglpError> {
         check_out_len(locs, out);
+        check_epsilon(eps)?;
+        // Streaming fast path: a single-report batch (the per-report
+        // reference path) resolves without the memo allocation.
+        if let [s] = *locs {
+            match self.sampler(index, eps, s) {
+                Ok(sampler) => out[0] = sampler.draw(rng),
+                Err(PglpError::SamplerUnsupported(_)) => {
+                    out[0] = self.perturb(index.policy(), eps, s, rng)?;
+                }
+                Err(e) => return Err(e),
+            }
+            return Ok(());
+        }
+        if !self.prefers_sampler_memo() {
+            // Resolution is declared trivially cheap: skip the memo's
+            // per-report map lookup (same draw sequence either way).
+            for (slot, &s) in out.iter_mut().zip(locs) {
+                *slot = self.perturb(index.policy(), eps, s, rng)?;
+            }
+            return Ok(());
+        }
+        let mut memo = SamplerMemo::new();
         for (slot, &s) in out.iter_mut().zip(locs) {
-            *slot = self.perturb(index.policy(), eps, s, rng)?;
+            match memo.resolve(self, index, eps, s)? {
+                Some(sampler) => *slot = sampler.draw(rng),
+                // No sampler support: the pre-handle per-report path, same
+                // RNG stream as the historical default.
+                None => *slot = self.perturb(index.policy(), eps, s, rng)?,
+            }
         }
         Ok(())
+    }
+
+    /// Whether the release engine's lanes should route this mechanism's
+    /// reports through a per-lane memoised [`CellSampler`] (the default).
+    ///
+    /// The memo trades one map lookup per report for skipping all shared
+    /// cache traffic — a clear win whenever resolution touches a lock or
+    /// builds state. Mechanisms whose resolution is trivially cheap *and*
+    /// whose [`Mechanism::perturb_batch_into`] override is tighter than a
+    /// per-report map lookup (identity's memcpy, uniform's bare
+    /// `gen_range` loop) return `false`; lanes then hand whole chunks to
+    /// the batch override directly. Purely a cost hint: both routes
+    /// consume identical RNG sequences.
+    fn prefers_sampler_memo(&self) -> bool {
+        true
+    }
+
+    /// Resolves a [`CellSampler`] — a cheaply-clonable draw handle carrying
+    /// everything a release for `(ε, cell)` needs (compiled sampling table
+    /// `Arc`, calibration scale plus component slice, prepared PIM hull) —
+    /// so callers touch the shared [`PolicyIndex`] caches **once per
+    /// distinct cell** and then draw lock-free per report.
+    ///
+    /// [`CellSampler::draw`] consumes exactly the RNG sequence of
+    /// [`Mechanism::perturb_batch_into`] on a single-report batch: the
+    /// streaming engine relies on this to keep per-lane memoised release
+    /// byte-identical to per-report release.
+    ///
+    /// The default compiles the mechanism's closed-form
+    /// [`Mechanism::output_distribution`] into an **uncached** table (never
+    /// keyed into the shared cache, where a non-unique [`Mechanism::name`]
+    /// could collide). Mechanisms with per-policy state override this to
+    /// serve handles from the index's caches.
+    ///
+    /// **Stream note for external implementors:** because the batch and
+    /// streaming engines release through this handle, a mechanism that
+    /// provides `output_distribution` but overrides neither this method nor
+    /// [`Mechanism::perturb_batch_into`] gets table-sampled batch draws —
+    /// distributionally identical to, but a *different RNG sequence* than,
+    /// calling [`Mechanism::perturb`] in a loop (and the table is rebuilt
+    /// per resolution). Override `sampler` to control both the stream and
+    /// the cost; mechanisms with no closed form keep their historical
+    /// per-`perturb` streams.
+    ///
+    /// # Errors
+    ///
+    /// [`PglpError::InvalidEpsilon`] / [`PglpError::LocationOutOfDomain`]
+    /// on invalid inputs; [`PglpError::SamplerUnsupported`] when the
+    /// mechanism has no closed form and no override (callers should then
+    /// release per report via [`Mechanism::perturb`]).
+    fn sampler<'a>(
+        &'a self,
+        index: &'a PolicyIndex,
+        eps: f64,
+        cell: CellId,
+    ) -> Result<CellSampler<'a>, PglpError> {
+        validate(index.policy(), eps, cell)?;
+        match self.output_distribution(index.policy(), eps, cell) {
+            Some(dist) if !dist.is_empty() => Ok(CellSampler::table(Arc::new(
+                SamplingTable::from_weights(dist),
+            ))),
+            _ => Err(PglpError::SamplerUnsupported(self.name())),
+        }
     }
 }
 
@@ -200,6 +296,26 @@ impl Mechanism for IdentityMechanism {
         Some(vec![(true_loc, 1.0)])
     }
 
+    fn sampler<'a>(
+        &'a self,
+        index: &'a PolicyIndex,
+        eps: f64,
+        cell: CellId,
+    ) -> Result<CellSampler<'a>, PglpError> {
+        validate(index.policy(), eps, cell)?;
+        // Exact release; like `perturb`, draws consume no randomness.
+        Ok(CellSampler::exact(cell))
+    }
+
+    /// Resolution is free here (see [`Mechanism::prefers_sampler_memo`]).
+    fn prefers_sampler_memo(&self) -> bool {
+        false
+    }
+
+    /// Resolution is free here, so the memoised default would only add a
+    /// per-report map lookup to what is a bounds check plus a memcpy.
+    /// Stream-equivalent to the default: no randomness is consumed either
+    /// way.
     fn perturb_batch_into(
         &self,
         index: &PolicyIndex,
@@ -259,6 +375,28 @@ impl Mechanism for UniformComponent {
         Some(cells.into_iter().map(|c| (c, p)).collect())
     }
 
+    fn sampler<'a>(
+        &'a self,
+        index: &'a PolicyIndex,
+        eps: f64,
+        cell: CellId,
+    ) -> Result<CellSampler<'a>, PglpError> {
+        validate(index.policy(), eps, cell)?;
+        // Same rejection-sampled `gen_range` draw as `perturb`, from the
+        // interned component slice.
+        Ok(CellSampler::uniform(index.component_slice(cell)))
+    }
+
+    /// Resolution is a lock-free interned-slice lookup (see
+    /// [`Mechanism::prefers_sampler_memo`]).
+    fn prefers_sampler_memo(&self) -> bool {
+        false
+    }
+
+    /// Resolution is a lock-free interned-slice lookup, so the memoised
+    /// default would only add a per-report map lookup to a draw that is a
+    /// single `gen_range`. Byte-identical to the default: the per-report
+    /// draw sequence is the same `gen_range` either way.
     fn perturb_batch_into(
         &self,
         index: &PolicyIndex,

@@ -34,7 +34,7 @@
 //! hazard (a hull prepared for one policy reused under another) is
 //! impossible by construction.
 
-use crate::error::{check_epsilon, PglpError};
+use crate::error::PglpError;
 use crate::index::PolicyIndex;
 use crate::mech::noise::{gamma_int, laplace_1d};
 use crate::mech::{validate, Mechanism};
@@ -141,8 +141,9 @@ impl PlanarIsotropic {
     }
 
     /// Samples a K-norm noise vector with parameter `eps` for the prepared
-    /// component.
-    fn sample_noise(kind: &PreparedHull, eps: f64, rng: &mut dyn RngCore) -> Point {
+    /// component. Shared with [`crate::mech::CellSampler`]'s K-norm handle,
+    /// so the per-call and handle paths consume identical RNG sequences.
+    pub(crate) fn sample_noise(kind: &PreparedHull, eps: f64, rng: &mut dyn RngCore) -> Point {
         match kind {
             PreparedHull::Exact => Point::ORIGIN,
             PreparedHull::Line { half_extent } => {
@@ -167,17 +168,7 @@ impl PlanarIsotropic {
     }
 
     fn snap(policy: &LocationPolicyGraph, cells: &[CellId], y: Point) -> CellId {
-        let grid = policy.grid();
-        let mut best = cells[0];
-        let mut best_d = grid.center(best).distance_sq(y);
-        for &c in &cells[1..] {
-            let d = grid.center(c).distance_sq(y);
-            if d < best_d {
-                best = c;
-                best_d = d;
-            }
-        }
-        best
+        crate::mech::snap_to_cells(policy.grid(), cells, y)
     }
 
     /// One release through a prepared hull.
@@ -219,23 +210,27 @@ impl Mechanism for PlanarIsotropic {
         Ok(Self::release_with(&kind, policy, eps, true_loc, rng))
     }
 
-    fn perturb_batch_into(
-        &self,
-        index: &PolicyIndex,
+    fn sampler<'a>(
+        &'a self,
+        index: &'a PolicyIndex,
         eps: f64,
-        locs: &[CellId],
-        rng: &mut dyn RngCore,
-        out: &mut [CellId],
-    ) -> Result<(), PglpError> {
-        crate::mech::check_out_len(locs, out);
-        check_epsilon(eps)?;
-        let policy = index.policy();
-        for (slot, &s) in out.iter_mut().zip(locs) {
-            policy.check_cell(s)?;
-            let kind = self.hull_of(index, s);
-            *slot = Self::release_with(&kind, policy, eps, s, rng);
+        cell: CellId,
+    ) -> Result<crate::mech::CellSampler<'a>, PglpError> {
+        validate(index.policy(), eps, cell)?;
+        // One hull-cache read (plus a one-time build) here; draws then
+        // sample K-norm noise and snap without touching the index again.
+        let hull = self.hull_of(index, cell);
+        if matches!(*hull, PreparedHull::Exact) {
+            return Ok(crate::mech::CellSampler::exact(cell));
         }
-        Ok(())
+        let grid = index.policy().grid();
+        Ok(crate::mech::CellSampler::knorm(
+            hull,
+            eps,
+            grid.center(cell),
+            index.component_slice(cell),
+            grid,
+        ))
     }
 }
 

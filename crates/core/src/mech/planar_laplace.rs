@@ -13,6 +13,7 @@
 //! protecting pairs the policy never asked to protect.
 
 use crate::error::PglpError;
+use crate::index::PolicyIndex;
 use crate::mech::noise::planar_laplace_noise;
 use crate::mech::{validate, Mechanism};
 use crate::policy::LocationPolicyGraph;
@@ -41,6 +42,23 @@ impl Mechanism for PlanarLaplace {
         // ε is interpreted per cell: a one-cell move costs ε.
         let y = center + planar_laplace_noise(rng, eps / grid.cell_size());
         Ok(grid.nearest_cell(y))
+    }
+
+    fn sampler<'a>(
+        &'a self,
+        index: &'a PolicyIndex,
+        eps: f64,
+        cell: CellId,
+    ) -> Result<crate::mech::CellSampler<'a>, PglpError> {
+        validate(index.policy(), eps, cell)?;
+        let grid = index.policy().grid();
+        // Same continuous noise + whole-grid snap as `perturb`: the policy
+        // graph plays no role in this baseline.
+        Ok(crate::mech::CellSampler::grid_snap(
+            grid,
+            grid.center(cell),
+            eps / grid.cell_size(),
+        ))
     }
 }
 

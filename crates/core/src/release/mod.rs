@@ -38,7 +38,7 @@ pub mod pool;
 
 use crate::error::PglpError;
 use crate::index::PolicyIndex;
-use crate::mech::Mechanism;
+use crate::mech::{Mechanism, SamplerMemo};
 use panda_geo::CellId;
 use pool::ReleasePool;
 use rand::rngs::StdRng;
@@ -234,6 +234,12 @@ impl ParallelReleaser {
 /// Perturbs every chunk of one lane in place, collecting `(chunk index,
 /// error)` pairs. Shared by the pooled, scoped and inline paths — one
 /// sampling sequence, three schedulers.
+///
+/// The lane owns one [`SamplerMemo`]: each distinct cell resolves its
+/// [`crate::mech::CellSampler`] once **for the whole lane** (one shared
+/// distribution-cache touch), and every chunk then draws lock-free from its
+/// own RNG stream. Because resolution consumes no randomness, the output is
+/// byte-identical to calling `perturb_batch_into` per chunk.
 fn run_lane(
     mech: &(dyn Mechanism + Sync),
     index: &PolicyIndex,
@@ -242,13 +248,49 @@ fn run_lane(
     lane: Vec<Chunk<'_>>,
 ) -> Vec<(usize, PglpError)> {
     let mut errs = Vec::new();
+    let mut memo = SamplerMemo::new();
+    let use_memo = mech.prefers_sampler_memo();
     for (i, input, output) in lane {
         let mut rng = chunk_rng(seed, i as u64);
-        if let Err(e) = mech.perturb_batch_into(index, eps, input, &mut rng, output) {
+        let result = if !use_memo || memo.unsupported() {
+            // No sampler support, or resolution is declared trivially
+            // cheap: the per-chunk batch path (identical draw streams).
+            mech.perturb_batch_into(index, eps, input, &mut rng, output)
+        } else {
+            run_chunk(mech, index, eps, &mut memo, input, &mut rng, output)
+        };
+        if let Err(e) = result {
             errs.push((i, e));
         }
     }
     errs
+}
+
+/// One chunk through the lane memo. On error the chunk aborts at the
+/// failing location (later slots unspecified), matching
+/// [`Mechanism::perturb_batch_into`].
+fn run_chunk<'a>(
+    mech: &'a (dyn Mechanism + Sync),
+    index: &'a PolicyIndex,
+    eps: f64,
+    memo: &mut SamplerMemo<'a>,
+    input: &[CellId],
+    rng: &mut StdRng,
+    output: &mut [CellId],
+) -> Result<(), PglpError> {
+    for pos in 0..input.len() {
+        let s = input[pos];
+        match memo.resolve(mech, index, eps, s)? {
+            Some(sampler) => output[pos] = sampler.draw(rng),
+            // Unsupported discovered before any randomness was consumed:
+            // hand the whole chunk to the mechanism's own batch path.
+            None if pos == 0 => return mech.perturb_batch_into(index, eps, input, rng, output),
+            // Cell-dependent support (no in-tree mechanism does this):
+            // finish the chunk per report.
+            None => output[pos] = mech.perturb(index.policy(), eps, s, rng)?,
+        }
+    }
+    Ok(())
 }
 
 /// The SplitMix64 finaliser: a bijective avalanche mix, shared by the
@@ -413,6 +455,34 @@ mod tests {
             r.release_scoped(&GraphExponential, &index, 1.0, &locs, 3),
             Err(PglpError::LocationOutOfDomain(_))
         ));
+    }
+
+    /// The lane memo: a release touches the shared distribution cache at
+    /// most once per distinct cell per lane, no matter how many chunks (or
+    /// reports) the lane covers.
+    #[test]
+    fn release_touches_cache_once_per_distinct_cell_per_lane() {
+        let grid = GridMap::new(16, 16, 100.0);
+        let policy = LocationPolicyGraph::partition(grid, 4, 4);
+        let index = PolicyIndex::new(policy);
+        let distinct = 2usize;
+        // 40k reports over 2 distinct cells: 10 chunks on 4 lanes.
+        let locs: Vec<CellId> = (0..40_000).map(|i| CellId(i % distinct as u32)).collect();
+        let releaser = ParallelReleaser::with_threads(4);
+        let n_chunks = locs.len().div_ceil(releaser.chunk_size());
+        let n_lanes = releaser.n_threads().min(n_chunks);
+        let touches0 = index.distribution_cache_touches();
+        releaser
+            .release(&GraphExponential, &index, 1.0, &locs, 9)
+            .unwrap();
+        let touches = index.distribution_cache_touches() - touches0;
+        let bound = (n_lanes * distinct) as u64;
+        assert!(
+            touches <= bound,
+            "one release: {touches} cache touches; bound is lanes({n_lanes}) × \
+             distinct({distinct}) = {bound}"
+        );
+        assert!(touches >= distinct as u64, "every distinct cell resolves");
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! Scheduling never affects output: the release paths key every RNG stream
 //! off the chunk index, so *which* worker runs a chunk is irrelevant — see
 //! the determinism contract on [`ParallelReleaser`](super::ParallelReleaser).
+//!
+//! Contention discipline: each lane a pool worker runs owns a
+//! [`SamplerMemo`](crate::mech::SamplerMemo), so concurrent lanes touch the
+//! shared [`PolicyIndex`](crate::PolicyIndex) distribution cache at most
+//! once per distinct cell each — workers spend their time drawing, not
+//! queueing on the cache mutex.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};

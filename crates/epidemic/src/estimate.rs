@@ -93,8 +93,13 @@ pub fn estimate_r0_seir(
 }
 
 /// Picks a sensible early-growth window automatically: from the first
-/// epoch with non-zero incidence to the incidence peak (inclusive bounds
-/// clipped to the series).
+/// epoch with non-zero incidence to the incidence peak **inclusive**,
+/// clipped to the series.
+///
+/// The returned `end` is consumed *exclusively* by
+/// [`estimate_growth_rate`]'s `[start, end)` range, so it is `peak + 1`:
+/// the peak epoch itself enters the regression. (Returning `peak` here
+/// silently dropped the peak point from the R0 fit.)
 pub fn growth_window(incidence: &[u32]) -> (usize, usize) {
     let first = incidence.iter().position(|&c| c > 0).unwrap_or(0);
     let peak = incidence
@@ -103,7 +108,7 @@ pub fn growth_window(incidence: &[u32]) -> (usize, usize) {
         .max_by_key(|&(_, &c)| c)
         .map(|(i, _)| i)
         .unwrap_or(incidence.len());
-    (first, peak.max(first + 3).min(incidence.len()))
+    (first, (peak + 1).max(first + 3).min(incidence.len()))
 }
 
 #[cfg(test)]
@@ -165,7 +170,35 @@ mod tests {
         let incidence = [0, 0, 1, 3, 9, 20, 45, 80, 60, 30, 10];
         let (start, end) = growth_window(&incidence);
         assert_eq!(start, 2);
-        assert_eq!(end, 7);
+        // The peak sits at index 7 and the end is exclusive downstream, so
+        // the window must extend one past it.
+        assert_eq!(end, 8);
+    }
+
+    /// Regression: the peak epoch itself must enter the log-linear fit
+    /// (`end` is consumed exclusively, so `end = peak` dropped it).
+    #[test]
+    fn growth_window_includes_peak_in_regression() {
+        let incidence = [1, 2, 4, 8, 16, 7, 3];
+        let (start, end) = growth_window(&incidence);
+        assert_eq!((start, end), (0, 5), "window must cover the peak at 4");
+        let fit = estimate_growth_rate(&incidence, start, end).unwrap();
+        assert_eq!(fit.n_points, 5, "peak point must be in the fit");
+        // Pure doubling through the peak: the fit sees exactly ln 2.
+        assert!((fit.rate - 2.0_f64.ln()).abs() < 1e-9, "rate {}", fit.rate);
+        // Dropping the peak from a 4-point prefix would still fit ln 2;
+        // prove the peak is load-bearing with a kinked series instead.
+        let kinked = [1, 2, 4, 8, 64, 7];
+        let (s, e) = growth_window(&kinked);
+        assert_eq!((s, e), (0, 5));
+        let with_peak = estimate_growth_rate(&kinked, s, e).unwrap();
+        let without_peak = estimate_growth_rate(&kinked, s, e - 1).unwrap();
+        assert!(
+            with_peak.rate > without_peak.rate + 0.1,
+            "peak must steepen the fit: {} vs {}",
+            with_peak.rate,
+            without_peak.rate
+        );
     }
 
     #[test]

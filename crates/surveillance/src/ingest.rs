@@ -44,7 +44,7 @@ use crate::protocol::LocationReport;
 use crate::server::Server;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use panda_core::release::chunk_rng;
-use panda_core::{Mechanism, PolicyIndex, ReleasePool};
+use panda_core::{Mechanism, PolicyIndex, ReleasePool, SamplerMemo};
 use panda_geo::CellId;
 use panda_mobility::{Timestamp, UserId};
 use std::sync::Arc;
@@ -457,6 +457,14 @@ impl Collector {
 /// `chunk_rng(seed, arrival seq)`, so the output is a pure per-report
 /// function — invariant to batching, lane count and scheduling. `None`
 /// marks a rejected report.
+///
+/// The lane owns one [`SamplerMemo`]: the shared [`PolicyIndex`]
+/// distribution cache is touched at most **once per distinct cell per
+/// lane** (resolution), and every report then draws lock-free from its own
+/// arrival-seq stream. Sampler resolution consumes no randomness, so the
+/// landed cells are byte-identical to releasing each report through
+/// [`Mechanism::perturb_batch_into`] on its own — multi-lane flushes no
+/// longer serialise on the cache mutex under cell-concentrated load.
 fn release_lane(
     mech: &(dyn Mechanism + Sync),
     index: &PolicyIndex,
@@ -465,13 +473,33 @@ fn release_lane(
     reports: &[(u64, PendingReport)],
     out: &mut [Option<CellId>],
 ) {
+    let mut memo = SamplerMemo::new();
+    let use_memo = mech.prefers_sampler_memo();
     for (&(seq, r), slot) in reports.iter().zip(out.iter_mut()) {
         let mut rng = chunk_rng(seed, seq);
-        let mut released = [CellId(0)];
-        *slot = mech
-            .perturb_batch_into(index, eps, &[r.cell], &mut rng, &mut released)
-            .ok()
-            .map(|()| released[0]);
+        if !use_memo {
+            // Resolution is declared trivially cheap: the per-report path
+            // (identical draw streams), skipping the memo lookup.
+            let mut released = [CellId(0)];
+            *slot = mech
+                .perturb_batch_into(index, eps, &[r.cell], &mut rng, &mut released)
+                .ok()
+                .map(|()| released[0]);
+            continue;
+        }
+        *slot = match memo.resolve(mech, index, eps, r.cell) {
+            Ok(Some(sampler)) => Some(sampler.draw(&mut rng)),
+            // No sampler support: the historical per-report path, same
+            // RNG stream.
+            Ok(None) => {
+                let mut released = [CellId(0)];
+                mech.perturb_batch_into(index, eps, &[r.cell], &mut rng, &mut released)
+                    .ok()
+                    .map(|()| released[0])
+            }
+            // Unreleasable report (bad ε, foreign cell): rejected.
+            Err(_) => None,
+        };
     }
 }
 
@@ -892,6 +920,138 @@ mod tests {
                 "isolated policy must release exactly"
             );
         }
+    }
+
+    /// The sampler-handle contract: the streaming path (per-lane memoised
+    /// [`SamplerMemo`] release) must land a database bit-identical to
+    /// releasing every report through the per-report path (one
+    /// `perturb_batch_into` call per arrival-seq stream) — for every
+    /// mechanism, lane count in 1..16, and flush timing.
+    #[test]
+    fn sampler_streaming_matches_per_report_reference() {
+        use panda_core::{
+            EuclideanExponential, GraphCalibratedLaplace, IdentityMechanism, PlanarIsotropic,
+            UniformComponent,
+        };
+        let trace = trace(1_500, 21);
+        let eps = 0.8;
+        let seed = 17;
+        let mechs: Vec<Arc<dyn Mechanism + Send + Sync>> = vec![
+            Arc::new(GraphExponential),
+            Arc::new(EuclideanExponential),
+            Arc::new(GraphCalibratedLaplace),
+            Arc::new(PlanarIsotropic::new()),
+            Arc::new(IdentityMechanism),
+            Arc::new(UniformComponent),
+        ];
+        for mech in mechs {
+            // Per-report reference: each report released alone from its own
+            // arrival-seq stream, landed through an identical server.
+            let (ref_server, index) = setup(16);
+            let mut landed = Vec::new();
+            for (seq, r) in trace.iter().enumerate() {
+                let mut rng = chunk_rng(seed, seq as u64);
+                let mut out = [CellId(0)];
+                if mech
+                    .perturb_batch_into(&index, eps, &[r.cell], &mut rng, &mut out)
+                    .is_ok()
+                {
+                    landed.push(LocationReport {
+                        user: r.user,
+                        epoch: r.epoch,
+                        cell: out[0],
+                        resend: r.resend,
+                    });
+                }
+            }
+            ref_server.receive_batch(landed);
+            let ref_db = ref_server.reported_db(16);
+
+            for (lanes, max_batch, delay) in [
+                (1, 512, Duration::from_millis(5)),
+                (4, 64, Duration::from_millis(5)),
+                (8, 512, Duration::from_millis(5)),
+                (16, usize::MAX, Duration::from_micros(200)),
+            ] {
+                let (server, _) = setup(16);
+                let pipeline = IngestPipeline::spawn(
+                    Arc::clone(&server),
+                    Arc::clone(&index),
+                    Arc::clone(&mech),
+                    IngestConfig {
+                        max_batch,
+                        max_delay: delay,
+                        release_lanes: lanes,
+                        eps,
+                        seed,
+                        ..Default::default()
+                    },
+                );
+                let handle = pipeline.handle();
+                for &r in &trace {
+                    handle.submit(r).unwrap();
+                }
+                let stats = pipeline.shutdown();
+                assert_eq!(stats.landed, trace.len());
+                assert_eq!(
+                    server.reported_db(16).trajectories(),
+                    ref_db.trajectories(),
+                    "{}: lanes={lanes} max_batch={max_batch} diverged from the \
+                     per-report reference",
+                    mech.name()
+                );
+            }
+        }
+    }
+
+    /// The contention fix, asserted through the [`PolicyIndex`] diagnostics:
+    /// a flush touches the shared distribution cache at most once per
+    /// distinct cell per lane — not once per report, as the per-report path
+    /// did.
+    #[test]
+    fn flush_touches_cache_once_per_distinct_cell_per_lane() {
+        let (server, index) = setup(16);
+        let distinct = 4usize;
+        let lanes = 4usize;
+        let trace: Vec<PendingReport> = (0..2_000u32)
+            .map(|i| PendingReport {
+                user: UserId(i % 300),
+                epoch: (i / 300) as Timestamp,
+                cell: CellId(i % distinct as u32), // cell-concentrated load
+                resend: false,
+            })
+            .collect();
+        let touches0 = index.distribution_cache_touches();
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            Arc::clone(&index),
+            Arc::new(GraphExponential),
+            IngestConfig {
+                max_batch: 256,
+                max_delay: Duration::from_secs(3600),
+                release_lanes: lanes,
+                ..Default::default()
+            },
+        );
+        let handle = pipeline.handle();
+        for &r in &trace {
+            handle.submit(r).unwrap();
+        }
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.landed, trace.len());
+        let touches = index.distribution_cache_touches() - touches0;
+        let bound = (stats.batches * lanes * distinct) as u64;
+        assert!(
+            touches <= bound,
+            "cache touched {touches} times; bound is batches({}) × lanes({lanes}) × \
+             distinct({distinct}) = {bound}",
+            stats.batches
+        );
+        assert!(
+            touches < trace.len() as u64,
+            "sampler handles must beat one touch per report ({touches} vs {})",
+            trace.len()
+        );
     }
 
     /// Reports that cannot be released (foreign cell) are rejected and

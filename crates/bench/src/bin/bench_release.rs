@@ -2,22 +2,27 @@
 //! so the perf trajectory is trackable across PRs.
 //!
 //! ```text
-//! cargo run --release -p panda-bench --bin bench_release [-- --quick] [-- --streaming]
+//! cargo run --release -p panda-bench --bin bench_release [-- --quick] [-- --streaming] [-- --net]
 //! ```
 //!
 //! * `--quick` — CI smoke mode: one small batch, few iterations, still
 //!   exercising every code path (parallel release, alias sampling, shard
-//!   ingest — and, with `--streaming`, the ingest pipeline).
+//!   ingest — and, with `--streaming`/`--net`, the ingest pipeline and
+//!   the TCP gateway).
 //! * `--streaming` — also measure the streaming ingest pipeline under
 //!   open-loop Poisson arrivals (sustained reports/sec, p50/p99 flush
 //!   latency), appended as a `streaming` section.
+//! * `--net` — also measure loopback-TCP ingest through the `panda-net`
+//!   gateway against the in-process `submit_batch` baseline (end-to-end
+//!   reports/sec to a fully-landed DB, p50/p99 per-batch ack latency,
+//!   1 vs 4 concurrent clients), appended as a `net` section (schema v4).
 //!
 //! Measures, per (mechanism × batch size × thread count): reports/sec and
 //! p50/p99 per-batch latency of [`ParallelReleaser`] against the
 //! single-threaded PR-1 `perturb_batch` baseline; the small-batch
 //! dispatch cost of the persistent pool against the PR-2 scoped-spawn
 //! path; the per-report-lock vs sampler-handle streaming ablation
-//! (`sampler` section, schema v3) with the shared-cache touch counts;
+//! (`sampler` section) with the shared-cache touch counts;
 //! plus the alias-table vs binary-search ns/draw ablation per support
 //! size. JSON is assembled by hand (no JSON dependency in the offline
 //! workspace).
@@ -82,6 +87,15 @@ struct StreamingRow {
     flush_p99_ms: f64,
     batches: usize,
     deadline_flushes: usize,
+}
+
+struct NetRow {
+    transport: &'static str,
+    clients: usize,
+    reports: usize,
+    reports_per_sec: f64,
+    ack_p50_ms: f64,
+    ack_p99_ms: f64,
 }
 
 /// Times `iters` runs of `f`, returning per-run latencies in ms (sorted).
@@ -249,6 +263,128 @@ fn bench_streaming(quick: bool) -> Vec<StreamingRow> {
         .collect()
 }
 
+/// Loopback network ingest: the same batched submission stream pushed (a)
+/// in-process through `IngestHandle::submit_batch` and (b) over TCP
+/// through the `panda-net` gateway and client SDK, at 1 and 4 concurrent
+/// producers. Wall-clock runs from the first submit to a fully-landed DB
+/// (pipeline drained), so `reports_per_sec` is end-to-end; ack latency is
+/// the producer-observed per-batch round trip (queue handoff in-process,
+/// frame → `Ack` over TCP).
+fn bench_net(quick: bool) -> Vec<NetRow> {
+    use panda_net::{GatewayClient, IngestGateway};
+    use panda_surveillance::ingest::IngestPipeline;
+    use panda_surveillance::Server;
+    use std::sync::Arc;
+
+    let total: usize = if quick { 16_384 } else { 262_144 };
+    let chunk = 256usize;
+    let client_counts: &[usize] = if quick { &[1] } else { &[1, 4] };
+    let mut rows = Vec::new();
+    for &clients in client_counts {
+        for transport in ["in-process", "tcp"] {
+            let g = grid(16);
+            let server = Arc::new(Server::with_shards(g.clone(), 16));
+            let index = Arc::new(PolicyIndex::new(LocationPolicyGraph::partition(
+                g.clone(),
+                2,
+                2,
+            )));
+            let pipeline = IngestPipeline::spawn(
+                Arc::clone(&server),
+                index,
+                Arc::new(GraphExponential),
+                IngestConfig {
+                    max_batch: 256,
+                    max_delay: Duration::from_millis(1),
+                    queue_capacity: 16_384,
+                    eps: 1.0,
+                    seed: 7,
+                    ..Default::default()
+                },
+            );
+            let per_client = total / clients;
+            let t0 = Instant::now();
+            let mut latencies: Vec<f64> = match transport {
+                "in-process" => {
+                    let workers: Vec<_> = (0..clients)
+                        .map(|c| {
+                            let handle = pipeline.handle();
+                            std::thread::spawn(move || {
+                                let trace = make_trace_for(c, per_client);
+                                let mut lat = Vec::with_capacity(per_client / chunk + 1);
+                                for batch in trace.chunks(chunk) {
+                                    let b0 = Instant::now();
+                                    handle.submit_batch(batch).expect("pipeline alive");
+                                    lat.push(b0.elapsed().as_secs_f64() * 1e3);
+                                }
+                                lat
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .flat_map(|w| w.join().expect("producer panicked"))
+                        .collect()
+                }
+                _ => {
+                    let gateway = IngestGateway::bind("127.0.0.1:0", pipeline.handle())
+                        .expect("bind loopback gateway");
+                    let addr = gateway.local_addr();
+                    let workers: Vec<_> = (0..clients)
+                        .map(|c| {
+                            std::thread::spawn(move || {
+                                let trace = make_trace_for(c, per_client);
+                                let mut client =
+                                    GatewayClient::connect(addr).expect("connect gateway");
+                                let mut lat = Vec::with_capacity(per_client / chunk + 1);
+                                for batch in trace.chunks(chunk) {
+                                    let b0 = Instant::now();
+                                    client.submit_batch(batch).expect("gateway alive");
+                                    lat.push(b0.elapsed().as_secs_f64() * 1e3);
+                                }
+                                client.shutdown().expect("clean shutdown");
+                                lat
+                            })
+                        })
+                        .collect();
+                    let lat: Vec<f64> = workers
+                        .into_iter()
+                        .flat_map(|w| w.join().expect("client panicked"))
+                        .collect();
+                    gateway.shutdown();
+                    lat
+                }
+            };
+            let stats = pipeline.shutdown();
+            let wall = t0.elapsed().as_secs_f64();
+            assert_eq!(stats.landed, total, "{transport}: every report must land");
+            latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            rows.push(NetRow {
+                transport,
+                clients,
+                reports: total,
+                reports_per_sec: total as f64 / wall,
+                ack_p50_ms: percentile(&latencies, 0.5),
+                ack_p99_ms: percentile(&latencies, 0.99),
+            });
+        }
+    }
+    rows
+}
+
+/// The deterministic per-client workload of [`bench_net`] (free function
+/// so the worker closures stay `move`-only).
+fn make_trace_for(c: usize, per_client: usize) -> Vec<panda_surveillance::ingest::PendingReport> {
+    (0..per_client)
+        .map(|i| panda_surveillance::ingest::PendingReport {
+            user: panda_mobility::UserId((c * 100_000 + i % 500) as u32),
+            epoch: (i / 500) as u32,
+            cell: CellId((i % 64) as u32),
+            resend: false,
+        })
+        .collect()
+}
+
 /// The streaming contention ablation: per-report releases (each report
 /// resolves against the shared distribution cache — one mutex touch per
 /// report, the pre-sampler ingest regime) versus sampler-handle releases
@@ -342,6 +478,7 @@ fn bench_sampling(quick: bool) -> Vec<SamplingRow> {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let streaming_mode = std::env::args().any(|a| a == "--streaming");
+    let net_mode = std::env::args().any(|a| a == "--net");
     let hw = panda_core::release::pool::default_parallelism();
     println!(
         "release-engine bench ({} mode, {hw} hardware threads)\n",
@@ -397,6 +534,20 @@ fn main() {
         Vec::new()
     };
 
+    let net = if net_mode {
+        let rows = bench_net(quick);
+        println!("\nnet         clients  reports  reports/s  ack p50 ms  ack p99 ms");
+        for n in &rows {
+            println!(
+                "{:<10}  {:<7}  {:<7}  {:<9.0}  {:<10.4}  {:<10.4}",
+                n.transport, n.clients, n.reports, n.reports_per_sec, n.ack_p50_ms, n.ack_p99_ms
+            );
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+
     let sampler = bench_sampler(quick);
     println!(
         "\nsampler   distinct  reports  per-report r/s  sampler r/s  speedup  touches (report/sampler)"
@@ -429,7 +580,7 @@ fn main() {
 
     // Hand-assembled JSON (the offline workspace carries no JSON crate).
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"panda-bench-release/v3\",\n");
+    json.push_str("  \"schema\": \"panda-bench-release/v4\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -483,6 +634,23 @@ fn main() {
                 s.batches,
                 s.deadline_flushes,
                 if i + 1 < streaming.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+    }
+    if !net.is_empty() {
+        json.push_str("  \"net\": [\n");
+        for (i, n) in net.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"transport\": \"{}\", \"clients\": {}, \"reports\": {}, \
+                 \"reports_per_sec\": {:.0}, \"ack_p50_ms\": {:.4}, \"ack_p99_ms\": {:.4}}}{}\n",
+                n.transport,
+                n.clients,
+                n.reports,
+                n.reports_per_sec,
+                n.ack_p50_ms,
+                n.ack_p99_ms,
+                if i + 1 < net.len() { "," } else { "" }
             ));
         }
         json.push_str("  ],\n");

@@ -115,6 +115,18 @@ impl GridMap {
         self.cell_size
     }
 
+    /// Plane coordinates of the origin corner.
+    #[inline]
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Real-world `(lat, lon)` of the origin corner, if anchored.
+    #[inline]
+    pub fn anchor(&self) -> Option<(f64, f64)> {
+        self.anchor
+    }
+
     /// Total number of cells (the size of the location domain `S`).
     #[inline]
     pub fn n_cells(&self) -> u32 {

@@ -1,0 +1,305 @@
+//! [`GatewayClient`]: the blocking client SDK for the ingest gateway.
+//!
+//! One TCP connection, strict request/reply: every
+//! `Submit`/`SubmitBatch`/`SwitchPolicy`/`Shutdown` frame is answered by
+//! exactly one `Ack`/`Nack` in order, so the client never parses an
+//! ambiguous stream. Backpressure ([`NackReason::Backpressure`]) is
+//! handled inside [`GatewayClient::submit`] and
+//! [`GatewayClient::submit_batch`] by a bounded retry loop
+//! ([`RetryPolicy`]): a nacked batch resumes from the acknowledged prefix,
+//! so report order — and therefore the pipeline's arrival-sequence
+//! determinism — is preserved across retries.
+
+use crate::wire::{
+    encode_frame, encode_submit_batch, read_frame, Frame, NackReason, ReadFrameError,
+    MAX_REPORTS_PER_FRAME,
+};
+use panda_core::LocationPolicyGraph;
+use panda_surveillance::ingest::PendingReport;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How a client rides out [`NackReason::Backpressure`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Consecutive no-progress nacks tolerated before giving up with
+    /// [`ClientError::Saturated`]. A batch nack that accepted a prefix
+    /// counts as progress and resets the budget.
+    pub max_attempts: u32,
+    /// Pause before each resend.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 256,
+            backoff: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's reply did not decode (version skew or corruption).
+    Decode(crate::wire::DecodeError),
+    /// The server closed the connection.
+    Disconnected,
+    /// The pipeline behind the gateway has shut down.
+    Closed,
+    /// Backpressure outlasted the whole [`RetryPolicy`] budget.
+    Saturated,
+    /// The server refused the frame as malformed protocol traffic.
+    Rejected,
+    /// The server answered out of protocol (not an `Ack`/`Nack`).
+    UnexpectedReply,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "gateway i/o failed: {e}"),
+            ClientError::Decode(e) => write!(f, "gateway reply did not decode: {e}"),
+            ClientError::Disconnected => f.write_str("gateway closed the connection"),
+            ClientError::Closed => f.write_str("ingest pipeline behind the gateway has shut down"),
+            ClientError::Saturated => {
+                f.write_str("backpressure persisted through every retry attempt")
+            }
+            ClientError::Rejected => f.write_str("gateway rejected the frame as malformed"),
+            ClientError::UnexpectedReply => f.write_str("gateway replied out of protocol"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadFrameError> for ClientError {
+    fn from(e: ReadFrameError) -> Self {
+        match e {
+            ReadFrameError::Io(e) => ClientError::Io(e),
+            ReadFrameError::Decode(e) => ClientError::Decode(e),
+            ReadFrameError::UnexpectedEof => ClientError::Disconnected,
+        }
+    }
+}
+
+/// A blocking connection to an [`crate::IngestGateway`].
+pub struct GatewayClient {
+    stream: TcpStream,
+    retry: RetryPolicy,
+    send_buf: Vec<u8>,
+    backpressure_retries: u64,
+}
+
+impl GatewayClient {
+    /// Connects with the default [`RetryPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(GatewayClient {
+            stream,
+            retry: RetryPolicy::default(),
+            send_buf: Vec::new(),
+            backpressure_retries: 0,
+        })
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// How many backpressure nacks this client has ridden out (observable
+    /// evidence that the retry path ran).
+    pub fn backpressure_retries(&self) -> u64 {
+        self.backpressure_retries
+    }
+
+    /// Sends one frame and reads its single reply.
+    fn round_trip(&mut self, frame: &Frame) -> Result<Frame, ClientError> {
+        self.send_buf.clear();
+        encode_frame(frame, &mut self.send_buf);
+        self.exchange()
+    }
+
+    /// Writes the pre-encoded `send_buf` and reads the single reply.
+    fn exchange(&mut self) -> Result<Frame, ClientError> {
+        use std::io::Write;
+        self.stream.write_all(&self.send_buf)?;
+        match read_frame(&mut self.stream)? {
+            Some(reply) => Ok(reply),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Submits one report, riding out backpressure per the retry policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Saturated`] when the retry budget runs out; the
+    /// transport/protocol variants otherwise.
+    pub fn submit(&mut self, report: PendingReport) -> Result<(), ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.round_trip(&Frame::Submit(report))? {
+                Frame::Ack { .. } => return Ok(()),
+                Frame::Nack {
+                    reason: NackReason::Backpressure,
+                    ..
+                } => {
+                    attempts += 1;
+                    self.backpressure_retries += 1;
+                    if attempts >= self.retry.max_attempts {
+                        return Err(ClientError::Saturated);
+                    }
+                    std::thread::sleep(self.retry.backoff);
+                }
+                Frame::Nack { reason, .. } => return Err(nack_error(reason)),
+                _ => return Err(ClientError::UnexpectedReply),
+            }
+        }
+    }
+
+    /// Submits a slice in order, chunked at [`MAX_REPORTS_PER_FRAME`] per
+    /// frame. On a backpressure nack the resend resumes from the
+    /// acknowledged prefix, so the gateway enqueues every report exactly
+    /// once, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Saturated`] when a chunk makes no progress for the
+    /// whole retry budget; the transport/protocol variants otherwise.
+    pub fn submit_batch(&mut self, reports: &[PendingReport]) -> Result<(), ClientError> {
+        for chunk in reports.chunks(MAX_REPORTS_PER_FRAME) {
+            self.submit_chunk(chunk)?;
+        }
+        Ok(())
+    }
+
+    fn submit_chunk(&mut self, chunk: &[PendingReport]) -> Result<(), ClientError> {
+        let mut sent = 0usize;
+        let mut attempts = 0u32;
+        while sent < chunk.len() {
+            let remaining = chunk.len() - sent;
+            // Encoded straight from the slice: no owned Vec per (re)send.
+            self.send_buf.clear();
+            encode_submit_batch(&chunk[sent..], &mut self.send_buf);
+            match self.exchange()? {
+                // The `accepted` counts come from an untrusted wire: a
+                // nonconforming server must surface as a protocol error,
+                // not an infinite resend loop (Ack{0}) or silently
+                // dropped reports (accepted > remaining).
+                Frame::Ack { accepted } => {
+                    if accepted as usize != remaining {
+                        return Err(ClientError::UnexpectedReply);
+                    }
+                    sent += accepted as usize;
+                }
+                Frame::Nack {
+                    reason: NackReason::Backpressure,
+                    accepted,
+                } => {
+                    if accepted as usize >= remaining {
+                        return Err(ClientError::UnexpectedReply);
+                    }
+                    sent += accepted as usize;
+                    self.backpressure_retries += 1;
+                    if accepted > 0 {
+                        // Progress: the queue is draining; reset the budget.
+                        attempts = 0;
+                    } else {
+                        attempts += 1;
+                        if attempts >= self.retry.max_attempts {
+                            return Err(ClientError::Saturated);
+                        }
+                    }
+                    std::thread::sleep(self.retry.backoff);
+                }
+                Frame::Nack { reason, .. } => return Err(nack_error(reason)),
+                _ => return Err(ClientError::UnexpectedReply),
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `policy` to every report this connection submits afterwards
+    /// (in-band, so the boundary in the landed stream is exact).
+    ///
+    /// # Errors
+    ///
+    /// The transport/protocol variants; [`ClientError::Closed`] when the
+    /// pipeline has shut down.
+    pub fn switch_policy(&mut self, policy: &LocationPolicyGraph) -> Result<(), ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.round_trip(&Frame::SwitchPolicy(policy.clone()))? {
+                Frame::Ack { .. } => return Ok(()),
+                // The gateway never parks on the queue, so a switch into a
+                // full queue nacks; ride it out like a submission.
+                Frame::Nack {
+                    reason: NackReason::Backpressure,
+                    ..
+                } => {
+                    attempts += 1;
+                    self.backpressure_retries += 1;
+                    if attempts >= self.retry.max_attempts {
+                        return Err(ClientError::Saturated);
+                    }
+                    std::thread::sleep(self.retry.backoff);
+                }
+                Frame::Nack { reason, .. } => return Err(nack_error(reason)),
+                _ => return Err(ClientError::UnexpectedReply),
+            }
+        }
+    }
+
+    /// Clean end of session: tells the gateway, waits for the ack, closes.
+    ///
+    /// # Errors
+    ///
+    /// The transport/protocol variants (the connection is closed
+    /// regardless).
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        let result = match self.round_trip(&Frame::Shutdown) {
+            Ok(Frame::Ack { .. }) => Ok(()),
+            Ok(Frame::Nack { reason, .. }) => Err(nack_error(reason)),
+            Ok(_) => Err(ClientError::UnexpectedReply),
+            Err(e) => Err(e),
+        };
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        result
+    }
+}
+
+fn nack_error(reason: NackReason) -> ClientError {
+    match reason {
+        // `submit`/`submit_batch` intercept backpressure for retry; seeing
+        // it here means the retry loop chose to surface saturation.
+        NackReason::Backpressure => ClientError::Saturated,
+        NackReason::Closed => ClientError::Closed,
+        NackReason::Malformed => ClientError::Rejected,
+    }
+}

@@ -1,0 +1,570 @@
+//! [`IngestGateway`]: the threaded TCP front end over
+//! [`IngestHandle`](panda_surveillance::ingest::IngestHandle).
+//!
+//! One acceptor thread takes connections; each connection gets its own
+//! handler thread that decodes frames incrementally and answers every
+//! client frame in order:
+//!
+//! * [`Frame::Submit`] / [`Frame::SubmitBatch`] → `try_submit` /
+//!   `try_submit_batch` on the pipeline queue. Success is
+//!   [`Frame::Ack`]`{accepted}`; a full queue is
+//!   [`Frame::Nack`]`{Backpressure, accepted}` (for a batch, `accepted`
+//!   counts the enqueued prefix) — the handler **never blocks on the
+//!   queue**, so one slow pipeline cannot wedge every socket thread;
+//! * [`Frame::SwitchPolicy`] → on an operator-plane listener
+//!   ([`GatewayConfig::allow_wire_policy_switch`]), builds a fresh
+//!   `PolicyIndex` and routes it in-band through the queue; on the
+//!   default data plane it is a protocol violation — untrusted reporters
+//!   must not rewrite everyone's privacy policy;
+//! * [`Frame::Shutdown`] → acknowledged, then the connection closes;
+//! * undecodable bytes, or a frame that is not valid client → server
+//!   traffic → [`Frame::Nack`]`{Malformed}` and the connection closes.
+//!   The pipeline is untouched — one hostile client never poisons the
+//!   stream of the others.
+//!
+//! [`IngestGateway::shutdown`] stops accepting, lets every handler finish
+//! the frames it has already received (replies included), and joins all
+//! threads. Reports the gateway has acked are in the pipeline queue by
+//! definition, so `gateway.shutdown()` followed by `pipeline.shutdown()`
+//! loses no acknowledged report.
+
+use crate::wire::{encode_frame, Frame, FrameDecoder, NackReason};
+use panda_core::PolicyIndex;
+use panda_surveillance::ingest::{IngestHandle, TrySubmitError, TrySwitchError};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tunables of a gateway; the defaults suit loopback and LAN deployments.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Socket read buffer handed to each connection handler.
+    pub read_buf: usize,
+    /// How often an idle handler wakes to check for gateway shutdown (the
+    /// socket read timeout).
+    pub poll_interval: Duration,
+    /// How long a reply write may stall before the connection is dropped
+    /// (a client that stops reading its acks cannot wedge shutdown).
+    pub write_timeout: Duration,
+    /// Drop a connection after this long without receiving any bytes.
+    /// Idle sockets hold a [`GatewayConfig::max_connections`] slot and a
+    /// handler thread; without a deadline, an attacker could pin the whole
+    /// cap with silent connections and starve legitimate clients. Clients
+    /// that outlive the deadline simply reconnect.
+    pub idle_timeout: Duration,
+    /// Ceiling on concurrently-served connections. Each connection costs
+    /// an OS thread plus read/decode buffers, so an unbounded accept loop
+    /// is a resource-exhaustion DoS against an open ingest port; at the
+    /// cap, further connections are accepted and immediately dropped
+    /// (counted in [`GatewayStats::rejected_connections`]) until one
+    /// closes.
+    pub max_connections: usize,
+    /// Whether [`Frame::SwitchPolicy`] is honoured from this listener.
+    ///
+    /// **Off by default**: a policy switch weakens or changes the privacy
+    /// guarantee of every later report from *every* client, so it is a
+    /// privileged control operation — an open ingest port serving
+    /// untrusted reporters must refuse it (the gateway answers
+    /// `Nack{Malformed}` and drops the connection, like any other
+    /// protocol violation). Enable only on a listener reserved for the
+    /// trusted operator plane (loopback, an authenticated sidecar, or a
+    /// firewalled admin port).
+    pub allow_wire_policy_switch: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            read_buf: 64 * 1024,
+            poll_interval: Duration::from_millis(20),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            max_connections: 1024,
+            allow_wire_policy_switch: false,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// The default config with [`GatewayConfig::allow_wire_policy_switch`]
+    /// enabled — for operator-plane listeners.
+    #[must_use]
+    pub fn operator() -> Self {
+        GatewayConfig {
+            allow_wire_policy_switch: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Lifetime counters of a gateway, snapshotted by [`IngestGateway::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Connections dropped at the [`GatewayConfig::max_connections`] cap.
+    pub rejected_connections: u64,
+    /// Frames decoded across all connections.
+    pub frames: u64,
+    /// Reports enqueued into the pipeline (and therefore acked).
+    pub reports_enqueued: u64,
+    /// `Nack{Backpressure}` replies sent.
+    pub backpressure_nacks: u64,
+    /// `Nack{Closed}` replies sent.
+    pub closed_nacks: u64,
+    /// `Nack{Malformed}` replies sent (each closes its connection).
+    pub malformed_nacks: u64,
+    /// In-band policy switches applied.
+    pub policy_switches: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    rejected_connections: AtomicU64,
+    frames: AtomicU64,
+    reports_enqueued: AtomicU64,
+    backpressure_nacks: AtomicU64,
+    closed_nacks: AtomicU64,
+    malformed_nacks: AtomicU64,
+    policy_switches: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> GatewayStats {
+        GatewayStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            reports_enqueued: self.reports_enqueued.load(Ordering::Relaxed),
+            backpressure_nacks: self.backpressure_nacks.load(Ordering::Relaxed),
+            closed_nacks: self.closed_nacks.load(Ordering::Relaxed),
+            malformed_nacks: self.malformed_nacks.load(Ordering::Relaxed),
+            policy_switches: self.policy_switches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running TCP ingest gateway; dropping it shuts it down.
+pub struct IngestGateway {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    stats: Arc<StatsInner>,
+}
+
+impl IngestGateway {
+    /// Binds on `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting clients that feed `ingest`, under default
+    /// [`GatewayConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, ingest: IngestHandle) -> std::io::Result<Self> {
+        Self::bind_with(addr, ingest, GatewayConfig::default())
+    }
+
+    /// [`IngestGateway::bind`] with explicit tunables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        ingest: IngestHandle,
+        config: GatewayConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(StatsInner::default());
+        let acceptor = {
+            let (stop, handlers, stats) =
+                (Arc::clone(&stop), Arc::clone(&handlers), Arc::clone(&stats));
+            std::thread::Builder::new()
+                .name("panda-gateway-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, ingest, config, stop, handlers, stats);
+                })
+                .expect("spawn gateway acceptor")
+        };
+        Ok(IngestGateway {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            handlers,
+            stats,
+        })
+    }
+
+    /// The bound address (with the resolved port when bound on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every live connection
+    /// (frames already received are processed and answered), join all
+    /// threads, and return the final counters. Every report acked before
+    /// this returns sits in the pipeline queue — follow with
+    /// `IngestPipeline::shutdown()` to land them all.
+    pub fn shutdown(mut self) -> GatewayStats {
+        self.shutdown_in_place();
+        self.stats.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The acceptor polls a non-blocking listener, so it observes the
+        // flag within one poll interval (no wake-up connection needed —
+        // connecting could itself fail under fd exhaustion).
+        acceptor.join().expect("gateway acceptor panicked");
+        let handlers =
+            std::mem::take(&mut *self.handlers.lock().expect("handler registry poisoned"));
+        for h in handlers {
+            h.join().expect("gateway connection handler panicked");
+        }
+    }
+}
+
+impl Drop for IngestGateway {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    ingest: IngestHandle,
+    config: GatewayConfig,
+    stop: Arc<AtomicBool>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    stats: Arc<StatsInner>,
+) {
+    // Polling a non-blocking listener (instead of parking in `accept`)
+    // keeps shutdown independent of network traffic: the stop flag is
+    // observed within one poll interval even under fd exhaustion, when a
+    // wake-up connection could not be made. The idle poll is 1 ms — cheap
+    // on an idle acceptor thread, and small enough not to tax connect
+    // latency or per-connection benchmarks.
+    const ACCEPT_POLL: Duration = Duration::from_millis(1);
+    listener
+        .set_nonblocking(true)
+        .expect("set gateway listener non-blocking");
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            // Transient accept failures (per-connection resets, fd
+            // exhaustion) must not kill the loop — and must not spin it
+            // hot either; the longer pause gives the fd table room to
+            // recover.
+            Err(_) => {
+                std::thread::sleep(config.poll_interval);
+                continue;
+            }
+        };
+        // Some platforms hand the accepted socket the listener's
+        // non-blocking flag; the handler's read-timeout logic expects a
+        // blocking stream.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let mut registry = handlers.lock().expect("handler registry poisoned");
+        // Reap finished handlers as connections churn, so a long-lived
+        // gateway holds registry entries (and thread stacks) only for
+        // live connections. Finished threads join instantly.
+        let mut live = Vec::with_capacity(registry.len() + 1);
+        for h in registry.drain(..) {
+            if h.is_finished() {
+                h.join().expect("gateway connection handler panicked");
+            } else {
+                live.push(h);
+            }
+        }
+        // The connection cap: a thread + buffers per connection must not
+        // be mintable without bound by whoever can reach the port.
+        if live.len() >= config.max_connections.max(1) {
+            stats.rejected_connections.fetch_add(1, Ordering::Relaxed);
+            *registry = live;
+            drop(registry);
+            drop(stream);
+            continue;
+        }
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        let handler = {
+            let (ingest, stop, stats, config) = (
+                ingest.clone(),
+                Arc::clone(&stop),
+                Arc::clone(&stats),
+                config.clone(),
+            );
+            std::thread::Builder::new()
+                .name("panda-gateway-conn".into())
+                .spawn(move || serve_connection(stream, &ingest, &config, &stop, &stats))
+                .expect("spawn gateway connection handler")
+        };
+        live.push(handler);
+        *registry = live;
+    }
+}
+
+/// What a frame asks the connection to do next.
+enum Disposition {
+    /// Keep serving.
+    Continue,
+    /// Close after flushing replies (clean `Shutdown`, protocol
+    /// violation, or a decode error).
+    Close,
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    ingest: &IngestHandle,
+    config: &GatewayConfig,
+    stop: &AtomicBool,
+    stats: &StatsInner,
+) {
+    // Per-frame acks on a stream of small frames need low latency;
+    // timeouts keep both directions from wedging shutdown.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.poll_interval));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; config.read_buf.max(1)];
+    let mut replies = Vec::new();
+    let mut eof = false;
+    let mut last_bytes = std::time::Instant::now();
+    loop {
+        if !eof {
+            match stream.read(&mut buf) {
+                Ok(0) => eof = true,
+                Ok(n) => {
+                    decoder.feed(&buf[..n]);
+                    last_bytes = std::time::Instant::now();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        // Gateway shutdown: drain what already arrived,
+                        // reply, then close.
+                        eof = true;
+                    } else if last_bytes.elapsed() >= config.idle_timeout {
+                        // A silent socket must not pin a connection slot
+                        // forever; drop it (the client reconnects).
+                        break;
+                    } else {
+                        continue;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        replies.clear();
+        let mut disposition = Disposition::Continue;
+        loop {
+            // Privilege is enforced at the tag, before payload decode: a
+            // data-plane client cannot make the server build a policy
+            // graph (or parse any other privileged/server-bound payload)
+            // just to have it refused.
+            match decoder.next_frame_permitted(|t| tag_permitted(t, config)) {
+                Ok(Some(frame)) => {
+                    stats.frames.fetch_add(1, Ordering::Relaxed);
+                    disposition = handle_frame(frame, ingest, config, stats, &mut replies);
+                    if matches!(disposition, Disposition::Close) {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Framing is lost: refuse and drop the connection. The
+                    // pipeline never saw the bytes, so other clients are
+                    // unaffected.
+                    stats.malformed_nacks.fetch_add(1, Ordering::Relaxed);
+                    encode_frame(
+                        &Frame::Nack {
+                            reason: NackReason::Malformed,
+                            accepted: 0,
+                        },
+                        &mut replies,
+                    );
+                    disposition = Disposition::Close;
+                    break;
+                }
+            }
+        }
+        if !replies.is_empty() && stream.write_all(&replies).is_err() {
+            break;
+        }
+        if matches!(disposition, Disposition::Close) || eof {
+            break;
+        }
+        // A client that keeps the socket busy must not outlive shutdown:
+        // the flag is re-checked here, not only on idle read timeouts.
+        // One more iteration drains frames already buffered, then exits.
+        if stop.load(Ordering::SeqCst) {
+            eof = true;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Which frame tags this listener is willing to *decode*: submissions and
+/// clean shutdown always; a policy switch only on the operator plane.
+/// Everything else — server → client tags, unknown tags — is refused at
+/// header cost.
+fn tag_permitted(t: u8, config: &GatewayConfig) -> bool {
+    use crate::wire::tag;
+    matches!(t, tag::SUBMIT | tag::SUBMIT_BATCH | tag::SHUTDOWN)
+        || (t == tag::SWITCH_POLICY && config.allow_wire_policy_switch)
+}
+
+/// Applies one decoded frame to the pipeline and queues the reply.
+fn handle_frame(
+    frame: Frame,
+    ingest: &IngestHandle,
+    config: &GatewayConfig,
+    stats: &StatsInner,
+    replies: &mut Vec<u8>,
+) -> Disposition {
+    match frame {
+        Frame::Submit(report) => {
+            let reply = match ingest.try_submit(report) {
+                Ok(()) => {
+                    stats.reports_enqueued.fetch_add(1, Ordering::Relaxed);
+                    Frame::Ack { accepted: 1 }
+                }
+                Err(TrySubmitError::Full(_)) => {
+                    stats.backpressure_nacks.fetch_add(1, Ordering::Relaxed);
+                    Frame::Nack {
+                        reason: NackReason::Backpressure,
+                        accepted: 0,
+                    }
+                }
+                Err(TrySubmitError::Closed(_)) => {
+                    stats.closed_nacks.fetch_add(1, Ordering::Relaxed);
+                    Frame::Nack {
+                        reason: NackReason::Closed,
+                        accepted: 0,
+                    }
+                }
+            };
+            encode_frame(&reply, replies);
+            Disposition::Continue
+        }
+        Frame::SubmitBatch(reports) => {
+            let reply = match ingest.try_submit_batch(&reports) {
+                Ok(accepted) => {
+                    stats
+                        .reports_enqueued
+                        .fetch_add(accepted as u64, Ordering::Relaxed);
+                    if accepted == reports.len() {
+                        Frame::Ack {
+                            accepted: accepted as u32,
+                        }
+                    } else {
+                        stats.backpressure_nacks.fetch_add(1, Ordering::Relaxed);
+                        Frame::Nack {
+                            reason: NackReason::Backpressure,
+                            accepted: accepted as u32,
+                        }
+                    }
+                }
+                Err(_) => {
+                    stats.closed_nacks.fetch_add(1, Ordering::Relaxed);
+                    Frame::Nack {
+                        reason: NackReason::Closed,
+                        accepted: 0,
+                    }
+                }
+            };
+            encode_frame(&reply, replies);
+            Disposition::Continue
+        }
+        Frame::SwitchPolicy(policy) => {
+            if !config.allow_wire_policy_switch {
+                // A policy switch changes the privacy guarantee for every
+                // client; on a data-plane listener it is a protocol
+                // violation, refused like any other hostile frame.
+                stats.malformed_nacks.fetch_add(1, Ordering::Relaxed);
+                encode_frame(
+                    &Frame::Nack {
+                        reason: NackReason::Malformed,
+                        accepted: 0,
+                    },
+                    replies,
+                );
+                return Disposition::Close;
+            }
+            // `try_switch_policy`, not the blocking variant: the handler
+            // contract is that socket threads never park on the queue.
+            // The operator client retries on backpressure like a submit.
+            let reply = match ingest.try_switch_policy(Arc::new(PolicyIndex::new(policy))) {
+                Ok(()) => {
+                    stats.policy_switches.fetch_add(1, Ordering::Relaxed);
+                    Frame::Ack { accepted: 0 }
+                }
+                Err(TrySwitchError::Full(_)) => {
+                    stats.backpressure_nacks.fetch_add(1, Ordering::Relaxed);
+                    Frame::Nack {
+                        reason: NackReason::Backpressure,
+                        accepted: 0,
+                    }
+                }
+                Err(TrySwitchError::Closed(_)) => {
+                    stats.closed_nacks.fetch_add(1, Ordering::Relaxed);
+                    Frame::Nack {
+                        reason: NackReason::Closed,
+                        accepted: 0,
+                    }
+                }
+            };
+            encode_frame(&reply, replies);
+            Disposition::Continue
+        }
+        Frame::Shutdown => {
+            encode_frame(&Frame::Ack { accepted: 0 }, replies);
+            Disposition::Close
+        }
+        // Server → client frames arriving at the server are a protocol
+        // violation: refuse and close, exactly like undecodable bytes.
+        Frame::Ack { .. }
+        | Frame::Nack { .. }
+        | Frame::Report(_)
+        | Frame::Assign(_)
+        | Frame::Resend(_) => {
+            stats.malformed_nacks.fetch_add(1, Ordering::Relaxed);
+            encode_frame(
+                &Frame::Nack {
+                    reason: NackReason::Malformed,
+                    accepted: 0,
+                },
+                replies,
+            );
+            Disposition::Close
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `panda-net`: the wire in front of the streaming ingest pipeline.
+//!
+//! PANDA's deployment shape is an open-loop surveillance server collecting
+//! perturbed reports from a large population of untrusted clients over a
+//! network. This crate is that client/server split for the reproduction:
+//!
+//! * [`wire`] — a dependency-free, versioned, length-prefixed binary codec
+//!   for the `panda_surveillance::protocol` types and the ingest session
+//!   frames ([`Frame`]), with typed [`DecodeError`]s (hostile bytes are a
+//!   parse error, never a panic) and an incremental [`FrameDecoder`] for
+//!   byte streams;
+//! * [`gateway`] — [`IngestGateway`], a threaded TCP front end that
+//!   accepts many concurrent clients, decodes frames, feeds
+//!   [`panda_surveillance::ingest::IngestHandle`], and answers every
+//!   submission with [`Frame::Ack`] or a typed [`Frame::Nack`]. Queue
+//!   backpressure surfaces on the wire as [`NackReason::Backpressure`]
+//!   instead of blocking the socket thread;
+//! * [`client`] — [`GatewayClient`], a blocking SDK (connect, submit,
+//!   batch submit with retry-on-backpressure, in-band policy switch, clean
+//!   shutdown) so examples, tests and benches can drive the server
+//!   end-to-end over loopback.
+//!
+//! ## Determinism
+//!
+//! The pipeline keys each report's RNG stream by its **arrival sequence
+//! number**, so the transport cannot change the released cells: a single
+//! client submitting a trace over TCP lands a database byte-identical to
+//! in-process [`IngestHandle::submit`] calls in the same order, across
+//! flush timings and lane counts (CI-enforced). With several concurrent
+//! clients the *interleaving* at the gateway decides arrival order, exactly
+//! as concurrent in-process producers do.
+//!
+//! [`IngestHandle::submit`]: panda_surveillance::ingest::IngestHandle::submit
+
+pub mod client;
+pub mod gateway;
+pub mod wire;
+
+pub use client::{ClientError, GatewayClient, RetryPolicy};
+pub use gateway::{GatewayConfig, GatewayStats, IngestGateway};
+pub use wire::{DecodeError, Frame, FrameDecoder, NackReason};

@@ -1,0 +1,1050 @@
+//! The framed wire protocol: a dependency-free, versioned, length-prefixed
+//! binary codec for ingest sessions.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  = b"PNDA"
+//! 4       1     protocol version (= [`VERSION`])
+//! 5       1     frame tag
+//! 6       2     reserved, must be zero
+//! 8       4     payload length, little-endian (≤ [`MAX_PAYLOAD`])
+//! 12      len   payload
+//! ```
+//!
+//! All integers are little-endian; `f64` travels as its IEEE-754 bit
+//! pattern; booleans are one byte, `0` or `1`. Anything else — wrong
+//! magic, unknown version or tag, non-zero reserved bytes, an over-length
+//! frame, a payload that under- or over-runs its declared length, a
+//! non-finite float where geometry demands finite, an out-of-range policy
+//! edge — decodes to a typed [`DecodeError`], **never** a panic: the
+//! gateway faces untrusted bytes.
+//!
+//! Framing is not self-resynchronising: after the first [`DecodeError`] on
+//! a stream the frame boundary is lost and the connection must be dropped
+//! (the gateway answers [`Frame::Nack`] with [`NackReason::Malformed`] and
+//! closes).
+
+use panda_core::LocationPolicyGraph;
+use panda_geo::{GridMap, Point};
+use panda_graph::GraphBuilder;
+use panda_mobility::UserId;
+use panda_surveillance::ingest::PendingReport;
+use panda_surveillance::protocol::{LocationReport, PolicyAssignment, ResendRequest};
+use std::io::Read;
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"PNDA";
+
+/// Wire protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Fixed frame header length in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Hard ceiling on a frame's payload length. Large enough for a
+/// [`Frame::SwitchPolicy`] carrying a city-scale policy graph (a 256×256
+/// grid's 8-neighbour policy is ~2 MiB of edges), small enough that a
+/// hostile length field cannot make the decoder balloon.
+pub const MAX_PAYLOAD: u32 = 8 << 20;
+
+/// Ceiling on an encoded policy name, bounding decoder allocations.
+pub const MAX_NAME_LEN: usize = 4096;
+
+/// Ceiling on a decoded policy grid's cell count. The width/height fields
+/// alone could demand ~4 × 10⁹ nodes — a ~100 GB adjacency allocation from
+/// a 50-byte frame — so the decoder refuses anything beyond a 512×512
+/// city grid before touching the graph builder. The value is chosen so
+/// the densest paper preset (`G1`, 8 neighbours per cell ≈ 4 edges/cell)
+/// on a maximal grid still encodes within [`MAX_PAYLOAD`]; denser
+/// arbitrary graphs may exceed the payload ceiling sooner (the encoder
+/// asserts, the decoder refuses via `Oversize`).
+pub const MAX_POLICY_CELLS: u32 = 1 << 18;
+
+/// How many reports [`crate::GatewayClient`] packs into one
+/// [`Frame::SubmitBatch`] — 4096 reports ≈ 52 KiB, far below
+/// [`MAX_PAYLOAD`], matching the release engine's chunk size.
+pub const MAX_REPORTS_PER_FRAME: usize = 4096;
+
+/// Why the server refused a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackReason {
+    /// The ingest queue is at capacity; retry after a pause. For a batch,
+    /// [`Frame::Nack::accepted`] reports were enqueued before it filled —
+    /// resend from that offset.
+    Backpressure,
+    /// The pipeline behind the gateway has shut down; no further report
+    /// will be accepted on any connection.
+    Closed,
+    /// The bytes did not parse as a protocol frame (or the frame is not
+    /// valid client → server traffic); the server closes the connection.
+    Malformed,
+}
+
+/// One protocol frame.
+///
+/// `Submit`/`SubmitBatch`/`SwitchPolicy`/`Shutdown` travel client → server;
+/// `Ack`/`Nack` travel server → client; `Report`/`Assign`/`Resend` encode
+/// the `panda_surveillance::protocol` types for server-initiated channels
+/// (policy pushes and the re-send protocol) and round-trip through the same
+/// codec.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Client → server: one planned report for the pipeline to perturb and
+    /// land.
+    Submit(PendingReport),
+    /// Client → server: many reports in submission order.
+    SubmitBatch(Vec<PendingReport>),
+    /// Server → client: the preceding frame was applied; for submissions,
+    /// `accepted` reports entered the queue.
+    Ack {
+        /// Reports enqueued by the acknowledged frame (0 for non-submit
+        /// frames).
+        accepted: u32,
+    },
+    /// Server → client: the preceding frame was refused.
+    Nack {
+        /// Why it was refused.
+        reason: NackReason,
+        /// Reports enqueued before the refusal (a batch stopped by
+        /// backpressure lands a prefix; resend from this offset).
+        accepted: u32,
+    },
+    /// Client → server: apply this policy to every later report (in-band,
+    /// at this connection's position in the arrival order).
+    SwitchPolicy(LocationPolicyGraph),
+    /// Client → server: clean end of session; the server acknowledges and
+    /// closes the connection.
+    Shutdown,
+    /// A perturbed location report (codec support for server-side fan-out;
+    /// not valid ingest-gateway input).
+    Report(LocationReport),
+    /// A server → client policy assignment.
+    Assign(PolicyAssignment),
+    /// A server → client re-send request.
+    Resend(ResendRequest),
+}
+
+/// Frame tags (byte 5 of the header). Public so listeners can refuse
+/// frame kinds by tag **before** paying for payload decode (see
+/// [`FrameDecoder::next_frame_permitted`]).
+pub mod tag {
+    /// [`Frame::Submit`](super::Frame::Submit).
+    pub const SUBMIT: u8 = 0x01;
+    /// [`Frame::SubmitBatch`](super::Frame::SubmitBatch).
+    pub const SUBMIT_BATCH: u8 = 0x02;
+    /// [`Frame::Ack`](super::Frame::Ack).
+    pub const ACK: u8 = 0x03;
+    /// [`Frame::Nack`](super::Frame::Nack).
+    pub const NACK: u8 = 0x04;
+    /// [`Frame::SwitchPolicy`](super::Frame::SwitchPolicy).
+    pub const SWITCH_POLICY: u8 = 0x05;
+    /// [`Frame::Shutdown`](super::Frame::Shutdown).
+    pub const SHUTDOWN: u8 = 0x06;
+    /// [`Frame::Report`](super::Frame::Report).
+    pub const REPORT: u8 = 0x07;
+    /// [`Frame::Assign`](super::Frame::Assign).
+    pub const ASSIGN: u8 = 0x08;
+    /// [`Frame::Resend`](super::Frame::Resend).
+    pub const RESEND: u8 = 0x09;
+}
+
+/// Why bytes did not decode to a [`Frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte is not one this build speaks.
+    UnsupportedVersion(u8),
+    /// The frame tag is not assigned.
+    UnknownFrameTag(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize {
+        /// Declared payload length.
+        len: u32,
+        /// The ceiling it broke.
+        max: u32,
+    },
+    /// The buffer ends before the frame does. Not hostile by itself — an
+    /// incremental decoder simply needs `needed` total bytes; only a
+    /// stream that *ends* here was truncated.
+    Incomplete {
+        /// Total bytes (from the frame's first byte) required to decode.
+        needed: usize,
+    },
+    /// The payload does not parse as its tag demands.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                )
+            }
+            DecodeError::UnknownFrameTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            DecodeError::Oversize { len, max } => {
+                write!(
+                    f,
+                    "declared payload length {len} exceeds the {max}-byte ceiling"
+                )
+            }
+            DecodeError::Incomplete { needed } => {
+                write!(f, "frame incomplete: {needed} bytes needed")
+            }
+            DecodeError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_pending(out: &mut Vec<u8>, r: &PendingReport) {
+    put_u32(out, r.user.0);
+    put_u32(out, r.epoch);
+    put_u32(out, r.cell.0);
+    out.push(u8::from(r.resend));
+}
+
+fn put_location(out: &mut Vec<u8>, r: &LocationReport) {
+    put_u32(out, r.user.0);
+    put_u32(out, r.epoch);
+    put_u32(out, r.cell.0);
+    out.push(u8::from(r.resend));
+}
+
+/// Serialises a policy graph: grid geometry, name, then the edge list.
+///
+/// # Panics
+///
+/// Panics when the policy name exceeds [`MAX_NAME_LEN`] bytes or the grid
+/// exceeds [`MAX_POLICY_CELLS`] cells (local programming errors, not wire
+/// conditions — decoders bound-check both).
+fn put_policy(out: &mut Vec<u8>, p: &LocationPolicyGraph) {
+    let grid = p.grid();
+    assert!(
+        grid.n_cells() <= MAX_POLICY_CELLS,
+        "policy grid exceeds the wire ceiling"
+    );
+    put_u32(out, grid.width());
+    put_u32(out, grid.height());
+    put_f64(out, grid.cell_size());
+    let origin = grid.origin();
+    put_f64(out, origin.x);
+    put_f64(out, origin.y);
+    match grid.anchor() {
+        None => out.push(0),
+        Some((lat, lon)) => {
+            out.push(1);
+            put_f64(out, lat);
+            put_f64(out, lon);
+        }
+    }
+    let name = p.name().as_bytes();
+    assert!(
+        name.len() <= MAX_NAME_LEN,
+        "policy name exceeds the wire ceiling"
+    );
+    put_u32(out, name.len() as u32);
+    out.extend_from_slice(name);
+    let graph = p.graph();
+    put_u32(out, graph.n_edges() as u32);
+    for (a, b) in graph.edges() {
+        put_u32(out, a);
+        put_u32(out, b);
+    }
+}
+
+/// Writes one fully-framed message: header, then the payload produced by
+/// `payload`, then the length field patched in. The single place the
+/// header layout and the sender-side payload ceiling live.
+fn put_frame(out: &mut Vec<u8>, tag: u8, payload: impl FnOnce(&mut Vec<u8>)) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(tag);
+    out.extend_from_slice(&[0, 0]); // reserved
+    let len_at = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0]); // payload length, patched below
+    let payload_at = out.len();
+    payload(out);
+    let payload_len = out.len() - payload_at;
+    // A real assert, not a debug one: emitting a frame no peer can decode
+    // (the receiver's `parse_header` refuses it as `Oversize`) must fail
+    // loudly at the sender in every build. Reachable only by exceeding
+    // the documented per-frame ceilings (e.g. a policy graph denser than
+    // `MAX_POLICY_CELLS` budgets for).
+    assert!(payload_len as u32 <= MAX_PAYLOAD, "frame payload too large");
+    out[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Appends `frame`, fully framed (header + payload), to `out`.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Submit(r) => put_frame(out, tag::SUBMIT, |out| put_pending(out, r)),
+        Frame::SubmitBatch(rs) => encode_submit_batch(rs, out),
+        Frame::Ack { accepted } => put_frame(out, tag::ACK, |out| put_u32(out, *accepted)),
+        Frame::Nack { reason, accepted } => put_frame(out, tag::NACK, |out| {
+            out.push(match reason {
+                NackReason::Backpressure => 0,
+                NackReason::Closed => 1,
+                NackReason::Malformed => 2,
+            });
+            put_u32(out, *accepted);
+        }),
+        Frame::SwitchPolicy(p) => put_frame(out, tag::SWITCH_POLICY, |out| put_policy(out, p)),
+        Frame::Shutdown => put_frame(out, tag::SHUTDOWN, |_| {}),
+        Frame::Report(r) => put_frame(out, tag::REPORT, |out| put_location(out, r)),
+        Frame::Assign(a) => put_frame(out, tag::ASSIGN, |out| {
+            put_u32(out, a.user.0);
+            put_f64(out, a.eps_per_epoch);
+            put_u32(out, a.effective_from);
+            put_policy(out, &a.policy);
+        }),
+        Frame::Resend(r) => put_frame(out, tag::RESEND, |out| {
+            put_u32(out, r.user.0);
+            put_u32(out, r.from);
+            put_u32(out, r.to);
+            put_f64(out, r.eps_per_epoch);
+            put_policy(out, &r.policy);
+        }),
+    }
+}
+
+/// Encodes `frame` into a fresh buffer.
+pub fn encode_to_vec(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame(frame, &mut out);
+    out
+}
+
+/// Appends a [`Frame::SubmitBatch`] frame encoded directly from a
+/// borrowed slice — byte-identical to
+/// `encode_frame(&Frame::SubmitBatch(reports.to_vec()), out)` without the
+/// owned `Vec`, which the client's retry loop would otherwise re-clone on
+/// every resend.
+pub fn encode_submit_batch(reports: &[PendingReport], out: &mut Vec<u8>) {
+    put_frame(out, tag::SUBMIT_BATCH, |out| {
+        put_u32(out, reports.len() as u32);
+        for r in reports {
+            put_pending(out, r);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Malformed("payload shorter than its fields"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Malformed("boolean byte is neither 0 nor 1")),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A float that the receiver will feed into geometry: must be finite.
+    fn finite_f64(&mut self) -> Result<f64, DecodeError> {
+        let v = self.f64()?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(DecodeError::Malformed("non-finite float field"))
+        }
+    }
+
+    /// The payload must end exactly where its fields do.
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed(
+                "trailing bytes after payload fields",
+            ))
+        }
+    }
+}
+
+fn read_pending(r: &mut Reader<'_>) -> Result<PendingReport, DecodeError> {
+    Ok(PendingReport {
+        user: UserId(r.u32()?),
+        epoch: r.u32()?,
+        cell: panda_geo::CellId(r.u32()?),
+        resend: r.bool()?,
+    })
+}
+
+fn read_location(r: &mut Reader<'_>) -> Result<LocationReport, DecodeError> {
+    Ok(LocationReport {
+        user: UserId(r.u32()?),
+        epoch: r.u32()?,
+        cell: panda_geo::CellId(r.u32()?),
+        resend: r.bool()?,
+    })
+}
+
+/// Deserialises a policy graph, validating every field **before** touching
+/// constructors that assert (hostile input must yield `Err`, not a panic).
+fn read_policy(r: &mut Reader<'_>) -> Result<LocationPolicyGraph, DecodeError> {
+    let width = r.u32()?;
+    let height = r.u32()?;
+    if width == 0 || height == 0 {
+        return Err(DecodeError::Malformed("policy grid has a zero dimension"));
+    }
+    let n_cells_wide = u64::from(width) * u64::from(height);
+    if n_cells_wide > u64::from(MAX_POLICY_CELLS) {
+        return Err(DecodeError::Malformed(
+            "policy grid cell count exceeds the wire ceiling",
+        ));
+    }
+    let n_cells = n_cells_wide as u32;
+    let cell_size = r.finite_f64()?;
+    if cell_size <= 0.0 {
+        return Err(DecodeError::Malformed("policy cell size is not positive"));
+    }
+    let origin_x = r.finite_f64()?;
+    let origin_y = r.finite_f64()?;
+    let anchor = match r.u8()? {
+        0 => None,
+        1 => Some((r.finite_f64()?, r.finite_f64()?)),
+        _ => return Err(DecodeError::Malformed("anchor flag is neither 0 nor 1")),
+    };
+    let name_len = r.u32()? as usize;
+    if name_len > MAX_NAME_LEN {
+        return Err(DecodeError::Malformed(
+            "policy name exceeds the wire ceiling",
+        ));
+    }
+    let name = std::str::from_utf8(r.take(name_len)?)
+        .map_err(|_| DecodeError::Malformed("policy name is not UTF-8"))?
+        .to_owned();
+    let n_edges = r.u32()? as usize;
+    // 8 bytes per edge: a count the payload cannot back is hostile, and
+    // rejecting it here keeps the builder allocation honest.
+    if n_edges
+        .checked_mul(8)
+        .is_none_or(|bytes| bytes > r.remaining())
+    {
+        return Err(DecodeError::Malformed("edge count exceeds the payload"));
+    }
+    let mut builder = GraphBuilder::new(n_cells);
+    for _ in 0..n_edges {
+        let a = r.u32()?;
+        let b = r.u32()?;
+        if a == b {
+            return Err(DecodeError::Malformed("policy edge is a self-loop"));
+        }
+        if a >= n_cells || b >= n_cells {
+            return Err(DecodeError::Malformed("policy edge endpoint out of range"));
+        }
+        builder.edge(a, b);
+    }
+    let mut grid =
+        GridMap::new(width, height, cell_size).with_origin(Point::new(origin_x, origin_y));
+    if let Some((lat, lon)) = anchor {
+        grid = grid.with_anchor(lat, lon);
+    }
+    Ok(LocationPolicyGraph::from_graph(grid, builder.build(), name))
+}
+
+/// Validates the 12-byte header; returns `(frame tag, payload length)`.
+fn parse_header(h: &[u8]) -> Result<(u8, u32), DecodeError> {
+    debug_assert!(h.len() >= HEADER_LEN);
+    if h[0..4] != MAGIC {
+        return Err(DecodeError::BadMagic([h[0], h[1], h[2], h[3]]));
+    }
+    if h[4] != VERSION {
+        return Err(DecodeError::UnsupportedVersion(h[4]));
+    }
+    let tag = h[5];
+    if h[6] != 0 || h[7] != 0 {
+        return Err(DecodeError::Malformed("reserved header bytes are not zero"));
+    }
+    let len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversize {
+            len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    Ok((tag, len))
+}
+
+/// Decodes one payload according to its tag.
+fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
+    let mut r = Reader::new(payload);
+    let frame = match tag {
+        tag::SUBMIT => Frame::Submit(read_pending(&mut r)?),
+        tag::SUBMIT_BATCH => {
+            let count = r.u32()? as usize;
+            // 13 bytes per report; a count the payload cannot back is
+            // hostile (and would balloon the Vec).
+            if count
+                .checked_mul(13)
+                .is_none_or(|bytes| bytes != r.remaining())
+            {
+                return Err(DecodeError::Malformed("batch count mismatches the payload"));
+            }
+            let mut reports = Vec::with_capacity(count);
+            for _ in 0..count {
+                reports.push(read_pending(&mut r)?);
+            }
+            Frame::SubmitBatch(reports)
+        }
+        tag::ACK => Frame::Ack { accepted: r.u32()? },
+        tag::NACK => {
+            let reason = match r.u8()? {
+                0 => NackReason::Backpressure,
+                1 => NackReason::Closed,
+                2 => NackReason::Malformed,
+                _ => return Err(DecodeError::Malformed("unknown nack reason")),
+            };
+            Frame::Nack {
+                reason,
+                accepted: r.u32()?,
+            }
+        }
+        tag::SWITCH_POLICY => Frame::SwitchPolicy(read_policy(&mut r)?),
+        tag::SHUTDOWN => Frame::Shutdown,
+        tag::REPORT => Frame::Report(read_location(&mut r)?),
+        tag::ASSIGN => Frame::Assign(PolicyAssignment {
+            user: UserId(r.u32()?),
+            eps_per_epoch: r.finite_f64()?,
+            effective_from: r.u32()?,
+            policy: read_policy(&mut r)?,
+        }),
+        tag::RESEND => {
+            let user = UserId(r.u32()?);
+            let from = r.u32()?;
+            let to = r.u32()?;
+            let eps_per_epoch = r.finite_f64()?;
+            let policy = read_policy(&mut r)?;
+            Frame::Resend(ResendRequest {
+                user,
+                from,
+                to,
+                policy,
+                eps_per_epoch,
+            })
+        }
+        other => return Err(DecodeError::UnknownFrameTag(other)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Decodes the frame at the head of `buf`; returns it and the bytes
+/// consumed.
+///
+/// # Errors
+///
+/// [`DecodeError::Incomplete`] when `buf` holds only a frame prefix (magic
+/// and version are *not* judged until a full header is present, so
+/// incremental delivery is split-point-invariant); any other variant marks
+/// the stream hostile or corrupt.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Incomplete { needed: HEADER_LEN });
+    }
+    let (tag, len) = parse_header(buf)?;
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Err(DecodeError::Incomplete { needed: total });
+    }
+    let frame = decode_payload(tag, &buf[HEADER_LEN..total])?;
+    Ok((frame, total))
+}
+
+/// Incremental frame decoder for byte streams: feed arbitrarily-split
+/// chunks, pop whole frames. Split points never change the decoded
+/// sequence (tested at every byte boundary).
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next whole frame, or `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] other than `Incomplete` (which is the
+    /// `Ok(None)` case here). After an error the stream has lost framing;
+    /// drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        self.next_frame_permitted(|_| true)
+    }
+
+    /// Like [`FrameDecoder::next_frame`], but consults `permit(tag)` right
+    /// after header validation — a refused tag fails **before any payload
+    /// byte is parsed** (and before the payload has even arrived), so an
+    /// untrusted listener can reject privileged or server-bound frames at
+    /// header cost instead of, say, building a quarter-million-node policy
+    /// graph from a 60-byte header just to throw it away.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Malformed`] for a refused tag; otherwise as
+    /// [`FrameDecoder::next_frame`].
+    pub fn next_frame_permitted(
+        &mut self,
+        permit: impl Fn(u8) -> bool,
+    ) -> Result<Option<Frame>, DecodeError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() >= HEADER_LEN {
+            let (tag, _) = parse_header(pending)?;
+            if !permit(tag) {
+                return Err(DecodeError::Malformed(
+                    "frame kind refused on this listener",
+                ));
+            }
+        }
+        match decode_frame(pending) {
+            Ok((frame, used)) => {
+                self.start += used;
+                // Compact once the dead prefix dominates, keeping the
+                // buffer proportional to un-decoded bytes.
+                if self.start >= 4096 && self.start * 2 >= self.buf.len() {
+                    self.buf.drain(..self.start);
+                    self.start = 0;
+                }
+                Ok(Some(frame))
+            }
+            Err(DecodeError::Incomplete { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Why [`read_frame`] returned without a frame.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// The bytes did not decode.
+    Decode(DecodeError),
+    /// The stream ended inside a frame.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for ReadFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadFrameError::Io(e) => write!(f, "i/o error reading frame: {e}"),
+            ReadFrameError::Decode(e) => write!(f, "frame decode failed: {e}"),
+            ReadFrameError::UnexpectedEof => f.write_str("stream ended inside a frame"),
+        }
+    }
+}
+
+impl std::error::Error for ReadFrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadFrameError::Io(e) => Some(e),
+            ReadFrameError::Decode(e) => Some(e),
+            ReadFrameError::UnexpectedEof => None,
+        }
+    }
+}
+
+/// Blocking-reads exactly one frame; `Ok(None)` on a clean end-of-stream
+/// at a frame boundary. The header is validated before the payload is
+/// read, so a hostile length field never drives the allocation.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ReadFrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(ReadFrameError::UnexpectedEof)
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadFrameError::Io(e)),
+        }
+    }
+    let (tag, len) = parse_header(&header).map_err(ReadFrameError::Decode)?;
+    let mut payload = vec![0u8; len as usize];
+    // Unlike the header read above, which must tell a clean close from a
+    // mid-frame one, the payload read is exactly `read_exact`.
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ReadFrameError::UnexpectedEof
+        } else {
+            ReadFrameError::Io(e)
+        }
+    })?;
+    decode_payload(tag, &payload)
+        .map(Some)
+        .map_err(ReadFrameError::Decode)
+}
+
+// ---------------------------------------------------------------------------
+// Structural equality (policies carry no PartialEq; frames compare by
+// observable content so tests can assert round trips)
+// ---------------------------------------------------------------------------
+
+/// Structural equality of two policy graphs: same grid geometry, name, and
+/// edge set.
+pub fn policies_equal(a: &LocationPolicyGraph, b: &LocationPolicyGraph) -> bool {
+    let (ga, gb) = (a.grid(), b.grid());
+    ga.width() == gb.width()
+        && ga.height() == gb.height()
+        && ga.cell_size() == gb.cell_size()
+        && ga.origin() == gb.origin()
+        && ga.anchor() == gb.anchor()
+        && a.name() == b.name()
+        && a.graph().n_edges() == b.graph().n_edges()
+        && a.graph().edges().eq(b.graph().edges())
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Frame::Submit(a), Frame::Submit(b)) => a == b,
+            (Frame::SubmitBatch(a), Frame::SubmitBatch(b)) => a == b,
+            (Frame::Ack { accepted: a }, Frame::Ack { accepted: b }) => a == b,
+            (
+                Frame::Nack {
+                    reason: ra,
+                    accepted: aa,
+                },
+                Frame::Nack {
+                    reason: rb,
+                    accepted: ab,
+                },
+            ) => ra == rb && aa == ab,
+            (Frame::SwitchPolicy(a), Frame::SwitchPolicy(b)) => policies_equal(a, b),
+            (Frame::Shutdown, Frame::Shutdown) => true,
+            (Frame::Report(a), Frame::Report(b)) => a == b,
+            (Frame::Assign(a), Frame::Assign(b)) => {
+                a.user == b.user
+                    && a.eps_per_epoch == b.eps_per_epoch
+                    && a.effective_from == b.effective_from
+                    && policies_equal(&a.policy, &b.policy)
+            }
+            (Frame::Resend(a), Frame::Resend(b)) => {
+                a.user == b.user
+                    && a.from == b.from
+                    && a.to == b.to
+                    && a.eps_per_epoch == b.eps_per_epoch
+                    && policies_equal(&a.policy, &b.policy)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_geo::CellId;
+
+    fn sample_policy() -> LocationPolicyGraph {
+        LocationPolicyGraph::partition(GridMap::new(4, 3, 250.0), 2, 1)
+    }
+
+    fn report(i: u32) -> PendingReport {
+        PendingReport {
+            user: UserId(i),
+            epoch: i * 3,
+            cell: CellId(i % 12),
+            resend: i.is_multiple_of(2),
+        }
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        let frames = vec![
+            Frame::Submit(report(5)),
+            Frame::SubmitBatch((0..40).map(report).collect()),
+            Frame::Ack { accepted: 40 },
+            Frame::Nack {
+                reason: NackReason::Backpressure,
+                accepted: 7,
+            },
+            Frame::SwitchPolicy(sample_policy()),
+            Frame::Shutdown,
+            Frame::Report(LocationReport {
+                user: UserId(2),
+                epoch: 9,
+                cell: CellId(3),
+                resend: true,
+            }),
+            Frame::Assign(PolicyAssignment {
+                user: UserId(1),
+                policy: sample_policy(),
+                eps_per_epoch: 0.75,
+                effective_from: 12,
+            }),
+            Frame::Resend(ResendRequest {
+                user: UserId(4),
+                from: 3,
+                to: 9,
+                policy: sample_policy(),
+                eps_per_epoch: 1.25,
+            }),
+        ];
+        for frame in &frames {
+            let bytes = encode_to_vec(frame);
+            let (decoded, used) = decode_frame(&bytes).expect("round trip");
+            assert_eq!(used, bytes.len());
+            assert_eq!(&decoded, frame);
+        }
+    }
+
+    #[test]
+    fn anchored_offset_grid_round_trips() {
+        let grid = GridMap::new(5, 5, 111.0)
+            .with_origin(Point::new(-3.5, 42.25))
+            .with_anchor(35.68, 139.76);
+        let policy = LocationPolicyGraph::g1_geo_indistinguishability(grid);
+        let frame = Frame::SwitchPolicy(policy);
+        let (decoded, _) = decode_frame(&encode_to_vec(&frame)).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        let good = encode_to_vec(&Frame::Shutdown);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            decode_frame(&bad_magic),
+            Err(DecodeError::BadMagic([b'X', b'N', b'D', b'A']))
+        );
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            decode_frame(&bad_version),
+            Err(DecodeError::UnsupportedVersion(9))
+        );
+
+        let mut bad_tag = good.clone();
+        bad_tag[5] = 0xEE;
+        assert_eq!(
+            decode_frame(&bad_tag),
+            Err(DecodeError::UnknownFrameTag(0xEE))
+        );
+
+        let mut reserved = good.clone();
+        reserved[6] = 1;
+        assert!(matches!(
+            decode_frame(&reserved),
+            Err(DecodeError::Malformed(_))
+        ));
+
+        let mut oversize = good.clone();
+        oversize[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&oversize),
+            Err(DecodeError::Oversize {
+                len: u32::MAX,
+                max: MAX_PAYLOAD
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_is_incomplete_not_an_error() {
+        let bytes = encode_to_vec(&Frame::Submit(report(3)));
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(DecodeError::Incomplete { needed }) => {
+                    assert!(needed > cut, "needed {needed} must exceed the cut {cut}")
+                }
+                other => panic!("cut {cut}: expected Incomplete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_field_violations_are_malformed() {
+        // A batch whose count field claims more reports than the payload
+        // carries.
+        let mut frame = encode_to_vec(&Frame::SubmitBatch(vec![report(1); 3]));
+        let count_at = HEADER_LEN;
+        frame[count_at..count_at + 4].copy_from_slice(&100u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(DecodeError::Malformed(_))
+        ));
+
+        // A submit whose resend boolean is 7.
+        let mut frame = encode_to_vec(&Frame::Submit(report(1)));
+        let resend_at = frame.len() - 1;
+        frame[resend_at] = 7;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(DecodeError::Malformed(_))
+        ));
+
+        // Trailing bytes beyond the declared fields (payload length and
+        // fields disagree).
+        let mut frame = encode_to_vec(&Frame::Ack { accepted: 1 });
+        frame.push(0);
+        frame[8..12].copy_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_policies_are_malformed() {
+        let policy = sample_policy();
+        let base = encode_to_vec(&Frame::SwitchPolicy(policy));
+        // width = 0
+        let mut zero_dim = base.clone();
+        zero_dim[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&zero_dim),
+            Err(DecodeError::Malformed(_))
+        ));
+        // width × height overflows u32
+        let mut huge = base.clone();
+        huge[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        huge[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&huge),
+            Err(DecodeError::Malformed(_))
+        ));
+        // The allocation bomb: dimensions that fit u32 but whose cell
+        // count would demand a multi-gigabyte graph allocation from a
+        // ~50-byte frame. Must be refused before any allocation.
+        let mut bomb = base.clone();
+        bomb[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&65_535u32.to_le_bytes());
+        bomb[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&65_535u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bomb),
+            Err(DecodeError::Malformed(_))
+        ));
+        // cell size NaN
+        let mut nan = base.clone();
+        nan[HEADER_LEN + 8..HEADER_LEN + 16].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(decode_frame(&nan), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn decoder_pops_frames_across_arbitrary_splits() {
+        let mut stream = Vec::new();
+        let frames = vec![
+            Frame::Submit(report(1)),
+            Frame::Ack { accepted: 1 },
+            Frame::SubmitBatch((0..5).map(report).collect()),
+            Frame::Shutdown,
+        ];
+        for f in &frames {
+            encode_frame(f, &mut stream);
+        }
+        // Byte-by-byte delivery must produce the same sequence.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.feed(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn read_frame_handles_eof_cases() {
+        let bytes = encode_to_vec(&Frame::Ack { accepted: 3 });
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Some(Frame::Ack { accepted: 3 })
+        );
+        // Clean EOF at the boundary.
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+        // EOF inside a frame.
+        let mut cursor = std::io::Cursor::new(bytes[..bytes.len() - 1].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ReadFrameError::UnexpectedEof)
+        ));
+    }
+}

@@ -1,0 +1,275 @@
+//! Property-based robustness tests for the wire codec: round trips over
+//! every frame type, split-point invariance of the incremental decoder,
+//! and the hostile-input contract (malformed bytes are always a typed
+//! [`DecodeError`], never a panic).
+
+use panda_core::LocationPolicyGraph;
+use panda_geo::{CellId, GridMap, Point};
+use panda_mobility::UserId;
+use panda_net::wire::{decode_frame, encode_frame, encode_to_vec, DecodeError, HEADER_LEN};
+use panda_net::{Frame, FrameDecoder, NackReason};
+use panda_surveillance::ingest::PendingReport;
+use panda_surveillance::protocol::{LocationReport, PolicyAssignment, ResendRequest};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_pending() -> impl Strategy<Value = PendingReport> {
+    (any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()).prop_map(
+        |(user, epoch, cell, resend)| PendingReport {
+            user: UserId(user),
+            epoch,
+            cell: CellId(cell),
+            resend,
+        },
+    )
+}
+
+fn arb_location() -> impl Strategy<Value = LocationReport> {
+    (any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()).prop_map(
+        |(user, epoch, cell, resend)| LocationReport {
+            user: UserId(user),
+            epoch,
+            cell: CellId(cell),
+            resend,
+        },
+    )
+}
+
+/// A small random policy: random grid geometry (optionally anchored or
+/// offset) and a random edge set over its cells.
+fn arb_policy() -> impl Strategy<Value = LocationPolicyGraph> {
+    (
+        1u32..7,
+        1u32..7,
+        1u64..1000,
+        any::<u64>(),
+        any::<bool>(),
+        any::<bool>(),
+        0.0f64..0.5,
+    )
+        .prop_map(|(w, h, size_milli, seed, offset, anchored, density)| {
+            let mut grid = GridMap::new(w, h, size_milli as f64 / 10.0);
+            if offset {
+                grid = grid.with_origin(Point::new(-12.5, 3.25));
+            }
+            if anchored {
+                grid = grid.with_anchor(35.68, 139.76);
+            }
+            let n = grid.n_cells();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut builder = panda_graph::GraphBuilder::new(n);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(density) {
+                        builder.edge(a, b);
+                    }
+                }
+            }
+            LocationPolicyGraph::from_graph(grid, builder.build(), format!("prop-{seed}"))
+        })
+}
+
+fn arb_nack_reason() -> impl Strategy<Value = NackReason> {
+    prop_oneof![
+        Just(NackReason::Backpressure),
+        Just(NackReason::Closed),
+        Just(NackReason::Malformed),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        arb_pending().prop_map(Frame::Submit),
+        proptest::collection::vec(arb_pending(), 0..60).prop_map(Frame::SubmitBatch),
+        any::<u32>().prop_map(|accepted| Frame::Ack { accepted }),
+        (arb_nack_reason(), any::<u32>())
+            .prop_map(|(reason, accepted)| Frame::Nack { reason, accepted }),
+        arb_policy().prop_map(Frame::SwitchPolicy),
+        Just(Frame::Shutdown),
+        arb_location().prop_map(Frame::Report),
+        (arb_policy(), any::<u32>(), 0.0f64..8.0, any::<u32>()).prop_map(
+            |(policy, user, eps, from)| {
+                Frame::Assign(PolicyAssignment {
+                    user: UserId(user),
+                    policy,
+                    eps_per_epoch: eps,
+                    effective_from: from,
+                })
+            }
+        ),
+        (
+            arb_policy(),
+            any::<u32>(),
+            0.0f64..8.0,
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(policy, user, eps, from, to)| {
+                Frame::Resend(ResendRequest {
+                    user: UserId(user),
+                    from,
+                    to,
+                    policy,
+                    eps_per_epoch: eps,
+                })
+            }),
+    ]
+}
+
+proptest! {
+    /// Every frame round-trips bit-exactly through encode → decode.
+    #[test]
+    fn frames_round_trip(frame in arb_frame()) {
+        let bytes = encode_to_vec(&frame);
+        let (decoded, used) = decode_frame(&bytes).expect("round trip decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// The incremental decoder yields the same frame sequence no matter
+    /// where the byte stream is split — including byte-by-byte delivery.
+    #[test]
+    fn decoding_is_split_point_invariant(
+        frames in proptest::collection::vec(arb_frame(), 1..6),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut stream);
+        }
+        // Random split points.
+        let mut cut_at: Vec<usize> = cuts.iter().map(|i| i % (stream.len() + 1)).collect();
+        cut_at.push(0);
+        cut_at.push(stream.len());
+        cut_at.sort_unstable();
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for pair in cut_at.windows(2) {
+            decoder.feed(&stream[pair[0]..pair[1]]);
+            while let Some(f) = decoder.next_frame().expect("valid stream") {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(&got, &frames);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    /// Truncating a valid frame at ANY byte boundary yields `Incomplete`
+    /// from the one-shot decoder (and silence, not an error, from the
+    /// incremental one) — never a panic, never a bogus frame.
+    #[test]
+    fn truncation_at_every_boundary_is_incomplete(frame in arb_frame()) {
+        let bytes = encode_to_vec(&frame);
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(DecodeError::Incomplete { needed }) => prop_assert!(needed > cut),
+                other => prop_assert!(false, "cut {}: {:?}", cut, other),
+            }
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&bytes[..cut]);
+            prop_assert_eq!(decoder.next_frame().expect("prefix is not hostile"), None);
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder: they decode, wait, or fail
+    /// with a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame(&bytes);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        while let Ok(Some(_)) = decoder.next_frame() {}
+    }
+
+    /// Corrupting one byte of a valid frame never panics, and header
+    /// corruption is always caught (payload corruption may decode to a
+    /// different valid frame — the codec carries no checksum — but must
+    /// stay typed).
+    #[test]
+    fn single_byte_corruption_never_panics(
+        frame in arb_frame(),
+        at in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode_to_vec(&frame);
+        let at = at % bytes.len();
+        bytes[at] ^= xor;
+        match decode_frame(&bytes) {
+            Ok(_) | Err(_) => {}
+        }
+    }
+}
+
+/// Deterministic spot check: a corrupted length field either truncates
+/// (Incomplete), overruns (Oversize), or misparses (Malformed) — the three
+/// typed outcomes ISSUE 5 demands for hostile framing.
+#[test]
+fn corrupted_length_field_is_typed() {
+    let frame = Frame::SubmitBatch(vec![
+        PendingReport {
+            user: UserId(1),
+            epoch: 2,
+            cell: CellId(3),
+            resend: false,
+        };
+        4
+    ]);
+    let good = encode_to_vec(&frame);
+    for fake_len in [0u32, 1, 13, 1 << 30, u32::MAX] {
+        let mut bytes = good.clone();
+        bytes[8..12].copy_from_slice(&fake_len.to_le_bytes());
+        match decode_frame(&bytes) {
+            Ok(_) => panic!("length {fake_len} must not decode"),
+            Err(
+                DecodeError::Incomplete { .. }
+                | DecodeError::Oversize { .. }
+                | DecodeError::Malformed(_),
+            ) => {}
+            Err(other) => panic!("length {fake_len}: unexpected {other:?}"),
+        }
+    }
+}
+
+/// The decoder survives an adversarial stream that interleaves valid
+/// frames with garbage: every frame before the corruption decodes, the
+/// corruption is a typed error, and nothing panics.
+#[test]
+fn valid_prefix_then_garbage_is_cleanly_split() {
+    let mut stream = Vec::new();
+    let frames = [
+        Frame::Submit(PendingReport {
+            user: UserId(1),
+            epoch: 0,
+            cell: CellId(5),
+            resend: true,
+        }),
+        Frame::Ack { accepted: 1 },
+    ];
+    for f in &frames {
+        encode_frame(f, &mut stream);
+    }
+    stream.extend_from_slice(b"GARBAGEGARBAGEGARBAGE");
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(&stream);
+    assert_eq!(decoder.next_frame().unwrap(), Some(frames[0].clone()));
+    assert_eq!(decoder.next_frame().unwrap(), Some(frames[1].clone()));
+    assert!(matches!(
+        decoder.next_frame(),
+        Err(DecodeError::BadMagic(_))
+    ));
+}
+
+/// Padding after the declared payload is trailing-byte tampering, caught
+/// even when the rest of the frame is intact.
+#[test]
+fn inflated_length_with_padding_is_malformed() {
+    let mut bytes = encode_to_vec(&Frame::Ack { accepted: 9 });
+    let padded_len = (bytes.len() - HEADER_LEN + 3) as u32;
+    bytes[8..12].copy_from_slice(&padded_len.to_le_bytes());
+    bytes.extend_from_slice(&[0, 0, 0]);
+    assert!(matches!(
+        decode_frame(&bytes),
+        Err(DecodeError::Malformed(_))
+    ));
+}

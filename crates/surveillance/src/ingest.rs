@@ -153,9 +153,22 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-/// Submit failed: the pipeline has shut down.
+/// Submit failed: the pipeline has shut down. Carries the first report
+/// that did not make it into the queue.
 #[derive(Debug, PartialEq, Eq)]
 pub struct SubmitError(pub PendingReport);
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ingest pipeline has shut down (user {}, epoch {} not enqueued)",
+            self.0.user.0, self.0.epoch
+        )
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Why a [`IngestHandle::try_submit`] did not enqueue.
 #[derive(Debug, PartialEq, Eq)]
@@ -166,12 +179,71 @@ pub enum TrySubmitError {
     Closed(PendingReport),
 }
 
+impl std::fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (reason, r) = match self {
+            TrySubmitError::Full(r) => ("ingest queue is at capacity", r),
+            TrySubmitError::Closed(r) => ("ingest pipeline has shut down", r),
+        };
+        write!(
+            f,
+            "{reason} (user {}, epoch {} not enqueued)",
+            r.user.0, r.epoch
+        )
+    }
+}
+
+impl std::error::Error for TrySubmitError {}
+
+/// A policy switch failed: the pipeline has shut down (at which point the
+/// switch is moot — no further report will be released).
+#[derive(Debug, PartialEq, Eq)]
+pub struct SwitchError;
+
+impl std::fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ingest pipeline has shut down; policy switch not applied")
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// Why a [`IngestHandle::try_switch_policy`] did not enqueue. The index is
+/// handed back so the caller can retry without rebuilding it.
+#[derive(Debug)]
+pub enum TrySwitchError {
+    /// The queue is at capacity right now (backpressure).
+    Full(Arc<PolicyIndex>),
+    /// The pipeline has shut down.
+    Closed(Arc<PolicyIndex>),
+}
+
+impl std::fmt::Display for TrySwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrySwitchError::Full(_) => "ingest queue is at capacity; policy switch not enqueued",
+            TrySwitchError::Closed(_) => "ingest pipeline has shut down; policy switch not applied",
+        })
+    }
+}
+
+impl std::error::Error for TrySwitchError {}
+
 /// Messages riding the ingest queue: reports, in-band policy switches, and
 /// the shutdown marker.
 enum IngestMsg {
     Report(PendingReport),
     Switch(Arc<PolicyIndex>),
     Stop,
+}
+
+/// Recovers the report from a failed batch send (batch sends only ever
+/// enqueue [`IngestMsg::Report`]s).
+fn unsent_report(msg: IngestMsg) -> PendingReport {
+    match msg {
+        IngestMsg::Report(r) => r,
+        _ => unreachable!("batch sends carry only reports"),
+    }
 }
 
 /// A cloneable producer handle onto a pipeline's bounded queue.
@@ -204,6 +276,78 @@ impl IngestHandle {
             .map_err(|e| match e {
                 TrySendError::Full(_) => TrySubmitError::Full(report),
                 TrySendError::Disconnected(_) => TrySubmitError::Closed(report),
+            })
+    }
+
+    /// Enqueues a whole slice in submission order, blocking while the queue
+    /// is at capacity. The queue lock is taken **once per run of free
+    /// slots** — for a batch that fits, one acquisition instead of one per
+    /// report — and no other producer's reports interleave within a run.
+    /// Equivalent to calling [`IngestHandle::submit`] per report (same
+    /// arrival sequence numbers, same released cells), just cheaper.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] carrying the first unsent report when the pipeline
+    /// has shut down; a prefix of the slice may already be enqueued (and
+    /// will be drained if it entered before shutdown).
+    pub fn submit_batch(&self, reports: &[PendingReport]) -> Result<(), SubmitError> {
+        self.tx
+            .send_batch(reports.iter().map(|&r| IngestMsg::Report(r)))
+            .map(|_| ())
+            .map_err(|e| SubmitError(unsent_report(e.0)))
+    }
+
+    /// Enqueues the longest prefix of `reports` that fits right now, under
+    /// one queue-lock acquisition, and returns its length. A return shorter
+    /// than the slice means the queue filled mid-batch (backpressure) —
+    /// retry from that offset; order is preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Closed`] carrying the first report when the
+    /// pipeline has shut down (nothing from this call is enqueued).
+    /// [`TrySubmitError::Full`] is never returned: a full queue is the
+    /// `Ok(n < reports.len())` case, so partial progress is not an error.
+    pub fn try_submit_batch(&self, reports: &[PendingReport]) -> Result<usize, TrySubmitError> {
+        self.tx
+            .try_send_batch(reports.iter().map(|&r| IngestMsg::Report(r)))
+            .map_err(|e| TrySubmitError::Closed(unsent_report(e.0)))
+    }
+
+    /// Switches the policy index for all later reports, exactly like
+    /// [`IngestPipeline::switch_policy`] but from a producer handle — the
+    /// switch rides the queue in-band, so it lands at this handle's current
+    /// position in the arrival order. Blocks while the queue is at
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError`] when the pipeline has shut down.
+    pub fn switch_policy(&self, index: Arc<PolicyIndex>) -> Result<(), SwitchError> {
+        self.tx
+            .send(IngestMsg::Switch(index))
+            .map_err(|_| SwitchError)
+    }
+
+    /// Like [`IngestHandle::switch_policy`], but fails fast instead of
+    /// blocking when the queue is at capacity — for callers (like the
+    /// network gateway) that must never park on the queue. The index is
+    /// handed back for retry.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySwitchError::Full`] at capacity, [`TrySwitchError::Closed`]
+    /// when the pipeline has shut down.
+    pub fn try_switch_policy(&self, index: Arc<PolicyIndex>) -> Result<(), TrySwitchError> {
+        self.tx
+            .try_send(IngestMsg::Switch(index))
+            .map_err(|e| match e {
+                TrySendError::Full(IngestMsg::Switch(index)) => TrySwitchError::Full(index),
+                TrySendError::Disconnected(IngestMsg::Switch(index)) => {
+                    TrySwitchError::Closed(index)
+                }
+                _ => unreachable!("a switch send carries a switch message"),
             })
     }
 
@@ -1052,6 +1196,159 @@ mod tests {
             "sampler handles must beat one touch per report ({touches} vs {})",
             trace.len()
         );
+    }
+
+    /// `submit_batch` must be observationally equivalent to repeated
+    /// `submit`: same arrival sequence numbers, hence a byte-identical
+    /// landed DB — batching is purely a locking optimisation.
+    #[test]
+    fn submit_batch_equivalent_to_repeated_submit() {
+        let trace = trace(2_500, 11);
+        let config = IngestConfig {
+            max_batch: 128,
+            // Smaller than the 700-report chunks below, so the blocking
+            // batch send really parks mid-batch and resumes — the
+            // determinism claim covers the park/resume path.
+            queue_capacity: 256,
+            seed: 4,
+            ..Default::default()
+        };
+        let (by_one, one_stats) = run_trace(&trace, config.clone());
+        let (server, index) = setup(16);
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            index,
+            Arc::new(GraphExponential),
+            config,
+        );
+        let handle = pipeline.handle();
+        // 700-report chunks against a 256-slot queue: every full chunk
+        // overfills the queue, so the blocking path parks mid-batch and
+        // resumes as the collector drains.
+        for chunk in trace.chunks(700) {
+            handle.submit_batch(chunk).unwrap();
+        }
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.submitted, one_stats.submitted);
+        assert_eq!(stats.landed, one_stats.landed);
+        assert_eq!(
+            server.reported_db(16).trajectories(),
+            by_one.reported_db(16).trajectories(),
+            "batched submission changed the landed DB"
+        );
+    }
+
+    /// `try_submit_batch` enqueues a prefix under backpressure and the
+    /// retried remainder preserves order; against a closed pipeline it
+    /// reports `Closed` with the first report.
+    #[test]
+    fn try_submit_batch_prefix_and_closed_semantics() {
+        let trace = trace(300, 2);
+        let (server, index) = setup(16);
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            index,
+            Arc::new(GraphExponential),
+            IngestConfig {
+                queue_capacity: 8,
+                max_batch: 64,
+                ..Default::default()
+            },
+        );
+        let handle = pipeline.handle();
+        let mut sent = 0usize;
+        while sent < trace.len() {
+            sent += handle.try_submit_batch(&trace[sent..]).unwrap();
+        }
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.submitted, trace.len());
+        assert_eq!(stats.landed, trace.len());
+        assert_eq!(server.n_received(), trace.len());
+
+        let (server, index) = setup(1);
+        let pipeline = IngestPipeline::spawn(
+            server,
+            index,
+            Arc::new(GraphExponential),
+            IngestConfig::default(),
+        );
+        let handle = pipeline.handle();
+        pipeline.shutdown();
+        assert_eq!(
+            handle.try_submit_batch(&trace),
+            Err(TrySubmitError::Closed(trace[0]))
+        );
+        assert_eq!(handle.submit_batch(&trace), Err(SubmitError(trace[0])));
+        assert!(matches!(handle.switch_policy(setup(1).1), Err(SwitchError)));
+    }
+
+    /// A handle-level policy switch is the same in-band boundary as the
+    /// pipeline-level one.
+    #[test]
+    fn handle_switch_policy_is_in_band() {
+        let grid = GridMap::new(8, 8, 100.0);
+        let server = Arc::new(Server::new(grid.clone()));
+        let coarse = Arc::new(PolicyIndex::new(LocationPolicyGraph::partition(
+            grid.clone(),
+            4,
+            4,
+        )));
+        let isolated = Arc::new(PolicyIndex::new(LocationPolicyGraph::isolated(grid)));
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            coarse,
+            Arc::new(GraphExponential),
+            IngestConfig::default(),
+        );
+        let handle = pipeline.handle();
+        let epoch0: Vec<PendingReport> = (0..40u32)
+            .map(|i| PendingReport {
+                user: UserId(i),
+                epoch: 0,
+                cell: CellId(i % 64),
+                resend: false,
+            })
+            .collect();
+        let epoch1: Vec<PendingReport> = epoch0
+            .iter()
+            .map(|r| PendingReport { epoch: 1, ..*r })
+            .collect();
+        handle.submit_batch(&epoch0).unwrap();
+        handle.switch_policy(Arc::clone(&isolated)).unwrap();
+        handle.submit_batch(&epoch1).unwrap();
+        let stats = pipeline.shutdown();
+        assert_eq!(stats.policy_switches, 1);
+        assert_eq!(stats.landed, 80);
+        for i in 0..40u32 {
+            assert_eq!(
+                server.reported_cell(UserId(i), 1),
+                Some(CellId(i % 64)),
+                "isolated policy must release exactly after the switch"
+            );
+        }
+    }
+
+    /// The ingest errors compose with `?` in `std::error::Error` contexts
+    /// and render the failure cause.
+    #[test]
+    fn submit_errors_are_std_errors() {
+        let r = PendingReport {
+            user: UserId(9),
+            epoch: 3,
+            cell: CellId(0),
+            resend: false,
+        };
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(SubmitError(r)),
+            Box::new(TrySubmitError::Full(r)),
+            Box::new(TrySubmitError::Closed(r)),
+            Box::new(SwitchError),
+        ];
+        let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        assert!(rendered[0].contains("shut down") && rendered[0].contains("user 9"));
+        assert!(rendered[1].contains("capacity"));
+        assert!(rendered[2].contains("shut down"));
+        assert!(rendered[3].contains("switch"));
     }
 
     /// Reports that cannot be released (foreign cell) are rejected and

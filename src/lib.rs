@@ -16,6 +16,7 @@
 //! | [`epidemic`] | `panda-epidemic` | SEIR, agent-based outbreaks, R0 estimation |
 //! | [`attack`] | `panda-attack` | Bayesian inference attacks, empirical privacy |
 //! | [`surveillance`] | `panda-surveillance` | clients, server, policy config, the three apps |
+//! | [`net`] | `panda-net` | framed wire protocol, TCP ingest gateway, client SDK |
 //!
 //! ## Quickstart
 //!
@@ -47,4 +48,5 @@ pub use panda_epidemic as epidemic;
 pub use panda_geo as geo;
 pub use panda_graph as graph;
 pub use panda_mobility as mobility;
+pub use panda_net as net;
 pub use panda_surveillance as surveillance;

@@ -3,7 +3,8 @@
 //! Supports the subset this workspace uses: the [`proptest!`] macro with
 //! `arg in strategy` bindings and an optional
 //! `#![proptest_config(ProptestConfig::with_cases(n))]` header, range and
-//! tuple strategies, [`Strategy::prop_map`], [`any`], and
+//! tuple strategies (up to 8 elements), [`Strategy::prop_map`],
+//! [`Strategy::boxed`] / [`prop_oneof!`] unions, [`any`], [`Just`], and
 //! `prop::collection::vec`.
 //!
 //! Differences from upstream, by design:
@@ -23,7 +24,8 @@ pub mod collection;
 /// Items commonly imported by property tests.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -100,6 +102,16 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Erases the strategy's type so differently-shaped strategies over
+    /// one value type can share a collection (the building block of
+    /// [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -172,6 +184,41 @@ tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Picks uniformly among type-erased alternatives (built by
+/// [`prop_oneof!`]). Upstream supports per-arm weights; this subset is
+/// uniform.
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let pick = rng.gen_range(0..self.0.len());
+        self.0[pick].generate(rng)
+    }
+}
+
+/// A strategy choosing uniformly among the given alternative strategies,
+/// which may be of different types but must generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
 
 /// Types with a canonical "arbitrary value" strategy ([`any`]).
 pub trait Arbitrary: Sized {
@@ -289,6 +336,15 @@ mod tests {
         fn vec_strategy_sizes(v in crate::collection::vec(0u32..5, 2..6)) {
             prop_assert!((2..6).contains(&v.len()));
             prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_picks_only_from_its_arms(v in prop_oneof![
+            Just(3u32),
+            7u32..9,
+            (0u32..1).prop_map(|_| 11),
+        ]) {
+            prop_assert!(v == 3 || v == 7 || v == 8 || v == 11);
         }
     }
 

@@ -2,20 +2,26 @@
 //! so the perf trajectory is trackable across PRs.
 //!
 //! ```text
-//! cargo run --release -p panda-bench --bin bench_release [-- --quick] [-- --streaming] [-- --net]
+//! cargo run --release -p panda-bench --bin bench_release \
+//!     [-- --quick] [-- --streaming] [-- --net] [-- --large-graph]
 //! ```
 //!
 //! * `--quick` — CI smoke mode: one small batch, few iterations, still
 //!   exercising every code path (parallel release, alias sampling, shard
-//!   ingest — and, with `--streaming`/`--net`, the ingest pipeline and
-//!   the TCP gateway).
+//!   ingest — and, with `--streaming`/`--net`/`--large-graph`, the ingest
+//!   pipeline, the TCP gateway and the hub-label oracle).
 //! * `--streaming` — also measure the streaming ingest pipeline under
 //!   open-loop Poisson arrivals (sustained reports/sec, p50/p99 flush
 //!   latency), appended as a `streaming` section.
 //! * `--net` — also measure loopback-TCP ingest through the `panda-net`
 //!   gateway against the in-process `submit_batch` baseline (end-to-end
 //!   reports/sec to a fully-landed DB, p50/p99 per-batch ack latency,
-//!   1 vs 4 concurrent clients), appended as a `net` section (schema v4).
+//!   1 vs 4 concurrent clients), appended as a `net` section.
+//! * `--large-graph` — also measure the city-scale distance oracle: index
+//!   build time, hub-label memory vs the dense-table equivalent, cold
+//!   distance-row derivation, and steady-state GEM release throughput over
+//!   one 50k-node connected component (9 216 nodes in quick mode),
+//!   appended as a `large_graph` section (schema v5).
 //!
 //! Measures, per (mechanism × batch size × thread count): reports/sec and
 //! p50/p99 per-batch latency of [`ParallelReleaser`] against the
@@ -96,6 +102,23 @@ struct NetRow {
     reports_per_sec: f64,
     ack_p50_ms: f64,
     ack_p99_ms: f64,
+}
+
+struct LargeGraphRow {
+    nodes: u32,
+    edges: usize,
+    backend: &'static str,
+    index_build_ms: f64,
+    index_bytes: usize,
+    dense_equiv_bytes: usize,
+    memory_ratio: f64,
+    avg_label_entries: f64,
+    row_query_ms: f64,
+    distinct_cells: usize,
+    reports: usize,
+    reports_per_sec_1t: f64,
+    reports_per_sec_mt: f64,
+    mt_threads: usize,
 }
 
 /// Times `iters` runs of `f`, returning per-run latencies in ms (sorted).
@@ -385,6 +408,112 @@ fn make_trace_for(c: usize, per_client: usize) -> Vec<panda_surveillance::ingest
         .collect()
 }
 
+/// The city-scale oracle benchmark: one connected `city_like` component
+/// far above the dense-tabulation threshold, indexed by the hub-label
+/// oracle. Measures the index build, its memory against the k²-entry
+/// dense-table equivalent, a cold distance-row derivation (the label-join
+/// the incremental sampling tables are built from), and steady-state GEM
+/// release throughput over a hotspot-concentrated arrival trace (256
+/// distinct cells — alias tables warm after the first touch, the regime
+/// the epidemic-surveillance load runs in).
+fn bench_large_graph(quick: bool) -> Vec<LargeGraphRow> {
+    use panda_bench::workload::city_policy;
+    use panda_graph::distances::{DEFAULT_MAX_TABLE_ENTRIES, DEFAULT_ORACLE_ENTRIES_PER_NODE};
+    use panda_graph::IndexBackend;
+
+    // 9 216 nodes in quick mode (still above the 4 096-node dense
+    // threshold), 50 176 in full mode — the paper-scale city.
+    let (w, h) = if quick { (96, 96) } else { (224, 224) };
+    let policy = city_policy(
+        17,
+        w,
+        h,
+        DEFAULT_MAX_TABLE_ENTRIES,
+        DEFAULT_ORACLE_ENTRIES_PER_NODE,
+    );
+    let nodes = policy.n_locations();
+    let edges = policy.graph().n_edges();
+
+    let dist = policy.distance_index().clone();
+    let t0 = Instant::now();
+    dist.prebuild();
+    let index_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let backend = match dist.backend(0) {
+        IndexBackend::Dense => "dense",
+        IndexBackend::HubLabels => "hub-labels",
+        IndexBackend::Unindexed => "unindexed",
+    };
+    let index_bytes = dist.memory_bytes();
+    let dense_equiv_bytes: usize = (0..dist.n_components())
+        .map(|c| {
+            let k = dist.members(c).len();
+            k * k * 2
+        })
+        .sum();
+    let avg_label_entries = dist
+        .hub_labels_of(0)
+        .map(|l| l.n_entries() as f64 / l.len() as f64)
+        .unwrap_or(0.0);
+
+    // Cold row derivations (fresh label joins, no caching layer).
+    let mut row = Vec::new();
+    let row_lat = time_batches(if quick { 8 } else { 32 }, || {
+        black_box(policy.component_row_u16(CellId(0), &mut row));
+    });
+    let row_query_ms = percentile(&row_lat, 0.5);
+
+    // Hotspot-concentrated release trace.
+    let distinct = 256usize;
+    let reports = if quick { 65_536 } else { 262_144 };
+    let mut rng = StdRng::seed_from_u64(23);
+    let hotspots: Vec<CellId> = (0..distinct)
+        .map(|_| CellId(rng.gen_range(0..nodes)))
+        .collect();
+    let locs: Vec<CellId> = (0..reports)
+        .map(|_| hotspots[rng.gen_range(0..distinct)])
+        .collect();
+    let iters = if quick { 3 } else { 10 };
+
+    let index = PolicyIndex::new(policy);
+    let mut rng = StdRng::seed_from_u64(29);
+    let single = time_batches(iters, || {
+        black_box(
+            GraphExponential
+                .perturb_batch(&index, 1.0, &locs, &mut rng)
+                .unwrap(),
+        );
+    });
+    let reports_per_sec_1t = reports as f64 / (percentile(&single, 0.5) / 1e3);
+
+    let mt_threads = panda_core::release::pool::default_parallelism().max(2);
+    let releaser = ParallelReleaser::with_threads(mt_threads);
+    let multi = time_batches(iters, || {
+        black_box(
+            releaser
+                .release(&GraphExponential, &index, 1.0, &locs, 29)
+                .unwrap(),
+        );
+    });
+    let reports_per_sec_mt = reports as f64 / (percentile(&multi, 0.5) / 1e3);
+
+    vec![LargeGraphRow {
+        nodes,
+        edges,
+        backend,
+        index_build_ms,
+        index_bytes,
+        dense_equiv_bytes,
+        memory_ratio: index_bytes as f64 / dense_equiv_bytes as f64,
+        avg_label_entries,
+        row_query_ms,
+        distinct_cells: distinct,
+        reports,
+        reports_per_sec_1t,
+        reports_per_sec_mt,
+        mt_threads,
+    }]
+}
+
 /// The streaming contention ablation: per-report releases (each report
 /// resolves against the shared distribution cache — one mutex touch per
 /// report, the pre-sampler ingest regime) versus sampler-handle releases
@@ -479,6 +608,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let streaming_mode = std::env::args().any(|a| a == "--streaming");
     let net_mode = std::env::args().any(|a| a == "--net");
+    let large_graph_mode = std::env::args().any(|a| a == "--large-graph");
     let hw = panda_core::release::pool::default_parallelism();
     println!(
         "release-engine bench ({} mode, {hw} hardware threads)\n",
@@ -548,6 +678,34 @@ fn main() {
         Vec::new()
     };
 
+    let large_graph = if large_graph_mode {
+        let rows = bench_large_graph(quick);
+        println!(
+            "\nlarge graph  nodes  edges   backend     build ms  index MB  dense-equiv MB  ratio  avg label  row ms  1t reports/s  {}t reports/s",
+            rows[0].mt_threads
+        );
+        for l in &rows {
+            println!(
+                "{:<11}  {:<5}  {:<6}  {:<10}  {:<8.0}  {:<8.1}  {:<14.1}  {:<5.3}  {:<9.1}  {:<6.2}  {:<12.0}  {:.0}",
+                "city",
+                l.nodes,
+                l.edges,
+                l.backend,
+                l.index_build_ms,
+                l.index_bytes as f64 / 1e6,
+                l.dense_equiv_bytes as f64 / 1e6,
+                l.memory_ratio,
+                l.avg_label_entries,
+                l.row_query_ms,
+                l.reports_per_sec_1t,
+                l.reports_per_sec_mt
+            );
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+
     let sampler = bench_sampler(quick);
     println!(
         "\nsampler   distinct  reports  per-report r/s  sampler r/s  speedup  touches (report/sampler)"
@@ -580,7 +738,7 @@ fn main() {
 
     // Hand-assembled JSON (the offline workspace carries no JSON crate).
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"panda-bench-release/v4\",\n");
+    json.push_str("  \"schema\": \"panda-bench-release/v5\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -651,6 +809,36 @@ fn main() {
                 n.ack_p50_ms,
                 n.ack_p99_ms,
                 if i + 1 < net.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+    }
+    if !large_graph.is_empty() {
+        json.push_str("  \"large_graph\": [\n");
+        for (i, l) in large_graph.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"nodes\": {}, \"edges\": {}, \"backend\": \"{}\", \
+                 \"index_build_ms\": {:.1}, \"index_bytes\": {}, \
+                 \"dense_equiv_bytes\": {}, \"memory_ratio\": {:.4}, \
+                 \"avg_label_entries\": {:.1}, \"row_query_ms\": {:.3}, \
+                 \"distinct_cells\": {}, \"reports\": {}, \
+                 \"reports_per_sec_1t\": {:.0}, \"reports_per_sec_mt\": {:.0}, \
+                 \"mt_threads\": {}}}{}\n",
+                l.nodes,
+                l.edges,
+                l.backend,
+                l.index_build_ms,
+                l.index_bytes,
+                l.dense_equiv_bytes,
+                l.memory_ratio,
+                l.avg_label_entries,
+                l.row_query_ms,
+                l.distinct_cells,
+                l.reports,
+                l.reports_per_sec_1t,
+                l.reports_per_sec_mt,
+                l.mt_threads,
+                if i + 1 < large_graph.len() { "," } else { "" }
             ));
         }
         json.push_str("  ],\n");

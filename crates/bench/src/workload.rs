@@ -46,6 +46,31 @@ pub fn gowalla(seed: u64, grid: &GridMap, n_users: u32, horizon: u32) -> Traject
     densify(grid, &checkins, horizon)
 }
 
+/// A city-scale single-component policy: a `w × h` 8-neighbour street
+/// grid with `delete_p` of its non-bridging edges removed and `shortcuts`
+/// long-range connections added (metro lines / highways), wrapped as a
+/// policy graph with explicit distance-index budgets. With the default
+/// budgets ([`LocationPolicyGraph::from_graph`]'s), anything above the
+/// 4 096-node dense-tabulation threshold lands on the hub-label oracle.
+pub fn city_policy(
+    seed: u64,
+    w: u32,
+    h: u32,
+    max_table_entries: usize,
+    oracle_entries_per_node: usize,
+) -> LocationPolicyGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shortcuts = (w * h) / 200; // ~1 shortcut per 200 cells
+    let g = panda_graph::generators::city_like(&mut rng, w, h, 0.3, shortcuts);
+    LocationPolicyGraph::from_graph_with_budgets(
+        GridMap::new(w, h, 500.0),
+        g,
+        format!("city-{w}x{h}"),
+        max_table_entries,
+        oracle_entries_per_node,
+    )
+}
+
 /// The Fig. 4 policy menu over a grid: `(label, policy)` pairs.
 ///
 /// * `Ga` — coarse 4×4-cell areas (location monitoring),

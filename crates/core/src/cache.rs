@@ -15,6 +15,31 @@ use std::hash::Hash;
 /// Sentinel for "no slot".
 const NIL: usize = usize::MAX;
 
+/// Lifetime hit/miss/eviction counters of a [`WeightedLru`] (diagnostics;
+/// surfaced through `PolicyIndex` cache-stats accessors).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found the key.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Entries evicted to make room (does not count same-key replacement
+    /// or oversized entries that were never retained).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups so far, `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Slot<K, V> {
     key: K,
@@ -37,6 +62,7 @@ pub(crate) struct WeightedLru<K, V> {
     tail: usize,
     weight: usize,
     capacity: usize,
+    stats: CacheStats,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
@@ -50,6 +76,7 @@ impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
             tail: NIL,
             weight: 0,
             capacity,
+            stats: CacheStats::default(),
         }
     }
 
@@ -61,6 +88,17 @@ impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
     /// Total weight of cached entries.
     pub(crate) fn weight(&self) -> usize {
         self.weight
+    }
+
+    /// Lifetime hit/miss/eviction counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Iterates over the cached values in unspecified order (for exact
+    /// memory accounting; does not touch recency).
+    pub(crate) fn iter_values(&self) -> impl Iterator<Item = &V> {
+        self.map.values().map(|&slot| &self.slots[slot].value)
     }
 
     /// Detaches `slot` from the recency list.
@@ -93,7 +131,11 @@ impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
 
     /// Looks up `key`, promoting it to most-recently-used on a hit.
     pub(crate) fn get(&mut self, key: &K) -> Option<V> {
-        let slot = *self.map.get(key)?;
+        let Some(&slot) = self.map.get(key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        self.stats.hits += 1;
         if self.head != slot {
             self.unlink(slot);
             self.push_front(slot);
@@ -110,6 +152,7 @@ impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
             self.map.remove(&self.slots[victim].key);
             self.weight -= self.slots[victim].weight;
             self.free.push(victim);
+            self.stats.evictions += 1;
         }
     }
 
@@ -214,6 +257,39 @@ mod tests {
         assert_eq!(lru.get(&1), Some(2));
         assert_eq!(lru.weight(), 3);
         assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_misses_evictions() {
+        let mut lru: WeightedLru<u32, u32> = WeightedLru::new(4);
+        assert_eq!(lru.stats(), CacheStats::default());
+        assert_eq!(lru.stats().hit_rate(), 0.0);
+        lru.insert(1, 10, 2);
+        lru.insert(2, 20, 2);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&7), None);
+        assert_eq!(lru.get(&2), Some(20));
+        // Overflow: key 1 is now LRU and gets evicted.
+        lru.insert(3, 30, 2);
+        assert_eq!(lru.get(&1), None);
+        let s = lru.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 2, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+        // Same-key replacement and oversized rejection are not evictions.
+        lru.insert(3, 31, 2);
+        lru.insert(9, 90, 99);
+        assert_eq!(lru.stats().evictions, 1);
+    }
+
+    #[test]
+    fn iter_values_covers_live_entries() {
+        let mut lru: WeightedLru<u32, u32> = WeightedLru::new(6);
+        for k in 0..4 {
+            lru.insert(k, k * 10, 2);
+        }
+        let mut vals: Vec<u32> = lru.iter_values().copied().collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![10, 20, 30], "evicted values must not appear");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! thread-safe, so one index can serve concurrent report streams — this is
 //! what [`crate::release::ParallelReleaser`] relies on.
 
-use crate::cache::WeightedLru;
+use crate::cache::{CacheStats, WeightedLru};
 use crate::mech::pim::PreparedHull;
 use crate::policy::LocationPolicyGraph;
 use panda_geo::CellId;
@@ -197,6 +197,19 @@ impl SamplingTable {
         }
     }
 
+    /// Heap bytes of the compiled table (support cells + backend arrays).
+    pub fn memory_bytes(&self) -> usize {
+        let cells = self.cells.len() * std::mem::size_of::<CellId>();
+        cells
+            + match &self.backend {
+                Backend::Cumulative { cum, .. } => cum.len() * std::mem::size_of::<f64>(),
+                Backend::Alias { prob, alias } => {
+                    prob.len() * std::mem::size_of::<f64>()
+                        + alias.len() * std::mem::size_of::<u32>()
+                }
+            }
+    }
+
     /// Draws one cell. O(log k) for the cumulative backend, O(1) for the
     /// alias backend; no allocation either way.
     pub fn sample(&self, rng: &mut dyn RngCore) -> CellId {
@@ -227,6 +240,11 @@ impl SamplingTable {
 pub struct PolicyIndex {
     policy: LocationPolicyGraph,
     distributions: Mutex<WeightedLru<DistKey, Arc<SamplingTable>>>,
+    /// Per-cell member-order distance rows, shared across every
+    /// `(mechanism, ε)` pair that shapes a distribution over the same true
+    /// cell — an ε schedule pays for each cell's row once, not once per
+    /// step. Weighted by row length (entries = `u16`s).
+    rows: Mutex<WeightedLru<CellId, Arc<[u16]>>>,
     /// Lifetime count of [`PolicyIndex::distribution`] lookups — i.e. of
     /// distribution-cache mutex acquisitions (a cold miss re-acquires the
     /// lock briefly to insert, still counted as the one touch its lookup
@@ -258,6 +276,7 @@ impl PolicyIndex {
         PolicyIndex {
             policy,
             distributions: Mutex::new(WeightedLru::new(max_cached_entries)),
+            rows: Mutex::new(WeightedLru::new(max_cached_entries)),
             dist_touches: AtomicU64::new(0),
             calibrations: RwLock::new(vec![None; n_components]),
             pim_hulls: [
@@ -320,6 +339,31 @@ impl PolicyIndex {
             .lock()
             .insert(key, Arc::clone(&table), table.cells().len());
         table
+    }
+
+    /// The cached member-order distance row of `cell`: `row[i]` is
+    /// `d_G(cell, component_slice(cell)[i])`. Built on first use from the
+    /// policy's distance index (dense-row copy, hub-label join, or one BFS)
+    /// and retained in a weighted LRU, so mechanisms shaping distributions
+    /// over the same cell at different ε — or different mechanisms over
+    /// the same cell — share one row instead of re-deriving distances.
+    ///
+    /// Returns `None` only for components whose distances cannot be
+    /// represented in `u16` (over 65535 cells *and* unindexed); callers
+    /// fall back to [`LocationPolicyGraph::component_distances`].
+    pub fn distance_row(&self, cell: CellId) -> Option<Arc<[u16]>> {
+        if let Some(row) = self.rows.lock().get(&cell) {
+            return Some(row);
+        }
+        // Built outside the lock, like the distribution tables: concurrent
+        // misses on one cell may build twice but never block each other.
+        let mut buf = Vec::new();
+        if !self.policy.component_row_u16(cell, &mut buf) {
+            return None;
+        }
+        let row: Arc<[u16]> = buf.into();
+        self.rows.lock().insert(cell, Arc::clone(&row), row.len());
+        Some(row)
     }
 
     /// Cached calibration length of the component of `cell`: the longest
@@ -387,6 +431,47 @@ impl PolicyIndex {
             .iter()
             .map(|s| s.read().iter().flatten().count())
             .sum()
+    }
+
+    /// Lifetime hit/miss/eviction counters of the distribution cache.
+    pub fn distribution_cache_stats(&self) -> CacheStats {
+        self.distributions.lock().stats()
+    }
+
+    /// Lifetime hit/miss/eviction counters of the distance-row cache.
+    pub fn row_cache_stats(&self) -> CacheStats {
+        self.rows.lock().stats()
+    }
+
+    /// Number of distance rows currently cached (diagnostics).
+    pub fn n_cached_rows(&self) -> usize {
+        self.rows.lock().len()
+    }
+
+    /// Exact heap bytes held by the index's caches right now: compiled
+    /// sampling tables, distance rows, and the per-component
+    /// calibration/hull slot vectors. Excludes the policy's distance index
+    /// itself (see [`panda_graph::ComponentDistances::memory_bytes`]) —
+    /// together the two numbers are the memory story a capacity planner
+    /// needs.
+    pub fn cache_memory_bytes(&self) -> usize {
+        let tables: usize = self
+            .distributions
+            .lock()
+            .iter_values()
+            .map(|t| t.memory_bytes())
+            .sum();
+        let rows: usize = self
+            .rows
+            .lock()
+            .iter_values()
+            .map(|r| r.len() * std::mem::size_of::<u16>())
+            .sum();
+        let n_components = self.policy.n_components() as usize;
+        let slots = n_components
+            * (std::mem::size_of::<Option<Option<f64>>>()
+                + 2 * std::mem::size_of::<Option<Arc<PreparedHull>>>());
+        tables + rows + slots
     }
 }
 
@@ -626,6 +711,73 @@ mod tests {
         // Isolated policy: no calibration.
         let iso = PolicyIndex::new(LocationPolicyGraph::isolated(GridMap::new(2, 2, 50.0)));
         assert_eq!(iso.calibration_length(CellId(0)), None);
+    }
+
+    #[test]
+    fn distance_rows_cached_and_correct() {
+        let index = PolicyIndex::new(policy());
+        let row = index.distance_row(CellId(0)).unwrap();
+        let expect: Vec<(CellId, u32)> = index.policy().component_distances(CellId(0));
+        assert_eq!(row.len(), expect.len());
+        for (&(_, d_exact), &d_row) in expect.iter().zip(row.iter()) {
+            assert_eq!(d_exact, u32::from(d_row));
+        }
+        // Second touch hits the cache.
+        let _ = index.distance_row(CellId(0));
+        let stats = index.row_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(index.n_cached_rows(), 1);
+        // A different cell of the same component is its own row.
+        let _ = index.distance_row(CellId(1));
+        assert_eq!(index.n_cached_rows(), 2);
+    }
+
+    #[test]
+    fn epsilon_sweep_shares_one_row_per_cell() {
+        let index = PolicyIndex::new(policy());
+        let mut rng = SmallRng::seed_from_u64(5);
+        for eps in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            GraphExponential
+                .perturb_batch(&index, eps, &[CellId(0)], &mut rng)
+                .unwrap();
+        }
+        let stats = index.row_cache_stats();
+        assert_eq!(stats.misses, 1, "five ε steps must derive the row once");
+        assert_eq!(stats.hits, 4);
+        assert_eq!(index.n_cached_distributions(), 5, "one table per ε");
+    }
+
+    #[test]
+    fn cache_stats_and_memory_accounting() {
+        let index = PolicyIndex::new(policy());
+        assert_eq!(index.distribution_cache_stats(), CacheStats::default());
+        let base = index.cache_memory_bytes();
+        let table = index.distribution("gem", 1.0, CellId(0), |p| {
+            GraphExponential
+                .output_distribution(p, 1.0, CellId(0))
+                .unwrap()
+        });
+        let row = index.distance_row(CellId(0)).unwrap();
+        let expect = base + table.memory_bytes() + row.len() * 2;
+        assert_eq!(index.cache_memory_bytes(), expect);
+        let stats = index.distribution_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        index.distribution("gem", 1.0, CellId(0), |_| panic!("must be cached"));
+        assert_eq!(index.distribution_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn sampling_table_memory_bytes_by_backend() {
+        let small = SamplingTable::from_weights(vec![(CellId(0), 1.0), (CellId(1), 2.0)]);
+        // 2 cells × 4 B + 2 cumulative f64s.
+        assert_eq!(small.memory_bytes(), 2 * 4 + 2 * 8);
+        let big: Vec<(CellId, f64)> = (0..SamplingTable::ALIAS_THRESHOLD as u32)
+            .map(|i| (CellId(i), 1.0))
+            .collect();
+        let n = big.len();
+        let alias = SamplingTable::from_weights(big);
+        // n cells × 4 B + n probs × 8 B + n aliases × 4 B.
+        assert_eq!(alias.memory_bytes(), n * (4 + 8 + 4));
     }
 
     #[test]

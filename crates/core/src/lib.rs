@@ -46,6 +46,7 @@ pub mod release;
 pub mod repair;
 pub mod timeline;
 
+pub use cache::CacheStats;
 pub use error::PglpError;
 pub use index::{PolicyIndex, SamplingTable};
 pub use mech::{

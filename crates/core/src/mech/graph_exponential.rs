@@ -42,17 +42,31 @@ impl GraphExponential {
     /// The cached sampling table for `(ε, s)` via the index's LRU.
     /// Unnormalised weights suffice for sampling; the max log-weight is 0
     /// (at `s` itself), so `exp()` is stable.
+    ///
+    /// Weights come from the index's *cached distance row* for `s`, so an
+    /// ε schedule over one cell derives distances once and only re-runs the
+    /// cheap `exp()` shaping per step — on a 50k-cell oracle-backed
+    /// component that turns per-step table builds from one label join each
+    /// into row-cache hits. The arithmetic is kept bit-identical to the
+    /// closed-form path (`exp(−ε·d/2)` over the same integer distances), so
+    /// released databases do not depend on which path built the table.
     fn table(
         &self,
         index: &PolicyIndex,
         eps: f64,
         s: CellId,
     ) -> std::sync::Arc<crate::SamplingTable> {
-        index.distribution(self.name(), eps, s, |p| {
-            Self::log_weights(p, eps, s)
+        index.distribution(self.name(), eps, s, |p| match index.distance_row(s) {
+            Some(row) => p
+                .component_slice(s)
+                .iter()
+                .zip(row.iter())
+                .map(|(&c, &d)| (c, (-eps * f64::from(d) / 2.0).exp()))
+                .collect(),
+            None => Self::log_weights(p, eps, s)
                 .into_iter()
                 .map(|(c, lw)| (c, lw.exp()))
-                .collect()
+                .collect(),
         })
     }
 

@@ -49,14 +49,41 @@ impl LocationPolicyGraph {
     ///
     /// Panics when the node count differs from the cell count.
     pub fn from_graph(grid: GridMap, graph: Graph, name: impl Into<String>) -> Self {
+        Self::from_graph_with_budgets(
+            grid,
+            graph,
+            name,
+            panda_graph::distances::DEFAULT_MAX_TABLE_ENTRIES,
+            panda_graph::distances::DEFAULT_ORACLE_ENTRIES_PER_NODE,
+        )
+    }
+
+    /// Wraps an arbitrary graph as a policy with explicit distance-index
+    /// budgets: `max_table_entries` caps dense per-component tables (k²
+    /// cells), `oracle_entries_per_node` caps the hub-label oracle used
+    /// above the dense budget (`0` disables it). For tests and benches that
+    /// force a specific backend; production callers should use
+    /// [`LocationPolicyGraph::from_graph`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node count differs from the cell count.
+    pub fn from_graph_with_budgets(
+        grid: GridMap,
+        graph: Graph,
+        name: impl Into<String>,
+        max_table_entries: usize,
+        oracle_entries_per_node: usize,
+    ) -> Self {
         assert_eq!(
             graph.n_nodes(),
             grid.n_cells(),
             "policy graph must have one node per grid cell"
         );
-        let dist = Arc::new(ComponentDistances::from_graph(
+        let dist = Arc::new(ComponentDistances::from_graph_with_budgets(
             graph,
-            panda_graph::distances::DEFAULT_MAX_TABLE_ENTRIES,
+            max_table_entries,
+            oracle_entries_per_node,
         ));
         LocationPolicyGraph {
             grid,
@@ -356,26 +383,54 @@ impl LocationPolicyGraph {
         self.distance(a, b).map(|d| eps * d as f64)
     }
 
+    /// Distances from `s` to every cell of its component in member-slice
+    /// order, written into `out` (resized to the component size). Served
+    /// from the distance index — a dense-row copy or one hub-label join —
+    /// with a single-BFS fallback for unindexed components. Returns `false`
+    /// (leaving `out` empty) only when the component exceeds 65535 cells
+    /// *and* is unindexed, i.e. distances may not fit `u16`.
+    ///
+    /// This is the row primitive behind `PolicyIndex`'s distance-row cache:
+    /// every `(mechanism, ε)` pair over the same cell reuses one row.
+    pub fn component_row_u16(&self, s: CellId, out: &mut Vec<u16>) -> bool {
+        if self.dist.row_into(s.0, out) {
+            return true;
+        }
+        let members = self.dist.members_of(s.0);
+        if members.len() > usize::from(u16::MAX) {
+            out.clear();
+            return false;
+        }
+        let dist = bfs::bfs_distances(self.graph(), s.0);
+        out.clear();
+        out.extend(members.iter().map(|&v| {
+            debug_assert_ne!(dist[v as usize], bfs::INFINITE);
+            // Fits: eccentricity < k ≤ u16::MAX (checked above).
+            dist[v as usize] as u16
+        }));
+        true
+    }
+
     /// Distances from `s` to every cell of its component, as `(cell, d_G)`
     /// pairs sorted by cell id. The workhorse of the graph-exponential
-    /// mechanism — served from the precomputed table (O(k) copy, no BFS)
-    /// except for components over the index budget.
+    /// mechanism — served from the distance index (dense row copy or
+    /// hub-label join, no BFS) except for unindexed components.
     pub fn component_distances(&self, s: CellId) -> Vec<(CellId, u32)> {
-        match self.dist.row(s.0) {
-            Some(row) => self
-                .component_slice(s)
+        let mut row = Vec::new();
+        if self.component_row_u16(s, &mut row) {
+            self.component_slice(s)
                 .iter()
-                .zip(row)
+                .zip(&row)
                 .map(|(&c, &d)| (c, u32::from(d)))
-                .collect(),
-            None => {
-                let dist = bfs::bfs_distances(self.graph(), s.0);
-                dist.into_iter()
-                    .enumerate()
-                    .filter(|&(_, d)| d != bfs::INFINITE)
-                    .map(|(i, d)| (CellId(i as u32), d))
-                    .collect()
-            }
+                .collect()
+        } else {
+            // Gigantic unindexed component: distances may exceed u16.
+            let dist = bfs::bfs_distances(self.graph(), s.0);
+            dist.into_iter()
+                .enumerate()
+                .filter(|&(_, d)| d != bfs::INFINITE)
+                .map(|(i, d)| (CellId(i as u32), d))
+                .collect()
         }
     }
 

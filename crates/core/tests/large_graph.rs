@@ -1,0 +1,120 @@
+//! Backend byte-identity on threshold-sized city graphs.
+//!
+//! A `city_like` policy just above the dense-tabulation threshold (4 096
+//! nodes) is indexed twice — once with an unbounded table budget (dense
+//! per-component distance tables) and once with a tiny one (hub-label
+//! oracle). Everything observable downstream must be **bitwise identical**:
+//! sampling-table supports and probabilities, exact output distributions,
+//! and whole released databases under the parallel releaser. This is the
+//! CI gate for the oracle's exactness claim — privacy calibration is proved
+//! against true graph distances, so an approximate oracle would silently
+//! void the guarantee.
+
+use panda_core::mech::Mechanism;
+use panda_core::{GraphExponential, LocationPolicyGraph, ParallelReleaser, PolicyIndex};
+use panda_geo::{CellId, GridMap};
+use panda_graph::{generators, IndexBackend};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const W: u32 = 70;
+const H: u32 = 62;
+
+/// One connected 4 340-node city graph (> 4 096-node dense threshold).
+fn city_policy(max_table_entries: usize) -> LocationPolicyGraph {
+    let mut rng = SmallRng::seed_from_u64(0xC17);
+    let g = generators::city_like(&mut rng, W, H, 0.3, 60);
+    LocationPolicyGraph::from_graph_with_budgets(
+        GridMap::new(W, H, 100.0),
+        g,
+        "city-70x62",
+        max_table_entries,
+        512,
+    )
+}
+
+fn backends() -> (PolicyIndex, PolicyIndex) {
+    // Large budget → dense tables; 1-entry budget → hub-label oracle.
+    let dense = PolicyIndex::new(city_policy(usize::MAX >> 1));
+    let oracle = PolicyIndex::new(city_policy(1));
+    assert_eq!(
+        dense.policy().distance_index().backend(0),
+        IndexBackend::Dense
+    );
+    assert_eq!(
+        oracle.policy().distance_index().backend(0),
+        IndexBackend::HubLabels
+    );
+    (dense, oracle)
+}
+
+#[test]
+fn oracle_backed_sampling_tables_bitwise_equal_to_dense() {
+    let (dense, oracle) = backends();
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..12 {
+        let cell = CellId(rng.gen_range(0..W * H));
+        for eps in [0.25, 1.0, 4.0] {
+            let build = |index: &PolicyIndex| {
+                // Warm the LRU through the mechanism's own table path, then
+                // pull the cached table out (the closure must never run).
+                GraphExponential.sampler(index, eps, cell).expect("sampler");
+                index.distribution(GraphExponential.name(), eps, cell, |_| {
+                    panic!("table must already be cached")
+                })
+            };
+            let (ta, tb) = (build(&dense), build(&oracle));
+            assert_eq!(ta.cells(), tb.cells());
+            assert_eq!(ta.is_alias(), tb.is_alias());
+            let (pa, pb) = (ta.probabilities(), tb.probabilities());
+            assert_eq!(pa.len(), pb.len());
+            for (x, y) in pa.iter().zip(pb.iter()) {
+                // Bitwise, not approximate: the arithmetic paths must agree.
+                assert_eq!(x.to_bits(), y.to_bits(), "cell {cell} eps {eps}");
+            }
+        }
+    }
+}
+
+#[test]
+fn released_databases_bitwise_equal_across_backends() {
+    let (dense, oracle) = backends();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let locs: Vec<CellId> = (0..20_000)
+        .map(|_| CellId(rng.gen_range(0..W * H)))
+        .collect();
+    let releaser = ParallelReleaser::new();
+    for (eps, seed) in [(0.5, 1u64), (2.0, 99u64)] {
+        let a = releaser
+            .release(&GraphExponential, &dense, eps, &locs, seed)
+            .expect("dense release");
+        let b = releaser
+            .release(&GraphExponential, &oracle, eps, &locs, seed)
+            .expect("oracle release");
+        assert_eq!(a, b, "released DBs diverged at eps {eps} seed {seed}");
+    }
+}
+
+#[test]
+fn oracle_memory_stays_small_and_rows_are_shared() {
+    let (dense, oracle) = backends();
+    let dense_bytes = dense.policy().distance_index().memory_bytes();
+    let oracle_bytes = oracle.policy().distance_index().memory_bytes();
+    // ~9.7x at 4 340 nodes; the gap widens with n (≈40x at 50k nodes, where
+    // the ≤10%-of-dense acceptance bar is measured by the benchmark) because
+    // labels grow ~√n per node while dense rows grow linearly.
+    assert!(
+        oracle_bytes * 8 < dense_bytes,
+        "oracle {oracle_bytes} B must undercut dense {dense_bytes} B by >8x"
+    );
+    // An ε sweep over one cell derives its distance row exactly once.
+    let mut rng = SmallRng::seed_from_u64(3);
+    for eps in [0.1, 0.2, 0.4, 0.8, 1.6] {
+        GraphExponential
+            .perturb_batch(&oracle, eps, &[CellId(17)], &mut rng)
+            .expect("release");
+    }
+    let stats = oracle.row_cache_stats();
+    assert_eq!(stats.misses, 1, "one row build for the whole sweep");
+    assert_eq!(stats.hits, 4);
+}

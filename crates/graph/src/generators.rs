@@ -12,6 +12,7 @@
 //! * [`erdos_renyi`] / [`random_with_density`] — the demo's "Random Policy
 //!   Graph" generator with its *Size* and *Density* knobs (Fig. 5).
 
+use crate::components::DisjointSets;
 use crate::graph::{Graph, GraphBuilder, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -168,6 +169,84 @@ pub fn random_with_density<R: Rng + ?Sized>(rng: &mut R, n: u32, density: f64) -
     b.build()
 }
 
+/// City-like policy graph: an 8-neighbour grid with random street closures
+/// and a few long-range shortcuts, guaranteed connected.
+///
+/// Real city geographies are *almost* grids — rivers, parks and railway
+/// cuts delete local adjacencies while bridges, tunnels and transit lines
+/// add long links. This generator models that for large-component tests and
+/// benches: starting from [`grid8`]`(w, h)`, a uniformly random spanning
+/// tree of grid edges is kept undeletable (connectivity), every remaining
+/// grid edge is deleted independently with probability `delete_p`, and
+/// `shortcuts` uniformly random long-range node pairs are added.
+///
+/// Deterministic for a fixed `rng` stream; node ids follow the grid layout
+/// (`row·w + col`), so the result drops into `GridMap`-backed policies
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics when the grid is empty or `delete_p` is not a probability.
+pub fn city_like<R: Rng + ?Sized>(
+    rng: &mut R,
+    w: u32,
+    h: u32,
+    delete_p: f64,
+    shortcuts: u32,
+) -> Graph {
+    assert!(w > 0 && h > 0, "city grid must be non-empty");
+    assert!(
+        (0.0..=1.0).contains(&delete_p),
+        "delete_p must be a probability"
+    );
+    let n = w * h;
+    // Enumerate grid8 edges once.
+    let mut grid_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for r in 0..h {
+        for c in 0..w {
+            let v = r * w + c;
+            if c + 1 < w {
+                grid_edges.push((v, v + 1));
+            }
+            if r + 1 < h {
+                grid_edges.push((v, v + w));
+                if c + 1 < w {
+                    grid_edges.push((v, v + w + 1));
+                }
+                if c > 0 {
+                    grid_edges.push((v, v + w - 1));
+                }
+            }
+        }
+    }
+    // A uniformly random spanning tree of kept edges: shuffle, then grow a
+    // forest greedily. Tree edges are immune to deletion.
+    grid_edges.shuffle(rng);
+    let mut forest = DisjointSets::new(n);
+    let mut b = GraphBuilder::new(n);
+    for &(x, y) in &grid_edges {
+        // Short-circuit keeps the RNG stream: the deletion coin is only
+        // flipped for non-tree edges.
+        if forest.union(x, y) || !rng.gen_bool(delete_p) {
+            b.edge(x, y);
+        }
+    }
+    // Long-range shortcuts (bridges / transit). Self-pairs are re-drawn;
+    // duplicates of existing edges are deduplicated by the builder.
+    for _ in 0..shortcuts {
+        if n < 2 {
+            break;
+        }
+        let a = rng.gen_range(0..n);
+        let mut c = rng.gen_range(0..n - 1);
+        if c >= a {
+            c += 1;
+        }
+        b.edge(a, c);
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +346,36 @@ mod tests {
         let mut rng2 = SmallRng::seed_from_u64(13);
         let g2 = random_with_density(&mut rng2, 50, 0.1);
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn city_like_is_connected_and_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let g = city_like(&mut rng, 30, 20, 0.4, 12);
+        assert_eq!(g.n_nodes(), 600);
+        let cc = connected_components(&g);
+        assert_eq!(cc.n_components, 1, "spanning tree guarantees connectivity");
+        // Aggressive deletion really thins the grid.
+        assert!(g.n_edges() < grid8(30, 20).n_edges());
+        // Determinism under the same seed.
+        let mut rng2 = SmallRng::seed_from_u64(99);
+        assert_eq!(g, city_like(&mut rng2, 30, 20, 0.4, 12));
+    }
+
+    #[test]
+    fn city_like_extremes() {
+        let mut rng = SmallRng::seed_from_u64(100);
+        // delete_p = 1: only the spanning tree (and shortcuts) survive.
+        let g = city_like(&mut rng, 10, 10, 1.0, 0);
+        assert_eq!(g.n_edges(), 99);
+        assert_eq!(connected_components(&g).n_components, 1);
+        // delete_p = 0: full grid8 plus shortcuts.
+        let g = city_like(&mut rng, 10, 10, 0.0, 5);
+        assert!(g.n_edges() >= grid8(10, 10).n_edges());
+        // Single node: no edges, no shortcut panic.
+        let g = city_like(&mut rng, 1, 1, 0.5, 3);
+        assert_eq!(g.n_nodes(), 1);
+        assert!(g.is_edgeless());
     }
 
     #[test]

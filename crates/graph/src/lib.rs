@@ -14,8 +14,13 @@
 //! * [`components`] — connected components, i.e. the `∞`-neighbour classes
 //!   of Lemma 2.1, via union-find.
 //! * [`distances`] — interned component membership and per-component
-//!   all-pairs distance tables, computed once so the policy/mechanism hot
+//!   distance indexes (dense all-pairs tables below a size budget, the
+//!   hub-label oracle above it), computed once so the policy/mechanism hot
 //!   path never re-runs BFS.
+//! * [`oracle`] — exact 2-hop hub labels via pruned BFS with a
+//!   separator-based hub order: city-scale components (50k+ nodes) answer
+//!   distance and row queries from a few hundred MB where dense tables
+//!   would need gigabytes.
 //! * [`generators`] — the policy-graph building blocks: 4/8-neighbour grid
 //!   graphs (`G1`), complete graphs (`G2`/δ-location sets), partition
 //!   cliques (`Ga`/`Gb`), Erdős–Rényi random graphs (the demo's "Random
@@ -37,9 +42,11 @@ pub mod dot;
 pub mod generators;
 pub mod graph;
 pub mod ops;
+pub mod oracle;
 pub mod properties;
 
 pub use bfs::{bfs_distances, eccentricity, k_neighbors, shortest_path_len, INFINITE};
 pub use components::{connected_components, ComponentLabels, DisjointSets};
-pub use distances::{ComponentDistances, DistanceLookup};
+pub use distances::{ComponentDistances, DistanceLookup, IndexBackend};
 pub use graph::{Graph, GraphBuilder, NodeId};
+pub use oracle::HubLabels;

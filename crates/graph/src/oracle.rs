@@ -1,0 +1,676 @@
+//! Exact distance oracle for large components: pruned-BFS 2-hop hub labels.
+//!
+//! Components above the dense-tabulation budget used to fall back to one BFS
+//! per distance query (`DistanceLookup::NotIndexed`), which collapses to
+//! quadratic repeat work exactly where the paper's city-scale deployment
+//! scenario lives. This module implements the *pruned landmark labelling*
+//! scheme (Akiba–Iwata–Yoshida style 2-hop covers, exact on unweighted
+//! graphs): every node `v` stores a small label `L(v)` of `(hub, d_G(hub, v))`
+//! pairs such that for any pair `(a, b)` in one component some shortest path
+//! witness is covered,
+//!
+//! ```text
+//! d_G(a, b) = min { d1 + d2 : (h, d1) ∈ L(a), (h, d2) ∈ L(b) }
+//! ```
+//!
+//! **Exactness matters**: the PGLP calibration proof (Theorem 3.2) assumes
+//! true graph distances; an approximate oracle would silently weaken the
+//! privacy guarantee. Pruned BFS labelling is exact by construction — the
+//! pruning step only skips label entries already dominated by an existing
+//! 2-hop witness.
+//!
+//! Label size is governed by the hub order. Degree ordering (the usual
+//! default) degenerates on near-uniform-degree graphs like road grids, so
+//! hubs are ordered by recursive *BFS-layer separators*: pick a
+//! pseudo-peripheral node by double sweep, cut the component at the balanced
+//! BFS layer, emit the cut nodes as the next hubs, recurse on the halves
+//! (level order). On grid-like graphs this yields `O(√n)`-ish labels — a few
+//! hundred entries per node at 50k nodes versus the 50k-entry rows of a
+//! dense table.
+//!
+//! Construction enforces a total-entry budget: graphs where 2-hop covers
+//! degenerate (e.g. cliques and other small-diameter expanders have Θ(n²)
+//! covers) abort cleanly and the caller falls back to the pre-oracle
+//! behaviour. Labels are stored twice — forward CSR sorted by hub for
+//! `O(|L(a)| + |L(b)|)` merge-join point queries, and an inverted hub → node
+//! CSR so a full member-order distance row materialises in one join pass
+//! instead of `k` point queries.
+
+use crate::bfs::INFINITE;
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Parts at or below this size are emitted whole instead of being cut
+/// further; separators on tiny parts cost more order entropy than they save.
+const MIN_SEPARATOR_PART: usize = 8;
+
+/// 2-hop hub labels of one connected component.
+///
+/// All node identifiers inside are *member ranks* (positions within the
+/// component's sorted member slice) and all hub identifiers are *hub
+/// sequence numbers* (positions in the importance order), so the structure
+/// is self-contained and independent of global node ids.
+#[derive(Debug, Clone)]
+pub struct HubLabels {
+    /// Component size.
+    k: usize,
+    /// Forward labels, CSR over member rank. Entries of one label are
+    /// sorted by hub sequence (construction emits hubs in order, so this is
+    /// insertion order).
+    label_offsets: Vec<u32>,
+    label_hubs: Vec<u32>,
+    label_dists: Vec<u16>,
+    /// Inverted index, CSR over hub sequence: the member ranks carrying a
+    /// hub, with their distance to it. Ranks ascend within one hub list.
+    inv_offsets: Vec<u32>,
+    inv_ranks: Vec<u32>,
+    inv_dists: Vec<u16>,
+}
+
+impl HubLabels {
+    /// Builds hub labels for the component whose sorted member list is
+    /// `members` (rank `i` ⇔ `members[i]`). The members must form exactly
+    /// one connected component of `g`.
+    ///
+    /// Returns `None` when the total label-entry count would exceed
+    /// `max_entries` (degenerate 2-hop covers — the caller keeps its BFS
+    /// fallback) or when `members.len() > u16::MAX` (distances could
+    /// overflow the storage width).
+    pub fn build(g: &Graph, members: &[NodeId], max_entries: usize) -> Option<HubLabels> {
+        let k = members.len();
+        if k == 0 || k > usize::from(u16::MAX) {
+            return None;
+        }
+        // CSR offsets are u32: safe because total entries ≤ k² < u32::MAX
+        // for k ≤ 65535, independent of the budget.
+        let max_entries = max_entries.min(k * k);
+        if k == 1 {
+            return Some(HubLabels {
+                k: 1,
+                label_offsets: vec![0, 1],
+                label_hubs: vec![0],
+                label_dists: vec![0],
+                inv_offsets: vec![0, 1],
+                inv_ranks: vec![0],
+                inv_dists: vec![0],
+            });
+        }
+
+        // Global node id -> member rank (u32::MAX outside the component).
+        let mut rank_of = vec![u32::MAX; g.n_nodes() as usize];
+        for (r, &v) in members.iter().enumerate() {
+            rank_of[v as usize] = r as u32;
+        }
+
+        let order = separator_order(g, members, &rank_of);
+        debug_assert_eq!(order.len(), k);
+
+        // Pruned BFS from each hub in importance order.
+        let mut labels: Vec<Vec<(u32, u16)>> = vec![Vec::new(); k];
+        // T[h] = distance from the current hub to hub `h`, loaded from the
+        // current hub's own label for O(|L(w)|) prune queries.
+        let mut t_dist = vec![INFINITE; k];
+        let mut visited = vec![u32::MAX; k];
+        let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+        let mut total: usize = 0;
+
+        for (t, &hub_rank) in order.iter().enumerate() {
+            let t = t as u32;
+            let hub_node = members[hub_rank as usize];
+            for &(h, dh) in &labels[hub_rank as usize] {
+                t_dist[h as usize] = u32::from(dh);
+            }
+            visited[hub_rank as usize] = t;
+            queue.push_back((hub_node, 0));
+            while let Some((v, d)) = queue.pop_front() {
+                let rv = rank_of[v as usize];
+                debug_assert_ne!(rv, u32::MAX, "BFS escaped the component");
+                // Prune: an earlier hub already witnesses a path of length
+                // ≤ d from the current hub to v, so no label is needed here
+                // and the subtree below v is covered transitively.
+                let mut covered = INFINITE;
+                for &(h, dh) in &labels[rv as usize] {
+                    let th = t_dist[h as usize];
+                    if th != INFINITE {
+                        covered = covered.min(th + u32::from(dh));
+                    }
+                }
+                if covered <= d {
+                    continue;
+                }
+                labels[rv as usize].push((t, d as u16));
+                total += 1;
+                if total > max_entries {
+                    return None;
+                }
+                for &w in g.neighbors(v) {
+                    let rw = rank_of[w as usize];
+                    if visited[rw as usize] != t {
+                        visited[rw as usize] = t;
+                        queue.push_back((w, d + 1));
+                    }
+                }
+            }
+            // `labels[hub_rank]` gained `(t, 0)` during the BFS; resetting
+            // through it clears every T slot that was loaded (plus the new
+            // entry, harmlessly).
+            for &(h, _) in &labels[hub_rank as usize] {
+                t_dist[h as usize] = INFINITE;
+            }
+        }
+
+        // Freeze into forward CSR + inverted CSR (counting sort by hub).
+        let mut label_offsets = Vec::with_capacity(k + 1);
+        let mut label_hubs = Vec::with_capacity(total);
+        let mut label_dists = Vec::with_capacity(total);
+        label_offsets.push(0u32);
+        let mut inv_counts = vec![0u32; k];
+        for label in &labels {
+            for &(h, d) in label {
+                label_hubs.push(h);
+                label_dists.push(d);
+                inv_counts[h as usize] += 1;
+            }
+            label_offsets.push(label_hubs.len() as u32);
+        }
+        let mut inv_offsets = vec![0u32; k + 1];
+        for h in 0..k {
+            inv_offsets[h + 1] = inv_offsets[h] + inv_counts[h];
+        }
+        let mut inv_ranks = vec![0u32; total];
+        let mut inv_dists = vec![0u16; total];
+        let mut cursor: Vec<u32> = inv_offsets[..k].to_vec();
+        for (r, label) in labels.iter().enumerate() {
+            for &(h, d) in label {
+                let pos = cursor[h as usize] as usize;
+                inv_ranks[pos] = r as u32;
+                inv_dists[pos] = d;
+                cursor[h as usize] += 1;
+            }
+        }
+
+        Some(HubLabels {
+            k,
+            label_offsets,
+            label_hubs,
+            label_dists,
+            inv_offsets,
+            inv_ranks,
+            inv_dists,
+        })
+    }
+
+    /// Component size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// `true` when the component is empty (never produced by
+    /// [`HubLabels::build`]; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+
+    /// Total label entries across all members.
+    #[inline]
+    pub fn n_entries(&self) -> usize {
+        self.label_hubs.len()
+    }
+
+    /// Largest single label.
+    pub fn max_label_len(&self) -> usize {
+        self.label_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Forward label of member rank `r` as parallel `(hubs, dists)` slices.
+    #[inline]
+    fn label(&self, r: u32) -> (&[u32], &[u16]) {
+        let lo = self.label_offsets[r as usize] as usize;
+        let hi = self.label_offsets[r as usize + 1] as usize;
+        (&self.label_hubs[lo..hi], &self.label_dists[lo..hi])
+    }
+
+    /// Exact distance between member ranks `a` and `b`: sorted merge over
+    /// the two labels, `O(|L(a)| + |L(b)|)`.
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        let (ha, da) = self.label(a);
+        let (hb, db) = self.label(b);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut best = INFINITE;
+        while i < ha.len() && j < hb.len() {
+            match ha[i].cmp(&hb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let cand = u32::from(da[i]) + u32::from(db[j]);
+                    best = best.min(cand);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        debug_assert_ne!(best, INFINITE, "2-hop cover must witness every pair");
+        best
+    }
+
+    /// Fills `out` (length [`HubLabels::len`]) with the distances from
+    /// member rank `s` to every member, in rank order — the oracle
+    /// equivalent of one dense-table row, computed by joining `L(s)` with
+    /// the inverted hub index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != self.len()`.
+    pub fn row_into(&self, s: u32, out: &mut [u16]) {
+        assert_eq!(out.len(), self.k, "row buffer must cover the component");
+        out.fill(u16::MAX);
+        let (hubs, dists) = self.label(s);
+        for (&h, &d1) in hubs.iter().zip(dists) {
+            let lo = self.inv_offsets[h as usize] as usize;
+            let hi = self.inv_offsets[h as usize + 1] as usize;
+            for (&r, &d2) in self.inv_ranks[lo..hi].iter().zip(&self.inv_dists[lo..hi]) {
+                // Saturating: candidate sums may hit u16::MAX, but the true
+                // distance (≤ k − 1 < u16::MAX) is always witnessed exactly.
+                let cand = d1.saturating_add(d2);
+                let slot = &mut out[r as usize];
+                if cand < *slot {
+                    *slot = cand;
+                }
+            }
+        }
+        debug_assert!(
+            out.iter().all(|&d| d < u16::MAX),
+            "row join must cover the whole component"
+        );
+    }
+
+    /// Heap bytes of the label structure (forward + inverted CSR).
+    pub fn memory_bytes(&self) -> usize {
+        self.label_offsets.len() * std::mem::size_of::<u32>()
+            + self.label_hubs.len() * std::mem::size_of::<u32>()
+            + self.label_dists.len() * std::mem::size_of::<u16>()
+            + self.inv_offsets.len() * std::mem::size_of::<u32>()
+            + self.inv_ranks.len() * std::mem::size_of::<u32>()
+            + self.inv_dists.len() * std::mem::size_of::<u16>()
+    }
+}
+
+/// An edge is *shortcut-like* when removing it leaves no alternative path
+/// of at most this length between its endpoints. Grid deletions leave
+/// detours of 2–4 hops; bridges/transit links leave none nearby.
+const SHORTCUT_DETOUR: u32 = 4;
+
+/// Ranks of members incident to shortcut-like edges (deduplicated,
+/// ascending). These act as highway entrances — a large share of shortest
+/// paths in a small-world grid routes through them — so they make the most
+/// valuable hubs.
+fn shortcut_endpoints(g: &Graph, members: &[NodeId], rank_of: &[u32]) -> Vec<u32> {
+    let k = members.len();
+    let mut flagged = vec![false; k];
+    let mut dist = vec![INFINITE; k];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for (ru, &u) in members.iter().enumerate() {
+        let ru = ru as u32;
+        for &v in g.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            let rv = rank_of[v as usize];
+            if rv == u32::MAX {
+                continue;
+            }
+            // Bounded BFS from u avoiding the direct edge {u, v}.
+            dist[ru as usize] = 0;
+            touched.push(ru);
+            queue.push_back(ru);
+            let mut found = false;
+            'bfs: while let Some(r) = queue.pop_front() {
+                let d = dist[r as usize];
+                if d >= SHORTCUT_DETOUR {
+                    continue;
+                }
+                let node = members[r as usize];
+                for &w in g.neighbors(node) {
+                    if node == u && w == v {
+                        continue;
+                    }
+                    let rw = rank_of[w as usize];
+                    if rw == u32::MAX || dist[rw as usize] != INFINITE {
+                        continue;
+                    }
+                    if rw == rv {
+                        found = true;
+                        break 'bfs;
+                    }
+                    dist[rw as usize] = d + 1;
+                    touched.push(rw);
+                    queue.push_back(rw);
+                }
+            }
+            queue.clear();
+            for &r in &touched {
+                dist[r as usize] = INFINITE;
+            }
+            touched.clear();
+            if !found {
+                flagged[ru as usize] = true;
+                flagged[rv as usize] = true;
+            }
+        }
+    }
+    (0..k as u32).filter(|&r| flagged[r as usize]).collect()
+}
+
+/// Hub importance order for one component: shortcut endpoints first, then
+/// recursive BFS-layer separators emitted level-order (top separator
+/// first). Returns member ranks, most important first; every rank appears
+/// exactly once.
+fn separator_order(g: &Graph, members: &[NodeId], rank_of: &[u32]) -> Vec<u32> {
+    let k = members.len();
+    let mut order: Vec<u32> = Vec::with_capacity(k);
+    // Scratch, all rank-indexed: BFS distances, part tags, piece-split marks.
+    let mut dist = vec![INFINITE; k];
+    let mut tag = vec![0u32; k];
+    let mut piece_seen = vec![false; k];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+
+    // Highway hubs jump the separator hierarchy entirely. If a large
+    // fraction of the component is "shortcut endpoints" the graph is not a
+    // grid with a few highways but a tree/cycle-like topology where every
+    // edge is a bridge — there the separator hierarchy alone orders better.
+    let mut highways = shortcut_endpoints(g, members, rank_of);
+    if highways.len() * 16 > k {
+        highways.clear();
+    }
+    let mut is_highway = vec![false; k];
+    for &r in &highways {
+        is_highway[r as usize] = true;
+    }
+    order.extend_from_slice(&highways);
+
+    let mut parts: VecDeque<Vec<u32>> = VecDeque::new();
+    let rest: Vec<u32> = (0..k as u32).filter(|&r| !is_highway[r as usize]).collect();
+    if !rest.is_empty() {
+        parts.push_back(rest);
+    }
+    let mut next_tag = 1u32;
+
+    // Restricted BFS from `src` over ranks tagged `t`; fills `dist` for the
+    // reached ranks and returns (farthest rank, eccentricity) with smallest-
+    // rank tie-breaking. Caller resets `dist`.
+    let bfs_part = |src: u32,
+                    t: u32,
+                    dist: &mut [u32],
+                    queue: &mut VecDeque<u32>,
+                    tag: &[u32]|
+     -> (u32, u32) {
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        let (mut far, mut ecc) = (src, 0u32);
+        while let Some(r) = queue.pop_front() {
+            let d = dist[r as usize];
+            if d > ecc || (d == ecc && r < far) {
+                far = r;
+                ecc = d;
+            }
+            for &w in g.neighbors(members[r as usize]) {
+                let rw = rank_of[w as usize];
+                if rw != u32::MAX && tag[rw as usize] == t && dist[rw as usize] == INFINITE {
+                    dist[rw as usize] = d + 1;
+                    queue.push_back(rw);
+                }
+            }
+        }
+        (far, ecc)
+    };
+
+    while let Some(part) = parts.pop_front() {
+        if part.len() <= MIN_SEPARATOR_PART {
+            order.extend_from_slice(&part);
+            continue;
+        }
+        let t = next_tag;
+        next_tag += 1;
+        for &r in &part {
+            tag[r as usize] = t;
+        }
+
+        // Split into connected pieces first: separator removal disconnects
+        // halves, and each piece gets its own cut.
+        let mut pieces: Vec<Vec<u32>> = Vec::new();
+        for &r in &part {
+            if piece_seen[r as usize] {
+                continue;
+            }
+            let _ = bfs_part(r, t, &mut dist, &mut queue, &tag);
+            let mut piece: Vec<u32> = part
+                .iter()
+                .copied()
+                .filter(|&x| dist[x as usize] != INFINITE && !piece_seen[x as usize])
+                .collect();
+            for &x in &piece {
+                piece_seen[x as usize] = true;
+                dist[x as usize] = INFINITE;
+            }
+            piece.sort_unstable();
+            pieces.push(piece);
+        }
+        for &r in &part {
+            piece_seen[r as usize] = false;
+        }
+        if pieces.len() > 1 {
+            for piece in pieces {
+                parts.push_back(piece);
+            }
+            continue;
+        }
+        let part = pieces.pop().expect("non-empty part has a piece");
+
+        // Double sweep: a pseudo-peripheral root gives long, thin BFS
+        // layerings whose middle layer is a good separator on grid-like
+        // graphs.
+        let (a, _) = bfs_part(part[0], t, &mut dist, &mut queue, &tag);
+        for &r in &part {
+            dist[r as usize] = INFINITE;
+        }
+        let (_, ecc) = bfs_part(a, t, &mut dist, &mut queue, &tag);
+        if ecc <= 1 {
+            // Diameter ≤ 2 piece (clique-like): no useful cut exists.
+            order.extend_from_slice(&part);
+            for &r in &part {
+                dist[r as usize] = INFINITE;
+            }
+            continue;
+        }
+
+        // Separator layer: BFS layering guarantees no edge skips a layer,
+        // so every layer is a true cut. Among layers keeping at least a
+        // quarter of the part on each side, take the *thinnest* (cut size
+        // drives label growth much harder than residual imbalance; on
+        // shortcut-riddled grids the balanced layer can be several times
+        // wider than a nearby thin one). Fall back to the most balanced
+        // layer when no layer satisfies the quarter rule.
+        let mut layer_counts = vec![0u32; ecc as usize + 1];
+        for &r in &part {
+            layer_counts[dist[r as usize] as usize] += 1;
+        }
+        let total = part.len() as u32;
+        let (mut best_m, mut best_cost, mut below_m) = (1u32, u32::MAX, 0u32);
+        let (mut thin_m, mut thin_size) = (0u32, u32::MAX);
+        for m in 1..=ecc {
+            below_m += layer_counts[m as usize - 1];
+            let layer = layer_counts[m as usize];
+            let above = total - below_m - layer;
+            let cost = below_m.max(above);
+            if cost < best_cost {
+                best_cost = cost;
+                best_m = m;
+            }
+            if below_m * 4 >= total && above * 4 >= total && layer < thin_size {
+                thin_size = layer;
+                thin_m = m;
+            }
+        }
+        let best_m = if thin_size != u32::MAX {
+            thin_m
+        } else {
+            best_m
+        };
+
+        let mut below: Vec<u32> = Vec::new();
+        let mut above: Vec<u32> = Vec::new();
+        for &r in &part {
+            let d = dist[r as usize];
+            match d.cmp(&best_m) {
+                std::cmp::Ordering::Less => below.push(r),
+                std::cmp::Ordering::Equal => order.push(r),
+                std::cmp::Ordering::Greater => above.push(r),
+            }
+            dist[r as usize] = INFINITE;
+        }
+        if !below.is_empty() {
+            parts.push_back(below);
+        }
+        if !above.is_empty() {
+            parts.push_back(above);
+        }
+    }
+
+    debug_assert_eq!(order.len(), k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_distances;
+    use crate::components::connected_components;
+    use crate::generators;
+
+    /// Builds labels for the whole (connected) graph and checks every pair
+    /// and every row against fresh BFS.
+    fn assert_exact(g: &Graph) {
+        let members: Vec<NodeId> = g.nodes().collect();
+        let hl = HubLabels::build(g, &members, usize::MAX >> 1).expect("within budget");
+        assert_eq!(hl.len(), members.len());
+        let mut row = vec![0u16; members.len()];
+        for a in g.nodes() {
+            let fresh = bfs_distances(g, a);
+            hl.row_into(a, &mut row);
+            for b in g.nodes() {
+                assert_eq!(
+                    hl.distance(a, b),
+                    fresh[b as usize],
+                    "distance({a},{b}) in {}-node graph",
+                    members.len()
+                );
+                assert_eq!(u32::from(row[b as usize]), fresh[b as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_basic_shapes() {
+        assert_exact(&generators::path(17));
+        assert_exact(&generators::cycle(12));
+        assert_exact(&generators::star(9));
+        assert_exact(&generators::complete(7));
+        assert_exact(&generators::grid4(7, 5));
+        assert_exact(&generators::grid8(6, 9));
+    }
+
+    #[test]
+    fn singleton_component() {
+        let g = Graph::empty(3);
+        let hl = HubLabels::build(&g, &[1], 16).unwrap();
+        assert_eq!(hl.len(), 1);
+        assert_eq!(hl.distance(0, 0), 0);
+        let mut row = [7u16];
+        hl.row_into(0, &mut row);
+        assert_eq!(row, [0]);
+    }
+
+    #[test]
+    fn one_component_of_many() {
+        // Path 0-1-2-3 plus triangle 4-5-6: label only the path.
+        let mut b = crate::graph::GraphBuilder::new(7);
+        b.edges([(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (4, 6)]);
+        let g = b.build();
+        let hl = HubLabels::build(&g, &[0, 1, 2, 3], 1 << 10).unwrap();
+        assert_eq!(hl.distance(0, 3), 3);
+        assert_eq!(hl.distance(1, 2), 1);
+        let mut row = vec![0u16; 4];
+        hl.row_into(3, &mut row);
+        assert_eq!(row, [3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        // Cliques have Θ(n²) 2-hop covers; a tight budget must abort.
+        let g = generators::complete(32);
+        let members: Vec<NodeId> = g.nodes().collect();
+        assert!(HubLabels::build(&g, &members, 64).is_none());
+        // ... and a generous one succeeds.
+        assert!(HubLabels::build(&g, &members, 32 * 32).is_some());
+    }
+
+    #[test]
+    fn labels_stay_small_on_grids() {
+        let g = generators::grid8(40, 40);
+        let members: Vec<NodeId> = g.nodes().collect();
+        let hl = HubLabels::build(&g, &members, usize::MAX >> 1).unwrap();
+        let avg = hl.n_entries() as f64 / 1600.0;
+        // Separator ordering keeps labels near O(√n); dense rows would be
+        // 1600 entries each.
+        assert!(avg < 120.0, "average label length {avg}");
+        // At 1600 nodes the 12-byte double-stored entries only halve the
+        // dense footprint; the gap widens with n (entries grow ~√n per
+        // node, dense rows grow linearly).
+        assert!(hl.memory_bytes() < 1600 * 1600 * 2 / 2);
+    }
+
+    #[test]
+    fn exact_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xFACE);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..60);
+            let p = rng.gen_range(0.02..0.3);
+            let g = generators::erdos_renyi(&mut rng, n, p);
+            let cc = connected_components(&g);
+            for c in 0..cc.n_components {
+                let members = cc.members(c);
+                let hl = HubLabels::build(&g, &members, usize::MAX >> 1)
+                    .unwrap_or_else(|| panic!("trial {trial}: build failed"));
+                let mut row = vec![0u16; members.len()];
+                for (i, &a) in members.iter().enumerate() {
+                    let fresh = bfs_distances(&g, a);
+                    hl.row_into(i as u32, &mut row);
+                    for (j, &b) in members.iter().enumerate() {
+                        assert_eq!(hl.distance(i as u32, j as u32), fresh[b as usize]);
+                        assert_eq!(u32::from(row[j]), fresh[b as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_matches_entry_count() {
+        let g = generators::grid4(10, 10);
+        let members: Vec<NodeId> = g.nodes().collect();
+        let hl = HubLabels::build(&g, &members, usize::MAX >> 1).unwrap();
+        // Forward + inverted: each entry stored twice at 6 bytes, plus two
+        // (k + 1)-length offset arrays.
+        let expect = hl.n_entries() * 12 + 2 * (hl.len() + 1) * 4;
+        assert_eq!(hl.memory_bytes(), expect);
+    }
+}

@@ -1,7 +1,8 @@
 //! Property-based tests for the graph substrate.
 
 use panda_graph::{
-    bfs, components::connected_components, generators, graph::GraphBuilder, Graph, INFINITE,
+    bfs, components::connected_components, generators, graph::GraphBuilder, ComponentDistances,
+    DistanceLookup, Graph, IndexBackend, INFINITE,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -12,6 +13,15 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
     (2u32..30, any::<u64>(), any::<u64>()).prop_map(|(n, seed, _)| {
         let mut rng = SmallRng::seed_from_u64(seed);
         generators::erdos_renyi(&mut rng, n, 0.2)
+    })
+}
+
+/// Sparse random graph with several components of mixed sizes — including
+/// edge-free (all-singleton) graphs when `p = 0`.
+fn arb_sparse_graph() -> impl Strategy<Value = Graph> {
+    (2u32..50, any::<u64>(), 0usize..3).prop_map(|(n, seed, pi)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generators::erdos_renyi(&mut rng, n, [0.0, 0.05, 0.15][pi])
     })
 }
 
@@ -115,6 +125,54 @@ proptest! {
             inc.add_edge(a, c);
         }
         prop_assert_eq!(built, inc);
+    }
+
+    /// Distance-oracle exactness across backend splits. A tiny tabulation
+    /// budget forces components above `⌊√budget⌋` nodes onto hub labels while
+    /// smaller ones (singletons included) stay dense, so a single random
+    /// graph exercises dense, hub-labelled, and threshold-straddling
+    /// components at once. Every answer must equal a fresh BFS.
+    #[test]
+    fn oracle_distances_match_bfs(g in arb_sparse_graph(), budget in 1usize..200) {
+        let idx = ComponentDistances::with_budgets(&g, budget, usize::MAX >> 8);
+        let mut seen = [false; 3];
+        for a in 0..g.n_nodes() {
+            seen[match idx.backend(a) {
+                IndexBackend::Dense => 0,
+                IndexBackend::HubLabels => 1,
+                IndexBackend::Unindexed => 2,
+            }] = true;
+            let fresh = bfs::bfs_distances(&g, a);
+            for b in 0..g.n_nodes() {
+                match idx.distance(a, b) {
+                    DistanceLookup::Known(d) => prop_assert_eq!(d, fresh[b as usize]),
+                    DistanceLookup::DifferentComponents => {
+                        prop_assert_eq!(fresh[b as usize], INFINITE);
+                    }
+                    DistanceLookup::NotIndexed => {
+                        prop_assert!(false, "oracle budget must cover small graphs");
+                    }
+                }
+            }
+        }
+        prop_assert!(!seen[2], "every component must be indexed");
+    }
+
+    /// `row_into` agrees with fresh BFS rows on both backends, with entries
+    /// positionally aligned to the sorted component membership.
+    #[test]
+    fn oracle_rows_match_bfs(g in arb_sparse_graph(), budget in 1usize..200) {
+        let idx = ComponentDistances::with_budgets(&g, budget, usize::MAX >> 8);
+        let mut row = Vec::new();
+        for v in 0..g.n_nodes() {
+            prop_assert!(idx.row_into(v, &mut row));
+            let fresh = bfs::bfs_distances(&g, v);
+            let members = idx.members_of(v);
+            prop_assert_eq!(row.len(), members.len());
+            for (&m, &d) in members.iter().zip(row.iter()) {
+                prop_assert_eq!(u32::from(d), fresh[m as usize]);
+            }
+        }
     }
 
     /// Partition cliques: same label ⟺ adjacent (for groups of ≥ 2).

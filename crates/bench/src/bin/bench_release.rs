@@ -21,7 +21,12 @@
 //!   build time, hub-label memory vs the dense-table equivalent, cold
 //!   distance-row derivation, and steady-state GEM release throughput over
 //!   one 50k-node connected component (9 216 nodes in quick mode),
-//!   appended as a `large_graph` section (schema v5).
+//!   appended as a `large_graph` section.
+//! * `--cluster` — also measure the sharded ingest tier: end-to-end
+//!   reports/sec through a `ShardRouter` fanning over 1, 2 and 4 loopback
+//!   shard nodes (each its own gateway + pipeline + server slice) against
+//!   the single-process pipeline, with the router's per-frame fan-out
+//!   overhead, appended as a `cluster` section (schema v6).
 //!
 //! Measures, per (mechanism × batch size × thread count): reports/sec and
 //! p50/p99 per-batch latency of [`ParallelReleaser`] against the
@@ -102,6 +107,18 @@ struct NetRow {
     reports_per_sec: f64,
     ack_p50_ms: f64,
     ack_p99_ms: f64,
+}
+
+struct ClusterRow {
+    topology: &'static str,
+    nodes: usize,
+    reports: usize,
+    reports_per_sec: f64,
+    ack_p50_ms: f64,
+    ack_p99_ms: f64,
+    /// Downstream sub-batches per client frame at the router (1.0 would
+    /// be free fan-out; the single-process row reports 0).
+    fanout_per_frame: f64,
 }
 
 struct LargeGraphRow {
@@ -395,6 +412,136 @@ fn bench_net(quick: bool) -> Vec<NetRow> {
     rows
 }
 
+/// The sharded ingest tier: one producer pushing the same batched stream
+/// (a) in-process through the pipeline (the single-process baseline) and
+/// (b) through a `ShardRouter` fanning over N loopback shard nodes, each
+/// behind its own shard-plane gateway with its own pipeline, release
+/// lanes and server slice. Wall-clock runs from the first submit to every
+/// node fully drained, so `reports_per_sec` is end-to-end aggregate
+/// cluster throughput; ack latency is the producer-observed per-frame
+/// round trip through the router (stamp + fan-out + downstream acks).
+fn bench_cluster(quick: bool) -> Vec<ClusterRow> {
+    use panda_net::{
+        GatewayClient, GatewayConfig, IngestGateway, RouterConfig, ShardBackend, ShardRouter,
+    };
+    use panda_surveillance::ingest::IngestPipeline;
+    use panda_surveillance::node::ShardNode;
+    use panda_surveillance::Server;
+    use std::sync::{Arc, Mutex};
+
+    let total: usize = if quick { 16_384 } else { 131_072 };
+    let chunk = 256usize;
+    let ingest_config = IngestConfig {
+        max_batch: 256,
+        max_delay: Duration::from_millis(1),
+        queue_capacity: 16_384,
+        eps: 1.0,
+        seed: 7,
+        ..Default::default()
+    };
+    let g = grid(16);
+    let index = || {
+        std::sync::Arc::new(PolicyIndex::new(LocationPolicyGraph::partition(
+            g.clone(),
+            2,
+            2,
+        )))
+    };
+    let trace = make_trace_for(0, total);
+    let mut rows = Vec::new();
+
+    // Single-process baseline: the same stream straight into one pipeline.
+    {
+        let server = Arc::new(Server::with_shards(g.clone(), 16));
+        let pipeline = IngestPipeline::spawn(
+            Arc::clone(&server),
+            index(),
+            Arc::new(GraphExponential),
+            ingest_config.clone(),
+        );
+        let handle = pipeline.handle();
+        let t0 = Instant::now();
+        let mut lat = Vec::with_capacity(total / chunk + 1);
+        for batch in trace.chunks(chunk) {
+            let b0 = Instant::now();
+            handle.submit_batch(batch).expect("pipeline alive");
+            lat.push(b0.elapsed().as_secs_f64() * 1e3);
+        }
+        let stats = pipeline.shutdown();
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(stats.landed, total);
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rows.push(ClusterRow {
+            topology: "single-process",
+            nodes: 1,
+            reports: total,
+            reports_per_sec: total as f64 / wall,
+            ack_p50_ms: percentile(&lat, 0.5),
+            ack_p99_ms: percentile(&lat, 0.99),
+            fanout_per_frame: 0.0,
+        });
+    }
+
+    for n in [1usize, 2, 4] {
+        let nodes: Vec<ShardNode> = (0..n)
+            .map(|_| {
+                ShardNode::spawn(
+                    Arc::new(Server::with_shards(g.clone(), 16)),
+                    index(),
+                    Arc::new(GraphExponential),
+                    ingest_config.clone(),
+                )
+            })
+            .collect();
+        let gateways: Vec<IngestGateway> = nodes
+            .iter()
+            .map(|node| {
+                IngestGateway::bind_with("127.0.0.1:0", node.handle(), GatewayConfig::shard_plane())
+                    .expect("bind shard gateway")
+            })
+            .collect();
+        let backends = gateways
+            .iter()
+            .map(|gw| {
+                ShardBackend::Remote(Mutex::new(
+                    GatewayClient::connect(gw.local_addr()).expect("connect shard link"),
+                ))
+            })
+            .collect();
+        let router = ShardRouter::bind("127.0.0.1:0", backends, RouterConfig::default())
+            .expect("bind router");
+        let mut client = GatewayClient::connect(router.local_addr()).expect("connect router");
+        let t0 = Instant::now();
+        let mut lat = Vec::with_capacity(total / chunk + 1);
+        for batch in trace.chunks(chunk) {
+            let b0 = Instant::now();
+            client.submit_batch(batch).expect("router alive");
+            lat.push(b0.elapsed().as_secs_f64() * 1e3);
+        }
+        client.shutdown().expect("clean shutdown");
+        let router_stats = router.shutdown();
+        for gw in gateways {
+            gw.shutdown();
+        }
+        let landed: usize = nodes.into_iter().map(|node| node.shutdown().landed).sum();
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(landed, total, "{n}-node cluster: every report must land");
+        assert_eq!(router_stats.reports_routed as usize, total);
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let frames = total.div_ceil(chunk) as f64;
+        rows.push(ClusterRow {
+            topology: "cluster",
+            nodes: n,
+            reports: total,
+            reports_per_sec: total as f64 / wall,
+            ack_p50_ms: percentile(&lat, 0.5),
+            ack_p99_ms: percentile(&lat, 0.99),
+            fanout_per_frame: router_stats.fanout_batches as f64 / frames,
+        });
+    }
+    rows
+}
+
 /// The deterministic per-client workload of [`bench_net`] (free function
 /// so the worker closures stay `move`-only).
 fn make_trace_for(c: usize, per_client: usize) -> Vec<panda_surveillance::ingest::PendingReport> {
@@ -609,6 +756,7 @@ fn main() {
     let streaming_mode = std::env::args().any(|a| a == "--streaming");
     let net_mode = std::env::args().any(|a| a == "--net");
     let large_graph_mode = std::env::args().any(|a| a == "--large-graph");
+    let cluster_mode = std::env::args().any(|a| a == "--cluster");
     let hw = panda_core::release::pool::default_parallelism();
     println!(
         "release-engine bench ({} mode, {hw} hardware threads)\n",
@@ -678,6 +826,28 @@ fn main() {
         Vec::new()
     };
 
+    let cluster = if cluster_mode {
+        let rows = bench_cluster(quick);
+        println!(
+            "\ncluster         nodes  reports  reports/s  ack p50 ms  ack p99 ms  fanout/frame"
+        );
+        for c in &rows {
+            println!(
+                "{:<14}  {:<5}  {:<7}  {:<9.0}  {:<10.4}  {:<10.4}  {:.3}",
+                c.topology,
+                c.nodes,
+                c.reports,
+                c.reports_per_sec,
+                c.ack_p50_ms,
+                c.ack_p99_ms,
+                c.fanout_per_frame
+            );
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+
     let large_graph = if large_graph_mode {
         let rows = bench_large_graph(quick);
         println!(
@@ -738,7 +908,7 @@ fn main() {
 
     // Hand-assembled JSON (the offline workspace carries no JSON crate).
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"panda-bench-release/v5\",\n");
+    json.push_str("  \"schema\": \"panda-bench-release/v6\",\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -809,6 +979,25 @@ fn main() {
                 n.ack_p50_ms,
                 n.ack_p99_ms,
                 if i + 1 < net.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+    }
+    if !cluster.is_empty() {
+        json.push_str("  \"cluster\": [\n");
+        for (i, c) in cluster.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"topology\": \"{}\", \"nodes\": {}, \"reports\": {}, \
+                 \"reports_per_sec\": {:.0}, \"ack_p50_ms\": {:.4}, \"ack_p99_ms\": {:.4}, \
+                 \"fanout_per_frame\": {:.3}}}{}\n",
+                c.topology,
+                c.nodes,
+                c.reports,
+                c.reports_per_sec,
+                c.ack_p50_ms,
+                c.ack_p99_ms,
+                c.fanout_per_frame,
+                if i + 1 < cluster.len() { "," } else { "" }
             ));
         }
         json.push_str("  ],\n");

@@ -10,12 +10,15 @@
 //! so report order — and therefore the pipeline's arrival-sequence
 //! determinism — is preserved across retries.
 
+use crate::mailbox::ServerMessage;
 use crate::wire::{
-    encode_frame, encode_submit_batch, read_frame, Frame, NackReason, ReadFrameError,
-    MAX_REPORTS_PER_FRAME,
+    encode_frame, encode_submit_batch, encode_submit_sequenced, read_frame, Frame, NackReason,
+    ReadFrameError, MAX_REPORTS_PER_FRAME,
 };
 use panda_core::LocationPolicyGraph;
-use panda_surveillance::ingest::PendingReport;
+use panda_mobility::UserId;
+use panda_surveillance::ingest::{PendingReport, SequencedReport};
+use panda_surveillance::protocol::{LocationReport, PolicyAssignment, ResendRequest};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -243,6 +246,123 @@ impl GatewayClient {
             }
         }
         Ok(())
+    }
+
+    /// Submits upstream-sequenced reports (shard plane only, see
+    /// [`crate::GatewayConfig::shard_plane`]) and returns the accepted
+    /// prefix length — **one attempt per frame, no backpressure retry**.
+    /// The router calls this on its downstream links: riding out
+    /// backpressure here would hide a full shard from the routing tier's
+    /// own honest-prefix accounting, so partial progress is returned
+    /// instead of retried.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] when the node behind the link has shut
+    /// down; the transport/protocol variants otherwise.
+    pub fn submit_sequenced(&mut self, reports: &[SequencedReport]) -> Result<usize, ClientError> {
+        let mut accepted_total = 0usize;
+        for chunk in reports.chunks(MAX_REPORTS_PER_FRAME) {
+            self.send_buf.clear();
+            encode_submit_sequenced(chunk, &mut self.send_buf);
+            match self.exchange()? {
+                Frame::Ack { accepted } => {
+                    if accepted as usize != chunk.len() {
+                        return Err(ClientError::UnexpectedReply);
+                    }
+                    accepted_total += chunk.len();
+                }
+                Frame::Nack {
+                    reason: NackReason::Backpressure,
+                    accepted,
+                } => {
+                    if accepted as usize >= chunk.len() {
+                        return Err(ClientError::UnexpectedReply);
+                    }
+                    return Ok(accepted_total + accepted as usize);
+                }
+                Frame::Nack { reason, .. } => return Err(nack_error(reason)),
+                _ => return Err(ClientError::UnexpectedReply),
+            }
+        }
+        Ok(accepted_total)
+    }
+
+    /// Sends one already-perturbed report (a client-side release — the
+    /// re-send protocol's output) to land verbatim, riding out
+    /// backpressure per the retry policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Saturated`] when the retry budget runs out; the
+    /// transport/protocol variants otherwise.
+    pub fn send_report(&mut self, report: LocationReport) -> Result<(), ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.round_trip(&Frame::Report(report))? {
+                Frame::Ack { .. } => return Ok(()),
+                Frame::Nack {
+                    reason: NackReason::Backpressure,
+                    ..
+                } => {
+                    attempts += 1;
+                    self.backpressure_retries += 1;
+                    if attempts >= self.retry.max_attempts {
+                        return Err(ClientError::Saturated);
+                    }
+                    std::thread::sleep(self.retry.backoff);
+                }
+                Frame::Nack { reason, .. } => return Err(nack_error(reason)),
+                _ => return Err(ClientError::UnexpectedReply),
+            }
+        }
+    }
+
+    /// Polls the server for `user`'s oldest pending server-initiated
+    /// message (a policy assignment or re-send request); `None` when the
+    /// mailbox is empty.
+    ///
+    /// # Errors
+    ///
+    /// The transport/protocol variants.
+    pub fn fetch(&mut self, user: UserId) -> Result<Option<ServerMessage>, ClientError> {
+        match self.round_trip(&Frame::Fetch { user })? {
+            Frame::Assign(a) => Ok(Some(ServerMessage::Assign(a))),
+            Frame::Resend(r) => Ok(Some(ServerMessage::Resend(r))),
+            Frame::Ack { .. } => Ok(None),
+            Frame::Nack { reason, .. } => Err(nack_error(reason)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Enqueues a policy assignment for its user's next fetch (operator
+    /// plane only).
+    ///
+    /// # Errors
+    ///
+    /// The transport/protocol variants; [`ClientError::Rejected`] on a
+    /// data-plane listener.
+    pub fn push_assignment(&mut self, assignment: &PolicyAssignment) -> Result<(), ClientError> {
+        self.expect_plain_ack(&Frame::Assign(assignment.clone()))
+    }
+
+    /// Enqueues a re-send request for its user's next fetch (operator
+    /// plane only).
+    ///
+    /// # Errors
+    ///
+    /// The transport/protocol variants; [`ClientError::Rejected`] on a
+    /// data-plane listener.
+    pub fn push_resend(&mut self, request: &ResendRequest) -> Result<(), ClientError> {
+        self.expect_plain_ack(&Frame::Resend(request.clone()))
+    }
+
+    fn expect_plain_ack(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        match self.round_trip(frame)? {
+            Frame::Ack { .. } => Ok(()),
+            Frame::Nack { reason, .. } => Err(nack_error(reason)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
     }
 
     /// Applies `policy` to every report this connection submits afterwards

@@ -3,7 +3,8 @@
 //!
 //! One acceptor thread takes connections; each connection gets its own
 //! handler thread that decodes frames incrementally and answers every
-//! client frame in order:
+//! client frame in order (the socket machinery is the shared
+//! [`crate::listener`] core, also behind the shard router):
 //!
 //! * [`Frame::Submit`] / [`Frame::SubmitBatch`] → `try_submit` /
 //!   `try_submit_batch` on the pipeline queue. Success is
@@ -11,15 +12,26 @@
 //!   [`Frame::Nack`]`{Backpressure, accepted}` (for a batch, `accepted`
 //!   counts the enqueued prefix) — the handler **never blocks on the
 //!   queue**, so one slow pipeline cannot wedge every socket thread;
+//! * [`Frame::Report`] → `try_submit_released`: an already-perturbed
+//!   client-side release (the re-send protocol's output) lands verbatim;
+//! * [`Frame::Fetch`] → answers with the user's oldest pending
+//!   [`Frame::Assign`] / [`Frame::Resend`] from the gateway [`Mailbox`],
+//!   or `Ack{0}` when none is pending;
 //! * [`Frame::SwitchPolicy`] → on an operator-plane listener
 //!   ([`GatewayConfig::allow_wire_policy_switch`]), builds a fresh
 //!   `PolicyIndex` and routes it in-band through the queue; on the
 //!   default data plane it is a protocol violation — untrusted reporters
-//!   must not rewrite everyone's privacy policy;
+//!   must not rewrite everyone's privacy policy. [`Frame::Assign`] and
+//!   [`Frame::Resend`] are operator-plane too: they enqueue the
+//!   server-initiated half of the re-send protocol into the mailbox;
+//! * [`Frame::SubmitSequenced`] → only on a shard plane
+//!   ([`GatewayConfig::shard_plane`]): upstream-stamped arrival sequence
+//!   numbers key the RNG streams, so accepting them from untrusted
+//!   clients would let a reporter choose its noise;
 //! * [`Frame::Shutdown`] → acknowledged, then the connection closes;
-//! * undecodable bytes, or a frame that is not valid client → server
-//!   traffic → [`Frame::Nack`]`{Malformed}` and the connection closes.
-//!   The pipeline is untouched — one hostile client never poisons the
+//! * undecodable bytes, or a frame that is not valid on this plane →
+//!   [`Frame::Nack`]`{Malformed}` and the connection closes. The
+//!   pipeline is untouched — one hostile client never poisons the
 //!   stream of the others.
 //!
 //! [`IngestGateway::shutdown`] stops accepting, lets every handler finish
@@ -28,11 +40,12 @@
 //! definition, so `gateway.shutdown()` followed by `pipeline.shutdown()`
 //! loses no acknowledged report.
 
-use crate::wire::{encode_frame, Frame, FrameDecoder, NackReason};
+use crate::listener::{CoreStats, Disposition, FrameService, Listener};
+use crate::mailbox::{Mailbox, ServerMessage};
+use crate::wire::{encode_frame, Frame, NackReason};
 use panda_core::PolicyIndex;
 use panda_surveillance::ingest::{IngestHandle, TrySubmitError, TrySwitchError};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -61,17 +74,26 @@ pub struct GatewayConfig {
     /// (counted in [`GatewayStats::rejected_connections`]) until one
     /// closes.
     pub max_connections: usize,
-    /// Whether [`Frame::SwitchPolicy`] is honoured from this listener.
+    /// Whether [`Frame::SwitchPolicy`], [`Frame::Assign`] and
+    /// [`Frame::Resend`] are honoured from this listener.
     ///
     /// **Off by default**: a policy switch weakens or changes the privacy
-    /// guarantee of every later report from *every* client, so it is a
-    /// privileged control operation — an open ingest port serving
-    /// untrusted reporters must refuse it (the gateway answers
-    /// `Nack{Malformed}` and drops the connection, like any other
-    /// protocol violation). Enable only on a listener reserved for the
-    /// trusted operator plane (loopback, an authenticated sidecar, or a
-    /// firewalled admin port).
+    /// guarantee of every later report from *every* client, and
+    /// assignments/re-send requests impersonate the server half of the
+    /// re-send protocol — privileged control operations all. An open
+    /// ingest port serving untrusted reporters must refuse them (the
+    /// gateway answers `Nack{Malformed}` and drops the connection, like
+    /// any other protocol violation). Enable only on a listener reserved
+    /// for the trusted operator plane (loopback, an authenticated
+    /// sidecar, or a firewalled admin port).
     pub allow_wire_policy_switch: bool,
+    /// Whether [`Frame::SubmitSequenced`] is honoured from this listener.
+    ///
+    /// **Off by default**: the stamped sequence numbers key the
+    /// per-report RNG streams, so a client that chooses them chooses its
+    /// own noise. Enable only on a shard node's listener serving a
+    /// trusted routing tier ([`GatewayConfig::shard_plane`]).
+    pub allow_sequenced_submit: bool,
 }
 
 impl Default for GatewayConfig {
@@ -83,6 +105,7 @@ impl Default for GatewayConfig {
             idle_timeout: Duration::from_secs(60),
             max_connections: 1024,
             allow_wire_policy_switch: false,
+            allow_sequenced_submit: false,
         }
     }
 }
@@ -97,6 +120,18 @@ impl GatewayConfig {
             ..Default::default()
         }
     }
+
+    /// The config for a shard node's listener serving a trusted routing
+    /// tier: sequenced submission **and** operator frames are honoured
+    /// (the router forwards policy broadcasts down the same link).
+    #[must_use]
+    pub fn shard_plane() -> Self {
+        GatewayConfig {
+            allow_wire_policy_switch: true,
+            allow_sequenced_submit: true,
+            ..Default::default()
+        }
+    }
 }
 
 /// Lifetime counters of a gateway, snapshotted by [`IngestGateway::stats`].
@@ -106,6 +141,10 @@ pub struct GatewayStats {
     pub connections: u64,
     /// Connections dropped at the [`GatewayConfig::max_connections`] cap.
     pub rejected_connections: u64,
+    /// Connections that ended non-cleanly: read/write error, idle
+    /// timeout, or a protocol violation (a clean `Shutdown` or EOF does
+    /// not count).
+    pub dropped_connections: u64,
     /// Frames decoded across all connections.
     pub frames: u64,
     /// Reports enqueued into the pipeline (and therefore acked).
@@ -118,42 +157,56 @@ pub struct GatewayStats {
     pub malformed_nacks: u64,
     /// In-band policy switches applied.
     pub policy_switches: u64,
+    /// Mailbox fetches answered with a pending [`ServerMessage`].
+    pub fetches_served: u64,
 }
 
+/// Service-level counters (socket-level ones live in [`CoreStats`]).
 #[derive(Default)]
-struct StatsInner {
-    connections: AtomicU64,
-    rejected_connections: AtomicU64,
-    frames: AtomicU64,
+struct ServiceStats {
     reports_enqueued: AtomicU64,
     backpressure_nacks: AtomicU64,
     closed_nacks: AtomicU64,
-    malformed_nacks: AtomicU64,
     policy_switches: AtomicU64,
+    fetches_served: AtomicU64,
 }
 
-impl StatsInner {
-    fn snapshot(&self) -> GatewayStats {
-        GatewayStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
-            frames: self.frames.load(Ordering::Relaxed),
-            reports_enqueued: self.reports_enqueued.load(Ordering::Relaxed),
-            backpressure_nacks: self.backpressure_nacks.load(Ordering::Relaxed),
-            closed_nacks: self.closed_nacks.load(Ordering::Relaxed),
-            malformed_nacks: self.malformed_nacks.load(Ordering::Relaxed),
-            policy_switches: self.policy_switches.load(Ordering::Relaxed),
-        }
-    }
+/// One connection's submission counters, snapshotted by
+/// [`IngestGateway::connection_stats`] — the router's per-downstream
+/// health view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Reports this connection has had accepted (acked into the queue).
+    pub accepted: u64,
+    /// Nack replies this connection has received.
+    pub nacked: u64,
+    /// Whether the connection is still being served.
+    pub live: bool,
+}
+
+/// Live per-connection counters, registered at accept.
+#[derive(Default)]
+struct ConnCounters {
+    accepted: AtomicU64,
+    nacked: AtomicU64,
+    live: AtomicBool,
+}
+
+/// The gateway's [`FrameService`]: frames drive the ingest pipeline.
+struct PipelineService {
+    ingest: IngestHandle,
+    config: GatewayConfig,
+    core: Arc<CoreStats>,
+    stats: Arc<ServiceStats>,
+    mailbox: Arc<Mailbox>,
+    connections: Mutex<Vec<Arc<ConnCounters>>>,
 }
 
 /// A running TCP ingest gateway; dropping it shuts it down.
 pub struct IngestGateway {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-    stats: Arc<StatsInner>,
+    listener: Listener<PipelineService>,
+    service: Arc<PipelineService>,
 }
 
 impl IngestGateway {
@@ -178,27 +231,39 @@ impl IngestGateway {
         ingest: IngestHandle,
         config: GatewayConfig,
     ) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let handlers = Arc::new(Mutex::new(Vec::new()));
-        let stats = Arc::new(StatsInner::default());
-        let acceptor = {
-            let (stop, handlers, stats) =
-                (Arc::clone(&stop), Arc::clone(&handlers), Arc::clone(&stats));
-            std::thread::Builder::new()
-                .name("panda-gateway-accept".into())
-                .spawn(move || {
-                    accept_loop(listener, ingest, config, stop, handlers, stats);
-                })
-                .expect("spawn gateway acceptor")
-        };
+        Self::bind_shared(addr, ingest, config, Arc::new(Mailbox::new()))
+    }
+
+    /// [`IngestGateway::bind_with`] with an explicit [`Mailbox`], so a
+    /// data-plane and an operator-plane listener over the same pipeline
+    /// can share one: the operator enqueues [`Frame::Assign`] /
+    /// [`Frame::Resend`] on its plane, reporters poll [`Frame::Fetch`] on
+    /// theirs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_shared(
+        addr: impl ToSocketAddrs,
+        ingest: IngestHandle,
+        config: GatewayConfig,
+        mailbox: Arc<Mailbox>,
+    ) -> std::io::Result<Self> {
+        let core = Arc::new(CoreStats::default());
+        let service = Arc::new(PipelineService {
+            ingest,
+            config: config.clone(),
+            core: Arc::clone(&core),
+            stats: Arc::new(ServiceStats::default()),
+            mailbox,
+            connections: Mutex::new(Vec::new()),
+        });
+        let listener = Listener::bind(addr, Arc::clone(&service), config, core, "panda-gateway")?;
+        let addr = listener.local_addr();
         Ok(IngestGateway {
             addr,
-            stop,
-            acceptor: Some(acceptor),
-            handlers,
-            stats,
+            listener,
+            service,
         })
     }
 
@@ -207,9 +272,47 @@ impl IngestGateway {
         self.addr
     }
 
+    /// The mailbox backing this gateway's [`Frame::Fetch`] /
+    /// [`Frame::Assign`] / [`Frame::Resend`] handling.
+    pub fn mailbox(&self) -> Arc<Mailbox> {
+        Arc::clone(&self.service.mailbox)
+    }
+
     /// A snapshot of the lifetime counters.
     pub fn stats(&self) -> GatewayStats {
-        self.stats.snapshot()
+        let core = &self.service.core;
+        let stats = &self.service.stats;
+        GatewayStats {
+            connections: core.connections.load(Ordering::Relaxed),
+            rejected_connections: core.rejected_connections.load(Ordering::Relaxed),
+            dropped_connections: core.dropped_connections.load(Ordering::Relaxed),
+            frames: core.frames.load(Ordering::Relaxed),
+            reports_enqueued: stats.reports_enqueued.load(Ordering::Relaxed),
+            backpressure_nacks: stats.backpressure_nacks.load(Ordering::Relaxed),
+            closed_nacks: stats.closed_nacks.load(Ordering::Relaxed),
+            malformed_nacks: core.malformed_nacks.load(Ordering::Relaxed),
+            policy_switches: stats.policy_switches.load(Ordering::Relaxed),
+            fetches_served: stats.fetches_served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-connection submission counters: every connection still being
+    /// served, plus those that closed since the last accept pruned the
+    /// registry. The router reads this (with
+    /// [`IngestHandle::queue_len`](panda_surveillance::ingest::IngestHandle::queue_len))
+    /// as its downstream health view.
+    pub fn connection_stats(&self) -> Vec<ConnectionStats> {
+        self.service
+            .connections
+            .lock()
+            .expect("connection registry poisoned")
+            .iter()
+            .map(|c| ConnectionStats {
+                accepted: c.accepted.load(Ordering::Relaxed),
+                nacked: c.nacked.load(Ordering::Relaxed),
+                live: c.live.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Graceful shutdown: stop accepting, drain every live connection
@@ -218,353 +321,233 @@ impl IngestGateway {
     /// this returns sits in the pipeline queue — follow with
     /// `IngestPipeline::shutdown()` to land them all.
     pub fn shutdown(mut self) -> GatewayStats {
-        self.shutdown_in_place();
-        self.stats.snapshot()
-    }
-
-    fn shutdown_in_place(&mut self) {
-        let Some(acceptor) = self.acceptor.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::SeqCst);
-        // The acceptor polls a non-blocking listener, so it observes the
-        // flag within one poll interval (no wake-up connection needed —
-        // connecting could itself fail under fd exhaustion).
-        acceptor.join().expect("gateway acceptor panicked");
-        let handlers =
-            std::mem::take(&mut *self.handlers.lock().expect("handler registry poisoned"));
-        for h in handlers {
-            h.join().expect("gateway connection handler panicked");
-        }
+        self.listener.shutdown_in_place();
+        self.stats()
     }
 }
 
-impl Drop for IngestGateway {
-    fn drop(&mut self) {
-        self.shutdown_in_place();
-    }
-}
+impl FrameService for PipelineService {
+    type Conn = Arc<ConnCounters>;
 
-fn accept_loop(
-    listener: TcpListener,
-    ingest: IngestHandle,
-    config: GatewayConfig,
-    stop: Arc<AtomicBool>,
-    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-    stats: Arc<StatsInner>,
-) {
-    // Polling a non-blocking listener (instead of parking in `accept`)
-    // keeps shutdown independent of network traffic: the stop flag is
-    // observed within one poll interval even under fd exhaustion, when a
-    // wake-up connection could not be made. The idle poll is 1 ms — cheap
-    // on an idle acceptor thread, and small enough not to tax connect
-    // latency or per-connection benchmarks.
-    const ACCEPT_POLL: Duration = Duration::from_millis(1);
-    listener
-        .set_nonblocking(true)
-        .expect("set gateway listener non-blocking");
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
+    fn open(&self) -> Arc<ConnCounters> {
+        let counters = Arc::new(ConnCounters {
+            live: AtomicBool::new(true),
+            ..Default::default()
+        });
+        let mut registry = self
+            .connections
+            .lock()
+            .expect("connection registry poisoned");
+        // Prune entries whose connection has closed, so a long-lived
+        // gateway's registry tracks churn instead of history.
+        registry.retain(|c| c.live.load(Ordering::Relaxed));
+        registry.push(Arc::clone(&counters));
+        counters
+    }
+
+    /// Which frame tags this listener is willing to *decode*: submissions
+    /// (pending and released), fetch polls and clean shutdown always;
+    /// policy switches, assignments and re-send requests only on the
+    /// operator plane; sequenced submission only on a shard plane.
+    /// Everything else — server → client tags, unknown tags — is refused
+    /// at header cost.
+    fn permits(&self, t: u8) -> bool {
+        use crate::wire::tag;
+        matches!(
+            t,
+            tag::SUBMIT | tag::SUBMIT_BATCH | tag::SHUTDOWN | tag::REPORT | tag::FETCH
+        ) || (self.config.allow_wire_policy_switch
+            && matches!(t, tag::SWITCH_POLICY | tag::ASSIGN | tag::RESEND))
+            || (self.config.allow_sequenced_submit && t == tag::SUBMIT_SEQUENCED)
+    }
+
+    fn handle(
+        &self,
+        conn: &mut Arc<ConnCounters>,
+        frame: Frame,
+        replies: &mut Vec<u8>,
+    ) -> Disposition {
+        match frame {
+            Frame::Submit(report) => {
+                let outcome = match self.ingest.try_submit(report) {
+                    Ok(()) => Ok(1),
+                    Err(TrySubmitError::Full(_)) => Err((NackReason::Backpressure, 0)),
+                    Err(TrySubmitError::Closed(_)) => Err((NackReason::Closed, 0)),
+                };
+                self.reply_submission(conn, 1, outcome, replies)
             }
-            // Transient accept failures (per-connection resets, fd
-            // exhaustion) must not kill the loop — and must not spin it
-            // hot either; the longer pause gives the fd table room to
-            // recover.
-            Err(_) => {
-                std::thread::sleep(config.poll_interval);
-                continue;
+            Frame::SubmitBatch(reports) => {
+                let outcome = match self.ingest.try_submit_batch(&reports) {
+                    Ok(accepted) if accepted == reports.len() => Ok(accepted),
+                    Ok(accepted) => Err((NackReason::Backpressure, accepted)),
+                    Err(_) => Err((NackReason::Closed, 0)),
+                };
+                self.reply_submission(conn, reports.len(), outcome, replies)
             }
-        };
-        // Some platforms hand the accepted socket the listener's
-        // non-blocking flag; the handler's read-timeout logic expects a
-        // blocking stream.
-        if stream.set_nonblocking(false).is_err() {
-            continue;
-        }
-        let mut registry = handlers.lock().expect("handler registry poisoned");
-        // Reap finished handlers as connections churn, so a long-lived
-        // gateway holds registry entries (and thread stacks) only for
-        // live connections. Finished threads join instantly.
-        let mut live = Vec::with_capacity(registry.len() + 1);
-        for h in registry.drain(..) {
-            if h.is_finished() {
-                h.join().expect("gateway connection handler panicked");
-            } else {
-                live.push(h);
+            Frame::Report(report) => {
+                let outcome = match self.ingest.try_submit_released(&[report]) {
+                    Ok(1) => Ok(1),
+                    Ok(_) => Err((NackReason::Backpressure, 0)),
+                    Err(_) => Err((NackReason::Closed, 0)),
+                };
+                self.reply_submission(conn, 1, outcome, replies)
             }
-        }
-        // The connection cap: a thread + buffers per connection must not
-        // be mintable without bound by whoever can reach the port.
-        if live.len() >= config.max_connections.max(1) {
-            stats.rejected_connections.fetch_add(1, Ordering::Relaxed);
-            *registry = live;
-            drop(registry);
-            drop(stream);
-            continue;
-        }
-        stats.connections.fetch_add(1, Ordering::Relaxed);
-        let handler = {
-            let (ingest, stop, stats, config) = (
-                ingest.clone(),
-                Arc::clone(&stop),
-                Arc::clone(&stats),
-                config.clone(),
-            );
-            std::thread::Builder::new()
-                .name("panda-gateway-conn".into())
-                .spawn(move || serve_connection(stream, &ingest, &config, &stop, &stats))
-                .expect("spawn gateway connection handler")
-        };
-        live.push(handler);
-        *registry = live;
-    }
-}
-
-/// What a frame asks the connection to do next.
-enum Disposition {
-    /// Keep serving.
-    Continue,
-    /// Close after flushing replies (clean `Shutdown`, protocol
-    /// violation, or a decode error).
-    Close,
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
-    ingest: &IngestHandle,
-    config: &GatewayConfig,
-    stop: &AtomicBool,
-    stats: &StatsInner,
-) {
-    // Per-frame acks on a stream of small frames need low latency;
-    // timeouts keep both directions from wedging shutdown.
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(config.poll_interval));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let mut decoder = FrameDecoder::new();
-    let mut buf = vec![0u8; config.read_buf.max(1)];
-    let mut replies = Vec::new();
-    let mut eof = false;
-    let mut last_bytes = std::time::Instant::now();
-    loop {
-        if !eof {
-            match stream.read(&mut buf) {
-                Ok(0) => eof = true,
-                Ok(n) => {
-                    decoder.feed(&buf[..n]);
-                    last_bytes = std::time::Instant::now();
+            Frame::SubmitSequenced(reports) => {
+                if !self.config.allow_sequenced_submit {
+                    return self.violation(conn, replies);
                 }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
+                let outcome = match self.ingest.try_submit_sequenced(&reports) {
+                    Ok(accepted) if accepted == reports.len() => Ok(accepted),
+                    Ok(accepted) => Err((NackReason::Backpressure, accepted)),
+                    Err(_) => Err((NackReason::Closed, 0)),
+                };
+                self.reply_submission(conn, reports.len(), outcome, replies)
+            }
+            Frame::Fetch { user } => {
+                let reply = match self.mailbox.fetch(user) {
+                    Some(msg) => {
+                        self.stats.fetches_served.fetch_add(1, Ordering::Relaxed);
+                        msg.into_frame()
+                    }
+                    None => Frame::Ack { accepted: 0 },
+                };
+                encode_frame(&reply, replies);
+                Disposition::Continue
+            }
+            Frame::Assign(assignment) => {
+                if !self.config.allow_wire_policy_switch {
+                    return self.violation(conn, replies);
+                }
+                self.mailbox
+                    .push(assignment.user, ServerMessage::Assign(assignment));
+                encode_frame(&Frame::Ack { accepted: 0 }, replies);
+                Disposition::Continue
+            }
+            Frame::Resend(request) => {
+                if !self.config.allow_wire_policy_switch {
+                    return self.violation(conn, replies);
+                }
+                self.mailbox
+                    .push(request.user, ServerMessage::Resend(request));
+                encode_frame(&Frame::Ack { accepted: 0 }, replies);
+                Disposition::Continue
+            }
+            Frame::SwitchPolicy(policy) => {
+                if !self.config.allow_wire_policy_switch {
+                    // A policy switch changes the privacy guarantee for
+                    // every client; on a data-plane listener it is a
+                    // protocol violation, refused like any other hostile
+                    // frame.
+                    return self.violation(conn, replies);
+                }
+                // `try_switch_policy`, not the blocking variant: the
+                // handler contract is that socket threads never park on
+                // the queue. The operator client retries on backpressure
+                // like a submit.
+                let reply = match self
+                    .ingest
+                    .try_switch_policy(Arc::new(PolicyIndex::new(policy)))
                 {
-                    if stop.load(Ordering::SeqCst) {
-                        // Gateway shutdown: drain what already arrived,
-                        // reply, then close.
-                        eof = true;
-                    } else if last_bytes.elapsed() >= config.idle_timeout {
-                        // A silent socket must not pin a connection slot
-                        // forever; drop it (the client reconnects).
-                        break;
-                    } else {
-                        continue;
+                    Ok(()) => {
+                        self.stats.policy_switches.fetch_add(1, Ordering::Relaxed);
+                        Frame::Ack { accepted: 0 }
                     }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => break,
-            }
-        }
-        replies.clear();
-        let mut disposition = Disposition::Continue;
-        loop {
-            // Privilege is enforced at the tag, before payload decode: a
-            // data-plane client cannot make the server build a policy
-            // graph (or parse any other privileged/server-bound payload)
-            // just to have it refused.
-            match decoder.next_frame_permitted(|t| tag_permitted(t, config)) {
-                Ok(Some(frame)) => {
-                    stats.frames.fetch_add(1, Ordering::Relaxed);
-                    disposition = handle_frame(frame, ingest, config, stats, &mut replies);
-                    if matches!(disposition, Disposition::Close) {
-                        break;
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    // Framing is lost: refuse and drop the connection. The
-                    // pipeline never saw the bytes, so other clients are
-                    // unaffected.
-                    stats.malformed_nacks.fetch_add(1, Ordering::Relaxed);
-                    encode_frame(
-                        &Frame::Nack {
-                            reason: NackReason::Malformed,
-                            accepted: 0,
-                        },
-                        &mut replies,
-                    );
-                    disposition = Disposition::Close;
-                    break;
-                }
-            }
-        }
-        if !replies.is_empty() && stream.write_all(&replies).is_err() {
-            break;
-        }
-        if matches!(disposition, Disposition::Close) || eof {
-            break;
-        }
-        // A client that keeps the socket busy must not outlive shutdown:
-        // the flag is re-checked here, not only on idle read timeouts.
-        // One more iteration drains frames already buffered, then exits.
-        if stop.load(Ordering::SeqCst) {
-            eof = true;
-        }
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-}
-
-/// Which frame tags this listener is willing to *decode*: submissions and
-/// clean shutdown always; a policy switch only on the operator plane.
-/// Everything else — server → client tags, unknown tags — is refused at
-/// header cost.
-fn tag_permitted(t: u8, config: &GatewayConfig) -> bool {
-    use crate::wire::tag;
-    matches!(t, tag::SUBMIT | tag::SUBMIT_BATCH | tag::SHUTDOWN)
-        || (t == tag::SWITCH_POLICY && config.allow_wire_policy_switch)
-}
-
-/// Applies one decoded frame to the pipeline and queues the reply.
-fn handle_frame(
-    frame: Frame,
-    ingest: &IngestHandle,
-    config: &GatewayConfig,
-    stats: &StatsInner,
-    replies: &mut Vec<u8>,
-) -> Disposition {
-    match frame {
-        Frame::Submit(report) => {
-            let reply = match ingest.try_submit(report) {
-                Ok(()) => {
-                    stats.reports_enqueued.fetch_add(1, Ordering::Relaxed);
-                    Frame::Ack { accepted: 1 }
-                }
-                Err(TrySubmitError::Full(_)) => {
-                    stats.backpressure_nacks.fetch_add(1, Ordering::Relaxed);
-                    Frame::Nack {
-                        reason: NackReason::Backpressure,
-                        accepted: 0,
-                    }
-                }
-                Err(TrySubmitError::Closed(_)) => {
-                    stats.closed_nacks.fetch_add(1, Ordering::Relaxed);
-                    Frame::Nack {
-                        reason: NackReason::Closed,
-                        accepted: 0,
-                    }
-                }
-            };
-            encode_frame(&reply, replies);
-            Disposition::Continue
-        }
-        Frame::SubmitBatch(reports) => {
-            let reply = match ingest.try_submit_batch(&reports) {
-                Ok(accepted) => {
-                    stats
-                        .reports_enqueued
-                        .fetch_add(accepted as u64, Ordering::Relaxed);
-                    if accepted == reports.len() {
-                        Frame::Ack {
-                            accepted: accepted as u32,
-                        }
-                    } else {
-                        stats.backpressure_nacks.fetch_add(1, Ordering::Relaxed);
+                    Err(TrySwitchError::Full(_)) => {
+                        self.stats
+                            .backpressure_nacks
+                            .fetch_add(1, Ordering::Relaxed);
+                        conn.nacked.fetch_add(1, Ordering::Relaxed);
                         Frame::Nack {
                             reason: NackReason::Backpressure,
-                            accepted: accepted as u32,
+                            accepted: 0,
                         }
                     }
-                }
-                Err(_) => {
-                    stats.closed_nacks.fetch_add(1, Ordering::Relaxed);
-                    Frame::Nack {
-                        reason: NackReason::Closed,
-                        accepted: 0,
+                    Err(TrySwitchError::Closed(_)) => {
+                        self.stats.closed_nacks.fetch_add(1, Ordering::Relaxed);
+                        conn.nacked.fetch_add(1, Ordering::Relaxed);
+                        Frame::Nack {
+                            reason: NackReason::Closed,
+                            accepted: 0,
+                        }
                     }
-                }
-            };
-            encode_frame(&reply, replies);
-            Disposition::Continue
-        }
-        Frame::SwitchPolicy(policy) => {
-            if !config.allow_wire_policy_switch {
-                // A policy switch changes the privacy guarantee for every
-                // client; on a data-plane listener it is a protocol
-                // violation, refused like any other hostile frame.
-                stats.malformed_nacks.fetch_add(1, Ordering::Relaxed);
-                encode_frame(
-                    &Frame::Nack {
-                        reason: NackReason::Malformed,
-                        accepted: 0,
-                    },
-                    replies,
-                );
-                return Disposition::Close;
+                };
+                encode_frame(&reply, replies);
+                Disposition::Continue
             }
-            // `try_switch_policy`, not the blocking variant: the handler
-            // contract is that socket threads never park on the queue.
-            // The operator client retries on backpressure like a submit.
-            let reply = match ingest.try_switch_policy(Arc::new(PolicyIndex::new(policy))) {
-                Ok(()) => {
-                    stats.policy_switches.fetch_add(1, Ordering::Relaxed);
-                    Frame::Ack { accepted: 0 }
-                }
-                Err(TrySwitchError::Full(_)) => {
-                    stats.backpressure_nacks.fetch_add(1, Ordering::Relaxed);
-                    Frame::Nack {
-                        reason: NackReason::Backpressure,
-                        accepted: 0,
-                    }
-                }
-                Err(TrySwitchError::Closed(_)) => {
-                    stats.closed_nacks.fetch_add(1, Ordering::Relaxed);
-                    Frame::Nack {
-                        reason: NackReason::Closed,
-                        accepted: 0,
-                    }
-                }
-            };
-            encode_frame(&reply, replies);
-            Disposition::Continue
+            Frame::Shutdown => {
+                encode_frame(&Frame::Ack { accepted: 0 }, replies);
+                Disposition::Close
+            }
+            // Server → client frames arriving at the server are a
+            // protocol violation: refuse and close, exactly like
+            // undecodable bytes.
+            Frame::Ack { .. } | Frame::Nack { .. } => self.violation(conn, replies),
         }
-        Frame::Shutdown => {
-            encode_frame(&Frame::Ack { accepted: 0 }, replies);
-            Disposition::Close
+    }
+
+    fn closed(&self, conn: Arc<ConnCounters>, _dropped: bool) {
+        conn.live.store(false, Ordering::Relaxed);
+    }
+}
+
+impl PipelineService {
+    /// Encodes the Ack/Nack for a submission of `len` reports whose
+    /// try-path accepted `Ok(n)` or refused with a reason and an accepted
+    /// prefix, updating gateway and per-connection counters.
+    fn reply_submission(
+        &self,
+        conn: &Arc<ConnCounters>,
+        _len: usize,
+        outcome: Result<usize, (NackReason, usize)>,
+        replies: &mut Vec<u8>,
+    ) -> Disposition {
+        let reply = match outcome {
+            Ok(accepted) => {
+                self.count_accepted(conn, accepted);
+                Frame::Ack {
+                    accepted: accepted as u32,
+                }
+            }
+            Err((reason, accepted)) => {
+                self.count_accepted(conn, accepted);
+                match reason {
+                    NackReason::Backpressure => self
+                        .stats
+                        .backpressure_nacks
+                        .fetch_add(1, Ordering::Relaxed),
+                    _ => self.stats.closed_nacks.fetch_add(1, Ordering::Relaxed),
+                };
+                conn.nacked.fetch_add(1, Ordering::Relaxed);
+                Frame::Nack {
+                    reason,
+                    accepted: accepted as u32,
+                }
+            }
+        };
+        encode_frame(&reply, replies);
+        Disposition::Continue
+    }
+
+    fn count_accepted(&self, conn: &Arc<ConnCounters>, accepted: usize) {
+        if accepted > 0 {
+            self.stats
+                .reports_enqueued
+                .fetch_add(accepted as u64, Ordering::Relaxed);
+            conn.accepted.fetch_add(accepted as u64, Ordering::Relaxed);
         }
-        // Server → client frames arriving at the server are a protocol
-        // violation: refuse and close, exactly like undecodable bytes.
-        Frame::Ack { .. }
-        | Frame::Nack { .. }
-        | Frame::Report(_)
-        | Frame::Assign(_)
-        | Frame::Resend(_) => {
-            stats.malformed_nacks.fetch_add(1, Ordering::Relaxed);
-            encode_frame(
-                &Frame::Nack {
-                    reason: NackReason::Malformed,
-                    accepted: 0,
-                },
-                replies,
-            );
-            Disposition::Close
-        }
+    }
+
+    /// A protocol violation on this plane: `Nack{Malformed}` and drop.
+    fn violation(&self, conn: &Arc<ConnCounters>, replies: &mut Vec<u8>) -> Disposition {
+        self.core.malformed_nacks.fetch_add(1, Ordering::Relaxed);
+        conn.nacked.fetch_add(1, Ordering::Relaxed);
+        encode_frame(
+            &Frame::Nack {
+                reason: NackReason::Malformed,
+                accepted: 0,
+            },
+            replies,
+        );
+        Disposition::Drop
     }
 }

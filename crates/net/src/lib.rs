@@ -16,9 +16,17 @@
 //!   backpressure surfaces on the wire as [`NackReason::Backpressure`]
 //!   instead of blocking the socket thread;
 //! * [`client`] — [`GatewayClient`], a blocking SDK (connect, submit,
-//!   batch submit with retry-on-backpressure, in-band policy switch, clean
-//!   shutdown) so examples, tests and benches can drive the server
-//!   end-to-end over loopback.
+//!   batch submit with retry-on-backpressure, in-band policy switch,
+//!   re-send fetch/reply, clean shutdown) so examples, tests and benches
+//!   can drive the server end-to-end over loopback;
+//! * [`router`] — [`ShardRouter`], the routing tier of the sharded ingest
+//!   topology: it serves the same client-facing protocol, splits
+//!   submissions by `panda_surveillance::shard_of`, stamps each report
+//!   with a cluster-wide arrival sequence number, and fans sub-batches to
+//!   per-shard downstream nodes (in-process or remote gateways);
+//! * [`mailbox`] — [`Mailbox`], the per-user FIFO that turns the paper's
+//!   server-initiated pushes (policy assignments, re-send requests) into
+//!   client-polled fetches over the client-initiated transport.
 //!
 //! ## Determinism
 //!
@@ -26,16 +34,26 @@
 //! number**, so the transport cannot change the released cells: a single
 //! client submitting a trace over TCP lands a database byte-identical to
 //! in-process [`IngestHandle::submit`] calls in the same order, across
-//! flush timings and lane counts (CI-enforced). With several concurrent
-//! clients the *interleaving* at the gateway decides arrival order, exactly
-//! as concurrent in-process producers do.
+//! flush timings and lane counts (CI-enforced). The router preserves
+//! this across shards: it reserves one global sequence number per stream
+//! position and forwards it with the report, so an N-node cluster's
+//! merged database is byte-identical to the single-process pipeline for
+//! the same arrival order — including under mid-stream backpressure,
+//! where a retried report keeps its originally-reserved number. With
+//! several concurrent clients the *interleaving* at the gateway/router
+//! decides arrival order, exactly as concurrent in-process producers do.
 //!
 //! [`IngestHandle::submit`]: panda_surveillance::ingest::IngestHandle::submit
 
 pub mod client;
 pub mod gateway;
+mod listener;
+pub mod mailbox;
+pub mod router;
 pub mod wire;
 
 pub use client::{ClientError, GatewayClient, RetryPolicy};
-pub use gateway::{GatewayConfig, GatewayStats, IngestGateway};
+pub use gateway::{ConnectionStats, GatewayConfig, GatewayStats, IngestGateway};
+pub use mailbox::{Mailbox, ServerMessage};
+pub use router::{RouterConfig, RouterStats, ShardBackend, ShardRouter};
 pub use wire::{DecodeError, Frame, FrameDecoder, NackReason};

@@ -1,0 +1,336 @@
+//! The shared TCP listener core behind [`crate::IngestGateway`] and
+//! [`crate::router::ShardRouter`].
+//!
+//! Both tiers speak the same framed protocol with the same discipline —
+//! one acceptor thread, one handler thread per connection, incremental
+//! decode, tag-level privilege gating, batched replies, never blocking on
+//! a downstream queue — and differ only in *what a frame means*. That
+//! difference is the [`FrameService`] trait: the listener owns sockets,
+//! timeouts, the connection cap and shutdown; the service owns frame
+//! semantics and per-connection state.
+
+use crate::gateway::GatewayConfig;
+use crate::wire::{encode_frame, Frame, FrameDecoder, NackReason};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What a frame asks the connection to do next.
+pub(crate) enum Disposition {
+    /// Keep serving.
+    Continue,
+    /// Close after flushing replies — a **clean** end (`Frame::Shutdown`).
+    Close,
+    /// Close after flushing replies — a protocol violation; the
+    /// connection counts as dropped.
+    Drop,
+}
+
+/// Frame semantics plugged into a [`Listener`]: per-connection state,
+/// tag-level privilege, and what each decoded frame does.
+///
+/// `handle` runs on the connection's own thread and must never block on a
+/// downstream queue (use `try_*` submission paths); replies pushed into
+/// `replies` are written back in one batch per read burst.
+pub(crate) trait FrameService: Send + Sync + 'static {
+    /// Per-connection state, created at accept and returned at close.
+    type Conn: Send + 'static;
+
+    /// Called once per accepted connection.
+    fn open(&self) -> Self::Conn;
+
+    /// Which frame tags this listener decodes at all — refused tags fail
+    /// at header cost, before the payload is parsed (or has arrived).
+    fn permits(&self, tag: u8) -> bool;
+
+    /// Applies one decoded frame; queues any reply bytes onto `replies`.
+    fn handle(&self, conn: &mut Self::Conn, frame: Frame, replies: &mut Vec<u8>) -> Disposition;
+
+    /// Called once when the connection ends. `dropped` is true for every
+    /// non-clean end: read/write error, idle timeout, undecodable bytes,
+    /// or a [`Disposition::Drop`] from `handle`.
+    fn closed(&self, conn: Self::Conn, dropped: bool);
+}
+
+/// Socket-level lifetime counters every listener keeps, independent of
+/// its service's own accounting.
+#[derive(Default)]
+pub(crate) struct CoreStats {
+    pub connections: AtomicU64,
+    pub rejected_connections: AtomicU64,
+    pub dropped_connections: AtomicU64,
+    pub frames: AtomicU64,
+    pub malformed_nacks: AtomicU64,
+}
+
+/// A running framed-protocol listener; dropping it shuts it down.
+pub(crate) struct Listener<S: FrameService> {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    _service: std::marker::PhantomData<S>,
+}
+
+impl<S: FrameService> Listener<S> {
+    /// Binds on `addr` and starts accepting connections served by
+    /// `service`. `name` labels the acceptor/handler threads.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<S>,
+        config: GatewayConfig,
+        core: Arc<CoreStats>,
+        name: &'static str,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let (stop, handlers) = (Arc::clone(&stop), Arc::clone(&handlers));
+            std::thread::Builder::new()
+                .name(format!("{name}-accept"))
+                .spawn(move || {
+                    accept_loop(listener, service, config, stop, handlers, core, name);
+                })
+                .expect("spawn listener acceptor")
+        };
+        Ok(Listener {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            handlers,
+            _service: std::marker::PhantomData,
+        })
+    }
+
+    /// The bound address (with the resolved port when bound on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain every live connection
+    /// (frames already received are processed and answered), join all
+    /// threads.
+    pub fn shutdown_in_place(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The acceptor polls a non-blocking listener, so it observes the
+        // flag within one poll interval (no wake-up connection needed —
+        // connecting could itself fail under fd exhaustion).
+        acceptor.join().expect("listener acceptor panicked");
+        let handlers =
+            std::mem::take(&mut *self.handlers.lock().expect("handler registry poisoned"));
+        for h in handlers {
+            h.join().expect("connection handler panicked");
+        }
+    }
+}
+
+impl<S: FrameService> Drop for Listener<S> {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop<S: FrameService>(
+    listener: TcpListener,
+    service: Arc<S>,
+    config: GatewayConfig,
+    stop: Arc<AtomicBool>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    core: Arc<CoreStats>,
+    name: &'static str,
+) {
+    // Polling a non-blocking listener (instead of parking in `accept`)
+    // keeps shutdown independent of network traffic: the stop flag is
+    // observed within one poll interval even under fd exhaustion, when a
+    // wake-up connection could not be made. The idle poll is 1 ms — cheap
+    // on an idle acceptor thread, and small enough not to tax connect
+    // latency or per-connection benchmarks.
+    const ACCEPT_POLL: Duration = Duration::from_millis(1);
+    listener
+        .set_nonblocking(true)
+        .expect("set listener non-blocking");
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            // Transient accept failures (per-connection resets, fd
+            // exhaustion) must not kill the loop — and must not spin it
+            // hot either; the longer pause gives the fd table room to
+            // recover.
+            Err(_) => {
+                std::thread::sleep(config.poll_interval);
+                continue;
+            }
+        };
+        // Some platforms hand the accepted socket the listener's
+        // non-blocking flag; the handler's read-timeout logic expects a
+        // blocking stream.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let mut registry = handlers.lock().expect("handler registry poisoned");
+        // Reap finished handlers as connections churn, so a long-lived
+        // listener holds registry entries (and thread stacks) only for
+        // live connections. Finished threads join instantly.
+        let mut live = Vec::with_capacity(registry.len() + 1);
+        for h in registry.drain(..) {
+            if h.is_finished() {
+                h.join().expect("connection handler panicked");
+            } else {
+                live.push(h);
+            }
+        }
+        // The connection cap: a thread + buffers per connection must not
+        // be mintable without bound by whoever can reach the port.
+        if live.len() >= config.max_connections.max(1) {
+            core.rejected_connections.fetch_add(1, Ordering::Relaxed);
+            *registry = live;
+            drop(registry);
+            drop(stream);
+            continue;
+        }
+        core.connections.fetch_add(1, Ordering::Relaxed);
+        let handler = {
+            let (service, stop, core, config) = (
+                Arc::clone(&service),
+                Arc::clone(&stop),
+                Arc::clone(&core),
+                config.clone(),
+            );
+            std::thread::Builder::new()
+                .name(format!("{name}-conn"))
+                .spawn(move || serve_connection(stream, &*service, &config, &stop, &core))
+                .expect("spawn connection handler")
+        };
+        live.push(handler);
+        *registry = live;
+    }
+}
+
+fn serve_connection<S: FrameService>(
+    mut stream: TcpStream,
+    service: &S,
+    config: &GatewayConfig,
+    stop: &AtomicBool,
+    core: &CoreStats,
+) {
+    // Per-frame acks on a stream of small frames need low latency;
+    // timeouts keep both directions from wedging shutdown.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.poll_interval));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut conn = service.open();
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; config.read_buf.max(1)];
+    let mut replies = Vec::new();
+    let mut eof = false;
+    let mut dropped = false;
+    let mut last_bytes = std::time::Instant::now();
+    loop {
+        if !eof {
+            match stream.read(&mut buf) {
+                Ok(0) => eof = true,
+                Ok(n) => {
+                    decoder.feed(&buf[..n]);
+                    last_bytes = std::time::Instant::now();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        // Listener shutdown: drain what already arrived,
+                        // reply, then close.
+                        eof = true;
+                    } else if last_bytes.elapsed() >= config.idle_timeout {
+                        // A silent socket must not pin a connection slot
+                        // forever; drop it (the client reconnects).
+                        dropped = true;
+                        break;
+                    } else {
+                        continue;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dropped = true;
+                    break;
+                }
+            }
+        }
+        replies.clear();
+        let mut disposition = Disposition::Continue;
+        loop {
+            // Privilege is enforced at the tag, before payload decode: a
+            // data-plane client cannot make the server build a policy
+            // graph (or parse any other privileged/server-bound payload)
+            // just to have it refused.
+            match decoder.next_frame_permitted(|t| service.permits(t)) {
+                Ok(Some(frame)) => {
+                    core.frames.fetch_add(1, Ordering::Relaxed);
+                    disposition = service.handle(&mut conn, frame, &mut replies);
+                    if !matches!(disposition, Disposition::Continue) {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Framing is lost: refuse and drop the connection. The
+                    // downstream tier never saw the bytes, so other
+                    // clients are unaffected.
+                    core.malformed_nacks.fetch_add(1, Ordering::Relaxed);
+                    encode_frame(
+                        &Frame::Nack {
+                            reason: NackReason::Malformed,
+                            accepted: 0,
+                        },
+                        &mut replies,
+                    );
+                    disposition = Disposition::Drop;
+                    break;
+                }
+            }
+        }
+        if !replies.is_empty() && stream.write_all(&replies).is_err() {
+            dropped = true;
+            break;
+        }
+        match disposition {
+            Disposition::Close => break,
+            Disposition::Drop => {
+                dropped = true;
+                break;
+            }
+            Disposition::Continue => {}
+        }
+        if eof {
+            break;
+        }
+        // A client that keeps the socket busy must not outlive shutdown:
+        // the flag is re-checked here, not only on idle read timeouts.
+        // One more iteration drains frames already buffered, then exits.
+        if stop.load(Ordering::SeqCst) {
+            eof = true;
+        }
+    }
+    if dropped {
+        core.dropped_connections.fetch_add(1, Ordering::Relaxed);
+    }
+    service.closed(conn, dropped);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

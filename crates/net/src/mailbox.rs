@@ -1,0 +1,127 @@
+//! [`Mailbox`]: the server-initiated half of the re-send protocol over a
+//! client-initiated transport.
+//!
+//! The paper's server *pushes* [`PolicyAssignment`]s and
+//! [`ResendRequest`]s at clients, but reporters connect outbound and the
+//! gateway never dials back. The mailbox inverts the push: the operator
+//! plane enqueues a request per user ([`Frame::Assign`] /
+//! [`Frame::Resend`] frames), and the user's next data-plane
+//! [`Frame::Fetch`] poll collects it — one request per poll, FIFO per
+//! user, so the strict request/reply framing of the wire holds.
+
+use crate::wire::Frame;
+use panda_mobility::UserId;
+use panda_surveillance::protocol::{PolicyAssignment, ResendRequest};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// A server-initiated message waiting for its user to poll.
+#[derive(Debug, Clone)]
+pub enum ServerMessage {
+    /// A policy assignment to apply (subject to client consent).
+    Assign(PolicyAssignment),
+    /// A re-send request over an epoch window.
+    Resend(ResendRequest),
+}
+
+impl ServerMessage {
+    /// The wire frame answering the fetch that collects this message.
+    pub(crate) fn into_frame(self) -> Frame {
+        match self {
+            ServerMessage::Assign(a) => Frame::Assign(a),
+            ServerMessage::Resend(r) => Frame::Resend(r),
+        }
+    }
+}
+
+/// Per-user FIFO queues of pending server-initiated messages, shared
+/// between a gateway/router's operator plane (which enqueues) and its
+/// data plane (which serves fetch polls).
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    inner: Mutex<HashMap<UserId, VecDeque<ServerMessage>>>,
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a message for `user`'s next fetch.
+    pub fn push(&self, user: UserId, msg: ServerMessage) {
+        self.inner
+            .lock()
+            .expect("mailbox poisoned")
+            .entry(user)
+            .or_default()
+            .push_back(msg);
+    }
+
+    /// Collects the oldest pending message for `user`, if any.
+    pub fn fetch(&self, user: UserId) -> Option<ServerMessage> {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        let queue = inner.get_mut(&user)?;
+        let msg = queue.pop_front();
+        if queue.is_empty() {
+            inner.remove(&user);
+        }
+        msg
+    }
+
+    /// Total messages pending across all users.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("mailbox poisoned")
+            .values()
+            .map(VecDeque::len)
+            .sum()
+    }
+
+    /// Whether no message is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_core::LocationPolicyGraph;
+    use panda_geo::GridMap;
+
+    fn resend(user: u32, from: u32) -> ServerMessage {
+        ServerMessage::Resend(ResendRequest {
+            user: UserId(user),
+            from,
+            to: from + 4,
+            policy: LocationPolicyGraph::isolated(GridMap::new(2, 2, 50.0)),
+            eps_per_epoch: 0.5,
+        })
+    }
+
+    #[test]
+    fn fifo_per_user_and_isolated_across_users() {
+        let mb = Mailbox::new();
+        mb.push(UserId(1), resend(1, 0));
+        mb.push(UserId(1), resend(1, 8));
+        mb.push(UserId(2), resend(2, 3));
+        assert_eq!(mb.len(), 3);
+        match mb.fetch(UserId(1)) {
+            Some(ServerMessage::Resend(r)) => assert_eq!(r.from, 0),
+            other => panic!("expected first resend, got {other:?}"),
+        }
+        match mb.fetch(UserId(1)) {
+            Some(ServerMessage::Resend(r)) => assert_eq!(r.from, 8),
+            other => panic!("expected second resend, got {other:?}"),
+        }
+        assert!(mb.fetch(UserId(1)).is_none());
+        assert!(mb.fetch(UserId(3)).is_none());
+        match mb.fetch(UserId(2)) {
+            Some(ServerMessage::Resend(r)) => assert_eq!(r.user, UserId(2)),
+            other => panic!("expected user 2's resend, got {other:?}"),
+        }
+        assert!(mb.is_empty());
+    }
+}

@@ -30,7 +30,7 @@ use panda_core::LocationPolicyGraph;
 use panda_geo::{GridMap, Point};
 use panda_graph::GraphBuilder;
 use panda_mobility::UserId;
-use panda_surveillance::ingest::PendingReport;
+use panda_surveillance::ingest::{PendingReport, SequencedReport};
 use panda_surveillance::protocol::{LocationReport, PolicyAssignment, ResendRequest};
 use std::io::Read;
 
@@ -117,13 +117,28 @@ pub enum Frame {
     /// Client → server: clean end of session; the server acknowledges and
     /// closes the connection.
     Shutdown,
-    /// A perturbed location report (codec support for server-side fan-out;
-    /// not valid ingest-gateway input).
+    /// Client → server: an **already-perturbed** report (a client-side
+    /// release, e.g. the re-send protocol's output) to land verbatim.
     Report(LocationReport),
-    /// A server → client policy assignment.
+    /// A server → client policy assignment (also operator → gateway, to
+    /// enqueue it for the user's next [`Frame::Fetch`]).
     Assign(PolicyAssignment),
-    /// A server → client re-send request.
+    /// A server → client re-send request (also operator → gateway, to
+    /// enqueue it for the user's next [`Frame::Fetch`]).
     Resend(ResendRequest),
+    /// Router → shard node: reports stamped with their client-stream
+    /// arrival sequence numbers (see
+    /// [`panda_surveillance::ingest::SequencedReport`]). Only valid on a
+    /// trusted shard plane — a gateway refuses it unless configured as a
+    /// shard node, since the seq stamps the RNG stream.
+    SubmitSequenced(Vec<SequencedReport>),
+    /// Client → server: poll the per-user mailbox for a pending
+    /// [`Frame::Assign`] or [`Frame::Resend`]; the reply is that frame,
+    /// or an `Ack` with `accepted: 0` when the mailbox is empty.
+    Fetch {
+        /// The polling user.
+        user: UserId,
+    },
 }
 
 /// Frame tags (byte 5 of the header). Public so listeners can refuse
@@ -148,6 +163,10 @@ pub mod tag {
     pub const ASSIGN: u8 = 0x08;
     /// [`Frame::Resend`](super::Frame::Resend).
     pub const RESEND: u8 = 0x09;
+    /// [`Frame::SubmitSequenced`](super::Frame::SubmitSequenced).
+    pub const SUBMIT_SEQUENCED: u8 = 0x0A;
+    /// [`Frame::Fetch`](super::Frame::Fetch).
+    pub const FETCH: u8 = 0x0B;
 }
 
 /// Why bytes did not decode to a [`Frame`].
@@ -324,6 +343,8 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
             put_f64(out, r.eps_per_epoch);
             put_policy(out, &r.policy);
         }),
+        Frame::SubmitSequenced(rs) => encode_submit_sequenced(rs, out),
+        Frame::Fetch { user } => put_frame(out, tag::FETCH, |out| put_u32(out, user.0)),
     }
 }
 
@@ -344,6 +365,20 @@ pub fn encode_submit_batch(reports: &[PendingReport], out: &mut Vec<u8>) {
         put_u32(out, reports.len() as u32);
         for r in reports {
             put_pending(out, r);
+        }
+    });
+}
+
+/// Appends a [`Frame::SubmitSequenced`] frame encoded directly from a
+/// borrowed slice — the router's fan-out path, which would otherwise
+/// clone each shard sub-batch into an owned `Vec` per forward.
+pub fn encode_submit_sequenced(reports: &[SequencedReport], out: &mut Vec<u8>) {
+    put_frame(out, tag::SUBMIT_SEQUENCED, |out| {
+        put_u32(out, reports.len() as u32);
+        for s in reports {
+            out.extend_from_slice(&s.seq.to_le_bytes());
+            out.push(u8::from(s.released));
+            put_pending(out, &s.report);
         }
     });
 }
@@ -391,6 +426,12 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
@@ -584,6 +625,34 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
                 eps_per_epoch,
             })
         }
+        tag::SUBMIT_SEQUENCED => {
+            let count = r.u32()? as usize;
+            // 22 bytes per entry (seq + released flag + report); a count
+            // the payload cannot back is hostile.
+            if count
+                .checked_mul(22)
+                .is_none_or(|bytes| bytes != r.remaining())
+            {
+                return Err(DecodeError::Malformed(
+                    "sequenced count mismatches the payload",
+                ));
+            }
+            let mut reports = Vec::with_capacity(count);
+            for _ in 0..count {
+                let seq = r.u64()?;
+                let released = r.bool()?;
+                let report = read_pending(&mut r)?;
+                reports.push(SequencedReport {
+                    seq,
+                    report,
+                    released,
+                });
+            }
+            Frame::SubmitSequenced(reports)
+        }
+        tag::FETCH => Frame::Fetch {
+            user: UserId(r.u32()?),
+        },
         other => return Err(DecodeError::UnknownFrameTag(other)),
     };
     r.finish()?;
@@ -808,6 +877,8 @@ impl PartialEq for Frame {
                     && a.eps_per_epoch == b.eps_per_epoch
                     && policies_equal(&a.policy, &b.policy)
             }
+            (Frame::SubmitSequenced(a), Frame::SubmitSequenced(b)) => a == b,
+            (Frame::Fetch { user: a }, Frame::Fetch { user: b }) => a == b,
             _ => false,
         }
     }

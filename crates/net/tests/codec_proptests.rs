@@ -8,7 +8,7 @@ use panda_geo::{CellId, GridMap, Point};
 use panda_mobility::UserId;
 use panda_net::wire::{decode_frame, encode_frame, encode_to_vec, DecodeError, HEADER_LEN};
 use panda_net::{Frame, FrameDecoder, NackReason};
-use panda_surveillance::ingest::PendingReport;
+use panda_surveillance::ingest::{PendingReport, SequencedReport};
 use panda_surveillance::protocol::{LocationReport, PolicyAssignment, ResendRequest};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -70,6 +70,16 @@ fn arb_policy() -> impl Strategy<Value = LocationPolicyGraph> {
         })
 }
 
+fn arb_sequenced() -> impl Strategy<Value = SequencedReport> {
+    (arb_pending(), any::<u64>(), any::<bool>()).prop_map(|(report, seq, released)| {
+        SequencedReport {
+            seq,
+            report,
+            released,
+        }
+    })
+}
+
 fn arb_nack_reason() -> impl Strategy<Value = NackReason> {
     prop_oneof![
         Just(NackReason::Backpressure),
@@ -114,6 +124,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                     eps_per_epoch: eps,
                 })
             }),
+        proptest::collection::vec(arb_sequenced(), 0..60).prop_map(Frame::SubmitSequenced),
+        any::<u32>().prop_map(|user| Frame::Fetch { user: UserId(user) }),
     ]
 }
 
@@ -258,6 +270,65 @@ fn valid_prefix_then_garbage_is_cleanly_split() {
         decoder.next_frame(),
         Err(DecodeError::BadMagic(_))
     ));
+}
+
+/// A sequenced-submit frame whose report count disagrees with its payload
+/// length — in either direction — is malformed, never a short read or an
+/// over-read into adjacent frames.
+#[test]
+fn sequenced_count_payload_mismatch_is_malformed() {
+    let frame = Frame::SubmitSequenced(vec![
+        SequencedReport {
+            seq: 7,
+            report: PendingReport {
+                user: UserId(1),
+                epoch: 2,
+                cell: CellId(3),
+                resend: false,
+            },
+            released: false,
+        };
+        3
+    ]);
+    let good = encode_to_vec(&frame);
+    // The count field sits right after the header.
+    for fake_count in [0u32, 1, 2, 4, 4096, u32::MAX] {
+        let mut bytes = good.clone();
+        bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&fake_count.to_le_bytes());
+        assert!(
+            matches!(decode_frame(&bytes), Err(DecodeError::Malformed(_))),
+            "count {fake_count} must be malformed"
+        );
+    }
+}
+
+/// Re-send protocol frames (`Assign`/`Resend`) carry a whole policy graph;
+/// truncating the payload mid-policy — after the count/config fields but
+/// inside the edge list — must stay a typed error through the incremental
+/// decoder, never a panic or a bogus assignment.
+#[test]
+fn truncated_resend_payload_is_typed() {
+    let grid = GridMap::new(4, 4, 50.0);
+    let frame = Frame::Resend(ResendRequest {
+        user: UserId(9),
+        from: 2,
+        to: 10,
+        policy: LocationPolicyGraph::partition(grid, 2, 2),
+        eps_per_epoch: 0.75,
+    });
+    let good = encode_to_vec(&frame);
+    for cut in HEADER_LEN..good.len() {
+        let mut bytes = good[..cut].to_vec();
+        // Patch the header length down so the *frame* looks complete but
+        // the *payload* is short: the inner payload parse must catch it.
+        let inner = (cut - HEADER_LEN) as u32;
+        bytes[8..12].copy_from_slice(&inner.to_le_bytes());
+        match decode_frame(&bytes) {
+            Err(DecodeError::Malformed(_)) => {}
+            Ok((f, _)) => panic!("cut {cut} decoded to {f:?}"),
+            Err(other) => panic!("cut {cut}: unexpected {other:?}"),
+        }
+    }
 }
 
 /// Padding after the declared payload is trailing-byte tampering, caught

@@ -9,10 +9,13 @@ use panda_mobility::{Timestamp, UserId};
 use panda_net::wire::{decode_frame, encode_to_vec, HEADER_LEN, MAGIC, VERSION};
 use panda_net::{
     ClientError, Frame, GatewayClient, GatewayConfig, IngestGateway, NackReason, RetryPolicy,
+    ServerMessage,
 };
+use panda_surveillance::client::{Client, ClientConfig};
 use panda_surveillance::ingest::{IngestConfig, IngestPipeline, PendingReport};
+use panda_surveillance::protocol::ResendRequest;
 use panda_surveillance::Server;
-use rand::rngs::StdRng;
+use rand::rngs::{SmallRng, StdRng};
 use rand::{Rng, SeedableRng};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -185,6 +188,145 @@ fn switch_policy_over_the_wire_is_a_clean_boundary() {
             "isolated policy must release exactly after the wire switch"
         );
     }
+}
+
+/// The re-send protocol round-trips over TCP with budget accounting
+/// identical to the in-process path: the operator pushes a
+/// `ResendRequest` on its plane, the reporter's `Fetch` poll collects it
+/// on the data plane, `Client::handle_resend` charges the same ledger
+/// either way, and the re-released reports land the same database bytes.
+#[test]
+fn resend_over_tcp_matches_in_process_budget_and_db() {
+    let grid = GridMap::new(8, 8, 100.0);
+    let initial = LocationPolicyGraph::partition(grid.clone(), 2, 2);
+    let request = ResendRequest {
+        user: UserId(7),
+        from: 2,
+        to: 8,
+        policy: LocationPolicyGraph::partition(grid, 4, 4),
+        eps_per_epoch: 0.5,
+    };
+    let make_client = || {
+        let mut c = Client::new(
+            UserId(7),
+            ClientConfig::default(),
+            initial.clone(),
+            Box::new(GraphExponential),
+            0.5,
+        );
+        for t in 0..10 {
+            c.observe(t, CellId(t % 64));
+        }
+        c
+    };
+
+    // In-process reference: handle the request directly, land the
+    // re-released reports through the pipeline.
+    let (ref_server, index) = setup(16);
+    let ref_pipeline = IngestPipeline::spawn(
+        Arc::clone(&ref_server),
+        index,
+        Arc::new(GraphExponential),
+        IngestConfig::default(),
+    );
+    let mut alice = make_client();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let reports = alice.handle_resend(&request, &mut rng).unwrap();
+    assert!(!reports.is_empty(), "the window must re-send something");
+    ref_pipeline.handle().submit_released(&reports).unwrap();
+    ref_pipeline.shutdown();
+
+    // Over the wire: same request, same client state, same rng seed —
+    // pushed through the operator plane and fetched from the data plane.
+    let (server, index) = setup(16);
+    let pipeline = IngestPipeline::spawn(
+        Arc::clone(&server),
+        index,
+        Arc::new(GraphExponential),
+        IngestConfig::default(),
+    );
+    let gateway = IngestGateway::bind("127.0.0.1:0", pipeline.handle()).unwrap();
+    let operator_gw = IngestGateway::bind_shared(
+        "127.0.0.1:0",
+        pipeline.handle(),
+        GatewayConfig::operator(),
+        gateway.mailbox(),
+    )
+    .unwrap();
+    let mut operator = GatewayClient::connect(operator_gw.local_addr()).unwrap();
+    operator.push_resend(&request).unwrap();
+
+    let mut reporter = GatewayClient::connect(gateway.local_addr()).unwrap();
+    let fetched = match reporter.fetch(UserId(7)).unwrap() {
+        Some(ServerMessage::Resend(r)) => r,
+        other => panic!("expected the pushed resend request, got {other:?}"),
+    };
+    assert!(
+        reporter.fetch(UserId(7)).unwrap().is_none(),
+        "one push, one fetch"
+    );
+    let mut bob = make_client();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let wire_reports = bob.handle_resend(&fetched, &mut rng).unwrap();
+    assert_eq!(wire_reports, reports, "transport must not change releases");
+    assert_eq!(
+        bob.budget_remaining(),
+        alice.budget_remaining(),
+        "budget accounting must not depend on the transport"
+    );
+    for &r in &wire_reports {
+        reporter.send_report(r).unwrap();
+    }
+    reporter.shutdown().unwrap();
+    operator.shutdown().unwrap();
+    let gw_stats = gateway.shutdown();
+    assert_eq!(gw_stats.fetches_served, 1);
+    operator_gw.shutdown();
+    pipeline.shutdown();
+    assert_eq!(server.n_resends(), ref_server.n_resends());
+    assert_eq!(
+        server.reported_db(16).trajectories(),
+        ref_server.reported_db(16).trajectories(),
+        "re-sent reports over TCP diverged from the in-process landing"
+    );
+}
+
+/// The gateway's per-connection stats snapshot: accepted/nacked counters
+/// per live connection, pruned as connections churn.
+#[test]
+fn per_connection_stats_track_each_client() {
+    let (_server, pipeline, gateway) = spawn_stack(IngestConfig::default());
+    let addr = gateway.local_addr();
+    let mut a = GatewayClient::connect(addr).unwrap();
+    let mut b = GatewayClient::connect(addr).unwrap();
+    a.submit_batch(&trace(10, 1)).unwrap();
+    b.submit_batch(&trace(25, 2)).unwrap();
+    b.submit(trace(1, 3)[0]).unwrap();
+    let wait_until = |pred: &dyn Fn(&[panda_net::ConnectionStats]) -> bool| {
+        let t0 = std::time::Instant::now();
+        loop {
+            let stats = gateway.connection_stats();
+            if pred(&stats) {
+                return stats;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "connection stats never converged: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+    let stats = wait_until(&|s| {
+        let mut accepted: Vec<u64> = s.iter().map(|c| c.accepted).collect();
+        accepted.sort_unstable();
+        accepted == [10, 26]
+    });
+    assert!(stats.iter().all(|c| c.live && c.nacked == 0));
+    a.shutdown().unwrap();
+    wait_until(&|s| s.iter().filter(|c| c.live).count() == 1);
+    b.shutdown().unwrap();
+    gateway.shutdown();
+    pipeline.shutdown();
 }
 
 /// Backpressure surfaces on the wire: a queue bounded far below the batch

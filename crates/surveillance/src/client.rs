@@ -252,17 +252,26 @@ impl Client {
         (plan, false)
     }
 
-    /// Handles a re-send request: applies the updated policy (subject to
-    /// consent) and re-perturbs every retained epoch in the window.
+    /// Plans a re-send: applies the updated policy (subject to consent)
+    /// and charges the ledger epoch by epoch, returning the affordable
+    /// `(epoch, true cell)` prefix of the window — or `None` when consent
+    /// is refused (the old policy is kept and nothing is charged).
     ///
-    /// Epochs whose true cell is isolated in the updated policy are
-    /// disclosed exactly — this is precisely how the contact-tracing `Gc`
-    /// lets the server learn who visited infected places (§3.2).
-    pub fn handle_resend(
+    /// This is the **accounting half** of [`Client::handle_resend`], and
+    /// it is transport-agnostic on purpose: the same call backs the
+    /// in-process path and the wire path (a `ResendRequest` frame fetched
+    /// from a gateway mailbox), so budget state after a re-send cannot
+    /// depend on how the request arrived.
+    ///
+    /// # Errors
+    ///
+    /// A retained cell outside the updated policy's domain surfaces as
+    /// [`PglpError`]; budget exhaustion is not an error (it truncates the
+    /// plan).
+    pub fn plan_resend(
         &mut self,
         request: &ResendRequest,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<LocationReport>, PglpError> {
+    ) -> Result<Option<Vec<(Timestamp, CellId)>>, PglpError> {
         let assignment = PolicyAssignment {
             user: self.user,
             policy: request.policy.clone(),
@@ -270,10 +279,10 @@ impl Client {
             effective_from: request.from,
         };
         if !self.apply_assignment(assignment) {
-            return Ok(Vec::new()); // consent refused: nothing re-sent
+            return Ok(None); // consent refused: nothing re-sent
         }
-        // Pass 1: charge the ledger epoch by epoch, keeping the prefix the
-        // budget covers (isolated cells disclose exactly and are free).
+        // Charge the ledger epoch by epoch, keeping the prefix the budget
+        // covers (isolated cells disclose exactly and are free).
         let epochs: Vec<(Timestamp, CellId)> = self
             .history
             .iter()
@@ -293,23 +302,56 @@ impl Client {
             }
             affordable.push((t, cell));
         }
-        // Pass 2: one indexed bulk release for the whole window — the
-        // policy-graph work (distances, distributions) is shared across all
-        // re-sent epochs instead of being redone per epoch.
-        let cells: Vec<CellId> = affordable.iter().map(|&(_, c)| c).collect();
+        Ok(Some(affordable))
+    }
+
+    /// Releases a planned re-send: one indexed bulk perturbation of the
+    /// planned window — the policy-graph work (distances, distributions)
+    /// is shared across all re-sent epochs instead of being redone per
+    /// epoch. The budget was already charged by [`Client::plan_resend`];
+    /// this half only draws randomness.
+    ///
+    /// # Errors
+    ///
+    /// Invalid ε or an out-of-domain cell surfaces as [`PglpError`].
+    pub fn release_resend(
+        &mut self,
+        plan: &[(Timestamp, CellId)],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<LocationReport>, PglpError> {
+        let cells: Vec<CellId> = plan.iter().map(|&(_, c)| c).collect();
         let perturbed =
             self.mechanism
                 .perturb_batch(&self.index, self.eps_per_epoch, &cells, rng)?;
-        Ok(affordable
-            .into_iter()
+        Ok(plan
+            .iter()
             .zip(perturbed)
-            .map(|((t, _), cell)| LocationReport {
+            .map(|(&(t, _), cell)| LocationReport {
                 user: self.user,
                 epoch: t,
                 cell,
                 resend: true,
             })
             .collect())
+    }
+
+    /// Handles a re-send request: applies the updated policy (subject to
+    /// consent) and re-perturbs every retained epoch in the window —
+    /// [`Client::plan_resend`] (consent + budget accounting) composed
+    /// with [`Client::release_resend`] (bulk perturbation).
+    ///
+    /// Epochs whose true cell is isolated in the updated policy are
+    /// disclosed exactly — this is precisely how the contact-tracing `Gc`
+    /// lets the server learn who visited infected places (§3.2).
+    pub fn handle_resend(
+        &mut self,
+        request: &ResendRequest,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<LocationReport>, PglpError> {
+        match self.plan_resend(request)? {
+            Some(plan) => self.release_resend(&plan, rng),
+            None => Ok(Vec::new()),
+        }
     }
 }
 

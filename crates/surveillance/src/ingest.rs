@@ -67,6 +67,32 @@ pub struct PendingReport {
     pub resend: bool,
 }
 
+/// A report whose arrival sequence number was assigned *upstream* — by a
+/// routing tier stamping stream positions — instead of by this pipeline's
+/// own arrival counter.
+///
+/// Two flavours share the type:
+///
+/// * `released: false` — a pending report to perturb exactly like a
+///   [`PendingReport`] at queue position `seq`: the released cell is drawn
+///   from `chunk_rng(seed, seq)`, so a router that stamps the client's
+///   stream positions reproduces the single-process pipeline byte for
+///   byte.
+/// * `released: true` — an already-perturbed report (the client released
+///   it under its own budget, e.g. a re-send): `report.cell` lands **as
+///   is**, drawing no randomness; `seq` only fixes its place in the
+///   `(user, epoch)` overwrite order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequencedReport {
+    /// Arrival sequence number assigned upstream (RNG stream key for
+    /// pending reports, overwrite-order position for released ones).
+    pub seq: u64,
+    /// The report payload; for `released: true` the cell is final.
+    pub report: PendingReport,
+    /// Whether `report.cell` is already perturbed (lands verbatim).
+    pub released: bool,
+}
+
 /// Flush policy, queue bound and release parameters of a pipeline.
 #[derive(Debug, Clone)]
 pub struct IngestConfig {
@@ -233,6 +259,8 @@ impl std::error::Error for TrySwitchError {}
 /// the shutdown marker.
 enum IngestMsg {
     Report(PendingReport),
+    Sequenced(SequencedReport),
+    Released(LocationReport),
     Switch(Arc<PolicyIndex>),
     Stop,
 }
@@ -243,6 +271,27 @@ fn unsent_report(msg: IngestMsg) -> PendingReport {
     match msg {
         IngestMsg::Report(r) => r,
         _ => unreachable!("batch sends carry only reports"),
+    }
+}
+
+/// Recovers the first unsent report from a failed sequenced batch send.
+fn unsent_sequenced(msg: IngestMsg) -> PendingReport {
+    match msg {
+        IngestMsg::Sequenced(s) => s.report,
+        _ => unreachable!("sequenced batch sends carry only sequenced reports"),
+    }
+}
+
+/// Recovers the first unsent report from a failed released batch send.
+fn unsent_released(msg: IngestMsg) -> PendingReport {
+    match msg {
+        IngestMsg::Released(r) => PendingReport {
+            user: r.user,
+            epoch: r.epoch,
+            cell: r.cell,
+            resend: r.resend,
+        },
+        _ => unreachable!("released batch sends carry only released reports"),
     }
 }
 
@@ -315,6 +364,64 @@ impl IngestHandle {
             .map_err(|e| TrySubmitError::Closed(unsent_report(e.0)))
     }
 
+    /// Enqueues the longest prefix of upstream-sequenced reports that fits
+    /// right now (one queue-lock acquisition) and returns its length, with
+    /// the same prefix/backpressure contract as
+    /// [`IngestHandle::try_submit_batch`].
+    ///
+    /// This is the shard-node entry point: the routing tier stamps each
+    /// report with its client-stream position, and this pipeline releases
+    /// pending entries from `chunk_rng(seed, seq)` instead of its own
+    /// arrival counter — so an N-node cluster lands byte-identically to
+    /// the single-process pipeline for the same arrival order.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Closed`] carrying the first report when the
+    /// pipeline has shut down (nothing from this call is enqueued).
+    pub fn try_submit_sequenced(
+        &self,
+        reports: &[SequencedReport],
+    ) -> Result<usize, TrySubmitError> {
+        self.tx
+            .try_send_batch(reports.iter().map(|&s| IngestMsg::Sequenced(s)))
+            .map_err(|e| TrySubmitError::Closed(unsent_sequenced(e.0)))
+    }
+
+    /// Enqueues the longest prefix of **already-perturbed** reports that
+    /// fits right now and returns its length. Each lands verbatim (no
+    /// policy release, no randomness) at this handle's current position in
+    /// the arrival order — it consumes a local sequence number so the
+    /// `(user, epoch)` overwrite order stays a pure function of queue
+    /// order, but draws nothing from the RNG stream.
+    ///
+    /// This is how client-side releases (the re-send protocol's perturbed
+    /// [`LocationReport`]s) enter the pipeline from the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Closed`] carrying the first report when the
+    /// pipeline has shut down (nothing from this call is enqueued).
+    pub fn try_submit_released(&self, reports: &[LocationReport]) -> Result<usize, TrySubmitError> {
+        self.tx
+            .try_send_batch(reports.iter().map(|&r| IngestMsg::Released(r)))
+            .map_err(|e| TrySubmitError::Closed(unsent_released(e.0)))
+    }
+
+    /// Blocking counterpart of [`IngestHandle::try_submit_released`]:
+    /// enqueues the whole slice in order, waiting out backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] carrying the first unsent report when the pipeline
+    /// has shut down; a prefix may already be enqueued.
+    pub fn submit_released(&self, reports: &[LocationReport]) -> Result<(), SubmitError> {
+        self.tx
+            .send_batch(reports.iter().map(|&r| IngestMsg::Released(r)))
+            .map(|_| ())
+            .map_err(|e| SubmitError(unsent_released(e.0)))
+    }
+
     /// Switches the policy index for all later reports, exactly like
     /// [`IngestPipeline::switch_policy`] but from a producer handle — the
     /// switch rides the queue in-band, so it lands at this handle's current
@@ -378,10 +485,37 @@ impl IngestPipeline {
         mech: Arc<dyn Mechanism + Send + Sync>,
         config: IngestConfig,
     ) -> Self {
+        Self::spawn_inner(server, index, mech, config, None)
+    }
+
+    /// Like [`IngestPipeline::spawn`], but the pipeline releases over its
+    /// **own** [`ReleasePool`] instead of the process-wide
+    /// [`ReleasePool::global`]. A shard node running several pipelines in
+    /// one process (loopback clusters, tests, benches) gets isolated
+    /// release lanes this way — one node's flush storm cannot starve
+    /// another's. Released cells are identical either way (lane scheduling
+    /// never touches the per-report RNG streams).
+    pub fn spawn_on(
+        server: Arc<Server>,
+        index: Arc<PolicyIndex>,
+        mech: Arc<dyn Mechanism + Send + Sync>,
+        config: IngestConfig,
+        pool: Arc<ReleasePool>,
+    ) -> Self {
+        Self::spawn_inner(server, index, mech, config, Some(pool))
+    }
+
+    fn spawn_inner(
+        server: Arc<Server>,
+        index: Arc<PolicyIndex>,
+        mech: Arc<dyn Mechanism + Send + Sync>,
+        config: IngestConfig,
+        pool: Option<Arc<ReleasePool>>,
+    ) -> Self {
         let (tx, rx) = bounded::<IngestMsg>(config.queue_capacity.max(1));
         let collector = std::thread::Builder::new()
             .name("panda-ingest".into())
-            .spawn(move || Collector::new(server, index, mech, config).run(rx))
+            .spawn(move || Collector::new(server, index, mech, config, pool).run(rx))
             .expect("spawn ingest collector");
         IngestPipeline {
             tx,
@@ -437,8 +571,10 @@ struct Collector {
     index: Arc<PolicyIndex>,
     mech: Arc<dyn Mechanism + Send + Sync>,
     config: IngestConfig,
-    /// `(arrival sequence number, report)` pending in the current batch.
-    pending: Vec<(u64, PendingReport)>,
+    /// `None` → release over [`ReleasePool::global`].
+    pool: Option<Arc<ReleasePool>>,
+    /// Sequenced entries pending in the current batch.
+    pending: Vec<SequencedReport>,
     /// When the oldest pending report arrived (deadline anchor).
     oldest: Option<Instant>,
     next_seq: u64,
@@ -461,12 +597,14 @@ impl Collector {
         index: Arc<PolicyIndex>,
         mech: Arc<dyn Mechanism + Send + Sync>,
         config: IngestConfig,
+        pool: Option<Arc<ReleasePool>>,
     ) -> Self {
         Collector {
             server,
             index,
             mech,
             config,
+            pool,
             pending: Vec::new(),
             oldest: None,
             next_seq: 0,
@@ -504,15 +642,33 @@ impl Collector {
             };
             match msg {
                 Some(IngestMsg::Report(report)) => {
-                    if self.pending.is_empty() {
-                        self.oldest = Some(Instant::now());
-                    }
-                    self.pending.push((self.next_seq, report));
+                    let entry = SequencedReport {
+                        seq: self.next_seq,
+                        report,
+                        released: false,
+                    };
                     self.next_seq += 1;
-                    self.stats.submitted += 1;
-                    if self.pending.len() >= self.config.max_batch {
-                        self.flush(FlushCause::Size);
-                    }
+                    self.push_entry(entry);
+                }
+                Some(IngestMsg::Sequenced(entry)) => {
+                    // Keep the local counter ahead of upstream stamps so a
+                    // pipeline fed from both paths never reuses a stream.
+                    self.next_seq = self.next_seq.max(entry.seq.saturating_add(1));
+                    self.push_entry(entry);
+                }
+                Some(IngestMsg::Released(r)) => {
+                    let entry = SequencedReport {
+                        seq: self.next_seq,
+                        report: PendingReport {
+                            user: r.user,
+                            epoch: r.epoch,
+                            cell: r.cell,
+                            resend: r.resend,
+                        },
+                        released: true,
+                    };
+                    self.next_seq += 1;
+                    self.push_entry(entry);
                 }
                 Some(IngestMsg::Switch(index)) => {
                     // Flush under the old policy first: the switch is a
@@ -530,8 +686,21 @@ impl Collector {
         }
     }
 
+    /// Appends one sequenced entry to the pending batch, counting it and
+    /// firing a size flush at the threshold.
+    fn push_entry(&mut self, entry: SequencedReport) {
+        if self.pending.is_empty() {
+            self.oldest = Some(Instant::now());
+        }
+        self.pending.push(entry);
+        self.stats.submitted += 1;
+        if self.pending.len() >= self.config.max_batch {
+            self.flush(FlushCause::Size);
+        }
+    }
+
     /// Releases the pending micro-batch (per-report RNG streams, fanned
-    /// over the shared pool) and lands it on the server.
+    /// over the pipeline's pool) and lands it on the server.
     fn flush(&mut self, cause: FlushCause) {
         self.oldest = None;
         if self.pending.is_empty() {
@@ -562,10 +731,14 @@ impl Collector {
                         as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
-            ReleasePool::global().run_scoped(jobs);
+            self.pool
+                .as_deref()
+                .unwrap_or_else(|| ReleasePool::global())
+                .run_scoped(jobs);
         }
         let mut landed = Vec::with_capacity(batch.len());
-        for (&(_, r), z) in batch.iter().zip(released) {
+        for (&entry, z) in batch.iter().zip(released) {
+            let r = entry.report;
             match z {
                 Some(cell) => landed.push(LocationReport {
                     user: r.user,
@@ -614,12 +787,19 @@ fn release_lane(
     index: &PolicyIndex,
     eps: f64,
     seed: u64,
-    reports: &[(u64, PendingReport)],
+    reports: &[SequencedReport],
     out: &mut [Option<CellId>],
 ) {
     let mut memo = SamplerMemo::new();
     let use_memo = mech.prefers_sampler_memo();
-    for (&(seq, r), slot) in reports.iter().zip(out.iter_mut()) {
+    for (&entry, slot) in reports.iter().zip(out.iter_mut()) {
+        let (seq, r) = (entry.seq, entry.report);
+        if entry.released {
+            // Client-side release: the cell is final, no randomness drawn —
+            // the seq only fixed its place in the overwrite order.
+            *slot = Some(r.cell);
+            continue;
+        }
         let mut rng = chunk_rng(seed, seq);
         if !use_memo {
             // Resolution is declared trivially cheap: the per-report path

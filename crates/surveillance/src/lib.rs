@@ -33,6 +33,7 @@ pub mod dashboard;
 pub mod health_code;
 pub mod ingest;
 pub mod monitoring;
+pub mod node;
 pub mod policy_config;
 pub mod protocol;
 pub mod server;
@@ -40,8 +41,11 @@ pub mod simulation;
 pub mod tracing;
 
 pub use client::{Client, ClientConfig, ConsentRule};
-pub use ingest::{IngestConfig, IngestHandle, IngestPipeline, IngestStats, PendingReport};
+pub use ingest::{
+    IngestConfig, IngestHandle, IngestPipeline, IngestStats, PendingReport, SequencedReport,
+};
+pub use node::{merge_reported_dbs, IngestNode, ShardNode};
 pub use policy_config::PolicyConfigurator;
 pub use protocol::{LocationReport, PolicyAssignment, ResendRequest};
-pub use server::Server;
+pub use server::{shard_of, Server};
 pub use tracing::{ContactRule, ContactTracer, TraceOutcome};

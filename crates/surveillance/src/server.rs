@@ -57,6 +57,25 @@ pub struct Server {
     health: RwLock<HealthState>,
 }
 
+/// The shard a user routes to out of `n_shards` (≥ 1) — the one pure
+/// function behind **every** user-partitioned tier: the server's lock
+/// stripes, and the multi-node router's shard-node fan-out
+/// (`panda_net::router::ShardRouter`). Sharing it is what makes "shard
+/// node *i* owns exactly the users the server would stripe to *i*" true by
+/// construction.
+///
+/// The raw ID is mixed through a SplitMix64-style finaliser before the
+/// modulo: `user.0 % n_shards` would collapse any stride-aligned ID
+/// population (IDs stepping by 16 with 16 stripes, a common allocator
+/// pattern) onto a single stripe and serialise the whole tier. The
+/// finaliser is bijective, so distinct users still spread and the routing
+/// stays a pure function of the ID.
+#[inline]
+pub fn shard_of(user: UserId, n_shards: usize) -> usize {
+    let z = panda_core::release::splitmix64(u64::from(user.0).wrapping_add(0x9E37_79B9_7F4A_7C15));
+    (z % n_shards.max(1) as u64) as usize
+}
+
 impl Server {
     /// Default shard count: enough stripes that a batch from each core
     /// rarely contends, without fragmenting read-side aggregation.
@@ -91,19 +110,11 @@ impl Server {
         self.shards.len()
     }
 
-    /// The shard index of a user (stable for the server's lifetime).
-    ///
-    /// The raw ID is mixed through a SplitMix64-style finaliser before the
-    /// modulo: `user.0 % n_shards` would collapse any stride-aligned ID
-    /// population (IDs stepping by 16 with 16 stripes, a common allocator
-    /// pattern) onto a single stripe and serialise the whole server. The
-    /// finaliser is bijective, so distinct users still spread and the
-    /// routing stays a pure function of the ID.
+    /// The lock stripe of a user (stable for the server's lifetime):
+    /// the free function [`shard_of`] over this server's stripe count.
     #[inline]
     fn shard_of(&self, user: UserId) -> usize {
-        let z =
-            panda_core::release::splitmix64(u64::from(user.0).wrapping_add(0x9E37_79B9_7F4A_7C15));
-        (z % self.shards.len() as u64) as usize
+        shard_of(user, self.shards.len())
     }
 
     /// Reports received per lock stripe (ingest-side load view, aggregated

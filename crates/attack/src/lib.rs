@@ -18,6 +18,7 @@
 //!   (MAP and minimum-expected-distance).
 //! * [`metrics`] — the adversary-error experiment loop.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -427,7 +427,7 @@ fn bench_cluster(quick: bool) -> Vec<ClusterRow> {
     use panda_surveillance::ingest::IngestPipeline;
     use panda_surveillance::node::ShardNode;
     use panda_surveillance::Server;
-    use std::sync::{Arc, Mutex};
+    use std::sync::Arc;
 
     let total: usize = if quick { 16_384 } else { 131_072 };
     let chunk = 256usize;
@@ -503,9 +503,9 @@ fn bench_cluster(quick: bool) -> Vec<ClusterRow> {
         let backends = gateways
             .iter()
             .map(|gw| {
-                ShardBackend::Remote(Mutex::new(
+                ShardBackend::remote(
                     GatewayClient::connect(gw.local_addr()).expect("connect shard link"),
-                ))
+                )
             })
             .collect();
         let router = ShardRouter::bind("127.0.0.1:0", backends, RouterConfig::default())

@@ -17,6 +17,8 @@
 //! `results/`. Set `PANDA_FULL=1` for the full parameter grids (defaults
 //! are sized to finish in seconds-to-minutes per binary in release mode).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -1,0 +1,34 @@
+//! panda-check: workspace analysis for the PANDA reproduction.
+//!
+//! Two cooperating analyses guard the system's headline contract (released
+//! DBs byte-identical across thread counts, flush timings, transports, and
+//! cluster sizes):
+//!
+//! 1. **Static lint** ([`rules`], driven by the `panda-check` binary): a
+//!    dependency-free token-level scanner over every `src/` and
+//!    `crates/*/src` file enforcing the deny rules configured in
+//!    `panda-check.toml` — banned wall-clock/ambient-RNG APIs in RNG-keyed
+//!    modules, unordered-container discipline in deterministic files,
+//!    panic-free decoding paths, and an `unsafe` inventory with a justified
+//!    allowlist. See [`rules`] for the catalog.
+//! 2. **Runtime lock-order checker** ([`ordered`]): rank-annotated
+//!    [`OrderedMutex`](ordered::OrderedMutex) /
+//!    [`OrderedRwLock`](ordered::OrderedRwLock) wrappers used at every
+//!    contended lock in the workspace, which panic with both acquisition
+//!    sites on any out-of-order acquisition in debug/`--cfg panda_lockcheck`
+//!    builds and compile to plain `parking_lot` locks in release.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod lexer;
+pub mod ordered;
+pub mod report;
+pub mod rules;
+
+pub use config::Config;
+pub use ordered::{OrderedMutex, OrderedRwLock, Rank};
+pub use report::Finding;
+pub use rules::Checker;

@@ -1,0 +1,178 @@
+//! The `panda-check` CLI: lint the workspace's first-party sources.
+//!
+//! Usage:
+//!
+//! ```text
+//! panda-check [--deny] [--root <dir>] [--config <file>]
+//! ```
+//!
+//! Walks `<root>/src` and `<root>/crates/*/src` (sorted, so output is
+//! stable), lints every `.rs` file against `<root>/panda-check.toml`, prints
+//! one `path:line: [rule] message` diagnostic per finding plus an `unsafe`
+//! inventory summary, and — with `--deny` — exits nonzero if there is any
+//! finding. CI runs `cargo run -p panda-check -- --deny` as a hard gate.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use panda_check::report::sort_findings;
+use panda_check::{config, Checker, Finding};
+
+/// Parsed command line.
+struct Args {
+    deny: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        root: PathBuf::from("."),
+        config: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--help" | "-h" => {
+                println!("usage: panda-check [--deny] [--root <dir>] [--config <file>]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Collect every `.rs` file under `dir`, recursively, in sorted order.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The scan roots: `<root>/src` plus every `<root>/crates/*/src`.
+fn scan_roots(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut roots = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        roots.push(src);
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()?;
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    Ok(roots)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("panda-check.toml"));
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let cfg = config::parse(&text).map_err(|e| e.to_string())?;
+    let checker = Checker::new(cfg);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files = 0usize;
+    let mut unsafe_files: Vec<(String, usize)> = Vec::new();
+
+    let mut rs_files = Vec::new();
+    for root in
+        scan_roots(&args.root).map_err(|e| format!("walking {}: {e}", args.root.display()))?
+    {
+        collect_rs(&root, &mut rs_files).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    }
+
+    for path in &rs_files {
+        let rel = path
+            .strip_prefix(&args.root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let report = checker.check_file(&rel, &src);
+        files += 1;
+        if report.unsafe_blocks > 0 {
+            unsafe_files.push((rel.clone(), report.unsafe_blocks));
+        }
+        findings.extend(report.findings);
+    }
+
+    sort_findings(&mut findings);
+    for f in &findings {
+        println!("{f}");
+    }
+
+    println!(
+        "panda-check: {files} files scanned, {} finding(s)",
+        findings.len()
+    );
+    if unsafe_files.is_empty() {
+        println!("unsafe inventory: none");
+    } else {
+        let total: usize = unsafe_files.iter().map(|(_, n)| n).sum();
+        println!(
+            "unsafe inventory: {total} block(s) in {} file(s):",
+            unsafe_files.len()
+        );
+        for (path, n) in &unsafe_files {
+            let reason = checker
+                .config()
+                .unsafe_allow
+                .iter()
+                .find(|e| e.file == *path)
+                .map(|e| e.reason.as_str())
+                .unwrap_or("NOT ALLOWLISTED");
+            println!("  {path}: {n} — {reason}");
+        }
+    }
+
+    if args.deny && !findings.is_empty() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("panda-check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

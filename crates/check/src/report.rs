@@ -1,0 +1,32 @@
+//! Lint findings and their rendering.
+
+use std::fmt;
+
+/// One lint finding, pointing at a workspace-relative file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (unix separators).
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable rule name (the one suppression comments reference).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sort findings for stable output: by path, then line, then rule.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}

@@ -1,0 +1,533 @@
+//! The lint rules, applied to one lexed file at a time.
+//!
+//! Rule catalog (names are what `// panda-check: allow(<rule>): reason`
+//! suppression comments reference; a suppression silences its own line and
+//! the next line):
+//!
+//! - `banned_api` — wall-clock / ambient-RNG calls (`SystemTime::now`,
+//!   `Instant::now`, `thread_rng`, per config) inside the RNG-keyed modules
+//!   listed in `[determinism] modules`. Those paths feed the byte-identity
+//!   contract; time and ambient randomness have no business there.
+//! - `unordered_iter` — any `HashMap` / `HashSet` mention in a file under
+//!   the deterministic-iteration discipline (listed in
+//!   `[determinism] iteration_files` or tagged
+//!   `#![doc = "panda-check: deterministic"]`). The discipline is strict on
+//!   purpose: ordered containers by default, hash containers only behind an
+//!   explicit per-site suppression explaining why order cannot leak out.
+//! - `panic_path` — `.unwrap(` / `.expect(` / `panic!` / `unreachable!` /
+//!   `todo!` / `unimplemented!` / slice-indexing in the non-test code of
+//!   files listed in `[panic_path] files` (the hostile-byte decoding
+//!   surface, which must only ever return typed errors).
+//! - `unsafe_block` / `stale_allowlist` — every `unsafe` occurrence must be
+//!   covered by a `[[unsafe_allow]]` entry with a justification; an entry
+//!   claiming more blocks than exist is itself an error so the allowlist
+//!   cannot rot.
+//!
+//! Code under `#[cfg(test)] mod … { … }` is exempt from every rule.
+
+use crate::config::Config;
+use crate::lexer::{lex, LexOutput, Token, TokenKind};
+use crate::report::{sort_findings, Finding};
+
+/// The inner-doc tag that opts a file into the iteration discipline.
+pub const DETERMINISTIC_TAG: &str = "#![doc = \"panda-check: deterministic\"]";
+
+/// Per-file lint result.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings that survived suppression filtering.
+    pub findings: Vec<Finding>,
+    /// Number of `unsafe` occurrences in non-test code (for the inventory).
+    pub unsafe_blocks: usize,
+}
+
+/// The rule engine: a parsed config plus the per-file entry point.
+#[derive(Debug)]
+pub struct Checker {
+    cfg: Config,
+}
+
+fn ident(tok: &Token) -> Option<&str> {
+    match &tok.kind {
+        TokenKind::Ident(s) => Some(s.as_str()),
+        TokenKind::Punct(_) => None,
+    }
+}
+
+fn punct(tok: &Token) -> Option<char> {
+    match tok.kind {
+        TokenKind::Punct(c) => Some(c),
+        TokenKind::Ident(_) => None,
+    }
+}
+
+/// Does `path` live under module `prefix` (a directory or an exact file)?
+fn in_module(path: &str, prefix: &str) -> bool {
+    path == prefix
+        || path
+            .strip_prefix(prefix)
+            .is_some_and(|r| r.starts_with('/'))
+}
+
+/// Keywords that may legitimately precede `[` without it being an index
+/// expression (e.g. `&mut [u8]`, `as [u8; 4]`, `for x in [..]`).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "crate", "dyn", "else", "extern", "fn", "for", "if", "impl",
+    "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static", "struct",
+    "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Compute the line spans of `#[cfg(test)] mod … { … }` regions.
+fn test_region_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = punct(&tokens[i]) == Some('#')
+            && punct(&tokens[i + 1]) == Some('[')
+            && ident(&tokens[i + 2]) == Some("cfg")
+            && punct(&tokens[i + 3]) == Some('(')
+            && ident(&tokens[i + 4]) == Some("test")
+            && punct(&tokens[i + 5]) == Some(')')
+            && punct(&tokens[i + 6]) == Some(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut j = i + 7;
+        // Skip any further outer attributes between the cfg and the item.
+        while j + 1 < tokens.len()
+            && punct(&tokens[j]) == Some('#')
+            && punct(&tokens[j + 1]) == Some('[')
+        {
+            let mut depth = 0usize;
+            j += 1;
+            while j < tokens.len() {
+                match punct(&tokens[j]) {
+                    Some('[') => depth += 1,
+                    Some(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Optional visibility, then `mod name {`.
+        if ident(&tokens[j]) == Some("pub") {
+            j += 1;
+            if punct(&tokens[j]) == Some('(') {
+                while j < tokens.len() && punct(&tokens[j]) != Some(')') {
+                    j += 1;
+                }
+                j += 1;
+            }
+        }
+        if j + 2 < tokens.len()
+            && ident(&tokens[j]) == Some("mod")
+            && ident(&tokens[j + 1]).is_some()
+            && punct(&tokens[j + 2]) == Some('{')
+        {
+            let mut depth = 1usize;
+            let mut k = j + 3;
+            let mut end_line = tokens[j + 2].line;
+            while k < tokens.len() && depth > 0 {
+                match punct(&tokens[k]) {
+                    Some('{') => depth += 1,
+                    Some('}') => {
+                        depth -= 1;
+                        end_line = tokens[k].line;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            spans.push((start_line, end_line));
+            i = k;
+        } else {
+            i = j;
+        }
+    }
+    spans
+}
+
+fn in_spans(line: u32, spans: &[(u32, u32)]) -> bool {
+    spans.iter().any(|&(lo, hi)| line >= lo && line <= hi)
+}
+
+impl Checker {
+    /// Build a checker from a parsed config.
+    pub fn new(cfg: Config) -> Self {
+        Checker { cfg }
+    }
+
+    /// The config this checker enforces.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Lint one file. `rel_path` is workspace-relative with `/` separators.
+    pub fn check_file(&self, rel_path: &str, src: &str) -> FileReport {
+        let lexed = lex(src);
+        let spans = test_region_spans(&lexed.tokens);
+        let mut report = FileReport::default();
+
+        let in_determinism_module = self
+            .cfg
+            .determinism_modules
+            .iter()
+            .any(|m| in_module(rel_path, m));
+        let iteration_discipline = src.contains(DETERMINISTIC_TAG)
+            || self.cfg.iteration_files.iter().any(|f| f == rel_path);
+        let panic_discipline = self.cfg.panic_path_files.iter().any(|f| f == rel_path);
+
+        if in_determinism_module {
+            self.banned_api(rel_path, &lexed, &spans, &mut report.findings);
+        }
+        if iteration_discipline {
+            self.unordered_iter(rel_path, &lexed, &spans, &mut report.findings);
+        }
+        if panic_discipline {
+            self.panic_path(rel_path, &lexed, &spans, &mut report.findings);
+        }
+        self.unsafe_inventory(rel_path, &lexed, &spans, &mut report);
+
+        // Apply suppressions: a comment on line L silences L and L+1.
+        report.findings.retain(|f| {
+            !lexed
+                .suppressions
+                .iter()
+                .any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line))
+        });
+        sort_findings(&mut report.findings);
+        report
+    }
+
+    fn banned_api(
+        &self,
+        path: &str,
+        lexed: &LexOutput,
+        spans: &[(u32, u32)],
+        out: &mut Vec<Finding>,
+    ) {
+        let tokens = &lexed.tokens;
+        for banned in &self.cfg.banned {
+            let segments: Vec<&str> = banned.split("::").collect();
+            let mut i = 0usize;
+            while i < tokens.len() {
+                if in_spans(tokens[i].line, spans) || ident(&tokens[i]) != Some(segments[0]) {
+                    i += 1;
+                    continue;
+                }
+                // Match `seg0 :: seg1 :: …` from position i.
+                let mut j = i + 1;
+                let mut matched = true;
+                for seg in &segments[1..] {
+                    let sep = j + 1 < tokens.len()
+                        && punct(&tokens[j]) == Some(':')
+                        && punct(&tokens[j + 1]) == Some(':');
+                    if sep && ident(&tokens[j + 2]) == Some(*seg) {
+                        j += 3;
+                    } else {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    out.push(Finding {
+                        path: path.to_string(),
+                        line: tokens[i].line,
+                        rule: "banned_api",
+                        message: format!("`{banned}` in RNG-keyed module"),
+                    });
+                    i = j.max(i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn unordered_iter(
+        &self,
+        path: &str,
+        lexed: &LexOutput,
+        spans: &[(u32, u32)],
+        out: &mut Vec<Finding>,
+    ) {
+        let mut last_line = 0u32;
+        for tok in &lexed.tokens {
+            let Some(name) = ident(tok) else { continue };
+            if (name == "HashMap" || name == "HashSet")
+                && !in_spans(tok.line, spans)
+                && tok.line != last_line
+            {
+                last_line = tok.line;
+                out.push(Finding {
+                    path: path.to_string(),
+                    line: tok.line,
+                    rule: "unordered_iter",
+                    message: format!(
+                        "`{name}` in a deterministic-iteration file; use an ordered \
+                         container or suppress with a justification"
+                    ),
+                });
+            }
+        }
+    }
+
+    fn panic_path(
+        &self,
+        path: &str,
+        lexed: &LexOutput,
+        spans: &[(u32, u32)],
+        out: &mut Vec<Finding>,
+    ) {
+        let tokens = &lexed.tokens;
+        let mut push = |line: u32, message: String| {
+            out.push(Finding {
+                path: path.to_string(),
+                line,
+                rule: "panic_path",
+                message,
+            });
+        };
+        for i in 0..tokens.len() {
+            if in_spans(tokens[i].line, spans) {
+                continue;
+            }
+            match &tokens[i].kind {
+                // Macro invocation: `name !`. Skip `#[macro] use` paths by
+                // requiring the bang.
+                TokenKind::Ident(name)
+                    if matches!(
+                        name.as_str(),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                    ) && i + 1 < tokens.len()
+                        && punct(&tokens[i + 1]) == Some('!') =>
+                {
+                    push(tokens[i].line, format!("`{name}!` on a panic-free path"));
+                }
+                TokenKind::Ident(name) if name == "unwrap" || name == "expect" => {
+                    let method_call = i >= 1
+                        && punct(&tokens[i - 1]) == Some('.')
+                        && i + 1 < tokens.len()
+                        && punct(&tokens[i + 1]) == Some('(');
+                    if method_call {
+                        push(
+                            tokens[i].line,
+                            format!("`.{name}()` on a panic-free path; return a typed error"),
+                        );
+                    }
+                }
+                TokenKind::Punct('[') if i >= 1 => {
+                    let indexes = match &tokens[i - 1].kind {
+                        TokenKind::Ident(prev) => !NON_INDEX_KEYWORDS.contains(&prev.as_str()),
+                        TokenKind::Punct(c) => *c == ')' || *c == ']',
+                    };
+                    if indexes {
+                        push(
+                            tokens[i].line,
+                            "slice indexing on a panic-free path; use `.get()`".to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn unsafe_inventory(
+        &self,
+        path: &str,
+        lexed: &LexOutput,
+        spans: &[(u32, u32)],
+        report: &mut FileReport,
+    ) {
+        let occurrences: Vec<u32> = lexed
+            .tokens
+            .iter()
+            .filter(|t| ident(t) == Some("unsafe") && !in_spans(t.line, spans))
+            .map(|t| t.line)
+            .collect();
+        report.unsafe_blocks = occurrences.len();
+        let allowed = self
+            .cfg
+            .unsafe_allow
+            .iter()
+            .find(|e| e.file == path)
+            .map(|e| e.blocks)
+            .unwrap_or(0);
+        if occurrences.len() > allowed {
+            for &line in &occurrences[allowed..] {
+                report.findings.push(Finding {
+                    path: path.to_string(),
+                    line,
+                    rule: "unsafe_block",
+                    message: format!(
+                        "`unsafe` not covered by the allowlist ({} occurrence(s), {} allowed); \
+                         add a [[unsafe_allow]] entry with a justification",
+                        occurrences.len(),
+                        allowed
+                    ),
+                });
+            }
+        } else if occurrences.len() < allowed {
+            report.findings.push(Finding {
+                path: path.to_string(),
+                line: occurrences.last().copied().unwrap_or(1),
+                rule: "stale_allowlist",
+                message: format!(
+                    "allowlist records {} unsafe block(s) but the file has {}; \
+                     update the [[unsafe_allow]] entry",
+                    allowed,
+                    occurrences.len()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{parse, UnsafeAllow};
+
+    fn checker() -> Checker {
+        let cfg = parse(
+            r#"
+[determinism]
+modules = ["crates/core/src/release", "crates/surveillance/src/ingest.rs"]
+banned = ["SystemTime::now", "Instant::now", "thread_rng"]
+iteration_files = ["crates/core/src/index.rs"]
+
+[panic_path]
+files = ["crates/net/src/wire.rs"]
+"#,
+        )
+        .unwrap();
+        Checker::new(cfg)
+    }
+
+    #[test]
+    fn banned_api_fires_in_module_and_not_outside() {
+        let c = checker();
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let hits = c.check_file("crates/core/src/release/mod.rs", src);
+        assert_eq!(hits.findings.len(), 1);
+        assert_eq!(hits.findings[0].rule, "banned_api");
+        assert_eq!(hits.findings[0].line, 1);
+        let clean = c.check_file("crates/core/src/other.rs", src);
+        assert!(clean.findings.is_empty());
+    }
+
+    #[test]
+    fn bare_thread_rng_matches() {
+        let c = checker();
+        let src = "use rand::thread_rng;\n";
+        let hits = c.check_file("crates/surveillance/src/ingest.rs", src);
+        assert_eq!(hits.findings.len(), 1);
+    }
+
+    #[test]
+    fn doc_tag_opts_into_iteration_discipline() {
+        let c = checker();
+        let src = "#![doc = \"panda-check: deterministic\"]\nuse std::collections::HashMap;\n";
+        let hits = c.check_file("crates/geo/src/anything.rs", src);
+        assert_eq!(hits.findings.len(), 1);
+        assert_eq!(hits.findings[0].rule, "unordered_iter");
+        assert_eq!(hits.findings[0].line, 2);
+    }
+
+    #[test]
+    fn test_mod_is_exempt() {
+        let c = checker();
+        let src = "\
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn f() { let m: HashMap<u32, u32> = HashMap::new(); m.get(&0).unwrap(); }
+}
+";
+        let hits = c.check_file("crates/core/src/index.rs", src);
+        assert!(hits.findings.is_empty(), "{:?}", hits.findings);
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let c = checker();
+        let src = "\
+// panda-check: allow(unordered_iter): lookup only, order never observed
+use std::collections::HashMap;
+use std::collections::HashSet;
+";
+        let hits = c.check_file("crates/core/src/index.rs", src);
+        // Line 2 suppressed, line 3 not.
+        assert_eq!(hits.findings.len(), 1);
+        assert_eq!(hits.findings[0].line, 3);
+    }
+
+    #[test]
+    fn panic_path_catches_all_forms() {
+        let c = checker();
+        let src = "\
+fn f(v: &[u8]) -> u8 {
+    let a = v.first().unwrap();
+    let b = v.first().expect(\"b\");
+    let c = v[0];
+    if false { panic!(\"boom\") }
+    *a + *b + c
+}
+";
+        let hits = c.check_file("crates/net/src/wire.rs", src);
+        let rules: Vec<u32> = hits.findings.iter().map(|f| f.line).collect();
+        assert_eq!(rules, vec![2, 3, 4, 5], "{:?}", hits.findings);
+    }
+
+    #[test]
+    fn array_types_and_attributes_are_not_indexing() {
+        let c = checker();
+        let src = "\
+#[derive(Debug)]
+struct W { buf: [u8; 4] }
+fn g(x: &mut [u8], w: &W) -> [u8; 2] {
+    let _ = &w.buf;
+    let _ = x.len();
+    [0, 1]
+}
+";
+        let hits = c.check_file("crates/net/src/wire.rs", src);
+        assert!(hits.findings.is_empty(), "{:?}", hits.findings);
+    }
+
+    #[test]
+    fn unsafe_allowlist_budget_and_staleness() {
+        let mut cfg = checker().cfg;
+        cfg.unsafe_allow.push(UnsafeAllow {
+            file: "crates/core/src/policy.rs".into(),
+            blocks: 1,
+            reason: "test".into(),
+        });
+        let c = Checker::new(cfg);
+        let one = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        assert!(c
+            .check_file("crates/core/src/policy.rs", one)
+            .findings
+            .is_empty());
+        let two = "fn f() { unsafe {} }\nfn g() { unsafe {} }\n";
+        let over = c.check_file("crates/core/src/policy.rs", two);
+        assert_eq!(over.findings.len(), 1);
+        assert_eq!(over.findings[0].rule, "unsafe_block");
+        let stale = c.check_file("crates/core/src/policy.rs", "fn f() {}\n");
+        assert_eq!(stale.findings.len(), 1);
+        assert_eq!(stale.findings[0].rule, "stale_allowlist");
+        // And a file with no allowlist entry at all:
+        let naked = c.check_file("crates/geo/src/lib.rs", one);
+        assert_eq!(naked.findings.len(), 1);
+        assert_eq!(naked.findings[0].rule, "unsafe_block");
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: hash container in an ordered-iteration file.
+
+use std::collections::HashMap;
+
+pub fn empty() -> usize {
+    0
+}

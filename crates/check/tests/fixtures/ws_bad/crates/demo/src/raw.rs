@@ -1,0 +1,5 @@
+//! Seeded violation: `unsafe` with no allowlist entry.
+
+pub fn zeroed() -> u32 {
+    unsafe { std::mem::zeroed() }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: wall-clock read inside an RNG-keyed module.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

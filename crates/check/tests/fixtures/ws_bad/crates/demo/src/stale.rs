@@ -1,0 +1,4 @@
+//! Seeded violation: the allowlist still records an `unsafe` block this
+//! file no longer contains.
+
+pub fn nothing() {}

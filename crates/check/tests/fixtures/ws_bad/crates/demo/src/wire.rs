@@ -1,0 +1,5 @@
+//! Seeded violation: panic on the hostile-byte decode path.
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

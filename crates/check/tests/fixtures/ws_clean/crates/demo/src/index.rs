@@ -1,0 +1,8 @@
+//! Clean: a hash container behind a justified suppression.
+
+// panda-check: allow(unordered_iter): keyed lookup only, order never observed
+use std::collections::HashMap as Lookup;
+
+pub fn lookup(m: &Lookup<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

@@ -1,0 +1,5 @@
+//! Clean: one `unsafe` block, covered by the allowlist.
+
+pub fn zeroed() -> u32 {
+    unsafe { std::mem::zeroed() }
+}

@@ -1,0 +1,13 @@
+//! Clean: typed errors on the decode path; unwraps only under `#[cfg(test)]`.
+
+pub fn first(v: &[u8]) -> Result<u8, &'static str> {
+    v.first().copied().ok_or("empty payload")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

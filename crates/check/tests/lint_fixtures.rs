@@ -1,0 +1,97 @@
+//! End-to-end CLI tests over the fixture workspaces: the seeded workspace
+//! fails `--deny` with exactly one finding per rule (each carrying a
+//! `file:line` anchor), and the clean workspace passes.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_check(root: &Path, deny: bool) -> (bool, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_panda-check"));
+    cmd.arg("--root").arg(root);
+    if deny {
+        cmd.arg("--deny");
+    }
+    let out = cmd.output().expect("run panda-check");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn seeded_workspace_fails_deny_with_one_finding_per_rule() {
+    let (ok, stdout) = run_check(&fixture("ws_bad"), true);
+    assert!(!ok, "--deny must exit nonzero on findings:\n{stdout}");
+    for (rule, file) in [
+        ("banned_api", "crates/demo/src/release/mod.rs"),
+        ("unordered_iter", "crates/demo/src/index.rs"),
+        ("panic_path", "crates/demo/src/wire.rs"),
+        ("unsafe_block", "crates/demo/src/raw.rs"),
+        ("stale_allowlist", "crates/demo/src/stale.rs"),
+    ] {
+        let tag = format!("[{rule}]");
+        let hits: Vec<&str> = stdout.lines().filter(|l| l.contains(&tag)).collect();
+        assert_eq!(hits.len(), 1, "{rule} should fire exactly once:\n{stdout}");
+        assert!(
+            hits[0].starts_with(&format!("{file}:")),
+            "{rule} should anchor to {file}:\n{stdout}"
+        );
+    }
+    assert!(stdout.contains("5 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let (_, stdout) = run_check(&fixture("ws_bad"), true);
+    // The unwrap in ws_bad's wire.rs sits on line 4; the diagnostic must
+    // say so in `path:line: [rule]` form.
+    assert!(
+        stdout.contains("crates/demo/src/wire.rs:4: [panic_path]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/demo/src/release/mod.rs:4: [banned_api]"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn seeded_workspace_without_deny_still_exits_zero() {
+    let (ok, stdout) = run_check(&fixture("ws_bad"), false);
+    assert!(ok, "report-only mode must not fail:\n{stdout}");
+}
+
+#[test]
+fn clean_workspace_passes_deny() {
+    let (ok, stdout) = run_check(&fixture("ws_clean"), true);
+    assert!(ok, "clean fixture must exit 0:\n{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+    // The allowlisted unsafe block still shows up in the inventory, with
+    // its justification.
+    assert!(
+        stdout.contains("crates/demo/src/raw.rs: 1 — all-zero bits are a valid u32"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn missing_config_is_a_hard_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_panda-check"))
+        .arg("--root")
+        .arg(fixture("ws_bad"))
+        .arg("--config")
+        .arg(fixture("no-such-file.toml"))
+        .output()
+        .expect("run panda-check");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

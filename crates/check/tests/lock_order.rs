@@ -1,0 +1,164 @@
+//! The runtime lock-order checker end to end: ascending acquisition is
+//! silent, a constructed inversion panics naming both acquisition sites,
+//! the cycle detector refuses a closing edge, and in unchecked release
+//! builds the wrappers are layout-identical to the plain locks.
+//!
+//! All ranks here use dedicated high order values (>= 60000) so the tests
+//! never pollute the production portion of the shared order graph.
+
+#![forbid(unsafe_code)]
+
+use panda_check::ordered::{OrderedMutex, OrderedRwLock, Rank};
+
+/// Runs `f` on a fresh thread (its own held-lock stack) and returns the
+/// panic message, if it panicked.
+fn panic_message(f: impl FnOnce() + Send + 'static) -> Option<String> {
+    let err = std::thread::Builder::new()
+        .name("lock-order-probe".into())
+        .spawn(f)
+        .expect("spawn probe thread")
+        .join()
+        .err()?;
+    Some(match err.downcast::<String>() {
+        Ok(s) => *s,
+        Err(err) => err
+            .downcast::<&'static str>()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|_| "<non-string panic payload>".into()),
+    })
+}
+
+#[test]
+fn ascending_acquisition_is_silent() {
+    let msg = panic_message(|| {
+        let outer = OrderedMutex::new(Rank::new(60000, "test.asc_outer"), 1u32);
+        let inner = OrderedRwLock::new(Rank::new(60010, "test.asc_inner"), 2u32);
+        let a = outer.lock();
+        let b = inner.read();
+        assert_eq!(*a + *b, 3);
+    });
+    assert_eq!(msg, None);
+}
+
+#[cfg(any(debug_assertions, panda_lockcheck))]
+mod checking_on {
+    use super::*;
+
+    #[test]
+    fn inversion_panics_naming_both_sites() {
+        let msg = panic_message(|| {
+            let low = OrderedMutex::new(Rank::new(60100, "test.inv_low"), ());
+            let high = OrderedMutex::new(Rank::new(60110, "test.inv_high"), ());
+            let _h = high.lock();
+            let _l = low.lock(); // out of order: must panic, not deadlock
+        })
+        .expect("inversion must panic");
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+        // Both lock names and both acquisition sites appear.
+        assert!(msg.contains("test.inv_low"), "{msg}");
+        assert!(msg.contains("test.inv_high"), "{msg}");
+        assert_eq!(
+            msg.matches("tests/lock_order.rs").count(),
+            2,
+            "both acquisition sites should be named: {msg}"
+        );
+    }
+
+    #[test]
+    fn equal_rank_nesting_panics() {
+        let msg = panic_message(|| {
+            let a = OrderedMutex::new(Rank::new(60200, "test.eq_a"), ());
+            let b = OrderedMutex::new(Rank::new(60200, "test.eq_b"), ());
+            let _a = a.lock();
+            let _b = b.lock(); // same rank: indistinguishable from inversion
+        })
+        .expect("equal-rank nesting must panic");
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+    }
+
+    #[test]
+    fn release_order_is_tracked_by_id_not_lifo() {
+        let msg = panic_message(|| {
+            let a = OrderedMutex::new(Rank::new(60300, "test.id_a"), ());
+            let b = OrderedMutex::new(Rank::new(60310, "test.id_b"), ());
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(ga); // release the *outer* guard first
+            drop(gb);
+            let _again = a.lock(); // stack must be empty now
+        });
+        assert_eq!(msg, None);
+    }
+
+    #[test]
+    fn try_lock_skips_the_inversion_check() {
+        let msg = panic_message(|| {
+            let low = OrderedMutex::new(Rank::new(60400, "test.try_low"), ());
+            let high = OrderedMutex::new(Rank::new(60410, "test.try_high"), ());
+            let _h = high.lock();
+            // A failed try cannot deadlock, so a successful one is allowed
+            // out of order.
+            let _l = low.try_lock().expect("uncontended try_lock");
+        });
+        assert_eq!(msg, None);
+    }
+
+    #[test]
+    fn witnessed_edges_record_nesting() {
+        let msg = panic_message(|| {
+            let outer = OrderedMutex::new(Rank::new(60500, "test.edge_outer"), ());
+            let inner = OrderedMutex::new(Rank::new(60510, "test.edge_inner"), ());
+            let _o = outer.lock();
+            let _i = inner.lock();
+        });
+        assert_eq!(msg, None);
+        assert!(
+            panda_check::ordered::witnessed_edges()
+                .contains(&("test.edge_outer", "test.edge_inner")),
+            "the order graph should witness the nesting"
+        );
+    }
+
+    #[test]
+    fn cycle_detector_refuses_the_closing_edge() {
+        use panda_check::ordered::record_edge_for_test;
+        let a = Rank::new(65533, "test.cycle_a");
+        let b = Rank::new(65534, "test.cycle_b");
+        record_edge_for_test(a, b);
+        let msg = panic_message(move || record_edge_for_test(b, a))
+            .expect("closing the cycle must panic");
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+        assert!(msg.contains("test.cycle_a"), "{msg}");
+        assert!(msg.contains("test.cycle_b"), "{msg}");
+    }
+}
+
+// In unchecked builds (plain `cargo test --release`, no panda_lockcheck)
+// the wrappers must cost nothing: same size as the raw locks, inversion
+// does not panic (these are plain locks — the probe below would deadlock,
+// so only layout is asserted).
+#[cfg(not(any(debug_assertions, panda_lockcheck)))]
+mod checking_off {
+    use super::*;
+
+    #[test]
+    fn wrappers_are_layout_identical_to_plain_locks() {
+        assert_eq!(
+            std::mem::size_of::<OrderedMutex<u64>>(),
+            std::mem::size_of::<parking_lot::Mutex<u64>>()
+        );
+        assert_eq!(
+            std::mem::size_of::<OrderedRwLock<u64>>(),
+            std::mem::size_of::<parking_lot::RwLock<u64>>()
+        );
+        assert_eq!(
+            std::mem::size_of::<OrderedRwLock<Vec<u8>>>(),
+            std::mem::size_of::<parking_lot::RwLock<Vec<u8>>>()
+        );
+    }
+
+    #[test]
+    fn witnessed_edges_is_empty_when_checking_is_off() {
+        assert!(panda_check::ordered::witnessed_edges().is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 //!
 //! O(1) `get`/`insert` via a slab-backed doubly-linked recency list.
 
+// panda-check: allow(unordered_iter): key->slot lookup only; recency order lives in the slab list
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -53,6 +54,7 @@ struct Slot<K, V> {
 /// lock (reads promote recency, so even lookups mutate).
 #[derive(Debug)]
 pub(crate) struct WeightedLru<K, V> {
+    // panda-check: allow(unordered_iter): never iterated (see module doc)
     map: HashMap<K, usize>,
     slots: Vec<Slot<K, V>>,
     free: Vec<usize>,
@@ -69,6 +71,7 @@ impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
     /// An empty cache with the given total-weight capacity.
     pub(crate) fn new(capacity: usize) -> Self {
         WeightedLru {
+            // panda-check: allow(unordered_iter): never iterated (see module doc)
             map: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),

@@ -23,8 +23,8 @@
 use crate::cache::{CacheStats, WeightedLru};
 use crate::mech::pim::PreparedHull;
 use crate::policy::LocationPolicyGraph;
+use panda_check::ordered::{rank, OrderedMutex, OrderedRwLock};
 use panda_geo::CellId;
-use parking_lot::{Mutex, RwLock};
 use rand::Rng;
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -239,12 +239,12 @@ impl SamplingTable {
 #[derive(Debug)]
 pub struct PolicyIndex {
     policy: LocationPolicyGraph,
-    distributions: Mutex<WeightedLru<DistKey, Arc<SamplingTable>>>,
+    distributions: OrderedMutex<WeightedLru<DistKey, Arc<SamplingTable>>>,
     /// Per-cell member-order distance rows, shared across every
     /// `(mechanism, ε)` pair that shapes a distribution over the same true
     /// cell — an ε schedule pays for each cell's row once, not once per
     /// step. Weighted by row length (entries = `u16`s).
-    rows: Mutex<WeightedLru<CellId, Arc<[u16]>>>,
+    rows: OrderedMutex<WeightedLru<CellId, Arc<[u16]>>>,
     /// Lifetime count of [`PolicyIndex::distribution`] lookups — i.e. of
     /// distribution-cache mutex acquisitions (a cold miss re-acquires the
     /// lock briefly to insert, still counted as the one touch its lookup
@@ -254,10 +254,11 @@ pub struct PolicyIndex {
     /// `calibrations[component]`: `None` = not yet computed,
     /// `Some(None)` = singleton component (exact release),
     /// `Some(Some(len))` = longest policy edge in the component.
-    calibrations: RwLock<Vec<Option<Option<f64>>>>,
+    calibrations: OrderedRwLock<Vec<Option<Option<f64>>>>,
     /// Per-component prepared PIM hulls, one slot per sampling path
-    /// (`[direct, isotropic-transform]`), filled on first use.
-    pim_hulls: [RwLock<Vec<Option<Arc<PreparedHull>>>>; 2],
+    /// (`[direct, isotropic-transform]`), filled on first use. Both slots
+    /// share one rank: they are never held together.
+    pim_hulls: [OrderedRwLock<Vec<Option<Arc<PreparedHull>>>>; 2],
 }
 
 impl PolicyIndex {
@@ -275,13 +276,16 @@ impl PolicyIndex {
         let n_components = policy.n_components() as usize;
         PolicyIndex {
             policy,
-            distributions: Mutex::new(WeightedLru::new(max_cached_entries)),
-            rows: Mutex::new(WeightedLru::new(max_cached_entries)),
+            distributions: OrderedMutex::new(
+                rank::INDEX_DISTRIBUTIONS,
+                WeightedLru::new(max_cached_entries),
+            ),
+            rows: OrderedMutex::new(rank::INDEX_ROWS, WeightedLru::new(max_cached_entries)),
             dist_touches: AtomicU64::new(0),
-            calibrations: RwLock::new(vec![None; n_components]),
+            calibrations: OrderedRwLock::new(rank::INDEX_CALIBRATIONS, vec![None; n_components]),
             pim_hulls: [
-                RwLock::new(vec![None; n_components]),
-                RwLock::new(vec![None; n_components]),
+                OrderedRwLock::new(rank::INDEX_PIM_HULLS, vec![None; n_components]),
+                OrderedRwLock::new(rank::INDEX_PIM_HULLS, vec![None; n_components]),
             ],
         }
     }

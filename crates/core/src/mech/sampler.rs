@@ -31,6 +31,7 @@ use panda_geo::{CellId, GridMap, Point};
 use rand::Rng;
 use rand::RngCore;
 use std::collections::hash_map::Entry;
+// panda-check: allow(unordered_iter): memo is keyed lookup only, never iterated
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -239,6 +240,7 @@ pub fn snap_to_cells(grid: &GridMap, cells: &[CellId], y: Point) -> CellId {
 /// pins the triple for its lifetime; a `debug_assert` catches mixed use.
 #[derive(Debug, Default)]
 pub struct SamplerMemo<'a> {
+    // panda-check: allow(unordered_iter): keyed lookup only, never iterated
     samplers: HashMap<CellId, CellSampler<'a>>,
     unsupported: bool,
     /// `(mechanism name, mechanism address, ε bits)` of the first

@@ -39,11 +39,11 @@ pub mod pool;
 use crate::error::PglpError;
 use crate::index::PolicyIndex;
 use crate::mech::{Mechanism, SamplerMemo};
+use panda_check::ordered::{rank, OrderedMutex};
 use panda_geo::CellId;
 use pool::ReleasePool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Mutex;
 
 /// Default chunk size: big enough to amortise thread hand-off, small enough
 /// to load-balance a 256k-report batch over many threads.
@@ -152,7 +152,8 @@ impl ParallelReleaser {
             // per-chunk streams.
             run_lane(mech, index, eps, seed, lanes.pop().expect("one lane"))
         } else {
-            let failures: Mutex<Vec<(usize, PglpError)>> = Mutex::new(Vec::new());
+            let failures: OrderedMutex<Vec<(usize, PglpError)>> =
+                OrderedMutex::new(rank::RELEASE_FAILURES, Vec::new());
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = lanes
                 .into_iter()
                 .map(|lane| {
@@ -160,13 +161,13 @@ impl ParallelReleaser {
                     Box::new(move || {
                         let errs = run_lane(mech, index, eps, seed, lane);
                         if !errs.is_empty() {
-                            failures.lock().expect("failures poisoned").extend(errs);
+                            failures.lock().extend(errs);
                         }
                     }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
             pool.run_scoped(jobs);
-            failures.into_inner().expect("failures poisoned")
+            failures.into_inner()
         };
         match failures.into_iter().min_by_key(|&(i, _)| i) {
             Some((_, e)) => Err(e),

@@ -13,6 +13,7 @@
 //!   analysis is the gap between `R0` estimated from exact vs. perturbed
 //!   locations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -21,6 +21,7 @@
 //! All floating-point geometry is `f64`; all randomness flows through caller
 //! supplied [`rand::Rng`] values so experiments are reproducible.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -32,6 +32,7 @@
 //! The crate is deliberately independent of the location domain: nodes are
 //! plain `u32` indices, and `panda-core` maps grid cells onto them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

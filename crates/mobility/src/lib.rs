@@ -22,6 +22,7 @@
 //!
 //! Everything is deterministic under a caller-supplied RNG.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -43,11 +43,12 @@
 use crate::listener::{CoreStats, Disposition, FrameService, Listener};
 use crate::mailbox::{Mailbox, ServerMessage};
 use crate::wire::{encode_frame, Frame, NackReason};
+use panda_check::ordered::{rank, OrderedMutex};
 use panda_core::PolicyIndex;
 use panda_surveillance::ingest::{IngestHandle, TrySubmitError, TrySwitchError};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunables of a gateway; the defaults suit loopback and LAN deployments.
@@ -199,7 +200,7 @@ struct PipelineService {
     core: Arc<CoreStats>,
     stats: Arc<ServiceStats>,
     mailbox: Arc<Mailbox>,
-    connections: Mutex<Vec<Arc<ConnCounters>>>,
+    connections: OrderedMutex<Vec<Arc<ConnCounters>>>,
 }
 
 /// A running TCP ingest gateway; dropping it shuts it down.
@@ -256,7 +257,7 @@ impl IngestGateway {
             core: Arc::clone(&core),
             stats: Arc::new(ServiceStats::default()),
             mailbox,
-            connections: Mutex::new(Vec::new()),
+            connections: OrderedMutex::new(rank::GATEWAY_CONNECTIONS, Vec::new()),
         });
         let listener = Listener::bind(addr, Arc::clone(&service), config, core, "panda-gateway")?;
         let addr = listener.local_addr();
@@ -305,7 +306,6 @@ impl IngestGateway {
         self.service
             .connections
             .lock()
-            .expect("connection registry poisoned")
             .iter()
             .map(|c| ConnectionStats {
                 accepted: c.accepted.load(Ordering::Relaxed),
@@ -334,10 +334,7 @@ impl FrameService for PipelineService {
             live: AtomicBool::new(true),
             ..Default::default()
         });
-        let mut registry = self
-            .connections
-            .lock()
-            .expect("connection registry poisoned");
+        let mut registry = self.connections.lock();
         // Prune entries whose connection has closed, so a long-lived
         // gateway's registry tracks churn instead of history.
         registry.retain(|c| c.live.load(Ordering::Relaxed));

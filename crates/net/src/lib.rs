@@ -45,6 +45,8 @@
 //!
 //! [`IngestHandle::submit`]: panda_surveillance::ingest::IngestHandle::submit
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod gateway;
 mod listener;

@@ -11,10 +11,11 @@
 
 use crate::gateway::GatewayConfig;
 use crate::wire::{encode_frame, Frame, FrameDecoder, NackReason};
+use panda_check::ordered::{rank, OrderedMutex};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// What a frame asks the connection to do next.
@@ -70,7 +71,7 @@ pub(crate) struct Listener<S: FrameService> {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    handlers: Arc<OrderedMutex<Vec<std::thread::JoinHandle<()>>>>,
     _service: std::marker::PhantomData<S>,
 }
 
@@ -86,16 +87,19 @@ impl<S: FrameService> Listener<S> {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Polling a non-blocking listener (instead of parking in `accept`)
+        // keeps shutdown independent of network traffic; set up here so a
+        // platform that refuses fails the bind, not the acceptor thread.
+        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let handlers = Arc::new(OrderedMutex::new(rank::LISTENER_REGISTRY, Vec::new()));
         let acceptor = {
             let (stop, handlers) = (Arc::clone(&stop), Arc::clone(&handlers));
             std::thread::Builder::new()
                 .name(format!("{name}-accept"))
                 .spawn(move || {
                     accept_loop(listener, service, config, stop, handlers, core, name);
-                })
-                .expect("spawn listener acceptor")
+                })?
         };
         Ok(Listener {
             addr,
@@ -122,10 +126,15 @@ impl<S: FrameService> Listener<S> {
         // The acceptor polls a non-blocking listener, so it observes the
         // flag within one poll interval (no wake-up connection needed —
         // connecting could itself fail under fd exhaustion).
+        //
+        // The joins re-raise a worker thread's panic on the shutdown
+        // caller; they are unreachable from hostile bytes (a malformed
+        // frame is a typed decode error, never a worker panic).
+        // panda-check: allow(panic_path): propagates a worker panic only
         acceptor.join().expect("listener acceptor panicked");
-        let handlers =
-            std::mem::take(&mut *self.handlers.lock().expect("handler registry poisoned"));
+        let handlers = std::mem::take(&mut *self.handlers.lock());
         for h in handlers {
+            // panda-check: allow(panic_path): propagates a worker panic only
             h.join().expect("connection handler panicked");
         }
     }
@@ -142,20 +151,17 @@ fn accept_loop<S: FrameService>(
     service: Arc<S>,
     config: GatewayConfig,
     stop: Arc<AtomicBool>,
-    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    handlers: Arc<OrderedMutex<Vec<std::thread::JoinHandle<()>>>>,
     core: Arc<CoreStats>,
     name: &'static str,
 ) {
-    // Polling a non-blocking listener (instead of parking in `accept`)
-    // keeps shutdown independent of network traffic: the stop flag is
+    // The listener arrives non-blocking (set in `bind`, where a platform
+    // refusal still propagates as an `io::Error`): the stop flag is
     // observed within one poll interval even under fd exhaustion, when a
     // wake-up connection could not be made. The idle poll is 1 ms — cheap
     // on an idle acceptor thread, and small enough not to tax connect
     // latency or per-connection benchmarks.
     const ACCEPT_POLL: Duration = Duration::from_millis(1);
-    listener
-        .set_nonblocking(true)
-        .expect("set listener non-blocking");
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -181,13 +187,14 @@ fn accept_loop<S: FrameService>(
         if stream.set_nonblocking(false).is_err() {
             continue;
         }
-        let mut registry = handlers.lock().expect("handler registry poisoned");
+        let mut registry = handlers.lock();
         // Reap finished handlers as connections churn, so a long-lived
         // listener holds registry entries (and thread stacks) only for
         // live connections. Finished threads join instantly.
         let mut live = Vec::with_capacity(registry.len() + 1);
         for h in registry.drain(..) {
             if h.is_finished() {
+                // panda-check: allow(panic_path): propagates a worker panic only
                 h.join().expect("connection handler panicked");
             } else {
                 live.push(h);
@@ -202,8 +209,7 @@ fn accept_loop<S: FrameService>(
             drop(stream);
             continue;
         }
-        core.connections.fetch_add(1, Ordering::Relaxed);
-        let handler = {
+        let spawned = {
             let (service, stop, core, config) = (
                 Arc::clone(&service),
                 Arc::clone(&stop),
@@ -213,9 +219,19 @@ fn accept_loop<S: FrameService>(
             std::thread::Builder::new()
                 .name(format!("{name}-conn"))
                 .spawn(move || serve_connection(stream, &*service, &config, &stop, &core))
-                .expect("spawn connection handler")
         };
-        live.push(handler);
+        match spawned {
+            Ok(handler) => {
+                core.connections.fetch_add(1, Ordering::Relaxed);
+                live.push(handler);
+            }
+            // Thread exhaustion is the same resource pressure as the
+            // connection cap: refuse this connection (the stream moved
+            // into the failed closure and is already gone), keep serving.
+            Err(_) => {
+                core.rejected_connections.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         *registry = live;
     }
 }
@@ -244,6 +260,7 @@ fn serve_connection<S: FrameService>(
             match stream.read(&mut buf) {
                 Ok(0) => eof = true,
                 Ok(n) => {
+                    // panda-check: allow(panic_path): read() contract: n <= buf.len()
                     decoder.feed(&buf[..n]);
                     last_bytes = std::time::Instant::now();
                 }

@@ -10,10 +10,10 @@
 //! user, so the strict request/reply framing of the wire holds.
 
 use crate::wire::Frame;
+use panda_check::ordered::{rank, OrderedMutex};
 use panda_mobility::UserId;
 use panda_surveillance::protocol::{PolicyAssignment, ResendRequest};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
 
 /// A server-initiated message waiting for its user to poll.
 #[derive(Debug, Clone)]
@@ -37,30 +37,33 @@ impl ServerMessage {
 /// Per-user FIFO queues of pending server-initiated messages, shared
 /// between a gateway/router's operator plane (which enqueues) and its
 /// data plane (which serves fetch polls).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Mailbox {
-    inner: Mutex<HashMap<UserId, VecDeque<ServerMessage>>>,
+    inner: OrderedMutex<HashMap<UserId, VecDeque<ServerMessage>>>,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Mailbox {
     /// An empty mailbox.
     pub fn new() -> Self {
-        Self::default()
+        Mailbox {
+            inner: OrderedMutex::new(rank::MAILBOX, HashMap::new()),
+        }
     }
 
     /// Enqueues a message for `user`'s next fetch.
     pub fn push(&self, user: UserId, msg: ServerMessage) {
-        self.inner
-            .lock()
-            .expect("mailbox poisoned")
-            .entry(user)
-            .or_default()
-            .push_back(msg);
+        self.inner.lock().entry(user).or_default().push_back(msg);
     }
 
     /// Collects the oldest pending message for `user`, if any.
     pub fn fetch(&self, user: UserId) -> Option<ServerMessage> {
-        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        let mut inner = self.inner.lock();
         let queue = inner.get_mut(&user)?;
         let msg = queue.pop_front();
         if queue.is_empty() {
@@ -71,12 +74,7 @@ impl Mailbox {
 
     /// Total messages pending across all users.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("mailbox poisoned")
-            .values()
-            .map(VecDeque::len)
-            .sum()
+        self.inner.lock().values().map(VecDeque::len).sum()
     }
 
     /// Whether no message is pending.

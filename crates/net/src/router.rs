@@ -47,6 +47,7 @@ use crate::gateway::GatewayConfig;
 use crate::listener::{CoreStats, Disposition, FrameService, Listener};
 use crate::mailbox::{Mailbox, ServerMessage};
 use crate::wire::{encode_frame, Frame, NackReason, MAX_REPORTS_PER_FRAME};
+use panda_check::ordered::{rank, OrderedMutex};
 use panda_core::LocationPolicyGraph;
 use panda_core::PolicyIndex;
 use panda_surveillance::ingest::{PendingReport, SequencedReport, TrySwitchError};
@@ -55,7 +56,7 @@ use panda_surveillance::shard_of;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One shard's downstream link from the router.
@@ -67,11 +68,18 @@ pub enum ShardBackend {
     Local(Arc<dyn IngestNode>),
     /// A remote shard node behind its own gateway, reached over one
     /// persistent connection on the shard plane
-    /// ([`GatewayConfig::shard_plane`]).
-    Remote(Mutex<GatewayClient>),
+    /// ([`GatewayConfig::shard_plane`]). Build with
+    /// [`ShardBackend::remote`].
+    Remote(OrderedMutex<GatewayClient>),
 }
 
 impl ShardBackend {
+    /// Wraps a connected shard-plane client as a remote backend (the link
+    /// lock joins the router's lock order below the policy record).
+    pub fn remote(client: GatewayClient) -> Self {
+        ShardBackend::Remote(OrderedMutex::new(rank::ROUTER_BACKEND, client))
+    }
+
     /// Forwards a stamped sub-batch; returns the accepted prefix length.
     /// Any downstream failure — shut-down pipeline, torn connection,
     /// protocol breakage — is `Err`: the router cannot know those reports
@@ -79,11 +87,7 @@ impl ShardBackend {
     fn submit_sequenced(&self, reports: &[SequencedReport]) -> Result<usize, ()> {
         match self {
             ShardBackend::Local(node) => node.try_submit_sequenced(reports).map_err(|_| ()),
-            ShardBackend::Remote(client) => client
-                .lock()
-                .expect("backend client poisoned")
-                .submit_sequenced(reports)
-                .map_err(|_| ()),
+            ShardBackend::Remote(client) => client.lock().submit_sequenced(reports).map_err(|_| ()),
         }
     }
 
@@ -115,11 +119,7 @@ impl ShardBackend {
             ShardBackend::Remote(client) => {
                 // `GatewayClient::switch_policy` already retries
                 // backpressure under its own policy.
-                match client
-                    .lock()
-                    .expect("backend client poisoned")
-                    .switch_policy(policy)
-                {
+                match client.lock().switch_policy(policy) {
                     Ok(()) => Ok(()),
                     Err(crate::client::ClientError::Saturated) => Err(NackReason::Backpressure),
                     Err(_) => Err(NackReason::Closed),
@@ -205,8 +205,9 @@ struct RouterShared {
     mailbox: Arc<Mailbox>,
     /// The last policy successfully broadcast to every shard — the
     /// rollback target when a later broadcast fails halfway. Held across
-    /// a whole broadcast, serializing concurrent switches.
-    current_policy: Mutex<Option<LocationPolicyGraph>>,
+    /// a whole broadcast, serializing concurrent switches — which nests
+    /// the backend-link locks inside it, hence its lower rank.
+    current_policy: OrderedMutex<Option<LocationPolicyGraph>>,
     counters: RouterCounters,
     core: Arc<CoreStats>,
 }
@@ -264,7 +265,7 @@ impl ShardRouter {
             backends,
             next_seq: AtomicU64::new(0),
             mailbox: Arc::new(Mailbox::new()),
-            current_policy: Mutex::new(None),
+            current_policy: OrderedMutex::new(rank::ROUTER_POLICY, None),
             counters: RouterCounters::default(),
             core: Arc::clone(&core),
         });
@@ -596,10 +597,7 @@ impl RouterService {
     /// lock.
     fn broadcast_policy(&self, policy: LocationPolicyGraph) -> Frame {
         let shared = &self.shared;
-        let mut current = shared
-            .current_policy
-            .lock()
-            .expect("router policy record poisoned");
+        let mut current = shared.current_policy.lock();
         for (i, backend) in shared.backends.iter().enumerate() {
             if let Err(reason) = backend.switch_policy(
                 &policy,

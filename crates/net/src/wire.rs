@@ -310,6 +310,7 @@ fn put_frame(out: &mut Vec<u8>, tag: u8, payload: impl FnOnce(&mut Vec<u8>)) {
     // the documented per-frame ceilings (e.g. a policy graph denser than
     // `MAX_POLICY_CELLS` budgets for).
     assert!(payload_len as u32 <= MAX_PAYLOAD, "frame payload too large");
+    // panda-check: allow(panic_path): patches the 4 bytes reserved above; encoder-side, no hostile input
     out[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
 }
 
@@ -403,10 +404,11 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.remaining() < n {
-            return Err(DecodeError::Malformed("payload shorter than its fields"));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end))
+            .ok_or(DecodeError::Malformed("payload shorter than its fields"))?;
         self.pos += n;
         Ok(s)
     }
@@ -423,22 +425,25 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// The next `N` bytes as a fixed array (`take` already guarantees the
+    /// length, so the conversion error is unreachable — but it stays a
+    /// typed error, never a panic, on this hostile-bytes path).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| DecodeError::Malformed("payload shorter than its fields"))
+    }
+
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, DecodeError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_le_bytes(self.array()?))
     }
 
     /// A float that the receiver will feed into geometry: must be finite.
@@ -547,18 +552,21 @@ fn read_policy(r: &mut Reader<'_>) -> Result<LocationPolicyGraph, DecodeError> {
 
 /// Validates the 12-byte header; returns `(frame tag, payload length)`.
 fn parse_header(h: &[u8]) -> Result<(u8, u32), DecodeError> {
-    debug_assert!(h.len() >= HEADER_LEN);
-    if h[0..4] != MAGIC {
-        return Err(DecodeError::BadMagic([h[0], h[1], h[2], h[3]]));
+    // A slice pattern instead of indexing: a short slice is a typed
+    // error, never a panic (callers do hand us >= HEADER_LEN bytes).
+    let &[m0, m1, m2, m3, version, tag, r0, r1, l0, l1, l2, l3, ..] = h else {
+        return Err(DecodeError::Malformed("header shorter than 12 bytes"));
+    };
+    if [m0, m1, m2, m3] != MAGIC {
+        return Err(DecodeError::BadMagic([m0, m1, m2, m3]));
     }
-    if h[4] != VERSION {
-        return Err(DecodeError::UnsupportedVersion(h[4]));
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
     }
-    let tag = h[5];
-    if h[6] != 0 || h[7] != 0 {
+    if r0 != 0 || r1 != 0 {
         return Err(DecodeError::Malformed("reserved header bytes are not zero"));
     }
-    let len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
     if len > MAX_PAYLOAD {
         return Err(DecodeError::Oversize {
             len,
@@ -674,10 +682,10 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
     }
     let (tag, len) = parse_header(buf)?;
     let total = HEADER_LEN + len as usize;
-    if buf.len() < total {
-        return Err(DecodeError::Incomplete { needed: total });
-    }
-    let frame = decode_payload(tag, &buf[HEADER_LEN..total])?;
+    let payload = buf
+        .get(HEADER_LEN..total)
+        .ok_or(DecodeError::Incomplete { needed: total })?;
+    let frame = decode_payload(tag, payload)?;
     Ok((frame, total))
 }
 
@@ -733,7 +741,9 @@ impl FrameDecoder {
         &mut self,
         permit: impl Fn(u8) -> bool,
     ) -> Result<Option<Frame>, DecodeError> {
-        let pending = &self.buf[self.start..];
+        // `start <= buf.len()` is a decoder invariant; `.get` keeps even
+        // a violated invariant a wedged stream rather than a panic.
+        let pending = self.buf.get(self.start..).unwrap_or(&[]);
         if pending.len() >= HEADER_LEN {
             let (tag, _) = parse_header(pending)?;
             if !permit(tag) {
@@ -797,6 +807,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ReadFrameError> {
     let mut header = [0u8; HEADER_LEN];
     let mut filled = 0usize;
     while filled < HEADER_LEN {
+        // panda-check: allow(panic_path): in bounds by the loop condition (filled < HEADER_LEN = header.len())
         match r.read(&mut header[filled..]) {
             Ok(0) => {
                 return if filled == 0 {

@@ -18,7 +18,7 @@ use panda_surveillance::protocol::PolicyAssignment;
 use panda_surveillance::{shard_of, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 const HORIZON: Timestamp = 16;
@@ -96,9 +96,9 @@ fn spawn_cluster(n: usize, config: IngestConfig) -> Cluster {
     let backends = gateways
         .iter()
         .map(|gw| {
-            ShardBackend::Remote(Mutex::new(
+            ShardBackend::remote(
                 GatewayClient::connect(gw.local_addr()).expect("connect shard link"),
-            ))
+            )
         })
         .collect();
     let router =
@@ -219,9 +219,7 @@ fn cluster_backpressure_mid_stream_keeps_byte_identity() {
         .collect();
     let backends = gateways
         .iter()
-        .map(|gw| {
-            ShardBackend::Remote(Mutex::new(GatewayClient::connect(gw.local_addr()).unwrap()))
-        })
+        .map(|gw| ShardBackend::remote(GatewayClient::connect(gw.local_addr()).unwrap()))
         .collect();
     let router = ShardRouter::bind("127.0.0.1:0", backends, RouterConfig::default()).unwrap();
 

@@ -9,7 +9,7 @@
 use panda_geo::CellId;
 use panda_mobility::{Timestamp, TrajectoryDb, UserId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Certification levels, ordered by severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -41,7 +41,8 @@ impl Default for HealthCodeRules {
     }
 }
 
-/// Assigns a code to every user of `reported` at epoch `now`.
+/// Assigns a code to every user of `reported` at epoch `now`. The map is
+/// ordered by user so dashboards and logs render deterministically.
 ///
 /// * `diagnoses` — `(user, diagnosis epoch)` pairs (exact, from health
 ///   authorities).
@@ -56,8 +57,8 @@ pub fn assign_codes(
     infected_visits: &[(Timestamp, CellId)],
     now: Timestamp,
     rules: &HealthCodeRules,
-) -> HashMap<UserId, HealthCode> {
-    let mut codes: HashMap<UserId, HealthCode> = reported
+) -> BTreeMap<UserId, HealthCode> {
+    let mut codes: BTreeMap<UserId, HealthCode> = reported
         .trajectories()
         .iter()
         .map(|t| (t.user, HealthCode::Green))
@@ -89,7 +90,7 @@ pub fn assign_codes(
 }
 
 /// Counts codes by level — the dashboard summary.
-pub fn code_census(codes: &HashMap<UserId, HealthCode>) -> (usize, usize, usize) {
+pub fn code_census(codes: &BTreeMap<UserId, HealthCode>) -> (usize, usize, usize) {
     let mut green = 0;
     let mut yellow = 0;
     let mut red = 0;

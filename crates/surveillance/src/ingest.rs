@@ -625,6 +625,7 @@ impl Collector {
             let msg = match deadline {
                 None => rx.recv().ok(),
                 Some(deadline) => {
+                    // panda-check: allow(banned_api): flush-deadline clock; released bytes are flush-timing-invariant
                     let now = Instant::now();
                     if now >= deadline {
                         self.flush(FlushCause::Deadline);
@@ -690,6 +691,7 @@ impl Collector {
     /// firing a size flush at the threshold.
     fn push_entry(&mut self, entry: SequencedReport) {
         if self.pending.is_empty() {
+            // panda-check: allow(banned_api): starts the max_delay deadline; never keys an RNG stream
             self.oldest = Some(Instant::now());
         }
         self.pending.push(entry);
@@ -706,6 +708,7 @@ impl Collector {
         if self.pending.is_empty() {
             return;
         }
+        // panda-check: allow(banned_api): flush-duration stat only; never keys an RNG stream
         let t0 = Instant::now();
         let batch = std::mem::take(&mut self.pending);
         let mut released: Vec<Option<CellId>> = vec![None; batch.len()];

@@ -24,6 +24,7 @@
 //!   the dynamic policy-update / re-send protocol of §3.2.
 //! * [`health_code`] — the "health code" certification service.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -24,20 +24,35 @@
 //! mid-ingest.
 
 use crate::protocol::LocationReport;
+use panda_check::ordered::{rank, OrderedRwLock};
 use panda_geo::{CellId, GridMap};
 use panda_mobility::{Timestamp, Trajectory, TrajectoryDb, UserId};
-use parking_lot::RwLock;
+// Per-user stores are keyed by UserId; every read path (users,
+// reported_db) sorts before exposing an iteration order.
+// panda-check: allow(unordered_iter): read paths sort first
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One lock stripe: the report store of every user hashing to this shard,
 /// plus its lock-free ingest counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shard {
     /// Latest report per (user, epoch) — re-sends overwrite.
-    reports: RwLock<HashMap<UserId, BTreeMap<Timestamp, CellId>>>,
+    // panda-check: allow(unordered_iter): read paths sort (see module doc).
+    reports: OrderedRwLock<HashMap<UserId, BTreeMap<Timestamp, CellId>>>,
     n_received: AtomicUsize,
     n_resends: AtomicUsize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            // panda-check: allow(unordered_iter): same store as the field.
+            reports: OrderedRwLock::new(rank::SERVER_STRIPE, HashMap::new()),
+            n_received: AtomicUsize::new(0),
+            n_resends: AtomicUsize::new(0),
+        }
+    }
 }
 
 /// Out-of-band epidemiological state (not sharded: low volume).
@@ -54,7 +69,7 @@ struct HealthState {
 pub struct Server {
     grid: GridMap,
     shards: Vec<Shard>,
-    health: RwLock<HealthState>,
+    health: OrderedRwLock<HealthState>,
 }
 
 /// The shard a user routes to out of `n_shards` (≥ 1) — the one pure
@@ -92,11 +107,11 @@ impl Server {
     pub fn with_shards(grid: GridMap, n_shards: usize) -> Self {
         let n_shards = n_shards.max(1);
         let mut shards = Vec::with_capacity(n_shards);
-        shards.resize_with(n_shards, Shard::default);
+        shards.resize_with(n_shards, Shard::new);
         Server {
             grid,
             shards,
-            health: RwLock::new(HealthState::default()),
+            health: OrderedRwLock::new(rank::SERVER_HEALTH, HealthState::default()),
         }
     }
 

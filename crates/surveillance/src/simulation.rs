@@ -24,7 +24,7 @@ use panda_geo::CellId;
 use panda_mobility::{Timestamp, TrajectoryDb, UserId};
 use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Poisson};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Simulation parameters.
@@ -66,7 +66,7 @@ pub struct SimulationLog {
     /// One tracing outcome per processed diagnosis, in diagnosis order.
     pub traces: Vec<(UserId, Timestamp, TraceOutcome)>,
     /// Final health codes.
-    pub codes: HashMap<UserId, HealthCode>,
+    pub codes: BTreeMap<UserId, HealthCode>,
     /// Reports the server received in the routine phase.
     pub routine_reports: usize,
     /// Users that ran out of budget before the horizon.

@@ -30,7 +30,7 @@ use panda::net::{
 use panda::surveillance::ingest::{IngestConfig, PendingReport};
 use panda::surveillance::node::{merge_reported_dbs, ShardNode};
 use panda::surveillance::{shard_of, Server};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 const NODES: usize = 4;
@@ -75,9 +75,9 @@ fn main() {
     let backends: Vec<ShardBackend> = gateways
         .iter()
         .map(|gw| {
-            ShardBackend::Remote(Mutex::new(
+            ShardBackend::remote(
                 GatewayClient::connect(gw.local_addr()).expect("connect shard link"),
-            ))
+            )
         })
         .collect();
     let mut router =

@@ -17,6 +17,7 @@
 //! | [`attack`] | `panda-attack` | Bayesian inference attacks, empirical privacy |
 //! | [`surveillance`] | `panda-surveillance` | clients, server, policy config, the three apps |
 //! | [`net`] | `panda-net` | framed wire protocol, TCP ingest gateway, client SDK |
+//! | [`check`] | `panda-check` | workspace lint + rank-ordered deadlock-checked locks |
 //!
 //! ## Quickstart
 //!
@@ -42,7 +43,10 @@
 //! assert!(report.satisfied && report.exact);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use panda_attack as attack;
+pub use panda_check as check;
 pub use panda_core as core;
 pub use panda_epidemic as epidemic;
 pub use panda_geo as geo;

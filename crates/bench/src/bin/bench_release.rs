@@ -26,7 +26,13 @@
 //!   reports/sec through a `ShardRouter` fanning over 1, 2 and 4 loopback
 //!   shard nodes (each its own gateway + pipeline + server slice) against
 //!   the single-process pipeline, with the router's per-frame fan-out
-//!   overhead, appended as a `cluster` section (schema v6).
+//!   overhead, appended as a `cluster` section.
+//! * `--telemetry` — also measure the cost of the live metrics plane: a
+//!   saturating in-process ingest run with histogram-derived flush
+//!   p50/p99, appended as a `telemetry` section (schema v7) stamped with
+//!   whether this binary was compiled with telemetry on (default) or off
+//!   (`RUSTFLAGS="--cfg panda_obs_off"`). Run both builds and compare
+//!   `reports_per_sec` for the instrumentation overhead (budget < 2%).
 //!
 //! Measures, per (mechanism × batch size × thread count): reports/sec and
 //! p50/p99 per-batch latency of [`ParallelReleaser`] against the
@@ -98,6 +104,20 @@ struct StreamingRow {
     flush_p99_ms: f64,
     batches: usize,
     deadline_flushes: usize,
+}
+
+struct TelemetryRow {
+    /// `"on"` for a default build, `"off"` when compiled with
+    /// `RUSTFLAGS="--cfg panda_obs_off"` — the overhead is the throughput
+    /// delta between the two builds' rows.
+    mode: &'static str,
+    run: usize,
+    reports: usize,
+    reports_per_sec: f64,
+    /// Flush-latency quantiles derived from the pipeline registry's
+    /// striped log2 histogram (0 in `off` mode: recording is a no-op).
+    hist_flush_p50_ms: f64,
+    hist_flush_p99_ms: f64,
 }
 
 struct NetRow {
@@ -298,6 +318,71 @@ fn bench_streaming(quick: bool) -> Vec<StreamingRow> {
                 flush_p99_ms: log.stats.flush_ms_percentile(0.99),
                 batches: log.stats.batches,
                 deadline_flushes: log.stats.deadline_flushes,
+            }
+        })
+        .collect()
+}
+
+/// Instrumentation-overhead harness: a saturating in-process ingest run
+/// (the same shape as the `net` in-process baseline) with per-run
+/// end-to-end throughput and the registry's own histogram-derived flush
+/// quantiles. The `mode` field stamps whether this binary carries live
+/// telemetry (default) or had it compiled out
+/// (`RUSTFLAGS="--cfg panda_obs_off"`); run both builds with
+/// `--telemetry` and compare `reports_per_sec` to measure the overhead
+/// (budget: < 2%).
+fn bench_telemetry(quick: bool) -> Vec<TelemetryRow> {
+    use panda_surveillance::ingest::IngestPipeline;
+    use panda_surveillance::Server;
+    use std::sync::Arc;
+
+    let mode = if cfg!(panda_obs_off) { "off" } else { "on" };
+    let total: usize = if quick { 131_072 } else { 262_144 };
+    let runs = if quick { 3 } else { 4 };
+    (0..runs)
+        .map(|run| {
+            let g = grid(16);
+            let server = Arc::new(Server::with_shards(g.clone(), 16));
+            let index = Arc::new(PolicyIndex::new(LocationPolicyGraph::partition(
+                g.clone(),
+                2,
+                2,
+            )));
+            let pipeline = IngestPipeline::spawn(
+                Arc::clone(&server),
+                index,
+                Arc::new(GraphExponential),
+                IngestConfig {
+                    max_batch: 256,
+                    max_delay: Duration::from_millis(1),
+                    queue_capacity: 16_384,
+                    eps: 1.0,
+                    seed: 7,
+                    ..Default::default()
+                },
+            );
+            let registry = pipeline.metrics();
+            let handle = pipeline.handle();
+            let trace = make_trace_for(run, total);
+            let t0 = Instant::now();
+            for batch in trace.chunks(256) {
+                handle.submit_batch(batch).expect("pipeline alive");
+            }
+            drop(handle);
+            let stats = pipeline.shutdown();
+            let elapsed = t0.elapsed().as_secs_f64();
+            let (p50, p99) = registry
+                .snapshot()
+                .histogram("panda_ingest_flush_ns")
+                .map(|h| (h.quantile(0.5) as f64 / 1e6, h.quantile(0.99) as f64 / 1e6))
+                .unwrap_or((0.0, 0.0));
+            TelemetryRow {
+                mode,
+                run,
+                reports: stats.landed,
+                reports_per_sec: stats.landed as f64 / elapsed,
+                hist_flush_p50_ms: p50,
+                hist_flush_p99_ms: p99,
             }
         })
         .collect()
@@ -753,6 +838,7 @@ fn bench_sampling(quick: bool) -> Vec<SamplingRow> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let telemetry_mode = std::env::args().any(|a| a == "--telemetry");
     let streaming_mode = std::env::args().any(|a| a == "--streaming");
     let net_mode = std::env::args().any(|a| a == "--net");
     let large_graph_mode = std::env::args().any(|a| a == "--large-graph");
@@ -807,6 +893,32 @@ fn main() {
                 s.deadline_flushes
             );
         }
+        rows
+    } else {
+        Vec::new()
+    };
+
+    let telemetry = if telemetry_mode {
+        let rows = bench_telemetry(quick);
+        println!(
+            "\ntelemetry ({} in this build)  run  reports  reports/s  hist flush p50 ms  hist flush p99 ms",
+            rows[0].mode
+        );
+        for t in &rows {
+            println!(
+                "{:<27}  {:<3}  {:<7}  {:<9.0}  {:<17.3}  {:<17.3}",
+                t.mode,
+                t.run,
+                t.reports,
+                t.reports_per_sec,
+                t.hist_flush_p50_ms,
+                t.hist_flush_p99_ms
+            );
+        }
+        println!(
+            "(re-run this section under RUSTFLAGS=\"--cfg panda_obs_off\" and compare \
+             reports/s for the instrumentation overhead; budget < 2%)"
+        );
         rows
     } else {
         Vec::new()
@@ -908,7 +1020,11 @@ fn main() {
 
     // Hand-assembled JSON (the offline workspace carries no JSON crate).
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"panda-bench-release/v6\",\n");
+    json.push_str("  \"schema\": \"panda-bench-release/v7\",\n");
+    json.push_str(&format!(
+        "  \"telemetry_compiled\": \"{}\",\n",
+        if cfg!(panda_obs_off) { "off" } else { "on" }
+    ));
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -962,6 +1078,24 @@ fn main() {
                 s.batches,
                 s.deadline_flushes,
                 if i + 1 < streaming.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+    }
+    if !telemetry.is_empty() {
+        json.push_str("  \"telemetry\": [\n");
+        for (i, t) in telemetry.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"run\": {}, \"reports\": {}, \
+                 \"reports_per_sec\": {:.0}, \"hist_flush_p50_ms\": {:.3}, \
+                 \"hist_flush_p99_ms\": {:.3}}}{}\n",
+                t.mode,
+                t.run,
+                t.reports,
+                t.reports_per_sec,
+                t.hist_flush_p50_ms,
+                t.hist_flush_p99_ms,
+                if i + 1 < telemetry.len() { "," } else { "" }
             ));
         }
         json.push_str("  ],\n");

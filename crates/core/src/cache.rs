@@ -9,6 +9,7 @@
 //!
 //! O(1) `get`/`insert` via a slab-backed doubly-linked recency list.
 
+use panda_obs::Counter;
 // panda-check: allow(unordered_iter): key->slot lookup only; recency order lives in the slab list
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -41,6 +42,26 @@ impl CacheStats {
     }
 }
 
+/// The live counter handles behind [`CacheStats`]: cloneable, so a metrics
+/// registry can adopt them for scraping while the cache keeps recording.
+#[derive(Debug, Default)]
+pub(crate) struct CacheCounters {
+    pub(crate) hits: Counter,
+    pub(crate) misses: Counter,
+    pub(crate) evictions: Counter,
+}
+
+impl CacheCounters {
+    /// The point-in-time POD view.
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Slot<K, V> {
     key: K,
@@ -64,7 +85,7 @@ pub(crate) struct WeightedLru<K, V> {
     tail: usize,
     weight: usize,
     capacity: usize,
-    stats: CacheStats,
+    stats: CacheCounters,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
@@ -79,7 +100,7 @@ impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
             tail: NIL,
             weight: 0,
             capacity,
-            stats: CacheStats::default(),
+            stats: CacheCounters::default(),
         }
     }
 
@@ -95,7 +116,12 @@ impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
 
     /// Lifetime hit/miss/eviction counters.
     pub(crate) fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// The live counter handles (for adoption into a metrics registry).
+    pub(crate) fn counters(&self) -> &CacheCounters {
+        &self.stats
     }
 
     /// Iterates over the cached values in unspecified order (for exact
@@ -135,10 +161,10 @@ impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
     /// Looks up `key`, promoting it to most-recently-used on a hit.
     pub(crate) fn get(&mut self, key: &K) -> Option<V> {
         let Some(&slot) = self.map.get(key) else {
-            self.stats.misses += 1;
+            self.stats.misses.inc();
             return None;
         };
-        self.stats.hits += 1;
+        self.stats.hits.inc();
         if self.head != slot {
             self.unlink(slot);
             self.push_front(slot);
@@ -155,7 +181,7 @@ impl<K: Eq + Hash + Clone, V: Clone> WeightedLru<K, V> {
             self.map.remove(&self.slots[victim].key);
             self.weight -= self.slots[victim].weight;
             self.free.push(victim);
-            self.stats.evictions += 1;
+            self.stats.evictions.inc();
         }
     }
 

@@ -25,9 +25,9 @@ use crate::mech::pim::PreparedHull;
 use crate::policy::LocationPolicyGraph;
 use panda_check::ordered::{rank, OrderedMutex, OrderedRwLock};
 use panda_geo::CellId;
+use panda_obs::{Counter, Registry};
 use rand::Rng;
 use rand::RngCore;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cache key: mechanism identity × ε (by bit pattern) × true location.
@@ -250,7 +250,7 @@ pub struct PolicyIndex {
     /// lock briefly to insert, still counted as the one touch its lookup
     /// was). The release engine's per-lane sampler memos keep this at one
     /// touch per distinct `(mechanism, ε, cell)` per lane; tests assert it.
-    dist_touches: AtomicU64,
+    dist_touches: Counter,
     /// `calibrations[component]`: `None` = not yet computed,
     /// `Some(None)` = singleton component (exact release),
     /// `Some(Some(len))` = longest policy edge in the component.
@@ -281,7 +281,7 @@ impl PolicyIndex {
                 WeightedLru::new(max_cached_entries),
             ),
             rows: OrderedMutex::new(rank::INDEX_ROWS, WeightedLru::new(max_cached_entries)),
-            dist_touches: AtomicU64::new(0),
+            dist_touches: Counter::new(),
             calibrations: OrderedRwLock::new(rank::INDEX_CALIBRATIONS, vec![None; n_components]),
             pim_hulls: [
                 OrderedRwLock::new(rank::INDEX_PIM_HULLS, vec![None; n_components]),
@@ -327,7 +327,7 @@ impl PolicyIndex {
         cell: CellId,
         build: impl FnOnce(&LocationPolicyGraph) -> Vec<(CellId, f64)>,
     ) -> Arc<SamplingTable> {
-        self.dist_touches.fetch_add(1, Ordering::Relaxed);
+        self.dist_touches.inc();
         let key = DistKey {
             mech,
             eps_bits: eps.to_bits(),
@@ -415,7 +415,28 @@ impl PolicyIndex {
     /// bound it by `lanes × distinct cells` per flush, where the per-report
     /// path paid one touch per report.
     pub fn distribution_cache_touches(&self) -> u64 {
-        self.dist_touches.load(Ordering::Relaxed)
+        self.dist_touches.get()
+    }
+
+    /// Adopts the index's live cache counters into `registry` under
+    /// `panda_index_*` names (adopt-replace: re-registering after a policy
+    /// switch re-points the scrape plane at the new index's handles).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("panda_index_distribution_touches_total", &self.dist_touches);
+        {
+            let dist = self.distributions.lock();
+            let c = dist.counters();
+            registry.register_counter("panda_index_dist_cache_hits_total", &c.hits);
+            registry.register_counter("panda_index_dist_cache_misses_total", &c.misses);
+            registry.register_counter("panda_index_dist_cache_evictions_total", &c.evictions);
+        }
+        {
+            let rows = self.rows.lock();
+            let c = rows.counters();
+            registry.register_counter("panda_index_row_cache_hits_total", &c.hits);
+            registry.register_counter("panda_index_row_cache_misses_total", &c.misses);
+            registry.register_counter("panda_index_row_cache_evictions_total", &c.evictions);
+        }
     }
 
     /// Number of distribution tables currently cached (diagnostics).

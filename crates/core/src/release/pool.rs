@@ -32,6 +32,7 @@
 //! queueing on the cache mutex.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use panda_obs::{clock, Counter, Gauge, Histogram, Registry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -94,6 +95,13 @@ pub struct ReleasePool {
     /// queue so workers drain and exit.
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Workers currently executing a job (each worker's loop brackets the
+    /// job with inc/dec on its own clone of this gauge).
+    busy_workers: Gauge,
+    /// `run_scoped` calls completed.
+    bursts: Counter,
+    /// Submit-to-drained latency of each `run_scoped` burst, in ns.
+    burst_ns: Histogram,
 }
 
 impl std::fmt::Debug for ReleasePool {
@@ -115,16 +123,20 @@ impl ReleasePool {
     pub fn new(n_workers: usize) -> Self {
         let n_workers = n_workers.max(1);
         let (tx, rx) = bounded::<Job>(n_workers * Self::QUEUE_SLOTS_PER_WORKER);
+        let busy_workers = Gauge::new();
         let workers = (0..n_workers)
             .map(|i| {
                 let rx: Receiver<Job> = rx.clone();
+                let busy = busy_workers.clone();
                 std::thread::Builder::new()
                     .name(format!("panda-release-{i}"))
                     .spawn(move || {
                         // Parked in `recv` between bursts; `Err` means the
                         // queue is drained *and* the pool was dropped.
                         while let Ok(job) = rx.recv() {
+                            busy.inc();
                             job();
+                            busy.dec();
                         }
                     })
                     .expect("spawn release worker")
@@ -133,6 +145,9 @@ impl ReleasePool {
         ReleasePool {
             tx: Some(tx),
             workers,
+            busy_workers,
+            bursts: Counter::new(),
+            burst_ns: Histogram::new(),
         }
     }
 
@@ -154,6 +169,14 @@ impl ReleasePool {
         self.tx.as_ref().map(|tx| tx.len()).unwrap_or(0)
     }
 
+    /// Adopts the pool's live occupancy/latency handles into `registry`
+    /// under `panda_pool_*` names.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_gauge("panda_pool_busy_workers", &self.busy_workers);
+        registry.register_counter("panda_pool_bursts_total", &self.bursts);
+        registry.register_histogram("panda_pool_burst_ns", &self.burst_ns);
+    }
+
     /// Runs `jobs` on the pool and blocks until **all** of them have
     /// finished — the pool-flavoured crossbeam scope. Jobs may borrow from
     /// the caller's stack (disjoint `&mut` output chunks included).
@@ -171,6 +194,7 @@ impl ReleasePool {
         if jobs.is_empty() {
             return;
         }
+        let t0 = clock::now();
         let latch = Arc::new(Latch::new(jobs.len()));
         let tx = self.tx.as_ref().expect("pool alive");
         let mut send_failed = false;
@@ -208,6 +232,8 @@ impl ReleasePool {
             }
         }
         latch.wait();
+        self.burst_ns.record(clock::ns_since(t0));
+        self.bursts.inc();
         assert!(!send_failed, "release pool workers exited early");
         if latch.panicked.load(Ordering::Acquire) {
             panic!("release pool job panicked");

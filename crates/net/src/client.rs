@@ -17,6 +17,7 @@ use crate::wire::{
 };
 use panda_core::LocationPolicyGraph;
 use panda_mobility::UserId;
+use panda_obs::Counter;
 use panda_surveillance::ingest::{PendingReport, SequencedReport};
 use panda_surveillance::protocol::{LocationReport, PolicyAssignment, ResendRequest};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -108,7 +109,7 @@ pub struct GatewayClient {
     stream: TcpStream,
     retry: RetryPolicy,
     send_buf: Vec<u8>,
-    backpressure_retries: u64,
+    backpressure_retries: Counter,
 }
 
 impl GatewayClient {
@@ -124,7 +125,7 @@ impl GatewayClient {
             stream,
             retry: RetryPolicy::default(),
             send_buf: Vec::new(),
-            backpressure_retries: 0,
+            backpressure_retries: Counter::new(),
         })
     }
 
@@ -136,9 +137,29 @@ impl GatewayClient {
     }
 
     /// How many backpressure nacks this client has ridden out (observable
-    /// evidence that the retry path ran).
+    /// evidence that the retry path ran). A `panda-obs` counter read:
+    /// reads 0 when built with `--cfg panda_obs_off`.
     pub fn backpressure_retries(&self) -> u64 {
-        self.backpressure_retries
+        self.backpressure_retries.get()
+    }
+
+    /// Scrapes the node's metric exposition over the wire
+    /// ([`Frame::StatsRequest`] → [`Frame::StatsReply`]). Served only on
+    /// privileged planes (a gateway with
+    /// [`crate::GatewayConfig::allow_wire_policy_switch`] — operator and
+    /// shard planes both — or a router's operator plane); a data-plane
+    /// listener refuses with [`ClientError::Rejected`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] on an unprivileged plane; the
+    /// transport/protocol variants otherwise.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.round_trip(&Frame::StatsRequest)? {
+            Frame::StatsReply(text) => Ok(text),
+            Frame::Nack { reason, .. } => Err(nack_error(reason)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
     }
 
     /// Sends one frame and reads its single reply.
@@ -174,7 +195,7 @@ impl GatewayClient {
                     ..
                 } => {
                     attempts += 1;
-                    self.backpressure_retries += 1;
+                    self.backpressure_retries.inc();
                     if attempts >= self.retry.max_attempts {
                         return Err(ClientError::Saturated);
                     }
@@ -229,7 +250,7 @@ impl GatewayClient {
                         return Err(ClientError::UnexpectedReply);
                     }
                     sent += accepted as usize;
-                    self.backpressure_retries += 1;
+                    self.backpressure_retries.inc();
                     if accepted > 0 {
                         // Progress: the queue is draining; reset the budget.
                         attempts = 0;
@@ -306,7 +327,7 @@ impl GatewayClient {
                     ..
                 } => {
                     attempts += 1;
-                    self.backpressure_retries += 1;
+                    self.backpressure_retries.inc();
                     if attempts >= self.retry.max_attempts {
                         return Err(ClientError::Saturated);
                     }
@@ -384,7 +405,7 @@ impl GatewayClient {
                     ..
                 } => {
                     attempts += 1;
-                    self.backpressure_retries += 1;
+                    self.backpressure_retries.inc();
                     if attempts >= self.retry.max_attempts {
                         return Err(ClientError::Saturated);
                     }

@@ -42,12 +42,13 @@
 
 use crate::listener::{CoreStats, Disposition, FrameService, Listener};
 use crate::mailbox::{Mailbox, ServerMessage};
-use crate::wire::{encode_frame, Frame, NackReason};
+use crate::wire::{clamp_stats_text, encode_frame, Frame, NackReason};
 use panda_check::ordered::{rank, OrderedMutex};
 use panda_core::PolicyIndex;
+use panda_obs::{Counter, Registry};
 use panda_surveillance::ingest::{IngestHandle, TrySubmitError, TrySwitchError};
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -165,11 +166,27 @@ pub struct GatewayStats {
 /// Service-level counters (socket-level ones live in [`CoreStats`]).
 #[derive(Default)]
 struct ServiceStats {
-    reports_enqueued: AtomicU64,
-    backpressure_nacks: AtomicU64,
-    closed_nacks: AtomicU64,
-    policy_switches: AtomicU64,
-    fetches_served: AtomicU64,
+    reports_enqueued: Counter,
+    backpressure_nacks: Counter,
+    closed_nacks: Counter,
+    policy_switches: Counter,
+    fetches_served: Counter,
+}
+
+impl ServiceStats {
+    fn register_into(&self, registry: &Registry) {
+        registry.register_counter(
+            "panda_gateway_reports_enqueued_total",
+            &self.reports_enqueued,
+        );
+        registry.register_counter(
+            "panda_gateway_backpressure_nacks_total",
+            &self.backpressure_nacks,
+        );
+        registry.register_counter("panda_gateway_closed_nacks_total", &self.closed_nacks);
+        registry.register_counter("panda_gateway_policy_switches_total", &self.policy_switches);
+        registry.register_counter("panda_gateway_fetches_served_total", &self.fetches_served);
+    }
 }
 
 /// One connection's submission counters, snapshotted by
@@ -185,11 +202,13 @@ pub struct ConnectionStats {
     pub live: bool,
 }
 
-/// Live per-connection counters, registered at accept.
+/// Live per-connection counters, registered at accept. `live` stays a
+/// plain `AtomicBool`: it is functional state (registry pruning), not
+/// telemetry, so it must survive `--cfg panda_obs_off`.
 #[derive(Default)]
 struct ConnCounters {
-    accepted: AtomicU64,
-    nacked: AtomicU64,
+    accepted: Counter,
+    nacked: Counter,
     live: AtomicBool,
 }
 
@@ -201,6 +220,10 @@ struct PipelineService {
     stats: Arc<ServiceStats>,
     mailbox: Arc<Mailbox>,
     connections: OrderedMutex<Vec<Arc<ConnCounters>>>,
+    /// This gateway's own scrape scope. Each gateway owns its own
+    /// registry (two listeners over one pipeline must not collide);
+    /// scrapes merge it with the pipeline's registry snapshot.
+    registry: Arc<Registry>,
 }
 
 /// A running TCP ingest gateway; dropping it shuts it down.
@@ -251,13 +274,18 @@ impl IngestGateway {
         mailbox: Arc<Mailbox>,
     ) -> std::io::Result<Self> {
         let core = Arc::new(CoreStats::default());
+        let stats = Arc::new(ServiceStats::default());
+        let registry = Arc::new(Registry::new());
+        core.register_into(&registry, "gateway");
+        stats.register_into(&registry);
         let service = Arc::new(PipelineService {
             ingest,
             config: config.clone(),
             core: Arc::clone(&core),
-            stats: Arc::new(ServiceStats::default()),
+            stats,
             mailbox,
             connections: OrderedMutex::new(rank::GATEWAY_CONNECTIONS, Vec::new()),
+            registry,
         });
         let listener = Listener::bind(addr, Arc::clone(&service), config, core, "panda-gateway")?;
         let addr = listener.local_addr();
@@ -279,22 +307,31 @@ impl IngestGateway {
         Arc::clone(&self.service.mailbox)
     }
 
-    /// A snapshot of the lifetime counters.
+    /// A snapshot of the lifetime counters — a thin read of the same
+    /// `panda-obs` cells the scrape plane exposes (all zero when the
+    /// workspace is built with `--cfg panda_obs_off`).
     pub fn stats(&self) -> GatewayStats {
         let core = &self.service.core;
         let stats = &self.service.stats;
         GatewayStats {
-            connections: core.connections.load(Ordering::Relaxed),
-            rejected_connections: core.rejected_connections.load(Ordering::Relaxed),
-            dropped_connections: core.dropped_connections.load(Ordering::Relaxed),
-            frames: core.frames.load(Ordering::Relaxed),
-            reports_enqueued: stats.reports_enqueued.load(Ordering::Relaxed),
-            backpressure_nacks: stats.backpressure_nacks.load(Ordering::Relaxed),
-            closed_nacks: stats.closed_nacks.load(Ordering::Relaxed),
-            malformed_nacks: core.malformed_nacks.load(Ordering::Relaxed),
-            policy_switches: stats.policy_switches.load(Ordering::Relaxed),
-            fetches_served: stats.fetches_served.load(Ordering::Relaxed),
+            connections: core.connections.get(),
+            rejected_connections: core.rejected_connections.get(),
+            dropped_connections: core.dropped_connections.get(),
+            frames: core.frames.get(),
+            reports_enqueued: stats.reports_enqueued.get(),
+            backpressure_nacks: stats.backpressure_nacks.get(),
+            closed_nacks: stats.closed_nacks.get(),
+            malformed_nacks: core.malformed_nacks.get(),
+            policy_switches: stats.policy_switches.get(),
+            fetches_served: stats.fetches_served.get(),
         }
+    }
+
+    /// The deterministic text exposition of this gateway's metrics merged
+    /// with its pipeline's — the same text [`Frame::StatsRequest`] returns
+    /// over the wire on an operator/shard plane.
+    pub fn metrics_dump(&self) -> String {
+        self.service.metrics_text()
     }
 
     /// Per-connection submission counters: every connection still being
@@ -308,8 +345,8 @@ impl IngestGateway {
             .lock()
             .iter()
             .map(|c| ConnectionStats {
-                accepted: c.accepted.load(Ordering::Relaxed),
-                nacked: c.nacked.load(Ordering::Relaxed),
+                accepted: c.accepted.get(),
+                nacked: c.nacked.get(),
                 live: c.live.load(Ordering::Relaxed),
             })
             .collect()
@@ -344,17 +381,20 @@ impl FrameService for PipelineService {
 
     /// Which frame tags this listener is willing to *decode*: submissions
     /// (pending and released), fetch polls and clean shutdown always;
-    /// policy switches, assignments and re-send requests only on the
-    /// operator plane; sequenced submission only on a shard plane.
-    /// Everything else — server → client tags, unknown tags — is refused
-    /// at header cost.
+    /// policy switches, assignments, re-send requests and stats scrapes
+    /// only on the operator plane; sequenced submission only on a shard
+    /// plane. Everything else — server → client tags, unknown tags — is
+    /// refused at header cost.
     fn permits(&self, t: u8) -> bool {
         use crate::wire::tag;
         matches!(
             t,
             tag::SUBMIT | tag::SUBMIT_BATCH | tag::SHUTDOWN | tag::REPORT | tag::FETCH
         ) || (self.config.allow_wire_policy_switch
-            && matches!(t, tag::SWITCH_POLICY | tag::ASSIGN | tag::RESEND))
+            && matches!(
+                t,
+                tag::SWITCH_POLICY | tag::ASSIGN | tag::RESEND | tag::STATS_REQUEST
+            ))
             || (self.config.allow_sequenced_submit && t == tag::SUBMIT_SEQUENCED)
     }
 
@@ -403,7 +443,7 @@ impl FrameService for PipelineService {
             Frame::Fetch { user } => {
                 let reply = match self.mailbox.fetch(user) {
                     Some(msg) => {
-                        self.stats.fetches_served.fetch_add(1, Ordering::Relaxed);
+                        self.stats.fetches_served.inc();
                         msg.into_frame()
                     }
                     None => Frame::Ack { accepted: 0 },
@@ -446,22 +486,20 @@ impl FrameService for PipelineService {
                     .try_switch_policy(Arc::new(PolicyIndex::new(policy)))
                 {
                     Ok(()) => {
-                        self.stats.policy_switches.fetch_add(1, Ordering::Relaxed);
+                        self.stats.policy_switches.inc();
                         Frame::Ack { accepted: 0 }
                     }
                     Err(TrySwitchError::Full(_)) => {
-                        self.stats
-                            .backpressure_nacks
-                            .fetch_add(1, Ordering::Relaxed);
-                        conn.nacked.fetch_add(1, Ordering::Relaxed);
+                        self.stats.backpressure_nacks.inc();
+                        conn.nacked.inc();
                         Frame::Nack {
                             reason: NackReason::Backpressure,
                             accepted: 0,
                         }
                     }
                     Err(TrySwitchError::Closed(_)) => {
-                        self.stats.closed_nacks.fetch_add(1, Ordering::Relaxed);
-                        conn.nacked.fetch_add(1, Ordering::Relaxed);
+                        self.stats.closed_nacks.inc();
+                        conn.nacked.inc();
                         Frame::Nack {
                             reason: NackReason::Closed,
                             accepted: 0,
@@ -471,6 +509,16 @@ impl FrameService for PipelineService {
                 encode_frame(&reply, replies);
                 Disposition::Continue
             }
+            Frame::StatsRequest => {
+                if !self.config.allow_wire_policy_switch {
+                    // Stats expose queue depths and per-stage health —
+                    // operator-plane intelligence an open ingest port
+                    // must not hand to untrusted reporters.
+                    return self.violation(conn, replies);
+                }
+                encode_frame(&Frame::StatsReply(self.metrics_text()), replies);
+                Disposition::Continue
+            }
             Frame::Shutdown => {
                 encode_frame(&Frame::Ack { accepted: 0 }, replies);
                 Disposition::Close
@@ -478,7 +526,9 @@ impl FrameService for PipelineService {
             // Server → client frames arriving at the server are a
             // protocol violation: refuse and close, exactly like
             // undecodable bytes.
-            Frame::Ack { .. } | Frame::Nack { .. } => self.violation(conn, replies),
+            Frame::Ack { .. } | Frame::Nack { .. } | Frame::StatsReply(_) => {
+                self.violation(conn, replies)
+            }
         }
     }
 
@@ -508,13 +558,10 @@ impl PipelineService {
             Err((reason, accepted)) => {
                 self.count_accepted(conn, accepted);
                 match reason {
-                    NackReason::Backpressure => self
-                        .stats
-                        .backpressure_nacks
-                        .fetch_add(1, Ordering::Relaxed),
-                    _ => self.stats.closed_nacks.fetch_add(1, Ordering::Relaxed),
+                    NackReason::Backpressure => self.stats.backpressure_nacks.inc(),
+                    _ => self.stats.closed_nacks.inc(),
                 };
-                conn.nacked.fetch_add(1, Ordering::Relaxed);
+                conn.nacked.inc();
                 Frame::Nack {
                     reason,
                     accepted: accepted as u32,
@@ -527,17 +574,24 @@ impl PipelineService {
 
     fn count_accepted(&self, conn: &Arc<ConnCounters>, accepted: usize) {
         if accepted > 0 {
-            self.stats
-                .reports_enqueued
-                .fetch_add(accepted as u64, Ordering::Relaxed);
-            conn.accepted.fetch_add(accepted as u64, Ordering::Relaxed);
+            self.stats.reports_enqueued.add(accepted as u64);
+            conn.accepted.add(accepted as u64);
         }
+    }
+
+    /// The merged exposition text served to scrapes: the gateway's own
+    /// frame/connection metrics joined with the pipeline's ingest-side
+    /// registry (disjoint name prefixes, so the merge never clashes).
+    fn metrics_text(&self) -> String {
+        let mut snap = self.registry.snapshot();
+        snap.merge(&self.ingest.metrics().snapshot());
+        clamp_stats_text(snap.render())
     }
 
     /// A protocol violation on this plane: `Nack{Malformed}` and drop.
     fn violation(&self, conn: &Arc<ConnCounters>, replies: &mut Vec<u8>) -> Disposition {
-        self.core.malformed_nacks.fetch_add(1, Ordering::Relaxed);
-        conn.nacked.fetch_add(1, Ordering::Relaxed);
+        self.core.malformed_nacks.inc();
+        conn.nacked.inc();
         encode_frame(
             &Frame::Nack {
                 reason: NackReason::Malformed,

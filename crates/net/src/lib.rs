@@ -28,6 +28,19 @@
 //!   server-initiated pushes (policy assignments, re-send requests) into
 //!   client-polled fetches over the client-initiated transport.
 //!
+//! ## Observability
+//!
+//! Every node is wire-scrapeable: [`Frame::StatsRequest`] on a privileged
+//! plane (an operator/shard gateway, a router's operator listener) answers
+//! with [`Frame::StatsReply`] carrying the node's `panda-obs` metric
+//! exposition — frame counters, per-stage latency histograms, queue
+//! depths — merged across the gateway and its pipeline.
+//! [`GatewayClient::stats`] is the client side;
+//! [`IngestGateway::metrics_dump`] / [`ShardRouter::metrics_dump`] the
+//! in-process equivalents. Telemetry reads the clock only through
+//! `panda_obs::clock` and records counts/sizes in RNG-keyed stages, so
+//! scraping never perturbs the determinism contract above.
+//!
 //! ## Determinism
 //!
 //! The pipeline keys each report's RNG stream by its **arrival sequence

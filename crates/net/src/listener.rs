@@ -12,9 +12,10 @@
 use crate::gateway::GatewayConfig;
 use crate::wire::{encode_frame, Frame, FrameDecoder, NackReason};
 use panda_check::ordered::{rank, OrderedMutex};
+use panda_obs::{clock, Counter, Histogram, Registry};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -55,15 +56,40 @@ pub(crate) trait FrameService: Send + Sync + 'static {
     fn closed(&self, conn: Self::Conn, dropped: bool);
 }
 
-/// Socket-level lifetime counters every listener keeps, independent of
-/// its service's own accounting.
+/// Socket-level lifetime instruments every listener keeps, independent
+/// of its service's own accounting. The handles are `panda-obs` metrics
+/// so one set of cells backs both the POD `stats()` snapshots and the
+/// scrapeable registry.
 #[derive(Default)]
 pub(crate) struct CoreStats {
-    pub connections: AtomicU64,
-    pub rejected_connections: AtomicU64,
-    pub dropped_connections: AtomicU64,
-    pub frames: AtomicU64,
-    pub malformed_nacks: AtomicU64,
+    pub connections: Counter,
+    pub rejected_connections: Counter,
+    pub dropped_connections: Counter,
+    pub frames: Counter,
+    pub malformed_nacks: Counter,
+    /// End-to-end latency of handling one decoded frame (dispatch through
+    /// reply encode), in nanoseconds.
+    pub frame_ns: Histogram,
+}
+
+impl CoreStats {
+    /// Registers every instrument into `registry` under
+    /// `panda_<component>_…` names (`component` is `gateway` or `router`).
+    pub fn register_into(&self, registry: &Registry, component: &str) {
+        let name = |what: &str| format!("panda_{component}_{what}");
+        registry.register_counter(&name("connections_total"), &self.connections);
+        registry.register_counter(
+            &name("rejected_connections_total"),
+            &self.rejected_connections,
+        );
+        registry.register_counter(
+            &name("dropped_connections_total"),
+            &self.dropped_connections,
+        );
+        registry.register_counter(&name("frames_total"), &self.frames);
+        registry.register_counter(&name("malformed_nacks_total"), &self.malformed_nacks);
+        registry.register_histogram(&name("frame_ns"), &self.frame_ns);
+    }
 }
 
 /// A running framed-protocol listener; dropping it shuts it down.
@@ -203,7 +229,7 @@ fn accept_loop<S: FrameService>(
         // The connection cap: a thread + buffers per connection must not
         // be mintable without bound by whoever can reach the port.
         if live.len() >= config.max_connections.max(1) {
-            core.rejected_connections.fetch_add(1, Ordering::Relaxed);
+            core.rejected_connections.inc();
             *registry = live;
             drop(registry);
             drop(stream);
@@ -222,14 +248,14 @@ fn accept_loop<S: FrameService>(
         };
         match spawned {
             Ok(handler) => {
-                core.connections.fetch_add(1, Ordering::Relaxed);
+                core.connections.inc();
                 live.push(handler);
             }
             // Thread exhaustion is the same resource pressure as the
             // connection cap: refuse this connection (the stream moved
             // into the failed closure and is already gone), keep serving.
             Err(_) => {
-                core.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                core.rejected_connections.inc();
             }
         }
         *registry = live;
@@ -254,7 +280,7 @@ fn serve_connection<S: FrameService>(
     let mut replies = Vec::new();
     let mut eof = false;
     let mut dropped = false;
-    let mut last_bytes = std::time::Instant::now();
+    let mut last_bytes = clock::now();
     loop {
         if !eof {
             match stream.read(&mut buf) {
@@ -262,7 +288,7 @@ fn serve_connection<S: FrameService>(
                 Ok(n) => {
                     // panda-check: allow(panic_path): read() contract: n <= buf.len()
                     decoder.feed(&buf[..n]);
-                    last_bytes = std::time::Instant::now();
+                    last_bytes = clock::now();
                 }
                 Err(e)
                     if matches!(
@@ -274,7 +300,9 @@ fn serve_connection<S: FrameService>(
                         // Listener shutdown: drain what already arrived,
                         // reply, then close.
                         eof = true;
-                    } else if last_bytes.elapsed() >= config.idle_timeout {
+                    } else if clock::now().saturating_duration_since(last_bytes)
+                        >= config.idle_timeout
+                    {
                         // A silent socket must not pin a connection slot
                         // forever; drop it (the client reconnects).
                         dropped = true;
@@ -299,8 +327,10 @@ fn serve_connection<S: FrameService>(
             // just to have it refused.
             match decoder.next_frame_permitted(|t| service.permits(t)) {
                 Ok(Some(frame)) => {
-                    core.frames.fetch_add(1, Ordering::Relaxed);
-                    disposition = service.handle(&mut conn, frame, &mut replies);
+                    core.frames.inc();
+                    disposition = core
+                        .frame_ns
+                        .time(|| service.handle(&mut conn, frame, &mut replies));
                     if !matches!(disposition, Disposition::Continue) {
                         break;
                     }
@@ -310,7 +340,7 @@ fn serve_connection<S: FrameService>(
                     // Framing is lost: refuse and drop the connection. The
                     // downstream tier never saw the bytes, so other
                     // clients are unaffected.
-                    core.malformed_nacks.fetch_add(1, Ordering::Relaxed);
+                    core.malformed_nacks.inc();
                     encode_frame(
                         &Frame::Nack {
                             reason: NackReason::Malformed,
@@ -346,7 +376,7 @@ fn serve_connection<S: FrameService>(
         }
     }
     if dropped {
-        core.dropped_connections.fetch_add(1, Ordering::Relaxed);
+        core.dropped_connections.inc();
     }
     service.closed(conn, dropped);
     let _ = stream.shutdown(std::net::Shutdown::Both);

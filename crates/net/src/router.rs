@@ -46,10 +46,11 @@ use crate::client::GatewayClient;
 use crate::gateway::GatewayConfig;
 use crate::listener::{CoreStats, Disposition, FrameService, Listener};
 use crate::mailbox::{Mailbox, ServerMessage};
-use crate::wire::{encode_frame, Frame, NackReason, MAX_REPORTS_PER_FRAME};
+use crate::wire::{clamp_stats_text, encode_frame, Frame, NackReason, MAX_REPORTS_PER_FRAME};
 use panda_check::ordered::{rank, OrderedMutex};
 use panda_core::LocationPolicyGraph;
 use panda_core::PolicyIndex;
+use panda_obs::{Counter, Histogram, Registry};
 use panda_surveillance::ingest::{PendingReport, SequencedReport, TrySwitchError};
 use panda_surveillance::node::IngestNode;
 use panda_surveillance::shard_of;
@@ -188,13 +189,46 @@ pub struct RouterStats {
 
 #[derive(Default)]
 struct RouterCounters {
-    reports_routed: AtomicU64,
-    fanout_batches: AtomicU64,
-    backpressure_nacks: AtomicU64,
-    closed_nacks: AtomicU64,
-    policy_switches: AtomicU64,
-    policy_rollbacks: AtomicU64,
-    fetches_served: AtomicU64,
+    reports_routed: Counter,
+    fanout_batches: Counter,
+    backpressure_nacks: Counter,
+    closed_nacks: Counter,
+    policy_switches: Counter,
+    policy_rollbacks: Counter,
+    fetches_served: Counter,
+    /// Size in reports of each stamped sub-batch forwarded downstream —
+    /// the fan-out shape (how well client batches pack per shard).
+    fanout_batch_reports: Histogram,
+    /// Client frames answered with a short contiguous prefix: some
+    /// position was stamped but its shard backpressured, so the ack
+    /// stalled behind it. The stall signal for router capacity planning.
+    ack_prefix_stalls: Counter,
+}
+
+impl RouterCounters {
+    fn register_into(&self, registry: &Registry) {
+        registry.register_counter("panda_router_reports_routed_total", &self.reports_routed);
+        registry.register_counter("panda_router_fanout_batches_total", &self.fanout_batches);
+        registry.register_counter(
+            "panda_router_backpressure_nacks_total",
+            &self.backpressure_nacks,
+        );
+        registry.register_counter("panda_router_closed_nacks_total", &self.closed_nacks);
+        registry.register_counter("panda_router_policy_switches_total", &self.policy_switches);
+        registry.register_counter(
+            "panda_router_policy_rollbacks_total",
+            &self.policy_rollbacks,
+        );
+        registry.register_counter("panda_router_fetches_served_total", &self.fetches_served);
+        registry.register_histogram(
+            "panda_router_fanout_batch_reports",
+            &self.fanout_batch_reports,
+        );
+        registry.register_counter(
+            "panda_router_ack_prefix_stalls_total",
+            &self.ack_prefix_stalls,
+        );
+    }
 }
 
 /// State shared by the router's data and operator planes.
@@ -210,6 +244,9 @@ struct RouterShared {
     current_policy: OrderedMutex<Option<LocationPolicyGraph>>,
     counters: RouterCounters,
     core: Arc<CoreStats>,
+    /// The router's scrape scope (both planes share it, like the core
+    /// counters); served to [`Frame::StatsRequest`] on the operator plane.
+    registry: Arc<Registry>,
 }
 
 /// One stream position the router has seen but not yet retired: its
@@ -261,13 +298,18 @@ impl ShardRouter {
         config: RouterConfig,
     ) -> std::io::Result<Self> {
         let core = Arc::new(CoreStats::default());
+        let counters = RouterCounters::default();
+        let registry = Arc::new(Registry::new());
+        core.register_into(&registry, "router");
+        counters.register_into(&registry);
         let shared = Arc::new(RouterShared {
             backends,
             next_seq: AtomicU64::new(0),
             mailbox: Arc::new(Mailbox::new()),
             current_policy: OrderedMutex::new(rank::ROUTER_POLICY, None),
-            counters: RouterCounters::default(),
+            counters,
             core: Arc::clone(&core),
+            registry,
         });
         let data_config = GatewayConfig {
             allow_wire_policy_switch: false,
@@ -338,24 +380,32 @@ impl ShardRouter {
         Arc::clone(&self.shared.mailbox)
     }
 
-    /// A snapshot of the lifetime counters (both planes aggregated).
+    /// A snapshot of the lifetime counters (both planes aggregated) — a
+    /// thin read of the same `panda-obs` cells the scrape plane exposes
+    /// (all zero when built with `--cfg panda_obs_off`).
     pub fn stats(&self) -> RouterStats {
         let core = &self.shared.core;
         let c = &self.shared.counters;
         RouterStats {
-            connections: core.connections.load(Ordering::Relaxed),
-            rejected_connections: core.rejected_connections.load(Ordering::Relaxed),
-            dropped_connections: core.dropped_connections.load(Ordering::Relaxed),
-            frames: core.frames.load(Ordering::Relaxed),
-            reports_routed: c.reports_routed.load(Ordering::Relaxed),
-            fanout_batches: c.fanout_batches.load(Ordering::Relaxed),
-            backpressure_nacks: c.backpressure_nacks.load(Ordering::Relaxed),
-            closed_nacks: c.closed_nacks.load(Ordering::Relaxed),
-            malformed_nacks: core.malformed_nacks.load(Ordering::Relaxed),
-            policy_switches: c.policy_switches.load(Ordering::Relaxed),
-            policy_rollbacks: c.policy_rollbacks.load(Ordering::Relaxed),
-            fetches_served: c.fetches_served.load(Ordering::Relaxed),
+            connections: core.connections.get(),
+            rejected_connections: core.rejected_connections.get(),
+            dropped_connections: core.dropped_connections.get(),
+            frames: core.frames.get(),
+            reports_routed: c.reports_routed.get(),
+            fanout_batches: c.fanout_batches.get(),
+            backpressure_nacks: c.backpressure_nacks.get(),
+            closed_nacks: c.closed_nacks.get(),
+            malformed_nacks: core.malformed_nacks.get(),
+            policy_switches: c.policy_switches.get(),
+            policy_rollbacks: c.policy_rollbacks.get(),
+            fetches_served: c.fetches_served.get(),
         }
+    }
+
+    /// The deterministic text exposition of the router's metrics — the
+    /// same text [`Frame::StatsRequest`] returns on the operator plane.
+    pub fn metrics_dump(&self) -> String {
+        clamp_stats_text(self.shared.registry.render())
     }
 
     /// Graceful shutdown: both planes stop accepting, every live
@@ -382,16 +432,20 @@ impl FrameService for RouterService {
     }
 
     /// Data plane: submissions (pending and released), fetch polls, clean
-    /// shutdown. Operator plane additionally honours policy broadcasts
-    /// and mailbox pushes. `SubmitSequenced` is **never** decoded here —
-    /// stamps are the router's to reserve; a client choosing its own
-    /// would choose its own noise.
+    /// shutdown. Operator plane additionally honours policy broadcasts,
+    /// mailbox pushes and stats scrapes. `SubmitSequenced` is **never**
+    /// decoded here — stamps are the router's to reserve; a client
+    /// choosing its own would choose its own noise.
     fn permits(&self, t: u8) -> bool {
         use crate::wire::tag;
         matches!(
             t,
             tag::SUBMIT | tag::SUBMIT_BATCH | tag::SHUTDOWN | tag::REPORT | tag::FETCH
-        ) || (self.operator_plane && matches!(t, tag::SWITCH_POLICY | tag::ASSIGN | tag::RESEND))
+        ) || (self.operator_plane
+            && matches!(
+                t,
+                tag::SWITCH_POLICY | tag::ASSIGN | tag::RESEND | tag::STATS_REQUEST
+            ))
     }
 
     fn handle(&self, conn: &mut RouterConn, frame: Frame, replies: &mut Vec<u8>) -> Disposition {
@@ -417,10 +471,7 @@ impl FrameService for RouterService {
             Frame::Fetch { user } => {
                 let reply = match self.shared.mailbox.fetch(user) {
                     Some(msg) => {
-                        self.shared
-                            .counters
-                            .fetches_served
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.counters.fetches_served.inc();
                         msg.into_frame()
                     }
                     None => Frame::Ack { accepted: 0 },
@@ -456,13 +507,22 @@ impl FrameService for RouterService {
                 encode_frame(&reply, replies);
                 Disposition::Continue
             }
+            Frame::StatsRequest => {
+                if !self.operator_plane {
+                    return self.violation(replies);
+                }
+                let text = clamp_stats_text(self.shared.registry.render());
+                encode_frame(&Frame::StatsReply(text), replies);
+                Disposition::Continue
+            }
             Frame::Shutdown => {
                 encode_frame(&Frame::Ack { accepted: 0 }, replies);
                 Disposition::Close
             }
-            Frame::Ack { .. } | Frame::Nack { .. } | Frame::SubmitSequenced(_) => {
-                self.violation(replies)
-            }
+            Frame::Ack { .. }
+            | Frame::Nack { .. }
+            | Frame::SubmitSequenced(_)
+            | Frame::StatsReply(_) => self.violation(replies),
         }
     }
 
@@ -523,10 +583,11 @@ impl RouterService {
             for chunk_start in (0..batch.len()).step_by(MAX_REPORTS_PER_FRAME) {
                 let chunk =
                     &batch[chunk_start..(chunk_start + MAX_REPORTS_PER_FRAME).min(batch.len())];
+                shared.counters.fanout_batches.inc();
                 shared
                     .counters
-                    .fanout_batches
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fanout_batch_reports
+                    .record(chunk.len() as u64);
                 match shared.backends[shard].submit_sequenced(chunk) {
                     Ok(n) => {
                         for &i in &slots_per_shard[shard][chunk_start..chunk_start + n] {
@@ -562,13 +623,10 @@ impl RouterService {
             }
         }
         if frame_accepted > 0 {
-            shared
-                .counters
-                .reports_routed
-                .fetch_add(frame_accepted as u64, Ordering::Relaxed);
+            shared.counters.reports_routed.add(frame_accepted as u64);
         }
         let reply = if closed {
-            shared.counters.closed_nacks.fetch_add(1, Ordering::Relaxed);
+            shared.counters.closed_nacks.inc();
             Frame::Nack {
                 reason: NackReason::Closed,
                 accepted: frame_accepted as u32,
@@ -578,10 +636,10 @@ impl RouterService {
                 accepted: frame_accepted as u32,
             }
         } else {
-            shared
-                .counters
-                .backpressure_nacks
-                .fetch_add(1, Ordering::Relaxed);
+            // The contiguous prefix stalled behind a backpressured shard:
+            // the remainder waits for the client's retry.
+            shared.counters.ack_prefix_stalls.inc();
+            shared.counters.backpressure_nacks.inc();
             Frame::Nack {
                 reason: NackReason::Backpressure,
                 accepted: frame_accepted as u32,
@@ -618,17 +676,11 @@ impl RouterService {
                             self.config.switch_backoff,
                         );
                     }
-                    shared
-                        .counters
-                        .policy_rollbacks
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.counters.policy_rollbacks.inc();
                 }
                 match reason {
-                    NackReason::Backpressure => shared
-                        .counters
-                        .backpressure_nacks
-                        .fetch_add(1, Ordering::Relaxed),
-                    _ => shared.counters.closed_nacks.fetch_add(1, Ordering::Relaxed),
+                    NackReason::Backpressure => shared.counters.backpressure_nacks.inc(),
+                    _ => shared.counters.closed_nacks.inc(),
                 };
                 return Frame::Nack {
                     reason,
@@ -637,19 +689,13 @@ impl RouterService {
             }
         }
         *current = Some(policy);
-        shared
-            .counters
-            .policy_switches
-            .fetch_add(1, Ordering::Relaxed);
+        shared.counters.policy_switches.inc();
         Frame::Ack { accepted: 0 }
     }
 
     /// A protocol violation on this plane: `Nack{Malformed}` and drop.
     fn violation(&self, replies: &mut Vec<u8>) -> Disposition {
-        self.shared
-            .core
-            .malformed_nacks
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.core.malformed_nacks.inc();
         encode_frame(
             &Frame::Nack {
                 reason: NackReason::Malformed,

@@ -52,6 +52,27 @@ pub const MAX_PAYLOAD: u32 = 8 << 20;
 /// Ceiling on an encoded policy name, bounding decoder allocations.
 pub const MAX_NAME_LEN: usize = 4096;
 
+/// Ceiling on a [`Frame::StatsReply`] exposition text, bounding decoder
+/// allocations. A node's full metric catalog renders to a few KiB; 1 MiB
+/// leaves room for orders of magnitude of growth while keeping a hostile
+/// length field harmless.
+pub const MAX_STATS_TEXT: usize = 1 << 20;
+
+/// Truncates an exposition text to fit [`MAX_STATS_TEXT`], cutting at the
+/// last complete line so a clamped scrape still parses. Guards the
+/// [`Frame::StatsReply`] encoder's size assertion; in practice a node's
+/// catalog is a few KiB and passes through untouched.
+pub(crate) fn clamp_stats_text(mut text: String) -> String {
+    if text.len() > MAX_STATS_TEXT {
+        let mut cut = MAX_STATS_TEXT;
+        while cut > 0 && text.as_bytes().get(cut - 1) != Some(&b'\n') {
+            cut -= 1;
+        }
+        text.truncate(cut);
+    }
+    text
+}
+
 /// Ceiling on a decoded policy grid's cell count. The width/height fields
 /// alone could demand ~4 × 10⁹ nodes — a ~100 GB adjacency allocation from
 /// a 50-byte frame — so the decoder refuses anything beyond a 512×512
@@ -139,6 +160,14 @@ pub enum Frame {
         /// The polling user.
         user: UserId,
     },
+    /// Operator → node: scrape the node's metric registry. The reply is a
+    /// [`Frame::StatsReply`] carrying the text exposition. Operator-plane
+    /// only — a public data plane refuses it at header cost (queue depths
+    /// and stall counters are capacity intelligence).
+    StatsRequest,
+    /// Node → operator: the scraped metrics snapshot as `panda-obs`
+    /// deterministic Prometheus-style text (≤ [`MAX_STATS_TEXT`] bytes).
+    StatsReply(String),
 }
 
 /// Frame tags (byte 5 of the header). Public so listeners can refuse
@@ -167,6 +196,10 @@ pub mod tag {
     pub const SUBMIT_SEQUENCED: u8 = 0x0A;
     /// [`Frame::Fetch`](super::Frame::Fetch).
     pub const FETCH: u8 = 0x0B;
+    /// [`Frame::StatsRequest`](super::Frame::StatsRequest).
+    pub const STATS_REQUEST: u8 = 0x0C;
+    /// [`Frame::StatsReply`](super::Frame::StatsReply).
+    pub const STATS_REPLY: u8 = 0x0D;
 }
 
 /// Why bytes did not decode to a [`Frame`].
@@ -346,6 +379,19 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
         }),
         Frame::SubmitSequenced(rs) => encode_submit_sequenced(rs, out),
         Frame::Fetch { user } => put_frame(out, tag::FETCH, |out| put_u32(out, user.0)),
+        Frame::StatsRequest => put_frame(out, tag::STATS_REQUEST, |_| {}),
+        Frame::StatsReply(text) => {
+            // A local programming error, not a wire condition: the
+            // registry renderer bounds its output well under the ceiling.
+            assert!(
+                text.len() <= MAX_STATS_TEXT,
+                "stats exposition exceeds the wire ceiling"
+            );
+            put_frame(out, tag::STATS_REPLY, |out| {
+                put_u32(out, text.len() as u32);
+                out.extend_from_slice(text.as_bytes());
+            });
+        }
     }
 }
 
@@ -661,6 +707,19 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, DecodeError> {
         tag::FETCH => Frame::Fetch {
             user: UserId(r.u32()?),
         },
+        tag::STATS_REQUEST => Frame::StatsRequest,
+        tag::STATS_REPLY => {
+            let text_len = r.u32()? as usize;
+            if text_len > MAX_STATS_TEXT {
+                return Err(DecodeError::Malformed(
+                    "stats exposition exceeds the wire ceiling",
+                ));
+            }
+            let text = std::str::from_utf8(r.take(text_len)?)
+                .map_err(|_| DecodeError::Malformed("stats exposition is not UTF-8"))?
+                .to_owned();
+            Frame::StatsReply(text)
+        }
         other => return Err(DecodeError::UnknownFrameTag(other)),
     };
     r.finish()?;
@@ -890,6 +949,8 @@ impl PartialEq for Frame {
             }
             (Frame::SubmitSequenced(a), Frame::SubmitSequenced(b)) => a == b,
             (Frame::Fetch { user: a }, Frame::Fetch { user: b }) => a == b,
+            (Frame::StatsRequest, Frame::StatsRequest) => true,
+            (Frame::StatsReply(a), Frame::StatsReply(b)) => a == b,
             _ => false,
         }
     }
@@ -944,6 +1005,9 @@ mod tests {
                 policy: sample_policy(),
                 eps_per_epoch: 1.25,
             }),
+            Frame::StatsRequest,
+            Frame::StatsReply(String::new()),
+            Frame::StatsReply("# TYPE panda_gateway_frames_total counter\n".into()),
         ];
         for frame in &frames {
             let bytes = encode_to_vec(frame);
@@ -1046,6 +1110,23 @@ mod tests {
         let mut frame = encode_to_vec(&Frame::Ack { accepted: 1 });
         frame.push(0);
         frame[8..12].copy_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(DecodeError::Malformed(_))
+        ));
+
+        // A stats reply whose text length field exceeds the ceiling, and
+        // one whose bytes are not UTF-8.
+        let mut frame = encode_to_vec(&Frame::StatsReply("abc".into()));
+        frame[HEADER_LEN..HEADER_LEN + 4]
+            .copy_from_slice(&((MAX_STATS_TEXT as u32 + 1).to_le_bytes()));
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(DecodeError::Malformed(_))
+        ));
+        let mut frame = encode_to_vec(&Frame::StatsReply("abc".into()));
+        let text_at = HEADER_LEN + 4;
+        frame[text_at] = 0xFF;
         assert!(matches!(
             decode_frame(&frame),
             Err(DecodeError::Malformed(_))

@@ -306,6 +306,86 @@ fn policy_broadcast_is_all_or_nothing_with_rollback() {
     assert_eq!(survivor_stats.policy_switches, 3);
 }
 
+/// The router's stats plane: the operator listener serves the routing
+/// tier's exposition (fan-out batch sizes, routed totals), the shard-plane
+/// gateways each serve their node's merged exposition, and the router's
+/// data plane refuses the scrape.
+#[test]
+fn router_and_shard_planes_serve_stats() {
+    let cluster = spawn_cluster(2, IngestConfig::default());
+    let mut router = cluster.router;
+    let operator_addr = router.bind_operator("127.0.0.1:0").unwrap();
+
+    let reports = trace(500, 17);
+    let mut client = GatewayClient::connect(router.local_addr()).unwrap();
+    for chunk in reports.chunks(100) {
+        client.submit_batch(chunk).unwrap();
+    }
+
+    let mut operator = GatewayClient::connect(operator_addr).unwrap();
+    let text = operator.stats().unwrap();
+    assert!(text.contains("panda_router_reports_routed_total 500"));
+    assert!(text.contains("# TYPE panda_router_fanout_batch_reports histogram"));
+    assert!(text.contains("panda_router_fanout_batch_reports_count 10"));
+    // The in-process dump serves the same plane (the scrape frame itself
+    // records its own latency after rendering, so only the counters are
+    // compared, not the frame histogram).
+    let dump = router.metrics_dump();
+    assert!(dump.contains("panda_router_reports_routed_total 500"));
+    assert!(dump.contains("panda_router_fanout_batches_total 10"));
+
+    // Shard-plane gateways are scrapeable too: each node's landed total is
+    // visible at its gateway, and the two sum to the routed total.
+    let mut landed = 0u64;
+    for gw in &cluster.gateways {
+        let mut shard_client = GatewayClient::connect(gw.local_addr()).unwrap();
+        let t0 = std::time::Instant::now();
+        landed += loop {
+            let text = shard_client.stats().unwrap();
+            if let Some(n) = text.lines().find_map(|l| {
+                l.strip_prefix("panda_ingest_landed_reports_total ")
+                    .and_then(|v| v.parse::<u64>().ok())
+            }) {
+                if n > 0 {
+                    break n;
+                }
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "shard scrape never showed landings:\n{text}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        shard_client.shutdown().unwrap();
+    }
+    // Both shards keep landing after the scrape polls; once quiesced the
+    // stripes must account for every routed report.
+    let t0 = std::time::Instant::now();
+    loop {
+        let total: usize = cluster.nodes.iter().map(|n| n.server().n_received()).sum();
+        if total == reports.len() {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "landings stalled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(landed > 0 && landed <= reports.len() as u64);
+
+    // The router's data plane refuses the scrape.
+    assert!(
+        client.stats().is_err(),
+        "the data plane must not serve the stats frame"
+    );
+    operator.shutdown().unwrap();
+    router.shutdown();
+    for gw in cluster.gateways {
+        gw.shutdown();
+    }
+    for node in cluster.nodes {
+        node.shutdown();
+    }
+}
+
 /// The re-send protocol rides the router's planes: an operator push on
 /// the privileged listener is collected by the user's data-plane fetch,
 /// and the re-released `Report` lands verbatim on the user's shard.

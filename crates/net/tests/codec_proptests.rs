@@ -126,6 +126,16 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             }),
         proptest::collection::vec(arb_sequenced(), 0..60).prop_map(Frame::SubmitSequenced),
         any::<u32>().prop_map(|user| Frame::Fetch { user: UserId(user) }),
+        Just(Frame::StatsRequest),
+        // Arbitrary unicode (not just exposition-shaped text): the codec
+        // must carry any string the renderer could ever produce.
+        (any::<u64>(), 0usize..200).prop_map(|(seed, len)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let text: String = (0..len)
+                .map(|_| char::from_u32(rng.gen::<u32>() % 0x11_0000).unwrap_or('\u{FFFD}'))
+                .collect();
+            Frame::StatsReply(text)
+        }),
     ]
 }
 

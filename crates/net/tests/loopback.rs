@@ -659,6 +659,157 @@ fn connection_cap_rejects_excess_clients() {
     assert_eq!(stats.landed, 3);
 }
 
+/// The wire-scrapeable stats plane: a privileged client scrapes the
+/// gateway's merged exposition over live loopback TCP and sees the
+/// gateway, pipeline, pool, and per-stripe server counters move — while
+/// the untrusted data plane refuses the same request.
+#[test]
+fn stats_scrape_over_the_wire() {
+    let (_server, index) = setup(16);
+    let pipeline = IngestPipeline::spawn(
+        _server,
+        index,
+        Arc::new(GraphExponential),
+        IngestConfig {
+            max_batch: 10,
+            ..Default::default()
+        },
+    );
+    let gateway = IngestGateway::bind("127.0.0.1:0", pipeline.handle()).unwrap();
+    let operator_gw = IngestGateway::bind_shared(
+        "127.0.0.1:0",
+        pipeline.handle(),
+        GatewayConfig::operator(),
+        gateway.mailbox(),
+    )
+    .unwrap();
+
+    let mut reporter = GatewayClient::connect(gateway.local_addr()).unwrap();
+    reporter.submit_batch(&trace(100, 11)).unwrap();
+
+    let mut operator = GatewayClient::connect(operator_gw.local_addr()).unwrap();
+    let t0 = std::time::Instant::now();
+    let text = loop {
+        let text = operator.stats().unwrap();
+        if text.contains("panda_ingest_landed_reports_total 100") {
+            break text;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "scrape never caught up:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    // One exposition carries every scope: the serving gateway's own
+    // counters, the pipeline's, and the handles it adopted from its
+    // neighbours (index, pool, server stripes).
+    assert!(text.contains("# TYPE panda_gateway_frames_total counter"));
+    assert!(text.contains("panda_ingest_submitted_reports_total 100"));
+    assert!(text.contains("panda_ingest_flush_ns_count"));
+    assert!(text.contains("panda_pool_busy_workers"));
+    assert!(text.contains("panda_index_distribution_touches_total"));
+    let striped: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("panda_server_shard_") && l.contains("_received_total "))
+        .map(|l| l.split_whitespace().last().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(striped, 100, "per-stripe landings must sum to the batch");
+    // The in-process dump serves the same plane without a socket.
+    assert!(gateway
+        .metrics_dump()
+        .contains("# TYPE panda_gateway_frames_total counter"));
+
+    // The data plane refuses the scrape: stats are operator business.
+    assert!(
+        reporter.stats().is_err(),
+        "an untrusted reporter must not scrape the stats plane"
+    );
+
+    operator.shutdown().unwrap();
+    gateway.shutdown();
+    operator_gw.shutdown();
+    pipeline.shutdown();
+}
+
+/// The telemetry non-interference contract, end to end: an operator
+/// scraping the stats plane as fast as it can, concurrent with a seeded
+/// ingest stream, must not move a single released byte relative to an
+/// unobserved run with the same seed and arrival order.
+#[test]
+fn concurrent_scraping_never_perturbs_the_landed_db() {
+    let trace = trace(2_000, 59);
+    let horizon = 16;
+    let config = IngestConfig {
+        max_batch: 64,
+        release_lanes: 4,
+        seed: 21,
+        ..Default::default()
+    };
+
+    // Unobserved reference run.
+    let (ref_server, index) = setup(16);
+    let ref_pipeline = IngestPipeline::spawn(
+        Arc::clone(&ref_server),
+        index,
+        Arc::new(GraphExponential),
+        config.clone(),
+    );
+    for &r in &trace {
+        ref_pipeline.handle().submit(r).unwrap();
+    }
+    ref_pipeline.shutdown();
+    let ref_db = ref_server.reported_db(horizon);
+
+    // Same run with a scraper hammering the stats plane throughout.
+    let (server, index) = setup(16);
+    let pipeline = IngestPipeline::spawn(
+        Arc::clone(&server),
+        index,
+        Arc::new(GraphExponential),
+        config,
+    );
+    let gateway = IngestGateway::bind("127.0.0.1:0", pipeline.handle()).unwrap();
+    let operator_gw = IngestGateway::bind_shared(
+        "127.0.0.1:0",
+        pipeline.handle(),
+        GatewayConfig::operator(),
+        gateway.mailbox(),
+    )
+    .unwrap();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let addr = operator_gw.local_addr();
+        std::thread::spawn(move || {
+            let mut client = GatewayClient::connect(addr).unwrap();
+            let mut scrapes = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                assert!(!client.stats().unwrap().is_empty());
+                scrapes += 1;
+            }
+            client.shutdown().unwrap();
+            scrapes
+        })
+    };
+    let mut client = GatewayClient::connect(gateway.local_addr()).unwrap();
+    for chunk in trace.chunks(100) {
+        client.submit_batch(chunk).unwrap();
+    }
+    client.shutdown().unwrap();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let scrapes = scraper.join().unwrap();
+    assert!(scrapes > 0, "the scraper must have observed the run");
+    gateway.shutdown();
+    operator_gw.shutdown();
+    let stats = pipeline.shutdown();
+    assert_eq!(stats.landed, trace.len());
+    assert_eq!(
+        server.reported_db(horizon).trajectories(),
+        ref_db.trajectories(),
+        "a concurrent stats scraper must never perturb released bytes"
+    );
+}
+
 /// Many concurrent clients: all reports land exactly once, the per-client
 /// per-frame ack discipline holds, and shutdown drains everyone.
 #[test]

@@ -1,0 +1,74 @@
+//! The workspace's single sanctioned wall-clock read site.
+//!
+//! Every monotonic time read in the PANDA workspace funnels through this
+//! module so the determinism lint can enforce the boundary mechanically:
+//! `panda-check`'s `banned_api` rule denies `Instant::now` /
+//! `SystemTime::now` tokens in the instrumented crates, and only the
+//! suppressions in this file are sanctioned. Timing read here is
+//! *observational* — it feeds histograms and deadlines, never an RNG
+//! stream, so the released database stays a pure function of
+//! `(seed, arrival order)`.
+//!
+//! The readings are coarse by contract: callers get monotonicity and
+//! roughly scheduler-tick accuracy, nothing finer — good enough for stage
+//! latency histograms with 12.5%-wide buckets, and cheap enough
+//! (one `clock_gettime` vDSO call, no syscall) for per-frame use.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-wide epoch: the first clock use after process start.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    // panda-check: allow(banned_api): the one sanctioned clock read site
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// A monotonic instant — the sanctioned replacement for `Instant::now()`.
+///
+/// Returned as a `std::time::Instant` so deadline arithmetic
+/// (`checked_add`, `saturating_duration_since`, …) works unchanged at the
+/// call sites that migrated here.
+#[inline]
+pub fn now() -> Instant {
+    // panda-check: allow(banned_api): the one sanctioned clock read site
+    Instant::now()
+}
+
+/// Monotonic nanoseconds since the process epoch (the first clock use).
+///
+/// The raw-integer form the histogram instruments record: cheap to
+/// subtract, no `Duration` round trip on the hot path.
+#[inline]
+pub fn monotonic_ns() -> u64 {
+    now().duration_since(epoch()).as_nanos() as u64
+}
+
+/// Nanoseconds elapsed since `start` (saturating, never panics).
+#[inline]
+pub fn ns_since(start: Instant) -> u64 {
+    now().saturating_duration_since(start).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_ns_is_monotone() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        let c = monotonic_ns();
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn ns_since_measures_forward_and_saturates_backward() {
+        let start = now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(ns_since(start) >= 1_000_000);
+        // A start in the future saturates to zero rather than panicking.
+        let future = now() + std::time::Duration::from_secs(3600);
+        assert_eq!(ns_since(future), 0);
+    }
+}

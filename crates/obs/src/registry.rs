@@ -1,0 +1,317 @@
+//! The metric [`Registry`] and its rendered [`Snapshot`].
+//!
+//! A registry is a named directory of metric handles. Registration and
+//! snapshotting take a mutex (cold paths); recording through the handles
+//! never does. Names follow the Prometheus convention
+//! (`panda_<component>_<what>[_total|_ns|_reports]`, `[a-z0-9_]`), and
+//! every read path is `BTreeMap`-ordered so the exposition text is
+//! byte-deterministic for identical recorded values.
+
+use crate::metrics::{bucket_floor, Counter, Gauge, Histogram, HistogramSnapshot, N_BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard};
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named directory of metrics. Create one per scrape scope (a pipeline,
+/// a gateway, a router); handles are get-or-create by name.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A poisoned registry lock only means a panic elsewhere mid-update of
+    /// the *directory*; the atomics behind the handles are always valid,
+    /// so recover rather than propagate.
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The counter registered under `name`, creating it on first use. A
+    /// same-named metric of another kind is replaced (last writer wins —
+    /// components own disjoint name prefixes by convention).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.lock();
+        if let Some(Metric::Counter(c)) = metrics.get(name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        metrics.insert(name.to_string(), Metric::Counter(c.clone()));
+        c
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.lock();
+        if let Some(Metric::Gauge(g)) = metrics.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::new();
+        metrics.insert(name.to_string(), Metric::Gauge(g.clone()));
+        g
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.lock();
+        if let Some(Metric::Histogram(h)) = metrics.get(name) {
+            return h.clone();
+        }
+        let h = Histogram::new();
+        metrics.insert(name.to_string(), Metric::Histogram(h.clone()));
+        h
+    }
+
+    /// Adopts an existing counter handle under `name` (replacing any
+    /// previous registration — how a policy switch re-points the cache
+    /// metrics at the new index's handles).
+    pub fn register_counter(&self, name: &str, counter: &Counter) {
+        self.lock()
+            .insert(name.to_string(), Metric::Counter(counter.clone()));
+    }
+
+    /// Adopts an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, gauge: &Gauge) {
+        self.lock()
+            .insert(name.to_string(), Metric::Gauge(gauge.clone()));
+    }
+
+    /// Adopts an existing histogram handle under `name`.
+    pub fn register_histogram(&self, name: &str, histogram: &Histogram) {
+        self.lock()
+            .insert(name.to_string(), Metric::Histogram(histogram.clone()));
+    }
+
+    /// A point-in-time read of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.lock();
+        let mut snap = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+
+    /// Shorthand: snapshot and render the text exposition.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// A point-in-time value capture of a [`Registry`], with deterministic
+/// text exposition. Snapshots from disjoint registries merge (how a
+/// gateway's scrape joins its own frame metrics with its pipeline's).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The captured counter value, if one was registered under `name`.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The captured gauge level, if one was registered under `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The captured histogram, if one was registered under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Folds `other` into `self`; on a name clash `other` wins.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, &v) in &other.counters {
+            self.counters.insert(name.clone(), v);
+        }
+        for (name, &v) in &other.gauges {
+            self.gauges.insert(name.clone(), v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.insert(name.clone(), h.clone());
+        }
+    }
+
+    /// Prometheus-style text exposition, byte-deterministic for identical
+    /// captured values: metrics in name order, one `# TYPE` line each;
+    /// histograms as cumulative non-empty `_bucket{le="…"}` lines (the
+    /// label is the bucket's inclusive upper bound) closed by `+Inf`,
+    /// `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        enum Entry<'a> {
+            Counter(u64),
+            Gauge(i64),
+            Histogram(&'a HistogramSnapshot),
+        }
+        let mut entries: BTreeMap<&str, Entry<'_>> = BTreeMap::new();
+        for (name, &v) in &self.counters {
+            entries.insert(name, Entry::Counter(v));
+        }
+        for (name, &v) in &self.gauges {
+            entries.insert(name, Entry::Gauge(v));
+        }
+        for (name, h) in &self.histograms {
+            entries.insert(name, Entry::Histogram(h));
+        }
+
+        let mut out = String::new();
+        for (name, entry) in entries {
+            match entry {
+                Entry::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                }
+                Entry::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+                }
+                Entry::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (index, &n) in h.buckets().iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
+                        if index + 1 < N_BUCKETS {
+                            let le = bucket_floor(index + 1) - 1;
+                            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                        }
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}",
+                        h.count(),
+                        h.sum(),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_underlying_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("panda_test_events_total");
+        let b = reg.counter("panda_test_events_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.snapshot().counter("panda_test_events_total"), Some(3));
+    }
+
+    #[test]
+    fn adopting_a_handle_replaces_the_registration() {
+        let reg = Registry::new();
+        reg.counter("panda_test_hits_total").add(5);
+        let fresh = Counter::new();
+        fresh.add(9);
+        reg.register_counter("panda_test_hits_total", &fresh);
+        assert_eq!(reg.snapshot().counter("panda_test_hits_total"), Some(9));
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("panda_test_c_total").add(7);
+        reg.gauge("panda_test_depth").set(-3);
+        reg.histogram("panda_test_lat_ns").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("panda_test_c_total"), Some(7));
+        assert_eq!(snap.gauge("panda_test_depth"), Some(-3));
+        assert_eq!(
+            snap.histogram("panda_test_lat_ns").map(|h| h.count()),
+            Some(1)
+        );
+        assert_eq!(snap.counter("panda_test_missing"), None);
+    }
+
+    #[test]
+    fn render_is_byte_deterministic_across_identical_registries() {
+        let build = || {
+            let reg = Registry::new();
+            // Registration order deliberately differs from name order.
+            reg.histogram("panda_z_lat_ns").record(1000);
+            reg.histogram("panda_z_lat_ns").record(8);
+            reg.counter("panda_a_events_total").add(3);
+            reg.gauge("panda_m_depth").set(42);
+            reg.render()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b, "identical recorded values must render identically");
+        assert_eq!(a, build());
+        // Name-ordered: the counter section precedes gauge precedes histogram.
+        let (ia, im, iz) = (
+            a.find("panda_a_events_total").unwrap(),
+            a.find("panda_m_depth").unwrap(),
+            a.find("panda_z_lat_ns").unwrap(),
+        );
+        assert!(ia < im && im < iz);
+    }
+
+    #[test]
+    fn render_shapes_histogram_lines() {
+        let reg = Registry::new();
+        let h = reg.histogram("panda_test_ns");
+        h.record(3);
+        h.record(3);
+        h.record(1_000_000);
+        let text = reg.render();
+        assert!(text.contains("# TYPE panda_test_ns histogram"), "{text}");
+        assert!(text.contains("panda_test_ns_bucket{le=\"3\"} 2"), "{text}");
+        assert!(
+            text.contains("panda_test_ns_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("panda_test_ns_sum 1000006"), "{text}");
+        assert!(text.contains("panda_test_ns_count 3"), "{text}");
+    }
+
+    #[test]
+    fn merge_prefers_other_on_clash_and_unions_otherwise() {
+        let a = Registry::new();
+        a.counter("panda_shared_total").add(1);
+        a.counter("panda_only_a_total").add(2);
+        let b = Registry::new();
+        b.counter("panda_shared_total").add(10);
+        b.gauge("panda_only_b_depth").set(5);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("panda_shared_total"), Some(10));
+        assert_eq!(snap.counter("panda_only_a_total"), Some(2));
+        assert_eq!(snap.gauge("panda_only_b_depth"), Some(5));
+    }
+}

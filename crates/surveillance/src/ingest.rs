@@ -47,6 +47,7 @@ use panda_core::release::chunk_rng;
 use panda_core::{Mechanism, PolicyIndex, ReleasePool, SamplerMemo};
 use panda_geo::CellId;
 use panda_mobility::{Timestamp, UserId};
+use panda_obs::{clock, Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -299,6 +300,7 @@ fn unsent_released(msg: IngestMsg) -> PendingReport {
 #[derive(Clone)]
 pub struct IngestHandle {
     tx: Sender<IngestMsg>,
+    registry: Arc<Registry>,
 }
 
 impl IngestHandle {
@@ -458,6 +460,15 @@ impl IngestHandle {
             })
     }
 
+    /// The pipeline's metric registry: the collector's ingest-side
+    /// instruments (queue depth, flush size/latency, landed/rejected
+    /// counts) plus the `PolicyIndex` cache, release-pool and per-shard
+    /// server metrics registered through it. A gateway merges this with
+    /// its own registry when serving a scrape.
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
     /// Messages currently queued (racy by nature; for monitoring/tests).
     pub fn queue_len(&self) -> usize {
         self.tx.len()
@@ -473,6 +484,7 @@ impl IngestHandle {
 /// releases fanned over the shared [`ReleasePool`].
 pub struct IngestPipeline {
     tx: Sender<IngestMsg>,
+    registry: Arc<Registry>,
     collector: Option<std::thread::JoinHandle<IngestStats>>,
 }
 
@@ -513,12 +525,17 @@ impl IngestPipeline {
         pool: Option<Arc<ReleasePool>>,
     ) -> Self {
         let (tx, rx) = bounded::<IngestMsg>(config.queue_capacity.max(1));
-        let collector = std::thread::Builder::new()
-            .name("panda-ingest".into())
-            .spawn(move || Collector::new(server, index, mech, config, pool).run(rx))
-            .expect("spawn ingest collector");
+        let registry = Arc::new(Registry::new());
+        let collector = {
+            let registry = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name("panda-ingest".into())
+                .spawn(move || Collector::new(server, index, mech, config, pool, registry).run(rx))
+                .expect("spawn ingest collector")
+        };
         IngestPipeline {
             tx,
+            registry,
             collector: Some(collector),
         }
     }
@@ -527,7 +544,13 @@ impl IngestPipeline {
     pub fn handle(&self) -> IngestHandle {
         IngestHandle {
             tx: self.tx.clone(),
+            registry: Arc::clone(&self.registry),
         }
+    }
+
+    /// The pipeline's metric registry (see [`IngestHandle::metrics`]).
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Switches the policy index for all later reports, in-band: the batch
@@ -565,6 +588,42 @@ impl Drop for IngestPipeline {
     }
 }
 
+/// The collector's registry-backed instruments — recorded alongside the
+/// plain [`IngestStats`] collector-thread tallies, which stay the
+/// shutdown return value (and keep working under `--cfg panda_obs_off`).
+struct IngestMetrics {
+    /// Messages on the bounded queue, sampled at batch boundaries (at
+    /// most one micro-batch stale; per-message updates cost real
+    /// throughput at saturation).
+    queue_depth: Gauge,
+    /// Reports per flushed micro-batch.
+    flush_reports: Histogram,
+    /// Wall-clock latency of one flush (release + server landing), ns.
+    flush_ns: Histogram,
+    /// Recorded per flush, not per push (lags `IngestStats::submitted` by
+    /// at most the pending batch).
+    submitted: Counter,
+    landed: Counter,
+    rejected: Counter,
+    batches: Counter,
+    policy_switches: Counter,
+}
+
+impl IngestMetrics {
+    fn new(registry: &Registry) -> Self {
+        IngestMetrics {
+            queue_depth: registry.gauge("panda_ingest_queue_depth"),
+            flush_reports: registry.histogram("panda_ingest_flush_reports"),
+            flush_ns: registry.histogram("panda_ingest_flush_ns"),
+            submitted: registry.counter("panda_ingest_submitted_reports_total"),
+            landed: registry.counter("panda_ingest_landed_reports_total"),
+            rejected: registry.counter("panda_ingest_rejected_reports_total"),
+            batches: registry.counter("panda_ingest_batches_total"),
+            policy_switches: registry.counter("panda_ingest_policy_switches_total"),
+        }
+    }
+}
+
 /// The collector-thread state: pending micro-batch plus lifetime stats.
 struct Collector {
     server: Arc<Server>,
@@ -581,6 +640,9 @@ struct Collector {
     /// Ring cursor into `stats.flush_ms` once the window is full.
     flush_cursor: usize,
     stats: IngestStats,
+    metrics: IngestMetrics,
+    /// Kept to re-register a switched-in index's cache handles.
+    registry: Arc<Registry>,
 }
 
 /// Why a flush fired (stats attribution).
@@ -598,7 +660,17 @@ impl Collector {
         mech: Arc<dyn Mechanism + Send + Sync>,
         config: IngestConfig,
         pool: Option<Arc<ReleasePool>>,
+        registry: Arc<Registry>,
     ) -> Self {
+        let metrics = IngestMetrics::new(&registry);
+        // Adopt the neighbouring components' handles into this pipeline's
+        // scrape scope: the index's cache counters, the release pool's
+        // occupancy, the server's per-stripe landing counters.
+        index.register_metrics(&registry);
+        server.register_metrics(&registry);
+        pool.as_deref()
+            .unwrap_or_else(|| ReleasePool::global())
+            .register_metrics(&registry);
         Collector {
             server,
             index,
@@ -610,11 +682,20 @@ impl Collector {
             next_seq: 0,
             flush_cursor: 0,
             stats: IngestStats::default(),
+            metrics,
+            registry,
         }
     }
 
     fn run(mut self, rx: Receiver<IngestMsg>) -> IngestStats {
         loop {
+            // Sample the backlog at batch boundaries only (first message
+            // of a batch and idle wake-ups): per-message gauge stores are
+            // measurable at saturation, and a reading at most one
+            // micro-batch stale is exactly as actionable.
+            if self.pending.is_empty() {
+                self.metrics.queue_depth.set(rx.len() as i64);
+            }
             // Parked when idle; woken by work or by the flush deadline.
             // A `max_delay` too large for `Instant` arithmetic (e.g.
             // `Duration::MAX` as a "never flush by deadline" sentinel)
@@ -625,8 +706,7 @@ impl Collector {
             let msg = match deadline {
                 None => rx.recv().ok(),
                 Some(deadline) => {
-                    // panda-check: allow(banned_api): flush-deadline clock; released bytes are flush-timing-invariant
-                    let now = Instant::now();
+                    let now = clock::now();
                     if now >= deadline {
                         self.flush(FlushCause::Deadline);
                         continue;
@@ -676,7 +756,11 @@ impl Collector {
                     // clean boundary in the landed stream.
                     self.flush(FlushCause::Forced);
                     self.index = index;
+                    // Re-point the scrape plane at the new index's cache
+                    // handles (adopt-replace by name).
+                    self.index.register_metrics(&self.registry);
                     self.stats.policy_switches += 1;
+                    self.metrics.policy_switches.inc();
                 }
                 // Stop, or every sender gone: drain and exit.
                 Some(IngestMsg::Stop) | None => {
@@ -691,8 +775,7 @@ impl Collector {
     /// firing a size flush at the threshold.
     fn push_entry(&mut self, entry: SequencedReport) {
         if self.pending.is_empty() {
-            // panda-check: allow(banned_api): starts the max_delay deadline; never keys an RNG stream
-            self.oldest = Some(Instant::now());
+            self.oldest = Some(clock::now());
         }
         self.pending.push(entry);
         self.stats.submitted += 1;
@@ -708,9 +791,14 @@ impl Collector {
         if self.pending.is_empty() {
             return;
         }
-        // panda-check: allow(banned_api): flush-duration stat only; never keys an RNG stream
-        let t0 = Instant::now();
+        let t0 = clock::now();
         let batch = std::mem::take(&mut self.pending);
+        // One batched add instead of a per-report increment in
+        // `push_entry`: the counter lags the local `stats.submitted` by at
+        // most one pending micro-batch, and the collector's hot loop stays
+        // free of per-report atomics.
+        self.metrics.submitted.add(batch.len() as u64);
+        self.metrics.flush_reports.record(batch.len() as u64);
         let mut released: Vec<Option<CellId>> = vec![None; batch.len()];
         let n_lanes = self.config.release_lanes.max(1).min(batch.len());
         let lane_len = batch.len().div_ceil(n_lanes);
@@ -749,20 +837,27 @@ impl Collector {
                     cell,
                     resend: r.resend,
                 }),
-                None => self.stats.rejected += 1,
+                None => {
+                    self.stats.rejected += 1;
+                    self.metrics.rejected.inc();
+                }
             }
         }
         self.stats.landed += landed.len();
+        self.metrics.landed.add(landed.len() as u64);
         if !landed.is_empty() {
             self.server.receive_batch(landed);
         }
         self.stats.batches += 1;
+        self.metrics.batches.inc();
         match cause {
             FlushCause::Size => self.stats.size_flushes += 1,
             FlushCause::Deadline => self.stats.deadline_flushes += 1,
             FlushCause::Forced => self.stats.forced_flushes += 1,
         }
-        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let ns = clock::ns_since(t0);
+        self.metrics.flush_ns.record(ns);
+        let ms = ns as f64 / 1e6;
         if self.stats.flush_ms.len() < FLUSH_LATENCY_WINDOW {
             self.stats.flush_ms.push(ms);
         } else {

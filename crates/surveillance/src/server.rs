@@ -27,11 +27,11 @@ use crate::protocol::LocationReport;
 use panda_check::ordered::{rank, OrderedRwLock};
 use panda_geo::{CellId, GridMap};
 use panda_mobility::{Timestamp, Trajectory, TrajectoryDb, UserId};
+use panda_obs::{Counter, Registry};
 // Per-user stores are keyed by UserId; every read path (users,
 // reported_db) sorts before exposing an iteration order.
 // panda-check: allow(unordered_iter): read paths sort first
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One lock stripe: the report store of every user hashing to this shard,
 /// plus its lock-free ingest counters.
@@ -40,8 +40,8 @@ struct Shard {
     /// Latest report per (user, epoch) — re-sends overwrite.
     // panda-check: allow(unordered_iter): read paths sort (see module doc).
     reports: OrderedRwLock<HashMap<UserId, BTreeMap<Timestamp, CellId>>>,
-    n_received: AtomicUsize,
-    n_resends: AtomicUsize,
+    n_received: Counter,
+    n_resends: Counter,
 }
 
 impl Shard {
@@ -49,8 +49,8 @@ impl Shard {
         Shard {
             // panda-check: allow(unordered_iter): same store as the field.
             reports: OrderedRwLock::new(rank::SERVER_STRIPE, HashMap::new()),
-            n_received: AtomicUsize::new(0),
-            n_resends: AtomicUsize::new(0),
+            n_received: Counter::new(),
+            n_resends: Counter::new(),
         }
     }
 }
@@ -138,17 +138,33 @@ impl Server {
     pub fn shard_loads(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.n_received.load(Ordering::Relaxed))
+            .map(|s| s.n_received.get() as usize)
             .collect()
+    }
+
+    /// Adopts the per-stripe landing counters into `registry` under
+    /// zero-padded `panda_server_shard_*` names (so the rendered exposition
+    /// keeps stripe order under lexicographic sorting).
+    pub fn register_metrics(&self, registry: &Registry) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            registry.register_counter(
+                &format!("panda_server_shard_{i:03}_received_total"),
+                &shard.n_received,
+            );
+            registry.register_counter(
+                &format!("panda_server_shard_{i:03}_resends_total"),
+                &shard.n_resends,
+            );
+        }
     }
 
     /// Ingests one report (re-sends overwrite the original epoch). Locks
     /// exactly one shard.
     pub fn receive(&self, report: LocationReport) {
         let shard = &self.shards[self.shard_of(report.user)];
-        shard.n_received.fetch_add(1, Ordering::Relaxed);
+        shard.n_received.inc();
         if report.resend {
-            shard.n_resends.fetch_add(1, Ordering::Relaxed);
+            shard.n_resends.inc();
         }
         shard
             .reports
@@ -172,10 +188,10 @@ impl Server {
             if group.is_empty() {
                 continue;
             }
-            shard.n_received.fetch_add(group.len(), Ordering::Relaxed);
+            shard.n_received.add(group.len() as u64);
             let resends = group.iter().filter(|r| r.resend).count();
             if resends > 0 {
-                shard.n_resends.fetch_add(resends, Ordering::Relaxed);
+                shard.n_resends.add(resends as u64);
             }
             let mut store = shard.reports.write();
             for r in group {
@@ -194,16 +210,13 @@ impl Server {
     pub fn n_received(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.n_received.load(Ordering::Relaxed))
+            .map(|s| s.n_received.get() as usize)
             .sum()
     }
 
     /// Number of re-sent reports received, aggregated across shards.
     pub fn n_resends(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.n_resends.load(Ordering::Relaxed))
-            .sum()
+        self.shards.iter().map(|s| s.n_resends.get() as usize).sum()
     }
 
     /// Users that have reported at least once, sorted.

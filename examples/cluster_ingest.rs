@@ -123,7 +123,31 @@ fn main() {
     }
     operator.shutdown().expect("clean shutdown");
 
-    // --- 5. Drain top-down, then merge the shard databases. --------------
+    // --- 5. Scrape the stats planes, then drain top-down. ----------------
+    // The router's operator plane serves the routing tier's exposition
+    // over the wire; each shard gateway serves its node's merged one.
+    let mut scraper = GatewayClient::connect(operator_addr).expect("connect scraper");
+    let exposition = scraper.stats().expect("wire scrape");
+    scraper.shutdown().expect("clean shutdown");
+    println!("--- final router snapshot (wire scrape; counters shown) ---");
+    for line in exposition.lines().filter(|l| {
+        !l.starts_with('#') && !l.contains("_bucket{") && l.ends_with(|c: char| c.is_ascii_digit())
+    }) {
+        println!("  {line}");
+    }
+    for (i, gw) in gateways.iter().enumerate() {
+        let mut shard_scraper =
+            GatewayClient::connect(gw.local_addr()).expect("connect shard scraper");
+        let text = shard_scraper.stats().expect("shard scrape");
+        shard_scraper.shutdown().expect("clean shutdown");
+        let landed = text
+            .lines()
+            .find_map(|l| l.strip_prefix("panda_ingest_landed_reports_total "))
+            .unwrap_or("0");
+        println!("  shard {i}: panda_ingest_landed_reports_total {landed}");
+    }
+
+    // --- 6. Drain top-down, then merge the shard databases. --------------
     let router_stats = router.stats();
     router.shutdown();
     for gw in gateways {

@@ -95,7 +95,34 @@ fn main() {
     }
     operator.shutdown().expect("clean shutdown");
 
-    // --- 4. Graceful drain: gateways first, then the pipeline. -----------
+    // --- 4. Scrape the stats plane, then drain gracefully. ---------------
+    // The same telemetry is live on the wire (operator plane) and
+    // in-process; production would point a collector at the former.
+    let mut scraper =
+        GatewayClient::connect(operator_gateway.local_addr()).expect("connect scraper");
+    let exposition = scraper.stats().expect("wire scrape");
+    scraper.shutdown().expect("clean shutdown");
+    println!(
+        "--- final stats snapshot ({} exposition lines; counters shown) ---",
+        exposition.lines().count()
+    );
+    for line in exposition.lines().filter(|l| {
+        !l.starts_with('#')
+            && !l.contains("_bucket{")
+            && (l.starts_with("panda_ingest_") || l.starts_with("panda_pool_"))
+    }) {
+        println!("  {line}");
+    }
+    // Each gateway also serves its own exposition in-process; the data
+    // plane's frame counters live there (scraping it over the wire is an
+    // operator-plane privilege the data plane refuses).
+    for line in gateway.metrics_dump().lines().filter(|l| {
+        !l.starts_with('#') && !l.contains("_bucket{") && l.starts_with("panda_gateway_")
+    }) {
+        println!("  {line}");
+    }
+
+    // --- 5. Graceful drain: gateways first, then the pipeline. -----------
     let gw_stats = gateway.shutdown();
     let op_stats = operator_gateway.shutdown();
     let stats = pipeline.shutdown();

@@ -17,6 +17,7 @@
 //! | [`attack`] | `panda-attack` | Bayesian inference attacks, empirical privacy |
 //! | [`surveillance`] | `panda-surveillance` | clients, server, policy config, the three apps |
 //! | [`net`] | `panda-net` | framed wire protocol, TCP ingest gateway, client SDK |
+//! | [`obs`] | `panda-obs` | lock-free metrics registry, latency histograms, stats plane |
 //! | [`check`] | `panda-check` | workspace lint + rank-ordered deadlock-checked locks |
 //!
 //! ## Quickstart
@@ -53,4 +54,5 @@ pub use panda_geo as geo;
 pub use panda_graph as graph;
 pub use panda_mobility as mobility;
 pub use panda_net as net;
+pub use panda_obs as obs;
 pub use panda_surveillance as surveillance;
